@@ -1,0 +1,74 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ds/util/logging.h"
+
+namespace ds::bench {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "ignoring argument without '=': %s\n", arg.c_str());
+      continue;
+    }
+    values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+int64_t Args::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Args::GetString(const std::string& name,
+                            const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::vector<std::string> JobLightTables() {
+  return {"title",      "movie_keyword", "movie_companies",
+          "cast_info",  "movie_info",    "movie_info_idx"};
+}
+
+std::vector<double> QErrorsOn(const est::CardinalityEstimator& estimator,
+                              const std::vector<workload::QuerySpec>& queries,
+                              const std::vector<uint64_t>& true_cards) {
+  DS_CHECK_EQ(queries.size(), true_cards.size());
+  std::vector<double> q;
+  q.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto est = estimator.EstimateCardinality(queries[i]);
+    DS_CHECK_OK(est.status());
+    q.push_back(util::QError(static_cast<double>(true_cards[i]), *est));
+  }
+  return q;
+}
+
+void PrintQErrorTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& [name, qerrors] : rows) {
+    auto s = util::QErrorSummary::FromQErrors(qerrors);
+    cells.push_back({name, util::FormatQ(s.median), util::FormatQ(s.p90),
+                     util::FormatQ(s.p95), util::FormatQ(s.p99),
+                     util::FormatQ(s.max), util::FormatQ(s.mean)});
+  }
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s", util::FormatTable({"estimator", "median", "90th", "95th",
+                                       "99th", "max", "mean"},
+                                      cells)
+                        .c_str());
+}
+
+}  // namespace ds::bench

@@ -1,0 +1,57 @@
+// Shared setup and reporting for the benchmark harnesses (one binary per
+// paper table/figure — see DESIGN.md §3). Each binary accepts simple
+// name=value command line overrides, e.g.:
+//
+//   ./bench_table1_joblight titles=10000 queries=4000 epochs=20
+//
+// so the full-scale paper configuration and quick smoke runs share code.
+
+#ifndef DS_BENCH_BENCH_UTIL_H_
+#define DS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/est/estimator.h"
+#include "ds/storage/catalog.h"
+#include "ds/util/stats.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::bench {
+
+/// name=value argument parsing with typed getters.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// The JOB-light table subset of the IMDb schema.
+std::vector<std::string> JobLightTables();
+
+/// Per-query q-errors of `estimator` on a workload with known truths.
+/// Aborts on estimation errors (benchmarks run on valid inputs).
+std::vector<double> QErrorsOn(
+    const est::CardinalityEstimator& estimator,
+    const std::vector<workload::QuerySpec>& queries,
+    const std::vector<uint64_t>& true_cards);
+
+/// Prints the paper-style q-error table (median 90th 95th 99th max mean),
+/// one row per estimator.
+void PrintQErrorTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& rows);
+
+}  // namespace ds::bench
+
+#endif  // DS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every recorded benchmark output using the bench binaries'
+# default (paper-scale) configurations — roughly an hour on one CPU core.
+# Each output records its configuration; runs are deterministic per seed.
+set -e
+cd "$(dirname "$0")/.."
+R=bench_results
+for b in table1_joblight estimation_latency template_queries zero_tuple \
+         generalization training_cost ablation_bitmaps ablation_samples \
+         sketch_footprint plan_quality; do
+  ./build/bench/bench_$b > $R/$b.txt
+  echo "done: $b"
+done

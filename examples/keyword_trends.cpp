@@ -1,0 +1,145 @@
+// The paper's motivating example (§1): "a movie producer might be
+// interested in the popularity of a certain keyword over time:
+//
+//   SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k
+//   WHERE mk.movie_id=t.id AND mk.keyword_id=k.id
+//   AND k.keyword='artificial-intelligence' AND t.production_year=?"
+//
+// This example trains a sketch over {title, movie_keyword, keyword},
+// expands the '?' template from the sketch's column sample grouped into
+// year buckets, and renders the estimated-vs-true series as an ASCII chart
+// (the demo's Figure 2, in a terminal).
+//
+// Run:  ./build/examples/keyword_trends [keyword]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/datagen/imdb.h"
+#include "ds/est/truth.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/sketch/template.h"
+
+using namespace ds;
+
+int main(int argc, char** argv) {
+  std::string keyword = argc > 1 ? argv[1] : "";
+
+  std::printf("Generating synthetic IMDb and training a sketch...\n");
+  datagen::ImdbOptions imdb;
+  imdb.num_titles = 12'000;
+  auto catalog = datagen::GenerateImdb(imdb);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const storage::Catalog& db = **catalog;
+
+  sketch::SketchConfig config;
+  config.tables = {"title", "movie_keyword", "keyword"};
+  config.num_samples = 512;
+  config.num_training_queries = 8'000;
+  config.num_epochs = 25;
+  config.seed = 17;
+  auto sk = sketch::DeepSketch::Train(db, config);
+  if (!sk.ok()) {
+    std::fprintf(stderr, "%s\n", sk.status().ToString().c_str());
+    return 1;
+  }
+
+  // Like the demo UI, offer the user a keyword the sketch actually knows:
+  // default to the most movie-tagged keyword present in the sketch's
+  // keyword sample (pass one explicitly as argv[1] to override). The UI's
+  // SQL joins the keyword dimension so users can click a name; the backend
+  // resolves the name to its key and counts from title x movie_keyword —
+  // which is also the formulation whose sample bitmap carries the keyword's
+  // popularity signal into the MSCN.
+  const storage::Table* kw = db.GetTable("keyword").value();
+  const storage::Column* kw_name = kw->GetColumn("keyword").value();
+  const storage::Column* kw_id = kw->GetColumn("id").value();
+  int64_t keyword_id = -1;
+  if (keyword.empty()) {
+    const est::TableSample* ks = sk->samples().Get("keyword").value();
+    const storage::Column* kid = ks->rows->GetColumn("id").value();
+    const storage::Column* kname = ks->rows->GetColumn("keyword").value();
+    std::unordered_map<int64_t, size_t> freq;
+    const storage::Table* mk = db.GetTable("movie_keyword").value();
+    const storage::Column* col = mk->GetColumn("keyword_id").value();
+    for (size_t r = 0; r < mk->num_rows(); ++r) freq[col->GetInt(r)]++;
+    size_t best = 0;
+    for (size_t r = 0; r < ks->rows->num_rows(); ++r) {
+      if (freq[kid->GetInt(r)] > best) {
+        best = freq[kid->GetInt(r)];
+        keyword = kname->GetString(r);
+        keyword_id = kid->GetInt(r);
+      }
+    }
+  } else {
+    for (size_t r = 0; r < kw->num_rows(); ++r) {
+      if (kw_name->GetString(r) == keyword) keyword_id = kw_id->GetInt(r);
+    }
+    if (keyword_id < 0) {
+      std::fprintf(stderr, "keyword '%s' not found\n", keyword.c_str());
+      return 1;
+    }
+  }
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id AND mk.keyword_id = " +
+      std::to_string(keyword_id) + " AND t.production_year = ?";
+  std::printf("\nKeyword: '%s'\nTemplate: %s\n", keyword.c_str(),
+              sql.c_str());
+
+  auto bound = sk->BindSql(sql);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  sketch::TemplateOptions topts;
+  topts.grouping = sketch::TemplateOptions::Grouping::kBuckets;
+  topts.num_buckets = 12;
+  auto instances = sketch::InstantiateTemplate(*bound, sk->samples(), topts);
+  if (!instances.ok()) {
+    std::fprintf(stderr, "%s\n", instances.status().ToString().c_str());
+    return 1;
+  }
+
+  est::TrueCardinality truth(&db);
+  struct Point {
+    std::string label;
+    double truth;
+    double estimate;
+  };
+  std::vector<Point> points;
+  double max_val = 1;
+  for (const auto& inst : *instances) {
+    Point p;
+    p.label = inst.label;
+    p.truth = truth.EstimateCardinality(inst.spec).value_or(0);
+    p.estimate = sk->EstimateCardinality(inst.spec).value_or(0);
+    max_val = std::max({max_val, p.truth, p.estimate});
+    points.push_back(std::move(p));
+  }
+
+  std::printf("\n%-22s %8s %8s  chart (#=true, o=Deep Sketch)\n", "years",
+              "true", "sketch");
+  const int width = 40;
+  for (const auto& p : points) {
+    int t = static_cast<int>(p.truth / max_val * width);
+    int e = static_cast<int>(p.estimate / max_val * width);
+    std::string bar(width + 1, ' ');
+    for (int i = 0; i < t; ++i) bar[i] = '#';
+    bar[std::min(e, width)] = 'o';
+    std::printf("%-22s %8.0f %8.0f  |%s|\n", p.label.c_str(), p.truth,
+                p.estimate, bar.c_str());
+  }
+  std::printf(
+      "\nNote: the template drew its year values from the sketch's column "
+      "sample;\nmany were never seen verbatim during training (footnote 1 "
+      "of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Closing the loop the paper motivates (§1): cardinality estimates are
+// "the core ingredient to cost-based query optimizers". This example plugs
+// three estimate sources — the trained Deep Sketch, the PostgreSQL-style
+// baseline, and the ground truth — into the same left-deep C_out join-order
+// optimizer and shows, for a few JOB-light queries, which join order each
+// one picks and what that order actually costs.
+//
+// Run:  ./build/examples/optimizer_demo
+
+#include <cstdio>
+#include <string>
+
+#include "ds/datagen/imdb.h"
+#include "ds/est/postgres.h"
+#include "ds/est/truth.h"
+#include "ds/exec/optimizer.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/util/string_util.h"
+#include "ds/workload/joblight.h"
+
+using namespace ds;
+
+int main() {
+  std::printf("Generating synthetic IMDb and training a sketch...\n");
+  datagen::ImdbOptions imdb;
+  imdb.num_titles = 8'000;
+  auto catalog = datagen::GenerateImdb(imdb);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const storage::Catalog& db = **catalog;
+
+  sketch::SketchConfig config;
+  config.tables = {"title",      "movie_keyword", "movie_companies",
+                   "cast_info",  "movie_info",    "movie_info_idx"};
+  config.num_samples = 256;
+  config.num_training_queries = 5'000;
+  config.num_epochs = 20;
+  config.seed = 3;
+  auto sk = sketch::DeepSketch::Train(db, config);
+  if (!sk.ok()) {
+    std::fprintf(stderr, "%s\n", sk.status().ToString().c_str());
+    return 1;
+  }
+
+  est::TrueCardinality truth(&db);
+  est::PostgresEstimator postgres(&db);
+  exec::JoinOrderOptimizer truth_opt(&db, &truth);
+  exec::JoinOrderOptimizer sketch_opt(&db, &*sk);
+  exec::JoinOrderOptimizer pg_opt(&db, &postgres);
+
+  workload::JobLightOptions jl;
+  jl.num_queries = 30;
+  jl.seed = 404;
+  auto workload = workload::MakeJobLight(db, jl);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t shown = 0;
+  for (const auto& spec : *workload) {
+    if (spec.tables.size() < 4) continue;  // interesting orders only
+    if (++shown > 3) break;
+    std::printf("\nquery: %s\n", spec.ToSql().c_str());
+
+    auto optimal = truth_opt.Optimize(spec);
+    if (!optimal.ok() || optimal->cost <= 0) continue;
+    struct Row {
+      const char* who;
+      exec::JoinOrderOptimizer* opt;
+    };
+    for (const auto& [who, opt] : {Row{"true cards ", &truth_opt},
+                                   Row{"Deep Sketch", &sketch_opt},
+                                   Row{"PostgreSQL ", &pg_opt}}) {
+      auto plan = opt->Optimize(spec);
+      if (!plan.ok()) continue;
+      auto true_cost = truth_opt.CostOfOrder(spec, plan->order);
+      if (!true_cost.ok()) continue;
+      std::printf("  %s picks  %-60s  true C_out %10.0f  (%.2fx optimal)\n",
+                  who, util::Join(plan->order, " > ").c_str(), *true_cost,
+                  *true_cost / optimal->cost);
+    }
+  }
+  std::printf(
+      "\nBetter estimates put the most selective tables first; a plan "
+      "chosen from\nmisestimates pays its true cost at execution time.\n");
+  return 0;
+}

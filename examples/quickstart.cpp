@@ -1,0 +1,139 @@
+// Quickstart: create a Deep Sketch on the synthetic IMDb, monitor training,
+// estimate ad-hoc SQL queries, and compare against the baselines and the
+// ground truth — the end-to-end flow of Figure 1.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "ds/datagen/imdb.h"
+#include "ds/est/hyper.h"
+#include "ds/est/postgres.h"
+#include "ds/est/truth.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/util/string_util.h"
+#include "ds/util/timer.h"
+
+using namespace ds;
+
+int main() {
+  // 1. A database. (The demo uses IMDb; we generate a correlated synthetic
+  //    IMDb of the same schema — see DESIGN.md.)
+  std::printf("Generating synthetic IMDb...\n");
+  datagen::ImdbOptions imdb;
+  imdb.num_titles = 8000;
+  auto catalog = datagen::GenerateImdb(imdb);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  const storage::Catalog& db = **catalog;
+  for (const auto* table : db.tables()) {
+    std::printf("  %-18s %8zu rows\n", table->name().c_str(),
+                table->num_rows());
+  }
+
+  // 2. Define and train a Deep Sketch (Figure 1a).
+  sketch::SketchConfig config;
+  config.tables = {"title", "movie_keyword", "keyword"};
+  config.num_samples = 128;
+  config.num_training_queries = 6000;
+  config.num_epochs = 20;
+  config.hidden_units = 64;
+  config.seed = 7;
+
+  sketch::TrainingMonitor monitor;
+  monitor.on_labeling_progress = [](size_t done, size_t total) {
+    if (done % 1000 == 0 || done == total) {
+      std::printf("  labeled %zu/%zu training queries\r", done, total);
+      std::fflush(stdout);
+    }
+  };
+  monitor.on_epoch = [](const mscn::EpochStats& e) {
+    std::printf("\n  epoch %2zu  train-loss %7.2f  val mean-q %6.2f  "
+                "val median-q %5.2f  (%.1fs)",
+                e.epoch, e.train_loss, e.validation_mean_q,
+                e.validation_median_q, e.seconds);
+  };
+
+  std::printf("Training a sketch on {title, movie_keyword, keyword}...\n");
+  util::WallTimer timer;
+  auto trained = sketch::DeepSketch::Train(db, config, &monitor);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  sketch::DeepSketch& sketch = *trained;
+  std::printf("\nTrained in %.1fs; %zu model parameters; sketch size %s\n",
+              timer.ElapsedSeconds(), sketch.num_model_parameters(),
+              util::HumanBytes(sketch.SerializedSize()).c_str());
+
+  // 3. Estimate ad-hoc SQL (Figure 1b) and compare with the baselines.
+  est::TrueCardinality truth(&db);
+  est::PostgresEstimator postgres(&db);
+  auto samples = est::SampleSet::Build(db, config.num_samples, /*seed=*/123);
+  est::HyperEstimator hyper(&db, &*samples);
+
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM title t WHERE t.production_year > 2010;",
+      "SELECT COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id AND t.production_year = 2015;",
+      "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k "
+      "WHERE mk.movie_id = t.id AND mk.keyword_id = k.id "
+      "AND k.keyword = 'artificial-intelligence' "
+      "AND t.production_year > 2000;",
+      // The same count with the keyword name resolved to its key (id 4),
+      // as the demo backend does: now the movie_keyword sample bitmap
+      // carries the keyword's popularity and the estimate sharpens.
+      "SELECT COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id AND mk.keyword_id = 4 "
+      "AND t.production_year > 2000;",
+  };
+  std::printf("\n%-24s %12s %12s %12s %12s\n", "query", "true",
+              "Deep Sketch", "HyPer", "PostgreSQL");
+  for (const char* sql : queries) {
+    auto spec = sql::ParseAndBind(db, sql);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bind failed: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    auto t = truth.EstimateCardinality(*spec);
+    auto s = sketch.EstimateSql(sql);
+    auto h = hyper.EstimateCardinality(*spec);
+    auto p = postgres.EstimateCardinality(*spec);
+    if (!t.ok() || !s.ok() || !h.ok() || !p.ok()) {
+      std::fprintf(stderr, "estimation failed\n");
+      return 1;
+    }
+    std::string shortened(sql);
+    shortened = shortened.substr(0, 21) + "...";
+    std::printf("%-24s %12.0f %12.0f %12.0f %12.0f\n", shortened.c_str(), *t,
+                *s, *h, *p);
+  }
+
+  std::printf(
+      "\n(Queries 3 and 4 count the same thing. Filtering through the "
+      "keyword\ndimension hides the keyword's popularity from the model — "
+      "one row among\nthousands in the keyword sample; resolving the name "
+      "to its key first, as\nthe demo backend does, restores the signal.)\n");
+
+  // 4. Persist and reload: a sketch is a single self-contained file.
+  const std::string path = "/tmp/quickstart.sketch";
+  if (auto st = sketch.Save(path); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = sketch::DeepSketch::Load(path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  auto check = reloaded->EstimateSql(queries[1]);
+  std::printf("\nReloaded sketch from %s; estimate check: %.0f\n",
+              path.c_str(), check.value_or(-1));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Result-size previewing (§1): "Often, rough estimates are sufficient to
+// inform users whether executing a certain query would be worthwhile...
+// Deep Sketches could be deployed in a web browser or within a cell phone
+// to preview query results."
+//
+// This example simulates that deployment: a sketch is trained once on a
+// "server" (with database access), persisted, and then reloaded by a
+// "client" that has NO database — only the sketch file — and previews a
+// batch of queries, deciding which would be worth executing. Wall-clock
+// numbers contrast preview cost vs. execution cost.
+//
+// Run:  ./build/examples/result_preview
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ds/datagen/imdb.h"
+#include "ds/exec/executor.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/sql/binder.h"
+#include "ds/util/string_util.h"
+#include "ds/util/timer.h"
+
+using namespace ds;
+
+int main() {
+  const std::string sketch_path = "/tmp/result_preview.sketch";
+
+  // ---- "Server": train and persist a sketch -------------------------------
+  datagen::ImdbOptions imdb;
+  imdb.num_titles = 12'000;
+  auto catalog = datagen::GenerateImdb(imdb);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const storage::Catalog& db = **catalog;
+  {
+    sketch::SketchConfig config;
+    config.tables = {"title", "movie_keyword", "cast_info", "movie_info"};
+    config.num_samples = 256;
+    config.num_training_queries = 6'000;
+    config.num_epochs = 20;
+    config.seed = 23;
+    std::printf("[server] training sketch...\n");
+    auto sk = sketch::DeepSketch::Train(db, config);
+    if (!sk.ok()) {
+      std::fprintf(stderr, "%s\n", sk.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = sk->Save(sketch_path); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("[server] shipped %s to the client (%s)\n",
+                sketch_path.c_str(),
+                util::HumanBytes(sk->SerializedSize()).c_str());
+  }
+
+  // ---- "Client": preview with the sketch file alone ------------------------
+  auto client = sketch::DeepSketch::Load(sketch_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> queries = {
+      "SELECT COUNT(*) FROM title WHERE production_year > 2010",
+      "SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id = t.id",
+      "SELECT COUNT(*) FROM title t, cast_info ci "
+      "WHERE ci.movie_id = t.id AND ci.role_id = 2 "
+      "AND t.production_year > 2005",
+      "SELECT COUNT(*) FROM title t, movie_keyword mk, movie_info mi "
+      "WHERE mk.movie_id = t.id AND mi.movie_id = t.id "
+      "AND t.kind_id = 7",
+      "SELECT COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id AND t.production_year = 1955",
+  };
+
+  const double kWorthwhileLimit = 50'000;  // rows the user wants to eyeball
+  std::printf("\n[client] previewing %zu queries with the sketch only:\n\n",
+              queries.size());
+  std::printf("%-9s %12s %10s  %s\n", "preview", "estimate", "latency",
+              "verdict");
+  util::WallTimer total;
+  for (const auto& sql : queries) {
+    util::WallTimer timer;
+    auto est = client->EstimateSql(sql);
+    double ms = timer.ElapsedMillis();
+    if (!est.ok()) {
+      std::fprintf(stderr, "%s\n", est.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-9s %12.0f %8.2fms  %s\n", "",
+                *est, ms,
+                *est > kWorthwhileLimit ? "too big -- refine the query"
+                                        : "worth executing");
+  }
+  std::printf("[client] all previews in %.1fms total\n", total.ElapsedMillis());
+
+  // ---- Contrast: what executing everything would have cost -----------------
+  exec::Executor executor(&db);
+  util::WallTimer exec_timer;
+  std::printf("\n[server] executing the same queries for comparison:\n");
+  for (const auto& sql : queries) {
+    auto spec = sql::ParseAndBind(db, sql).value();
+    auto n = executor.Count(spec);
+    std::printf("  true count %10llu   (%s)\n",
+                static_cast<unsigned long long>(n.value_or(0)),
+                sql.substr(0, 60).c_str());
+  }
+  std::printf("[server] execution took %.0fms vs %.1fms of previews\n",
+              exec_timer.ElapsedMillis(), total.ElapsedMillis());
+  return 0;
+}

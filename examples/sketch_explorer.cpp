@@ -1,0 +1,167 @@
+// sketch_explorer: a terminal version of the paper's demonstration UI (§3).
+//
+// The web demo lets users create sketches on TPC-H or IMDb, monitor
+// training, and issue ad-hoc queries against trained sketches with true
+// cardinalities and baseline estimates overlaid. This CLI offers the same
+// loop:
+//
+//   show tables                 list the schema (the demo's clickable table
+//                               pane)
+//   show sketches               list trained sketches (SHOW SKETCHES)
+//   create <name> t1,t2,...     define + train a sketch on a table subset
+//   use <name>                  select a sketch
+//   <SQL>                       estimate COUNT(*) SQL with the selected
+//                               sketch, overlaying HyPer/PostgreSQL/truth
+//   quit
+//
+// Run interactively:       ./build/examples/sketch_explorer imdb
+// Run a scripted session:  echo "..." | ./build/examples/sketch_explorer tpch
+//
+// The dataset argument selects the synthetic IMDb (default) or TPC-H.
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "ds/datagen/imdb.h"
+#include "ds/datagen/tpch.h"
+#include "ds/est/hyper.h"
+#include "ds/est/postgres.h"
+#include "ds/est/truth.h"
+#include "ds/sketch/manager.h"
+#include "ds/util/string_util.h"
+
+using namespace ds;
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "imdb";
+
+  std::unique_ptr<storage::Catalog> catalog;
+  if (dataset == "imdb") {
+    datagen::ImdbOptions opts;
+    opts.num_titles = 10'000;
+    catalog = datagen::GenerateImdb(opts).value();
+  } else if (dataset == "tpch") {
+    datagen::TpchOptions opts;
+    opts.num_customers = 2'000;
+    catalog = datagen::GenerateTpch(opts).value();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s' (imdb|tpch)\n",
+                 dataset.c_str());
+    return 1;
+  }
+  const storage::Catalog& db = *catalog;
+
+  const std::string dir = "/tmp/ds_sketches_" + dataset;
+  std::filesystem::create_directories(dir);
+  sketch::SketchManager manager(catalog.get(), dir);
+
+  est::TrueCardinality truth(catalog.get());
+  est::PostgresEstimator postgres(catalog.get());
+  auto samples = est::SampleSet::Build(db, 256, 1234).value();
+  est::HyperEstimator hyper(catalog.get(), &samples);
+
+  std::string current;
+  std::printf("deep sketch explorer — dataset: %s. Type 'help'.\n",
+              dataset.c_str());
+  std::string line;
+  while (true) {
+    std::printf("sketch> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string cmd(util::Trim(line));
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::printf(
+          "  show tables | show sketches | create <name> <t1,t2,...> |\n"
+          "  use <name> | SELECT COUNT(*) FROM ... | quit\n");
+      continue;
+    }
+    if (cmd == "show tables") {
+      for (const auto* table : db.tables()) {
+        std::printf("  %-18s %8zu rows, %zu columns\n", table->name().c_str(),
+                    table->num_rows(), table->num_columns());
+      }
+      continue;
+    }
+    if (cmd == "show sketches") {
+      auto names = manager.ListSketches();
+      if (names.empty()) std::printf("  (none — try 'create')\n");
+      for (const auto& name : names) {
+        std::printf("  %s%s\n", name.c_str(),
+                    name == current ? "   [selected]" : "");
+      }
+      continue;
+    }
+    if (util::StartsWith(cmd, "create ")) {
+      std::istringstream in(cmd.substr(7));
+      std::string name, tables_csv;
+      in >> name >> tables_csv;
+      sketch::SketchConfig config;
+      if (!tables_csv.empty()) config.tables = util::Split(tables_csv, ',');
+      config.num_samples = 256;
+      config.num_training_queries = 4'000;
+      config.num_epochs = 20;
+      sketch::TrainingMonitor monitor;
+      monitor.on_labeling_progress = [](size_t done, size_t total) {
+        if (done % 1000 == 0 || done == total) {
+          std::printf("  labeling %zu/%zu\r", done, total);
+          std::fflush(stdout);
+        }
+      };
+      monitor.on_epoch = [](const mscn::EpochStats& e) {
+        std::printf("  epoch %2zu/20: val mean q-error %.2f\n", e.epoch,
+                    e.validation_mean_q);
+      };
+      auto created = manager.CreateSketch(name, config, &monitor);
+      if (!created.ok()) {
+        std::printf("  error: %s\n", created.status().ToString().c_str());
+      } else {
+        std::printf("  sketch '%s' trained and saved (%s)\n", name.c_str(),
+                    util::HumanBytes((*created)->SerializedSize()).c_str());
+        current = name;
+      }
+      continue;
+    }
+    if (util::StartsWith(cmd, "use ")) {
+      std::string name(util::Trim(cmd.substr(4)));
+      if (manager.GetSketch(name).ok()) {
+        current = name;
+        std::printf("  using '%s'\n", name.c_str());
+      } else {
+        std::printf("  no sketch '%s'\n", name.c_str());
+      }
+      continue;
+    }
+
+    // Anything else: treat as SQL, estimate with everything (the demo's
+    // EXECUTE button).
+    if (current.empty()) {
+      std::printf("  select a sketch first ('create' or 'use')\n");
+      continue;
+    }
+    auto sk = manager.GetSketch(current);
+    auto estimate = (*sk)->EstimateSql(cmd);
+    if (!estimate.ok()) {
+      std::printf("  error: %s\n", estimate.status().ToString().c_str());
+      continue;
+    }
+    auto spec = sql::ParseAndBind(db, cmd);
+    double t = truth.EstimateCardinality(*spec).value_or(-1);
+    double h = hyper.EstimateCardinality(*spec).value_or(-1);
+    double p = postgres.EstimateCardinality(*spec).value_or(-1);
+    std::printf("  true        %12.0f\n", t);
+    std::printf("  Deep Sketch %12.0f   (q-error %.2f)\n", *estimate,
+                util::QError(t, *estimate));
+    std::printf("  HyPer       %12.0f   (q-error %.2f)\n", h,
+                util::QError(t, h));
+    std::printf("  PostgreSQL  %12.0f   (q-error %.2f)\n", p,
+                util::QError(t, p));
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The demo's second dataset: TPC-H (§1, §3). TPC-H data is by spec mostly
+// uniform and independent — the easy contrast case where traditional
+// estimators already do well and a Deep Sketch must at least match them.
+// This example trains a sketch over the order-pipeline tables and compares
+// all estimators on a handful of classic TPC-H-flavored counting queries.
+//
+// Run:  ./build/examples/tpch_preview
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ds/datagen/tpch.h"
+#include "ds/est/hyper.h"
+#include "ds/est/postgres.h"
+#include "ds/est/truth.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/util/stats.h"
+
+using namespace ds;
+
+int main() {
+  std::printf("Generating synthetic TPC-H...\n");
+  datagen::TpchOptions opts;
+  opts.num_customers = 3'000;
+  auto catalog = datagen::GenerateTpch(opts);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const storage::Catalog& db = **catalog;
+  for (const auto* table : db.tables()) {
+    std::printf("  %-10s %8zu rows\n", table->name().c_str(),
+                table->num_rows());
+  }
+
+  sketch::SketchConfig config;
+  config.tables = {"customer", "orders", "lineitem", "part", "supplier"};
+  config.num_samples = 256;
+  config.num_training_queries = 12'000;
+  config.num_epochs = 30;
+  config.seed = 5;
+  std::printf("Training a sketch on the order pipeline...\n");
+  auto sk = sketch::DeepSketch::Train(db, config);
+  if (!sk.ok()) {
+    std::fprintf(stderr, "%s\n", sk.status().ToString().c_str());
+    return 1;
+  }
+
+  est::TrueCardinality truth(&db);
+  est::PostgresEstimator postgres(&db);
+  auto samples = est::SampleSet::Build(db, 256, 77).value();
+  est::HyperEstimator hyper(&db, &samples);
+
+  const std::vector<std::string> queries = {
+      // Q1-flavored: recent lineitems.
+      "SELECT COUNT(*) FROM lineitem WHERE l_shipdate > 2300",
+      // Q3-flavored: building-segment customers' lineitems.
+      "SELECT COUNT(*) FROM customer c, orders o, lineitem l "
+      "WHERE o.o_custkey = c.c_custkey AND l.l_orderkey = o.o_orderkey "
+      "AND c.c_mktsegment = 'BUILDING' AND o.o_orderdate < 1000",
+      // Q6-flavored: discounted small quantities.
+      "SELECT COUNT(*) FROM lineitem "
+      "WHERE l_quantity < 24 AND l_discount > 0.05",
+      // Q12-flavored: ship-mode counts across the join.
+      "SELECT COUNT(*) FROM orders o, lineitem l "
+      "WHERE l.l_orderkey = o.o_orderkey AND l.l_shipmode = 'MAIL'",
+      // Part-supplier flavored.
+      "SELECT COUNT(*) FROM lineitem l, part p "
+      "WHERE l.l_partkey = p.p_partkey AND p.p_size > 40",
+  };
+
+  std::printf("\n%10s %14s %10s %12s   query\n", "true", "Deep Sketch",
+              "HyPer", "PostgreSQL");
+  std::vector<double> qs, qh, qp;
+  for (const auto& sql : queries) {
+    auto spec = sql::ParseAndBind(db, sql);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    double t = truth.EstimateCardinality(*spec).value_or(-1);
+    double s = sk->EstimateSql(sql).value_or(-1);
+    double h = hyper.EstimateCardinality(*spec).value_or(-1);
+    double p = postgres.EstimateCardinality(*spec).value_or(-1);
+    std::printf("%10.0f %14.0f %10.0f %12.0f   %.48s...\n", t, s, h, p,
+                sql.c_str());
+    qs.push_back(util::QError(t, s));
+    qh.push_back(util::QError(t, h));
+    qp.push_back(util::QError(t, p));
+  }
+  std::printf("\nmean q-error: Deep Sketch %.2f | HyPer %.2f | PostgreSQL %.2f\n",
+              util::Mean(qs), util::Mean(qh), util::Mean(qp));
+  std::printf(
+      "TPC-H is near-independent by construction, so all estimators are "
+      "close —\nexactly the contrast to the correlated IMDb the demo "
+      "intends.\n");
+  return 0;
+}

@@ -1,0 +1,398 @@
+#include "ds/datagen/imdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "ds/util/random.h"
+
+namespace ds::datagen {
+
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::ColumnType;
+using storage::Table;
+using util::Pcg32;
+using util::ZipfDistribution;
+
+// Per-keyword popularity profile: a peak year and spread driving the
+// keyword ⨯ production_year correlation.
+struct KeywordProfile {
+  double peak_year;
+  double spread;
+};
+
+// Geometric-ish fan-out: 1 + number of failures before success, capped.
+size_t FanOut(Pcg32* rng, double mean, size_t cap) {
+  const double p = 1.0 / mean;
+  size_t n = 1;
+  while (n < cap && !rng->Chance(p)) ++n;
+  return n;
+}
+
+// Draws a production year: mixture of a thin uniform floor and a strong
+// bias towards recent decades (as in the real IMDb).
+int64_t SampleYear(Pcg32* rng) {
+  if (rng->Chance(0.12)) {
+    return rng->UniformInt(kImdbMinYear, kImdbMaxYear);
+  }
+  // Mass concentrated towards the max year (u^(1/3) mapping).
+  double u = std::pow(rng->UniformDouble(), 1.0 / 3.0);
+  int64_t span = kImdbMaxYear - kImdbMinYear;
+  return kImdbMinYear + static_cast<int64_t>(u * static_cast<double>(span));
+}
+
+std::string MakeKeywordString(size_t i) {
+  // Deterministic readable keywords; a few named ones exist at fixed ranks
+  // so examples can query them ("artificial-intelligence" is rank 3).
+  static const char* kNamed[] = {
+      "based-on-novel",  "murder",       "independent-film",
+      "artificial-intelligence", "love", "female-nudity",
+      "character-name-in-title", "revenge", "sequel", "robot",
+  };
+  if (i < sizeof(kNamed) / sizeof(kNamed[0])) return kNamed[i];
+  return "keyword-" + std::to_string(i);
+}
+
+std::string MakeCompanyString(size_t i) {
+  static const char* kNamed[] = {
+      "warner-bros", "universal-pictures", "columbia-pictures",
+      "paramount",   "twentieth-century-fox",
+  };
+  if (i < sizeof(kNamed) / sizeof(kNamed[0])) return kNamed[i];
+  return "company-" + std::to_string(i);
+}
+
+const char* kCountryCodes[] = {"[us]", "[gb]", "[de]", "[fr]", "[jp]",
+                               "[in]", "[it]", "[ca]", "[es]", "[se]"};
+constexpr size_t kNumCountries = sizeof(kCountryCodes) / sizeof(kCountryCodes[0]);
+
+}  // namespace
+
+Result<std::unique_ptr<Catalog>> GenerateImdb(const ImdbOptions& options) {
+  if (options.num_titles == 0) {
+    return Status::InvalidArgument("num_titles must be positive");
+  }
+  if (options.correlation < 0 || options.correlation > 1) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+  auto catalog = std::make_unique<Catalog>();
+  Pcg32 rng(options.seed);
+
+  const size_t num_titles = options.num_titles;
+  const size_t num_keywords = std::max<size_t>(
+      20, static_cast<size_t>(static_cast<double>(num_titles) / 5.0 *
+                              options.dimension_scale));
+  const size_t num_companies = std::max<size_t>(
+      10, static_cast<size_t>(static_cast<double>(num_titles) / 10.0 *
+                              options.dimension_scale));
+
+  // ---- keyword -------------------------------------------------------------
+  std::vector<KeywordProfile> kw_profiles(num_keywords);
+  {
+    DS_ASSIGN_OR_RETURN(Table * keyword, catalog->CreateTable("keyword"));
+    Column* id = keyword->AddColumn("id", ColumnType::kInt64).value();
+    Column* kw = keyword->AddColumn("keyword", ColumnType::kCategorical).value();
+    Column* pc =
+        keyword->AddColumn("phonetic_code", ColumnType::kCategorical).value();
+    for (size_t i = 0; i < num_keywords; ++i) {
+      id->AppendInt(static_cast<int64_t>(i + 1));
+      kw->AppendString(MakeKeywordString(i));
+      pc->AppendString("P" + std::to_string(i % 26));
+      kw_profiles[i].peak_year =
+          static_cast<double>(rng.UniformInt(1930, kImdbMaxYear));
+      kw_profiles[i].spread = rng.UniformDouble(2.0, 10.0);
+    }
+  }
+
+  // ---- company_name ----------------------------------------------------------
+  // Each company has an era affinity (mean active year) and a home country
+  // correlated with its era bucket.
+  std::vector<double> company_era(num_companies);
+  {
+    DS_ASSIGN_OR_RETURN(Table * cn, catalog->CreateTable("company_name"));
+    Column* id = cn->AddColumn("id", ColumnType::kInt64).value();
+    Column* name = cn->AddColumn("name", ColumnType::kCategorical).value();
+    Column* cc =
+        cn->AddColumn("country_code", ColumnType::kCategorical).value();
+    for (size_t i = 0; i < num_companies; ++i) {
+      id->AppendInt(static_cast<int64_t>(i + 1));
+      name->AppendString(MakeCompanyString(i));
+      company_era[i] = static_cast<double>(rng.UniformInt(1930, kImdbMaxYear));
+      // Country correlates with era: older companies skew [us]/[gb],
+      // newer ones spread over all countries.
+      size_t country;
+      if (company_era[i] < 1975 && rng.Chance(0.7)) {
+        country = rng.Bounded(2);  // us / gb
+      } else {
+        country = rng.Bounded(kNumCountries);
+      }
+      cc->AppendString(kCountryCodes[country]);
+    }
+  }
+
+  // ---- title ---------------------------------------------------------------
+  std::vector<int64_t> title_year(num_titles);
+  std::vector<int64_t> title_kind(num_titles);
+  // Per-title popularity: one heavy-tailed factor drives the fan-out of
+  // *every* fact table (blockbusters have more keywords AND more cast AND
+  // more info rows). This joint fan-out correlation is what makes multi-join
+  // cardinalities deviate wildly from per-join independence — the central
+  // difficulty of the real IMDb that estimators relying on independent join
+  // selectivities cannot see.
+  std::vector<double> title_pop(num_titles);
+  {
+    DS_ASSIGN_OR_RETURN(Table * title, catalog->CreateTable("title"));
+    Column* id = title->AddColumn("id", ColumnType::kInt64).value();
+    Column* kind = title->AddColumn("kind_id", ColumnType::kInt64).value();
+    Column* year =
+        title->AddColumn("production_year", ColumnType::kInt64).value();
+    Column* season = title->AddColumn("season_nr", ColumnType::kInt64).value();
+    Column* episode =
+        title->AddColumn("episode_nr", ColumnType::kInt64).value();
+    for (size_t i = 0; i < num_titles; ++i) {
+      id->AppendInt(static_cast<int64_t>(i + 1));
+      int64_t y = SampleYear(&rng);
+      title_year[i] = y;
+      // Kind correlates strongly with year: episodes/series dominate recent
+      // years and barely exist before the TV era.
+      int64_t k;
+      if (y >= 1985 && rng.Chance(0.65)) {
+        k = rng.Chance(0.7) ? 7 : 2;  // episode, tv series
+      } else if (y < 1985 && rng.Chance(0.9)) {
+        k = rng.UniformInt(1, 4);  // movie, video, ...
+      } else {
+        k = rng.UniformInt(1, kImdbNumKinds);
+      }
+      title_kind[i] = k;
+      kind->AppendInt(k);
+      year->AppendInt(y);
+      // Popularity: Pareto tail, boosted for recent titles, damped for
+      // episodes (an individual episode is rarely a blockbuster). Fan-outs
+      // below scale with pop^0.7, which keeps the joint correlation strong
+      // while bounding the product of fan-outs across four fact tables.
+      double pop = std::min(
+          40.0, std::pow(1.0 - rng.UniformDouble(), -1.0 / 1.2));
+      if (y >= 1990) pop *= 1.5;
+      if (k == 7) pop = std::min(pop, 4.0);
+      title_pop[i] = std::pow(pop, 0.7);
+      if (k == 7) {  // episodes carry season/episode numbers
+        season->AppendInt(rng.UniformInt(1, 25));
+        episode->AppendInt(rng.UniformInt(1, 300));
+      } else {
+        season->AppendNull();
+        episode->AppendNull();
+      }
+    }
+  }
+
+  // ---- movie_keyword ---------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * mk, catalog->CreateTable("movie_keyword"));
+    Column* id = mk->AddColumn("id", ColumnType::kInt64).value();
+    Column* movie_id = mk->AddColumn("movie_id", ColumnType::kInt64).value();
+    Column* keyword_id =
+        mk->AddColumn("keyword_id", ColumnType::kInt64).value();
+    ZipfDistribution kw_zipf(num_keywords, options.zipf_skew);
+    int64_t next_id = 1;
+    for (size_t i = 0; i < num_titles; ++i) {
+      // Coverage: most old titles and many episodes are untagged. Partial,
+      // correlated coverage is what makes per-join independence fail.
+      double coverage = title_year[i] >= 1990   ? 0.8
+                        : title_year[i] >= 1960 ? 0.45
+                                                : 0.2;
+      if (title_kind[i] == 7) coverage *= 0.5;
+      if (!rng.Chance(coverage)) continue;
+      // Keyword fan-out follows the title's popularity (heavy-tailed).
+      size_t n = static_cast<size_t>(std::clamp(
+          title_pop[i] * 1.3 * rng.UniformDouble(0.6, 1.4), 1.0, 40.0));
+      for (size_t j = 0; j < n; ++j) {
+        size_t kw = 0;
+        if (rng.Chance(options.correlation)) {
+          // Peak-year sampling: rejection against the keyword's profile.
+          bool accepted = false;
+          for (int attempt = 0; attempt < 12; ++attempt) {
+            size_t cand = kw_zipf.Sample(&rng);
+            double d = (static_cast<double>(title_year[i]) -
+                        kw_profiles[cand].peak_year) /
+                       kw_profiles[cand].spread;
+            if (rng.UniformDouble() < std::exp(-0.5 * d * d)) {
+              kw = cand;
+              accepted = true;
+              break;
+            }
+          }
+          if (!accepted) kw = kw_zipf.Sample(&rng);
+        } else {
+          kw = kw_zipf.Sample(&rng);
+        }
+        id->AppendInt(next_id++);
+        movie_id->AppendInt(static_cast<int64_t>(i + 1));
+        keyword_id->AppendInt(static_cast<int64_t>(kw + 1));
+      }
+    }
+  }
+
+  // ---- movie_companies --------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * mc, catalog->CreateTable("movie_companies"));
+    Column* id = mc->AddColumn("id", ColumnType::kInt64).value();
+    Column* movie_id = mc->AddColumn("movie_id", ColumnType::kInt64).value();
+    Column* company_id =
+        mc->AddColumn("company_id", ColumnType::kInt64).value();
+    Column* ctype =
+        mc->AddColumn("company_type_id", ColumnType::kInt64).value();
+    ZipfDistribution company_zipf(num_companies, options.zipf_skew);
+    int64_t next_id = 1;
+    for (size_t i = 0; i < num_titles; ++i) {
+      double coverage = title_year[i] >= 1990 ? 0.7 : 0.4;
+      if (title_kind[i] == 7) coverage *= 0.4;
+      if (!rng.Chance(coverage)) continue;
+      size_t n = static_cast<size_t>(std::clamp(
+          1.0 + title_pop[i] * 0.3 * rng.UniformDouble(0.5, 1.5), 1.0, 8.0));
+      for (size_t j = 0; j < n; ++j) {
+        // Companies work in their era: rejection against era distance.
+        size_t comp = company_zipf.Sample(&rng);
+        if (rng.Chance(options.correlation)) {
+          for (int attempt = 0; attempt < 8; ++attempt) {
+            double d =
+                (static_cast<double>(title_year[i]) - company_era[comp]) / 10.0;
+            if (rng.UniformDouble() < std::exp(-0.5 * d * d)) break;
+            comp = company_zipf.Sample(&rng);
+          }
+        }
+        id->AppendInt(next_id++);
+        movie_id->AppendInt(static_cast<int64_t>(i + 1));
+        company_id->AppendInt(static_cast<int64_t>(comp + 1));
+        // type 1 = production (more common), 2 = distribution.
+        ctype->AppendInt(rng.Chance(0.7) ? 1 : 2);
+      }
+    }
+  }
+
+  // ---- cast_info ----------------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * ci, catalog->CreateTable("cast_info"));
+    Column* id = ci->AddColumn("id", ColumnType::kInt64).value();
+    Column* movie_id = ci->AddColumn("movie_id", ColumnType::kInt64).value();
+    Column* person_id = ci->AddColumn("person_id", ColumnType::kInt64).value();
+    Column* role_id = ci->AddColumn("role_id", ColumnType::kInt64).value();
+    const int64_t num_persons =
+        std::max<int64_t>(100, static_cast<int64_t>(num_titles) * 2);
+    int64_t next_id = 1;
+    for (size_t i = 0; i < num_titles; ++i) {
+      double coverage = title_year[i] >= 1980 ? 0.9 : 0.5;
+      if (!rng.Chance(coverage)) continue;
+      // Cast size scales with popularity; episodes list a few actors.
+      size_t n = static_cast<size_t>(std::clamp(
+          title_pop[i] * 2.5 * rng.UniformDouble(0.6, 1.4), 1.0, 60.0));
+      for (size_t j = 0; j < n; ++j) {
+        id->AppendInt(next_id++);
+        movie_id->AppendInt(static_cast<int64_t>(i + 1));
+        person_id->AppendInt(rng.UniformInt(1, num_persons));
+        // Role depends on kind and era: episodes are actor-heavy; old
+        // titles credit mostly crew roles (the correlation breaks the
+        // independence assumption for role ⨯ year conjunctions).
+        int64_t role;
+        if (title_kind[i] == 7 && rng.Chance(0.85)) {
+          role = rng.Chance(0.5) ? 1 : 2;  // actor / actress
+        } else if (title_year[i] < 1950 && rng.Chance(0.6)) {
+          role = rng.UniformInt(8, kImdbNumRoles);  // crew-heavy
+        } else {
+          role = rng.UniformInt(1, kImdbNumRoles);
+        }
+        role_id->AppendInt(role);
+      }
+    }
+  }
+
+  // ---- movie_info -----------------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * mi, catalog->CreateTable("movie_info"));
+    Column* id = mi->AddColumn("id", ColumnType::kInt64).value();
+    Column* movie_id = mi->AddColumn("movie_id", ColumnType::kInt64).value();
+    Column* info_type =
+        mi->AddColumn("info_type_id", ColumnType::kInt64).value();
+    ZipfDistribution it_zipf(static_cast<size_t>(kImdbNumInfoTypes), 0.8);
+    int64_t next_id = 1;
+    for (size_t i = 0; i < num_titles; ++i) {
+      double coverage = title_year[i] >= 1970 ? 0.75 : 0.45;
+      if (!rng.Chance(coverage)) continue;
+      size_t n = static_cast<size_t>(std::clamp(
+          title_pop[i] * 1.0 * rng.UniformDouble(0.6, 1.4), 1.0, 30.0));
+      for (size_t j = 0; j < n; ++j) {
+        id->AppendInt(next_id++);
+        movie_id->AppendInt(static_cast<int64_t>(i + 1));
+        // Info types drift with era: shift the Zipf rank window by decade.
+        int64_t base = static_cast<int64_t>(it_zipf.Sample(&rng));
+        if (rng.Chance(options.correlation)) {
+          base = (base + (title_year[i] - kImdbMinYear) / 8) %
+                 kImdbNumInfoTypes;
+        }
+        info_type->AppendInt(base + 1);
+      }
+    }
+  }
+
+  // ---- movie_info_idx -----------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * mi_idx, catalog->CreateTable("movie_info_idx"));
+    Column* id = mi_idx->AddColumn("id", ColumnType::kInt64).value();
+    Column* movie_id = mi_idx->AddColumn("movie_id", ColumnType::kInt64).value();
+    Column* info_type =
+        mi_idx->AddColumn("info_type_id", ColumnType::kInt64).value();
+    int64_t next_id = 1;
+    for (size_t i = 0; i < num_titles; ++i) {
+      // Only "notable" (popular) titles are rated/ranked at all.
+      double coverage = title_year[i] >= 1980 ? 0.35 : 0.15;
+      coverage *= std::min(2.5, 0.5 + title_pop[i] * 0.25);
+      if (title_kind[i] == 7) coverage *= 0.5;
+      if (!rng.Chance(std::min(coverage, 0.95))) continue;
+      size_t n = FanOut(&rng, 1.5, 6);
+      for (size_t j = 0; j < n; ++j) {
+        id->AppendInt(next_id++);
+        movie_id->AppendInt(static_cast<int64_t>(i + 1));
+        // Ratings (info type 101) dominate for well-known (recent) titles.
+        int64_t it;
+        if (title_year[i] >= 1980 && rng.Chance(0.65)) {
+          it = 101;
+        } else {
+          it = rng.UniformInt(kImdbMinIdxInfoType, kImdbMaxIdxInfoType);
+        }
+        info_type->AppendInt(it);
+      }
+    }
+  }
+
+  // ---- keys -----------------------------------------------------------------------
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("title", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("keyword", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("company_name", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("movie_keyword", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("movie_companies", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("cast_info", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("movie_info", "id"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("movie_info_idx", "id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("movie_keyword", "movie_id", "title", "id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("movie_keyword", "keyword_id", "keyword", "id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("movie_companies", "movie_id", "title", "id"));
+  DS_RETURN_NOT_OK(catalog->AddForeignKey("movie_companies", "company_id",
+                                          "company_name", "id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("cast_info", "movie_id", "title", "id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("movie_info", "movie_id", "title", "id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("movie_info_idx", "movie_id", "title", "id"));
+
+  DS_RETURN_NOT_OK(catalog->Validate());
+  return catalog;
+}
+
+}  // namespace ds::datagen

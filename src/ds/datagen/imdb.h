@@ -1,0 +1,81 @@
+// Synthetic IMDb generator.
+//
+// The paper demonstrates on the real IMDb because it "contains many
+// correlations and therefore proves to be very challenging for cardinality
+// estimators". We cannot ship IMDb, so this generator produces data on the
+// same schema subset (the tables JOB-light touches, plus the dimension
+// tables the demo's intro example uses) with *injected* correlations that
+// exercise the same estimator failure modes:
+//
+//  - keyword ⨯ production_year: every keyword has a popularity peak year and
+//    spread; movies predominantly get keywords fashionable in their year
+//    (this is exactly the "artificial-intelligence over time" query of §1).
+//  - company country ⨯ production_year era, and company fan-out skew.
+//  - cast role distribution depends on title kind (movies vs. series).
+//  - info types of movie_info depend on the production era.
+//  - Zipfian frequencies for keywords and companies; recent years produce
+//    more titles and more keywords per title.
+//
+// Schema (PK/FK edges are declared in the catalog):
+//   title(id, kind_id, production_year, season_nr?, episode_nr?)
+//   movie_keyword(id, movie_id→title, keyword_id→keyword)
+//   keyword(id, keyword, phonetic_code)
+//   movie_companies(id, movie_id→title, company_id→company_name,
+//                   company_type_id)
+//   company_name(id, name, country_code)
+//   cast_info(id, movie_id→title, person_id, role_id)
+//   movie_info(id, movie_id→title, info_type_id)
+//   movie_info_idx(id, movie_id→title, info_type_id)
+
+#ifndef DS_DATAGEN_IMDB_H_
+#define DS_DATAGEN_IMDB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ds/storage/catalog.h"
+
+namespace ds::datagen {
+
+struct ImdbOptions {
+  /// Number of rows in `title`; fact tables scale proportionally
+  /// (movie_keyword ≈ 3x, cast_info ≈ 6x, movie_info ≈ 5x, ...).
+  size_t num_titles = 25'000;
+
+  /// Distinct keywords ≈ num_titles / 5, companies ≈ num_titles / 10,
+  /// scaled by this factor.
+  double dimension_scale = 1.0;
+
+  /// Zipf skew of keyword and company popularity.
+  double zipf_skew = 1.05;
+
+  /// Strength of the keyword ⨯ year correlation in [0, 1]: 0 assigns
+  /// keywords independently of year, 1 uses pure peak-year sampling.
+  double correlation = 0.9;
+
+  uint64_t seed = 42;
+};
+
+/// Generates the full synthetic IMDb into a fresh catalog.
+Result<std::unique_ptr<storage::Catalog>> GenerateImdb(
+    const ImdbOptions& options);
+
+/// The year range used by the generator (inclusive); exposed so tests and
+/// workload generators can target it.
+inline constexpr int64_t kImdbMinYear = 1900;
+inline constexpr int64_t kImdbMaxYear = 2018;
+
+/// Number of title kinds (kind_id in [1, kImdbNumKinds]).
+inline constexpr int64_t kImdbNumKinds = 7;
+
+/// Number of cast roles (role_id in [1, kImdbNumRoles]).
+inline constexpr int64_t kImdbNumRoles = 11;
+
+/// info_type_id ranges for movie_info and movie_info_idx.
+inline constexpr int64_t kImdbNumInfoTypes = 110;
+inline constexpr int64_t kImdbMinIdxInfoType = 99;
+inline constexpr int64_t kImdbMaxIdxInfoType = 113;
+
+}  // namespace ds::datagen
+
+#endif  // DS_DATAGEN_IMDB_H_

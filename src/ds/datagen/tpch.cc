@@ -1,0 +1,208 @@
+#include "ds/datagen/tpch.h"
+
+#include <string>
+
+#include "ds/util/random.h"
+
+namespace ds::datagen {
+
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::ColumnType;
+using storage::Table;
+using util::Pcg32;
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",     "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",      "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",     "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",      "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+// Region of each nation, aligned with kNations.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                            "REG AIR", "SHIP", "TRUCK"};
+
+}  // namespace
+
+Result<std::unique_ptr<Catalog>> GenerateTpch(const TpchOptions& options) {
+  if (options.num_customers == 0) {
+    return Status::InvalidArgument("num_customers must be positive");
+  }
+  auto catalog = std::make_unique<Catalog>();
+  Pcg32 rng(options.seed);
+
+  const size_t num_customers = options.num_customers;
+  const size_t num_orders = num_customers * 10;
+  const size_t num_parts = std::max<size_t>(50, num_customers * 2);
+  const size_t num_suppliers = std::max<size_t>(10, num_customers / 10);
+
+  // ---- region / nation -------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * region, catalog->CreateTable("region"));
+    Column* rk = region->AddColumn("r_regionkey", ColumnType::kInt64).value();
+    Column* rn = region->AddColumn("r_name", ColumnType::kCategorical).value();
+    for (int i = 0; i < 5; ++i) {
+      rk->AppendInt(i);
+      rn->AppendString(kRegions[i]);
+    }
+  }
+  {
+    DS_ASSIGN_OR_RETURN(Table * nation, catalog->CreateTable("nation"));
+    Column* nk = nation->AddColumn("n_nationkey", ColumnType::kInt64).value();
+    Column* nn = nation->AddColumn("n_name", ColumnType::kCategorical).value();
+    Column* nr = nation->AddColumn("n_regionkey", ColumnType::kInt64).value();
+    for (int i = 0; i < 25; ++i) {
+      nk->AppendInt(i);
+      nn->AppendString(kNations[i]);
+      nr->AppendInt(kNationRegion[i]);
+    }
+  }
+
+  // ---- supplier ---------------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * supplier, catalog->CreateTable("supplier"));
+    Column* sk = supplier->AddColumn("s_suppkey", ColumnType::kInt64).value();
+    Column* sn = supplier->AddColumn("s_nationkey", ColumnType::kInt64).value();
+    Column* sb = supplier->AddColumn("s_acctbal", ColumnType::kFloat64).value();
+    for (size_t i = 0; i < num_suppliers; ++i) {
+      sk->AppendInt(static_cast<int64_t>(i + 1));
+      sn->AppendInt(rng.UniformInt(0, 24));
+      sb->AppendDouble(rng.UniformDouble(-999.99, 9999.99));
+    }
+  }
+
+  // ---- customer ---------------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * customer, catalog->CreateTable("customer"));
+    Column* ck = customer->AddColumn("c_custkey", ColumnType::kInt64).value();
+    Column* cn = customer->AddColumn("c_nationkey", ColumnType::kInt64).value();
+    Column* cm =
+        customer->AddColumn("c_mktsegment", ColumnType::kCategorical).value();
+    Column* cb = customer->AddColumn("c_acctbal", ColumnType::kFloat64).value();
+    for (size_t i = 0; i < num_customers; ++i) {
+      ck->AppendInt(static_cast<int64_t>(i + 1));
+      cn->AppendInt(rng.UniformInt(0, 24));
+      cm->AppendString(kSegments[rng.Bounded(5)]);
+      cb->AppendDouble(rng.UniformDouble(-999.99, 9999.99));
+    }
+  }
+
+  // ---- part --------------------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * part, catalog->CreateTable("part"));
+    Column* pk = part->AddColumn("p_partkey", ColumnType::kInt64).value();
+    Column* ps = part->AddColumn("p_size", ColumnType::kInt64).value();
+    Column* pb = part->AddColumn("p_brand", ColumnType::kCategorical).value();
+    Column* pc =
+        part->AddColumn("p_container", ColumnType::kCategorical).value();
+    Column* pp =
+        part->AddColumn("p_retailprice", ColumnType::kFloat64).value();
+    static const char* kContainerSize[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+    static const char* kContainerType[] = {"CASE", "BOX", "BAG", "JAR", "PKG",
+                                           "PACK", "CAN", "DRUM"};
+    for (size_t i = 0; i < num_parts; ++i) {
+      pk->AppendInt(static_cast<int64_t>(i + 1));
+      ps->AppendInt(rng.UniformInt(1, 50));
+      pb->AppendString("Brand#" + std::to_string(rng.UniformInt(1, 5)) +
+                       std::to_string(rng.UniformInt(1, 5)));
+      pc->AppendString(std::string(kContainerSize[rng.Bounded(5)]) + " " +
+                       kContainerType[rng.Bounded(8)]);
+      pp->AppendDouble(900.0 + static_cast<double>((i + 1) % 1000) / 10.0 +
+                       100.0 * rng.UniformDouble());
+    }
+  }
+
+  // ---- orders ------------------------------------------------------------------
+  std::vector<int64_t> order_date(num_orders);
+  {
+    DS_ASSIGN_OR_RETURN(Table * orders, catalog->CreateTable("orders"));
+    Column* ok = orders->AddColumn("o_orderkey", ColumnType::kInt64).value();
+    Column* oc = orders->AddColumn("o_custkey", ColumnType::kInt64).value();
+    Column* od = orders->AddColumn("o_orderdate", ColumnType::kInt64).value();
+    Column* op =
+        orders->AddColumn("o_orderpriority", ColumnType::kCategorical).value();
+    Column* ot =
+        orders->AddColumn("o_totalprice", ColumnType::kFloat64).value();
+    for (size_t i = 0; i < num_orders; ++i) {
+      ok->AppendInt(static_cast<int64_t>(i + 1));
+      oc->AppendInt(
+          rng.UniformInt(1, static_cast<int64_t>(num_customers)));
+      order_date[i] = rng.UniformInt(kTpchMinDate, kTpchMaxDate - 121);
+      od->AppendInt(order_date[i]);
+      op->AppendString(kPriorities[rng.Bounded(5)]);
+      ot->AppendDouble(rng.UniformDouble(857.71, 555285.16));
+    }
+  }
+
+  // ---- lineitem -----------------------------------------------------------------
+  {
+    DS_ASSIGN_OR_RETURN(Table * lineitem, catalog->CreateTable("lineitem"));
+    Column* li = lineitem->AddColumn("l_id", ColumnType::kInt64).value();
+    Column* lo = lineitem->AddColumn("l_orderkey", ColumnType::kInt64).value();
+    Column* lp = lineitem->AddColumn("l_partkey", ColumnType::kInt64).value();
+    Column* ls = lineitem->AddColumn("l_suppkey", ColumnType::kInt64).value();
+    Column* lq = lineitem->AddColumn("l_quantity", ColumnType::kInt64).value();
+    Column* ld = lineitem->AddColumn("l_discount", ColumnType::kFloat64).value();
+    Column* lsd = lineitem->AddColumn("l_shipdate", ColumnType::kInt64).value();
+    Column* lm =
+        lineitem->AddColumn("l_shipmode", ColumnType::kCategorical).value();
+    Column* le =
+        lineitem->AddColumn("l_extendedprice", ColumnType::kFloat64).value();
+    int64_t next_id = 1;
+    for (size_t o = 0; o < num_orders; ++o) {
+      int64_t n = rng.UniformInt(1, 7);  // TPC-H: 1..7 lineitems per order
+      for (int64_t j = 0; j < n; ++j) {
+        li->AppendInt(next_id++);
+        lo->AppendInt(static_cast<int64_t>(o + 1));
+        lp->AppendInt(rng.UniformInt(1, static_cast<int64_t>(num_parts)));
+        ls->AppendInt(rng.UniformInt(1, static_cast<int64_t>(num_suppliers)));
+        lq->AppendInt(rng.UniformInt(1, 50));
+        ld->AppendDouble(static_cast<double>(rng.UniformInt(0, 10)) / 100.0);
+        // Ship within ~4 months of the order date (the one mild
+        // correlation TPC-H itself mandates).
+        lsd->AppendInt(order_date[o] + rng.UniformInt(1, 121));
+        lm->AppendString(kShipModes[rng.Bounded(7)]);
+        le->AppendDouble(rng.UniformDouble(900.0, 105000.0));
+      }
+    }
+  }
+
+  // ---- keys -----------------------------------------------------------------------
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("region", "r_regionkey"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("nation", "n_nationkey"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("supplier", "s_suppkey"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("customer", "c_custkey"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("part", "p_partkey"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("orders", "o_orderkey"));
+  DS_RETURN_NOT_OK(catalog->SetPrimaryKey("lineitem", "l_id"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("nation", "n_regionkey", "region", "r_regionkey"));
+  DS_RETURN_NOT_OK(catalog->AddForeignKey("supplier", "s_nationkey", "nation",
+                                          "n_nationkey"));
+  DS_RETURN_NOT_OK(catalog->AddForeignKey("customer", "c_nationkey", "nation",
+                                          "n_nationkey"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("orders", "o_custkey", "customer", "c_custkey"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"));
+  DS_RETURN_NOT_OK(
+      catalog->AddForeignKey("lineitem", "l_partkey", "part", "p_partkey"));
+  DS_RETURN_NOT_OK(catalog->AddForeignKey("lineitem", "l_suppkey", "supplier",
+                                          "s_suppkey"));
+
+  DS_RETURN_NOT_OK(catalog->Validate());
+  return catalog;
+}
+
+}  // namespace ds::datagen

@@ -1,0 +1,50 @@
+// Synthetic TPC-H subset generator.
+//
+// The demo offers TPC-H as its second dataset. TPC-H data is (by spec)
+// mostly uniform and independent, which makes it the easy contrast case to
+// the correlated IMDb: traditional estimators do fine here and the learned
+// sketch should too. We generate the seven tables that the classic
+// PK/FK join paths use, at a configurable micro scale.
+//
+// Schema:
+//   region(r_regionkey, r_name)
+//   nation(n_nationkey, n_name, n_regionkey→region)
+//   supplier(s_suppkey, s_nationkey→nation, s_acctbal)
+//   customer(c_custkey, c_nationkey→nation, c_mktsegment, c_acctbal)
+//   part(p_partkey, p_size, p_brand, p_container, p_retailprice)
+//   orders(o_orderkey, o_custkey→customer, o_orderdate, o_orderpriority,
+//          o_totalprice)
+//   lineitem(l_id, l_orderkey→orders, l_partkey→part, l_suppkey→supplier,
+//            l_quantity, l_discount, l_shipdate, l_shipmode,
+//            l_extendedprice)
+//
+// Dates are encoded as integer days since 1992-01-01 (range [0, 2405]).
+
+#ifndef DS_DATAGEN_TPCH_H_
+#define DS_DATAGEN_TPCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ds/storage/catalog.h"
+
+namespace ds::datagen {
+
+struct TpchOptions {
+  /// Rows in `customer`; orders ≈ 10x, lineitem ≈ 40x, part ≈ 2x,
+  /// supplier ≈ 0.1x — the TPC-H table-size ratios at micro scale.
+  size_t num_customers = 3'000;
+
+  uint64_t seed = 7;
+};
+
+Result<std::unique_ptr<storage::Catalog>> GenerateTpch(
+    const TpchOptions& options);
+
+/// Encoded date range (days since 1992-01-01).
+inline constexpr int64_t kTpchMinDate = 0;
+inline constexpr int64_t kTpchMaxDate = 2405;
+
+}  // namespace ds::datagen
+
+#endif  // DS_DATAGEN_TPCH_H_

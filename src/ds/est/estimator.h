@@ -1,0 +1,31 @@
+// The estimator interface shared by the Deep Sketch and the traditional
+// baselines, mirroring Figure 1b: a query goes in, a cardinality estimate
+// comes out.
+
+#ifndef DS_EST_ESTIMATOR_H_
+#define DS_EST_ESTIMATOR_H_
+
+#include <string>
+
+#include "ds/util/status.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::est {
+
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated result size of `spec` in tuples, >= 1 by convention (the
+  /// q-error metric clamps at one tuple anyway).
+  virtual Result<double> EstimateCardinality(
+      const workload::QuerySpec& spec) const = 0;
+
+  /// Display name used by the benchmark tables ("Deep Sketch", "HyPer",
+  /// "PostgreSQL").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ds::est
+
+#endif  // DS_EST_ESTIMATOR_H_

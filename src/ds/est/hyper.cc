@@ -1,0 +1,91 @@
+#include "ds/est/hyper.h"
+
+#include <algorithm>
+
+namespace ds::est {
+
+Result<double> HyperEstimator::TableSelectivity(
+    const workload::QuerySpec& spec, const std::string& table) const {
+  bool has_pred = false;
+  for (const auto& p : spec.predicates) {
+    if (p.table == table) {
+      has_pred = true;
+      break;
+    }
+  }
+  if (!has_pred) return 1.0;
+
+  DS_ASSIGN_OR_RETURN(const TableSample* ts, samples_->Get(table));
+  DS_ASSIGN_OR_RETURN(double sel,
+                      samples_->SelectivityEstimate(table, spec.predicates));
+  if (sel > 0) return sel;
+
+  // 0-tuple situation: educated guess from per-predicate defaults, scaled
+  // by distinct counts where available, floored at one matching row.
+  double guess = 1.0;
+  for (const auto& p : spec.predicates) {
+    if (p.table != table) continue;
+    if (p.op == workload::CompareOp::kEq) {
+      auto cs = stats_.GetColumn(p.table, p.column);
+      if (options_.fallback_uses_distinct_counts && cs.ok() &&
+          (*cs)->n_distinct >= 1.0) {
+        guess *= 1.0 / (*cs)->n_distinct;
+      } else {
+        guess *= options_.fallback_equality_sel;
+      }
+    } else {
+      guess *= options_.fallback_range_sel;
+    }
+  }
+  const double floor =
+      ts->base_row_count > 0
+          ? 1.0 / static_cast<double>(ts->base_row_count)
+          : 0.0;
+  return std::max(guess, floor);
+}
+
+Result<bool> HyperEstimator::HasZeroTupleSituation(
+    const workload::QuerySpec& spec) const {
+  for (const auto& table : spec.tables) {
+    bool has_pred = false;
+    for (const auto& p : spec.predicates) {
+      if (p.table == table) {
+        has_pred = true;
+        break;
+      }
+    }
+    if (!has_pred) continue;
+    DS_ASSIGN_OR_RETURN(double sel,
+                        samples_->SelectivityEstimate(table, spec.predicates));
+    if (sel == 0) return true;
+  }
+  return false;
+}
+
+Result<double> HyperEstimator::EstimateCardinality(
+    const workload::QuerySpec& spec) const {
+  DS_RETURN_NOT_OK(spec.Validate(*catalog_));
+
+  double rows = 1.0;
+  double max_rows = 1.0;
+  for (const auto& t : spec.tables) {
+    DS_ASSIGN_OR_RETURN(const TableSample* ts, samples_->Get(t));
+    const double base = static_cast<double>(ts->base_row_count);
+    max_rows *= base;
+    DS_ASSIGN_OR_RETURN(double sel, TableSelectivity(spec, t));
+    rows *= base * sel;
+  }
+
+  for (const auto& join : spec.joins) {
+    DS_ASSIGN_OR_RETURN(const ColumnStatistics* l,
+                        stats_.GetColumn(join.left_table, join.left_column));
+    DS_ASSIGN_OR_RETURN(const ColumnStatistics* r,
+                        stats_.GetColumn(join.right_table, join.right_column));
+    const double nd = std::max({l->n_distinct, r->n_distinct, 1.0});
+    rows *= (1.0 - l->null_frac) * (1.0 - r->null_frac) / nd;
+  }
+
+  return std::clamp(rows, 1.0, std::max(max_rows, 1.0));
+}
+
+}  // namespace ds::est

@@ -1,0 +1,69 @@
+// HyPer-style sampling-based cardinality estimator.
+//
+// HyPer estimates base-table selectivities by evaluating predicates against
+// small materialized samples (Leis et al., VLDBJ 2018). This captures
+// arbitrary correlations *within* one table — a structural advantage over
+// histogram estimators — but has the weakness the paper highlights (§2):
+// in "0-tuple situations", when no sampled tuple qualifies, it must fall
+// back to an educated guess, causing large errors on selective predicates.
+// Joins are estimated with the usual independence assumption and
+// 1/max(nd_left, nd_right) equi-join selectivity.
+
+#ifndef DS_EST_HYPER_H_
+#define DS_EST_HYPER_H_
+
+#include "ds/est/estimator.h"
+#include "ds/est/sample.h"
+#include "ds/est/statistics.h"
+
+namespace ds::est {
+
+struct HyperOptions {
+  /// Default per-predicate guesses used in 0-tuple situations ("sampling-
+  /// based approaches usually fall back to an educated guess — causing large
+  /// estimation errors", §2).
+  double fallback_equality_sel = 0.005;
+  double fallback_range_sel = 1.0 / 3.0;
+
+  /// When true, the equality fallback uses 1/n_distinct from full-table
+  /// statistics instead of the flat default — a smarter fallback used by
+  /// the zero-tuple ablation bench.
+  bool fallback_uses_distinct_counts = false;
+};
+
+class HyperEstimator final : public CardinalityEstimator {
+ public:
+  /// `samples` must outlive the estimator. Distinct counts for join columns
+  /// and the fallback path come from full-table statistics.
+  HyperEstimator(const storage::Catalog* catalog, const SampleSet* samples,
+                 HyperOptions options = {})
+      : catalog_(catalog),
+        samples_(samples),
+        stats_(StatisticsCatalog::Build(*catalog)),
+        options_(options) {}
+
+  Result<double> EstimateCardinality(
+      const workload::QuerySpec& spec) const override;
+
+  std::string name() const override { return "HyPer"; }
+
+  /// True if `spec` puts at least one table into a 0-tuple situation (it has
+  /// predicates but no sampled tuple qualifies). Used by the zero-tuple
+  /// analysis bench.
+  Result<bool> HasZeroTupleSituation(const workload::QuerySpec& spec) const;
+
+ private:
+  /// Selectivity of the predicates of `spec` on `table`: the qualifying
+  /// sample fraction, or the educated guess when the sample yields zero.
+  Result<double> TableSelectivity(const workload::QuerySpec& spec,
+                                  const std::string& table) const;
+
+  const storage::Catalog* catalog_;
+  const SampleSet* samples_;
+  StatisticsCatalog stats_;
+  HyperOptions options_;
+};
+
+}  // namespace ds::est
+
+#endif  // DS_EST_HYPER_H_

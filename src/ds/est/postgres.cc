@@ -1,0 +1,133 @@
+#include "ds/est/postgres.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ds::est {
+
+namespace {
+
+// PostgreSQL's default selectivities when statistics give no answer
+// (src/include/utils/selfuncs.h).
+constexpr double kDefaultEqSel = 0.005;
+constexpr double kDefaultRangeSel = 1.0 / 3.0;
+
+// Fraction of the histogram below `v` (linear interpolation inside the
+// containing bucket), over the rows the histogram covers.
+double HistogramFractionBelow(const std::vector<double>& bounds, double v) {
+  if (bounds.size() < 2) return kDefaultRangeSel;
+  if (v <= bounds.front()) return 0.0;
+  if (v >= bounds.back()) return 1.0;
+  // Find the bucket [bounds[i], bounds[i+1]) containing v.
+  size_t lo = 0, hi = bounds.size() - 1;
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (bounds[mid] <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double bucket_frac =
+      bounds[hi] > bounds[lo] ? (v - bounds[lo]) / (bounds[hi] - bounds[lo])
+                              : 0.5;
+  return (static_cast<double>(lo) + bucket_frac) /
+         static_cast<double>(bounds.size() - 1);
+}
+
+}  // namespace
+
+Result<double> PostgresEstimator::PredicateSelectivity(
+    const workload::ColumnPredicate& pred) const {
+  DS_ASSIGN_OR_RETURN(const ColumnStatistics* cs,
+                      stats_.GetColumn(pred.table, pred.column));
+
+  // Resolve the literal; an unknown categorical string estimates like any
+  // non-MCV equality match (PostgreSQL has no way to know it is absent).
+  double v = 0;
+  bool unknown_literal = false;
+  {
+    auto resolved = workload::ResolvePredicateValue(*catalog_, pred);
+    if (resolved.ok()) {
+      v = *resolved;
+    } else if (resolved.status().code() == StatusCode::kNotFound) {
+      unknown_literal = true;
+    } else {
+      return resolved.status();
+    }
+  }
+
+  const double mcv_sum = cs->mcv_total_freq();
+  const double non_null = 1.0 - cs->null_frac;
+  const double hist_share = std::max(0.0, non_null - mcv_sum);
+
+  if (pred.op == workload::CompareOp::kEq) {
+    if (!unknown_literal) {
+      for (size_t i = 0; i < cs->mcv_values.size(); ++i) {
+        if (cs->mcv_values[i] == v) return cs->mcv_freqs[i];
+      }
+    }
+    const double other_distinct =
+        cs->n_distinct - static_cast<double>(cs->mcv_values.size());
+    if (other_distinct >= 1.0) {
+      return hist_share / other_distinct;
+    }
+    return std::min(kDefaultEqSel, non_null);
+  }
+
+  if (unknown_literal) return kDefaultRangeSel;
+
+  // Range predicate: MCVs are evaluated exactly against the operator (as
+  // PostgreSQL's mcv_selectivity does); the histogram covers the rest with
+  // linear interpolation, which cannot separate equal values — a limitation
+  // PostgreSQL shares.
+  const bool less = pred.op == workload::CompareOp::kLt;
+  double mcv_match = 0;
+  for (size_t i = 0; i < cs->mcv_values.size(); ++i) {
+    const bool matches = less ? cs->mcv_values[i] < v : cs->mcv_values[i] > v;
+    if (matches) mcv_match += cs->mcv_freqs[i];
+  }
+  double sel;
+  if (!cs->histogram_bounds.empty()) {
+    const double below = HistogramFractionBelow(cs->histogram_bounds, v);
+    sel = mcv_match + hist_share * (less ? below : 1.0 - below);
+  } else if (mcv_sum > 0) {
+    sel = mcv_match;
+  } else {
+    sel = kDefaultRangeSel;
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+Result<double> PostgresEstimator::EstimateCardinality(
+    const workload::QuerySpec& spec) const {
+  DS_RETURN_NOT_OK(spec.Validate(*catalog_));
+
+  double rows = 1.0;
+  double max_rows = 1.0;
+  for (const auto& t : spec.tables) {
+    DS_ASSIGN_OR_RETURN(const TableStatistics* ts, stats_.Get(t));
+    rows *= static_cast<double>(ts->row_count);
+    max_rows *= static_cast<double>(ts->row_count);
+  }
+
+  // Independence across all predicates (clauselist_selectivity).
+  for (const auto& pred : spec.predicates) {
+    DS_ASSIGN_OR_RETURN(double sel, PredicateSelectivity(pred));
+    rows *= sel;
+  }
+
+  // eqjoinsel per join edge.
+  for (const auto& join : spec.joins) {
+    DS_ASSIGN_OR_RETURN(const ColumnStatistics* l,
+                        stats_.GetColumn(join.left_table, join.left_column));
+    DS_ASSIGN_OR_RETURN(const ColumnStatistics* r,
+                        stats_.GetColumn(join.right_table, join.right_column));
+    const double nd = std::max({l->n_distinct, r->n_distinct, 1.0});
+    rows *= (1.0 - l->null_frac) * (1.0 - r->null_frac) / nd;
+  }
+
+  return std::clamp(rows, 1.0, max_rows);
+}
+
+}  // namespace ds::est

@@ -1,0 +1,51 @@
+// PostgreSQL-style cardinality estimator.
+//
+// Reimplements the selectivity logic PostgreSQL 10.x applies to the query
+// fragment this project supports:
+//   - eqsel: MCV lookup, otherwise uniform share of the non-MCV distinct
+//     values.
+//   - scalarltsel / scalargtsel: MCV scan plus linear interpolation in the
+//     equi-depth histogram.
+//   - clauselist selectivity: independence (plain multiplication) — the
+//     assumption that correlated data famously breaks (Leis et al. 2015).
+//   - eqjoinsel: (1-nullfrac1)(1-nullfrac2) / max(nd1, nd2).
+// Final estimate: product of base-table rows, predicate selectivities, and
+// join selectivities, clamped to at least one row.
+
+#ifndef DS_EST_POSTGRES_H_
+#define DS_EST_POSTGRES_H_
+
+#include <memory>
+
+#include "ds/est/estimator.h"
+#include "ds/est/statistics.h"
+#include "ds/storage/catalog.h"
+
+namespace ds::est {
+
+class PostgresEstimator final : public CardinalityEstimator {
+ public:
+  /// Builds statistics for every table (ANALYZE) at construction.
+  PostgresEstimator(const storage::Catalog* catalog,
+                    const StatisticsOptions& options = {})
+      : catalog_(catalog),
+        stats_(StatisticsCatalog::Build(*catalog, options)) {}
+
+  Result<double> EstimateCardinality(
+      const workload::QuerySpec& spec) const override;
+
+  std::string name() const override { return "PostgreSQL"; }
+
+  /// Selectivity of a single predicate on its base table (exposed for
+  /// testing and for the zero-tuple analysis bench).
+  Result<double> PredicateSelectivity(
+      const workload::ColumnPredicate& pred) const;
+
+ private:
+  const storage::Catalog* catalog_;
+  StatisticsCatalog stats_;
+};
+
+}  // namespace ds::est
+
+#endif  // DS_EST_POSTGRES_H_

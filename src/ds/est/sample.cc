@@ -1,0 +1,81 @@
+#include "ds/est/sample.h"
+
+#include "ds/exec/predicate.h"
+#include "ds/util/random.h"
+
+namespace ds::est {
+
+Result<SampleSet> SampleSet::Build(const storage::Catalog& catalog,
+                                   size_t per_table, uint64_t seed,
+                                   const std::vector<std::string>& tables) {
+  if (per_table == 0) {
+    return Status::InvalidArgument("per_table sample size must be positive");
+  }
+  SampleSet set;
+  set.per_table_ = per_table;
+  util::Pcg32 rng(seed);
+  std::vector<std::string> names =
+      tables.empty() ? catalog.table_names() : tables;
+  for (const auto& name : names) {
+    DS_ASSIGN_OR_RETURN(const storage::Table* table, catalog.GetTable(name));
+    const size_t n = table->num_rows();
+    const size_t k = std::min(per_table, n);
+    auto picked64 = rng.SampleWithoutReplacement(n, k);
+    std::vector<uint32_t> picked(picked64.begin(), picked64.end());
+    TableSample ts;
+    ts.table_name = name;
+    ts.rows = storage::MaterializeRows(*table, picked);
+    ts.base_row_count = n;
+    set.index_.emplace(name, set.samples_.size());
+    set.samples_.push_back(std::move(ts));
+  }
+  return set;
+}
+
+SampleSet SampleSet::FromSamples(std::vector<TableSample> samples,
+                                 size_t per_table) {
+  SampleSet set;
+  set.per_table_ = per_table;
+  set.samples_ = std::move(samples);
+  for (size_t i = 0; i < set.samples_.size(); ++i) {
+    set.index_.emplace(set.samples_[i].table_name, i);
+  }
+  return set;
+}
+
+Result<const TableSample*> SampleSet::Get(const std::string& table) const {
+  auto it = index_.find(table);
+  if (it == index_.end()) {
+    return Status::NotFound("no sample for table '" + table + "'");
+  }
+  return &samples_[it->second];
+}
+
+Result<std::vector<uint8_t>> SampleSet::Bitmap(
+    const std::string& table,
+    const std::vector<workload::ColumnPredicate>& predicates) const {
+  DS_ASSIGN_OR_RETURN(const TableSample* ts, Get(table));
+  DS_ASSIGN_OR_RETURN(auto bound,
+                      exec::BindPredicates(*ts->rows, table, predicates));
+  return exec::QualifyingBitmap(*ts->rows, bound);
+}
+
+Result<double> SampleSet::SelectivityEstimate(
+    const std::string& table,
+    const std::vector<workload::ColumnPredicate>& predicates) const {
+  DS_ASSIGN_OR_RETURN(auto bitmap, Bitmap(table, predicates));
+  if (bitmap.empty()) return 0.0;
+  size_t hits = 0;
+  for (uint8_t b : bitmap) hits += b;
+  return static_cast<double>(hits) / static_cast<double>(bitmap.size());
+}
+
+size_t SampleSet::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& ts : samples_) {
+    if (ts.rows != nullptr) bytes += ts.rows->MemoryUsage();
+  }
+  return bytes;
+}
+
+}  // namespace ds::est

@@ -1,0 +1,82 @@
+// Materialized base-table samples.
+//
+// A Deep Sketch ships a small uniform sample of every base table (the paper
+// uses e.g. 1000 tuples per table). The samples serve three purposes:
+//  1. MSCN featurization: each training/inference query evaluates its
+//     base-table selections against the samples, producing the qualifying
+//     bitmaps that are fed to the model (§2).
+//  2. The HyPer-style baseline estimator is purely sampling-based.
+//  3. Query templates draw placeholder literals from the column samples (§3).
+
+#ifndef DS_EST_SAMPLE_H_
+#define DS_EST_SAMPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/storage/catalog.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::est {
+
+/// A uniform sample of one table, materialized as a standalone mini-table
+/// whose categorical columns share the base table's dictionaries.
+struct TableSample {
+  std::string table_name;
+  std::unique_ptr<storage::Table> rows;   // the sampled tuples
+  uint64_t base_row_count = 0;            // |T| at sampling time
+
+  size_t size() const { return rows == nullptr ? 0 : rows->num_rows(); }
+};
+
+/// Samples for a set of tables.
+class SampleSet {
+ public:
+  /// Draws `per_table` tuples (without replacement; the whole table when it
+  /// is smaller) from every table of `catalog` listed in `tables` (all
+  /// tables when empty).
+  static Result<SampleSet> Build(const storage::Catalog& catalog,
+                                 size_t per_table, uint64_t seed,
+                                 const std::vector<std::string>& tables = {});
+
+  /// Reassembles a sample set from parts (deserialization path).
+  static SampleSet FromSamples(std::vector<TableSample> samples,
+                               size_t per_table);
+
+  Result<const TableSample*> Get(const std::string& table) const;
+  bool Has(const std::string& table) const {
+    return index_.count(table) > 0;
+  }
+
+  const std::vector<TableSample>& samples() const { return samples_; }
+  size_t per_table() const { return per_table_; }
+
+  /// Evaluates the base-table selections of `spec` against the sample of
+  /// `table`, returning one byte (0/1) per sampled tuple — the paper's
+  /// bitmap. Tables without predicates yield all-ones bitmaps.
+  Result<std::vector<uint8_t>> Bitmap(
+      const std::string& table,
+      const std::vector<workload::ColumnPredicate>& predicates) const;
+
+  /// Fraction of qualifying sampled tuples in [0, 1]; the basic
+  /// sampling-based selectivity estimate. Empty samples yield 0.
+  Result<double> SelectivityEstimate(
+      const std::string& table,
+      const std::vector<workload::ColumnPredicate>& predicates) const;
+
+  /// Approximate heap footprint in bytes (the dominant term of a sketch's
+  /// serialized size).
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<TableSample> samples_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t per_table_ = 0;
+};
+
+}  // namespace ds::est
+
+#endif  // DS_EST_SAMPLE_H_

@@ -1,0 +1,161 @@
+#include "ds/est/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ds/util/random.h"
+
+namespace ds::est {
+
+namespace {
+
+// Haas-Stokes "Duj1" estimator, as used by PostgreSQL's compute_distinct_stats:
+//   D = n*d / (n - f1 + f1*n/N)
+// n: sampled non-null values, d: distinct in sample, f1: values seen exactly
+// once, N: total non-null rows. Clamped to [d, N].
+double EstimateDistinctDuj1(double n, double d, double f1, double N) {
+  if (n <= 0 || d <= 0) return 0.0;
+  if (f1 >= n || N <= n) return d;  // all-unique sample or full scan: keep d
+  const double denom = n - f1 + f1 * n / N;
+  double est = denom > 0 ? n * d / denom : d;
+  return std::clamp(est, d, N);
+}
+
+}  // namespace
+
+TableStatistics BuildTableStatistics(const storage::Table& table,
+                                     const StatisticsOptions& options) {
+  TableStatistics stats;
+  stats.row_count = table.num_rows();
+  const size_t total_rows = table.num_rows();
+
+  // ANALYZE row sample (shared by all columns, as in PostgreSQL).
+  std::vector<uint32_t> sampled;
+  const bool use_sample =
+      options.sample_rows > 0 && options.sample_rows < total_rows;
+  if (use_sample) {
+    util::Pcg32 rng(options.seed);
+    auto rows = rng.SampleWithoutReplacement(total_rows, options.sample_rows);
+    sampled.assign(rows.begin(), rows.end());
+  } else {
+    sampled.resize(total_rows);
+    for (size_t r = 0; r < total_rows; ++r) {
+      sampled[r] = static_cast<uint32_t>(r);
+    }
+  }
+  const double n_sampled = static_cast<double>(std::max<size_t>(1, sampled.size()));
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const storage::Column& col = table.column(c);
+    ColumnStatistics cs;
+
+    // Value frequencies over sampled non-null rows, ordered by value.
+    std::map<double, uint64_t> freq;
+    uint64_t nulls = 0;
+    for (uint32_t r : sampled) {
+      if (col.IsNull(r)) {
+        ++nulls;
+        continue;
+      }
+      freq[col.GetNumeric(r)]++;
+    }
+    cs.null_frac = static_cast<double>(nulls) / n_sampled;
+    if (!freq.empty()) {
+      cs.min = freq.begin()->first;
+      cs.max = freq.rbegin()->first;
+    }
+
+    // n_distinct: exact on full scans, Haas-Stokes on samples.
+    const double d = static_cast<double>(freq.size());
+    if (use_sample) {
+      double f1 = 0;
+      for (const auto& [v, f] : freq) f1 += f == 1 ? 1 : 0;
+      const double non_null_sampled = n_sampled - static_cast<double>(nulls);
+      const double non_null_total =
+          static_cast<double>(total_rows) * (1.0 - cs.null_frac);
+      cs.n_distinct =
+          EstimateDistinctDuj1(non_null_sampled, d, f1, non_null_total);
+    } else {
+      cs.n_distinct = d;
+    }
+
+    // MCV list: most frequent sampled values appearing more than once.
+    std::vector<std::pair<double, uint64_t>> by_freq(freq.begin(), freq.end());
+    std::stable_sort(by_freq.begin(), by_freq.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    size_t num_mcv = 0;
+    for (; num_mcv < by_freq.size() && num_mcv < options.num_mcvs;
+         ++num_mcv) {
+      if (by_freq[num_mcv].second < 2) break;
+    }
+    for (size_t i = 0; i < num_mcv; ++i) {
+      cs.mcv_values.push_back(by_freq[i].first);
+      cs.mcv_freqs.push_back(static_cast<double>(by_freq[i].second) /
+                             n_sampled);
+    }
+
+    // Equi-depth histogram over non-MCV sampled values (value-weighted).
+    std::vector<std::pair<double, uint64_t>> rest(by_freq.begin() + num_mcv,
+                                                  by_freq.end());
+    std::sort(rest.begin(), rest.end());
+    uint64_t rest_rows = 0;
+    for (const auto& [v, f] : rest) rest_rows += f;
+    if (!rest.empty() && rest_rows > 0) {
+      const size_t buckets =
+          std::min(options.num_histogram_buckets, rest.size());
+      cs.histogram_bounds.push_back(rest.front().first);
+      uint64_t acc = 0;
+      size_t next_bound = 1;
+      for (const auto& [v, f] : rest) {
+        acc += f;
+        while (next_bound < buckets &&
+               acc >= rest_rows * next_bound / buckets) {
+          if (cs.histogram_bounds.back() != v) {
+            cs.histogram_bounds.push_back(v);
+          }
+          ++next_bound;
+        }
+      }
+      if (cs.histogram_bounds.back() != rest.back().first) {
+        cs.histogram_bounds.push_back(rest.back().first);
+      }
+    }
+
+    stats.columns.emplace(col.name(), std::move(cs));
+  }
+  return stats;
+}
+
+StatisticsCatalog StatisticsCatalog::Build(const storage::Catalog& catalog,
+                                           const StatisticsOptions& options) {
+  StatisticsCatalog out;
+  for (const storage::Table* table : catalog.tables()) {
+    out.tables_.emplace(table->name(), BuildTableStatistics(*table, options));
+  }
+  return out;
+}
+
+Result<const TableStatistics*> StatisticsCatalog::Get(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no statistics for table '" + table + "'");
+  }
+  return &it->second;
+}
+
+Result<const ColumnStatistics*> StatisticsCatalog::GetColumn(
+    const std::string& table, const std::string& column) const {
+  DS_ASSIGN_OR_RETURN(const TableStatistics* ts, Get(table));
+  auto it = ts->columns.find(column);
+  if (it == ts->columns.end()) {
+    return Status::NotFound("no statistics for column '" + table + "." +
+                            column + "'");
+  }
+  return &it->second;
+}
+
+}  // namespace ds::est

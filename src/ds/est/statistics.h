@@ -1,0 +1,82 @@
+// Per-column statistics in the style of PostgreSQL's pg_statistic:
+// null fraction, number of distinct values, most-common values with their
+// frequencies, and an equi-depth histogram over the remaining values.
+// These power the PostgresEstimator baseline.
+
+#ifndef DS_EST_STATISTICS_H_
+#define DS_EST_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/storage/catalog.h"
+#include "ds/util/status.h"
+
+namespace ds::est {
+
+struct StatisticsOptions {
+  /// Max entries in the MCV list (PostgreSQL default_statistics_target).
+  size_t num_mcvs = 100;
+  /// Number of equi-depth histogram buckets (bounds = buckets + 1).
+  size_t num_histogram_buckets = 100;
+  /// ANALYZE sample size: 300 x default_statistics_target rows, as in
+  /// PostgreSQL. Statistics — including the Haas-Stokes (Duj1) n_distinct
+  /// estimate — are computed from this sample, which is where PostgreSQL's
+  /// characteristic estimation bias on skewed columns comes from.
+  /// 0 scans the full table (exact statistics, for ablations).
+  size_t sample_rows = 30'000;
+  uint64_t seed = 7919;
+};
+
+/// Statistics for one column, in the column's numeric domain (categorical
+/// values appear as dictionary codes).
+struct ColumnStatistics {
+  double null_frac = 0;
+  double n_distinct = 0;
+  double min = 0;
+  double max = 0;
+
+  /// Most common values, sorted by descending frequency. Frequencies are
+  /// fractions of *all* rows (including nulls), as in PostgreSQL.
+  std::vector<double> mcv_values;
+  std::vector<double> mcv_freqs;
+
+  /// Equi-depth histogram bounds over non-null, non-MCV values (ascending;
+  /// empty when every value is in the MCV list).
+  std::vector<double> histogram_bounds;
+
+  double mcv_total_freq() const {
+    double s = 0;
+    for (double f : mcv_freqs) s += f;
+    return s;
+  }
+};
+
+struct TableStatistics {
+  uint64_t row_count = 0;
+  std::unordered_map<std::string, ColumnStatistics> columns;
+};
+
+/// Scans `table` and computes statistics for every column.
+TableStatistics BuildTableStatistics(const storage::Table& table,
+                                     const StatisticsOptions& options = {});
+
+/// Statistics for all tables of a catalog (the "ANALYZE" step).
+class StatisticsCatalog {
+ public:
+  static StatisticsCatalog Build(const storage::Catalog& catalog,
+                                 const StatisticsOptions& options = {});
+
+  Result<const TableStatistics*> Get(const std::string& table) const;
+  Result<const ColumnStatistics*> GetColumn(const std::string& table,
+                                            const std::string& column) const;
+
+ private:
+  std::unordered_map<std::string, TableStatistics> tables_;
+};
+
+}  // namespace ds::est
+
+#endif  // DS_EST_STATISTICS_H_

@@ -1,0 +1,31 @@
+// The ground-truth "estimator": exact execution. Stands in for running the
+// query with HyPer to obtain the true cardinality overlay of the demo UI.
+
+#ifndef DS_EST_TRUTH_H_
+#define DS_EST_TRUTH_H_
+
+#include "ds/est/estimator.h"
+#include "ds/exec/executor.h"
+
+namespace ds::est {
+
+class TrueCardinality final : public CardinalityEstimator {
+ public:
+  explicit TrueCardinality(const storage::Catalog* catalog)
+      : executor_(catalog) {}
+
+  Result<double> EstimateCardinality(
+      const workload::QuerySpec& spec) const override {
+    DS_ASSIGN_OR_RETURN(uint64_t n, executor_.Count(spec));
+    return static_cast<double>(n);
+  }
+
+  std::string name() const override { return "True cardinality"; }
+
+ private:
+  exec::Executor executor_;
+};
+
+}  // namespace ds::est
+
+#endif  // DS_EST_TRUTH_H_

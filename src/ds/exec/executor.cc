@@ -1,0 +1,206 @@
+#include "ds/exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/exec/predicate.h"
+
+namespace ds::exec {
+
+namespace {
+
+// Per-table state during execution.
+struct TableState {
+  const storage::Table* table = nullptr;
+  std::vector<uint32_t> rows;  // rows qualifying the table's predicates
+};
+
+// Join key for a row; null keys are reported via the bool.
+inline bool JoinKey(const storage::Column& col, uint32_t row, int64_t* key) {
+  if (col.IsNull(row)) return false;
+  // Join columns are PK/FK ids (int64 or categorical codes); float joins are
+  // rejected at bind time.
+  *key = col.GetInt(row);
+  return true;
+}
+
+}  // namespace
+
+Result<uint64_t> Executor::Count(const workload::QuerySpec& spec) const {
+  DS_RETURN_NOT_OK(spec.Validate(*catalog_));
+
+  // 1. Scan + filter every base table.
+  std::unordered_map<std::string, TableState> states;
+  for (const auto& name : spec.tables) {
+    TableState st;
+    DS_ASSIGN_OR_RETURN(st.table, catalog_->GetTable(name));
+    DS_ASSIGN_OR_RETURN(auto bound,
+                        BindPredicates(*st.table, name, spec.predicates));
+    st.rows = FilterRows(*st.table, bound);
+    states.emplace(name, std::move(st));
+  }
+
+  // Reject float join columns early.
+  for (const auto& j : spec.joins) {
+    for (const auto& [tname, cname] :
+         {std::pair{j.left_table, j.left_column},
+          std::pair{j.right_table, j.right_column}}) {
+      DS_ASSIGN_OR_RETURN(const storage::Table* t, catalog_->GetTable(tname));
+      DS_ASSIGN_OR_RETURN(const storage::Column* c, t->GetColumn(cname));
+      if (c->type() == storage::ColumnType::kFloat64) {
+        return Status::InvalidArgument("float join column " + tname + "." +
+                                       cname + " is unsupported");
+      }
+    }
+  }
+
+  if (spec.tables.size() == 1) {
+    return static_cast<uint64_t>(states[spec.tables[0]].rows.size());
+  }
+
+  // 2. Pick a greedy connected join order, starting from the most selective
+  // table. `position` maps a joined table to its slot in the tuples.
+  std::vector<std::string> order;
+  std::unordered_map<std::string, size_t> position;
+  {
+    std::string start = spec.tables[0];
+    for (const auto& name : spec.tables) {
+      if (states[name].rows.size() < states[start].rows.size()) start = name;
+    }
+    order.push_back(start);
+    position[start] = 0;
+    while (order.size() < spec.tables.size()) {
+      bool advanced = false;
+      for (const auto& j : spec.joins) {
+        const bool l_in = position.count(j.left_table) > 0;
+        const bool r_in = position.count(j.right_table) > 0;
+        if (l_in == r_in) continue;
+        const std::string& next = l_in ? j.right_table : j.left_table;
+        position[next] = order.size();
+        order.push_back(next);
+        advanced = true;
+        break;
+      }
+      // Validate() guarantees connectivity, so we always advance.
+      DS_CHECK(advanced);
+    }
+  }
+
+  // 3. Left-deep hash joins over materialized row-id tuples.
+  const size_t width_final = order.size();
+  std::vector<uint32_t> tuples;  // stride grows as tables join
+  tuples.reserve(states[order[0]].rows.size());
+  for (uint32_t r : states[order[0]].rows) tuples.push_back(r);
+  size_t stride = 1;
+
+  std::vector<bool> edge_used(spec.joins.size(), false);
+
+  for (size_t step = 1; step < width_final; ++step) {
+    const std::string& next = order[step];
+    const TableState& next_state = states[next];
+
+    // Partition this step's join edges into the primary build edge and
+    // residual filter edges (cycles / multiple edges to the new table).
+    int primary = -1;
+    std::vector<size_t> residual;
+    for (size_t e = 0; e < spec.joins.size(); ++e) {
+      if (edge_used[e]) continue;
+      const auto& j = spec.joins[e];
+      const bool touches_next =
+          j.left_table == next || j.right_table == next;
+      const std::string& other =
+          j.left_table == next ? j.right_table : j.left_table;
+      if (!touches_next || position.count(other) == 0 ||
+          position[other] >= step) {
+        continue;
+      }
+      if (primary < 0) {
+        primary = static_cast<int>(e);
+      } else {
+        residual.push_back(e);
+      }
+      edge_used[e] = true;
+    }
+    DS_CHECK_GE(primary, 0);
+    const auto& pj = spec.joins[static_cast<size_t>(primary)];
+    const bool next_is_left = pj.left_table == next;
+    const std::string& inner_col_name =
+        next_is_left ? pj.left_column : pj.right_column;
+    const std::string& outer_table =
+        next_is_left ? pj.right_table : pj.left_table;
+    const std::string& outer_col_name =
+        next_is_left ? pj.right_column : pj.left_column;
+
+    DS_ASSIGN_OR_RETURN(const storage::Column* inner_col,
+                        next_state.table->GetColumn(inner_col_name));
+    DS_ASSIGN_OR_RETURN(const storage::Column* outer_col,
+                        states[outer_table].table->GetColumn(outer_col_name));
+    const size_t outer_slot = position[outer_table];
+
+    // Build hash table over the new table's qualifying rows.
+    std::unordered_map<int64_t, std::vector<uint32_t>> build;
+    build.reserve(next_state.rows.size());
+    for (uint32_t r : next_state.rows) {
+      int64_t key;
+      if (JoinKey(*inner_col, r, &key)) build[key].push_back(r);
+    }
+
+    // Resolve residual edge endpoints once.
+    struct Residual {
+      const storage::Column* next_col;
+      const storage::Column* other_col;
+      size_t other_slot;
+    };
+    std::vector<Residual> res_bound;
+    for (size_t e : residual) {
+      const auto& j = spec.joins[e];
+      const bool n_left = j.left_table == next;
+      const std::string& n_col = n_left ? j.left_column : j.right_column;
+      const std::string& o_table = n_left ? j.right_table : j.left_table;
+      const std::string& o_col = n_left ? j.right_column : j.left_column;
+      Residual rb;
+      DS_ASSIGN_OR_RETURN(rb.next_col, next_state.table->GetColumn(n_col));
+      DS_ASSIGN_OR_RETURN(rb.other_col,
+                          states[o_table].table->GetColumn(o_col));
+      rb.other_slot = position[o_table];
+      res_bound.push_back(rb);
+    }
+
+    // Probe.
+    std::vector<uint32_t> out;
+    const size_t num_tuples = tuples.size() / stride;
+    for (size_t t = 0; t < num_tuples; ++t) {
+      const uint32_t* tuple = tuples.data() + t * stride;
+      int64_t key;
+      if (!JoinKey(*outer_col, tuple[outer_slot], &key)) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (uint32_t r : it->second) {
+        bool pass = true;
+        for (const auto& rb : res_bound) {
+          int64_t a, b;
+          if (!JoinKey(*rb.next_col, r, &a) ||
+              !JoinKey(*rb.other_col, tuple[rb.other_slot], &b) || a != b) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        out.insert(out.end(), tuple, tuple + stride);
+        out.push_back(r);
+        if (out.size() / (stride + 1) > options_.max_intermediate_tuples) {
+          return Status::OutOfRange(
+              "intermediate result exceeds max_intermediate_tuples");
+        }
+      }
+    }
+    tuples = std::move(out);
+    stride += 1;
+    if (tuples.empty()) return 0;
+  }
+
+  return static_cast<uint64_t>(tuples.size() / stride);
+}
+
+}  // namespace ds::exec

@@ -1,0 +1,151 @@
+#include "ds/exec/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace ds::exec {
+
+namespace {
+
+// Join-graph adjacency over table indices of a spec.
+std::vector<uint32_t> BuildAdjacency(const workload::QuerySpec& spec) {
+  std::unordered_map<std::string, size_t> index;
+  for (size_t i = 0; i < spec.tables.size(); ++i) {
+    index.emplace(spec.tables[i], i);
+  }
+  std::vector<uint32_t> adjacent(spec.tables.size(), 0);
+  for (const auto& j : spec.joins) {
+    const size_t l = index.at(j.left_table);
+    const size_t r = index.at(j.right_table);
+    adjacent[l] |= 1u << r;
+    adjacent[r] |= 1u << l;
+  }
+  return adjacent;
+}
+
+}  // namespace
+
+workload::QuerySpec InducedSubquery(const workload::QuerySpec& spec,
+                                    const std::vector<std::string>& tables) {
+  workload::QuerySpec sub;
+  sub.tables = tables;
+  auto contains = [&](const std::string& t) {
+    return std::find(tables.begin(), tables.end(), t) != tables.end();
+  };
+  for (const auto& j : spec.joins) {
+    if (contains(j.left_table) && contains(j.right_table)) {
+      sub.joins.push_back(j);
+    }
+  }
+  for (const auto& p : spec.predicates) {
+    if (contains(p.table)) sub.predicates.push_back(p);
+  }
+  return sub;
+}
+
+Result<JoinPlan> JoinOrderOptimizer::Optimize(
+    const workload::QuerySpec& spec) const {
+  DS_RETURN_NOT_OK(spec.Validate(*catalog_));
+  const size_t n = spec.tables.size();
+  if (n > 20) {
+    return Status::InvalidArgument(
+        "join-order DP supports at most 20 tables");
+  }
+  JoinPlan plan;
+  if (n == 1) {
+    plan.order = spec.tables;
+    return plan;
+  }
+  const auto adjacent = BuildAdjacency(spec);
+  const uint32_t full = (1u << n) - 1;
+
+  // Cardinality per connected subset (estimated once, reused by the DP).
+  std::vector<double> card(full + 1, -1.0);
+  auto subset_card = [&](uint32_t s) -> Result<double> {
+    if (card[s] >= 0) return card[s];
+    std::vector<std::string> tables;
+    for (size_t i = 0; i < n; ++i) {
+      if (s & (1u << i)) tables.push_back(spec.tables[i]);
+    }
+    DS_ASSIGN_OR_RETURN(double c,
+                        estimator_->EstimateCardinality(
+                            InducedSubquery(spec, tables)));
+    card[s] = c;
+    return c;
+  };
+
+  // Left-deep DP: best[s] = min over t in s (s\{t} connected, t adjacent to
+  // s\{t}) of best[s\{t}] + card(s). Singletons cost 0.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);  // table joined last into s
+  for (size_t i = 0; i < n; ++i) best[1u << i] = 0;
+
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton
+    for (size_t t = 0; t < n; ++t) {
+      const uint32_t bit = 1u << t;
+      if (!(s & bit)) continue;
+      const uint32_t rest = s & ~bit;
+      if (best[rest] == kInf) continue;            // rest not connected
+      if (!(adjacent[t] & rest)) continue;          // would be a cross product
+      DS_ASSIGN_OR_RETURN(double c, subset_card(s));
+      const double total = best[rest] + c;
+      if (total < best[s]) {
+        best[s] = total;
+        last[s] = static_cast<int>(t);
+      }
+    }
+  }
+  if (best[full] == kInf) {
+    return Status::InvalidArgument("join graph is disconnected");
+  }
+
+  // Reconstruct the order.
+  std::vector<size_t> reversed;
+  uint32_t s = full;
+  while ((s & (s - 1)) != 0) {
+    reversed.push_back(static_cast<size_t>(last[s]));
+    s &= ~(1u << last[s]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (s == (1u << i)) reversed.push_back(i);
+  }
+  plan.order.reserve(n);
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    plan.order.push_back(spec.tables[*it]);
+  }
+  plan.cost = best[full];
+  // Intermediate cardinalities along the chosen order.
+  uint32_t prefix = 0;
+  std::unordered_map<std::string, size_t> index;
+  for (size_t i = 0; i < n; ++i) index.emplace(spec.tables[i], i);
+  for (size_t k = 0; k < plan.order.size(); ++k) {
+    prefix |= 1u << index.at(plan.order[k]);
+    if (k >= 1) {
+      DS_ASSIGN_OR_RETURN(double c, subset_card(prefix));
+      plan.intermediate_cardinalities.push_back(c);
+    }
+  }
+  return plan;
+}
+
+Result<double> JoinOrderOptimizer::CostOfOrder(
+    const workload::QuerySpec& spec,
+    const std::vector<std::string>& order) const {
+  if (order.size() != spec.tables.size()) {
+    return Status::InvalidArgument("order must cover all tables");
+  }
+  double cost = 0;
+  for (size_t k = 2; k <= order.size(); ++k) {
+    std::vector<std::string> prefix(order.begin(), order.begin() + k);
+    workload::QuerySpec sub = InducedSubquery(spec, prefix);
+    DS_RETURN_NOT_OK(sub.Validate(*catalog_));  // rejects cross products
+    DS_ASSIGN_OR_RETURN(double c, estimator_->EstimateCardinality(sub));
+    cost += c;
+  }
+  return cost;
+}
+
+}  // namespace ds::exec

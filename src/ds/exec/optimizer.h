@@ -1,0 +1,65 @@
+// Cost-based join-order optimization on top of pluggable cardinality
+// estimates.
+//
+// The paper positions Deep Sketches as a drop-in source of estimates for
+// "existing, sophisticated join enumeration algorithms and cost models"
+// (§1). This module is that consumer: a dynamic-programming enumerator over
+// left-deep join orders using the C_out cost model (sum of intermediate
+// result cardinalities — Moerkotte; also the metric of "How Good Are Query
+// Optimizers?", Leis et al., PVLDB 2015). Plugging in different
+// CardinalityEstimators (Deep Sketch, PostgreSQL-style, HyPer-style, true
+// cardinalities) lets the bench quantify how estimate quality translates
+// into plan quality.
+
+#ifndef DS_EXEC_OPTIMIZER_H_
+#define DS_EXEC_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/est/estimator.h"
+#include "ds/storage/catalog.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::exec {
+
+/// A left-deep join plan: tables in join order plus the estimated
+/// cardinality of every prefix of length >= 2 (the intermediates).
+struct JoinPlan {
+  std::vector<std::string> order;
+  std::vector<double> intermediate_cardinalities;
+  /// C_out: sum of the intermediate cardinalities.
+  double cost = 0;
+};
+
+/// The sub-query induced by a subset of a query's tables: those tables, the
+/// joins fully inside the subset, and the predicates on those tables.
+workload::QuerySpec InducedSubquery(const workload::QuerySpec& spec,
+                                    const std::vector<std::string>& tables);
+
+class JoinOrderOptimizer {
+ public:
+  /// `estimator` provides the cardinalities the search optimizes against;
+  /// both must outlive the optimizer.
+  JoinOrderOptimizer(const storage::Catalog* catalog,
+                     const est::CardinalityEstimator* estimator)
+      : catalog_(catalog), estimator_(estimator) {}
+
+  /// Finds the cheapest left-deep, cross-product-free join order for `spec`
+  /// under the C_out cost model. Supports up to 20 tables (the DP is over
+  /// subsets). Single-table queries yield a trivial plan with cost 0.
+  Result<JoinPlan> Optimize(const workload::QuerySpec& spec) const;
+
+  /// C_out of a fixed join order under this optimizer's estimator. The
+  /// order must be a permutation of spec.tables with connected prefixes.
+  Result<double> CostOfOrder(const workload::QuerySpec& spec,
+                             const std::vector<std::string>& order) const;
+
+ private:
+  const storage::Catalog* catalog_;
+  const est::CardinalityEstimator* estimator_;
+};
+
+}  // namespace ds::exec
+
+#endif  // DS_EXEC_OPTIMIZER_H_

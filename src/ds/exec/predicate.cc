@@ -1,0 +1,52 @@
+#include "ds/exec/predicate.h"
+
+namespace ds::exec {
+
+Result<std::vector<BoundPredicate>> BindPredicates(
+    const storage::Table& table, const std::string& table_name,
+    const std::vector<workload::ColumnPredicate>& predicates) {
+  std::vector<BoundPredicate> bound;
+  for (const auto& p : predicates) {
+    if (p.table != table_name) continue;
+    DS_ASSIGN_OR_RETURN(const storage::Column* col, table.GetColumn(p.column));
+    BoundPredicate bp;
+    bp.column = col;
+    bp.op = p.op;
+    auto value = col->LiteralToNumeric(p.literal);
+    if (!value.ok()) {
+      if (value.status().code() == StatusCode::kNotFound) {
+        // Unknown categorical string: present in the query, absent from the
+        // data. No row can match it.
+        bp.never_matches = true;
+      } else {
+        return value.status();
+      }
+    } else {
+      bp.value = *value;
+    }
+    bound.push_back(bp);
+  }
+  return bound;
+}
+
+std::vector<uint32_t> FilterRows(const storage::Table& table,
+                                 const std::vector<BoundPredicate>& preds) {
+  std::vector<uint32_t> out;
+  const size_t n = table.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    if (RowMatchesAll(preds, r)) out.push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+std::vector<uint8_t> QualifyingBitmap(
+    const storage::Table& table, const std::vector<BoundPredicate>& preds) {
+  const size_t n = table.num_rows();
+  std::vector<uint8_t> bitmap(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    bitmap[r] = RowMatchesAll(preds, r) ? 1 : 0;
+  }
+  return bitmap;
+}
+
+}  // namespace ds::exec

@@ -1,0 +1,68 @@
+// Predicate binding and evaluation over base tables and samples.
+//
+// A BoundPredicate has resolved the column pointer and the literal to the
+// column's numeric domain. A categorical equality literal that does not
+// appear in the dictionary cannot match any row (the string does not exist
+// in the data), which binding records as never_matches instead of an error —
+// ad-hoc user queries may legitimately probe for absent values.
+
+#ifndef DS_EXEC_PREDICATE_H_
+#define DS_EXEC_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/storage/table.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::exec {
+
+struct BoundPredicate {
+  const storage::Column* column = nullptr;
+  workload::CompareOp op = workload::CompareOp::kEq;
+  double value = 0;
+  bool never_matches = false;
+};
+
+/// Binds the subset of `predicates` that targets `table_name` against the
+/// physical `table`. Fails on type mismatches or unknown columns.
+Result<std::vector<BoundPredicate>> BindPredicates(
+    const storage::Table& table, const std::string& table_name,
+    const std::vector<workload::ColumnPredicate>& predicates);
+
+/// True if row `row` satisfies `pred`. NULL never qualifies.
+inline bool RowMatches(const BoundPredicate& pred, size_t row) {
+  if (pred.never_matches || pred.column->IsNull(row)) return false;
+  double v = pred.column->GetNumeric(row);
+  switch (pred.op) {
+    case workload::CompareOp::kEq:
+      return v == pred.value;
+    case workload::CompareOp::kLt:
+      return v < pred.value;
+    case workload::CompareOp::kGt:
+      return v > pred.value;
+  }
+  return false;
+}
+
+/// True if row `row` satisfies all of `preds`.
+inline bool RowMatchesAll(const std::vector<BoundPredicate>& preds,
+                          size_t row) {
+  for (const auto& p : preds) {
+    if (!RowMatches(p, row)) return false;
+  }
+  return true;
+}
+
+/// Indices of all qualifying rows.
+std::vector<uint32_t> FilterRows(const storage::Table& table,
+                                 const std::vector<BoundPredicate>& preds);
+
+/// Per-row qualification bytes (1/0), one per table row — the "bitmap"
+/// the paper extracts from materialized samples.
+std::vector<uint8_t> QualifyingBitmap(const storage::Table& table,
+                                      const std::vector<BoundPredicate>& preds);
+
+}  // namespace ds::exec
+
+#endif  // DS_EXEC_PREDICATE_H_

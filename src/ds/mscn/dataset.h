@@ -1,0 +1,50 @@
+// Training datasets and padded mini-batches for the MSCN model.
+//
+// The three feature sets of a query have variable sizes (1-N tables, 0-N
+// joins, 0-N predicates). A batch pads each set to the batch maximum and
+// carries 0/1 masks so the masked set-average only pools real elements.
+
+#ifndef DS_MSCN_DATASET_H_
+#define DS_MSCN_DATASET_H_
+
+#include <vector>
+
+#include "ds/mscn/featurizer.h"
+#include "ds/nn/tensor.h"
+#include "ds/workload/labeler.h"
+
+namespace ds::mscn {
+
+/// Featurized queries with their true cardinalities.
+struct Dataset {
+  std::vector<QueryFeatures> features;
+  std::vector<double> labels;  // true cardinalities
+
+  size_t size() const { return features.size(); }
+
+  /// Featurizes a labeled workload. Each query's string literals are
+  /// resolved through the samples; its stored bitmaps (computed by the
+  /// labeler against the same samples) feed the table features.
+  static Result<Dataset> Build(
+      const FeatureSpace& space, const est::SampleSet& samples,
+      const std::vector<workload::LabeledQuery>& workload);
+};
+
+/// A padded mini-batch: flat [B*S, dim] feature tensors plus [B, S] masks.
+struct Batch {
+  nn::Tensor tables, table_mask;
+  nn::Tensor joins, join_mask;
+  nn::Tensor predicates, predicate_mask;
+  std::vector<double> labels;
+
+  size_t batch_size() const { return table_mask.dim(0); }
+};
+
+/// Assembles the batch for `indices` of `dataset`. Set sizes are padded to
+/// the per-batch maximum (at least 1 so tensor shapes stay valid).
+Batch MakeBatch(const Dataset& dataset, const std::vector<size_t>& indices,
+                const FeatureSpace& space);
+
+}  // namespace ds::mscn
+
+#endif  // DS_MSCN_DATASET_H_

@@ -1,0 +1,203 @@
+#include "ds/mscn/featurizer.h"
+
+#include <algorithm>
+
+namespace ds::mscn {
+
+std::string FeatureSpace::JoinKey(const workload::JoinEdge& edge) {
+  std::string a = edge.left_table + "." + edge.left_column;
+  std::string b = edge.right_table + "." + edge.right_column;
+  if (b < a) std::swap(a, b);
+  return a + "=" + b;
+}
+
+Result<FeatureSpace> FeatureSpace::Create(
+    const storage::Catalog& catalog, const std::vector<std::string>& tables,
+    size_t sample_size) {
+  FeatureSpace fs;
+  fs.sample_size_ = sample_size;
+  std::vector<std::string> names = tables.empty() ? catalog.table_names() : tables;
+  for (const auto& name : names) {
+    DS_ASSIGN_OR_RETURN(const storage::Table* table, catalog.GetTable(name));
+    fs.table_index_.emplace(name, fs.table_names_.size());
+    fs.table_names_.push_back(name);
+    // Every column is a potential predicate target; record its range.
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const storage::Column& col = table->column(c);
+      const std::string key = name + "." + col.name();
+      fs.column_index_.emplace(key, fs.column_keys_.size());
+      fs.column_keys_.push_back(key);
+      fs.column_min_.push_back(col.MinNumeric());
+      fs.column_max_.push_back(col.MaxNumeric());
+    }
+  }
+  // Joins: every FK edge fully inside the table subset, canonicalized.
+  for (const auto& fk : catalog.foreign_keys()) {
+    if (fs.table_index_.count(fk.fk_table) == 0 ||
+        fs.table_index_.count(fk.pk_table) == 0) {
+      continue;
+    }
+    workload::JoinEdge edge{fk.fk_table, fk.fk_column, fk.pk_table,
+                            fk.pk_column};
+    const std::string key = JoinKey(edge);
+    if (fs.join_index_.count(key) == 0) {
+      fs.join_index_.emplace(key, fs.join_keys_.size());
+      fs.join_keys_.push_back(key);
+    }
+  }
+  return fs;
+}
+
+Result<size_t> FeatureSpace::TableIndex(const std::string& table) const {
+  auto it = table_index_.find(table);
+  if (it == table_index_.end()) {
+    return Status::InvalidArgument("table '" + table +
+                                   "' is outside this sketch's feature space");
+  }
+  return it->second;
+}
+
+Result<QueryFeatures> FeatureSpace::Featurize(
+    const workload::QuerySpec& spec,
+    const std::vector<std::vector<uint8_t>>& bitmaps) const {
+  if (!bitmaps.empty() && bitmaps.size() != spec.tables.size()) {
+    return Status::InvalidArgument("bitmap count does not match table count");
+  }
+  QueryFeatures out;
+
+  // Table set: one-hot + bitmap (zero-padded to sample_size).
+  for (size_t i = 0; i < spec.tables.size(); ++i) {
+    DS_ASSIGN_OR_RETURN(size_t idx, TableIndex(spec.tables[i]));
+    std::vector<float> feat(table_dim(), 0.0f);
+    feat[idx] = 1.0f;
+    if (!bitmaps.empty()) {
+      const auto& bm = bitmaps[i];
+      const size_t n = std::min(bm.size(), sample_size_);
+      for (size_t j = 0; j < n; ++j) {
+        feat[table_names_.size() + j] = bm[j] ? 1.0f : 0.0f;
+      }
+    }
+    out.tables.push_back(std::move(feat));
+  }
+
+  // Join set: one-hot per edge.
+  for (const auto& join : spec.joins) {
+    auto it = join_index_.find(JoinKey(join));
+    if (it == join_index_.end()) {
+      return Status::InvalidArgument(
+          "join " + join.ToString() +
+          " is outside this sketch's feature space");
+    }
+    std::vector<float> feat(join_dim(), 0.0f);
+    feat[it->second] = 1.0f;
+    out.joins.push_back(std::move(feat));
+  }
+
+  // Predicate set: column one-hot ⊕ op one-hot ⊕ normalized literal.
+  for (const auto& pred : spec.predicates) {
+    const std::string key = pred.table + "." + pred.column;
+    auto it = column_index_.find(key);
+    if (it == column_index_.end()) {
+      return Status::InvalidArgument(
+          "column " + key + " is outside this sketch's feature space");
+    }
+    // The literal must resolve against the sketch's feature space, not the
+    // live database, so normalization only uses stored min/max. Categorical
+    // strings still need the dictionary; FeaturizeWithSamples and the
+    // training path both have access to columns sharing it. Here the literal
+    // is expected to be numeric already or resolvable via the predicate's
+    // CellValue (int64/double); strings reach us only through
+    // ResolvePredicateValue at a higher layer.
+    double value = 0;
+    if (const auto* i = std::get_if<int64_t>(&pred.literal)) {
+      value = static_cast<double>(*i);
+    } else if (const auto* d = std::get_if<double>(&pred.literal)) {
+      value = *d;
+    } else {
+      return Status::InvalidArgument(
+          "string literal must be resolved to its dictionary code before "
+          "featurization: " +
+          pred.ToString());
+    }
+    const size_t c = it->second;
+    const double lo = column_min_[c], hi = column_max_[c];
+    const double norm =
+        hi > lo ? std::clamp((value - lo) / (hi - lo), 0.0, 1.0) : 0.5;
+    std::vector<float> feat(pred_dim(), 0.0f);
+    feat[c] = 1.0f;
+    feat[column_keys_.size() + static_cast<size_t>(pred.op)] = 1.0f;
+    feat[column_keys_.size() + 3] = static_cast<float>(norm);
+    out.predicates.push_back(std::move(feat));
+  }
+  return out;
+}
+
+Result<workload::QuerySpec> ResolveStringLiterals(
+    const workload::QuerySpec& spec, const est::SampleSet& samples) {
+  workload::QuerySpec resolved = spec;
+  for (auto& pred : resolved.predicates) {
+    if (!std::holds_alternative<std::string>(pred.literal)) continue;
+    DS_ASSIGN_OR_RETURN(const est::TableSample* ts, samples.Get(pred.table));
+    DS_ASSIGN_OR_RETURN(const storage::Column* col,
+                        ts->rows->GetColumn(pred.column));
+    if (col->dict() == nullptr) {
+      return Status::InvalidArgument("string literal on non-categorical " +
+                                     pred.ToString());
+    }
+    DS_ASSIGN_OR_RETURN(
+        int64_t code, col->dict()->Lookup(std::get<std::string>(pred.literal)));
+    pred.literal = code;
+  }
+  return resolved;
+}
+
+Result<QueryFeatures> FeatureSpace::FeaturizeWithSamples(
+    const workload::QuerySpec& spec, const est::SampleSet& samples) const {
+  DS_ASSIGN_OR_RETURN(workload::QuerySpec resolved,
+                      ResolveStringLiterals(spec, samples));
+  std::vector<std::vector<uint8_t>> bitmaps;
+  bitmaps.reserve(resolved.tables.size());
+  for (const auto& table : resolved.tables) {
+    DS_ASSIGN_OR_RETURN(auto bitmap,
+                        samples.Bitmap(table, resolved.predicates));
+    bitmaps.push_back(std::move(bitmap));
+  }
+  return Featurize(resolved, bitmaps);
+}
+
+void FeatureSpace::Write(util::BinaryWriter* w) const {
+  w->WriteStringVector(table_names_);
+  w->WriteStringVector(join_keys_);
+  w->WriteStringVector(column_keys_);
+  w->WritePodVector(column_min_);
+  w->WritePodVector(column_max_);
+  w->WriteU64(sample_size_);
+}
+
+Result<FeatureSpace> FeatureSpace::Read(util::BinaryReader* r) {
+  FeatureSpace fs;
+  DS_RETURN_NOT_OK(r->ReadStringVector(&fs.table_names_));
+  DS_RETURN_NOT_OK(r->ReadStringVector(&fs.join_keys_));
+  DS_RETURN_NOT_OK(r->ReadStringVector(&fs.column_keys_));
+  DS_RETURN_NOT_OK(r->ReadPodVector(&fs.column_min_));
+  DS_RETURN_NOT_OK(r->ReadPodVector(&fs.column_max_));
+  uint64_t ss = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&ss));
+  fs.sample_size_ = ss;
+  if (fs.column_min_.size() != fs.column_keys_.size() ||
+      fs.column_max_.size() != fs.column_keys_.size()) {
+    return Status::ParseError("inconsistent feature space file");
+  }
+  for (size_t i = 0; i < fs.table_names_.size(); ++i) {
+    fs.table_index_.emplace(fs.table_names_[i], i);
+  }
+  for (size_t i = 0; i < fs.join_keys_.size(); ++i) {
+    fs.join_index_.emplace(fs.join_keys_[i], i);
+  }
+  for (size_t i = 0; i < fs.column_keys_.size(); ++i) {
+    fs.column_index_.emplace(fs.column_keys_[i], i);
+  }
+  return fs;
+}
+
+}  // namespace ds::mscn

@@ -1,0 +1,56 @@
+#include "ds/mscn/logger.h"
+
+#include <sstream>
+
+namespace ds::mscn {
+
+Result<TrainingLogger> TrainingLogger::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open training log: " + path);
+  }
+  std::fputs("epoch,train_loss,val_mean_q,val_median_q,seconds\n", f);
+  std::fflush(f);
+  return TrainingLogger(f);
+}
+
+void TrainingLogger::LogEpoch(const EpochStats& stats) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "%zu,%.6f,%.6f,%.6f,%.3f\n", stats.epoch,
+               stats.train_loss, stats.validation_mean_q,
+               stats.validation_median_q, stats.seconds);
+  std::fflush(file_);
+}
+
+std::string DescribeArchitecture(const ModelConfig& config) {
+  const size_t h = config.hidden_units;
+  auto mlp2 = [h](size_t in) {
+    // Linear(in, h) + Linear(h, h): weights + biases.
+    return in * h + h + h * h + h;
+  };
+  const size_t table_params = mlp2(config.table_dim);
+  const size_t join_params = mlp2(config.join_dim);
+  const size_t pred_params = mlp2(config.pred_dim);
+  const size_t out_params = 3 * h * h + h + h * 1 + 1;
+
+  std::ostringstream os;
+  os << "MSCN (multi-set convolutional network)\n"
+     << "  table module:     [" << config.table_dim << " -> " << h << " -> "
+     << h << "]  ReLU, shared over set elements   (" << table_params
+     << " params)\n"
+     << "  join module:      [" << config.join_dim << " -> " << h << " -> "
+     << h << "]  ReLU, shared over set elements   (" << join_params
+     << " params)\n"
+     << "  predicate module: [" << config.pred_dim << " -> " << h << " -> "
+     << h << "]  ReLU, shared over set elements   (" << pred_params
+     << " params)\n"
+     << "  per-set masked mean pooling -> concat [" << 3 * h << "]\n"
+     << "  output MLP:       [" << 3 * h << " -> " << h
+     << " -> 1]  ReLU, sigmoid head               (" << out_params
+     << " params)\n"
+     << "  total parameters: "
+     << table_params + join_params + pred_params + out_params << "\n";
+  return os.str();
+}
+
+}  // namespace ds::mscn

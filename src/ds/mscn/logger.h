@@ -1,0 +1,69 @@
+// Training-progress logging — the demo's TensorBoard substitute.
+//
+// The demo "uses TensorBoard to visualize the neural network architecture
+// and the training phase". Here, a TrainingLogger streams one CSV row per
+// epoch to a file (flushed immediately so an external plotter can tail it)
+// and can describe the model architecture in text.
+
+#ifndef DS_MSCN_LOGGER_H_
+#define DS_MSCN_LOGGER_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "ds/mscn/model.h"
+#include "ds/mscn/trainer.h"
+#include "ds/util/status.h"
+
+namespace ds::mscn {
+
+/// Streams per-epoch training statistics to a CSV file.
+class TrainingLogger {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  static Result<TrainingLogger> Open(const std::string& path);
+
+  TrainingLogger(TrainingLogger&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  TrainingLogger& operator=(TrainingLogger&& other) noexcept {
+    if (this != &other) {
+      Close();
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  TrainingLogger(const TrainingLogger&) = delete;
+  TrainingLogger& operator=(const TrainingLogger&) = delete;
+  ~TrainingLogger() { Close(); }
+
+  /// Appends one epoch row and flushes.
+  void LogEpoch(const EpochStats& stats);
+
+  /// An on_epoch callback bound to this logger (for TrainerOptions).
+  std::function<void(const EpochStats&)> Callback() {
+    return [this](const EpochStats& e) { LogEpoch(e); };
+  }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  explicit TrainingLogger(std::FILE* file) : file_(file) {}
+  std::FILE* file_ = nullptr;
+};
+
+/// A text rendering of the MSCN architecture (layer sizes and parameter
+/// counts) — the "visualize the neural network architecture" half of the
+/// demo's TensorBoard usage.
+std::string DescribeArchitecture(const ModelConfig& config);
+
+}  // namespace ds::mscn
+
+#endif  // DS_MSCN_LOGGER_H_

@@ -1,0 +1,146 @@
+#include "ds/mscn/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "ds/nn/optimizer.h"
+#include "ds/util/random.h"
+#include "ds/util/timer.h"
+
+namespace ds::mscn {
+
+std::string TrainingReport::ToCsv() const {
+  std::ostringstream os;
+  os << "epoch,train_loss,val_mean_q,val_median_q,seconds\n";
+  for (const auto& e : epochs) {
+    os << e.epoch << "," << e.train_loss << "," << e.validation_mean_q << ","
+       << e.validation_median_q << "," << e.seconds << "\n";
+  }
+  return os.str();
+}
+
+Result<TrainingReport> Trainer::Train(MscnModel* model, const Dataset& dataset,
+                                      const FeatureSpace& space) const {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  if (options_.batch_size == 0 || options_.epochs == 0) {
+    return Status::InvalidArgument("epochs and batch_size must be positive");
+  }
+  util::Pcg32 rng(options_.seed);
+
+  // Split train/validation.
+  std::vector<size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(&indices);
+  size_t num_val = static_cast<size_t>(
+      options_.validation_fraction * static_cast<double>(dataset.size()));
+  num_val = std::min(num_val, dataset.size() - 1);
+  std::vector<size_t> val_idx(indices.begin(), indices.begin() + num_val);
+  std::vector<size_t> train_idx(indices.begin() + num_val, indices.end());
+
+  TrainingReport report;
+  // "We logarithmize and then normalize cardinalities using the maximum
+  // cardinality present in the training data."
+  {
+    std::vector<uint64_t> train_cards;
+    train_cards.reserve(train_idx.size());
+    for (size_t i : train_idx) {
+      train_cards.push_back(static_cast<uint64_t>(dataset.labels[i]));
+    }
+    report.normalizer = nn::LogNormalizer::Fit(train_cards);
+  }
+
+  nn::Adam optimizer(model->Parameters(), options_.learning_rate);
+  util::WallTimer total_timer;
+
+  for (size_t epoch = 1; epoch <= options_.epochs; ++epoch) {
+    util::WallTimer epoch_timer;
+    rng.Shuffle(&train_idx);
+    double loss_sum = 0;
+    size_t num_batches = 0;
+    for (size_t off = 0; off < train_idx.size();
+         off += options_.batch_size) {
+      const size_t end = std::min(off + options_.batch_size, train_idx.size());
+      std::vector<size_t> batch_idx(train_idx.begin() + off,
+                                    train_idx.begin() + end);
+      Batch batch = MakeBatch(dataset, batch_idx, space);
+      nn::Tensor y = model->Forward(batch);
+      nn::Tensor dy(y.shape());
+      double loss;
+      if (options_.loss == LossKind::kQError) {
+        loss = nn::QErrorLoss(y, batch.labels, report.normalizer, &dy);
+      } else {
+        loss = nn::MseLoss(y, batch.labels, report.normalizer, &dy);
+      }
+      model->Backward(dy);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+      loss_sum += loss;
+      ++num_batches;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / static_cast<double>(num_batches);
+    if (!val_idx.empty()) {
+      auto preds = PredictIndices(model, dataset, space, report.normalizer,
+                                  val_idx, options_.batch_size);
+      std::vector<double> q;
+      q.reserve(val_idx.size());
+      for (size_t i = 0; i < val_idx.size(); ++i) {
+        q.push_back(util::QError(dataset.labels[val_idx[i]], preds[i]));
+      }
+      stats.validation_mean_q = util::Mean(q);
+      stats.validation_median_q = util::Median(q);
+    }
+    stats.seconds = epoch_timer.ElapsedSeconds();
+    if (options_.on_epoch) options_.on_epoch(stats);
+    report.epochs.push_back(stats);
+  }
+  report.total_seconds = total_timer.ElapsedSeconds();
+  return report;
+}
+
+std::vector<double> Trainer::PredictIndices(
+    MscnModel* model, const Dataset& dataset, const FeatureSpace& space,
+    const nn::LogNormalizer& normalizer, const std::vector<size_t>& indices,
+    size_t batch_size) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (size_t off = 0; off < indices.size(); off += batch_size) {
+    const size_t end = std::min(off + batch_size, indices.size());
+    std::vector<size_t> batch_idx(indices.begin() + off,
+                                  indices.begin() + end);
+    Batch batch = MakeBatch(dataset, batch_idx, space);
+    nn::Tensor y = model->Forward(batch);
+    for (size_t i = 0; i < batch_idx.size(); ++i) {
+      out.push_back(normalizer.Denormalize(static_cast<double>(y.at(i))));
+    }
+  }
+  return out;
+}
+
+std::vector<double> Trainer::Predict(MscnModel* model, const Dataset& dataset,
+                                     const FeatureSpace& space,
+                                     const nn::LogNormalizer& normalizer,
+                                     size_t batch_size) {
+  std::vector<size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return PredictIndices(model, dataset, space, normalizer, indices,
+                        batch_size);
+}
+
+std::vector<double> Trainer::QErrors(const std::vector<double>& predictions,
+                                     const Dataset& dataset) {
+  DS_CHECK_EQ(predictions.size(), dataset.size());
+  std::vector<double> q;
+  q.reserve(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    q.push_back(util::QError(dataset.labels[i], predictions[i]));
+  }
+  return q;
+}
+
+}  // namespace ds::mscn

@@ -1,0 +1,33 @@
+#include "ds/nn/gradcheck.h"
+
+#include <cmath>
+
+namespace ds::nn {
+
+GradCheckResult CheckParameterGradient(
+    Parameter* param, const std::function<double()>& loss_fn,
+    double epsilon) {
+  GradCheckResult result;
+  float* w = param->value.data();
+  const float* g = param->grad.data();
+  for (size_t i = 0; i < param->value.size(); ++i) {
+    const float saved = w[i];
+    w[i] = saved + static_cast<float>(epsilon);
+    const double up = loss_fn();
+    w[i] = saved - static_cast<float>(epsilon);
+    const double down = loss_fn();
+    w[i] = saved;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    const double analytic = static_cast<double>(g[i]);
+    const double abs_err = std::abs(numeric - analytic);
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    const double denom = std::max(std::abs(numeric), std::abs(analytic));
+    if (denom > 1e-4) {
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+    ++result.checked;
+  }
+  return result;
+}
+
+}  // namespace ds::nn

@@ -1,0 +1,30 @@
+// Numerical gradient checking: verifies analytic backward passes by central
+// finite differences. Used by the nn tests; exposed in the library so model
+// authors can validate new architectures.
+
+#ifndef DS_NN_GRADCHECK_H_
+#define DS_NN_GRADCHECK_H_
+
+#include <functional>
+
+#include "ds/nn/layers.h"
+
+namespace ds::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0;   // worst |analytic - numeric|
+  double max_rel_error = 0;   // worst relative error among non-tiny grads
+  size_t checked = 0;
+};
+
+/// Checks d(loss)/d(param) for every entry of `param` against central
+/// differences of `loss_fn`, which must recompute the full forward pass and
+/// return the scalar loss. The caller must have already populated
+/// param->grad via one analytic backward pass.
+GradCheckResult CheckParameterGradient(
+    Parameter* param, const std::function<double()>& loss_fn,
+    double epsilon = 1e-3);
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_GRADCHECK_H_

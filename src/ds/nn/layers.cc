@@ -1,0 +1,217 @@
+#include "ds/nn/layers.h"
+
+#include <cmath>
+
+namespace ds::nn {
+
+// ---- Linear --------------------------------------------------------------------
+
+Linear::Linear(std::string name, size_t in, size_t out)
+    : weight_(name + ".weight", {in, out}), bias_(name + ".bias", {out}) {}
+
+void Linear::Initialize(util::Pcg32* rng) {
+  const size_t in = weight_.value.dim(0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(in));
+  for (float& w : weight_.value.vec()) {
+    w = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+  bias_.value.Zero();
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  DS_CHECK_EQ(x.rank(), 2u);
+  cached_x_ = x;
+  Tensor y = MatMul(x, weight_.value);
+  AddBiasRows(&y, bias_.value);
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& dy) {
+  DS_CHECK(!cached_x_.empty());
+  // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
+  Tensor dw = MatMulTransposedA(cached_x_, dy);
+  Axpy(1.0f, dw, &weight_.grad);
+  SumRowsInto(dy, &bias_.grad);
+  return MatMulTransposedB(dy, weight_.value);
+}
+
+// ---- Activations ------------------------------------------------------------------
+
+Tensor ReLU::Forward(const Tensor& x) {
+  cached_x_ = x;
+  Tensor y = x;
+  for (float& v : y.vec()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& dy) {
+  DS_CHECK(dy.SameShape(cached_x_));
+  Tensor dx = dy;
+  const float* x = cached_x_.data();
+  float* d = dx.data();
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (x[i] <= 0.0f) d[i] = 0.0f;
+  }
+  return dx;
+}
+
+Tensor Sigmoid::Forward(const Tensor& x) {
+  Tensor y = x;
+  for (float& v : y.vec()) v = 1.0f / (1.0f + std::exp(-v));
+  cached_y_ = y;
+  return y;
+}
+
+Tensor Sigmoid::Backward(const Tensor& dy) {
+  DS_CHECK(dy.SameShape(cached_y_));
+  Tensor dx = dy;
+  const float* y = cached_y_.data();
+  float* d = dx.data();
+  for (size_t i = 0; i < dx.size(); ++i) d[i] *= y[i] * (1.0f - y[i]);
+  return dx;
+}
+
+// ---- Mlp ---------------------------------------------------------------------------
+
+Mlp::Mlp(std::string name, const std::vector<size_t>& sizes,
+         bool final_activation)
+    : final_activation_(final_activation) {
+  DS_CHECK_GE(sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.emplace_back(name + ".fc" + std::to_string(i), sizes[i],
+                         sizes[i + 1]);
+  }
+  relus_.resize(final_activation_ ? layers_.size() : layers_.size() - 1);
+}
+
+void Mlp::Initialize(util::Pcg32* rng) {
+  for (auto& l : layers_) l.Initialize(rng);
+}
+
+Tensor Mlp::Forward(const Tensor& x) {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i < relus_.size()) h = relus_[i].Forward(h);
+  }
+  return h;
+}
+
+Tensor Mlp::Backward(const Tensor& dy) {
+  Tensor d = dy;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (i < relus_.size()) d = relus_[i].Backward(d);
+    d = layers_[i].Backward(d);
+  }
+  return d;
+}
+
+std::vector<Parameter*> Mlp::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& l : layers_) {
+    for (Parameter* p : l.Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+// ---- MaskedMean -----------------------------------------------------------------------
+
+Tensor MaskedMean::Forward(const Tensor& flat, const Tensor& mask) {
+  DS_CHECK_EQ(flat.rank(), 2u);
+  DS_CHECK_EQ(mask.rank(), 2u);
+  const size_t b = mask.dim(0), s = mask.dim(1), h = flat.dim(1);
+  DS_CHECK_EQ(flat.dim(0), b * s);
+  cached_mask_ = mask;
+  cached_h_ = h;
+  cached_counts_.assign(b, 0.0f);
+  Tensor out({b, h});
+  for (size_t i = 0; i < b; ++i) {
+    float count = 0.0f;
+    float* orow = out.data() + i * h;
+    for (size_t j = 0; j < s; ++j) {
+      const float m = mask.at(i, j);
+      if (m == 0.0f) continue;
+      count += m;
+      const float* frow = flat.data() + (i * s + j) * h;
+      for (size_t k = 0; k < h; ++k) orow[k] += m * frow[k];
+    }
+    cached_counts_[i] = count;
+    if (count > 0.0f) {
+      const float inv = 1.0f / count;
+      for (size_t k = 0; k < h; ++k) orow[k] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor MaskedMean::Backward(const Tensor& dy) {
+  const size_t b = cached_mask_.dim(0), s = cached_mask_.dim(1);
+  const size_t h = cached_h_;
+  DS_CHECK_EQ(dy.dim(0), b);
+  DS_CHECK_EQ(dy.dim(1), h);
+  Tensor dflat({b * s, h});
+  for (size_t i = 0; i < b; ++i) {
+    const float count = cached_counts_[i];
+    if (count == 0.0f) continue;
+    const float inv = 1.0f / count;
+    const float* drow = dy.data() + i * h;
+    for (size_t j = 0; j < s; ++j) {
+      const float m = cached_mask_.at(i, j);
+      if (m == 0.0f) continue;
+      float* frow = dflat.data() + (i * s + j) * h;
+      const float scale = m * inv;
+      for (size_t k = 0; k < h; ++k) frow[k] = scale * drow[k];
+    }
+  }
+  return dflat;
+}
+
+// ---- Persistence -------------------------------------------------------------------------
+
+void WriteParameters(const std::vector<Parameter*>& params,
+                     util::BinaryWriter* writer) {
+  writer->WriteU64(params.size());
+  for (const Parameter* p : params) {
+    writer->WriteString(p->name);
+    std::vector<uint64_t> shape(p->value.shape().begin(),
+                                p->value.shape().end());
+    writer->WritePodVector(shape);
+    writer->WritePodVector(p->value.vec());
+  }
+}
+
+Status ReadParameters(util::BinaryReader* reader,
+                      const std::vector<Parameter*>& params) {
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(reader->ReadU64(&n));
+  if (n != params.size()) {
+    return Status::ParseError("parameter count mismatch: file has " +
+                              std::to_string(n) + ", model has " +
+                              std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    DS_RETURN_NOT_OK(reader->ReadString(&name));
+    if (name != p->name) {
+      return Status::ParseError("parameter name mismatch: file has '" + name +
+                                "', model expects '" + p->name + "'");
+    }
+    std::vector<uint64_t> shape;
+    DS_RETURN_NOT_OK(reader->ReadPodVector(&shape));
+    std::vector<size_t> want(p->value.shape().begin(),
+                             p->value.shape().end());
+    if (std::vector<size_t>(shape.begin(), shape.end()) != want) {
+      return Status::ParseError("parameter shape mismatch for '" + name + "'");
+    }
+    std::vector<float> data;
+    DS_RETURN_NOT_OK(reader->ReadPodVector(&data));
+    if (data.size() != p->value.size()) {
+      return Status::ParseError("parameter data size mismatch for '" + name +
+                                "'");
+    }
+    p->value.vec() = std::move(data);
+  }
+  return Status::OK();
+}
+
+}  // namespace ds::nn

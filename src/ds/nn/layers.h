@@ -1,0 +1,128 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// Each layer caches what its backward pass needs. Gradients accumulate into
+// Parameter::grad until the optimizer consumes them (call ZeroGrad between
+// steps). All layers operate on 2D activations [batch, features]; the MSCN
+// model flattens set dimensions into the batch dimension before calling
+// into them.
+
+#ifndef DS_NN_LAYERS_H_
+#define DS_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/nn/tensor.h"
+#include "ds/util/random.h"
+#include "ds/util/serialize.h"
+#include "ds/util/status.h"
+
+namespace ds::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(std::string n, std::vector<size_t> shape)
+      : name(std::move(n)), value(shape), grad(shape) {}
+};
+
+/// Fully connected layer: y = x W + b, x [N,in] -> y [N,out].
+class Linear {
+ public:
+  Linear(std::string name, size_t in, size_t out);
+
+  /// He-uniform initialization (suits the ReLU nets the MSCN uses).
+  void Initialize(util::Pcg32* rng);
+
+  Tensor Forward(const Tensor& x);
+  /// Returns dL/dx; accumulates dL/dW and dL/db. Must follow a Forward.
+  Tensor Backward(const Tensor& dy);
+
+  std::vector<Parameter*> Parameters() { return {&weight_, &bias_}; }
+  size_t in_features() const { return weight_.value.dim(0); }
+  size_t out_features() const { return weight_.value.dim(1); }
+
+ private:
+  Parameter weight_;  // [in, out]
+  Parameter bias_;    // [out]
+  Tensor cached_x_;
+};
+
+/// Elementwise max(0, x).
+class ReLU {
+ public:
+  Tensor Forward(const Tensor& x);
+  Tensor Backward(const Tensor& dy);
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Elementwise logistic sigmoid.
+class Sigmoid {
+ public:
+  Tensor Forward(const Tensor& x);
+  Tensor Backward(const Tensor& dy);
+
+ private:
+  Tensor cached_y_;
+};
+
+/// A stack of Linear+ReLU blocks: sizes = {in, h1, ..., out}. The final
+/// layer's ReLU is optional (the MSCN set modules use ReLU everywhere; the
+/// output head ends in a bare Linear followed by an external Sigmoid).
+class Mlp {
+ public:
+  Mlp(std::string name, const std::vector<size_t>& sizes,
+      bool final_activation);
+
+  void Initialize(util::Pcg32* rng);
+  Tensor Forward(const Tensor& x);
+  Tensor Backward(const Tensor& dy);
+  std::vector<Parameter*> Parameters();
+
+  size_t in_features() const { return layers_.front().in_features(); }
+  size_t out_features() const { return layers_.back().out_features(); }
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<ReLU> relus_;  // relus_[i] follows layers_[i] where applicable
+  bool final_activation_;
+};
+
+/// Masked mean over a set dimension: given per-element features
+/// flat [B*S, H] and a mask [B, S] (1 = real element, 0 = padding), produces
+/// the per-set average [B, H] over real elements. This is the Deep Sets
+/// style pooling at the heart of the MSCN (§2 of the paper).
+class MaskedMean {
+ public:
+  /// `flat` is [B*S, H]; `mask` is [B, S]. A set with no real elements
+  /// yields a zero vector.
+  Tensor Forward(const Tensor& flat, const Tensor& mask);
+  /// dy is [B, H]; returns gradient for `flat` [B*S, H].
+  Tensor Backward(const Tensor& dy);
+
+ private:
+  Tensor cached_mask_;
+  std::vector<float> cached_counts_;  // real elements per set
+  size_t cached_h_ = 0;
+};
+
+// ---- Parameter persistence -----------------------------------------------------
+
+/// Writes all parameters (shape + data) in order.
+void WriteParameters(const std::vector<Parameter*>& params,
+                     util::BinaryWriter* writer);
+
+/// Restores parameters written by WriteParameters into an identically
+/// structured parameter list; fails on shape or name mismatch.
+Status ReadParameters(util::BinaryReader* reader,
+                      const std::vector<Parameter*>& params);
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_LAYERS_H_

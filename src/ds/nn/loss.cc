@@ -1,0 +1,85 @@
+#include "ds/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ds/util/logging.h"
+
+namespace ds::nn {
+
+LogNormalizer LogNormalizer::Fit(const std::vector<uint64_t>& cards) {
+  LogNormalizer n;
+  n.min_log = 0.0;
+  double max_log = 1.0;
+  for (uint64_t c : cards) {
+    max_log = std::max(max_log, std::log(static_cast<double>(std::max<uint64_t>(c, 1))));
+  }
+  n.max_log = max_log;
+  return n;
+}
+
+double LogNormalizer::Normalize(double cardinality) const {
+  const double l = std::log(std::max(cardinality, 1.0));
+  const double span = std::max(max_log - min_log, 1e-9);
+  return std::clamp((l - min_log) / span, 0.0, 1.0);
+}
+
+double LogNormalizer::Denormalize(double y) const {
+  const double span = std::max(max_log - min_log, 1e-9);
+  return std::max(std::exp(y * span + min_log), 1.0);
+}
+
+void LogNormalizer::Write(util::BinaryWriter* writer) const {
+  writer->WriteF64(min_log);
+  writer->WriteF64(max_log);
+}
+
+Result<LogNormalizer> LogNormalizer::Read(util::BinaryReader* reader) {
+  LogNormalizer n;
+  DS_RETURN_NOT_OK(reader->ReadF64(&n.min_log));
+  DS_RETURN_NOT_OK(reader->ReadF64(&n.max_log));
+  return n;
+}
+
+double QErrorLoss(const Tensor& y, const std::vector<double>& true_cards,
+                  const LogNormalizer& norm, Tensor* dy) {
+  const size_t b = y.dim(0);
+  DS_CHECK_EQ(b, true_cards.size());
+  DS_CHECK(y.SameShape(*dy));
+  const double span = std::max(norm.max_log - norm.min_log, 1e-9);
+  double total = 0;
+  for (size_t i = 0; i < b; ++i) {
+    const double yi = std::clamp(static_cast<double>(y.at(i)), 1e-6, 1.0 - 1e-6);
+    const double est = norm.Denormalize(yi);
+    const double truth = std::max(true_cards[i], 1.0);
+    double q, dq_dy;
+    if (est >= truth) {
+      q = est / truth;
+      // d(est)/dy = est * span  =>  dq/dy = q * span.
+      dq_dy = q * span;
+    } else {
+      q = truth / est;
+      dq_dy = -q * span;
+    }
+    total += q;
+    dy->at(i) = static_cast<float>(dq_dy / static_cast<double>(b));
+  }
+  return total / static_cast<double>(b);
+}
+
+double MseLoss(const Tensor& y, const std::vector<double>& true_cards,
+               const LogNormalizer& norm, Tensor* dy) {
+  const size_t b = y.dim(0);
+  DS_CHECK_EQ(b, true_cards.size());
+  DS_CHECK(y.SameShape(*dy));
+  double total = 0;
+  for (size_t i = 0; i < b; ++i) {
+    const double target = norm.Normalize(true_cards[i]);
+    const double diff = static_cast<double>(y.at(i)) - target;
+    total += diff * diff;
+    dy->at(i) = static_cast<float>(2.0 * diff / static_cast<double>(b));
+  }
+  return total / static_cast<double>(b);
+}
+
+}  // namespace ds::nn

@@ -1,0 +1,49 @@
+// Training objectives.
+//
+// The paper trains MSCN "with the objective of minimizing the mean q-error"
+// (Moerkotte et al.'s factor between true and estimated cardinality, >= 1).
+// The model's sigmoid output lives in (0,1) and is interpreted through a
+// LogNormalizer: y = (log(card) - min_log) / (max_log - min_log), where the
+// bounds come from the training labels ("we logarithmize and then normalize
+// cardinalities using the maximum cardinality present in the training
+// data"). An MSE-on-normalized-labels loss is included for ablation.
+
+#ifndef DS_NN_LOSS_H_
+#define DS_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/nn/tensor.h"
+#include "ds/util/serialize.h"
+
+namespace ds::nn {
+
+/// Maps cardinalities to/from the model's (0,1) output scale.
+struct LogNormalizer {
+  double min_log = 0.0;  // log(1) — the paper normalizes by the max only
+  double max_log = 1.0;
+
+  /// Fits max_log (and min_log = 0) from training cardinalities.
+  static LogNormalizer Fit(const std::vector<uint64_t>& cardinalities);
+
+  double Normalize(double cardinality) const;
+  /// Inverse of Normalize; output clamped to >= 1 tuple.
+  double Denormalize(double y) const;
+
+  void Write(util::BinaryWriter* writer) const;
+  static Result<LogNormalizer> Read(util::BinaryReader* reader);
+};
+
+/// Mean q-error of sigmoid outputs `y` [B,1] against true cardinalities;
+/// fills `dy` (same shape) with dLoss/dy. Returns the mean q-error.
+double QErrorLoss(const Tensor& y, const std::vector<double>& true_cards,
+                  const LogNormalizer& norm, Tensor* dy);
+
+/// Mean squared error in normalized-log space; fills `dy`. Returns the loss.
+double MseLoss(const Tensor& y, const std::vector<double>& true_cards,
+               const LogNormalizer& norm, Tensor* dy);
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_LOSS_H_

@@ -1,0 +1,58 @@
+// Optimizers: SGD (with momentum) and Adam. The paper trains MSCN with
+// Adam via PyTorch; SGD is kept for ablations.
+
+#ifndef DS_NN_OPTIMIZER_H_
+#define DS_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "ds/nn/layers.h"
+
+namespace ds::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all gradient accumulators (call after Step).
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->grad.Zero();
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_OPTIMIZER_H_

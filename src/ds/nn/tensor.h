@@ -1,0 +1,121 @@
+// A minimal dense float32 tensor for the from-scratch neural network.
+//
+// This replaces the paper's PyTorch dependency. Tensors are row-major and
+// CPU-only; the library implements exactly the operations the MSCN model
+// needs (matmul, bias, elementwise ops, masked set pooling) with explicit
+// backward passes — no general autograd, the model wires gradients by hand
+// and verifies them against numerical differentiation in tests.
+
+#ifndef DS_NN_TENSOR_H_
+#define DS_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ds/util/logging.h"
+
+namespace ds::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
+    size_t n = 1;
+    for (size_t d : shape_) n *= d;
+    data_.assign(n, 0.0f);
+  }
+
+  static Tensor Zeros(std::vector<size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  static Tensor FromData(std::vector<size_t> shape, std::vector<float> data) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    size_t n = 1;
+    for (size_t d : t.shape_) n *= d;
+    DS_CHECK_EQ(n, data.size());
+    t.data_ = std::move(data);
+    return t;
+  }
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t dim(size_t i) const { return shape_[i]; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& at(size_t i) { return data_[i]; }
+  float at(size_t i) const { return data_[i]; }
+
+  float& at(size_t i, size_t j) {
+    DS_CHECK_EQ(rank(), 2u);
+    return data_[i * shape_[1] + j];
+  }
+  float at(size_t i, size_t j) const {
+    DS_CHECK_EQ(rank(), 2u);
+    return data_[i * shape_[1] + j];
+  }
+
+  float& at(size_t i, size_t j, size_t k) {
+    DS_CHECK_EQ(rank(), 3u);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at(size_t i, size_t j, size_t k) const {
+    DS_CHECK_EQ(rank(), 3u);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  /// Reinterprets the tensor with a new shape of identical element count
+  /// (row-major data is untouched).
+  Tensor Reshaped(std::vector<size_t> shape) const {
+    Tensor t = *this;
+    size_t n = 1;
+    for (size_t d : shape) n *= d;
+    DS_CHECK_EQ(n, size());
+    t.shape_ = std::move(shape);
+    return t;
+  }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+// ---- Functional ops (allocate results) ---------------------------------------
+
+/// C = A x B for 2D tensors: [n,k] x [k,m] -> [n,m].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A x B^T: [n,k] x [m,k] -> [n,m]. Used in backward passes.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// C = A^T x B: [n,k] x [n,m] -> [k,m]. Used for weight gradients.
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// Adds row vector `bias` [m] to every row of `x` [n,m], in place.
+void AddBiasRows(Tensor* x, const Tensor& bias);
+
+/// Column sums of `x` [n,m] -> [m]; accumulates into `out`.
+void SumRowsInto(const Tensor& x, Tensor* out);
+
+/// out += a * x (same shapes).
+void Axpy(float a, const Tensor& x, Tensor* out);
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_TENSOR_H_

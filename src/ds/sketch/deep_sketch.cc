@@ -1,0 +1,327 @@
+#include "ds/sketch/deep_sketch.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ds/storage/table_io.h"
+#include "ds/workload/generator.h"
+#include "ds/workload/labeler.h"
+
+namespace ds::sketch {
+
+namespace {
+constexpr uint32_t kMagic = 0x44534b54;  // "DSKT"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Result<DeepSketch> DeepSketch::Train(const storage::Catalog& db,
+                                     const SketchConfig& config,
+                                     const TrainingMonitor* monitor) {
+  std::vector<std::string> tables =
+      config.tables.empty() ? db.table_names() : config.tables;
+
+  // Step 1-2: materialize samples, generate uniform training queries.
+  DS_ASSIGN_OR_RETURN(est::SampleSet samples,
+                      est::SampleSet::Build(db, config.num_samples,
+                                            config.seed, tables));
+  workload::GeneratorOptions gen_opts;
+  gen_opts.tables = tables;
+  gen_opts.min_tables = 1;
+  gen_opts.max_tables = std::min(config.max_tables_per_query, tables.size());
+  gen_opts.min_predicates = config.min_predicates;
+  gen_opts.max_predicates = config.max_predicates;
+  gen_opts.seed = config.seed + 1;
+  DS_ASSIGN_OR_RETURN(auto generator,
+                      workload::QueryGenerator::Create(&db, gen_opts));
+  std::vector<workload::QuerySpec> queries =
+      generator.GenerateMany(config.num_training_queries);
+
+  // Step 3: execute against the database and the samples.
+  workload::LabelerOptions label_opts;
+  if (monitor != nullptr && monitor->on_labeling_progress) {
+    label_opts.progress = monitor->on_labeling_progress;
+  }
+  DS_ASSIGN_OR_RETURN(auto labeled,
+                      workload::LabelQueries(db, &samples, queries,
+                                             label_opts));
+  return TrainOnWorkload(db, config, std::move(samples), labeled, monitor);
+}
+
+Result<DeepSketch> DeepSketch::TrainOnWorkload(
+    const storage::Catalog& db, const SketchConfig& config,
+    est::SampleSet samples, const std::vector<workload::LabeledQuery>& workload,
+    const TrainingMonitor* monitor) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("training workload is empty");
+  }
+  DeepSketch sketch;
+  sketch.tables_ = config.tables.empty() ? db.table_names() : config.tables;
+  sketch.use_sample_bitmaps_ = config.use_sample_bitmaps;
+  sketch.num_samples_ = config.num_samples;
+  sketch.samples_ = std::move(samples);
+
+  // Key metadata for the embedded schema.
+  std::unordered_set<std::string> in_subset(sketch.tables_.begin(),
+                                            sketch.tables_.end());
+  for (const auto& fk : db.foreign_keys()) {
+    if (in_subset.count(fk.fk_table) > 0 && in_subset.count(fk.pk_table) > 0) {
+      sketch.fks_.push_back(fk);
+    }
+  }
+  for (const auto& t : sketch.tables_) {
+    auto pk = db.GetPrimaryKey(t);
+    if (pk.ok()) sketch.pks_.emplace_back(t, *pk);
+  }
+
+  // Step 4: featurize and train.
+  DS_ASSIGN_OR_RETURN(
+      sketch.space_,
+      mscn::FeatureSpace::Create(db, sketch.tables_, config.num_samples));
+  const std::vector<workload::LabeledQuery>* train_workload = &workload;
+  std::vector<workload::LabeledQuery> stripped;
+  if (!config.use_sample_bitmaps) {
+    stripped = workload;
+    for (auto& lq : stripped) lq.bitmaps.clear();
+    train_workload = &stripped;
+  }
+  DS_ASSIGN_OR_RETURN(
+      mscn::Dataset dataset,
+      mscn::Dataset::Build(sketch.space_, sketch.samples_, *train_workload));
+
+  mscn::ModelConfig model_config;
+  model_config.table_dim = sketch.space_.table_dim();
+  model_config.join_dim = sketch.space_.join_dim();
+  model_config.pred_dim = sketch.space_.pred_dim();
+  model_config.hidden_units = config.hidden_units;
+  sketch.model_ = std::make_unique<mscn::MscnModel>(model_config);
+  util::Pcg32 init_rng(config.seed + 2);
+  sketch.model_->Initialize(&init_rng);
+
+  mscn::TrainerOptions trainer_opts;
+  trainer_opts.epochs = config.num_epochs;
+  trainer_opts.batch_size = config.batch_size;
+  trainer_opts.learning_rate = config.learning_rate;
+  trainer_opts.loss = config.loss;
+  trainer_opts.validation_fraction = config.validation_fraction;
+  trainer_opts.seed = config.seed + 3;
+  if (monitor != nullptr && monitor->on_epoch) {
+    trainer_opts.on_epoch = monitor->on_epoch;
+  }
+  mscn::Trainer trainer(trainer_opts);
+  DS_ASSIGN_OR_RETURN(sketch.report_,
+                      trainer.Train(sketch.model_.get(), dataset,
+                                    sketch.space_));
+  sketch.normalizer_ = sketch.report_.normalizer;
+
+  DS_RETURN_NOT_OK(sketch.BuildSampleCatalog());
+  return sketch;
+}
+
+Status DeepSketch::BuildSampleCatalog() {
+  sample_catalog_ = std::make_unique<storage::Catalog>();
+  for (const auto& ts : samples_.samples()) {
+    DS_ASSIGN_OR_RETURN(storage::Table * dst,
+                        sample_catalog_->CreateTable(ts.table_name));
+    // Clone columns sharing dictionaries with the sample tables (cheap: the
+    // sample is small, and the shared dictionary keeps literal resolution
+    // consistent).
+    for (size_t c = 0; c < ts.rows->num_columns(); ++c) {
+      const storage::Column& src = ts.rows->column(c);
+      storage::Column* col;
+      if (src.type() == storage::ColumnType::kCategorical) {
+        DS_ASSIGN_OR_RETURN(
+            col, dst->AddCategoricalColumnSharing(src.name(), src.dict()));
+      } else {
+        DS_ASSIGN_OR_RETURN(col, dst->AddColumn(src.name(), src.type()));
+      }
+      for (size_t r = 0; r < src.size(); ++r) col->AppendFrom(src, r);
+    }
+  }
+  for (const auto& [table, column] : pks_) {
+    DS_RETURN_NOT_OK(sample_catalog_->SetPrimaryKey(table, column));
+  }
+  for (const auto& fk : fks_) {
+    DS_RETURN_NOT_OK(sample_catalog_->AddForeignKey(fk.fk_table, fk.fk_column,
+                                                    fk.pk_table,
+                                                    fk.pk_column));
+  }
+  return Status::OK();
+}
+
+Result<sql::BoundQuery> DeepSketch::BindSql(const std::string& sql) const {
+  DS_ASSIGN_OR_RETURN(sql::ParsedQuery parsed, sql::Parse(sql));
+  return sql::Bind(*sample_catalog_, parsed);
+}
+
+Result<double> DeepSketch::EstimateSql(const std::string& sql) const {
+  DS_ASSIGN_OR_RETURN(sql::BoundQuery bound, BindSql(sql));
+  if (bound.placeholder.has_value()) {
+    return Status::InvalidArgument(
+        "query contains a '?' placeholder; use the template API");
+  }
+  return EstimateCardinality(bound.spec);
+}
+
+Result<double> DeepSketch::EstimateCardinality(
+    const workload::QuerySpec& spec) const {
+  auto features =
+      use_sample_bitmaps_
+          ? space_.FeaturizeWithSamples(spec, samples_)
+          : [&]() -> Result<mscn::QueryFeatures> {
+              DS_ASSIGN_OR_RETURN(workload::QuerySpec resolved,
+                                  mscn::ResolveStringLiterals(spec, samples_));
+              return space_.Featurize(resolved, {});
+            }();
+  if (!features.ok()) {
+    if (features.status().code() == StatusCode::kNotFound) {
+      // A categorical literal that does not exist anywhere in the data: the
+      // true count is 0; estimate the minimum.
+      return 1.0;
+    }
+    return features.status();
+  }
+  mscn::Dataset single;
+  single.features.push_back(std::move(features).value());
+  single.labels.push_back(0);
+  mscn::Batch batch = mscn::MakeBatch(single, {0}, space_);
+  nn::Tensor y = model_->Forward(batch);
+  return normalizer_.Denormalize(static_cast<double>(y.at(0)));
+}
+
+Result<std::vector<double>> DeepSketch::EstimateMany(
+    const std::vector<workload::QuerySpec>& specs) const {
+  std::vector<double> out(specs.size(), 1.0);
+  mscn::Dataset batch_set;
+  std::vector<size_t> positions;  // index into `out` per featurized query
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto features =
+        use_sample_bitmaps_
+            ? space_.FeaturizeWithSamples(specs[i], samples_)
+            : [&]() -> Result<mscn::QueryFeatures> {
+                DS_ASSIGN_OR_RETURN(
+                    workload::QuerySpec resolved,
+                    mscn::ResolveStringLiterals(specs[i], samples_));
+                return space_.Featurize(resolved, {});
+              }();
+    if (!features.ok()) {
+      if (features.status().code() == StatusCode::kNotFound) {
+        continue;  // unknown literal: keep the minimum estimate of 1
+      }
+      return features.status();
+    }
+    batch_set.features.push_back(std::move(features).value());
+    batch_set.labels.push_back(0);
+    positions.push_back(i);
+  }
+  if (!positions.empty()) {
+    std::vector<size_t> indices(positions.size());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    mscn::Batch batch = mscn::MakeBatch(batch_set, indices, space_);
+    nn::Tensor y = model_->Forward(batch);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      out[positions[i]] =
+          normalizer_.Denormalize(static_cast<double>(y.at(i)));
+    }
+  }
+  return out;
+}
+
+void DeepSketch::Write(util::BinaryWriter* w) const {
+  w->WriteU32(kMagic);
+  w->WriteU32(kVersion);
+  w->WriteBool(use_sample_bitmaps_);
+  w->WriteStringVector(tables_);
+  w->WriteU64(fks_.size());
+  for (const auto& fk : fks_) {
+    w->WriteString(fk.fk_table);
+    w->WriteString(fk.fk_column);
+    w->WriteString(fk.pk_table);
+    w->WriteString(fk.pk_column);
+  }
+  w->WriteU64(pks_.size());
+  for (const auto& [t, c] : pks_) {
+    w->WriteString(t);
+    w->WriteString(c);
+  }
+  w->WriteU64(num_samples_);
+  w->WriteU64(samples_.samples().size());
+  for (const auto& ts : samples_.samples()) {
+    w->WriteString(ts.table_name);
+    w->WriteU64(ts.base_row_count);
+    storage::WriteTable(*ts.rows, w);
+  }
+  space_.Write(w);
+  normalizer_.Write(w);
+  model_->Write(w);
+}
+
+Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
+  uint32_t magic = 0, version = 0;
+  DS_RETURN_NOT_OK(r->ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::ParseError("not a deep sketch file");
+  }
+  DS_RETURN_NOT_OK(r->ReadU32(&version));
+  if (version != kVersion) {
+    return Status::ParseError("unsupported sketch version " +
+                              std::to_string(version));
+  }
+  DeepSketch sketch;
+  DS_RETURN_NOT_OK(r->ReadBool(&sketch.use_sample_bitmaps_));
+  DS_RETURN_NOT_OK(r->ReadStringVector(&sketch.tables_));
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&n));
+  sketch.fks_.resize(n);
+  for (auto& fk : sketch.fks_) {
+    DS_RETURN_NOT_OK(r->ReadString(&fk.fk_table));
+    DS_RETURN_NOT_OK(r->ReadString(&fk.fk_column));
+    DS_RETURN_NOT_OK(r->ReadString(&fk.pk_table));
+    DS_RETURN_NOT_OK(r->ReadString(&fk.pk_column));
+  }
+  DS_RETURN_NOT_OK(r->ReadU64(&n));
+  sketch.pks_.resize(n);
+  for (auto& [t, c] : sketch.pks_) {
+    DS_RETURN_NOT_OK(r->ReadString(&t));
+    DS_RETURN_NOT_OK(r->ReadString(&c));
+  }
+  uint64_t num_samples = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&num_samples));
+  sketch.num_samples_ = num_samples;
+  DS_RETURN_NOT_OK(r->ReadU64(&n));
+  std::vector<est::TableSample> samples;
+  samples.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    est::TableSample ts;
+    DS_RETURN_NOT_OK(r->ReadString(&ts.table_name));
+    DS_RETURN_NOT_OK(r->ReadU64(&ts.base_row_count));
+    DS_ASSIGN_OR_RETURN(ts.rows, storage::ReadTable(r));
+    samples.push_back(std::move(ts));
+  }
+  sketch.samples_ = est::SampleSet::FromSamples(std::move(samples),
+                                                num_samples);
+  DS_ASSIGN_OR_RETURN(sketch.space_, mscn::FeatureSpace::Read(r));
+  DS_ASSIGN_OR_RETURN(sketch.normalizer_, nn::LogNormalizer::Read(r));
+  DS_ASSIGN_OR_RETURN(mscn::MscnModel model, mscn::MscnModel::Read(r));
+  sketch.model_ = std::make_unique<mscn::MscnModel>(std::move(model));
+  DS_RETURN_NOT_OK(sketch.BuildSampleCatalog());
+  return sketch;
+}
+
+Status DeepSketch::Save(const std::string& path) const {
+  util::BinaryWriter w;
+  Write(&w);
+  return w.WriteToFile(path);
+}
+
+Result<DeepSketch> DeepSketch::Load(const std::string& path) {
+  DS_ASSIGN_OR_RETURN(auto reader, util::BinaryReader::FromFile(path));
+  return Read(&reader);
+}
+
+size_t DeepSketch::SerializedSize() const {
+  util::BinaryWriter w;
+  Write(&w);
+  return w.size();
+}
+
+}  // namespace ds::sketch

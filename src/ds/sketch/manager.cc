@@ -1,0 +1,70 @@
+#include "ds/sketch/manager.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+namespace ds::sketch {
+
+namespace fs = std::filesystem;
+
+std::string SketchManager::PathFor(const std::string& name) const {
+  return directory_ + "/" + name + ".sketch";
+}
+
+Result<const DeepSketch*> SketchManager::CreateSketch(
+    const std::string& name, const SketchConfig& config,
+    const TrainingMonitor* monitor) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("invalid sketch name '" + name + "'");
+  }
+  if (cache_.count(name) > 0 || fs::exists(PathFor(name))) {
+    return Status::AlreadyExists("sketch '" + name + "' already exists");
+  }
+  DS_ASSIGN_OR_RETURN(DeepSketch sketch,
+                      DeepSketch::Train(*db_, config, monitor));
+  DS_RETURN_NOT_OK(sketch.Save(PathFor(name)));
+  auto owned = std::make_unique<DeepSketch>(std::move(sketch));
+  const DeepSketch* ptr = owned.get();
+  cache_.emplace(name, std::move(owned));
+  return ptr;
+}
+
+std::vector<std::string> SketchManager::ListSketches() const {
+  std::set<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".sketch") names.insert(p.stem().string());
+  }
+  for (const auto& [name, _] : cache_) names.insert(name);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Result<const DeepSketch*> SketchManager::GetSketch(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it != cache_.end()) return static_cast<const DeepSketch*>(it->second.get());
+  DS_ASSIGN_OR_RETURN(DeepSketch sketch, DeepSketch::Load(PathFor(name)));
+  auto owned = std::make_unique<DeepSketch>(std::move(sketch));
+  const DeepSketch* ptr = owned.get();
+  cache_.emplace(name, std::move(owned));
+  return ptr;
+}
+
+Status SketchManager::DropSketch(const std::string& name) {
+  cache_.erase(name);
+  std::error_code ec;
+  if (!fs::remove(PathFor(name), ec) || ec) {
+    return Status::NotFound("no persisted sketch '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Result<double> SketchManager::Estimate(const std::string& name,
+                                       const std::string& sql) {
+  DS_ASSIGN_OR_RETURN(const DeepSketch* sketch, GetSketch(name));
+  return sketch->EstimateSql(sql);
+}
+
+}  // namespace ds::sketch

@@ -1,0 +1,54 @@
+// SketchManager: the backend of the demo's SHOW SKETCHES pane (§3).
+//
+// Manages named sketches persisted in a directory: users "select existing
+// and create new sketches", query pre-built models right away, and train new
+// models while querying existing ones. This is the high-level entry point
+// the examples use.
+
+#ifndef DS_SKETCH_MANAGER_H_
+#define DS_SKETCH_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/sketch/deep_sketch.h"
+
+namespace ds::sketch {
+
+class SketchManager {
+ public:
+  /// `db` must outlive the manager; `directory` must exist and is where
+  /// sketch files (<name>.sketch) live.
+  SketchManager(const storage::Catalog* db, std::string directory)
+      : db_(db), directory_(std::move(directory)) {}
+
+  /// Trains a new sketch and persists it. Fails if the name exists.
+  Result<const DeepSketch*> CreateSketch(
+      const std::string& name, const SketchConfig& config,
+      const TrainingMonitor* monitor = nullptr);
+
+  /// Names of all sketches in the directory (persisted + just created).
+  std::vector<std::string> ListSketches() const;
+
+  /// Loads (and caches) a sketch by name.
+  Result<const DeepSketch*> GetSketch(const std::string& name);
+
+  /// Removes a sketch file and drops it from the cache.
+  Status DropSketch(const std::string& name);
+
+  /// One-call estimation against a named sketch.
+  Result<double> Estimate(const std::string& name, const std::string& sql);
+
+  std::string PathFor(const std::string& name) const;
+
+ private:
+  const storage::Catalog* db_;
+  std::string directory_;
+  std::map<std::string, std::unique_ptr<DeepSketch>> cache_;
+};
+
+}  // namespace ds::sketch
+
+#endif  // DS_SKETCH_MANAGER_H_

@@ -1,0 +1,145 @@
+#include "ds/sketch/template.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ds::sketch {
+
+namespace {
+
+using storage::CellValue;
+using storage::Column;
+using storage::ColumnType;
+using workload::ColumnPredicate;
+using workload::CompareOp;
+using workload::QuerySpec;
+
+std::string ValueLabel(const Column& col, double v) {
+  if (col.type() == ColumnType::kCategorical) {
+    return col.dict()->Decode(static_cast<int64_t>(v));
+  }
+  if (col.type() == ColumnType::kInt64) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+CellValue NumericToCell(const Column& col, double v) {
+  switch (col.type()) {
+    case ColumnType::kInt64:
+      return static_cast<int64_t>(v);
+    case ColumnType::kFloat64:
+      return v;
+    case ColumnType::kCategorical:
+      return col.dict()->Decode(static_cast<int64_t>(v));
+  }
+  return int64_t{0};
+}
+
+}  // namespace
+
+Result<std::vector<TemplateInstance>> InstantiateTemplate(
+    const sql::BoundQuery& bound, const est::SampleSet& samples,
+    const TemplateOptions& options) {
+  if (!bound.placeholder.has_value()) {
+    return Status::InvalidArgument("query has no '?' placeholder");
+  }
+  const auto& ph = *bound.placeholder;
+  DS_ASSIGN_OR_RETURN(const est::TableSample* ts, samples.Get(ph.table));
+  DS_ASSIGN_OR_RETURN(const Column* col, ts->rows->GetColumn(ph.column));
+
+  // Distinct sampled values, sorted: "we draw a value from the column sample
+  // that is part of the sketch."
+  std::set<double> distinct;
+  for (size_t r = 0; r < col->size(); ++r) {
+    if (!col->IsNull(r)) distinct.insert(col->GetNumeric(r));
+  }
+  if (distinct.empty()) {
+    return Status::InvalidArgument("placeholder column '" + ph.table + "." +
+                                   ph.column +
+                                   "' has no non-null sampled values");
+  }
+  std::vector<double> values(distinct.begin(), distinct.end());
+
+  std::vector<TemplateInstance> instances;
+
+  if (options.grouping == TemplateOptions::Grouping::kDistinct) {
+    // Evenly subsample the sorted domain when over the cap.
+    std::vector<double> chosen;
+    if (options.max_instances <= 1) {
+      chosen.push_back(values[values.size() / 2]);
+    } else if (values.size() <= options.max_instances) {
+      chosen = values;
+    } else {
+      for (size_t i = 0; i < options.max_instances; ++i) {
+        size_t idx = i * (values.size() - 1) / (options.max_instances - 1);
+        chosen.push_back(values[idx]);
+      }
+      chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    }
+    for (double v : chosen) {
+      TemplateInstance inst;
+      inst.label = ValueLabel(*col, v);
+      inst.spec = bound.spec;
+      ColumnPredicate pred;
+      pred.table = ph.table;
+      pred.column = ph.column;
+      pred.op = ph.op;
+      pred.literal = NumericToCell(*col, v);
+      inst.spec.predicates.push_back(std::move(pred));
+      instances.push_back(std::move(inst));
+    }
+    return instances;
+  }
+
+  // Bucket grouping: contiguous ranges over the sorted sampled values.
+  if (ph.op != CompareOp::kEq) {
+    return Status::InvalidArgument(
+        "bucket grouping requires an '=' placeholder");
+  }
+  if (col->type() == ColumnType::kCategorical) {
+    return Status::InvalidArgument(
+        "bucket grouping is not defined for categorical columns");
+  }
+  const size_t num_buckets =
+      std::max<size_t>(1, std::min(options.num_buckets, values.size()));
+  for (size_t b = 0; b < num_buckets; ++b) {
+    const size_t begin = b * values.size() / num_buckets;
+    const size_t end = (b + 1) * values.size() / num_buckets;
+    if (begin >= end) continue;
+    const double first = values[begin];
+    const double last = values[end - 1];
+    TemplateInstance inst;
+    inst.label = "[" + ValueLabel(*col, first) + " .. " +
+                 ValueLabel(*col, last) + "]";
+    inst.spec = bound.spec;
+    // (first, last) inclusive via strict bounds nudged outside the range.
+    double lo, hi;
+    if (col->type() == ColumnType::kInt64) {
+      lo = first - 1;
+      hi = last + 1;
+    } else {
+      const double nudge =
+          1e-9 * std::max(1.0, std::abs(last) + std::abs(first));
+      lo = first - nudge;
+      hi = last + nudge;
+    }
+    ColumnPredicate lower;
+    lower.table = ph.table;
+    lower.column = ph.column;
+    lower.op = CompareOp::kGt;
+    lower.literal = NumericToCell(*col, lo);
+    ColumnPredicate upper = lower;
+    upper.op = CompareOp::kLt;
+    upper.literal = NumericToCell(*col, hi);
+    inst.spec.predicates.push_back(std::move(lower));
+    inst.spec.predicates.push_back(std::move(upper));
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+}  // namespace ds::sketch

@@ -1,0 +1,57 @@
+// Query templates — the demo's '?' placeholder mechanism (§1, §3).
+//
+// "A placeholder has a similar effect as a group-by operation, except that
+//  it does not operate on all distinct values of the group-by column but
+//  instead only on the values present in the column sample that comes with
+//  the sketch."
+//
+// A template instantiates into one concrete query per sampled value (or per
+// value bucket); each instance is estimated separately against the sketch
+// and, in the benchmarks, against the baselines and the ground truth to
+// produce the overlaid series of Figure 2.
+
+#ifndef DS_SKETCH_TEMPLATE_H_
+#define DS_SKETCH_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/est/sample.h"
+#include "ds/sql/binder.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::sketch {
+
+/// One instantiation of a template: the concrete query plus a display label
+/// for the X-axis of the demo's chart.
+struct TemplateInstance {
+  std::string label;
+  workload::QuerySpec spec;
+};
+
+struct TemplateOptions {
+  enum class Grouping {
+    /// One instance per distinct sampled value (demo default).
+    kDistinct,
+    /// "Grouping the output into equally sized buckets based on the minimum
+    /// and maximum values from the sample" — one instance per contiguous
+    /// value range; the placeholder op must be '='.
+    kBuckets,
+  };
+  Grouping grouping = Grouping::kDistinct;
+  size_t num_buckets = 10;
+  /// Cap on distinct-value instances; values are subsampled evenly across
+  /// the sorted domain when the sample has more.
+  size_t max_instances = 64;
+};
+
+/// Expands a bound query with a placeholder into concrete instances using
+/// the sketch's column sample. Fails when `bound` has no placeholder or the
+/// placeholder column is absent from the samples.
+Result<std::vector<TemplateInstance>> InstantiateTemplate(
+    const sql::BoundQuery& bound, const est::SampleSet& samples,
+    const TemplateOptions& options = {});
+
+}  // namespace ds::sketch
+
+#endif  // DS_SKETCH_TEMPLATE_H_

@@ -1,0 +1,181 @@
+#include "ds/sql/binder.h"
+
+#include <unordered_map>
+
+namespace ds::sql {
+
+namespace {
+
+using workload::ColumnPredicate;
+using workload::CompareOp;
+using workload::JoinEdge;
+using workload::QuerySpec;
+
+// Flips < and > when normalizing `literal op column` to `column op literal`.
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<BoundQuery> Bind(const storage::Catalog& catalog,
+                        const ParsedQuery& parsed) {
+  BoundQuery out;
+  if (parsed.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+
+  // Alias map; also reject duplicate tables/aliases (no self-joins in the
+  // supported fragment — the demo's schemas have single PK/FK edges).
+  std::unordered_map<std::string, std::string> alias_to_table;
+  std::unordered_map<std::string, int> table_uses;
+  for (const auto& ref : parsed.tables) {
+    DS_RETURN_NOT_OK(catalog.GetTable(ref.table).status());
+    if (!alias_to_table.emplace(ref.alias, ref.table).second) {
+      return Status::InvalidArgument("duplicate alias '" + ref.alias + "'");
+    }
+    if (++table_uses[ref.table] > 1) {
+      return Status::InvalidArgument("table '" + ref.table +
+                                     "' appears twice (self-joins are "
+                                     "unsupported)");
+    }
+    // The table's own name also works as a qualifier when it is not already
+    // claimed as an alias.
+    alias_to_table.emplace(ref.table, ref.table);
+    out.spec.tables.push_back(ref.table);
+  }
+
+  // Resolves a column operand to (table, column).
+  auto resolve = [&](const ParsedOperand& op)
+      -> Result<std::pair<std::string, std::string>> {
+    DS_CHECK(op.kind == ParsedOperand::Kind::kColumn);
+    if (!op.qualifier.empty()) {
+      auto it = alias_to_table.find(op.qualifier);
+      if (it == alias_to_table.end()) {
+        return Status::InvalidArgument("unknown table or alias '" +
+                                       op.qualifier + "'");
+      }
+      DS_ASSIGN_OR_RETURN(const storage::Table* t,
+                          catalog.GetTable(it->second));
+      DS_RETURN_NOT_OK(t->GetColumn(op.column).status());
+      return std::make_pair(it->second, op.column);
+    }
+    // Unqualified: must match exactly one FROM table.
+    std::string found;
+    for (const auto& ref : parsed.tables) {
+      DS_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(ref.table));
+      if (t->HasColumn(op.column)) {
+        if (!found.empty()) {
+          return Status::InvalidArgument("ambiguous column '" + op.column +
+                                         "' (in '" + found + "' and '" +
+                                         ref.table + "')");
+        }
+        found = ref.table;
+      }
+    }
+    if (found.empty()) {
+      return Status::InvalidArgument("unknown column '" + op.column + "'");
+    }
+    return std::make_pair(found, op.column);
+  };
+
+  for (const auto& cond : parsed.conditions) {
+    if (cond.is_between) {
+      // `col BETWEEN a AND b` with integer bounds desugars into the strict
+      // predicates col > a-1 AND col < b+1 (the supported op set is {=,<,>},
+      // as in the paper's featurization).
+      if (cond.lhs.kind != ParsedOperand::Kind::kColumn) {
+        return Status::InvalidArgument("BETWEEN requires a column");
+      }
+      const auto* lo = std::get_if<int64_t>(&cond.rhs.literal);
+      const auto* hi = std::get_if<int64_t>(&cond.rhs_high.literal);
+      if (cond.rhs.kind != ParsedOperand::Kind::kLiteral ||
+          cond.rhs_high.kind != ParsedOperand::Kind::kLiteral ||
+          lo == nullptr || hi == nullptr) {
+        return Status::InvalidArgument(
+            "BETWEEN supports integer literal bounds only");
+      }
+      DS_ASSIGN_OR_RETURN(auto tc, resolve(cond.lhs));
+      ColumnPredicate lower;
+      lower.table = tc.first;
+      lower.column = tc.second;
+      lower.op = CompareOp::kGt;
+      lower.literal = *lo - 1;
+      ColumnPredicate upper = lower;
+      upper.op = CompareOp::kLt;
+      upper.literal = *hi + 1;
+      out.spec.predicates.push_back(std::move(lower));
+      out.spec.predicates.push_back(std::move(upper));
+      continue;
+    }
+    const bool l_col = cond.lhs.kind == ParsedOperand::Kind::kColumn;
+    const bool r_col = cond.rhs.kind == ParsedOperand::Kind::kColumn;
+    if (l_col && r_col) {
+      if (cond.op != CompareOp::kEq) {
+        return Status::InvalidArgument(
+            "only equality joins are supported");
+      }
+      JoinEdge edge;
+      DS_ASSIGN_OR_RETURN(auto l, resolve(cond.lhs));
+      DS_ASSIGN_OR_RETURN(auto r, resolve(cond.rhs));
+      edge.left_table = l.first;
+      edge.left_column = l.second;
+      edge.right_table = r.first;
+      edge.right_column = r.second;
+      if (edge.left_table == edge.right_table) {
+        return Status::InvalidArgument("join within a single table: " +
+                                       edge.ToString());
+      }
+      out.spec.joins.push_back(std::move(edge));
+      continue;
+    }
+    if (!l_col && !r_col) {
+      return Status::InvalidArgument(
+          "conditions between two literals are unsupported");
+    }
+    // Normalize to column-op-rhs.
+    const ParsedOperand& col_op = l_col ? cond.lhs : cond.rhs;
+    const ParsedOperand& other = l_col ? cond.rhs : cond.lhs;
+    CompareOp op = l_col ? cond.op : FlipOp(cond.op);
+    DS_ASSIGN_OR_RETURN(auto tc, resolve(col_op));
+
+    if (other.kind == ParsedOperand::Kind::kPlaceholder) {
+      if (out.placeholder.has_value()) {
+        return Status::InvalidArgument(
+            "at most one '?' placeholder is supported per query");
+      }
+      out.placeholder = PlaceholderRef{tc.first, tc.second, op};
+      continue;
+    }
+    ColumnPredicate pred;
+    pred.table = tc.first;
+    pred.column = tc.second;
+    pred.op = op;
+    pred.literal = other.literal;
+    out.spec.predicates.push_back(std::move(pred));
+  }
+
+  DS_RETURN_NOT_OK(out.spec.Validate(catalog));
+  return out;
+}
+
+Result<workload::QuerySpec> ParseAndBind(const storage::Catalog& catalog,
+                                         const std::string& sql) {
+  DS_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
+  DS_ASSIGN_OR_RETURN(BoundQuery bound, Bind(catalog, parsed));
+  if (bound.placeholder.has_value()) {
+    return Status::InvalidArgument(
+        "query contains a '?' placeholder; use the template API");
+  }
+  return std::move(bound.spec);
+}
+
+}  // namespace ds::sql

@@ -1,0 +1,45 @@
+// Semantic analysis: resolves a ParsedQuery against a Catalog.
+//
+// The binder maps aliases to tables, resolves unqualified columns when they
+// are unambiguous, classifies conditions into join edges vs. selections,
+// normalizes literal-op-column conditions, and extracts at most one template
+// placeholder. The output QuerySpec is validated (including join-graph
+// connectivity), so downstream components can trust it.
+
+#ifndef DS_SQL_BINDER_H_
+#define DS_SQL_BINDER_H_
+
+#include <optional>
+#include <string>
+
+#include "ds/sql/parser.h"
+#include "ds/storage/catalog.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::sql {
+
+/// A `t.col op ?` placeholder awaiting instantiation (the demo's query
+/// templates, §1 and §3 of the paper).
+struct PlaceholderRef {
+  std::string table;   // resolved table name (not alias)
+  std::string column;
+  workload::CompareOp op = workload::CompareOp::kEq;
+};
+
+struct BoundQuery {
+  workload::QuerySpec spec;
+  std::optional<PlaceholderRef> placeholder;
+};
+
+/// Binds `parsed` against `catalog`. Table names in the result are real
+/// table names; aliases are resolved away.
+Result<BoundQuery> Bind(const storage::Catalog& catalog,
+                        const ParsedQuery& parsed);
+
+/// Convenience: parse + bind a complete (placeholder-free) query.
+Result<workload::QuerySpec> ParseAndBind(const storage::Catalog& catalog,
+                                         const std::string& sql);
+
+}  // namespace ds::sql
+
+#endif  // DS_SQL_BINDER_H_

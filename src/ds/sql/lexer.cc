@@ -1,0 +1,131 @@
+#include "ds/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "ds/util/logging.h"
+
+namespace ds::sql {
+
+int64_t Token::AsInt() const {
+  DS_CHECK(type == TokenType::kInteger);
+  return std::strtoll(text.c_str(), nullptr, 10);
+}
+
+double Token::AsDouble() const {
+  DS_CHECK(type == TokenType::kInteger || type == TokenType::kFloat);
+  return std::strtod(text.c_str(), nullptr);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenType type, std::string text, size_t pos) {
+    tokens.push_back(Token{type, std::move(text), pos});
+  };
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      push(TokenType::kIdentifier, input.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          if (is_float) break;  // second dot ends the number
+          is_float = true;
+        }
+        ++j;
+      }
+      push(is_float ? TokenType::kFloat : TokenType::kInteger,
+           input.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += input[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kString, std::move(text), start);
+      i = j;
+      continue;
+    }
+    TokenType type;
+    switch (c) {
+      case ',':
+        type = TokenType::kComma;
+        break;
+      case '.':
+        type = TokenType::kDot;
+        break;
+      case '(':
+        type = TokenType::kLParen;
+        break;
+      case ')':
+        type = TokenType::kRParen;
+        break;
+      case '*':
+        type = TokenType::kStar;
+        break;
+      case '=':
+        type = TokenType::kEquals;
+        break;
+      case '<':
+        type = TokenType::kLess;
+        break;
+      case '>':
+        type = TokenType::kGreater;
+        break;
+      case ';':
+        type = TokenType::kSemicolon;
+        break;
+      case '?':
+        type = TokenType::kQuestion;
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+    push(type, std::string(1, c), start);
+    ++i;
+  }
+  push(TokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace ds::sql

@@ -1,0 +1,46 @@
+// SQL tokenizer for the supported COUNT(*) fragment.
+
+#ifndef DS_SQL_LEXER_H_
+#define DS_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ds/util/status.h"
+
+namespace ds::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   // table, column, alias, or keyword (case-insensitive)
+  kInteger,      // 123
+  kFloat,        // 1.5
+  kString,       // 'text' with '' escaping
+  kComma,        // ,
+  kDot,          // .
+  kLParen,       // (
+  kRParen,       // )
+  kStar,         // *
+  kEquals,       // =
+  kLess,         // <
+  kGreater,      // >
+  kSemicolon,    // ;
+  kQuestion,     // ?  (template placeholder)
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // identifier/string contents, number spelling
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  int64_t AsInt() const;    // valid for kInteger
+  double AsDouble() const;  // valid for kInteger/kFloat
+};
+
+/// Tokenizes `input`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace ds::sql
+
+#endif  // DS_SQL_LEXER_H_

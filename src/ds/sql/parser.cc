@@ -1,0 +1,186 @@
+#include "ds/sql/parser.h"
+
+#include "ds/sql/lexer.h"
+#include "ds/util/string_util.h"
+
+namespace ds::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery query;
+    DS_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    DS_RETURN_NOT_OK(ExpectKeyword("COUNT"));
+    DS_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+    DS_RETURN_NOT_OK(Expect(TokenType::kStar, "*"));
+    DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+    DS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    DS_RETURN_NOT_OK(ParseTableList(&query));
+    if (IsKeyword(Peek(), "WHERE")) {
+      Advance();
+      DS_RETURN_NOT_OK(ParseConditions(&query));
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  static bool IsKeyword(const Token& t, const char* kw) {
+    return t.type == TokenType::kIdentifier &&
+           util::EqualsIgnoreCase(t.text, kw);
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) {
+      return Error(std::string("expected '") + what + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw)) {
+      return Error(std::string("expected keyword ") + kw);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseTableList(ParsedQuery* query) {
+    for (;;) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected table name");
+      }
+      TableRef ref;
+      ref.table = Advance().text;
+      ref.alias = ref.table;
+      if (IsKeyword(Peek(), "AS")) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        ref.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsKeyword(Peek(), "WHERE")) {
+        ref.alias = Advance().text;
+      }
+      query->tables.push_back(std::move(ref));
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<ParsedOperand> ParseOperand() {
+    ParsedOperand op;
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIdentifier: {
+        op.kind = ParsedOperand::Kind::kColumn;
+        std::string first = Advance().text;
+        if (Peek().type == TokenType::kDot) {
+          Advance();
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected column name after '.'");
+          }
+          op.qualifier = std::move(first);
+          op.column = Advance().text;
+        } else {
+          op.column = std::move(first);
+        }
+        return op;
+      }
+      case TokenType::kInteger:
+        op.kind = ParsedOperand::Kind::kLiteral;
+        op.literal = Advance().AsInt();
+        return op;
+      case TokenType::kFloat:
+        op.kind = ParsedOperand::Kind::kLiteral;
+        op.literal = Advance().AsDouble();
+        return op;
+      case TokenType::kString:
+        op.kind = ParsedOperand::Kind::kLiteral;
+        op.literal = Advance().text;
+        return op;
+      case TokenType::kQuestion:
+        op.kind = ParsedOperand::Kind::kPlaceholder;
+        Advance();
+        return op;
+      default:
+        return Error("expected column, literal, or '?'");
+    }
+  }
+
+  Status ParseConditions(ParsedQuery* query) {
+    for (;;) {
+      ParsedCondition cond;
+      DS_ASSIGN_OR_RETURN(cond.lhs, ParseOperand());
+      if (IsKeyword(Peek(), "BETWEEN")) {
+        Advance();
+        cond.is_between = true;
+        DS_ASSIGN_OR_RETURN(cond.rhs, ParseOperand());
+        DS_RETURN_NOT_OK(ExpectKeyword("AND"));
+        DS_ASSIGN_OR_RETURN(cond.rhs_high, ParseOperand());
+        query->conditions.push_back(std::move(cond));
+        if (IsKeyword(Peek(), "AND")) {
+          Advance();
+          continue;
+        }
+        return Status::OK();
+      }
+      switch (Peek().type) {
+        case TokenType::kEquals:
+          cond.op = workload::CompareOp::kEq;
+          break;
+        case TokenType::kLess:
+          cond.op = workload::CompareOp::kLt;
+          break;
+        case TokenType::kGreater:
+          cond.op = workload::CompareOp::kGt;
+          break;
+        default:
+          return Error("expected comparison operator");
+      }
+      Advance();
+      DS_ASSIGN_OR_RETURN(cond.rhs, ParseOperand());
+      query->conditions.push_back(std::move(cond));
+      if (IsKeyword(Peek(), "AND")) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> Parse(const std::string& sql) {
+  DS_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace ds::sql

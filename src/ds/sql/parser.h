@@ -1,0 +1,64 @@
+// Recursive-descent parser for the supported SQL fragment:
+//
+//   SELECT COUNT(*) FROM <table> [AS] <alias>, ...
+//   [WHERE <cond> AND <cond> AND ...] [;]
+//
+//   cond := colref op colref        (equi-join; op must be '=')
+//         | colref op literal       (selection)
+//         | literal op colref       (selection, normalized by the binder)
+//         | colref op '?'           (template placeholder, one per query)
+//         | colref BETWEEN int AND int   (desugared to two range predicates)
+//   op   := '=' | '<' | '>'
+//
+// This is exactly the class of queries the paper's demo generates and
+// estimates: conjunctive COUNT(*) over PK/FK joins, no disjunction, no
+// strings patterns, no grouping (templates subsume the demo's grouping UI).
+
+#ifndef DS_SQL_PARSER_H_
+#define DS_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/storage/value.h"
+#include "ds/util/status.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::sql {
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // equals `table` when no alias was given
+};
+
+struct ParsedOperand {
+  enum class Kind : uint8_t { kColumn, kLiteral, kPlaceholder };
+  Kind kind = Kind::kLiteral;
+  // kColumn:
+  std::string qualifier;  // alias or table name; empty if unqualified
+  std::string column;
+  // kLiteral:
+  storage::CellValue literal;
+};
+
+struct ParsedCondition {
+  ParsedOperand lhs;
+  workload::CompareOp op = workload::CompareOp::kEq;
+  ParsedOperand rhs;
+  /// BETWEEN condition: rhs is the lower bound, rhs_high the upper; `op` is
+  /// unused. The binder desugars it into two inclusive range predicates.
+  bool is_between = false;
+  ParsedOperand rhs_high;
+};
+
+struct ParsedQuery {
+  std::vector<TableRef> tables;
+  std::vector<ParsedCondition> conditions;
+};
+
+/// Parses `sql`; returns ParseError with offset context on malformed input.
+Result<ParsedQuery> Parse(const std::string& sql);
+
+}  // namespace ds::sql
+
+#endif  // DS_SQL_PARSER_H_

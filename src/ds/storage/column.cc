@@ -1,0 +1,83 @@
+#include "ds/storage/column.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ds::storage {
+
+double Column::MinNumeric() const {
+  double best = 0;
+  bool seen = false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (IsNull(i)) continue;
+    double v = GetNumeric(i);
+    if (!seen || v < best) best = v;
+    seen = true;
+  }
+  return best;
+}
+
+double Column::MaxNumeric() const {
+  double best = 0;
+  bool seen = false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (IsNull(i)) continue;
+    double v = GetNumeric(i);
+    if (!seen || v > best) best = v;
+    seen = true;
+  }
+  return best;
+}
+
+size_t Column::CountDistinct() const {
+  if (type_ == ColumnType::kFloat64) {
+    std::unordered_set<double> seen;
+    for (size_t i = 0; i < size(); ++i) {
+      if (!IsNull(i)) seen.insert(doubles_[i]);
+    }
+    return seen.size();
+  }
+  std::unordered_set<int64_t> seen;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!IsNull(i)) seen.insert(ints_[i]);
+  }
+  return seen.size();
+}
+
+double Column::NullFraction() const {
+  if (nulls_.empty() || size() == 0) return 0.0;
+  size_t n = 0;
+  for (uint8_t b : nulls_) n += b;
+  return static_cast<double>(n) / static_cast<double>(size());
+}
+
+Result<double> Column::LiteralToNumeric(const CellValue& v) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kFloat64:
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        return static_cast<double>(*i);
+      }
+      if (const auto* d = std::get_if<double>(&v)) return *d;
+      return Status::InvalidArgument("string literal compared to numeric column '" +
+                                     name_ + "'");
+    case ColumnType::kCategorical: {
+      // Integer literals are interpreted as dictionary codes — the
+      // featurizer and workload generator resolve strings to codes ahead of
+      // time. A code outside the dictionary simply never matches.
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        return static_cast<double>(*i);
+      }
+      const auto* s = std::get_if<std::string>(&v);
+      if (s == nullptr) {
+        return Status::InvalidArgument(
+            "float literal compared to categorical column '" + name_ + "'");
+      }
+      DS_ASSIGN_OR_RETURN(int64_t code, dict_->Lookup(*s));
+      return static_cast<double>(code);
+    }
+  }
+  return Status::Internal("unhandled column type");
+}
+
+}  // namespace ds::storage

@@ -1,0 +1,169 @@
+// A typed, nullable, append-only column.
+
+#ifndef DS_STORAGE_COLUMN_H_
+#define DS_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/storage/value.h"
+#include "ds/util/logging.h"
+#include "ds/util/status.h"
+
+namespace ds::storage {
+
+/// A single column of a table. Int64 and categorical data live in `ints_`
+/// (categorical as dictionary codes); float64 data lives in `doubles_`.
+/// Nulls are tracked in a byte mask that is only allocated once a null is
+/// appended.
+class Column {
+ public:
+  Column(std::string name, ColumnType type)
+      : name_(std::move(name)), type_(type) {
+    if (type_ == ColumnType::kCategorical) {
+      dict_ = std::make_shared<Dictionary>();
+    }
+  }
+
+  /// Creates a categorical column that shares `dict` with another column, so
+  /// codes stay comparable (used when materializing samples of a table).
+  Column(std::string name, std::shared_ptr<Dictionary> dict)
+      : name_(std::move(name)),
+        type_(ColumnType::kCategorical),
+        dict_(std::move(dict)) {
+    DS_CHECK(dict_ != nullptr);
+  }
+
+  /// Appends row `row` of `src` (same type; categorical requires the same
+  /// dictionary object so codes stay aligned).
+  void AppendFrom(const Column& src, size_t row) {
+    DS_CHECK(src.type_ == type_);
+    if (src.IsNull(row)) {
+      AppendNull();
+      return;
+    }
+    if (type_ == ColumnType::kFloat64) {
+      AppendDouble(src.doubles_[row]);
+    } else {
+      if (type_ == ColumnType::kCategorical) DS_CHECK(dict_ == src.dict_);
+      AppendInt(src.ints_[row]);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+
+  size_t size() const {
+    return type_ == ColumnType::kFloat64 ? doubles_.size() : ints_.size();
+  }
+
+  // --- Appending -----------------------------------------------------------
+
+  void AppendInt(int64_t v) {
+    DS_CHECK(type_ == ColumnType::kInt64 || type_ == ColumnType::kCategorical);
+    ints_.push_back(v);
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+
+  void AppendDouble(double v) {
+    DS_CHECK(type_ == ColumnType::kFloat64);
+    doubles_.push_back(v);
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+
+  /// Appends a string to a categorical column, dictionary-encoding it.
+  void AppendString(const std::string& s) {
+    DS_CHECK(type_ == ColumnType::kCategorical);
+    ints_.push_back(dict_->GetOrAdd(s));
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+
+  void AppendNull() {
+    if (nulls_.empty()) nulls_.assign(size(), 0);
+    if (type_ == ColumnType::kFloat64) {
+      doubles_.push_back(0.0);
+    } else {
+      ints_.push_back(0);
+    }
+    nulls_.push_back(1);
+  }
+
+  // --- Access --------------------------------------------------------------
+
+  bool IsNull(size_t row) const {
+    return !nulls_.empty() && nulls_[row] != 0;
+  }
+
+  bool has_nulls() const { return !nulls_.empty(); }
+
+  int64_t GetInt(size_t row) const {
+    DS_CHECK(type_ != ColumnType::kFloat64);
+    return ints_[row];
+  }
+
+  double GetDouble(size_t row) const {
+    DS_CHECK(type_ == ColumnType::kFloat64);
+    return doubles_[row];
+  }
+
+  /// Value of any type widened to double (categorical -> code). Used by the
+  /// predicate evaluator and by featurization. Null rows return 0.
+  double GetNumeric(size_t row) const {
+    return type_ == ColumnType::kFloat64 ? doubles_[row]
+                                         : static_cast<double>(ints_[row]);
+  }
+
+  /// String for a categorical row (must not be null).
+  const std::string& GetString(size_t row) const {
+    DS_CHECK(type_ == ColumnType::kCategorical);
+    return dict_->Decode(ints_[row]);
+  }
+
+  CellValue GetCell(size_t row) const {
+    switch (type_) {
+      case ColumnType::kInt64:
+        return ints_[row];
+      case ColumnType::kFloat64:
+        return doubles_[row];
+      case ColumnType::kCategorical:
+        return dict_->Decode(ints_[row]);
+    }
+    return int64_t{0};
+  }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::shared_ptr<Dictionary>& dict() const { return dict_; }
+
+  // --- Statistics ----------------------------------------------------------
+
+  /// Minimum non-null value widened to double; 0 when all rows are null or
+  /// the column is empty.
+  double MinNumeric() const;
+  double MaxNumeric() const;
+
+  /// Number of distinct non-null values.
+  size_t CountDistinct() const;
+
+  /// Fraction of null rows in [0, 1].
+  double NullFraction() const;
+
+  /// Converts a SQL literal to the numeric domain of this column: int64 and
+  /// float64 parse/accept numerics; categorical looks the string up in the
+  /// dictionary. Returns NotFound for unknown categorical strings.
+  Result<double> LiteralToNumeric(const CellValue& v) const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> nulls_;  // empty means "no nulls anywhere"
+  std::shared_ptr<Dictionary> dict_;
+};
+
+}  // namespace ds::storage
+
+#endif  // DS_STORAGE_COLUMN_H_

@@ -1,0 +1,174 @@
+#include "ds/storage/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ds/util/string_util.h"
+
+namespace ds::storage {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV line honoring double-quote escaping.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in CSV line");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<ColumnType> ParseColumnType(const std::string& s) {
+  if (s == "int64") return ColumnType::kInt64;
+  if (s == "float64") return ColumnType::kFloat64;
+  if (s == "categorical") return ColumnType::kCategorical;
+  return Status::ParseError("unknown column type '" + s + "'");
+}
+
+}  // namespace
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ",";
+    const Column& col = table.column(c);
+    out << QuoteField(col.name()) << ":" << ColumnTypeToString(col.type());
+  }
+  out << "\n";
+  char buf[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ",";
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;  // empty field == NULL
+      switch (col.type()) {
+        case ColumnType::kInt64:
+          out << col.GetInt(r);
+          break;
+        case ColumnType::kFloat64:
+          std::snprintf(buf, sizeof(buf), "%.17g", col.GetDouble(r));
+          out << buf;
+          break;
+        case ColumnType::kCategorical:
+          out << QuoteField(col.GetString(r));
+          break;
+      }
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> ReadTableCsv(const std::string& table_name,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty CSV file: " + path);
+  }
+  DS_ASSIGN_OR_RETURN(auto header, SplitCsvLine(line));
+  auto table = std::make_unique<Table>(table_name);
+  for (const auto& cell : header) {
+    auto pos = cell.rfind(':');
+    if (pos == std::string::npos) {
+      return Status::ParseError("header cell '" + cell +
+                                "' is not name:type");
+    }
+    DS_ASSIGN_OR_RETURN(ColumnType type, ParseColumnType(cell.substr(pos + 1)));
+    DS_RETURN_NOT_OK(table->AddColumn(cell.substr(0, pos), type).status());
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    DS_ASSIGN_OR_RETURN(auto fields, SplitCsvLine(line));
+    if (fields.size() != table->num_columns()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": got " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(table->num_columns()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Column& col = table->mutable_column(c);
+      const std::string& f = fields[c];
+      if (f.empty() && col.type() != ColumnType::kCategorical) {
+        col.AppendNull();
+        continue;
+      }
+      switch (col.type()) {
+        case ColumnType::kInt64: {
+          errno = 0;
+          char* end = nullptr;
+          int64_t v = std::strtoll(f.c_str(), &end, 10);
+          if (errno != 0 || end != f.c_str() + f.size()) {
+            return Status::ParseError("line " + std::to_string(line_no) +
+                                      ": bad int64 '" + f + "'");
+          }
+          col.AppendInt(v);
+          break;
+        }
+        case ColumnType::kFloat64: {
+          errno = 0;
+          char* end = nullptr;
+          double v = std::strtod(f.c_str(), &end);
+          if (errno != 0 || end != f.c_str() + f.size()) {
+            return Status::ParseError("line " + std::to_string(line_no) +
+                                      ": bad float64 '" + f + "'");
+          }
+          col.AppendDouble(v);
+          break;
+        }
+        case ColumnType::kCategorical:
+          col.AppendString(f);
+          break;
+      }
+    }
+  }
+  DS_RETURN_NOT_OK(table->CheckConsistent());
+  return table;
+}
+
+}  // namespace ds::storage

@@ -1,0 +1,29 @@
+// CSV import/export for tables. Used by the examples to inspect generated
+// data and by users who want to load their own datasets into a catalog.
+//
+// Format: first line is a header of `name:type` cells (type in
+// {int64,float64,categorical}); fields are comma-separated; an empty field is
+// NULL; quoting with double quotes is supported for fields containing commas
+// or quotes.
+
+#ifndef DS_STORAGE_CSV_H_
+#define DS_STORAGE_CSV_H_
+
+#include <string>
+
+#include "ds/storage/table.h"
+#include "ds/util/status.h"
+
+namespace ds::storage {
+
+/// Writes `table` to `path` in the format above.
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV written by WriteTableCsv (or hand-authored in the same
+/// format) into a new table registered in nothing — the caller owns it.
+Result<std::unique_ptr<Table>> ReadTableCsv(const std::string& table_name,
+                                            const std::string& path);
+
+}  // namespace ds::storage
+
+#endif  // DS_STORAGE_CSV_H_

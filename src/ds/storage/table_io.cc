@@ -1,0 +1,94 @@
+#include "ds/storage/table_io.h"
+
+namespace ds::storage {
+
+void WriteTable(const Table& table, util::BinaryWriter* w) {
+  w->WriteString(table.name());
+  w->WriteU64(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    w->WriteString(col.name());
+    w->WriteU8(static_cast<uint8_t>(col.type()));
+    // Null mask (may be empty = no nulls).
+    std::vector<uint8_t> nulls;
+    if (col.has_nulls()) {
+      nulls.resize(col.size());
+      for (size_t r = 0; r < col.size(); ++r) nulls[r] = col.IsNull(r) ? 1 : 0;
+    }
+    w->WritePodVector(nulls);
+    if (col.type() == ColumnType::kFloat64) {
+      w->WritePodVector(col.doubles());
+    } else {
+      w->WritePodVector(col.ints());
+      if (col.type() == ColumnType::kCategorical) {
+        w->WriteStringVector(col.dict()->values());
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<Table>> ReadTable(util::BinaryReader* r) {
+  std::string name;
+  DS_RETURN_NOT_OK(r->ReadString(&name));
+  auto table = std::make_unique<Table>(name);
+  uint64_t num_cols = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&num_cols));
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    std::string col_name;
+    DS_RETURN_NOT_OK(r->ReadString(&col_name));
+    uint8_t type_byte = 0;
+    DS_RETURN_NOT_OK(r->ReadU8(&type_byte));
+    if (type_byte > 2) {
+      return Status::ParseError("bad column type " + std::to_string(type_byte));
+    }
+    const ColumnType type = static_cast<ColumnType>(type_byte);
+    std::vector<uint8_t> nulls;
+    DS_RETURN_NOT_OK(r->ReadPodVector(&nulls));
+    DS_ASSIGN_OR_RETURN(Column * col, table->AddColumn(col_name, type));
+    if (type == ColumnType::kFloat64) {
+      std::vector<double> data;
+      DS_RETURN_NOT_OK(r->ReadPodVector(&data));
+      if (!nulls.empty() && nulls.size() != data.size()) {
+        return Status::ParseError("null mask size mismatch in column '" +
+                                  col_name + "'");
+      }
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (!nulls.empty() && nulls[i] != 0) {
+          col->AppendNull();
+        } else {
+          col->AppendDouble(data[i]);
+        }
+      }
+    } else {
+      std::vector<int64_t> data;
+      DS_RETURN_NOT_OK(r->ReadPodVector(&data));
+      if (!nulls.empty() && nulls.size() != data.size()) {
+        return Status::ParseError("null mask size mismatch in column '" +
+                                  col_name + "'");
+      }
+      std::vector<std::string> dict_values;
+      if (type == ColumnType::kCategorical) {
+        DS_RETURN_NOT_OK(r->ReadStringVector(&dict_values));
+        // Rebuild the dictionary in code order so stored codes stay valid.
+        for (const auto& v : dict_values) col->dict()->GetOrAdd(v);
+      }
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (!nulls.empty() && nulls[i] != 0) {
+          col->AppendNull();
+        } else if (type == ColumnType::kCategorical) {
+          if (data[i] < 0 || data[i] >= col->dict()->size()) {
+            return Status::ParseError("dictionary code out of range in '" +
+                                      col_name + "'");
+          }
+          col->AppendInt(data[i]);
+        } else {
+          col->AppendInt(data[i]);
+        }
+      }
+    }
+  }
+  DS_RETURN_NOT_OK(table->CheckConsistent());
+  return table;
+}
+
+}  // namespace ds::storage

@@ -1,0 +1,21 @@
+// Binary (de)serialization of tables — used to embed materialized samples
+// inside sketch files. Dictionaries are written inline, so a deserialized
+// table is fully standalone.
+
+#ifndef DS_STORAGE_TABLE_IO_H_
+#define DS_STORAGE_TABLE_IO_H_
+
+#include <memory>
+
+#include "ds/storage/table.h"
+#include "ds/util/serialize.h"
+
+namespace ds::storage {
+
+void WriteTable(const Table& table, util::BinaryWriter* writer);
+
+Result<std::unique_ptr<Table>> ReadTable(util::BinaryReader* reader);
+
+}  // namespace ds::storage
+
+#endif  // DS_STORAGE_TABLE_IO_H_

@@ -1,0 +1,62 @@
+#include "ds/storage/value.h"
+
+#include <cstdio>
+
+#include "ds/util/logging.h"
+
+namespace ds::storage {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kFloat64:
+      return "float64";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+std::string CellValueToSql(const CellValue& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", *d);
+    return buf;
+  }
+  // Escape single quotes by doubling them, per SQL.
+  const auto& s = std::get<std::string>(v);
+  std::string out = "'";
+  for (char c : s) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
+
+int64_t Dictionary::GetOrAdd(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(values_.size());
+  values_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+Result<int64_t> Dictionary::Lookup(const std::string& s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) {
+    return Status::NotFound("dictionary has no entry for '" + s + "'");
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Decode(int64_t code) const {
+  DS_CHECK_GE(code, 0);
+  DS_CHECK_LT(code, static_cast<int64_t>(values_.size()));
+  return values_[static_cast<size_t>(code)];
+}
+
+}  // namespace ds::storage

@@ -1,0 +1,61 @@
+// Scalar values and column types for the in-memory columnar store.
+//
+// The store supports three physical column types:
+//  - kInt64:       64-bit integers (ids, years, counts, dates-as-days).
+//  - kFloat64:     doubles (prices, rates).
+//  - kCategorical: strings, dictionary-encoded to dense int64 codes. All
+//                  comparisons and featurization operate on the codes; the
+//                  dictionary is only consulted at the SQL boundary.
+
+#ifndef DS_STORAGE_VALUE_H_
+#define DS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "ds/util/status.h"
+
+namespace ds::storage {
+
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kCategorical = 2,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A scalar literal as it appears in a SQL query: integer, double or string.
+using CellValue = std::variant<int64_t, double, std::string>;
+
+/// Renders a CellValue as a SQL literal (strings quoted).
+std::string CellValueToSql(const CellValue& v);
+
+/// An append-only mapping between strings and dense int64 codes, shared by a
+/// categorical column and any samples drawn from it.
+class Dictionary {
+ public:
+  /// Returns the code for `s`, inserting it if new.
+  int64_t GetOrAdd(const std::string& s);
+
+  /// Returns the code for `s`, or an error if absent.
+  Result<int64_t> Lookup(const std::string& s) const;
+
+  /// Returns the string for `code`; code must be valid.
+  const std::string& Decode(int64_t code) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+}  // namespace ds::storage
+
+#endif  // DS_STORAGE_VALUE_H_

@@ -1,0 +1,65 @@
+// Assertion and logging macros.
+//
+// DS_CHECK* abort on failure and are enabled in all build types: they guard
+// invariants whose violation means the program state is corrupt (Google style
+// CHECK). Use Status for recoverable errors.
+
+#ifndef DS_UTIL_LOGGING_H_
+#define DS_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ds::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "%s:%d: DS_CHECK failed: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatBinaryCheck(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace ds::internal
+
+#define DS_CHECK(cond)                                               \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::ds::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+  } while (false)
+
+#define DS_CHECK_OP(op, a, b)                                        \
+  do {                                                               \
+    auto&& ds_a_ = (a);                                              \
+    auto&& ds_b_ = (b);                                              \
+    if (!(ds_a_ op ds_b_))                                           \
+      ::ds::internal::CheckFailed(                                   \
+          __FILE__, __LINE__, #a " " #op " " #b,                     \
+          ::ds::internal::FormatBinaryCheck(ds_a_, ds_b_));          \
+  } while (false)
+
+#define DS_CHECK_EQ(a, b) DS_CHECK_OP(==, a, b)
+#define DS_CHECK_NE(a, b) DS_CHECK_OP(!=, a, b)
+#define DS_CHECK_LT(a, b) DS_CHECK_OP(<, a, b)
+#define DS_CHECK_LE(a, b) DS_CHECK_OP(<=, a, b)
+#define DS_CHECK_GT(a, b) DS_CHECK_OP(>, a, b)
+#define DS_CHECK_GE(a, b) DS_CHECK_OP(>=, a, b)
+
+#define DS_CHECK_OK(expr)                                            \
+  do {                                                               \
+    ::ds::Status ds_st_ = (expr);                                    \
+    if (!ds_st_.ok())                                                \
+      ::ds::internal::CheckFailed(__FILE__, __LINE__, #expr,         \
+                                  ds_st_.ToString());                \
+  } while (false)
+
+#endif  // DS_UTIL_LOGGING_H_

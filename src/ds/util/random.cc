@@ -1,0 +1,64 @@
+#include "ds/util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ds::util {
+
+double Pcg32::Normal() {
+  // Box-Muller; draw u1 in (0, 1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<size_t> Pcg32::SampleWithoutReplacement(size_t n, size_t k) {
+  DS_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector. O(n) memory, O(n + k) time,
+  // fine for the table sizes used in this project.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Bounded(static_cast<uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : skew_(s) {
+  DS_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Pcg32* rng) const {
+  double u = rng->UniformDouble();
+  // First k with cdf_[k] >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  DS_CHECK_LT(k, cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace ds::util

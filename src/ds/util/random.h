@@ -1,0 +1,134 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Pcg32 so that data generation,
+// workload generation, and training are reproducible from a single seed.
+// Pcg32 implements the PCG-XSH-RR 64/32 generator (O'Neill, 2014).
+
+#ifndef DS_UTIL_RANDOM_H_
+#define DS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/util/logging.h"
+
+namespace ds::util {
+
+/// PCG-XSH-RR 64/32: 64-bit state, 32-bit output. Satisfies
+/// UniformRandomBitGenerator.
+class Pcg32 {
+ public:
+  using result_type = uint32_t;
+
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT32_MAX; }
+
+  result_type operator()() { return Next(); }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint32_t Bounded(uint32_t bound) {
+    DS_CHECK_GT(bound, 0u);
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform signed integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DS_CHECK_LE(lo, hi);
+    uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    if (range == UINT64_MAX) return static_cast<int64_t>(Next64());
+    uint64_t bound = range + 1;
+    // 64-bit rejection sampling.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) return lo + static_cast<int64_t>(r % bound);
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return (Next64() >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream position is predictable).
+  double Normal();
+
+  /// Bernoulli with probability p of true.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Bounded(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) in selection order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Splits off an independent generator (new stream derived from this one).
+  Pcg32 Fork() { return Pcg32(Next64(), Next64()); }
+
+ private:
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+  }
+
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 32) | Next();
+  }
+
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+/// Precomputes the CDF once; each Sample() is a binary search.
+class ZipfDistribution {
+ public:
+  /// n: number of distinct ranks; s: skew (0 = uniform, 1 = classic Zipf).
+  ZipfDistribution(size_t n, double s);
+
+  size_t n() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Pcg32* rng) const;
+
+  /// Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+ private:
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_RANDOM_H_

@@ -1,0 +1,66 @@
+#include "ds/util/serialize.h"
+
+#include <cstdio>
+
+namespace ds::util {
+
+Status BinaryWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  size_t written = buf_.empty() ? 0 : std::fwrite(buf_.data(), 1, buf_.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != buf_.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot determine size of " + path);
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  size_t read = buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) {
+    return Status::IOError("short read from " + path);
+  }
+  return BinaryReader(std::move(buf));
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(ReadU64(&n));
+  if (pos_ + n > buf_.size()) {
+    return Status::OutOfRange("truncated string of length " +
+                              std::to_string(n));
+  }
+  out->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadStringVector(std::vector<std::string>* out) {
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(ReadU64(&n));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    DS_RETURN_NOT_OK(ReadString(&s));
+    out->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+}  // namespace ds::util

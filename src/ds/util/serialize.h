@@ -1,0 +1,134 @@
+// Binary serialization used for sketch files, trained models, and workloads.
+//
+// The format is little-endian, unversioned primitives framed by callers
+// (each persistent artifact writes its own magic + version header). Readers
+// return Status on truncated or malformed input instead of aborting, since
+// files come from outside the process.
+
+#ifndef DS_UTIL_SERIALIZE_H_
+#define DS_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "ds/util/status.h"
+
+namespace ds::util {
+
+/// Appends primitives to an in-memory byte buffer.
+class BinaryWriter {
+ public:
+  template <typename T>
+  void WritePod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &value, sizeof(T));
+  }
+
+  void WriteU32(uint32_t v) { WritePod(v); }
+  void WriteU64(uint64_t v) { WritePod(v); }
+  void WriteI64(int64_t v) { WritePod(v); }
+  void WriteF32(float v) { WritePod(v); }
+  void WriteF64(double v) { WritePod(v); }
+  void WriteU8(uint8_t v) { WritePod(v); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    size_t off = buf_.size();
+    buf_.resize(off + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
+    }
+  }
+
+  void WriteStringVector(const std::vector<std::string>& v) {
+    WriteU64(v.size());
+    for (const auto& s : v) WriteString(s);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  /// Writes the buffer to `path`, replacing any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads primitives from a byte buffer; all reads are bounds-checked.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buf) : buf_(std::move(buf)) {}
+
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  template <typename T>
+  Status ReadPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > buf_.size()) {
+      return Status::OutOfRange("truncated input: need " +
+                                std::to_string(sizeof(T)) + " bytes at " +
+                                std::to_string(pos_));
+    }
+    std::memcpy(out, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) { return ReadPod(v); }
+  Status ReadU64(uint64_t* v) { return ReadPod(v); }
+  Status ReadI64(int64_t* v) { return ReadPod(v); }
+  Status ReadF32(float* v) { return ReadPod(v); }
+  Status ReadF64(double* v) { return ReadPod(v); }
+  Status ReadU8(uint8_t* v) { return ReadPod(v); }
+  Status ReadBool(bool* v) {
+    uint8_t b = 0;
+    DS_RETURN_NOT_OK(ReadU8(&b));
+    *v = b != 0;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out);
+
+  template <typename T>
+  Status ReadPodVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    DS_RETURN_NOT_OK(ReadU64(&n));
+    if (pos_ + n * sizeof(T) > buf_.size()) {
+      return Status::OutOfRange("truncated vector of " + std::to_string(n) +
+                                " elements");
+    }
+    out->resize(n);
+    if (n > 0) std::memcpy(out->data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadStringVector(std::vector<std::string>* out);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_SERIALIZE_H_

@@ -1,0 +1,111 @@
+#include "ds/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "ds/util/logging.h"
+
+namespace ds::util {
+
+double QError(double true_card, double estimated_card) {
+  double t = std::max(true_card, 1.0);
+  double e = std::max(estimated_card, 1.0);
+  return std::max(t / e, e / t);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  DS_CHECK(!values.empty());
+  DS_CHECK_GE(p, 0.0);
+  DS_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  DS_CHECK(!values.empty());
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50.0);
+}
+
+QErrorSummary QErrorSummary::FromQErrors(std::vector<double> q) {
+  DS_CHECK(!q.empty());
+  QErrorSummary s;
+  s.count = q.size();
+  s.mean = Mean(q);
+  std::sort(q.begin(), q.end());
+  s.max = q.back();
+  // Percentile() sorts again; operate on the sorted copy directly.
+  auto pct = [&q](double p) {
+    double rank = p / 100.0 * static_cast<double>(q.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, q.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return q[lo] * (1.0 - frac) + q[hi] * frac;
+  };
+  s.median = pct(50);
+  s.p90 = pct(90);
+  s.p95 = pct(95);
+  s.p99 = pct(99);
+  return s;
+}
+
+std::string FormatQ(double v) {
+  char buf[64];
+  if (v >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (v >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+std::string QErrorSummary::ToRow() const {
+  std::ostringstream os;
+  os << FormatQ(median) << " " << FormatQ(p90) << " " << FormatQ(p95) << " "
+     << FormatQ(p99) << " " << FormatQ(max) << " " << FormatQ(mean);
+  return os.str();
+}
+
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> width(header.size());
+  for (size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    DS_CHECK_EQ(row.size(), header.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit(header);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows) emit(row);
+  return os.str();
+}
+
+}  // namespace ds::util

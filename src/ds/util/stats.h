@@ -1,0 +1,54 @@
+// Summary statistics used throughout the evaluation harness, in particular
+// the q-error aggregates that Table 1 of the paper reports.
+
+#ifndef DS_UTIL_STATS_H_
+#define DS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ds::util {
+
+/// The q-error between a true and an estimated cardinality
+/// (Moerkotte et al., PVLDB 2009): max(est/true, true/est), always >= 1.
+/// Both sides are clamped to >= 1 tuple first, the convention used by the
+/// learnedcardinalities code so that empty results do not divide by zero.
+double QError(double true_card, double estimated_card);
+
+/// Percentile by linear interpolation between closest ranks; p in [0, 100].
+/// Requires a non-empty input; does not need to be pre-sorted.
+double Percentile(std::vector<double> values, double p);
+
+double Mean(const std::vector<double>& values);
+double Median(std::vector<double> values);
+
+/// The aggregate row the paper's Table 1 reports for one estimator.
+struct QErrorSummary {
+  double median = 0;
+  double p90 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  double mean = 0;
+  size_t count = 0;
+
+  /// Computes all aggregates from raw per-query q-errors (must be non-empty).
+  static QErrorSummary FromQErrors(std::vector<double> qerrors);
+
+  /// One formatted table row: "median 90th 95th 99th max mean".
+  std::string ToRow() const;
+};
+
+/// Prints an aligned text table (used by bench harnesses to mirror the
+/// paper's tables). All rows must have `header.size()` cells.
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double the way the paper prints q-errors: 3 significant digits
+/// ("3.82", "78.4", "1110").
+std::string FormatQ(double v);
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_STATS_H_

@@ -1,0 +1,167 @@
+// Status / Result error handling for the deepsketch library.
+//
+// Library code does not throw exceptions (see DESIGN.md). Fallible functions
+// return ds::Status, or ds::Result<T> when they produce a value. The
+// DS_RETURN_NOT_OK and DS_ASSIGN_OR_RETURN macros propagate errors; DS_CHECK
+// (logging.h) aborts on programmer errors that are not recoverable.
+
+#ifndef DS_UTIL_STATUS_H_
+#define DS_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ds {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kParseError = 8,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programmer error and aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      var_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+  std::variant<T, Status> var_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(var_));
+}
+
+}  // namespace ds
+
+#define DS_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::ds::Status ds_status_ = (expr);           \
+    if (!ds_status_.ok()) return ds_status_;    \
+  } while (false)
+
+#define DS_CONCAT_IMPL(x, y) x##y
+#define DS_CONCAT(x, y) DS_CONCAT_IMPL(x, y)
+
+// DS_ASSIGN_OR_RETURN(lhs, rexpr): evaluates rexpr (a Result<T>), returns its
+// status on error, otherwise assigns the value to lhs. lhs may include a
+// declaration, e.g. DS_ASSIGN_OR_RETURN(auto table, catalog.Find("t")).
+#define DS_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  DS_ASSIGN_OR_RETURN_IMPL(DS_CONCAT(ds_result_, __LINE__), lhs, rexpr)
+
+#define DS_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                             \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value();
+
+#endif  // DS_UTIL_STATUS_H_

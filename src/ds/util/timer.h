@@ -1,0 +1,30 @@
+// Wall-clock timing helper for the training-cost and latency benchmarks.
+
+#ifndef DS_UTIL_TIMER_H_
+#define DS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ds::util {
+
+/// Monotonic stopwatch, running from construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_TIMER_H_

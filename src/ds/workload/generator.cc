@@ -1,0 +1,147 @@
+#include "ds/workload/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ds::workload {
+
+Result<QueryGenerator> QueryGenerator::Create(const storage::Catalog* catalog,
+                                              GeneratorOptions options) {
+  if (options.min_tables < 1 || options.min_tables > options.max_tables) {
+    return Status::InvalidArgument("invalid table count range");
+  }
+  if (options.min_predicates > options.max_predicates) {
+    return Status::InvalidArgument("invalid predicate count range");
+  }
+  QueryGenerator gen(catalog, std::move(options));
+  DS_RETURN_NOT_OK(gen.Init());
+  return gen;
+}
+
+Status QueryGenerator::Init() {
+  if (options_.tables.empty()) {
+    options_.tables = catalog_->table_names();
+  }
+  std::unordered_set<std::string> allowed(options_.tables.begin(),
+                                          options_.tables.end());
+  for (const auto& name : options_.tables) {
+    DS_ASSIGN_OR_RETURN(const storage::Table* table, catalog_->GetTable(name));
+    if (table->num_rows() == 0) {
+      return Status::InvalidArgument("table '" + name + "' is empty");
+    }
+    std::string pk;  // empty when no PK is declared
+    auto pk_result = catalog_->GetPrimaryKey(name);
+    if (pk_result.ok()) pk = *pk_result;
+    std::vector<std::string> cols;
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const auto& col = table->column(c);
+      if (col.name() == pk) continue;
+      cols.push_back(col.name());
+    }
+    pred_columns_.emplace(name, std::move(cols));
+  }
+  for (const auto& fk : catalog_->foreign_keys()) {
+    if (allowed.count(fk.fk_table) > 0 && allowed.count(fk.pk_table) > 0) {
+      edges_.push_back(fk);
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<std::string>& QueryGenerator::PredicateColumns(
+    const std::string& table) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = pred_columns_.find(table);
+  return it == pred_columns_.end() ? kEmpty : it->second;
+}
+
+QuerySpec QueryGenerator::Generate() {
+  QuerySpec spec;
+  const size_t target = static_cast<size_t>(
+      rng_.UniformInt(static_cast<int64_t>(options_.min_tables),
+                      static_cast<int64_t>(options_.max_tables)));
+
+  // Grow a random connected table subset along FK edges.
+  std::unordered_set<std::string> chosen;
+  const std::string& start = options_.tables[rng_.Bounded(
+      static_cast<uint32_t>(options_.tables.size()))];
+  spec.tables.push_back(start);
+  chosen.insert(start);
+  while (chosen.size() < target) {
+    // Collect frontier edges (one endpoint in, one out).
+    std::vector<const storage::ForeignKey*> frontier;
+    for (const auto& e : edges_) {
+      const bool fk_in = chosen.count(e.fk_table) > 0;
+      const bool pk_in = chosen.count(e.pk_table) > 0;
+      if (fk_in != pk_in) frontier.push_back(&e);
+    }
+    if (frontier.empty()) break;  // subset cannot grow further
+    const auto* e =
+        frontier[rng_.Bounded(static_cast<uint32_t>(frontier.size()))];
+    const std::string& next =
+        chosen.count(e->fk_table) > 0 ? e->pk_table : e->fk_table;
+    spec.tables.push_back(next);
+    chosen.insert(next);
+    spec.joins.push_back(
+        JoinEdge{e->fk_table, e->fk_column, e->pk_table, e->pk_column});
+  }
+
+  // Candidate predicate columns across chosen tables.
+  struct Candidate {
+    const std::string* table;
+    const std::string* column;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& t : spec.tables) {
+    for (const auto& c : pred_columns_.at(t)) {
+      candidates.push_back(Candidate{&t, &c});
+    }
+  }
+  size_t num_preds = static_cast<size_t>(
+      rng_.UniformInt(static_cast<int64_t>(options_.min_predicates),
+                      static_cast<int64_t>(options_.max_predicates)));
+  num_preds = std::min(num_preds, candidates.size());
+  rng_.Shuffle(&candidates);
+
+  for (size_t i = 0; i < num_preds; ++i) {
+    const std::string& table = *candidates[i].table;
+    const std::string& column = *candidates[i].column;
+    const storage::Table* tab = catalog_->GetTable(table).value();
+    const storage::Column* col = tab->GetColumn(column).value();
+
+    // Draw a literal from the data: a random non-null row's value.
+    size_t row = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      row = static_cast<size_t>(
+          rng_.Bounded(static_cast<uint32_t>(tab->num_rows())));
+      if (!col->IsNull(row)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;  // column is (nearly) all NULL; skip the predicate
+
+    ColumnPredicate pred;
+    pred.table = table;
+    pred.column = column;
+    pred.literal = col->GetCell(row);
+    // Uniform over {=, <, >} for numeric columns; '=' for categorical.
+    if (col->type() == storage::ColumnType::kCategorical) {
+      pred.op = CompareOp::kEq;
+    } else {
+      pred.op = static_cast<CompareOp>(rng_.Bounded(3));
+    }
+    spec.predicates.push_back(std::move(pred));
+  }
+  return spec;
+}
+
+std::vector<QuerySpec> QueryGenerator::GenerateMany(size_t n) {
+  std::vector<QuerySpec> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Generate());
+  return out;
+}
+
+}  // namespace ds::workload

@@ -1,0 +1,79 @@
+// Uniform training-query generation — step 2 of Figure 1a.
+//
+// Following the paper: "we generate uniformly distributed training queries
+// on the specified tables: uniformly choose tables, columns, and predicate
+// types (=, <, >) and draw literals from the database". Joins are only
+// generated along declared PK/FK edges (the schemas' single relationships),
+// so every generated query is executable and connected.
+
+#ifndef DS_WORKLOAD_GENERATOR_H_
+#define DS_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/storage/catalog.h"
+#include "ds/util/random.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::workload {
+
+struct GeneratorOptions {
+  /// Tables the sketch covers; empty means every catalog table. Queries only
+  /// reference these.
+  std::vector<std::string> tables;
+
+  /// Number of referenced tables per query, uniform in
+  /// [min_tables, max_tables] (max_tables - 1 joins). Clamped to what the
+  /// FK graph can reach.
+  size_t min_tables = 1;
+  size_t max_tables = 5;
+
+  /// Number of selection predicates per query, uniform in
+  /// [min_predicates, max_predicates], at most one per column.
+  size_t min_predicates = 1;
+  size_t max_predicates = 4;
+
+  uint64_t seed = 1;
+};
+
+/// Generates random QuerySpecs against a catalog.
+class QueryGenerator {
+ public:
+  /// Fails if options reference unknown tables or are degenerate.
+  static Result<QueryGenerator> Create(const storage::Catalog* catalog,
+                                       GeneratorOptions options);
+
+  /// Generates the next random query. Always valid against the catalog.
+  QuerySpec Generate();
+
+  /// Generates `n` queries.
+  std::vector<QuerySpec> GenerateMany(size_t n);
+
+  /// The columns eligible for predicates on `table`: every column except
+  /// the declared primary key. Categorical columns only receive '='.
+  const std::vector<std::string>& PredicateColumns(
+      const std::string& table) const;
+
+ private:
+  QueryGenerator(const storage::Catalog* catalog, GeneratorOptions options)
+      : catalog_(catalog), options_(std::move(options)), rng_(options_.seed) {}
+
+  Status Init();
+
+  const storage::Catalog* catalog_;
+  GeneratorOptions options_;
+  util::Pcg32 rng_;
+
+  struct PredColumn {
+    std::string table;
+    std::string column;
+    storage::ColumnType type;
+  };
+  std::unordered_map<std::string, std::vector<std::string>> pred_columns_;
+  std::vector<storage::ForeignKey> edges_;  // edges within the table subset
+};
+
+}  // namespace ds::workload
+
+#endif  // DS_WORKLOAD_GENERATOR_H_

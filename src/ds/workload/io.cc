@@ -1,0 +1,297 @@
+#include "ds/workload/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "ds/util/string_util.h"
+
+namespace ds::workload {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44535751;  // "DSWQ"
+constexpr uint32_t kVersion = 1;
+
+void WriteCellValue(const storage::CellValue& v, util::BinaryWriter* w) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    w->WriteU8(0);
+    w->WriteI64(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    w->WriteU8(1);
+    w->WriteF64(*d);
+  } else {
+    w->WriteU8(2);
+    w->WriteString(std::get<std::string>(v));
+  }
+}
+
+Status ReadCellValue(util::BinaryReader* r, storage::CellValue* out) {
+  uint8_t tag = 0;
+  DS_RETURN_NOT_OK(r->ReadU8(&tag));
+  switch (tag) {
+    case 0: {
+      int64_t i = 0;
+      DS_RETURN_NOT_OK(r->ReadI64(&i));
+      *out = i;
+      return Status::OK();
+    }
+    case 1: {
+      double d = 0;
+      DS_RETURN_NOT_OK(r->ReadF64(&d));
+      *out = d;
+      return Status::OK();
+    }
+    case 2: {
+      std::string s;
+      DS_RETURN_NOT_OK(r->ReadString(&s));
+      *out = std::move(s);
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("bad CellValue tag " + std::to_string(tag));
+  }
+}
+
+void WriteSpec(const QuerySpec& spec, util::BinaryWriter* w) {
+  w->WriteStringVector(spec.tables);
+  w->WriteU64(spec.joins.size());
+  for (const auto& j : spec.joins) {
+    w->WriteString(j.left_table);
+    w->WriteString(j.left_column);
+    w->WriteString(j.right_table);
+    w->WriteString(j.right_column);
+  }
+  w->WriteU64(spec.predicates.size());
+  for (const auto& p : spec.predicates) {
+    w->WriteString(p.table);
+    w->WriteString(p.column);
+    w->WriteU8(static_cast<uint8_t>(p.op));
+    WriteCellValue(p.literal, w);
+  }
+}
+
+Status ReadSpec(util::BinaryReader* r, QuerySpec* spec) {
+  DS_RETURN_NOT_OK(r->ReadStringVector(&spec->tables));
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&n));
+  spec->joins.resize(n);
+  for (auto& j : spec->joins) {
+    DS_RETURN_NOT_OK(r->ReadString(&j.left_table));
+    DS_RETURN_NOT_OK(r->ReadString(&j.left_column));
+    DS_RETURN_NOT_OK(r->ReadString(&j.right_table));
+    DS_RETURN_NOT_OK(r->ReadString(&j.right_column));
+  }
+  DS_RETURN_NOT_OK(r->ReadU64(&n));
+  spec->predicates.resize(n);
+  for (auto& p : spec->predicates) {
+    DS_RETURN_NOT_OK(r->ReadString(&p.table));
+    DS_RETURN_NOT_OK(r->ReadString(&p.column));
+    uint8_t op = 0;
+    DS_RETURN_NOT_OK(r->ReadU8(&op));
+    if (op > 2) return Status::ParseError("bad CompareOp");
+    p.op = static_cast<CompareOp>(op);
+    DS_RETURN_NOT_OK(ReadCellValue(r, &p.literal));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void WriteWorkload(const std::vector<LabeledQuery>& workload,
+                   util::BinaryWriter* w) {
+  w->WriteU32(kMagic);
+  w->WriteU32(kVersion);
+  w->WriteU64(workload.size());
+  for (const auto& lq : workload) {
+    WriteSpec(lq.spec, w);
+    w->WriteU64(lq.cardinality);
+    w->WriteU64(lq.bitmaps.size());
+    for (const auto& b : lq.bitmaps) w->WritePodVector(b);
+  }
+}
+
+Result<std::vector<LabeledQuery>> ReadWorkload(util::BinaryReader* r) {
+  uint32_t magic = 0, version = 0;
+  DS_RETURN_NOT_OK(r->ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::ParseError("not a deepsketch workload file");
+  }
+  DS_RETURN_NOT_OK(r->ReadU32(&version));
+  if (version != kVersion) {
+    return Status::ParseError("unsupported workload version " +
+                              std::to_string(version));
+  }
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&n));
+  std::vector<LabeledQuery> out(n);
+  for (auto& lq : out) {
+    DS_RETURN_NOT_OK(ReadSpec(r, &lq.spec));
+    DS_RETURN_NOT_OK(r->ReadU64(&lq.cardinality));
+    uint64_t nb = 0;
+    DS_RETURN_NOT_OK(r->ReadU64(&nb));
+    lq.bitmaps.resize(nb);
+    for (auto& b : lq.bitmaps) DS_RETURN_NOT_OK(r->ReadPodVector(&b));
+  }
+  return out;
+}
+
+Status SaveWorkload(const std::vector<LabeledQuery>& workload,
+                    const std::string& path) {
+  util::BinaryWriter w;
+  WriteWorkload(workload, &w);
+  return w.WriteToFile(path);
+}
+
+Result<std::vector<LabeledQuery>> LoadWorkload(const std::string& path) {
+  DS_ASSIGN_OR_RETURN(auto reader, util::BinaryReader::FromFile(path));
+  return ReadWorkload(&reader);
+}
+
+namespace {
+
+// Splits `s` on `sep`, honoring single-quoted spans ('' = escaped quote).
+std::vector<std::string> SplitOutsideQuotes(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'') {
+      quoted = !quoted;
+      cur += c;
+    } else if (c == sep && !quoted) {
+      parts.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(std::move(cur));
+  return parts;
+}
+
+Result<storage::CellValue> ParseLiteral(const std::string& s) {
+  if (s.empty()) return Status::ParseError("empty literal");
+  if (s.front() == '\'') {
+    if (s.size() < 2 || s.back() != '\'') {
+      return Status::ParseError("unterminated string literal: " + s);
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < s.size(); ++i) {
+      out += s[i];
+      if (s[i] == '\'' && i + 2 < s.size() && s[i + 1] == '\'') ++i;
+    }
+    return storage::CellValue{std::move(out)};
+  }
+  if (s.find('.') != std::string::npos ||
+      s.find('e') != std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size()) {
+      return Status::ParseError("bad float literal: " + s);
+    }
+    return storage::CellValue{d};
+  }
+  errno = 0;
+  char* end = nullptr;
+  int64_t i = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return Status::ParseError("bad integer literal: " + s);
+  }
+  return storage::CellValue{i};
+}
+
+// "a.b=c.d" -> JoinEdge.
+Result<JoinEdge> ParseJoin(const std::string& s) {
+  auto eq = s.find('=');
+  if (eq == std::string::npos) {
+    return Status::ParseError("join without '=': " + s);
+  }
+  auto parse_side = [](const std::string& side)
+      -> Result<std::pair<std::string, std::string>> {
+    auto dot = side.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 == side.size()) {
+      return Status::ParseError("expected table.column, got: " + side);
+    }
+    return std::make_pair(side.substr(0, dot), side.substr(dot + 1));
+  };
+  DS_ASSIGN_OR_RETURN(auto l, parse_side(s.substr(0, eq)));
+  DS_ASSIGN_OR_RETURN(auto r, parse_side(s.substr(eq + 1)));
+  return JoinEdge{l.first, l.second, r.first, r.second};
+}
+
+}  // namespace
+
+Result<std::vector<LabeledQuery>> ParseWorkloadText(const std::string& text) {
+  std::vector<LabeledQuery> out;
+  size_t line_no = 0;
+  for (const auto& raw : util::Split(text, '\n')) {
+    ++line_no;
+    std::string line(util::Trim(raw));
+    if (line.empty() || util::StartsWith(line, "--")) continue;
+    auto fail = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                msg);
+    };
+    auto sections = SplitOutsideQuotes(line, '#');
+    if (sections.size() != 4) {
+      return fail("expected tables#joins#predicates#cardinality");
+    }
+    LabeledQuery lq;
+    for (const auto& t : util::Split(sections[0], ',')) {
+      if (!t.empty()) lq.spec.tables.push_back(t);
+    }
+    if (lq.spec.tables.empty()) return fail("no tables");
+    if (!sections[1].empty()) {
+      for (const auto& j : SplitOutsideQuotes(sections[1], ',')) {
+        auto join = ParseJoin(j);
+        if (!join.ok()) return fail(join.status().message());
+        lq.spec.joins.push_back(std::move(join).value());
+      }
+    }
+    if (!sections[2].empty()) {
+      for (const auto& p : SplitOutsideQuotes(sections[2], ';')) {
+        auto fields = SplitOutsideQuotes(p, ',');
+        if (fields.size() != 3) {
+          return fail("predicate must be col,op,literal: " + p);
+        }
+        auto dot = fields[0].find('.');
+        if (dot == std::string::npos) {
+          return fail("predicate column must be table.column: " + fields[0]);
+        }
+        ColumnPredicate pred;
+        pred.table = fields[0].substr(0, dot);
+        pred.column = fields[0].substr(dot + 1);
+        auto op = CompareOpFromString(fields[1]);
+        if (!op.ok()) return fail(op.status().message());
+        pred.op = *op;
+        auto lit = ParseLiteral(fields[2]);
+        if (!lit.ok()) return fail(lit.status().message());
+        pred.literal = std::move(lit).value();
+        lq.spec.predicates.push_back(std::move(pred));
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    lq.cardinality = std::strtoull(sections[3].c_str(), &end, 10);
+    if (errno != 0 || end != sections[3].c_str() + sections[3].size()) {
+      return fail("bad cardinality: " + sections[3]);
+    }
+    out.push_back(std::move(lq));
+  }
+  return out;
+}
+
+std::string WorkloadToText(const std::vector<LabeledQuery>& workload) {
+  std::string out;
+  for (const auto& lq : workload) {
+    out += lq.spec.ToCompactString();
+    out += "#";
+    out += std::to_string(lq.cardinality);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ds::workload

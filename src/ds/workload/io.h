@@ -1,0 +1,41 @@
+// Persistence for labeled workloads, so expensive labeling runs (step 3 of
+// Figure 1a) can be cached across training experiments.
+
+#ifndef DS_WORKLOAD_IO_H_
+#define DS_WORKLOAD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/util/serialize.h"
+#include "ds/workload/labeler.h"
+
+namespace ds::workload {
+
+/// Serializes a labeled workload into `writer` (binary, versioned).
+void WriteWorkload(const std::vector<LabeledQuery>& workload,
+                   util::BinaryWriter* writer);
+
+/// Deserializes a workload written by WriteWorkload.
+Result<std::vector<LabeledQuery>> ReadWorkload(util::BinaryReader* reader);
+
+/// File convenience wrappers.
+Status SaveWorkload(const std::vector<LabeledQuery>& workload,
+                    const std::string& path);
+Result<std::vector<LabeledQuery>> LoadWorkload(const std::string& path);
+
+/// Human-readable text export in the style of the original
+/// learnedcardinalities release: one query per line,
+/// `tables#joins#predicates#cardinality` (bitmaps are not included).
+std::string WorkloadToText(const std::vector<LabeledQuery>& workload);
+
+/// Parses the text format back (e.g. hand-authored evaluation workloads).
+/// Lines: `t1,t2#t1.a=t2.b,...#t.col,op,literal;...#cardinality`; string
+/// literals are single-quoted with '' escaping; empty join/predicate
+/// sections are allowed; blank lines and lines starting with `--` are
+/// skipped. Bitmaps are left empty — run the labeler to attach them.
+Result<std::vector<LabeledQuery>> ParseWorkloadText(const std::string& text);
+
+}  // namespace ds::workload
+
+#endif  // DS_WORKLOAD_IO_H_

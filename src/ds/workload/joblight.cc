@@ -1,0 +1,133 @@
+#include "ds/workload/joblight.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ds/exec/executor.h"
+#include "ds/util/random.h"
+
+namespace ds::workload {
+
+namespace {
+
+// Fact tables joinable to title, with their JOB-light predicate column.
+struct FactTable {
+  const char* name;
+  const char* pred_column;
+};
+
+constexpr FactTable kFactTables[] = {
+    {"movie_keyword", "keyword_id"},
+    {"movie_companies", "company_type_id"},
+    {"cast_info", "role_id"},
+    {"movie_info", "info_type_id"},
+    {"movie_info_idx", "info_type_id"},
+};
+constexpr size_t kNumFactTables = sizeof(kFactTables) / sizeof(kFactTables[0]);
+
+}  // namespace
+
+Result<std::vector<QuerySpec>> MakeJobLight(const storage::Catalog& catalog,
+                                            const JobLightOptions& options) {
+  // Verify the IMDb schema subset is present.
+  DS_ASSIGN_OR_RETURN(const storage::Table* title, catalog.GetTable("title"));
+  for (const auto& ft : kFactTables) {
+    DS_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(ft.name));
+    DS_RETURN_NOT_OK(t->GetColumn(ft.pred_column).status());
+  }
+  const storage::Column* year_col;
+  DS_ASSIGN_OR_RETURN(year_col, title->GetColumn("production_year"));
+  DS_ASSIGN_OR_RETURN(const storage::Column* kind_col,
+                      title->GetColumn("kind_id"));
+
+  util::Pcg32 rng(options.seed);
+  exec::Executor executor(&catalog);
+  std::vector<QuerySpec> queries;
+  queries.reserve(options.num_queries);
+
+  auto draw_literal = [&](const storage::Table* t,
+                          const storage::Column* col) -> int64_t {
+    for (;;) {
+      size_t row = rng.Bounded(static_cast<uint32_t>(t->num_rows()));
+      if (!col->IsNull(row)) return col->GetInt(row);
+    }
+  };
+
+  // JOB-light's hand-picked literals include rare dimension values, not just
+  // frequent ones: half the equality literals are drawn uniformly from the
+  // column's distinct *domain* (selective), half frequency-weighted from the
+  // rows (common). Cached per column.
+  std::unordered_map<const storage::Column*, std::vector<int64_t>> domains;
+  auto draw_eq_literal = [&](const storage::Table* t,
+                             const storage::Column* col) -> int64_t {
+    if (rng.Chance(0.5)) return draw_literal(t, col);
+    auto& domain = domains[col];
+    if (domain.empty()) {
+      std::unordered_set<int64_t> seen;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (!col->IsNull(r)) seen.insert(col->GetInt(r));
+      }
+      domain.assign(seen.begin(), seen.end());
+      std::sort(domain.begin(), domain.end());
+    }
+    return domain[rng.Bounded(static_cast<uint32_t>(domain.size()))];
+  };
+
+  while (queries.size() < options.num_queries) {
+    QuerySpec spec;
+    spec.tables.push_back("title");
+
+    // 1-4 joins: choose that many distinct fact tables.
+    size_t num_joins = static_cast<size_t>(rng.UniformInt(1, 4));
+    auto picked = rng.SampleWithoutReplacement(kNumFactTables, num_joins);
+    for (size_t idx : picked) {
+      const auto& ft = kFactTables[idx];
+      spec.tables.push_back(ft.name);
+      spec.joins.push_back(JoinEdge{ft.name, "movie_id", "title", "id"});
+    }
+
+    // Predicates: equality predicates on a subset of the fact tables'
+    // dimension attributes...
+    for (size_t idx : picked) {
+      if (!rng.Chance(0.6)) continue;
+      const auto& ft = kFactTables[idx];
+      const storage::Table* t = catalog.GetTable(ft.name).value();
+      const storage::Column* col = t->GetColumn(ft.pred_column).value();
+      ColumnPredicate pred;
+      pred.table = ft.name;
+      pred.column = ft.pred_column;
+      pred.op = CompareOp::kEq;
+      pred.literal = draw_eq_literal(t, col);
+      spec.predicates.push_back(std::move(pred));
+    }
+    // ... an occasional kind_id equality on title ...
+    if (rng.Chance(0.3)) {
+      ColumnPredicate pred;
+      pred.table = "title";
+      pred.column = "kind_id";
+      pred.op = CompareOp::kEq;
+      pred.literal = draw_literal(title, kind_col);
+      spec.predicates.push_back(std::move(pred));
+    }
+    // ... and the workload's single range column: production_year.
+    if (rng.Chance(0.75)) {
+      ColumnPredicate pred;
+      pred.table = "title";
+      pred.column = "production_year";
+      pred.op = rng.Chance(0.5) ? CompareOp::kGt : CompareOp::kLt;
+      pred.literal = draw_literal(title, year_col);
+      spec.predicates.push_back(std::move(pred));
+    }
+    if (spec.predicates.empty()) continue;  // JOB-light queries all filter
+    DS_RETURN_NOT_OK(spec.Validate(catalog));
+    if (options.min_true_cardinality > 0) {
+      DS_ASSIGN_OR_RETURN(uint64_t truth, executor.Count(spec));
+      if (truth < options.min_true_cardinality) continue;
+    }
+    queries.push_back(std::move(spec));
+  }
+  return queries;
+}
+
+}  // namespace ds::workload

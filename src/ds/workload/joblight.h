@@ -1,0 +1,39 @@
+// JOB-light: the evaluation workload of the paper's Table 1.
+//
+// JOB-light derives 70 queries from the Join Order Benchmark with these
+// shape constraints (paper §2): 1-4 joins around `title`, no predicates on
+// strings, no disjunctions, mostly equality predicates on dimension-table
+// attributes, and production_year as the only range-predicate column.
+// The original is defined over the real IMDb; we synthesize a workload with
+// identical shape against our synthetic IMDb, drawing literals from the data
+// so queries are non-degenerate.
+
+#ifndef DS_WORKLOAD_JOBLIGHT_H_
+#define DS_WORKLOAD_JOBLIGHT_H_
+
+#include <vector>
+
+#include "ds/storage/catalog.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::workload {
+
+struct JobLightOptions {
+  size_t num_queries = 70;
+  uint64_t seed = 2019;
+
+  /// Candidate queries with fewer result tuples are rejected: the original
+  /// JOB-light consists of curated, non-degenerate queries (none of the 70
+  /// is empty). Generation executes each candidate to check.
+  uint64_t min_true_cardinality = 1;
+};
+
+/// Generates a JOB-light-shaped workload against a synthetic IMDb catalog
+/// (requires the ds::datagen::GenerateImdb schema). All queries join
+/// fact tables to `title`; every query has between 1 and 4 joins.
+Result<std::vector<QuerySpec>> MakeJobLight(const storage::Catalog& catalog,
+                                            const JobLightOptions& options = {});
+
+}  // namespace ds::workload
+
+#endif  // DS_WORKLOAD_JOBLIGHT_H_

@@ -1,0 +1,31 @@
+#include "ds/workload/labeler.h"
+
+#include "ds/exec/executor.h"
+
+namespace ds::workload {
+
+Result<std::vector<LabeledQuery>> LabelQueries(
+    const storage::Catalog& catalog, const est::SampleSet* samples,
+    const std::vector<QuerySpec>& queries, const LabelerOptions& options) {
+  exec::Executor executor(&catalog);
+  std::vector<LabeledQuery> out;
+  out.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    LabeledQuery lq;
+    lq.spec = queries[i];
+    DS_ASSIGN_OR_RETURN(lq.cardinality, executor.Count(lq.spec));
+    if (samples != nullptr) {
+      lq.bitmaps.reserve(lq.spec.tables.size());
+      for (const auto& table : lq.spec.tables) {
+        DS_ASSIGN_OR_RETURN(auto bitmap,
+                            samples->Bitmap(table, lq.spec.predicates));
+        lq.bitmaps.push_back(std::move(bitmap));
+      }
+    }
+    out.push_back(std::move(lq));
+    if (options.progress) options.progress(i + 1, queries.size());
+  }
+  return out;
+}
+
+}  // namespace ds::workload

@@ -1,0 +1,146 @@
+#include "ds/workload/query_spec.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ds/util/string_util.h"
+
+namespace ds::workload {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+Result<CompareOp> CompareOpFromString(const std::string& s) {
+  if (s == "=") return CompareOp::kEq;
+  if (s == "<") return CompareOp::kLt;
+  if (s == ">") return CompareOp::kGt;
+  return Status::ParseError("unknown comparison operator '" + s + "'");
+}
+
+std::string ColumnPredicate::ToString() const {
+  return table + "." + column + CompareOpToString(op) +
+         storage::CellValueToSql(literal);
+}
+
+std::string JoinEdge::ToString() const {
+  return left_table + "." + left_column + "=" + right_table + "." +
+         right_column;
+}
+
+bool JoinEdge::SameEdge(const JoinEdge& other) const {
+  auto eq = [](const std::string& t1, const std::string& c1,
+               const std::string& t2, const std::string& c2) {
+    return t1 == t2 && c1 == c2;
+  };
+  return (eq(left_table, left_column, other.left_table, other.left_column) &&
+          eq(right_table, right_column, other.right_table,
+             other.right_column)) ||
+         (eq(left_table, left_column, other.right_table, other.right_column) &&
+          eq(right_table, right_column, other.left_table, other.left_column));
+}
+
+std::string QuerySpec::ToSql() const {
+  std::string sql = "SELECT COUNT(*) FROM " + util::Join(tables, ", ");
+  std::vector<std::string> clauses;
+  for (const auto& j : joins) clauses.push_back(j.ToString());
+  for (const auto& p : predicates) clauses.push_back(p.ToString());
+  if (!clauses.empty()) {
+    sql += " WHERE " + util::Join(clauses, " AND ");
+  }
+  sql += ";";
+  return sql;
+}
+
+std::string QuerySpec::ToCompactString() const {
+  std::vector<std::string> join_strs, pred_strs;
+  for (const auto& j : joins) join_strs.push_back(j.ToString());
+  for (const auto& p : predicates) {
+    pred_strs.push_back(p.table + "." + p.column + "," +
+                        CompareOpToString(p.op) + "," +
+                        storage::CellValueToSql(p.literal));
+  }
+  return util::Join(tables, ",") + "#" + util::Join(join_strs, ",") + "#" +
+         util::Join(pred_strs, ";");
+}
+
+bool QuerySpec::HasTable(const std::string& name) const {
+  return std::find(tables.begin(), tables.end(), name) != tables.end();
+}
+
+Status QuerySpec::Validate(const storage::Catalog& catalog) const {
+  if (tables.empty()) {
+    return Status::InvalidArgument("query references no tables");
+  }
+  std::unordered_set<std::string> table_set;
+  for (const auto& t : tables) {
+    DS_ASSIGN_OR_RETURN(const storage::Table* tab, catalog.GetTable(t));
+    (void)tab;
+    if (!table_set.insert(t).second) {
+      return Status::InvalidArgument("table '" + t + "' listed twice");
+    }
+  }
+  for (const auto& j : joins) {
+    if (table_set.count(j.left_table) == 0 ||
+        table_set.count(j.right_table) == 0) {
+      return Status::InvalidArgument("join " + j.ToString() +
+                                     " references a table not in FROM");
+    }
+    DS_ASSIGN_OR_RETURN(const storage::Table* lt,
+                        catalog.GetTable(j.left_table));
+    DS_RETURN_NOT_OK(lt->GetColumn(j.left_column).status());
+    DS_ASSIGN_OR_RETURN(const storage::Table* rt,
+                        catalog.GetTable(j.right_table));
+    DS_RETURN_NOT_OK(rt->GetColumn(j.right_column).status());
+  }
+  for (const auto& p : predicates) {
+    if (table_set.count(p.table) == 0) {
+      return Status::InvalidArgument("predicate " + p.ToString() +
+                                     " references a table not in FROM");
+    }
+    DS_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(p.table));
+    DS_RETURN_NOT_OK(t->GetColumn(p.column).status());
+  }
+  // Connectivity: union-find over tables via join edges.
+  if (tables.size() > 1) {
+    std::unordered_map<std::string, std::string> parent;
+    for (const auto& t : tables) parent[t] = t;
+    std::function<std::string(const std::string&)> find =
+        [&](const std::string& x) -> std::string {
+      return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    for (const auto& j : joins) {
+      parent[find(j.left_table)] = find(j.right_table);
+    }
+    const std::string root = find(tables[0]);
+    for (const auto& t : tables) {
+      if (find(t) != root) {
+        return Status::InvalidArgument(
+            "join graph is disconnected: table '" + t +
+            "' is not joined (cross products are unsupported)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> ResolvePredicateValue(const storage::Catalog& catalog,
+                                     const ColumnPredicate& pred) {
+  DS_ASSIGN_OR_RETURN(const storage::Table* table,
+                      catalog.GetTable(pred.table));
+  DS_ASSIGN_OR_RETURN(const storage::Column* column,
+                      table->GetColumn(pred.column));
+  return column->LiteralToNumeric(pred.literal);
+}
+
+}  // namespace ds::workload

@@ -1,0 +1,317 @@
+// Tests for the synthetic IMDb and TPC-H generators: schema shape,
+// referential integrity, value domains, determinism, and — critically for
+// this paper — the injected correlations that make estimation hard.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ds/datagen/imdb.h"
+#include "ds/datagen/tpch.h"
+
+namespace ds {
+namespace {
+
+using datagen::GenerateImdb;
+using datagen::GenerateTpch;
+using datagen::ImdbOptions;
+using datagen::TpchOptions;
+using storage::Catalog;
+using storage::Column;
+using storage::Table;
+
+ImdbOptions SmallImdb(uint64_t seed = 42) {
+  ImdbOptions o;
+  o.num_titles = 2000;
+  o.seed = seed;
+  return o;
+}
+
+// Checks that every value of fk_table.fk_col appears in pk_table.pk_col.
+void ExpectFkIntegrity(const Catalog& catalog, const std::string& fk_table,
+                       const std::string& fk_col, const std::string& pk_table,
+                       const std::string& pk_col) {
+  const Table* ft = catalog.GetTable(fk_table).value();
+  const Table* pt = catalog.GetTable(pk_table).value();
+  const Column* fc = ft->GetColumn(fk_col).value();
+  const Column* pc = pt->GetColumn(pk_col).value();
+  std::unordered_set<int64_t> pks;
+  for (size_t r = 0; r < pt->num_rows(); ++r) pks.insert(pc->GetInt(r));
+  for (size_t r = 0; r < ft->num_rows(); ++r) {
+    if (fc->IsNull(r)) continue;
+    ASSERT_TRUE(pks.count(fc->GetInt(r)) > 0)
+        << fk_table << "." << fk_col << " row " << r << " dangles";
+  }
+}
+
+TEST(ImdbGenTest, SchemaAndScale) {
+  auto catalog = GenerateImdb(SmallImdb()).value();
+  EXPECT_EQ(catalog->table_names().size(), 8u);
+  const Table* title = catalog->GetTable("title").value();
+  EXPECT_EQ(title->num_rows(), 2000u);
+  // Fact tables scale with titles.
+  EXPECT_GT(catalog->GetTable("movie_keyword").value()->num_rows(), 2000u);
+  EXPECT_GT(catalog->GetTable("cast_info").value()->num_rows(), 4000u);
+  EXPECT_TRUE(catalog->Validate().ok());
+}
+
+TEST(ImdbGenTest, InvalidOptionsRejected) {
+  ImdbOptions o;
+  o.num_titles = 0;
+  EXPECT_FALSE(GenerateImdb(o).ok());
+  o = SmallImdb();
+  o.correlation = 1.5;
+  EXPECT_FALSE(GenerateImdb(o).ok());
+}
+
+TEST(ImdbGenTest, ReferentialIntegrity) {
+  auto catalog = GenerateImdb(SmallImdb()).value();
+  for (const auto& fk : catalog->foreign_keys()) {
+    ExpectFkIntegrity(*catalog, fk.fk_table, fk.fk_column, fk.pk_table,
+                      fk.pk_column);
+  }
+}
+
+TEST(ImdbGenTest, ValueDomains) {
+  auto catalog = GenerateImdb(SmallImdb()).value();
+  const Table* title = catalog->GetTable("title").value();
+  const Column* year = title->GetColumn("production_year").value();
+  const Column* kind = title->GetColumn("kind_id").value();
+  for (size_t r = 0; r < title->num_rows(); ++r) {
+    EXPECT_GE(year->GetInt(r), datagen::kImdbMinYear);
+    EXPECT_LE(year->GetInt(r), datagen::kImdbMaxYear);
+    EXPECT_GE(kind->GetInt(r), 1);
+    EXPECT_LE(kind->GetInt(r), datagen::kImdbNumKinds);
+  }
+  const Table* ci = catalog->GetTable("cast_info").value();
+  const Column* role = ci->GetColumn("role_id").value();
+  for (size_t r = 0; r < ci->num_rows(); ++r) {
+    EXPECT_GE(role->GetInt(r), 1);
+    EXPECT_LE(role->GetInt(r), datagen::kImdbNumRoles);
+  }
+}
+
+TEST(ImdbGenTest, SeasonNullableOnlyForEpisodes) {
+  auto catalog = GenerateImdb(SmallImdb()).value();
+  const Table* title = catalog->GetTable("title").value();
+  const Column* kind = title->GetColumn("kind_id").value();
+  const Column* season = title->GetColumn("season_nr").value();
+  for (size_t r = 0; r < title->num_rows(); ++r) {
+    if (kind->GetInt(r) == 7) {
+      EXPECT_FALSE(season->IsNull(r));
+    } else {
+      EXPECT_TRUE(season->IsNull(r));
+    }
+  }
+}
+
+TEST(ImdbGenTest, DeterministicAcrossRuns) {
+  auto a = GenerateImdb(SmallImdb(9)).value();
+  auto b = GenerateImdb(SmallImdb(9)).value();
+  const Column* ya =
+      a->GetTable("title").value()->GetColumn("production_year").value();
+  const Column* yb =
+      b->GetTable("title").value()->GetColumn("production_year").value();
+  ASSERT_EQ(ya->size(), yb->size());
+  for (size_t r = 0; r < ya->size(); ++r) {
+    ASSERT_EQ(ya->GetInt(r), yb->GetInt(r));
+  }
+  EXPECT_EQ(a->GetTable("movie_keyword").value()->num_rows(),
+            b->GetTable("movie_keyword").value()->num_rows());
+}
+
+TEST(ImdbGenTest, DifferentSeedsDiffer) {
+  auto a = GenerateImdb(SmallImdb(1)).value();
+  auto b = GenerateImdb(SmallImdb(2)).value();
+  const Column* ya =
+      a->GetTable("title").value()->GetColumn("production_year").value();
+  const Column* yb =
+      b->GetTable("title").value()->GetColumn("production_year").value();
+  size_t diff = 0;
+  for (size_t r = 0; r < std::min(ya->size(), yb->size()); ++r) {
+    diff += ya->GetInt(r) != yb->GetInt(r);
+  }
+  EXPECT_GT(diff, 100u);
+}
+
+TEST(ImdbGenTest, KeywordFrequenciesAreSkewed) {
+  auto catalog = GenerateImdb(SmallImdb()).value();
+  const Table* mk = catalog->GetTable("movie_keyword").value();
+  const Column* kw = mk->GetColumn("keyword_id").value();
+  std::unordered_map<int64_t, size_t> freq;
+  for (size_t r = 0; r < mk->num_rows(); ++r) freq[kw->GetInt(r)]++;
+  size_t max_freq = 0;
+  for (const auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+  double mean_freq = static_cast<double>(mk->num_rows()) /
+                     static_cast<double>(freq.size());
+  // Zipf head must be far above the mean.
+  EXPECT_GT(static_cast<double>(max_freq), 5.0 * mean_freq);
+}
+
+// The paper's central premise: keyword and production_year are correlated.
+// For frequent keywords, the within-keyword year variance must be
+// substantially below the global year variance when correlation is on, and
+// close to it when off.
+double MeanWithinKeywordYearVariance(const Catalog& catalog) {
+  const Table* title = catalog.GetTable("title").value();
+  const Column* year = title->GetColumn("production_year").value();
+  const Table* mk = catalog.GetTable("movie_keyword").value();
+  const Column* movie_id = mk->GetColumn("movie_id").value();
+  const Column* keyword_id = mk->GetColumn("keyword_id").value();
+  std::unordered_map<int64_t, std::vector<double>> years_by_kw;
+  for (size_t r = 0; r < mk->num_rows(); ++r) {
+    size_t title_row = static_cast<size_t>(movie_id->GetInt(r) - 1);
+    years_by_kw[keyword_id->GetInt(r)].push_back(
+        static_cast<double>(year->GetInt(title_row)));
+  }
+  double total_var = 0;
+  size_t used = 0;
+  for (const auto& [k, ys] : years_by_kw) {
+    if (ys.size() < 30) continue;  // only frequent keywords
+    double mean = 0;
+    for (double y : ys) mean += y;
+    mean /= static_cast<double>(ys.size());
+    double var = 0;
+    for (double y : ys) var += (y - mean) * (y - mean);
+    var /= static_cast<double>(ys.size());
+    total_var += var;
+    ++used;
+  }
+  return used == 0 ? -1 : total_var / static_cast<double>(used);
+}
+
+TEST(ImdbGenTest, KeywordYearCorrelationInjected) {
+  ImdbOptions correlated = SmallImdb();
+  correlated.num_titles = 5000;
+  correlated.correlation = 0.95;
+  ImdbOptions independent = correlated;
+  independent.correlation = 0.0;
+  double var_corr =
+      MeanWithinKeywordYearVariance(*GenerateImdb(correlated).value());
+  double var_indep =
+      MeanWithinKeywordYearVariance(*GenerateImdb(independent).value());
+  ASSERT_GT(var_corr, 0);
+  ASSERT_GT(var_indep, 0);
+  // Correlated data concentrates keyword usage around peak years.
+  EXPECT_LT(var_corr, 0.6 * var_indep);
+}
+
+TEST(ImdbGenTest, FactTableCoverageIsPartial) {
+  // Not every title has rows in every fact table (the real IMDb's partial,
+  // correlated coverage that breaks per-join independence).
+  auto catalog = GenerateImdb(SmallImdb()).value();
+  const size_t titles = catalog->GetTable("title").value()->num_rows();
+  for (const char* fact : {"movie_keyword", "movie_companies", "cast_info",
+                           "movie_info", "movie_info_idx"}) {
+    const Table* t = catalog->GetTable(fact).value();
+    const Column* movie_id = t->GetColumn("movie_id").value();
+    std::unordered_set<int64_t> covered;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      covered.insert(movie_id->GetInt(r));
+    }
+    EXPECT_LT(covered.size(), titles) << fact;
+    EXPECT_GT(covered.size(), titles / 20) << fact;
+  }
+}
+
+TEST(ImdbGenTest, FanOutsAreJointlyCorrelated) {
+  // Popularity couples fan-outs across fact tables: titles in the top
+  // keyword-count decile must have a higher average cast count than the
+  // bottom decile.
+  ImdbOptions opts = SmallImdb();
+  opts.num_titles = 4000;
+  auto catalog = GenerateImdb(opts).value();
+  const size_t titles = catalog->GetTable("title").value()->num_rows();
+  std::vector<double> mk_count(titles + 1, 0), ci_count(titles + 1, 0);
+  {
+    const Table* mk = catalog->GetTable("movie_keyword").value();
+    const Column* movie_id = mk->GetColumn("movie_id").value();
+    for (size_t r = 0; r < mk->num_rows(); ++r) {
+      mk_count[static_cast<size_t>(movie_id->GetInt(r))] += 1;
+    }
+    const Table* ci = catalog->GetTable("cast_info").value();
+    const Column* cmid = ci->GetColumn("movie_id").value();
+    for (size_t r = 0; r < ci->num_rows(); ++r) {
+      ci_count[static_cast<size_t>(cmid->GetInt(r))] += 1;
+    }
+  }
+  // Consider only titles covered by both tables.
+  std::vector<std::pair<double, double>> both;
+  for (size_t i = 1; i <= titles; ++i) {
+    if (mk_count[i] > 0 && ci_count[i] > 0) {
+      both.emplace_back(mk_count[i], ci_count[i]);
+    }
+  }
+  ASSERT_GT(both.size(), 200u);
+  std::sort(both.begin(), both.end());
+  const size_t decile = both.size() / 10;
+  double low = 0, high = 0;
+  for (size_t i = 0; i < decile; ++i) {
+    low += both[i].second;
+    high += both[both.size() - 1 - i].second;
+  }
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(TpchGenTest, SchemaAndScale) {
+  TpchOptions o;
+  o.num_customers = 500;
+  auto catalog = GenerateTpch(o).value();
+  EXPECT_EQ(catalog->table_names().size(), 7u);
+  EXPECT_EQ(catalog->GetTable("region").value()->num_rows(), 5u);
+  EXPECT_EQ(catalog->GetTable("nation").value()->num_rows(), 25u);
+  EXPECT_EQ(catalog->GetTable("customer").value()->num_rows(), 500u);
+  EXPECT_EQ(catalog->GetTable("orders").value()->num_rows(), 5000u);
+  size_t li = catalog->GetTable("lineitem").value()->num_rows();
+  EXPECT_GT(li, 5000u);
+  EXPECT_LT(li, 40000u);
+  EXPECT_TRUE(catalog->Validate().ok());
+}
+
+TEST(TpchGenTest, ReferentialIntegrity) {
+  TpchOptions o;
+  o.num_customers = 300;
+  auto catalog = GenerateTpch(o).value();
+  for (const auto& fk : catalog->foreign_keys()) {
+    ExpectFkIntegrity(*catalog, fk.fk_table, fk.fk_column, fk.pk_table,
+                      fk.pk_column);
+  }
+}
+
+TEST(TpchGenTest, ShipAfterOrderDate) {
+  TpchOptions o;
+  o.num_customers = 300;
+  auto catalog = GenerateTpch(o).value();
+  const Table* orders = catalog->GetTable("orders").value();
+  const Column* odate = orders->GetColumn("o_orderdate").value();
+  const Table* li = catalog->GetTable("lineitem").value();
+  const Column* lorder = li->GetColumn("l_orderkey").value();
+  const Column* lship = li->GetColumn("l_shipdate").value();
+  for (size_t r = 0; r < li->num_rows(); ++r) {
+    size_t orow = static_cast<size_t>(lorder->GetInt(r) - 1);
+    EXPECT_GT(lship->GetInt(r), odate->GetInt(orow));
+    EXPECT_LE(lship->GetInt(r), datagen::kTpchMaxDate);
+  }
+}
+
+TEST(TpchGenTest, Deterministic) {
+  TpchOptions o;
+  o.num_customers = 200;
+  auto a = GenerateTpch(o).value();
+  auto b = GenerateTpch(o).value();
+  EXPECT_EQ(a->GetTable("lineitem").value()->num_rows(),
+            b->GetTable("lineitem").value()->num_rows());
+}
+
+TEST(TpchGenTest, InvalidOptionsRejected) {
+  TpchOptions o;
+  o.num_customers = 0;
+  EXPECT_FALSE(GenerateTpch(o).ok());
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,242 @@
+// Unit tests for the SQL front-end: lexer, parser, binder.
+
+#include <gtest/gtest.h>
+
+#include "ds/sql/binder.h"
+#include "ds/sql/lexer.h"
+#include "ds/sql/parser.h"
+#include "ds/util/random.h"
+#include "test_util.h"
+
+namespace ds {
+namespace {
+
+using sql::ParsedOperand;
+using sql::Parse;
+using sql::Tokenize;
+using sql::TokenType;
+using workload::CompareOp;
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT COUNT(*) FROM t;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kLParen);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kStar);
+  EXPECT_EQ((*tokens)[8].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 -7 3.5 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].AsInt(), 42);
+  EXPECT_EQ((*tokens)[1].AsInt(), -7);
+  EXPECT_DOUBLE_EQ((*tokens)[2].AsDouble(), 3.5);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[3].text, "it's");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'open").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(ParserTest, FullQueryShape) {
+  auto q = Parse(
+      "SELECT COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id AND t.production_year > 2000;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->tables.size(), 2u);
+  EXPECT_EQ(q->tables[0].table, "title");
+  EXPECT_EQ(q->tables[0].alias, "t");
+  ASSERT_EQ(q->conditions.size(), 2u);
+  EXPECT_EQ(q->conditions[0].lhs.kind, ParsedOperand::Kind::kColumn);
+  EXPECT_EQ(q->conditions[0].rhs.kind, ParsedOperand::Kind::kColumn);
+  EXPECT_EQ(q->conditions[1].op, CompareOp::kGt);
+}
+
+TEST(ParserTest, AsAliasAndCaseInsensitivity) {
+  auto q = Parse("select count(*) from movie AS m where m.id = 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->tables[0].alias, "m");
+}
+
+TEST(ParserTest, PlaceholderParses) {
+  auto q = Parse("SELECT COUNT(*) FROM movie WHERE year = ?");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->conditions[0].rhs.kind, ParsedOperand::Kind::kPlaceholder);
+}
+
+TEST(ParserTest, RejectsMalformed) {
+  EXPECT_FALSE(Parse("SELECT * FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) WHERE x = 1").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t extra junk").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+// Parser robustness: arbitrary near-SQL garbage must produce ParseError,
+// never a crash.
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, GarbageNeverCrashes) {
+  util::Pcg32 rng(GetParam());
+  const std::string pieces[] = {
+      "SELECT", "COUNT", "(", ")", "*", "FROM",  "WHERE", "AND",  "BETWEEN",
+      ",",      ".",     "=", "<", ">", "movie", "year",  "2000", "'x'",
+      "?",      ";",     "1.5", "AS"};
+  for (int i = 0; i < 200; ++i) {
+    std::string sql;
+    const size_t len = 1 + rng.Bounded(24);
+    for (size_t j = 0; j < len; ++j) {
+      sql += pieces[rng.Bounded(sizeof(pieces) / sizeof(pieces[0]))];
+      sql += ' ';
+    }
+    auto result = Parse(sql);  // must return, not crash
+    (void)result;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : catalog_(testutil::MakeTinyCatalog()) {}
+  std::unique_ptr<storage::Catalog> catalog_;
+};
+
+TEST_F(BinderTest, ResolvesAliasesAndJoins) {
+  auto spec = sql::ParseAndBind(
+      *catalog_,
+      "SELECT COUNT(*) FROM movie m, rating r "
+      "WHERE r.movie_id = m.id AND m.year > 2004 AND r.score < 2.0");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->tables, (std::vector<std::string>{"movie", "rating"}));
+  ASSERT_EQ(spec->joins.size(), 1u);
+  EXPECT_EQ(spec->joins[0].left_table, "rating");
+  ASSERT_EQ(spec->predicates.size(), 2u);
+  EXPECT_EQ(spec->predicates[0].table, "movie");
+}
+
+TEST_F(BinderTest, ResolvesUnqualifiedUniqueColumns) {
+  auto spec =
+      sql::ParseAndBind(*catalog_, "SELECT COUNT(*) FROM movie WHERE year = 2003");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->predicates[0].column, "year");
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedColumnRejected) {
+  // Both movie and genre have "id".
+  auto spec = sql::ParseAndBind(
+      *catalog_,
+      "SELECT COUNT(*) FROM movie m, genre g WHERE m.genre_id = g.id AND id = 3");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST_F(BinderTest, NormalizesLiteralOpColumn) {
+  auto spec = sql::ParseAndBind(*catalog_,
+                                "SELECT COUNT(*) FROM movie WHERE 2004 < year");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->predicates[0].op, CompareOp::kGt);  // year > 2004
+}
+
+TEST_F(BinderTest, RejectsSemanticErrors) {
+  // Unknown table.
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_, "SELECT COUNT(*) FROM nope").ok());
+  // Unknown column.
+  EXPECT_FALSE(
+      sql::ParseAndBind(*catalog_, "SELECT COUNT(*) FROM movie WHERE zz = 1")
+          .ok());
+  // Self-join.
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie a, movie b "
+                                 "WHERE a.id = b.id")
+                   .ok());
+  // Non-equality join.
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie m, rating r "
+                                 "WHERE r.movie_id > m.id")
+                   .ok());
+  // Disconnected join graph (cross product).
+  EXPECT_FALSE(
+      sql::ParseAndBind(*catalog_, "SELECT COUNT(*) FROM movie, rating").ok());
+  // Literal-only condition.
+  EXPECT_FALSE(
+      sql::ParseAndBind(*catalog_, "SELECT COUNT(*) FROM movie WHERE 1 = 1")
+          .ok());
+}
+
+TEST_F(BinderTest, PlaceholderExtractedOnce) {
+  auto parsed = Parse("SELECT COUNT(*) FROM movie WHERE year = ?");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = sql::Bind(*catalog_, *parsed);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_TRUE(bound->placeholder.has_value());
+  EXPECT_EQ(bound->placeholder->table, "movie");
+  EXPECT_EQ(bound->placeholder->column, "year");
+  EXPECT_TRUE(bound->spec.predicates.empty());
+
+  auto two = Parse("SELECT COUNT(*) FROM movie WHERE year = ? AND genre_id = ?");
+  ASSERT_TRUE(two.ok());
+  EXPECT_FALSE(sql::Bind(*catalog_, *two).ok());
+
+  // ParseAndBind refuses placeholders.
+  EXPECT_FALSE(
+      sql::ParseAndBind(*catalog_, "SELECT COUNT(*) FROM movie WHERE year = ?")
+          .ok());
+}
+
+TEST_F(BinderTest, BetweenDesugarsToInclusiveRange) {
+  auto spec = sql::ParseAndBind(
+      *catalog_, "SELECT COUNT(*) FROM movie WHERE year BETWEEN 2003 AND 2005");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->predicates.size(), 2u);
+  EXPECT_EQ(spec->predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(std::get<int64_t>(spec->predicates[0].literal), 2002);
+  EXPECT_EQ(spec->predicates[1].op, CompareOp::kLt);
+  EXPECT_EQ(std::get<int64_t>(spec->predicates[1].literal), 2006);
+}
+
+TEST_F(BinderTest, BetweenComposesWithOtherConjuncts) {
+  auto spec = sql::ParseAndBind(*catalog_,
+                                "SELECT COUNT(*) FROM movie m, rating r "
+                                "WHERE r.movie_id = m.id "
+                                "AND m.year BETWEEN 2001 AND 2008 "
+                                "AND m.genre_id = 3");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->joins.size(), 1u);
+  EXPECT_EQ(spec->predicates.size(), 3u);
+}
+
+TEST_F(BinderTest, BetweenRejectsNonIntegerBounds) {
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM rating "
+                                 "WHERE score BETWEEN 1.5 AND 3.5")
+                   .ok());
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie "
+                                 "WHERE 3 BETWEEN 1 AND 5")
+                   .ok());
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie "
+                                 "WHERE year BETWEEN 2001")
+                   .ok());
+}
+
+TEST_F(BinderTest, SqlRoundTripThroughSpec) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM movie, rating "
+      "WHERE rating.movie_id = movie.id AND movie.year = 2003;";
+  auto spec = sql::ParseAndBind(*catalog_, sql);
+  ASSERT_TRUE(spec.ok());
+  // Re-parse the generated SQL; it must bind to an equivalent spec.
+  auto spec2 = sql::ParseAndBind(*catalog_, spec->ToSql());
+  ASSERT_TRUE(spec2.ok()) << spec2.status().ToString();
+  EXPECT_EQ(spec->ToSql(), spec2->ToSql());
+  EXPECT_EQ(spec->ToCompactString(), spec2->ToCompactString());
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,274 @@
+// Unit tests for ds/storage: columns, tables, catalog, dictionaries, CSV.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ds/storage/catalog.h"
+#include "ds/storage/csv.h"
+#include "ds/storage/table_io.h"
+#include "test_util.h"
+
+namespace ds {
+namespace {
+
+using storage::Catalog;
+using storage::CellValue;
+using storage::Column;
+using storage::ColumnType;
+using storage::Table;
+
+TEST(DictionaryTest, GetOrAddIsIdempotent) {
+  storage::Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.GetOrAdd("b"), 1);
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.Decode(1), "b");
+}
+
+TEST(DictionaryTest, LookupMissingIsNotFound) {
+  storage::Dictionary d;
+  d.GetOrAdd("x");
+  EXPECT_TRUE(d.Lookup("x").ok());
+  EXPECT_EQ(d.Lookup("y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ColumnTest, IntAppendAndStats) {
+  Column c("x", ColumnType::kInt64);
+  for (int64_t v : {5, 3, 9, 3}) c.AppendInt(v);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.GetInt(2), 9);
+  EXPECT_DOUBLE_EQ(c.MinNumeric(), 3);
+  EXPECT_DOUBLE_EQ(c.MaxNumeric(), 9);
+  EXPECT_EQ(c.CountDistinct(), 3u);
+  EXPECT_DOUBLE_EQ(c.NullFraction(), 0.0);
+  EXPECT_FALSE(c.has_nulls());
+}
+
+TEST(ColumnTest, NullsTrackedLazily) {
+  Column c("x", ColumnType::kInt64);
+  c.AppendInt(1);
+  c.AppendNull();
+  c.AppendInt(7);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_DOUBLE_EQ(c.NullFraction(), 1.0 / 3.0);
+  // Stats ignore nulls.
+  EXPECT_DOUBLE_EQ(c.MinNumeric(), 1);
+  EXPECT_EQ(c.CountDistinct(), 2u);
+}
+
+TEST(ColumnTest, CategoricalEncodesThroughDictionary) {
+  Column c("genre", ColumnType::kCategorical);
+  c.AppendString("drama");
+  c.AppendString("comedy");
+  c.AppendString("drama");
+  EXPECT_EQ(c.GetInt(0), c.GetInt(2));
+  EXPECT_NE(c.GetInt(0), c.GetInt(1));
+  EXPECT_EQ(c.GetString(1), "comedy");
+  EXPECT_EQ(c.CountDistinct(), 2u);
+}
+
+TEST(ColumnTest, LiteralToNumeric) {
+  Column ci("x", ColumnType::kInt64);
+  ci.AppendInt(1);
+  EXPECT_DOUBLE_EQ(*ci.LiteralToNumeric(CellValue{int64_t{7}}), 7.0);
+  EXPECT_DOUBLE_EQ(*ci.LiteralToNumeric(CellValue{2.5}), 2.5);
+  EXPECT_FALSE(ci.LiteralToNumeric(CellValue{std::string("x")}).ok());
+
+  Column cc("s", ColumnType::kCategorical);
+  cc.AppendString("hello");
+  EXPECT_DOUBLE_EQ(*cc.LiteralToNumeric(CellValue{std::string("hello")}), 0.0);
+  auto missing = cc.LiteralToNumeric(CellValue{std::string("bye")});
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Integer literals are dictionary codes (pre-resolved predicates).
+  EXPECT_DOUBLE_EQ(*cc.LiteralToNumeric(CellValue{int64_t{0}}), 0.0);
+  // Float literals never compare to categorical columns.
+  EXPECT_FALSE(cc.LiteralToNumeric(CellValue{1.5}).ok());
+}
+
+TEST(ColumnTest, AppendFromCopiesValuesAndNulls) {
+  Column src("x", ColumnType::kInt64);
+  src.AppendInt(3);
+  src.AppendNull();
+  Column dst("x", ColumnType::kInt64);
+  dst.AppendFrom(src, 0);
+  dst.AppendFrom(src, 1);
+  EXPECT_EQ(dst.GetInt(0), 3);
+  EXPECT_TRUE(dst.IsNull(1));
+}
+
+TEST(TableTest, AddAndLookupColumns) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", ColumnType::kInt64).ok());
+  EXPECT_EQ(t.AddColumn("a", ColumnType::kInt64).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("b"));
+  EXPECT_EQ(t.GetColumn("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*t.ColumnIndex("a"), 0u);
+}
+
+TEST(TableTest, ConsistencyCheckCatchesRaggedColumns) {
+  Table t("t");
+  Column* a = t.AddColumn("a", ColumnType::kInt64).value();
+  t.AddColumn("b", ColumnType::kInt64).value();
+  a->AppendInt(1);
+  EXPECT_FALSE(t.CheckConsistent().ok());
+}
+
+TEST(TableTest, MaterializeRowsSharesDictionary) {
+  Table t("t");
+  Column* a = t.AddColumn("a", ColumnType::kInt64).value();
+  Column* s = t.AddColumn("s", ColumnType::kCategorical).value();
+  for (int i = 0; i < 10; ++i) {
+    a->AppendInt(i);
+    s->AppendString("v" + std::to_string(i % 3));
+  }
+  auto sample = storage::MaterializeRows(t, {1, 4, 7});
+  ASSERT_EQ(sample->num_rows(), 3u);
+  const Column* sa = sample->GetColumn("a").value();
+  const Column* ss = sample->GetColumn("s").value();
+  EXPECT_EQ(sa->GetInt(0), 1);
+  EXPECT_EQ(sa->GetInt(2), 7);
+  // Codes must align with the base dictionary.
+  EXPECT_EQ(ss->dict().get(), s->dict().get());
+  EXPECT_EQ(ss->GetString(1), "v1");
+}
+
+TEST(CatalogTest, TinyCatalogShape) {
+  auto catalog = testutil::MakeTinyCatalog();
+  EXPECT_EQ(catalog->table_names().size(), 3u);
+  const Table* movie = catalog->GetTable("movie").value();
+  EXPECT_EQ(movie->num_rows(), 40u);
+  EXPECT_EQ(*catalog->GetPrimaryKey("movie"), "id");
+  EXPECT_EQ(catalog->ForeignKeysOf("movie").size(), 2u);
+  auto edge = catalog->FindJoinEdge("rating", "movie");
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge->fk_column, "movie_id");
+  EXPECT_FALSE(catalog->FindJoinEdge("rating", "genre").ok());
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("t").ok());
+  EXPECT_EQ(c.CreateTable("t").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, KeysRequireExistingColumns) {
+  Catalog c;
+  Table* t = c.CreateTable("t").value();
+  t->AddColumn("id", ColumnType::kInt64).value();
+  EXPECT_FALSE(c.SetPrimaryKey("t", "nope").ok());
+  EXPECT_FALSE(c.AddForeignKey("t", "id", "missing", "id").ok());
+  EXPECT_TRUE(c.SetPrimaryKey("t", "id").ok());
+}
+
+TEST(CatalogTest, MemoryUsagePositive) {
+  auto catalog = testutil::MakeTinyCatalog();
+  EXPECT_GT(catalog->MemoryUsage(), 0u);
+}
+
+TEST(TableIoTest, BinaryRoundTripAllTypes) {
+  Table t("t");
+  Column* a = t.AddColumn("a", ColumnType::kInt64).value();
+  Column* b = t.AddColumn("b", ColumnType::kFloat64).value();
+  Column* s = t.AddColumn("s", ColumnType::kCategorical).value();
+  a->AppendInt(-7);
+  b->AppendDouble(2.5);
+  s->AppendString("x");
+  a->AppendNull();
+  b->AppendNull();
+  s->AppendString("y");
+  a->AppendInt(9);
+  b->AppendDouble(-0.125);
+  s->AppendString("x");
+
+  util::BinaryWriter w;
+  storage::WriteTable(t, &w);
+  util::BinaryReader r(w.buffer());
+  auto rt = storage::ReadTable(&r);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  const Table& t2 = **rt;
+  EXPECT_EQ(t2.name(), "t");
+  ASSERT_EQ(t2.num_rows(), 3u);
+  EXPECT_EQ(t2.GetColumn("a").value()->GetInt(0), -7);
+  EXPECT_TRUE(t2.GetColumn("a").value()->IsNull(1));
+  EXPECT_EQ(t2.GetColumn("a").value()->GetInt(2), 9);
+  EXPECT_DOUBLE_EQ(t2.GetColumn("b").value()->GetDouble(2), -0.125);
+  EXPECT_EQ(t2.GetColumn("s").value()->GetString(0), "x");
+  EXPECT_EQ(t2.GetColumn("s").value()->GetString(1), "y");
+  // Dictionary codes of equal strings stay equal after the round trip.
+  EXPECT_EQ(t2.GetColumn("s").value()->GetInt(0),
+            t2.GetColumn("s").value()->GetInt(2));
+}
+
+TEST(TableIoTest, TruncatedAndCorruptInputsAreErrors) {
+  Table t("t");
+  Column* s = t.AddColumn("s", ColumnType::kCategorical).value();
+  s->AppendString("hello");
+  util::BinaryWriter w;
+  storage::WriteTable(t, &w);
+  // Truncation at every prefix must error, never crash.
+  for (size_t cut : {size_t{1}, w.size() / 4, w.size() / 2, w.size() - 1}) {
+    std::vector<uint8_t> buf(w.buffer().begin(), w.buffer().begin() + cut);
+    util::BinaryReader r(std::move(buf));
+    EXPECT_FALSE(storage::ReadTable(&r).ok()) << "cut=" << cut;
+  }
+  // Corrupt the column type byte.
+  std::vector<uint8_t> buf = w.buffer();
+  // name("t") = 8+1 bytes, numcols = 8, colname("s") = 8+1 -> type at 26.
+  buf[26] = 0x7f;
+  util::BinaryReader r(std::move(buf));
+  EXPECT_FALSE(storage::ReadTable(&r).ok());
+}
+
+TEST(CsvTest, RoundTripWithNullsAndStrings) {
+  Table t("t");
+  Column* a = t.AddColumn("a", ColumnType::kInt64).value();
+  Column* b = t.AddColumn("b", ColumnType::kFloat64).value();
+  Column* s = t.AddColumn("s", ColumnType::kCategorical).value();
+  a->AppendInt(1);
+  b->AppendDouble(2.5);
+  s->AppendString("plain");
+  a->AppendNull();
+  b->AppendNull();
+  s->AppendString("with, comma and \"quote\"");
+  std::string path = testing::TempDir() + "/ds_csv_test.csv";
+  ASSERT_TRUE(storage::WriteTableCsv(t, path).ok());
+  auto rt = storage::ReadTableCsv("t2", path);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  const Table& t2 = **rt;
+  ASSERT_EQ(t2.num_rows(), 2u);
+  EXPECT_EQ(t2.GetColumn("a").value()->GetInt(0), 1);
+  EXPECT_TRUE(t2.GetColumn("a").value()->IsNull(1));
+  EXPECT_DOUBLE_EQ(t2.GetColumn("b").value()->GetDouble(0), 2.5);
+  EXPECT_EQ(t2.GetColumn("s").value()->GetString(1),
+            "with, comma and \"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MalformedInputsAreErrorsNotCrashes) {
+  std::string path = testing::TempDir() + "/ds_csv_bad.csv";
+  auto write = [&](const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  };
+  write("");  // empty
+  EXPECT_FALSE(storage::ReadTableCsv("t", path).ok());
+  write("a\n1\n");  // header without type
+  EXPECT_FALSE(storage::ReadTableCsv("t", path).ok());
+  write("a:int64\nnot_a_number\n");
+  EXPECT_FALSE(storage::ReadTableCsv("t", path).ok());
+  write("a:int64,b:int64\n1\n");  // wrong arity
+  EXPECT_FALSE(storage::ReadTableCsv("t", path).ok());
+  write("a:int64\n\"unterminated\n");
+  EXPECT_FALSE(storage::ReadTableCsv("t", path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,359 @@
+// Unit tests for ds/util: Status/Result, random, serialization, stats,
+// strings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "ds/util/random.h"
+#include "ds/util/serialize.h"
+#include "ds/util/stats.h"
+#include "ds/util/status.h"
+#include "ds/util/string_util.h"
+
+namespace ds {
+namespace {
+
+// --- Status / Result ---------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing");
+  EXPECT_EQ(s.ToString(), "Not found: thing");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualValued) {
+  Status s = Status::Internal("boom");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kInternal);
+  EXPECT_EQ(t.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  DS_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  DS_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  *out = quarter;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(UseMacros(6, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UseMacros(5, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --- Random -------------------------------------------------------------
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  util::Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  util::Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32Test, BoundedStaysInBounds) {
+  util::Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Bounded(17), 17u);
+  }
+}
+
+TEST(Pcg32Test, UniformIntInclusiveRange) {
+  util::Pcg32 rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32Test, UniformDoubleMeanNearHalf) {
+  util::Pcg32 rng(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, NormalMeanAndVariance) {
+  util::Pcg32 rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Pcg32Test, SampleWithoutReplacementIsDistinctAndInRange) {
+  util::Pcg32 rng(13);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Pcg32Test, SampleAllIsPermutation) {
+  util::Pcg32 rng(13);
+  auto s = rng.SampleWithoutReplacement(50, 50);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 50u);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  util::Pcg32 rng(17);
+  std::vector<int> v(64);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  util::ZipfDistribution z(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) EXPECT_NEAR(z.Pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  util::ZipfDistribution z(100, 1.1);
+  double sum = 0;
+  for (size_t k = 0; k < z.n(); ++k) {
+    sum += z.Pmf(k);
+    if (k > 0) {
+      EXPECT_LE(z.Pmf(k), z.Pmf(k - 1) + 1e-12);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleMatchesPmfRoughly) {
+  util::Pcg32 rng(23);
+  util::ZipfDistribution z(50, 1.0);
+  std::vector<int> counts(50, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(&rng)]++;
+  // Rank 0 should carry roughly its PMF share.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.Pmf(0), 0.02);
+  // And dominate a deep-tail rank.
+  EXPECT_GT(counts[0], counts[40]);
+}
+
+// --- Serialization -------------------------------------------------------
+
+TEST(SerializeTest, RoundTripPrimitives) {
+  util::BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteI64(-42);
+  w.WriteF64(3.25);
+  w.WriteBool(true);
+  w.WriteString("hello");
+  util::BinaryReader r(w.buffer());
+  uint32_t a;
+  int64_t b;
+  double c;
+  bool d;
+  std::string e;
+  ASSERT_TRUE(r.ReadU32(&a).ok());
+  ASSERT_TRUE(r.ReadI64(&b).ok());
+  ASSERT_TRUE(r.ReadF64(&c).ok());
+  ASSERT_TRUE(r.ReadBool(&d).ok());
+  ASSERT_TRUE(r.ReadString(&e).ok());
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, -42);
+  EXPECT_EQ(c, 3.25);
+  EXPECT_TRUE(d);
+  EXPECT_EQ(e, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripVectors) {
+  util::BinaryWriter w;
+  std::vector<float> vf = {1.5f, -2.0f, 0.0f};
+  std::vector<std::string> vs = {"a", "", "long string with spaces"};
+  w.WritePodVector(vf);
+  w.WriteStringVector(vs);
+  util::BinaryReader r(w.buffer());
+  std::vector<float> rf;
+  std::vector<std::string> rs;
+  ASSERT_TRUE(r.ReadPodVector(&rf).ok());
+  ASSERT_TRUE(r.ReadStringVector(&rs).ok());
+  EXPECT_EQ(rf, vf);
+  EXPECT_EQ(rs, vs);
+}
+
+TEST(SerializeTest, TruncatedInputIsError) {
+  util::BinaryWriter w;
+  w.WriteU32(1);
+  util::BinaryReader r(w.buffer());
+  uint64_t v;
+  EXPECT_EQ(r.ReadU64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncatedVectorIsErrorNotCrash) {
+  util::BinaryWriter w;
+  w.WriteU64(1000000);  // claims 1M doubles, provides none
+  util::BinaryReader r(w.buffer());
+  std::vector<double> v;
+  EXPECT_FALSE(r.ReadPodVector(&v).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  util::BinaryWriter w;
+  w.WriteString("persisted");
+  std::string path = testing::TempDir() + "/ds_serialize_test.bin";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  auto r = util::BinaryReader::FromFile(path);
+  ASSERT_TRUE(r.ok());
+  std::string s;
+  ASSERT_TRUE(r->ReadString(&s).ok());
+  EXPECT_EQ(s, "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsError) {
+  auto r = util::BinaryReader::FromFile("/nonexistent/nope.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// --- Stats ---------------------------------------------------------------
+
+TEST(StatsTest, QErrorIsSymmetricFactor) {
+  EXPECT_DOUBLE_EQ(util::QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(util::QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(util::QError(5, 5), 1.0);
+}
+
+TEST(StatsTest, QErrorClampsZeroes) {
+  EXPECT_DOUBLE_EQ(util::QError(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::QError(0, 50), 50.0);
+  EXPECT_DOUBLE_EQ(util::QError(50, 0), 50.0);
+}
+
+TEST(StatsTest, QErrorAtLeastOne) {
+  util::Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double t = rng.UniformDouble(0, 1e6);
+    double e = rng.UniformDouble(0, 1e6);
+    EXPECT_GE(util::QError(t, e), 1.0);
+  }
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(util::Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(util::Percentile(v, 50), 2.5);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(util::Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(util::Median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(StatsTest, SummaryMatchesDirectComputation) {
+  std::vector<double> q;
+  for (int i = 1; i <= 100; ++i) q.push_back(i);
+  auto s = util::QErrorSummary::FromQErrors(q);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.median, util::Percentile(q, 50));
+  EXPECT_DOUBLE_EQ(s.p90, util::Percentile(q, 90));
+  EXPECT_DOUBLE_EQ(s.p99, util::Percentile(q, 99));
+}
+
+TEST(StatsTest, FormatQMatchesPaperStyle) {
+  EXPECT_EQ(util::FormatQ(3.824), "3.82");
+  EXPECT_EQ(util::FormatQ(78.44), "78.4");
+  EXPECT_EQ(util::FormatQ(1110.2), "1110");
+}
+
+TEST(StatsTest, FormatTableAligns) {
+  auto s = util::FormatTable({"name", "v"}, {{"a", "1"}, {"bb", "22"}});
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+// --- Strings ---------------------------------------------------------------
+
+TEST(StringTest, SplitJoin) {
+  auto parts = util::Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(util::Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(util::Join({}, ","), "");
+}
+
+TEST(StringTest, TrimAndCase) {
+  EXPECT_EQ(util::Trim("  hi \t"), "hi");
+  EXPECT_EQ(util::Trim(""), "");
+  EXPECT_EQ(util::ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(util::EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(util::EqualsIgnoreCase("WHERE", "were"));
+  EXPECT_TRUE(util::StartsWith("deep_sketch", "deep"));
+  EXPECT_FALSE(util::StartsWith("deep", "deep_sketch"));
+}
+
+TEST(StringTest, HumanBytes) {
+  EXPECT_EQ(util::HumanBytes(100), "100 B");
+  EXPECT_EQ(util::HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(util::HumanBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+}  // namespace
+}  // namespace ds

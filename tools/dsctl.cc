@@ -1,0 +1,244 @@
+// dsctl — command-line interface to the deepsketch library.
+//
+//   dsctl gen <imdb|tpch> <out-dir> [titles=N] [customers=N] [seed=N]
+//       Generate a synthetic dataset and export every table as CSV.
+//
+//   dsctl train <imdb|tpch> <sketch-file> [tables=t1,t2,...] [queries=N]
+//               [epochs=N] [samples=N] [hidden=N] [seed=N] [log=curve.csv]
+//       Generate the dataset in memory, train a Deep Sketch, persist it.
+//
+//   dsctl info <sketch-file>
+//       Print a sketch's tables, feature-space dimensions, architecture,
+//       and footprint.
+//
+//   dsctl estimate <sketch-file> <SQL>
+//       Estimate a COUNT(*) query using only the sketch file (no database).
+//
+//   dsctl template <sketch-file> <SQL-with-?> [buckets=N] [max=N]
+//       Expand a '?' template from the sketch's column sample and estimate
+//       every instance.
+//
+// Generation is deterministic per seed, so a sketch trained via `dsctl
+// train imdb ... seed=42` answers queries about exactly the dataset that
+// `dsctl gen imdb ... seed=42` exports.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ds/datagen/imdb.h"
+#include "ds/datagen/tpch.h"
+#include "ds/mscn/logger.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/sketch/template.h"
+#include "ds/storage/csv.h"
+#include "ds/util/string_util.h"
+
+using namespace ds;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values.find(name);
+    return it == values.end() ? def
+                              : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  std::string GetString(const std::string& name,
+                        const std::string& def) const {
+    auto it = values.find(name);
+    return it == values.end() ? def : it->second;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg(argv[i]);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+Result<std::unique_ptr<storage::Catalog>> MakeDataset(
+    const std::string& name, const Flags& flags) {
+  if (name == "imdb") {
+    datagen::ImdbOptions opts;
+    opts.num_titles = static_cast<size_t>(flags.GetInt("titles", 15'000));
+    opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    return datagen::GenerateImdb(opts);
+  }
+  if (name == "tpch") {
+    datagen::TpchOptions opts;
+    opts.num_customers =
+        static_cast<size_t>(flags.GetInt("customers", 3'000));
+    opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    return datagen::GenerateTpch(opts);
+  }
+  return Status::InvalidArgument("unknown dataset '" + name +
+                                 "' (imdb|tpch)");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "dsctl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: dsctl gen <imdb|tpch> <out-dir> [...]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 4);
+  auto catalog = MakeDataset(argv[2], flags);
+  if (!catalog.ok()) return Fail(catalog.status());
+  const std::string dir = argv[3];
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  for (const auto* table : (*catalog)->tables()) {
+    const std::string path = dir + "/" + table->name() + ".csv";
+    if (auto st = storage::WriteTableCsv(*table, path); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %-18s (%zu rows) -> %s\n", table->name().c_str(),
+                table->num_rows(), path.c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl train <imdb|tpch> <sketch-file> [...]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 4);
+  auto catalog = MakeDataset(argv[2], flags);
+  if (!catalog.ok()) return Fail(catalog.status());
+
+  sketch::SketchConfig config;
+  const std::string tables_csv = flags.GetString("tables", "");
+  if (!tables_csv.empty()) config.tables = util::Split(tables_csv, ',');
+  config.num_training_queries =
+      static_cast<size_t>(flags.GetInt("queries", 8'000));
+  config.num_epochs = static_cast<size_t>(flags.GetInt("epochs", 25));
+  config.num_samples = static_cast<size_t>(flags.GetInt("samples", 256));
+  config.hidden_units = static_cast<size_t>(flags.GetInt("hidden", 64));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  sketch::TrainingMonitor monitor;
+  monitor.on_labeling_progress = [](size_t done, size_t total) {
+    if (done % 2000 == 0 || done == total) {
+      std::printf("labeling %zu/%zu\r", done, total);
+      std::fflush(stdout);
+    }
+  };
+  std::unique_ptr<mscn::TrainingLogger> logger;
+  const std::string log_path = flags.GetString("log", "");
+  if (!log_path.empty()) {
+    auto opened = mscn::TrainingLogger::Open(log_path);
+    if (!opened.ok()) return Fail(opened.status());
+    logger = std::make_unique<mscn::TrainingLogger>(std::move(opened).value());
+  }
+  monitor.on_epoch = [&](const mscn::EpochStats& e) {
+    if (logger != nullptr) logger->LogEpoch(e);
+    std::printf("epoch %3zu  loss %8.3f  val mean-q %7.2f  median-q %6.2f\n",
+                e.epoch, e.train_loss, e.validation_mean_q,
+                e.validation_median_q);
+  };
+
+  auto sketch = sketch::DeepSketch::Train(**catalog, config, &monitor);
+  if (!sketch.ok()) return Fail(sketch.status());
+  if (auto st = sketch->Save(argv[3]); !st.ok()) return Fail(st);
+  std::printf("sketch saved to %s (%s)\n", argv[3],
+              util::HumanBytes(sketch->SerializedSize()).c_str());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: dsctl info <sketch-file>\n");
+    return 2;
+  }
+  auto sketch = sketch::DeepSketch::Load(argv[2]);
+  if (!sketch.ok()) return Fail(sketch.status());
+  std::printf("tables:");
+  for (const auto& t : sketch->tables()) std::printf(" %s", t.c_str());
+  std::printf("\nsamples per table: %zu\n",
+              sketch->feature_space().sample_size());
+  const auto& space = sketch->feature_space();
+  std::printf("feature space: %zu tables, %zu joins, %zu columns\n",
+              space.table_names().size(), space.num_joins(),
+              space.num_columns());
+  std::printf("model parameters: %zu\n", sketch->num_model_parameters());
+  std::printf("serialized size: %s\n",
+              util::HumanBytes(sketch->SerializedSize()).c_str());
+  return 0;
+}
+
+int CmdEstimate(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: dsctl estimate <sketch-file> <SQL>\n");
+    return 2;
+  }
+  auto sketch = sketch::DeepSketch::Load(argv[2]);
+  if (!sketch.ok()) return Fail(sketch.status());
+  auto est = sketch->EstimateSql(argv[3]);
+  if (!est.ok()) return Fail(est.status());
+  std::printf("%.0f\n", *est);
+  return 0;
+}
+
+int CmdTemplate(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl template <sketch-file> <SQL-with-?> [...]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 4);
+  auto sketch = sketch::DeepSketch::Load(argv[2]);
+  if (!sketch.ok()) return Fail(sketch.status());
+  auto bound = sketch->BindSql(argv[3]);
+  if (!bound.ok()) return Fail(bound.status());
+  sketch::TemplateOptions opts;
+  const int64_t buckets = flags.GetInt("buckets", 0);
+  if (buckets > 0) {
+    opts.grouping = sketch::TemplateOptions::Grouping::kBuckets;
+    opts.num_buckets = static_cast<size_t>(buckets);
+  }
+  opts.max_instances = static_cast<size_t>(flags.GetInt("max", 64));
+  auto instances = sketch::InstantiateTemplate(*bound, sketch->samples(), opts);
+  if (!instances.ok()) return Fail(instances.status());
+  for (const auto& inst : *instances) {
+    auto est = sketch->EstimateCardinality(inst.spec);
+    if (!est.ok()) return Fail(est.status());
+    std::printf("%-28s %12.0f\n", inst.label.c_str(), *est);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dsctl <gen|train|info|estimate|template> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "train") return CmdTrain(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "estimate") return CmdEstimate(argc, argv);
+  if (cmd == "template") return CmdTemplate(argc, argv);
+  std::fprintf(stderr, "dsctl: unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
