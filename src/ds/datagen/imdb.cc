@@ -101,7 +101,9 @@ Result<std::unique_ptr<Catalog>> GenerateImdb(const ImdbOptions& options) {
     for (size_t i = 0; i < num_keywords; ++i) {
       id->AppendInt(static_cast<int64_t>(i + 1));
       kw->AppendString(MakeKeywordString(i));
-      pc->AppendString("P" + std::to_string(i % 26));
+      std::string code = "P";
+      code += std::to_string(i % 26);
+      pc->AppendString(code);
       kw_profiles[i].peak_year =
           static_cast<double>(rng.UniformInt(1930, kImdbMaxYear));
       kw_profiles[i].spread = rng.UniformDouble(2.0, 10.0);

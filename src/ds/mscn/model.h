@@ -42,11 +42,17 @@ class MscnModel {
   void Initialize(util::Pcg32* rng);
 
   /// Forward pass over a padded batch; returns sigmoid outputs [B, 1].
+  /// Caches activations for Backward — training only, not thread-safe.
   nn::Tensor Forward(const Batch& batch);
 
   /// Backpropagates dLoss/dOutput [B, 1]; gradients accumulate in the
   /// parameters. Must follow a Forward on the same batch.
   void Backward(const nn::Tensor& dy);
+
+  /// Inference-only forward: identical outputs to Forward but touches no
+  /// mutable state, so concurrent calls on a shared model are safe once
+  /// training is done. This is the serving hot path (ds::serve).
+  nn::Tensor Infer(const Batch& batch) const;
 
   std::vector<nn::Parameter*> Parameters();
   size_t NumParameters() const;

@@ -26,6 +26,13 @@ Tensor Linear::Forward(const Tensor& x) {
   return y;
 }
 
+Tensor Linear::Infer(const Tensor& x) const {
+  DS_CHECK_EQ(x.rank(), 2u);
+  Tensor y = MatMul(x, weight_.value);
+  AddBiasRows(&y, bias_.value);
+  return y;
+}
+
 Tensor Linear::Backward(const Tensor& dy) {
   DS_CHECK(!cached_x_.empty());
   // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
@@ -55,6 +62,10 @@ Tensor ReLU::Backward(const Tensor& dy) {
   return dx;
 }
 
+void ReLU::ApplyInPlace(Tensor* x) {
+  for (float& v : x->vec()) v = v > 0.0f ? v : 0.0f;
+}
+
 Tensor Sigmoid::Forward(const Tensor& x) {
   Tensor y = x;
   for (float& v : y.vec()) v = 1.0f / (1.0f + std::exp(-v));
@@ -69,6 +80,10 @@ Tensor Sigmoid::Backward(const Tensor& dy) {
   float* d = dx.data();
   for (size_t i = 0; i < dx.size(); ++i) d[i] *= y[i] * (1.0f - y[i]);
   return dx;
+}
+
+void Sigmoid::ApplyInPlace(Tensor* x) {
+  for (float& v : x->vec()) v = 1.0f / (1.0f + std::exp(-v));
 }
 
 // ---- Mlp ---------------------------------------------------------------------------
@@ -93,6 +108,16 @@ Tensor Mlp::Forward(const Tensor& x) {
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);
     if (i < relus_.size()) h = relus_[i].Forward(h);
+  }
+  return h;
+}
+
+Tensor Mlp::Infer(const Tensor& x) const {
+  Tensor h = layers_[0].Infer(x);
+  if (!relus_.empty()) ReLU::ApplyInPlace(&h);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i].Infer(h);
+    if (i < relus_.size()) ReLU::ApplyInPlace(&h);
   }
   return h;
 }
@@ -136,6 +161,30 @@ Tensor MaskedMean::Forward(const Tensor& flat, const Tensor& mask) {
       for (size_t k = 0; k < h; ++k) orow[k] += m * frow[k];
     }
     cached_counts_[i] = count;
+    if (count > 0.0f) {
+      const float inv = 1.0f / count;
+      for (size_t k = 0; k < h; ++k) orow[k] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor MaskedMean::Pool(const Tensor& flat, const Tensor& mask) {
+  DS_CHECK_EQ(flat.rank(), 2u);
+  DS_CHECK_EQ(mask.rank(), 2u);
+  const size_t b = mask.dim(0), s = mask.dim(1), h = flat.dim(1);
+  DS_CHECK_EQ(flat.dim(0), b * s);
+  Tensor out({b, h});
+  for (size_t i = 0; i < b; ++i) {
+    float count = 0.0f;
+    float* orow = out.data() + i * h;
+    for (size_t j = 0; j < s; ++j) {
+      const float m = mask.at(i, j);
+      if (m == 0.0f) continue;
+      count += m;
+      const float* frow = flat.data() + (i * s + j) * h;
+      for (size_t k = 0; k < h; ++k) orow[k] += m * frow[k];
+    }
     if (count > 0.0f) {
       const float inv = 1.0f / count;
       for (size_t k = 0; k < h; ++k) orow[k] *= inv;

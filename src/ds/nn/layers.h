@@ -5,6 +5,13 @@
 // steps). All layers operate on 2D activations [batch, features]; the MSCN
 // model flattens set dimensions into the batch dimension before calling
 // into them.
+//
+// Every layer additionally provides a const `Infer` path that computes the
+// same outputs without touching the backward caches. Inference through
+// `Infer` reads only the (immutable after training) weights, so any number
+// of threads may run it on a shared model concurrently — the property the
+// serving layer (ds::serve) relies on. `Forward` remains the training path
+// and is not thread-safe.
 
 #ifndef DS_NN_LAYERS_H_
 #define DS_NN_LAYERS_H_
@@ -42,6 +49,9 @@ class Linear {
   /// Returns dL/dx; accumulates dL/dW and dL/db. Must follow a Forward.
   Tensor Backward(const Tensor& dy);
 
+  /// Forward without caching: const, safe to call concurrently.
+  Tensor Infer(const Tensor& x) const;
+
   std::vector<Parameter*> Parameters() { return {&weight_, &bias_}; }
   size_t in_features() const { return weight_.value.dim(0); }
   size_t out_features() const { return weight_.value.dim(1); }
@@ -58,6 +68,9 @@ class ReLU {
   Tensor Forward(const Tensor& x);
   Tensor Backward(const Tensor& dy);
 
+  /// In-place max(0, x) with no caching (inference path).
+  static void ApplyInPlace(Tensor* x);
+
  private:
   Tensor cached_x_;
 };
@@ -67,6 +80,9 @@ class Sigmoid {
  public:
   Tensor Forward(const Tensor& x);
   Tensor Backward(const Tensor& dy);
+
+  /// In-place sigmoid with no caching (inference path).
+  static void ApplyInPlace(Tensor* x);
 
  private:
   Tensor cached_y_;
@@ -83,6 +99,8 @@ class Mlp {
   void Initialize(util::Pcg32* rng);
   Tensor Forward(const Tensor& x);
   Tensor Backward(const Tensor& dy);
+  /// Forward without caching: const, safe to call concurrently.
+  Tensor Infer(const Tensor& x) const;
   std::vector<Parameter*> Parameters();
 
   size_t in_features() const { return layers_.front().in_features(); }
@@ -105,6 +123,9 @@ class MaskedMean {
   Tensor Forward(const Tensor& flat, const Tensor& mask);
   /// dy is [B, H]; returns gradient for `flat` [B*S, H].
   Tensor Backward(const Tensor& dy);
+
+  /// Stateless pooling (inference path): same math as Forward, no caches.
+  static Tensor Pool(const Tensor& flat, const Tensor& mask);
 
  private:
   Tensor cached_mask_;

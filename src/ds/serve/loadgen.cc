@@ -1,0 +1,80 @@
+#include "ds/serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "ds/util/timer.h"
+
+namespace ds::serve {
+
+LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
+                         const std::vector<std::string>& sqls,
+                         const LoadOptions& options) {
+  LoadReport report;
+  if (sqls.empty()) return report;
+  const size_t threads = std::max<size_t>(options.threads, 1);
+  const size_t depth = std::max<size_t>(options.pipeline_depth, 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(options.seconds * 1e6));
+
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+  util::WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::deque<std::future<Result<double>>> window;
+      uint64_t my_ok = 0, my_errors = 0;
+      size_t next = t;  // stagger the query mix across clients
+      while (std::chrono::steady_clock::now() < deadline) {
+        // Refill in half-window groups via SubmitMany so submission sync
+        // (queue lock, worker wakeup) is paid per group, not per request.
+        // A depth-1 client is the strict request/response loop and uses
+        // plain Submit.
+        if (depth == 1) {
+          if (window.empty()) {
+            window.push_back(
+                server->Submit(sketch_name, sqls[next++ % sqls.size()]));
+          }
+        } else if (window.size() <= depth / 2) {
+          std::vector<std::string> group;
+          group.reserve(depth - window.size());
+          while (window.size() + group.size() < depth) {
+            group.push_back(sqls[next++ % sqls.size()]);
+          }
+          for (auto& f : server->SubmitMany(sketch_name, std::move(group))) {
+            window.push_back(std::move(f));
+          }
+        }
+        if (window.front().get().ok()) {
+          ++my_ok;
+        } else {
+          ++my_errors;
+        }
+        window.pop_front();
+      }
+      for (auto& f : window) {
+        if (f.get().ok()) {
+          ++my_ok;
+        } else {
+          ++my_errors;
+        }
+      }
+      ok.fetch_add(my_ok, std::memory_order_relaxed);
+      errors.fetch_add(my_errors, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  report.elapsed_seconds = timer.ElapsedSeconds();
+  report.ok = ok.load();
+  report.errors = errors.load();
+  return report;
+}
+
+}  // namespace ds::serve

@@ -1,0 +1,50 @@
+// Closed-loop load generator for SketchServer — the measurement harness
+// behind bench_serve_throughput and `dsctl serve-bench`.
+//
+// Each client thread keeps `pipeline_depth` requests outstanding (submit,
+// then wait for the oldest) and loops until the deadline. Depth 1 is the
+// strict request/response closed loop; deeper pipelines give the server
+// something to coalesce, which is how batching pays off on the wall clock.
+
+#ifndef DS_SERVE_LOADGEN_H_
+#define DS_SERVE_LOADGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/serve/server.h"
+
+namespace ds::serve {
+
+struct LoadOptions {
+  size_t threads = 1;
+
+  /// Outstanding requests per client thread (clamped to >= 1).
+  size_t pipeline_depth = 1;
+
+  /// Measurement window; clients drain their pipelines after it elapses.
+  double seconds = 1.0;
+};
+
+struct LoadReport {
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  double elapsed_seconds = 0;
+
+  double Qps() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(ok + errors) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+/// Drives `server` from `options.threads` closed-loop clients, cycling
+/// through `sqls` against the named sketch. Every submitted request is
+/// awaited before returning.
+LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
+                         const std::vector<std::string>& sqls,
+                         const LoadOptions& options);
+
+}  // namespace ds::serve
+
+#endif  // DS_SERVE_LOADGEN_H_

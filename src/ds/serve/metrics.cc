@@ -1,0 +1,97 @@
+#include "ds/serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ds::serve {
+
+uint64_t HistogramSnapshot::ApproxPercentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) return std::min(UpperBound(i), max);
+  }
+  return max;
+}
+
+MetricsSnapshot ServerMetrics::Snapshot(const CacheStats& cache) const {
+  MetricsSnapshot s;
+  s.submitted = submitted.value();
+  s.rejected = rejected.value();
+  s.completed = completed.value();
+  s.failed = failed.value();
+  s.bind_errors = bind_errors.value();
+  s.batches = batches.value();
+  s.result_cache_hits = result_cache_hits.value();
+  s.result_cache_misses = result_cache_misses.value();
+  s.stmt_cache_hits = stmt_cache_hits.value();
+  s.stmt_cache_misses = stmt_cache_misses.value();
+  s.cache = cache;
+  s.queue_wait_us = queue_wait_us.Snapshot();
+  s.infer_us = infer_us.Snapshot();
+  s.batch_size = batch_size.Snapshot();
+  return s;
+}
+
+namespace {
+
+void AppendHistogramLine(std::string* out, const char* name,
+                         const HistogramSnapshot& h) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  %-14s count %-8llu mean %-8.1f p50 %-6llu p95 %-6llu "
+                "p99 %-6llu max %llu\n",
+                name, static_cast<unsigned long long>(h.count), h.Mean(),
+                static_cast<unsigned long long>(h.ApproxPercentile(0.50)),
+                static_cast<unsigned long long>(h.ApproxPercentile(0.95)),
+                static_cast<unsigned long long>(h.ApproxPercentile(0.99)),
+                static_cast<unsigned long long>(h.max));
+  *out += line;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "requests: submitted %llu  rejected %llu  completed %llu  "
+                "failed %llu (bind errors %llu)  batches %llu\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(bind_errors),
+                static_cast<unsigned long long>(batches));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "cache: hits %llu  misses %llu  loads %llu (failures %llu)  "
+                "evictions %llu  resident %llu sketches / %llu bytes\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.loads),
+                static_cast<unsigned long long>(cache.load_failures),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.sketches_loaded),
+                static_cast<unsigned long long>(cache.bytes_in_use));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "result cache: hits %llu  misses %llu   "
+                "stmt cache: hits %llu  misses %llu\n",
+                static_cast<unsigned long long>(result_cache_hits),
+                static_cast<unsigned long long>(result_cache_misses),
+                static_cast<unsigned long long>(stmt_cache_hits),
+                static_cast<unsigned long long>(stmt_cache_misses));
+  out += line;
+  AppendHistogramLine(&out, "queue wait us", queue_wait_us);
+  AppendHistogramLine(&out, "infer us", infer_us);
+  AppendHistogramLine(&out, "batch size", batch_size);
+  return out;
+}
+
+}  // namespace ds::serve

@@ -1,0 +1,156 @@
+// Lock-free serving metrics: counters and latency histograms.
+//
+// The serving hot path must not serialize on a metrics mutex, so every
+// instrument is a relaxed std::atomic: counters are single adds, histograms
+// bucket values into power-of-two bins. Readers take a consistent-enough
+// Snapshot() (each cell is read atomically; cross-cell skew is bounded by
+// in-flight requests) — the standard tradeoff production metric libraries
+// make (prometheus-style histograms).
+
+#ifndef DS_SERVE_METRICS_H_
+#define DS_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ds::serve {
+
+/// A monotonically increasing event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Read-only copy of a Histogram. Bucket i counts values v with
+/// 2^(i-1) <= v < 2^i (bucket 0: v == 0 or v == 1... see UpperBound).
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 28;  // covers up to ~2^27 (134s in us)
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  /// Inclusive upper bound of bucket i (2^i - 1; the last bucket absorbs
+  /// everything larger).
+  static uint64_t UpperBound(size_t i) { return (uint64_t{1} << i) - 1; }
+
+  /// Value at or below which a fraction `p` in [0,1] of observations fall,
+  /// resolved to its bucket upper bound (capped at the observed max).
+  uint64_t ApproxPercentile(double p) const;
+};
+
+/// Lock-free power-of-two histogram for microsecond latencies and sizes.
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    size_t b = 0;
+    while (b + 1 < HistogramSnapshot::kBuckets &&
+           value > HistogramSnapshot::UpperBound(b)) {
+      ++b;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, HistogramSnapshot::kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Registry cache statistics (filled by SketchRegistry).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t loads = 0;          // disk loads (successful)
+  uint64_t load_failures = 0;  // disk loads that errored
+  uint64_t evictions = 0;      // entries dropped by the byte budget
+  uint64_t inserts = 0;
+  uint64_t bytes_in_use = 0;   // serialized bytes of resident sketches
+  uint64_t sketches_loaded = 0;
+};
+
+/// One coherent view of everything the server measures.
+struct MetricsSnapshot {
+  // Request accounting. Invariant once the queue is drained:
+  //   submitted == completed + failed.
+  uint64_t submitted = 0;    // accepted into the queue
+  uint64_t rejected = 0;     // refused at Submit (backpressure / stopped)
+  uint64_t completed = 0;    // promise resolved with a value
+  uint64_t failed = 0;       // promise resolved with an error
+  uint64_t bind_errors = 0;  // of `failed`: SQL that did not parse/bind
+  uint64_t batches = 0;      // coalesced forward passes executed
+
+  // Estimate cache (sketch+SQL -> cardinality); hits skip inference
+  // entirely. hits + misses == requests that reached a worker with a
+  // resolvable sketch.
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+
+  // Bound-statement cache (sketch+SQL -> spec); hits skip parse+bind.
+  // hits + misses == estimate-cache misses (the only requests that bind).
+  uint64_t stmt_cache_hits = 0;
+  uint64_t stmt_cache_misses = 0;
+
+  CacheStats cache;
+
+  HistogramSnapshot queue_wait_us;  // Submit -> dequeued by a worker
+  HistogramSnapshot infer_us;       // featurize + forward per batch
+  HistogramSnapshot batch_size;     // requests per coalesced batch
+
+  /// Multi-line human-readable report (the serve benches print this).
+  std::string ToString() const;
+};
+
+/// The instruments the server writes on its hot path.
+struct ServerMetrics {
+  Counter submitted;
+  Counter rejected;
+  Counter completed;
+  Counter failed;
+  Counter bind_errors;
+  Counter batches;
+  Counter result_cache_hits;
+  Counter result_cache_misses;
+  Counter stmt_cache_hits;
+  Counter stmt_cache_misses;
+  Histogram queue_wait_us;
+  Histogram infer_us;
+  Histogram batch_size;
+
+  /// `cache` comes from the registry the server fronts.
+  MetricsSnapshot Snapshot(const CacheStats& cache) const;
+};
+
+}  // namespace ds::serve
+
+#endif  // DS_SERVE_METRICS_H_

@@ -1,0 +1,108 @@
+// SketchRegistry: a thread-safe, byte-budgeted cache of loaded sketches.
+//
+// This replaces SketchManager's unbounded single-threaded std::map cache for
+// serving: lookups are sharded (one mutex + LRU list per shard, keyed by
+// name hash) so concurrent Get() calls on different sketches do not contend,
+// and residency is bounded by a serialized-size byte budget with per-shard
+// LRU eviction. Sketches are handed out as shared_ptr<const DeepSketch>:
+// eviction only drops the registry's reference, so in-flight estimates keep
+// their sketch alive, and const DeepSketch estimation is itself thread-safe
+// (see deep_sketch.h).
+
+#ifndef DS_SERVE_REGISTRY_H_
+#define DS_SERVE_REGISTRY_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/serve/metrics.h"
+#include "ds/sketch/deep_sketch.h"
+
+namespace ds::serve {
+
+struct RegistryOptions {
+  /// Directory holding <name>.sketch files; Get() loads misses from here.
+  /// Empty disables disk loads (Put() is then the only way in).
+  std::string directory;
+
+  /// Total budget for resident sketches, measured by DeepSketch's
+  /// SerializedSize (the paper's footprint metric). The budget is split
+  /// evenly across shards; each shard evicts its least-recently-used
+  /// sketches when over its share. 0 means unbounded. A single sketch
+  /// larger than a shard's share is still admitted (it becomes the shard's
+  /// only resident entry).
+  size_t byte_budget = 0;
+
+  /// Lock striping width. More shards, less contention; clamped to >= 1.
+  size_t num_shards = 8;
+};
+
+class SketchRegistry {
+ public:
+  explicit SketchRegistry(RegistryOptions options);
+
+  SketchRegistry(const SketchRegistry&) = delete;
+  SketchRegistry& operator=(const SketchRegistry&) = delete;
+
+  /// Returns the cached sketch, loading it from `directory` on a miss.
+  /// Concurrent misses on the same name may both load; one copy wins, the
+  /// loser is discarded (loads are idempotent reads).
+  Result<std::shared_ptr<const sketch::DeepSketch>> Get(
+      const std::string& name);
+
+  /// Inserts (or replaces) a sketch under `name` and returns the shared
+  /// handle. Triggers eviction if the shard goes over budget.
+  std::shared_ptr<const sketch::DeepSketch> Put(const std::string& name,
+                                                sketch::DeepSketch sketch);
+
+  /// Drops `name` from the cache (the file, if any, stays on disk).
+  /// Returns whether it was resident.
+  bool Invalidate(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+
+  /// Names currently resident, in no particular order.
+  std::vector<std::string> CachedSketches() const;
+
+  size_t bytes_in_use() const;
+  CacheStats stats() const;
+
+  std::string PathFor(const std::string& name) const;
+  const RegistryOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const sketch::DeepSketch> sketch;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::string> lru;  // front = most recently used
+    std::unordered_map<std::string, Entry> entries;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& name) const;
+
+  /// Inserts under the shard lock, evicting LRU entries (never `name`
+  /// itself) while the shard exceeds its budget share.
+  std::shared_ptr<const sketch::DeepSketch> InsertLocked(
+      Shard* shard, const std::string& name,
+      std::shared_ptr<const sketch::DeepSketch> sketch, size_t bytes);
+
+  RegistryOptions options_;
+  size_t shard_budget_ = 0;  // byte_budget / num_shards (0 = unbounded)
+  mutable std::vector<Shard> shards_;
+
+  Counter hits_, misses_, loads_, load_failures_, evictions_, inserts_;
+};
+
+}  // namespace ds::serve
+
+#endif  // DS_SERVE_REGISTRY_H_

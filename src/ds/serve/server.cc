@@ -1,0 +1,288 @@
+#include "ds/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ds/sql/binder.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::serve {
+
+namespace {
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - start)
+          .count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+}  // namespace
+
+SketchServer::SketchServer(SketchRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(options) {
+  options_.num_workers = std::max<size_t>(options_.num_workers, 1);
+  options_.max_batch = std::max<size_t>(options_.max_batch, 1);
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SketchServer::~SketchServer() { Stop(); }
+
+bool SketchServer::EnqueueLocked(Request* req) {
+  if (stopping_) {
+    metrics_.rejected.Add();
+    req->promise.set_value(Status::OutOfRange("server is stopped"));
+    return false;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    metrics_.rejected.Add();
+    req->promise.set_value(Status::OutOfRange(
+        "serve queue is full (" + std::to_string(options_.queue_capacity) +
+        " pending)"));
+    return false;
+  }
+  queue_.push_back(std::move(*req));
+  metrics_.submitted.Add();
+  return true;
+}
+
+std::future<Result<double>> SketchServer::Submit(std::string sketch_name,
+                                                 std::string sql) {
+  Request req;
+  req.sketch = std::move(sketch_name);
+  req.sql = std::move(sql);
+  req.enqueue_time = std::chrono::steady_clock::now();
+  std::future<Result<double>> future = req.promise.get_future();
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Waking a worker costs a futex syscall; it is only needed on the
+    // empty -> non-empty transition (a non-empty queue means a worker was
+    // already woken for it and will sweep these requests up too).
+    const bool was_empty = queue_.empty();
+    wake = EnqueueLocked(&req) && was_empty;
+  }
+  if (wake) cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<Result<double>>> SketchServer::SubmitMany(
+    const std::string& sketch_name, std::vector<std::string> sqls) {
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(sqls.size());
+  const auto now = std::chrono::steady_clock::now();
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool was_empty = queue_.empty();
+    bool accepted_any = false;
+    for (std::string& sql : sqls) {
+      Request req;
+      req.sketch = sketch_name;
+      req.sql = std::move(sql);
+      req.enqueue_time = now;
+      futures.push_back(req.promise.get_future());
+      accepted_any |= EnqueueLocked(&req);
+    }
+    wake = accepted_any && was_empty;
+  }
+  if (wake) cv_.notify_one();
+  return futures;
+}
+
+void SketchServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void SketchServer::TakeMatchingLocked(const std::string& sketch,
+                                      std::vector<Request>* batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch->size() < options_.max_batch;) {
+    if (it->sketch == sketch) {
+      batch->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SketchServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::vector<Request> batch;
+    batch.reserve(options_.max_batch);
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const std::string sketch = batch.front().sketch;
+    TakeMatchingLocked(sketch, &batch);
+    if (options_.enable_batching && options_.max_wait_us > 0 &&
+        batch.size() < options_.max_batch && !stopping_) {
+      // Hold the batch open briefly so concurrent submitters can join it.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.max_wait_us);
+      while (batch.size() < options_.max_batch && !stopping_ &&
+             cv_.wait_until(lock, deadline) == std::cv_status::no_timeout) {
+        TakeMatchingLocked(sketch, &batch);
+      }
+      TakeMatchingLocked(sketch, &batch);
+    }
+    // Submitters only wake a worker on the empty -> non-empty transition,
+    // so if other-sketch requests remain, hand them to a sibling worker
+    // before going off to serve this batch.
+    if (!queue_.empty()) cv_.notify_one();
+    lock.unlock();
+    ServeBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void SketchServer::ServeBatch(std::vector<Request> batch) {
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (const Request& req : batch) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        batch_start - req.enqueue_time)
+                        .count();
+    metrics_.queue_wait_us.Record(us < 0 ? 0 : static_cast<uint64_t>(us));
+  }
+  metrics_.batches.Add();
+  metrics_.batch_size.Record(batch.size());
+
+  auto sketch = registry_->Get(batch.front().sketch);
+  if (!sketch.ok()) {
+    for (Request& req : batch) {
+      req.promise.set_value(sketch.status());
+    }
+    metrics_.failed.Add(batch.size());
+    return;
+  }
+
+  // Answer repeated statements from the estimate cache, bind the rest
+  // (statement-cache hits skip parse+bind); a request that fails to bind
+  // is answered immediately and excluded from the forward pass.
+  std::vector<workload::QuerySpec> specs;
+  std::vector<size_t> spec_owner;   // index into `batch` per spec
+  std::vector<std::string> keys(batch.size());
+  specs.reserve(batch.size());
+  spec_owner.reserve(batch.size());
+  const auto infer_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    keys[i] = batch[i].sketch + '\n' + batch[i].sql;
+    if (options_.result_cache_capacity > 0) {
+      if (auto cached = ResultCacheGet(keys[i]); cached.has_value()) {
+        metrics_.result_cache_hits.Add();
+        metrics_.completed.Add();
+        batch[i].promise.set_value(*cached);
+        continue;
+      }
+      metrics_.result_cache_misses.Add();
+    }
+    if (options_.stmt_cache_capacity > 0) {
+      if (auto cached = StmtCacheGet(keys[i]); cached != nullptr) {
+        metrics_.stmt_cache_hits.Add();
+        specs.push_back(*cached);
+        spec_owner.push_back(i);
+        continue;
+      }
+      metrics_.stmt_cache_misses.Add();
+    }
+    auto bound = (*sketch)->BindSql(batch[i].sql);
+    if (!bound.ok()) {
+      metrics_.bind_errors.Add();
+      metrics_.failed.Add();
+      batch[i].promise.set_value(bound.status());
+      continue;
+    }
+    if (bound->placeholder.has_value()) {
+      metrics_.bind_errors.Add();
+      metrics_.failed.Add();
+      batch[i].promise.set_value(Status::InvalidArgument(
+          "query contains an uninstantiated '?' placeholder"));
+      continue;
+    }
+    StmtCachePut(keys[i],
+                 std::make_shared<const workload::QuerySpec>(bound->spec));
+    specs.push_back(std::move(bound->spec));
+    spec_owner.push_back(i);
+  }
+
+  if (!specs.empty()) {
+    std::vector<Result<double>> results = (*sketch)->EstimateMany(specs);
+    for (size_t s = 0; s < results.size(); ++s) {
+      if (results[s].ok()) {
+        metrics_.completed.Add();
+        ResultCachePut(keys[spec_owner[s]], *results[s]);
+      } else {
+        metrics_.failed.Add();
+      }
+      batch[spec_owner[s]].promise.set_value(std::move(results[s]));
+    }
+  }
+  metrics_.infer_us.Record(MicrosSince(infer_start));
+}
+
+std::shared_ptr<const workload::QuerySpec> SketchServer::StmtCacheGet(
+    const std::string& key) {
+  if (options_.stmt_cache_capacity == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  auto it = stmt_cache_.find(key);
+  if (it == stmt_cache_.end()) return nullptr;
+  stmt_lru_.splice(stmt_lru_.begin(), stmt_lru_, it->second.lru_it);
+  return it->second.spec;
+}
+
+std::optional<double> SketchServer::ResultCacheGet(const std::string& key) {
+  if (options_.result_cache_capacity == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(result_mu_);
+  auto it = result_cache_.find(key);
+  if (it == result_cache_.end()) return std::nullopt;
+  result_lru_.splice(result_lru_.begin(), result_lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+void SketchServer::ResultCachePut(const std::string& key, double value) {
+  if (options_.result_cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(result_mu_);
+  if (result_cache_.count(key) > 0) return;
+  result_lru_.push_front(key);
+  result_cache_.emplace(key, ResultEntry{value, result_lru_.begin()});
+  while (result_cache_.size() > options_.result_cache_capacity) {
+    result_cache_.erase(result_lru_.back());
+    result_lru_.pop_back();
+  }
+}
+
+void SketchServer::StmtCachePut(
+    const std::string& key,
+    std::shared_ptr<const workload::QuerySpec> spec) {
+  if (options_.stmt_cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  if (stmt_cache_.count(key) > 0) return;  // a concurrent worker bound it too
+  stmt_lru_.push_front(key);
+  stmt_cache_.emplace(key, StmtEntry{std::move(spec), stmt_lru_.begin()});
+  while (stmt_cache_.size() > options_.stmt_cache_capacity) {
+    stmt_cache_.erase(stmt_lru_.back());
+    stmt_lru_.pop_back();
+  }
+}
+
+}  // namespace ds::serve

@@ -1,0 +1,175 @@
+// SketchServer: a concurrent, micro-batching front end over a SketchRegistry.
+//
+// Callers Submit(sketch, sql) and get a future back; a fixed pool of worker
+// threads drains a bounded queue, coalescing requests against the same
+// sketch (up to max_batch, waiting at most max_wait_us for stragglers) into
+// one EstimateMany forward pass. Batching amortizes the per-request
+// synchronization — queue handoff, worker wakeup, promise fulfillment — that
+// dominates a request/response loop at sketch-inference latencies; the
+// padded forward pass itself stays one inference per query.
+//
+// Backpressure: Submit rejects (ready errored future, `rejected` counter)
+// once queue_capacity requests are pending, instead of buffering without
+// bound. Accepted requests are never dropped: Stop() drains the queue before
+// joining the workers.
+
+#ifndef DS_SERVE_SERVER_H_
+#define DS_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/serve/metrics.h"
+#include "ds/serve/registry.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::serve {
+
+struct ServerOptions {
+  /// Worker threads draining the request queue.
+  size_t num_workers = 2;
+
+  /// Most requests coalesced into one EstimateMany call.
+  size_t max_batch = 32;
+
+  /// How long a worker holding a non-full batch waits for more same-sketch
+  /// requests before running it. 0 (or enable_batching=false) means run
+  /// whatever one queue sweep found.
+  uint64_t max_wait_us = 200;
+
+  /// Pending-request bound; Submit rejects above this.
+  size_t queue_capacity = 4096;
+
+  /// Bound-statement cache entries, keyed by (sketch, SQL). A hit skips
+  /// parse+bind entirely — the serving analogue of a prepared-statement
+  /// cache, sized for the "few distinct statements, many submissions"
+  /// workloads a sketch endpoint sees. 0 disables; LRU beyond capacity.
+  size_t stmt_cache_capacity = 1024;
+
+  /// Estimate (result) cache entries, keyed like the statement cache. A
+  /// sketch estimate is a deterministic pure function of (sketch, SQL), so
+  /// repeated statements — dashboards, template sweeps — are answered
+  /// without re-running inference. 0 disables; LRU beyond capacity.
+  /// Caveat: entries are not invalidated if a sketch is replaced under the
+  /// same registry name mid-flight; use a fresh name (or a fresh server)
+  /// when deploying a retrained sketch.
+  size_t result_cache_capacity = 4096;
+
+  /// When false, workers never wait for stragglers: each request is served
+  /// as soon as a worker picks it up (the bench's unbatched baseline).
+  bool enable_batching = true;
+};
+
+class SketchServer {
+ public:
+  /// `registry` is borrowed and must outlive the server. Workers start
+  /// immediately.
+  SketchServer(SketchRegistry* registry, ServerOptions options = {});
+
+  /// Stops the server (drains pending requests first).
+  ~SketchServer();
+
+  SketchServer(const SketchServer&) = delete;
+  SketchServer& operator=(const SketchServer&) = delete;
+
+  /// Enqueues one estimation request. The future resolves to the estimated
+  /// cardinality, or to an error Status if the sketch cannot be resolved,
+  /// the SQL does not bind, or the queue is full / the server is stopped
+  /// (in which case the future is ready immediately and the request is
+  /// counted as rejected, not submitted).
+  std::future<Result<double>> Submit(std::string sketch_name,
+                                     std::string sql);
+
+  /// Bulk Submit: one queue-lock acquisition and at most one worker wakeup
+  /// for the whole group — how a pipelining client should refill its
+  /// window. Per-request semantics (including backpressure rejection once
+  /// the queue fills mid-group) match Submit; the returned futures line up
+  /// with `sqls`.
+  std::vector<std::future<Result<double>>> SubmitMany(
+      const std::string& sketch_name, std::vector<std::string> sqls);
+
+  /// Serves every accepted request, then joins the workers. Idempotent;
+  /// Submit after Stop rejects.
+  void Stop();
+
+  MetricsSnapshot Metrics() const {
+    return metrics_.Snapshot(registry_->stats());
+  }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::string sketch;
+    std::string sql;
+    std::promise<Result<double>> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  void WorkerLoop();
+
+  /// Pushes `req` onto the queue, or rejects it (stopped / queue full) by
+  /// fulfilling its promise with an error. Returns whether it was accepted.
+  /// Requires mu_ held; the caller is responsible for waking a worker.
+  bool EnqueueLocked(Request* req);
+
+  /// Moves queued requests for `sketch` into `batch` (up to max_batch).
+  /// Requires mu_ held.
+  void TakeMatchingLocked(const std::string& sketch,
+                          std::vector<Request>* batch);
+
+  /// Resolves the sketch, binds each request's SQL (through the statement
+  /// cache), runs one EstimateMany, and fulfills every promise. Runs
+  /// outside mu_.
+  void ServeBatch(std::vector<Request> batch);
+
+  std::shared_ptr<const workload::QuerySpec> StmtCacheGet(
+      const std::string& key);
+  void StmtCachePut(const std::string& key,
+                    std::shared_ptr<const workload::QuerySpec> spec);
+  std::optional<double> ResultCacheGet(const std::string& key);
+  void ResultCachePut(const std::string& key, double value);
+
+  SketchRegistry* registry_;  // not owned
+  ServerOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  ServerMetrics metrics_;
+
+  // Bound-statement cache: (sketch + '\n' + SQL) -> placeholder-free spec.
+  struct StmtEntry {
+    std::shared_ptr<const workload::QuerySpec> spec;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::mutex stmt_mu_;
+  std::list<std::string> stmt_lru_;  // front = most recently used
+  std::unordered_map<std::string, StmtEntry> stmt_cache_;
+
+  // Estimate cache: (sketch + '\n' + SQL) -> estimated cardinality.
+  struct ResultEntry {
+    double value = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::mutex result_mu_;
+  std::list<std::string> result_lru_;  // front = most recently used
+  std::unordered_map<std::string, ResultEntry> result_cache_;
+};
+
+}  // namespace ds::serve
+
+#endif  // DS_SERVE_SERVER_H_

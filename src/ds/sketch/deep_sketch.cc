@@ -184,13 +184,13 @@ Result<double> DeepSketch::EstimateCardinality(
   single.features.push_back(std::move(features).value());
   single.labels.push_back(0);
   mscn::Batch batch = mscn::MakeBatch(single, {0}, space_);
-  nn::Tensor y = model_->Forward(batch);
+  nn::Tensor y = model_->Infer(batch);
   return normalizer_.Denormalize(static_cast<double>(y.at(0)));
 }
 
-Result<std::vector<double>> DeepSketch::EstimateMany(
+std::vector<Result<double>> DeepSketch::EstimateMany(
     const std::vector<workload::QuerySpec>& specs) const {
-  std::vector<double> out(specs.size(), 1.0);
+  std::vector<Result<double>> out(specs.size(), Result<double>(1.0));
   mscn::Dataset batch_set;
   std::vector<size_t> positions;  // index into `out` per featurized query
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -204,10 +204,12 @@ Result<std::vector<double>> DeepSketch::EstimateMany(
                 return space_.Featurize(resolved, {});
               }();
     if (!features.ok()) {
-      if (features.status().code() == StatusCode::kNotFound) {
-        continue;  // unknown literal: keep the minimum estimate of 1
+      if (features.status().code() != StatusCode::kNotFound) {
+        // Bad spec: fail this slot only, the batch proceeds without it.
+        out[i] = features.status();
       }
-      return features.status();
+      // kNotFound (unknown literal): keep the minimum estimate of 1.
+      continue;
     }
     batch_set.features.push_back(std::move(features).value());
     batch_set.labels.push_back(0);
@@ -217,7 +219,7 @@ Result<std::vector<double>> DeepSketch::EstimateMany(
     std::vector<size_t> indices(positions.size());
     for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
     mscn::Batch batch = mscn::MakeBatch(batch_set, indices, space_);
-    nn::Tensor y = model_->Forward(batch);
+    nn::Tensor y = model_->Infer(batch);
     for (size_t i = 0; i < positions.size(); ++i) {
       out[positions[i]] =
           normalizer_.Denormalize(static_cast<double>(y.at(i)));

@@ -89,6 +89,11 @@ class DeepSketch final : public est::CardinalityEstimator {
       const TrainingMonitor* monitor = nullptr);
 
   // --- Figure 1b: SQL in, estimate out -------------------------------------
+  //
+  // Thread-safety: all estimation and binding methods are const and touch no
+  // mutable state (inference runs through MscnModel::Infer), so a trained or
+  // loaded sketch may be shared by any number of concurrently estimating
+  // threads without external synchronization.
 
   /// Estimates the result size of a SQL COUNT(*) query. Unknown categorical
   /// literals (strings absent from the data) estimate 1 tuple.
@@ -100,9 +105,12 @@ class DeepSketch final : public est::CardinalityEstimator {
   std::string name() const override { return "Deep Sketch"; }
 
   /// Batched estimation: featurizes all specs and runs a single padded
-  /// forward pass — how the demo backend evaluates the many instances of a
-  /// query template efficiently. Order of results matches `specs`.
-  Result<std::vector<double>> EstimateMany(
+  /// forward pass — the serving layer's hot path and how the demo backend
+  /// evaluates the many instances of a query template efficiently. Order of
+  /// results matches `specs`. Failures are per query: a spec that cannot be
+  /// featurized yields an errored Result in its slot without poisoning the
+  /// rest of the batch (unknown categorical literals still estimate 1).
+  std::vector<Result<double>> EstimateMany(
       const std::vector<workload::QuerySpec>& specs) const;
 
   /// Parses and binds SQL against the sketch's embedded schema (the template
@@ -150,7 +158,7 @@ class DeepSketch final : public est::CardinalityEstimator {
   est::SampleSet samples_;
   mscn::FeatureSpace space_;
   nn::LogNormalizer normalizer_;
-  mutable std::unique_ptr<mscn::MscnModel> model_;  // Forward caches activations
+  std::unique_ptr<mscn::MscnModel> model_;
   std::unique_ptr<storage::Catalog> sample_catalog_;
   mscn::TrainingReport report_;
 };

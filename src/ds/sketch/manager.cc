@@ -1,33 +1,58 @@
 #include "ds/sketch/manager.h"
 
-#include <cstdio>
 #include <filesystem>
-#include <set>
+#include <utility>
 
 namespace ds::sketch {
 
 namespace fs = std::filesystem;
 
-std::string SketchManager::PathFor(const std::string& name) const {
-  return directory_ + "/" + name + ".sketch";
+namespace {
+
+serve::RegistryOptions MakeRegistryOptions(const std::string& directory,
+                                           size_t byte_budget) {
+  serve::RegistryOptions opts;
+  opts.directory = directory;
+  opts.byte_budget = byte_budget;
+  return opts;
 }
 
-Result<const DeepSketch*> SketchManager::CreateSketch(
+}  // namespace
+
+SketchManager::SketchManager(const storage::Catalog* db,
+                             std::string directory, size_t cache_byte_budget)
+    : db_(db),
+      directory_(std::move(directory)),
+      registry_(MakeRegistryOptions(directory_, cache_byte_budget)) {}
+
+std::string SketchManager::PathFor(const std::string& name) const {
+  return registry_.PathFor(name);
+}
+
+Result<std::shared_ptr<const DeepSketch>> SketchManager::CreateSketch(
     const std::string& name, const SketchConfig& config,
     const TrainingMonitor* monitor) {
   if (name.empty() || name.find('/') != std::string::npos) {
     return Status::InvalidArgument("invalid sketch name '" + name + "'");
   }
-  if (cache_.count(name) > 0 || fs::exists(PathFor(name))) {
-    return Status::AlreadyExists("sketch '" + name + "' already exists");
+  {
+    std::lock_guard<std::mutex> lock(creating_mu_);
+    if (creating_.count(name) > 0 || registry_.Contains(name) ||
+        fs::exists(PathFor(name))) {
+      return Status::AlreadyExists("sketch '" + name + "' already exists");
+    }
+    creating_.insert(name);
   }
-  DS_ASSIGN_OR_RETURN(DeepSketch sketch,
-                      DeepSketch::Train(*db_, config, monitor));
-  DS_RETURN_NOT_OK(sketch.Save(PathFor(name)));
-  auto owned = std::make_unique<DeepSketch>(std::move(sketch));
-  const DeepSketch* ptr = owned.get();
-  cache_.emplace(name, std::move(owned));
-  return ptr;
+  // Train outside the lock: existing sketches stay queryable meanwhile.
+  auto trained = DeepSketch::Train(*db_, config, monitor);
+  Status saved =
+      trained.ok() ? trained->Save(PathFor(name)) : trained.status();
+  {
+    std::lock_guard<std::mutex> lock(creating_mu_);
+    creating_.erase(name);
+  }
+  DS_RETURN_NOT_OK(saved);
+  return registry_.Put(name, std::move(trained).value());
 }
 
 std::vector<std::string> SketchManager::ListSketches() const {
@@ -38,22 +63,19 @@ std::vector<std::string> SketchManager::ListSketches() const {
     const fs::path& p = entry.path();
     if (p.extension() == ".sketch") names.insert(p.stem().string());
   }
-  for (const auto& [name, _] : cache_) names.insert(name);
+  for (std::string& name : registry_.CachedSketches()) {
+    names.insert(std::move(name));
+  }
   return std::vector<std::string>(names.begin(), names.end());
 }
 
-Result<const DeepSketch*> SketchManager::GetSketch(const std::string& name) {
-  auto it = cache_.find(name);
-  if (it != cache_.end()) return static_cast<const DeepSketch*>(it->second.get());
-  DS_ASSIGN_OR_RETURN(DeepSketch sketch, DeepSketch::Load(PathFor(name)));
-  auto owned = std::make_unique<DeepSketch>(std::move(sketch));
-  const DeepSketch* ptr = owned.get();
-  cache_.emplace(name, std::move(owned));
-  return ptr;
+Result<std::shared_ptr<const DeepSketch>> SketchManager::GetSketch(
+    const std::string& name) {
+  return registry_.Get(name);
 }
 
 Status SketchManager::DropSketch(const std::string& name) {
-  cache_.erase(name);
+  registry_.Invalidate(name);
   std::error_code ec;
   if (!fs::remove(PathFor(name), ec) || ec) {
     return Status::NotFound("no persisted sketch '" + name + "'");
@@ -63,7 +85,8 @@ Status SketchManager::DropSketch(const std::string& name) {
 
 Result<double> SketchManager::Estimate(const std::string& name,
                                        const std::string& sql) {
-  DS_ASSIGN_OR_RETURN(const DeepSketch* sketch, GetSketch(name));
+  DS_ASSIGN_OR_RETURN(std::shared_ptr<const DeepSketch> sketch,
+                      GetSketch(name));
   return sketch->EstimateSql(sql);
 }
 

@@ -4,15 +4,25 @@
 // and create new sketches", query pre-built models right away, and train new
 // models while querying existing ones. This is the high-level entry point
 // the examples use.
+//
+// Thread-safety: all methods are safe to call concurrently. Caching
+// delegates to serve::SketchRegistry (sharded locks, optional byte-budgeted
+// LRU eviction), and sketches are handed out as shared_ptr<const DeepSketch>
+// so Drop/eviction never invalidates a handle an estimating thread still
+// holds. CreateSketch serializes per name (a second create of the same name
+// fails with AlreadyExists while the first is still training) but trains
+// outside any lock, so querying existing sketches proceeds during training.
 
 #ifndef DS_SKETCH_MANAGER_H_
 #define DS_SKETCH_MANAGER_H_
 
-#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "ds/serve/registry.h"
 #include "ds/sketch/deep_sketch.h"
 
 namespace ds::sketch {
@@ -20,20 +30,25 @@ namespace ds::sketch {
 class SketchManager {
  public:
   /// `db` must outlive the manager; `directory` must exist and is where
-  /// sketch files (<name>.sketch) live.
-  SketchManager(const storage::Catalog* db, std::string directory)
-      : db_(db), directory_(std::move(directory)) {}
+  /// sketch files (<name>.sketch) live. `cache_byte_budget` bounds the
+  /// in-memory cache by serialized sketch size (0 = unbounded; evicted
+  /// sketches reload from disk on demand).
+  SketchManager(const storage::Catalog* db, std::string directory,
+                size_t cache_byte_budget = 0);
 
-  /// Trains a new sketch and persists it. Fails if the name exists.
-  Result<const DeepSketch*> CreateSketch(
+  /// Trains a new sketch and persists it. Fails if the name exists (or is
+  /// currently being created by another thread).
+  Result<std::shared_ptr<const DeepSketch>> CreateSketch(
       const std::string& name, const SketchConfig& config,
       const TrainingMonitor* monitor = nullptr);
 
   /// Names of all sketches in the directory (persisted + just created).
   std::vector<std::string> ListSketches() const;
 
-  /// Loads (and caches) a sketch by name.
-  Result<const DeepSketch*> GetSketch(const std::string& name);
+  /// Loads (and caches) a sketch by name. The handle stays valid after
+  /// Drop/eviction.
+  Result<std::shared_ptr<const DeepSketch>> GetSketch(
+      const std::string& name);
 
   /// Removes a sketch file and drops it from the cache.
   Status DropSketch(const std::string& name);
@@ -43,10 +58,18 @@ class SketchManager {
 
   std::string PathFor(const std::string& name) const;
 
+  /// The cache this manager fronts (e.g. to hand to a serve::SketchServer
+  /// or to read CacheStats).
+  serve::SketchRegistry* registry() { return &registry_; }
+
  private:
   const storage::Catalog* db_;
   std::string directory_;
-  std::map<std::string, std::unique_ptr<DeepSketch>> cache_;
+  serve::SketchRegistry registry_;
+
+  // Names with a CreateSketch in flight (training happens outside the lock).
+  mutable std::mutex creating_mu_;
+  std::set<std::string> creating_;
 };
 
 }  // namespace ds::sketch

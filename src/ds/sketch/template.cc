@@ -113,8 +113,11 @@ Result<std::vector<TemplateInstance>> InstantiateTemplate(
     const double first = values[begin];
     const double last = values[end - 1];
     TemplateInstance inst;
-    inst.label = "[" + ValueLabel(*col, first) + " .. " +
-                 ValueLabel(*col, last) + "]";
+    inst.label = "[";
+    inst.label += ValueLabel(*col, first);
+    inst.label += " .. ";
+    inst.label += ValueLabel(*col, last);
+    inst.label += "]";
     inst.spec = bound.spec;
     // (first, last) inclusive via strict bounds nudged outside the range.
     double lo, hi;

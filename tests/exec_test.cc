@@ -120,7 +120,7 @@ class ExecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 // Generates a random valid query on the tiny catalog: subset of connected
 // tables plus 0-3 random predicates.
-QuerySpec RandomSpec(const storage::Catalog& catalog, util::Pcg32* rng) {
+QuerySpec RandomSpec(const storage::Catalog& /*catalog*/, util::Pcg32* rng) {
   QuerySpec spec;
   // Table subsets that are connected: {movie}, {genre}, {rating},
   // {movie,genre}, {movie,rating}, {movie,genre,rating}.

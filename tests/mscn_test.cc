@@ -191,6 +191,32 @@ TEST_F(MscnTest, ModelForwardShapeAndRange) {
   }
 }
 
+TEST_F(MscnTest, ModelInferMatchesForward) {
+  ModelConfig config;
+  config.table_dim = space_.table_dim();
+  config.join_dim = space_.join_dim();
+  config.pred_dim = space_.pred_dim();
+  config.hidden_units = 16;
+  MscnModel model(config);
+  util::Pcg32 rng(7);
+  model.Initialize(&rng);
+
+  Dataset ds;
+  ds.features.push_back(space_.FeaturizeWithSamples(
+      Q("SELECT COUNT(*) FROM movie WHERE year = 2003"), samples_).value());
+  ds.features.push_back(space_.FeaturizeWithSamples(
+      Q("SELECT COUNT(*) FROM movie m, rating r WHERE r.movie_id = m.id"),
+      samples_).value());
+  ds.labels = {3, 40};
+  Batch batch = MakeBatch(ds, {0, 1}, space_);
+  nn::Tensor trained = model.Forward(batch);
+  nn::Tensor inferred = model.Infer(batch);
+  ASSERT_EQ(inferred.size(), trained.size());
+  for (size_t i = 0; i < trained.size(); ++i) {
+    EXPECT_FLOAT_EQ(inferred.at(i), trained.at(i)) << i;
+  }
+}
+
 TEST_F(MscnTest, ModelEndToEndGradientCheck) {
   ModelConfig config;
   config.table_dim = space_.table_dim();

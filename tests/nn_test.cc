@@ -156,6 +156,53 @@ TEST(ActivationTest, SigmoidMatchesClosedForm) {
   EXPECT_NEAR(dx.at(0), 0.25, 1e-6);  // sigma'(0) = 1/4
 }
 
+TEST(MlpTest, InferMatchesForward) {
+  util::Pcg32 rng(23);
+  Mlp mlp("m", {4, 6, 2}, /*final_activation=*/true);
+  mlp.Initialize(&rng);
+  Tensor x({3, 4});
+  for (float& v : x.vec()) v = static_cast<float>(rng.Normal());
+  Tensor trained = mlp.Forward(x);
+  Tensor inferred = mlp.Infer(x);
+  ASSERT_EQ(inferred.size(), trained.size());
+  for (size_t i = 0; i < trained.size(); ++i) {
+    EXPECT_FLOAT_EQ(inferred.at(i), trained.at(i)) << i;
+  }
+  // Infer must leave no trace: a Backward after Infer still sees the
+  // activations cached by the last Forward.
+  mlp.Infer(x);
+  mlp.Backward(SumSquaresGrad(trained));
+}
+
+TEST(ActivationTest, ApplyInPlaceMatchesForward) {
+  Tensor x = Tensor::FromData({2, 2}, {-1.5f, 0.0f, 0.5f, 3.0f});
+  ReLU relu;
+  Tensor want_relu = relu.Forward(x);
+  Tensor got_relu = x;
+  ReLU::ApplyInPlace(&got_relu);
+  Sigmoid sigmoid;
+  Tensor want_sig = sigmoid.Forward(x);
+  Tensor got_sig = x;
+  Sigmoid::ApplyInPlace(&got_sig);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(got_relu.at(i), want_relu.at(i));
+    EXPECT_FLOAT_EQ(got_sig.at(i), want_sig.at(i));
+  }
+}
+
+TEST(MaskedMeanTest, PoolMatchesForward) {
+  Tensor flat = Tensor::FromData(
+      {6, 2}, {1, 2, 3, 4, 100, 100, 5, 6, 100, 100, 100, 100});
+  Tensor mask = Tensor::FromData({2, 3}, {1, 1, 0, 1, 0, 0});
+  MaskedMean pool;
+  Tensor want = pool.Forward(flat, mask);
+  Tensor got = MaskedMean::Pool(flat, mask);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_FLOAT_EQ(got.at(i), want.at(i));
+  }
+}
+
 TEST(MaskedMeanTest, AveragesOnlyRealElements) {
   // B=2 sets, S=3 slots, H=2 features.
   Tensor flat = Tensor::FromData(

@@ -1,0 +1,352 @@
+// Tests for the serving layer: the sharded LRU registry, the batching
+// SketchServer (including a multi-threaded submit storm checked against
+// single-threaded estimates), and metrics-counter consistency.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ds/serve/registry.h"
+#include "ds/serve/server.h"
+#include "ds/sketch/deep_sketch.h"
+#include "test_util.h"
+
+namespace ds {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::RegistryOptions;
+using serve::ServerOptions;
+using serve::SketchRegistry;
+using serve::SketchServer;
+using sketch::DeepSketch;
+using sketch::SketchConfig;
+
+// One tiny sketch trained once and saved under several names, shared by the
+// whole suite (training is the slow part; serving behavior does not depend
+// on model quality).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = testutil::MakeTinyCatalog().release();
+    dir_ = new std::string(testing::TempDir() + "/ds_serve_test");
+    fs::create_directories(*dir_);
+    SketchConfig config;
+    config.num_samples = 8;
+    config.num_training_queries = 150;
+    config.num_epochs = 3;
+    config.hidden_units = 8;
+    config.batch_size = 32;
+    config.max_tables_per_query = 2;
+    config.seed = 7;
+    sketch_ = new DeepSketch(DeepSketch::Train(*catalog_, config).value());
+    for (const char* name : {"a", "b", "c"}) {
+      ASSERT_TRUE(
+          sketch_->Save(*dir_ + "/" + name + ".sketch").ok());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete sketch_;
+    delete catalog_;
+    delete dir_;
+    sketch_ = nullptr;
+    catalog_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static RegistryOptions DiskOptions() {
+    RegistryOptions opts;
+    opts.directory = *dir_;
+    return opts;
+  }
+
+  static storage::Catalog* catalog_;
+  static DeepSketch* sketch_;
+  static std::string* dir_;
+};
+
+storage::Catalog* ServeTest::catalog_ = nullptr;
+DeepSketch* ServeTest::sketch_ = nullptr;
+std::string* ServeTest::dir_ = nullptr;
+
+const char* const kQueries[] = {
+    "SELECT COUNT(*) FROM movie WHERE year = 2003",
+    "SELECT COUNT(*) FROM movie m, rating r WHERE r.movie_id = m.id",
+    "SELECT COUNT(*) FROM genre WHERE name = 'g1'",
+    "SELECT COUNT(*) FROM movie WHERE year > 2005",
+};
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST_F(ServeTest, RegistryLoadsCachesAndInvalidates) {
+  SketchRegistry registry(DiskOptions());
+  EXPECT_FALSE(registry.Contains("a"));
+  auto first = registry.Get("a");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(registry.Contains("a"));
+  auto second = registry.Get("a");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // cached, not reloaded
+
+  auto stats = registry.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.sketches_loaded, 1u);
+  EXPECT_EQ(stats.bytes_in_use, (*first)->SerializedSize());
+
+  EXPECT_FALSE(registry.Get("nope").ok());
+  EXPECT_TRUE(registry.Invalidate("a"));
+  EXPECT_FALSE(registry.Contains("a"));
+  EXPECT_FALSE(registry.Invalidate("a"));
+  // Handles from before the invalidation stay usable.
+  EXPECT_TRUE((*first)->EstimateSql(kQueries[0]).ok());
+}
+
+TEST_F(ServeTest, RegistryEvictsLruUnderByteBudget) {
+  const size_t sketch_bytes = sketch_->SerializedSize();
+  RegistryOptions opts = DiskOptions();
+  opts.num_shards = 1;  // deterministic eviction order
+  opts.byte_budget = 2 * sketch_bytes + sketch_bytes / 2;
+  SketchRegistry registry(opts);
+
+  ASSERT_TRUE(registry.Get("a").ok());
+  ASSERT_TRUE(registry.Get("b").ok());
+  EXPECT_EQ(registry.CachedSketches().size(), 2u);
+  EXPECT_EQ(registry.stats().evictions, 0u);
+
+  // Third sketch exceeds the budget: the least recently used ("a") goes.
+  ASSERT_TRUE(registry.Get("c").ok());
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  EXPECT_FALSE(registry.Contains("a"));
+  EXPECT_TRUE(registry.Contains("b"));
+  EXPECT_TRUE(registry.Contains("c"));
+  EXPECT_LE(registry.bytes_in_use(), opts.byte_budget);
+
+  // Touching "b" makes "c" the eviction victim when "a" reloads.
+  ASSERT_TRUE(registry.Get("b").ok());
+  ASSERT_TRUE(registry.Get("a").ok());
+  EXPECT_FALSE(registry.Contains("c"));
+  EXPECT_TRUE(registry.Contains("b"));
+  EXPECT_EQ(registry.stats().loads, 4u);  // a, b, c, a again
+}
+
+TEST_F(ServeTest, RegistryAdmitsOversizedSketch) {
+  RegistryOptions opts = DiskOptions();
+  opts.num_shards = 1;
+  opts.byte_budget = 1;  // smaller than any sketch
+  SketchRegistry registry(opts);
+  ASSERT_TRUE(registry.Get("a").ok());
+  EXPECT_TRUE(registry.Contains("a"));  // sole resident entry
+  ASSERT_TRUE(registry.Get("b").ok());
+  EXPECT_EQ(registry.CachedSketches().size(), 1u);
+  EXPECT_TRUE(registry.Contains("b"));
+}
+
+// ---- Server -----------------------------------------------------------------
+
+TEST_F(ServeTest, SubmitStormMatchesSingleThreadedEstimates) {
+  // Reference answers from the plain single-threaded path.
+  std::vector<double> expected;
+  for (const char* sql : kQueries) {
+    expected.push_back(sketch_->EstimateSql(sql).value());
+  }
+
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 4;
+  options.max_batch = 16;
+  options.max_wait_us = 100;
+  SketchServer server(&registry, options);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 200;
+  std::vector<std::vector<std::future<Result<double>>>> futures(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      futures[t].reserve(kPerThread);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            server.Submit("a", kQueries[(t + i) % std::size(kQueries)]));
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kPerThread; ++i) {
+      auto result = futures[t][i].get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const double want = expected[(t + i) % std::size(kQueries)];
+      EXPECT_NEAR(*result, want, 1e-6 * want + 1e-9) << t << "," << i;
+    }
+  }
+
+  server.Stop();
+  auto m = server.Metrics();
+  EXPECT_EQ(m.submitted, kThreads * kPerThread);
+  EXPECT_EQ(m.completed, kThreads * kPerThread);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_GE(m.batches, 1u);
+  EXPECT_EQ(m.batch_size.sum, kThreads * kPerThread);
+}
+
+TEST_F(ServeTest, MetricsCountersAreConsistent) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 2;
+  SketchServer server(&registry, options);
+
+  constexpr size_t kGood = 40;
+  constexpr size_t kBad = 7;       // SQL that does not parse
+  constexpr size_t kUnknown = 5;   // sketch that does not exist
+  std::vector<std::future<Result<double>>> futures;
+  for (size_t i = 0; i < kGood; ++i) {
+    futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
+  }
+  for (size_t i = 0; i < kBad; ++i) {
+    futures.push_back(server.Submit("a", "SELECT COUNT(*) FROM"));
+  }
+  for (size_t i = 0; i < kUnknown; ++i) {
+    futures.push_back(server.Submit("ghost", kQueries[0]));
+  }
+  size_t ok = 0, errored = 0;
+  for (auto& f : futures) {
+    if (f.get().ok()) {
+      ++ok;
+    } else {
+      ++errored;
+    }
+  }
+  EXPECT_EQ(ok, kGood);
+  EXPECT_EQ(errored, kBad + kUnknown);
+
+  server.Stop();
+  auto m = server.Metrics();
+  EXPECT_EQ(m.submitted, kGood + kBad + kUnknown);
+  EXPECT_EQ(m.submitted, m.completed + m.failed);
+  EXPECT_EQ(m.completed, kGood);
+  EXPECT_EQ(m.failed, kBad + kUnknown);
+  EXPECT_EQ(m.bind_errors, kBad);
+  EXPECT_EQ(m.queue_wait_us.count, m.submitted);
+  EXPECT_EQ(m.batch_size.count, m.batches);
+  EXPECT_EQ(m.batch_size.sum, m.submitted);
+  EXPECT_GT(m.cache.hits + m.cache.misses, 0u);
+  // Every request that reached a worker with a resolvable sketch did one
+  // estimate-cache lookup; only its misses proceed to the statement cache.
+  // Bad SQL never enters either cache, so it misses every time.
+  EXPECT_EQ(m.result_cache_hits + m.result_cache_misses, kGood + kBad);
+  EXPECT_EQ(m.stmt_cache_hits + m.stmt_cache_misses, m.result_cache_misses);
+  EXPECT_GE(m.result_cache_misses, std::size(kQueries) + kBad);
+  EXPECT_GE(m.stmt_cache_misses, std::size(kQueries) + kBad);
+}
+
+TEST_F(ServeTest, ResultCacheServesRepeatedStatements) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  auto first = server.Submit("a", kQueries[0]).get();
+  ASSERT_TRUE(first.ok());
+  auto second = server.Submit("a", kQueries[0]).get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(*first, *second);
+  auto m = server.Metrics();
+  EXPECT_EQ(m.result_cache_misses, 1u);  // the ResultCachePut precedes the
+  EXPECT_EQ(m.result_cache_hits, 1u);    // first promise resolution
+
+  // With both caches disabled every request runs the full path.
+  ServerOptions raw_options;
+  raw_options.result_cache_capacity = 0;
+  raw_options.stmt_cache_capacity = 0;
+  SketchServer raw(&registry, raw_options);
+  EXPECT_TRUE(raw.Submit("a", kQueries[0]).get().ok());
+  EXPECT_TRUE(raw.Submit("a", kQueries[0]).get().ok());
+  auto m2 = raw.Metrics();
+  EXPECT_EQ(m2.result_cache_hits + m2.result_cache_misses, 0u);
+  EXPECT_EQ(m2.stmt_cache_hits + m2.stmt_cache_misses, 0u);
+  EXPECT_EQ(m2.completed, 2u);
+}
+
+TEST_F(ServeTest, PlaceholderQueryFailsItsRequestOnly) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  auto good = server.Submit("a", kQueries[0]);
+  auto bad =
+      server.Submit("a", "SELECT COUNT(*) FROM movie WHERE year = ?");
+  EXPECT_TRUE(good.get().ok());
+  auto result = bad.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, BackpressureRejectsButResolvesEveryFuture) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.enable_batching = false;
+  SketchServer server(&registry, options);
+
+  constexpr size_t kBurst = 2000;
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(kBurst);
+  for (size_t i = 0; i < kBurst; ++i) {
+    futures.push_back(server.Submit("a", kQueries[0]));
+  }
+  size_t served = 0, rejected = 0;
+  for (auto& f : futures) {
+    auto result = f.get();  // every future must resolve
+    if (result.ok()) {
+      ++served;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kOutOfRange);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(served + rejected, kBurst);
+
+  server.Stop();
+  auto m = server.Metrics();
+  EXPECT_EQ(m.submitted, served);
+  EXPECT_EQ(m.rejected, rejected);
+  // A 1-deep queue against a burst of 2000 must shed load at some point.
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(ServeTest, SubmitAfterStopRejects) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  server.Stop();
+  auto result = server.Submit("a", kQueries[0]).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(server.Metrics().rejected, 1u);
+}
+
+TEST_F(ServeTest, StopDrainsPendingRequests) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_wait_us = 0;  // serve one sweep at a time
+  SketchServer server(&registry, options);
+  std::vector<std::future<Result<double>>> futures;
+  for (size_t i = 0; i < 64; ++i) {
+    futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
+  }
+  server.Stop();  // must serve everything accepted before joining
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+}  // namespace
+}  // namespace ds

@@ -176,19 +176,43 @@ TEST_F(SketchTest, EstimateManyMatchesSingleEstimates) {
   specs.push_back(unknown);
 
   auto batch = sketch_->EstimateMany(specs);
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  ASSERT_EQ(batch->size(), specs.size());
+  ASSERT_EQ(batch.size(), specs.size());
   for (size_t i = 0; i + 1 < specs.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
     double single = sketch_->EstimateCardinality(specs[i]).value();
-    EXPECT_NEAR((*batch)[i], single, 1e-6 * single + 1e-9) << i;
+    EXPECT_NEAR(*batch[i], single, 1e-6 * single + 1e-9) << i;
   }
-  EXPECT_DOUBLE_EQ(batch->back(), 1.0);
+  ASSERT_TRUE(batch.back().ok());
+  EXPECT_DOUBLE_EQ(*batch.back(), 1.0);
+}
+
+TEST_F(SketchTest, EstimateManyBadSpecFailsOnlyItsSlot) {
+  std::vector<workload::QuerySpec> specs;
+  specs.push_back(sql::ParseAndBind(
+      *catalog_, "SELECT COUNT(*) FROM movie WHERE year = 2003").value());
+  // A string literal on a numeric column cannot featurize; it must fail its
+  // own slot without poisoning the healthy queries next to it.
+  workload::QuerySpec bogus;
+  bogus.tables = {"movie"};
+  bogus.predicates.push_back(
+      {"movie", "year", workload::CompareOp::kEq, std::string("oops")});
+  specs.push_back(bogus);
+  specs.push_back(sql::ParseAndBind(
+      *catalog_, "SELECT COUNT(*) FROM genre WHERE name = 'g1'").value());
+
+  auto batch = sketch_->EstimateMany(specs);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_FALSE(batch[1].ok());
+  EXPECT_TRUE(batch[2].ok());
+  EXPECT_NEAR(*batch[0],
+              sketch_->EstimateCardinality(specs[0]).value(), 1e-6);
+  EXPECT_NEAR(*batch[2],
+              sketch_->EstimateCardinality(specs[2]).value(), 1e-6);
 }
 
 TEST_F(SketchTest, EstimateManyEmptyInput) {
-  auto batch = sketch_->EstimateMany({});
-  ASSERT_TRUE(batch.ok());
-  EXPECT_TRUE(batch->empty());
+  EXPECT_TRUE(sketch_->EstimateMany({}).empty());
 }
 
 // ---- Templates --------------------------------------------------------------

@@ -125,7 +125,9 @@ TEST(TableTest, MaterializeRowsSharesDictionary) {
   Column* s = t.AddColumn("s", ColumnType::kCategorical).value();
   for (int i = 0; i < 10; ++i) {
     a->AppendInt(i);
-    s->AppendString("v" + std::to_string(i % 3));
+    std::string v = "v";
+    v += std::to_string(i % 3);
+    s->AppendString(v);
   }
   auto sample = storage::MaterializeRows(t, {1, 4, 7});
   ASSERT_EQ(sample->num_rows(), 3u);

@@ -18,7 +18,9 @@ std::unique_ptr<Catalog> MakeTinyCatalog() {
   Column* gname = genre->AddColumn("name", ColumnType::kCategorical).value();
   for (int64_t i = 1; i <= 5; ++i) {
     gid->AppendInt(i);
-    gname->AppendString("g" + std::to_string(i));
+    std::string genre_name = "g";
+    genre_name += std::to_string(i);
+    gname->AppendString(genre_name);
   }
 
   Table* movie = catalog->CreateTable("movie").value();

@@ -18,6 +18,11 @@
 //       Expand a '?' template from the sketch's column sample and estimate
 //       every instance.
 //
+//   dsctl serve-bench <sketch-file> <SQL> [threads=N] [depth=N] [workers=N]
+//               [seconds=S] [max_batch=N] [wait_us=N]
+//       Closed-loop throughput of the serving layer on this sketch:
+//       unbatched baseline vs. micro-batched, plus the server's metrics.
+//
 // Generation is deterministic per seed, so a sketch trained via `dsctl
 // train imdb ... seed=42` answers queries about exactly the dataset that
 // `dsctl gen imdb ... seed=42` exports.
@@ -32,6 +37,9 @@
 #include "ds/datagen/imdb.h"
 #include "ds/datagen/tpch.h"
 #include "ds/mscn/logger.h"
+#include "ds/serve/loadgen.h"
+#include "ds/serve/registry.h"
+#include "ds/serve/server.h"
 #include "ds/sketch/deep_sketch.h"
 #include "ds/sketch/template.h"
 #include "ds/storage/csv.h"
@@ -225,12 +233,70 @@ int CmdTemplate(int argc, char** argv) {
   return 0;
 }
 
+int CmdServeBench(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl serve-bench <sketch-file> <SQL> [...]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 4);
+  auto sketch = sketch::DeepSketch::Load(argv[2]);
+  if (!sketch.ok()) return Fail(sketch.status());
+  // Fail fast on SQL the sketch cannot answer, before spinning up threads.
+  if (auto probe = sketch->EstimateSql(argv[3]); !probe.ok()) {
+    return Fail(probe.status());
+  }
+
+  serve::SketchRegistry registry(serve::RegistryOptions{});
+  registry.Put("sketch", std::move(sketch).value());
+  const std::vector<std::string> sqls = {argv[3]};
+
+  serve::LoadOptions load;
+  load.threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  load.seconds = 1.0;
+  if (auto s = flags.GetString("seconds", ""); !s.empty()) {
+    load.seconds = std::strtod(s.c_str(), nullptr);
+  }
+
+  serve::ServerOptions options;
+  options.num_workers = static_cast<size_t>(flags.GetInt("workers", 2));
+  options.max_batch = static_cast<size_t>(flags.GetInt("max_batch", 32));
+  options.max_wait_us = static_cast<uint64_t>(flags.GetInt("wait_us", 200));
+
+  // Baseline: strict single-threaded unbatched request/response loop.
+  double baseline_qps = 0;
+  {
+    serve::ServerOptions base = options;
+    base.num_workers = 1;
+    base.enable_batching = false;
+    serve::SketchServer server(&registry, base);
+    serve::LoadOptions one;
+    one.seconds = load.seconds;
+    baseline_qps = serve::RunClosedLoop(&server, "sketch", sqls, one).Qps();
+    std::printf("unbatched 1-thread baseline: %8.0f q/s\n", baseline_qps);
+  }
+
+  load.pipeline_depth = static_cast<size_t>(flags.GetInt("depth", 8));
+  serve::SketchServer server(&registry, options);
+  auto report = serve::RunClosedLoop(&server, "sketch", sqls, load);
+  server.Stop();
+  std::printf(
+      "batched, %zu threads x depth %zu: %8.0f q/s (%.2fx baseline, "
+      "%llu errors)\n\n",
+      load.threads, load.pipeline_depth, report.Qps(),
+      report.Qps() / baseline_qps,
+      static_cast<unsigned long long>(report.errors));
+  std::printf("%s", server.Metrics().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dsctl <gen|train|info|estimate|template> ...\n");
+                 "usage: dsctl "
+                 "<gen|train|info|estimate|template|serve-bench> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -239,6 +305,7 @@ int main(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(argc, argv);
   if (cmd == "estimate") return CmdEstimate(argc, argv);
   if (cmd == "template") return CmdTemplate(argc, argv);
+  if (cmd == "serve-bench") return CmdServeBench(argc, argv);
   std::fprintf(stderr, "dsctl: unknown command '%s'\n", cmd.c_str());
   return 2;
 }
