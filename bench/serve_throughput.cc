@@ -20,17 +20,24 @@
 // attributable to batching/pipelining alone (as opposed to the caches) is
 // visible and nothing hides in the headline.
 //
+// The best serving-regime configuration's final metric registry is also
+// written as JSON exposition to bench_results/serve_throughput_metrics.json
+// (override with json=path, json= to disable), and its client-side latency
+// percentile table is printed.
+//
 // Usage: bench_serve_throughput [titles=N] [queries=N] [epochs=N]
 //                               [seconds=S] [depth=N] [workers=N]
-//                               [max_batch=N] [wait_us=N]
+//                               [max_batch=N] [wait_us=N] [json=path]
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "ds/datagen/imdb.h"
+#include "ds/obs/exposition.h"
 #include "ds/serve/loadgen.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
@@ -62,6 +69,7 @@ struct Row {
   size_t depth;
   serve::LoadReport load;
   serve::MetricsSnapshot metrics;
+  obs::RegistrySnapshot obs;  // full registry, for the JSON dump
 };
 
 Row RunConfig(serve::SketchRegistry* registry,
@@ -79,14 +87,17 @@ Row RunConfig(serve::SketchRegistry* registry,
   row.load = serve::RunClosedLoop(&server, "bench", BenchQueries(), load);
   server.Stop();
   row.metrics = server.Metrics();
+  row.obs = server.ObsSnapshot();
   return row;
 }
 
 /// Runs one regime (a server-options template) over the client matrix and
-/// returns {baseline qps, best batched qps}.
+/// returns {baseline qps, best batched qps}. When `best_row` is non-null it
+/// receives the best batched configuration's full Row.
 std::pair<double, double> RunRegime(serve::SketchRegistry* registry,
                                     const serve::ServerOptions& base,
-                                    size_t depth, double seconds) {
+                                    size_t depth, double seconds,
+                                    Row* best_row = nullptr) {
   serve::ServerOptions unbatched = base;
   unbatched.enable_batching = false;
   serve::ServerOptions baseline_options = unbatched;
@@ -114,7 +125,10 @@ std::pair<double, double> RunRegime(serve::SketchRegistry* registry,
     print_row(RunConfig(registry, unbatched, clients, /*depth=*/1, seconds));
     Row on = RunConfig(registry, base, clients, depth, seconds);
     print_row(on);
-    if (on.load.Qps() > best_batched_qps) best_batched_qps = on.load.Qps();
+    if (on.load.Qps() > best_batched_qps) {
+      best_batched_qps = on.load.Qps();
+      if (best_row != nullptr) *best_row = std::move(on);
+    }
   }
   return {baseline_qps, best_batched_qps};
 }
@@ -182,11 +196,35 @@ int main(int argc, char** argv) {
 
   std::printf(
       "\n-- serving: production defaults, repeated-statement workload --\n");
+  Row best;
   auto [serve_base, serve_best] =
-      RunRegime(&registry, options, depth, seconds);
+      RunRegime(&registry, options, depth, seconds, &best);
   std::printf("serving peak: %.2fx the server's own unbatched baseline "
               "(batching/pipelining alone, caches identical)\n",
               serve_best / serve_base);
+
+  std::printf("\nbest serving config (%zu clients x depth %zu) client-side ",
+              best.clients, best.depth);
+  std::printf("%s", best.load.LatencyTable().c_str());
+
+  const std::string json_path = args.GetString(
+      "json", "bench_results/serve_throughput_metrics.json");
+  if (!json_path.empty()) {
+    std::error_code ec;
+    const auto parent = std::filesystem::path(json_path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string json = obs::ToJson(best.obs);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("\nwrote final metrics snapshot -> %s\n",
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
 
   std::printf(
       "\nheadline: batched multi-threaded serving peaks at %.2fx the "

@@ -22,6 +22,17 @@ void TrainingLogger::LogEpoch(const EpochStats& stats) {
   std::fflush(file_);
 }
 
+std::string FormatEpochRecord(const EpochStats& stats) {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "epoch=%zu train_loss=%.6f val_mean_q=%.4f "
+                "val_median_q=%.4f examples_per_sec=%.1f seconds=%.3f",
+                stats.epoch, stats.train_loss, stats.validation_mean_q,
+                stats.validation_median_q, stats.examples_per_sec,
+                stats.seconds);
+  return std::string(line);
+}
+
 std::string DescribeArchitecture(const ModelConfig& config) {
   const size_t h = config.hidden_units;
   auto mlp2 = [h](size_t in) {

@@ -64,6 +64,13 @@ class TrainingLogger {
 /// demo's TensorBoard usage.
 std::string DescribeArchitecture(const ModelConfig& config);
 
+/// One machine-parseable key=value line per epoch (no trailing newline):
+///   epoch=3 train_loss=1.204 val_mean_q=9.81 val_median_q=2.77
+///   examples_per_sec=5124.0 seconds=0.195
+/// This is what `dsctl train` prints by default; grep/awk-friendly, and
+/// stable in field order.
+std::string FormatEpochRecord(const EpochStats& stats);
+
 }  // namespace ds::mscn
 
 #endif  // DS_MSCN_LOGGER_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "ds/nn/optimizer.h"
+#include "ds/obs/trace.h"
 #include "ds/util/random.h"
 #include "ds/util/timer.h"
 
@@ -56,6 +57,7 @@ Result<TrainingReport> Trainer::Train(MscnModel* model, const Dataset& dataset,
   util::WallTimer total_timer;
 
   for (size_t epoch = 1; epoch <= options_.epochs; ++epoch) {
+    obs::Span epoch_span("train_epoch", epoch);
     util::WallTimer epoch_timer;
     rng.Shuffle(&train_idx);
     double loss_sum = 0;
@@ -96,6 +98,28 @@ Result<TrainingReport> Trainer::Train(MscnModel* model, const Dataset& dataset,
       stats.validation_median_q = util::Median(q);
     }
     stats.seconds = epoch_timer.ElapsedSeconds();
+    stats.examples_per_sec =
+        stats.seconds > 0
+            ? static_cast<double>(train_idx.size()) / stats.seconds
+            : 0.0;
+    if (options_.obs_registry != nullptr) {
+      obs::Registry* r = options_.obs_registry;
+      r->GetCounter("ds_train_epochs_total", "Completed training epochs")
+          ->Add(1);
+      r->GetCounter("ds_train_examples_total",
+                    "Training examples consumed across epochs")
+          ->Add(train_idx.size());
+      r->GetGauge("ds_train_loss", "Mean training loss, last epoch")
+          ->Set(stats.train_loss);
+      r->GetGauge("ds_train_val_mean_q",
+                  "Validation mean q-error, last epoch")
+          ->Set(stats.validation_mean_q);
+      r->GetGauge("ds_train_val_median_q",
+                  "Validation median q-error, last epoch")
+          ->Set(stats.validation_median_q);
+      r->GetHistogram("ds_train_epoch_ms", "Milliseconds per epoch")
+          ->Observe(static_cast<uint64_t>(stats.seconds * 1e3));
+    }
     if (options_.on_epoch) options_.on_epoch(stats);
     report.epochs.push_back(stats);
   }

@@ -15,6 +15,7 @@
 #include "ds/mscn/dataset.h"
 #include "ds/mscn/model.h"
 #include "ds/nn/loss.h"
+#include "ds/obs/metrics.h"
 #include "ds/util/stats.h"
 
 namespace ds::mscn {
@@ -30,6 +31,7 @@ struct EpochStats {
   double validation_mean_q = 0; // mean q-error on the validation split
   double validation_median_q = 0;
   double seconds = 0;           // wall time of this epoch
+  double examples_per_sec = 0;  // training examples / seconds
 };
 
 struct TrainingReport {
@@ -52,6 +54,12 @@ struct TrainerOptions {
   uint64_t seed = 99;
   /// Called after every epoch (for progress UIs).
   std::function<void(const EpochStats&)> on_epoch;
+  /// When set, the loop exports per-epoch instruments into this registry:
+  /// ds_train_epochs_total / ds_train_examples_total counters,
+  /// ds_train_loss / ds_train_val_{mean,median}_q gauges, and a
+  /// ds_train_epoch_ms histogram. Null disables (no obs dependency on the
+  /// hot path beyond one branch per epoch).
+  obs::Registry* obs_registry = nullptr;
 };
 
 class Trainer {

@@ -1,0 +1,187 @@
+#include "ds/obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ds/obs/trace.h"  // TraceRecorder::NowUs
+
+namespace ds::obs {
+
+namespace {
+
+/// max(est/true, true/est) with both sides clamped to >= 1 tuple — the same
+/// convention as util::QError (obs keeps its own copy so this header-light
+/// module does not pull in the bench statistics helpers).
+double QError(double true_card, double est) {
+  const double t = std::max(true_card, 1.0);
+  const double e = std::max(est, 1.0);
+  return std::max(t / e, e / t);
+}
+
+/// Percentile by nearest-rank over a scratch copy; p in [0, 1].
+double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(values.size())));
+  if (rank > 0) --rank;
+  rank = std::min(rank, values.size() - 1);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+}  // namespace
+
+std::string DriftReport::ToString() const {
+  char line[256];
+  if (!baseline_ready) {
+    std::snprintf(line, sizeof(line),
+                  "sketch=%s baseline warming up (%zu observations)",
+                  sketch.c_str(), observations);
+    return line;
+  }
+  std::snprintf(line, sizeof(line),
+                "sketch=%s window median %.2f (baseline %.2f) p95 %.2f "
+                "(baseline %.2f) over %zu queries: %s",
+                sketch.c_str(), window_median, baseline_median, window_p95,
+                baseline_p95, window_size,
+                drifted ? "DRIFT" : "ok");
+  return line;
+}
+
+QErrorDriftMonitor::QErrorDriftMonitor(std::string sketch_name,
+                                       DriftOptions options)
+    : sketch_(std::move(sketch_name)), options_(options) {
+  if (options_.registry != nullptr) {
+    const Labels labels = {{"sketch", sketch_}};
+    g_window_median_ = options_.registry->GetGauge(
+        "ds_qerror_window_median", "Median q-error over the recent window",
+        labels);
+    g_window_p95_ = options_.registry->GetGauge(
+        "ds_qerror_window_p95", "p95 q-error over the recent window", labels);
+    g_baseline_median_ = options_.registry->GetGauge(
+        "ds_qerror_baseline_median", "Median q-error of the frozen baseline",
+        labels);
+    g_baseline_p95_ = options_.registry->GetGauge(
+        "ds_qerror_baseline_p95", "p95 q-error of the frozen baseline",
+        labels);
+    g_drifted_ = options_.registry->GetGauge(
+        "ds_qerror_drifted", "1 while the drift monitor flags this sketch",
+        labels);
+    c_observations_ = options_.registry->GetCounter(
+        "ds_qerror_observations_total",
+        "Labeled estimates fed to the drift monitor", labels);
+  }
+}
+
+void QErrorDriftMonitor::Observe(double true_cardinality, double estimate) {
+  const double q = QError(true_cardinality, estimate);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observations_;
+  if (c_observations_ != nullptr) c_observations_->Add();
+
+  if (!baseline_ready_) {
+    // Baseline observations do NOT enter the sliding window: the window
+    // measures post-baseline behavior only, so min_window genuinely gates
+    // how many recent queries it takes before a flag is possible.
+    baseline_.push_back(q);
+    if (baseline_.size() >= std::max<size_t>(options_.baseline_window, 1)) {
+      baseline_median_ = PercentileOf(baseline_, 0.5);
+      baseline_p95_ = PercentileOf(baseline_, 0.95);
+      baseline_ready_ = true;
+    }
+  } else {
+    window_.push_back(q);
+    while (window_.size() > std::max<size_t>(options_.window, 1)) {
+      window_.pop_front();
+    }
+  }
+
+  AuditRecord audit;
+  audit.true_cardinality = true_cardinality;
+  audit.estimate = estimate;
+  audit.q_error = q;
+  audit.at_us = TraceRecorder::NowUs();
+  audits_.push_back(audit);
+  while (audits_.size() > std::max<size_t>(options_.audit_capacity, 1)) {
+    audits_.pop_front();
+  }
+
+  RefreshLocked();
+}
+
+void QErrorDriftMonitor::RefreshLocked() {
+  std::vector<double> scratch(window_.begin(), window_.end());
+  window_median_ = PercentileOf(scratch, 0.5);
+  window_p95_ = PercentileOf(std::move(scratch), 0.95);
+  drifted_ = baseline_ready_ && window_.size() >= options_.min_window &&
+             (window_median_ > options_.median_ratio * baseline_median_ ||
+              window_p95_ > options_.p95_ratio * baseline_p95_);
+  if (g_window_median_ != nullptr) {
+    g_window_median_->Set(window_median_);
+    g_window_p95_->Set(window_p95_);
+    g_baseline_median_->Set(baseline_median_);
+    g_baseline_p95_->Set(baseline_p95_);
+    g_drifted_->Set(drifted_ ? 1 : 0);
+  }
+}
+
+DriftReport QErrorDriftMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftReport report;
+  report.sketch = sketch_;
+  report.observations = observations_;
+  report.baseline_ready = baseline_ready_;
+  report.baseline_median = baseline_median_;
+  report.baseline_p95 = baseline_p95_;
+  report.window_size = window_.size();
+  report.window_median = window_median_;
+  report.window_p95 = window_p95_;
+  report.drifted = drifted_;
+  return report;
+}
+
+std::vector<AuditRecord> QErrorDriftMonitor::RecentAudits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {audits_.begin(), audits_.end()};
+}
+
+DriftMonitorSet::DriftMonitorSet(DriftOptions options) : options_(options) {}
+
+QErrorDriftMonitor* DriftMonitorSet::ForSketch(const std::string& sketch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = monitors_.find(sketch);
+  if (it == monitors_.end()) {
+    it = monitors_
+             .emplace(sketch,
+                      std::make_unique<QErrorDriftMonitor>(sketch, options_))
+             .first;
+  }
+  return it->second.get();
+}
+
+void DriftMonitorSet::Observe(const std::string& sketch,
+                              double true_cardinality, double estimate) {
+  ForSketch(sketch)->Observe(true_cardinality, estimate);
+}
+
+std::vector<DriftReport> DriftMonitorSet::Reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DriftReport> reports;
+  reports.reserve(monitors_.size());
+  for (const auto& [name, monitor] : monitors_) {
+    reports.push_back(monitor->Report());
+  }
+  return reports;
+}
+
+std::vector<DriftReport> DriftMonitorSet::Drifted() const {
+  std::vector<DriftReport> drifted;
+  for (DriftReport& r : Reports()) {
+    if (r.drifted) drifted.push_back(std::move(r));
+  }
+  return drifted;
+}
+
+}  // namespace ds::obs

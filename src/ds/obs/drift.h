@@ -1,0 +1,154 @@
+// Estimate audit log + online q-error drift monitor.
+//
+// Learned estimators degrade silently when the workload or the data drifts
+// away from what the sketch was trained on (Ortiz et al., "An Empirical
+// Analysis of Deep Learning for Cardinality Estimation"). When true
+// cardinalities are available — training and evaluation workloads, or a
+// shadow executor — QErrorDriftMonitor keeps a frozen baseline of the
+// sketch's early q-error distribution and compares a sliding window of
+// recent q-errors against it: a windowed median or p95 past the configured
+// ratio flags the sketch as drifted. Every observation also lands in a
+// bounded audit ring so the offending queries' magnitudes can be inspected
+// after the alarm.
+//
+// This is feedback-path instrumentation (an observation per labeled query,
+// not per served request), so a plain mutex is the right tool here.
+
+#ifndef DS_OBS_DRIFT_H_
+#define DS_OBS_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ds/obs/metrics.h"
+
+namespace ds::obs {
+
+struct DriftOptions {
+  /// Observations forming the frozen baseline (the distribution the sketch
+  /// is supposed to keep producing).
+  size_t baseline_window = 256;
+
+  /// Sliding window of recent observations compared against the baseline.
+  size_t window = 256;
+
+  /// Minimum recent observations before the monitor will raise a flag —
+  /// a handful of unlucky queries is noise, not drift.
+  size_t min_window = 64;
+
+  /// Flag when windowed median > median_ratio * baseline median.
+  double median_ratio = 2.0;
+
+  /// Flag when windowed p95 > p95_ratio * baseline p95.
+  double p95_ratio = 3.0;
+
+  /// Recent audit records kept for post-alarm inspection.
+  size_t audit_capacity = 256;
+
+  /// Optional: export baseline/window gauges (labeled by sketch) here.
+  Registry* registry = nullptr;
+};
+
+/// One audited estimate.
+struct AuditRecord {
+  double true_cardinality = 0;
+  double estimate = 0;
+  double q_error = 1;
+  int64_t at_us = 0;  // steady-clock microseconds
+};
+
+struct DriftReport {
+  std::string sketch;
+  size_t observations = 0;
+  bool baseline_ready = false;
+  double baseline_median = 0;
+  double baseline_p95 = 0;
+  size_t window_size = 0;
+  double window_median = 0;
+  double window_p95 = 0;
+  bool drifted = false;
+
+  /// "sketch=imdb window median 3.1 (baseline 2.9) p95 12.4 (11.0) ok"
+  std::string ToString() const;
+};
+
+/// Tracks one sketch's q-error distribution. Thread-safe.
+class QErrorDriftMonitor {
+ public:
+  explicit QErrorDriftMonitor(std::string sketch_name,
+                              DriftOptions options = {});
+
+  /// Feeds one (true, estimated) pair. The first `baseline_window`
+  /// observations build the frozen baseline; after that the sliding window
+  /// is judged against it on every call.
+  void Observe(double true_cardinality, double estimate);
+
+  DriftReport Report() const;
+
+  /// True once the windowed statistics exceed the configured ratios (and
+  /// stays true only while they do — recovery clears the flag).
+  bool drifted() const { return Report().drifted; }
+
+  /// The most recent audited estimates, oldest first.
+  std::vector<AuditRecord> RecentAudits() const;
+
+  const std::string& sketch_name() const { return sketch_; }
+
+ private:
+  void RefreshLocked();  // recompute stats + gauges; mu_ held
+
+  const std::string sketch_;
+  const DriftOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<double> baseline_;     // frozen once full
+  bool baseline_ready_ = false;
+  double baseline_median_ = 0;
+  double baseline_p95_ = 0;
+  std::deque<double> window_;        // last `options_.window` q-errors
+  double window_median_ = 0;
+  double window_p95_ = 0;
+  bool drifted_ = false;
+  size_t observations_ = 0;
+  std::deque<AuditRecord> audits_;
+
+  // Registry gauges (null when options_.registry is null).
+  Gauge* g_window_median_ = nullptr;
+  Gauge* g_window_p95_ = nullptr;
+  Gauge* g_baseline_median_ = nullptr;
+  Gauge* g_baseline_p95_ = nullptr;
+  Gauge* g_drifted_ = nullptr;
+  Counter* c_observations_ = nullptr;
+};
+
+/// A set of monitors keyed by sketch name (one server or bench process
+/// watches many sketches). Monitors are created on first Observe.
+class DriftMonitorSet {
+ public:
+  explicit DriftMonitorSet(DriftOptions options = {});
+
+  void Observe(const std::string& sketch, double true_cardinality,
+               double estimate);
+
+  /// The monitor for `sketch`, created on demand. Stable pointer.
+  QErrorDriftMonitor* ForSketch(const std::string& sketch);
+
+  std::vector<DriftReport> Reports() const;
+
+  /// Reports of sketches currently flagged as drifted.
+  std::vector<DriftReport> Drifted() const;
+
+ private:
+  const DriftOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<QErrorDriftMonitor>> monitors_;
+};
+
+}  // namespace ds::obs
+
+#endif  // DS_OBS_DRIFT_H_

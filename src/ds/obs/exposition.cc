@@ -1,0 +1,223 @@
+#include "ds/obs/exposition.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace ds::obs {
+
+namespace {
+
+/// Prometheus / JSON numeric rendering: exact integers stay integral,
+/// everything else gets shortest-roundtrip-ish %.17g trimmed via %g.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k1="v1",k2="v2"}`; `extra` appends one more pair (used for
+/// the histogram `le` label). Empty result when there are no labels.
+std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += EscapeLabelValue(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJson(k);
+    out += "\":\"";
+    out += EscapeJson(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    // Snapshot() sorts by name, so a family's label variants are adjacent;
+    // emit HELP/TYPE once per family.
+    if (last_family == nullptr || *last_family != m.name) {
+      if (!m.help.empty()) {
+        out += "# HELP " + m.name + " " + m.help + "\n";
+      }
+      out += "# TYPE " + m.name + " " + std::string(KindName(m.kind)) + "\n";
+      last_family = &m.name;
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        cumulative += h.buckets[i];
+        // Power-of-two buckets: skip interior empties to keep scrapes
+        // small, but always emit a bucket that advances the cumulative
+        // count (Prometheus requires nondecreasing _bucket series; the
+        // +Inf bucket below always closes the series at `count`).
+        if (h.buckets[i] == 0) continue;
+        out += m.name + "_bucket" +
+               LabelBlock(m.labels, "le",
+                          FormatValue(static_cast<double>(
+                              HistogramSnapshot::UpperBound(i)))) +
+               " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+      out += m.name + "_bucket" + LabelBlock(m.labels, "le", "+Inf") + " " +
+             FormatValue(static_cast<double>(h.count)) + "\n";
+      out += m.name + "_sum" + LabelBlock(m.labels) + " " +
+             FormatValue(static_cast<double>(h.sum)) + "\n";
+      out += m.name + "_count" + LabelBlock(m.labels) + " " +
+             FormatValue(static_cast<double>(h.count)) + "\n";
+    } else {
+      out += m.name + LabelBlock(m.labels) + " " + FormatValue(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(m.name) + "\"";
+    out += ",\"kind\":\"" + std::string(KindName(m.kind)) + "\"";
+    if (!m.labels.empty()) out += ",\"labels\":" + JsonLabels(m.labels);
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      out += ",\"count\":" + FormatValue(static_cast<double>(h.count));
+      out += ",\"sum\":" + FormatValue(static_cast<double>(h.sum));
+      out += ",\"max\":" + FormatValue(static_cast<double>(h.max));
+      out += ",\"mean\":" + FormatValue(h.Mean());
+      out += ",\"p50\":" +
+             FormatValue(static_cast<double>(h.ApproxPercentile(0.50)));
+      out += ",\"p90\":" +
+             FormatValue(static_cast<double>(h.ApproxPercentile(0.90)));
+      out += ",\"p95\":" +
+             FormatValue(static_cast<double>(h.ApproxPercentile(0.95)));
+      out += ",\"p99\":" +
+             FormatValue(static_cast<double>(h.ApproxPercentile(0.99)));
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        if (h.buckets[i] == 0) continue;
+        if (!first_bucket) out += ',';
+        first_bucket = false;
+        out += "{\"le\":" +
+               FormatValue(
+                   static_cast<double>(HistogramSnapshot::UpperBound(i))) +
+               ",\"count\":" +
+               FormatValue(static_cast<double>(h.buckets[i])) + "}";
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":" + FormatValue(m.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ds::obs

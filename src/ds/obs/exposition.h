@@ -1,0 +1,29 @@
+// Exposition: rendering a RegistrySnapshot for scrapers and files.
+//
+// Two formats: the Prometheus text exposition format (version 0.0.4 — what
+// `promtool check metrics` and every Prometheus scraper accept) and a JSON
+// snapshot for bench_results/ archival and ad-hoc jq processing. Both are
+// pure functions of a snapshot; callers decide when to pay the snapshot
+// cost.
+
+#ifndef DS_OBS_EXPOSITION_H_
+#define DS_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "ds/obs/metrics.h"
+
+namespace ds::obs {
+
+/// Prometheus text format. Counters get a `_total`-preserving name as
+/// registered, histograms expand to cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`. HELP/TYPE headers are emitted once per family.
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+/// JSON object {"metrics": [...]}; histograms carry count/sum/max/mean,
+/// approximate p50/p90/p95/p99, and their non-empty buckets.
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+}  // namespace ds::obs
+
+#endif  // DS_OBS_EXPOSITION_H_

@@ -1,0 +1,134 @@
+#include "ds/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ds/util/logging.h"
+
+namespace ds::obs {
+
+uint64_t HistogramSnapshot::ApproxPercentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      // The last bucket absorbs everything above its lower edge, so its
+      // upper bound would understate; report the observed max instead.
+      if (i + 1 == kBuckets) return max;
+      return std::min(UpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+namespace {
+
+/// Identity key: name plus every label pair, '\x1f'-separated (the
+/// separator cannot appear in a metric name and is vanishingly unlikely in
+/// a label value).
+std::string MetricKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+const MetricSnapshot* RegistrySnapshot::Find(const std::string& name,
+                                             const Labels& labels) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+Registry::Entry* Registry::GetEntry(const std::string& name,
+                                    const std::string& help,
+                                    const Labels& labels, MetricKind kind) {
+  const std::string key = MetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    DS_CHECK(entry.kind == kind);  // one (name, labels) -> one kind, forever
+    return &entry;
+  }
+  // Entries hold atomics, so they are built in place, never moved.
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.labels = labels;
+  entry.kind = kind;
+  index_.emplace(key, entries_.size() - 1);
+  return &entry;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return &GetEntry(name, help, labels, MetricKind::kCounter)->counter;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const Labels& labels) {
+  return &GetEntry(name, help, labels, MetricKind::kGauge)->gauge;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return &GetEntry(name, help, labels, MetricKind::kHistogram)->histogram;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.metrics.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      MetricSnapshot m;
+      m.name = entry.name;
+      m.help = entry.help;
+      m.labels = entry.labels;
+      m.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          m.value = static_cast<double>(entry.counter.value());
+          break;
+        case MetricKind::kGauge:
+          m.value = entry.gauge.value();
+          break;
+        case MetricKind::kHistogram:
+          m.histogram = entry.histogram.Snapshot();
+          break;
+      }
+      snap.metrics.push_back(std::move(m));
+    }
+  }
+  std::stable_sort(snap.metrics.begin(), snap.metrics.end(),
+                   [](const MetricSnapshot& a, const MetricSnapshot& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return snap;
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace ds::obs

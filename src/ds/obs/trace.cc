@@ -1,0 +1,181 @@
+#include "ds/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ds::obs {
+
+namespace {
+
+thread_local TraceContext* g_trace_context = nullptr;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(Options options)
+    : slots_(std::max<size_t>(options.capacity, 1)),
+      sample_every_(options.sample_every) {}
+
+int64_t TraceRecorder::NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t TraceRecorder::StartTrace() {
+  const uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return 0;
+  const uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return 0;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const SpanRecord& record) {
+  if (record.trace_id == 0) return;
+  const uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % slots_.size()];
+  // Per-slot spinlock taken with a single exchange: if someone (a reader,
+  // or a writer that lapped the ring) holds it, drop the span rather than
+  // wait — bounded work on the hot path beats a complete trace.
+  if (slot.locked.exchange(true, std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.record = record;
+  slot.locked.store(false, std::memory_order_release);
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::vector<SpanRecord> out;
+  out.reserve(slots_.size());
+  for (Slot& slot : slots_) {
+    if (slot.locked.exchange(true, std::memory_order_acquire)) {
+      continue;  // a writer owns it right now; skip this slot
+    }
+    if (slot.record.trace_id != 0) out.push_back(slot.record);
+    slot.locked.store(false, std::memory_order_release);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::vector<SpanRecord> TraceRecorder::Trace(uint64_t trace_id) const {
+  std::vector<SpanRecord> all = Snapshot();
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& r : all) {
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<uint64_t> TraceRecorder::TraceIds() const {
+  std::vector<uint64_t> ids;
+  for (const SpanRecord& r : Snapshot()) {
+    if (ids.empty() || ids.back() != r.trace_id) ids.push_back(r.trace_id);
+  }
+  return ids;
+}
+
+uint64_t RecordSpan(TraceRecorder* recorder, uint64_t trace_id,
+                    uint64_t parent_id, const char* name, int64_t start_us,
+                    int64_t end_us, uint64_t value) {
+  if (recorder == nullptr || trace_id == 0) return 0;
+  SpanRecord record;
+  record.trace_id = trace_id;
+  record.span_id = recorder->NextSpanId();
+  record.parent_id = parent_id;
+  record.start_us = start_us;
+  record.duration_us = end_us >= start_us ? end_us - start_us : 0;
+  record.value = value;
+  record.SetName(name);
+  recorder->Record(record);
+  return record.span_id;
+}
+
+TraceContext* CurrentTraceContext() { return g_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceRecorder* recorder,
+                                       uint64_t trace_id,
+                                       uint64_t parent_span) {
+  if (recorder == nullptr || trace_id == 0) return;
+  ctx_.recorder = recorder;
+  ctx_.trace_id = trace_id;
+  ctx_.current_span = parent_span;
+  previous_ = g_trace_context;
+  g_trace_context = &ctx_;
+  installed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (installed_) g_trace_context = previous_;
+}
+
+Span::Span(const char* name, uint64_t value)
+    : ctx_(g_trace_context), name_(name), value_(value) {
+  if (ctx_ == nullptr) return;
+  span_id_ = ctx_->recorder->NextSpanId();
+  parent_ = ctx_->current_span;
+  ctx_->current_span = span_id_;  // children opened below nest under us
+  start_us_ = TraceRecorder::NowUs();
+}
+
+Span::~Span() {
+  if (ctx_ == nullptr) return;
+  ctx_->current_span = parent_;
+  SpanRecord record;
+  record.trace_id = ctx_->trace_id;
+  record.span_id = span_id_;
+  record.parent_id = parent_;
+  record.start_us = start_us_;
+  record.duration_us = TraceRecorder::NowUs() - start_us_;
+  record.value = value_;
+  record.SetName(name_);
+  ctx_->recorder->Record(record);
+}
+
+std::string FormatTrace(const std::vector<SpanRecord>& spans) {
+  if (spans.empty()) return "(empty trace)\n";
+  // Depth via parent links; spans whose parent is missing from the ring
+  // (evicted) render at the root level rather than disappearing.
+  std::unordered_map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) by_id.emplace(s.span_id, &s);
+  int64_t t0 = spans.front().start_us;
+  for (const SpanRecord& s : spans) t0 = std::min(t0, s.start_us);
+
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "trace %llu: %zu spans\n",
+                static_cast<unsigned long long>(spans.front().trace_id),
+                spans.size());
+  out += line;
+  for (const SpanRecord& s : spans) {
+    size_t depth = 0;
+    for (uint64_t p = s.parent_id; p != 0; ++depth) {
+      auto it = by_id.find(p);
+      if (it == by_id.end() || depth > 16) break;
+      p = it->second->parent_id;
+    }
+    std::string label(2 * (depth + 1), ' ');
+    label += s.name;
+    if (s.value != 0) {
+      char ann[32];
+      std::snprintf(ann, sizeof(ann), " (n=%llu)",
+                    static_cast<unsigned long long>(s.value));
+      label += ann;
+    }
+    std::snprintf(line, sizeof(line), "%-36s +%-8lld %8lld us\n",
+                  label.c_str(), static_cast<long long>(s.start_us - t0),
+                  static_cast<long long>(s.duration_us));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ds::obs

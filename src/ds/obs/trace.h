@@ -1,0 +1,185 @@
+// Per-query tracing: sampled scoped spans into a fixed-size ring buffer.
+//
+// A TraceRecorder decides at trace start whether a query is sampled
+// (1-in-N; 0 disables tracing entirely) and stores finished spans in a
+// fixed ring of POD slots. The write path takes no global lock: a relaxed
+// fetch_add claims a slot and a per-slot spinlock guards the copy; a writer
+// that collides with a reader (or a lapping writer) drops its span and
+// bumps a counter instead of waiting — tracing must never add an
+// unbounded stall to the serving hot path.
+//
+// Spans propagate through a thread-local context: the serving worker
+// installs a ScopedTraceContext for the request it is executing, and any
+// code below it (SQL parse/bind, featurization, the forward pass) creates
+// `Span span("name")` objects that no-op — one thread_local read and a
+// branch — when no sampled trace is active. Cross-thread segments (queue
+// wait measured from the submitting thread's clock) are recorded manually
+// via RecordSpan.
+
+#ifndef DS_OBS_TRACE_H_
+#define DS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ds::obs {
+
+/// One finished span. POD so ring slots are copied without allocation.
+struct SpanRecord {
+  uint64_t trace_id = 0;   // 0 = slot empty
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  int64_t start_us = 0;    // steady-clock microseconds since process epoch
+  int64_t duration_us = 0;
+  uint64_t value = 0;      // optional annotation (batch size, hit flag, ...)
+  char name[24] = {};      // truncated NUL-terminated span name
+
+  void SetName(const char* n) {
+    std::strncpy(name, n, sizeof(name) - 1);
+    name[sizeof(name) - 1] = '\0';
+  }
+};
+
+class TraceRecorder {
+ public:
+  struct Options {
+    /// Ring capacity in spans. A single served query produces ~8 spans, so
+    /// the default keeps the last few hundred sampled queries.
+    size_t capacity = 4096;
+
+    /// Sample 1 in N traces; 0 disables sampling (StartTrace returns 0 and
+    /// every span in the query's path stays a no-op).
+    uint64_t sample_every = 0;
+  };
+
+  TraceRecorder() : TraceRecorder(Options()) {}
+  explicit TraceRecorder(Options options);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Sampling decision for a new query: a nonzero trace id if sampled.
+  uint64_t StartTrace();
+
+  /// Allocates a span id (ids are unique per recorder, never 0).
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Stores a finished span; drops it (incrementing dropped()) when the
+  /// target slot is contended. `record.trace_id` must be nonzero.
+  void Record(const SpanRecord& record);
+
+  /// Copies every filled slot, sorted by (trace_id, start_us, span_id).
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// The spans of one trace, sorted by start time.
+  std::vector<SpanRecord> Trace(uint64_t trace_id) const;
+
+  /// Trace ids currently present in the ring, ascending.
+  std::vector<uint64_t> TraceIds() const;
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  void set_sample_every(uint64_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Microseconds on the steady clock (the time base of SpanRecord).
+  static int64_t NowUs();
+
+ private:
+  struct Slot {
+    std::atomic<bool> locked{false};
+    SpanRecord record;
+  };
+
+  mutable std::vector<Slot> slots_;  // Snapshot() locks slots while reading
+  std::atomic<uint64_t> head_{0};           // next slot to claim
+  std::atomic<uint64_t> seen_{0};           // StartTrace calls
+  std::atomic<uint64_t> sampled_{0};        // traces that got an id
+  std::atomic<uint64_t> dropped_{0};        // spans lost to contention
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> sample_every_;
+};
+
+/// Records a span with explicit endpoints (for segments that cross threads,
+/// like queue wait, or whose start predates the context). Returns the span
+/// id so callers can parent further spans under it. No-op returning 0 when
+/// `recorder` is null or `trace_id` is 0.
+uint64_t RecordSpan(TraceRecorder* recorder, uint64_t trace_id,
+                    uint64_t parent_id, const char* name, int64_t start_us,
+                    int64_t end_us, uint64_t value = 0);
+
+/// The ambient trace of the current thread; spans attach to it.
+struct TraceContext {
+  TraceRecorder* recorder = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t current_span = 0;  // parent for the next Span on this thread
+};
+
+/// The installed context, or nullptr when the thread is not tracing.
+TraceContext* CurrentTraceContext();
+
+/// Installs a trace context for the current scope (and thread); restores
+/// the previous one on destruction. Passing a null recorder or a zero
+/// trace id installs nothing, so callers do not need to branch.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(TraceRecorder* recorder, uint64_t trace_id,
+                     uint64_t parent_span = 0);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext ctx_;
+  TraceContext* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// RAII span attached to the thread's current trace context. Construction
+/// and destruction are a thread_local read plus a branch when tracing is
+/// off — cheap enough to leave in the hot path permanently.
+class Span {
+ public:
+  explicit Span(const char* name, uint64_t value = 0);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Annotates the span (batch size, element count, hit/miss flag).
+  void set_value(uint64_t v) { value_ = v; }
+
+  bool active() const { return ctx_ != nullptr; }
+
+ private:
+  TraceContext* ctx_ = nullptr;  // null = tracing off at construction
+  const char* name_;
+  uint64_t span_id_ = 0;
+  uint64_t parent_ = 0;
+  int64_t start_us_ = 0;
+  uint64_t value_;
+};
+
+/// Human-readable rendering of one trace: an indented tree with start
+/// offsets (relative to the trace's first span) and durations.
+std::string FormatTrace(const std::vector<SpanRecord>& spans);
+
+}  // namespace ds::obs
+
+#endif  // DS_OBS_TRACE_H_

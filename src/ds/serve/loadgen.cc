@@ -3,12 +3,52 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <thread>
 
 #include "ds/util/timer.h"
 
 namespace ds::serve {
+
+namespace {
+
+struct Pending {
+  std::future<Result<double>> future;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto delta = std::chrono::steady_clock::now() - start;
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(delta)
+             .count()));
+}
+
+}  // namespace
+
+std::string LoadReport::LatencyTable() const {
+  std::string out = "latency (us):\n";
+  char line[96];
+  std::snprintf(line, sizeof(line), "  %-6s %llu\n  %-6s %.1f\n", "count",
+                static_cast<unsigned long long>(latency_us.count), "mean",
+                latency_us.Mean());
+  out += line;
+  static constexpr struct {
+    const char* name;
+    double p;
+  } kRows[] = {{"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99}};
+  for (const auto& row : kRows) {
+    std::snprintf(line, sizeof(line), "  %-6s %llu\n", row.name,
+                  static_cast<unsigned long long>(
+                      latency_us.ApproxPercentile(row.p)));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-6s %llu\n", "max",
+                static_cast<unsigned long long>(latency_us.max));
+  out += line;
+  return out;
+}
 
 LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
                          const std::vector<std::string>& sqls,
@@ -22,6 +62,16 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
       std::chrono::microseconds(
           static_cast<int64_t>(options.seconds * 1e6));
 
+  // Private histogram unless the caller wants the observations scraped
+  // alongside other instruments. Writes are lock-free either way.
+  obs::Histogram local_latency;
+  obs::Histogram* latency =
+      options.registry != nullptr
+          ? options.registry->GetHistogram(
+                "ds_loadgen_latency_us",
+                "Load-generator submit-to-resolve microseconds")
+          : &local_latency;
+
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> errors{0};
   util::WallTimer timer;
@@ -29,9 +79,17 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
   clients.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
-      std::deque<std::future<Result<double>>> window;
+      std::deque<Pending> window;
       uint64_t my_ok = 0, my_errors = 0;
       size_t next = t;  // stagger the query mix across clients
+      auto settle = [&](Pending* p) {
+        if (p->future.get().ok()) {
+          ++my_ok;
+        } else {
+          ++my_errors;
+        }
+        latency->Observe(MicrosSince(p->submitted));
+      };
       while (std::chrono::steady_clock::now() < deadline) {
         // Refill in half-window groups via SubmitMany so submission sync
         // (queue lock, worker wakeup) is paid per group, not per request.
@@ -40,7 +98,8 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
         if (depth == 1) {
           if (window.empty()) {
             window.push_back(
-                server->Submit(sketch_name, sqls[next++ % sqls.size()]));
+                {server->Submit(sketch_name, sqls[next++ % sqls.size()]),
+                 std::chrono::steady_clock::now()});
           }
         } else if (window.size() <= depth / 2) {
           std::vector<std::string> group;
@@ -48,24 +107,15 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
           while (window.size() + group.size() < depth) {
             group.push_back(sqls[next++ % sqls.size()]);
           }
+          const auto submitted = std::chrono::steady_clock::now();
           for (auto& f : server->SubmitMany(sketch_name, std::move(group))) {
-            window.push_back(std::move(f));
+            window.push_back({std::move(f), submitted});
           }
         }
-        if (window.front().get().ok()) {
-          ++my_ok;
-        } else {
-          ++my_errors;
-        }
+        settle(&window.front());
         window.pop_front();
       }
-      for (auto& f : window) {
-        if (f.get().ok()) {
-          ++my_ok;
-        } else {
-          ++my_errors;
-        }
-      }
+      for (Pending& p : window) settle(&p);
       ok.fetch_add(my_ok, std::memory_order_relaxed);
       errors.fetch_add(my_errors, std::memory_order_relaxed);
     });
@@ -74,6 +124,7 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
   report.elapsed_seconds = timer.ElapsedSeconds();
   report.ok = ok.load();
   report.errors = errors.load();
+  report.latency_us = latency->Snapshot();
   return report;
 }
 

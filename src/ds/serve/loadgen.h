@@ -5,6 +5,12 @@
 // then wait for the oldest) and loops until the deadline. Depth 1 is the
 // strict request/response closed loop; deeper pipelines give the server
 // something to coalesce, which is how batching pays off on the wall clock.
+//
+// Every request's submit-to-resolve latency lands in an obs::Histogram
+// (ds_loadgen_latency_us); the report carries its snapshot and renders a
+// p50/p90/p95/p99 table. Note the closed-loop caveat: with depth > 1 a
+// request's latency includes time spent queued behind its own pipeline
+// siblings, so deep pipelines trade latency for throughput by design.
 
 #ifndef DS_SERVE_LOADGEN_H_
 #define DS_SERVE_LOADGEN_H_
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ds/obs/metrics.h"
 #include "ds/serve/server.h"
 
 namespace ds::serve {
@@ -24,6 +31,12 @@ struct LoadOptions {
 
   /// Measurement window; clients drain their pipelines after it elapses.
   double seconds = 1.0;
+
+  /// When set, per-request latency is recorded under
+  /// ds_loadgen_latency_us in this registry (shared with whatever else is
+  /// being scraped); when null the generator uses a private histogram.
+  /// Either way the snapshot is returned in LoadReport::latency_us.
+  obs::Registry* registry = nullptr;
 };
 
 struct LoadReport {
@@ -31,11 +44,17 @@ struct LoadReport {
   uint64_t errors = 0;
   double elapsed_seconds = 0;
 
+  /// Submit-to-resolve microseconds, one observation per request.
+  obs::HistogramSnapshot latency_us;
+
   double Qps() const {
     return elapsed_seconds > 0
                ? static_cast<double>(ok + errors) / elapsed_seconds
                : 0.0;
   }
+
+  /// One-line-per-stat latency table: count, mean, p50/p90/p95/p99, max.
+  std::string LatencyTable() const;
 };
 
 /// Drives `server` from `options.threads` closed-loop clients, cycling

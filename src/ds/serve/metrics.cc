@@ -1,23 +1,42 @@
 #include "ds/serve/metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace ds::serve {
 
-uint64_t HistogramSnapshot::ApproxPercentile(double p) const {
-  if (count == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
-  const uint64_t target = std::max<uint64_t>(
-      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets[i];
-    if (seen >= target) return std::min(UpperBound(i), max);
-  }
-  return max;
-}
+ServerMetrics::ServerMetrics(obs::Registry* r)
+    : submitted(*r->GetCounter("ds_serve_submitted_total",
+                               "Requests accepted into the queue")),
+      rejected(*r->GetCounter(
+          "ds_serve_rejected_total",
+          "Requests refused at Submit (backpressure or stopped)")),
+      completed(*r->GetCounter("ds_serve_completed_total",
+                               "Requests resolved with an estimate")),
+      failed(*r->GetCounter("ds_serve_failed_total",
+                            "Requests resolved with an error")),
+      bind_errors(*r->GetCounter("ds_serve_bind_errors_total",
+                                 "Failed requests whose SQL did not "
+                                 "parse or bind")),
+      batches(*r->GetCounter("ds_serve_batches_total",
+                             "Coalesced forward passes executed")),
+      result_cache_hits(*r->GetCounter("ds_serve_result_cache_hits_total",
+                                       "Estimate-cache hits (skip "
+                                       "inference)")),
+      result_cache_misses(*r->GetCounter("ds_serve_result_cache_misses_total",
+                                         "Estimate-cache misses")),
+      stmt_cache_hits(*r->GetCounter("ds_serve_stmt_cache_hits_total",
+                                     "Statement-cache hits (skip "
+                                     "parse+bind)")),
+      stmt_cache_misses(*r->GetCounter("ds_serve_stmt_cache_misses_total",
+                                       "Statement-cache misses")),
+      queue_wait_us(*r->GetHistogram("ds_serve_queue_wait_us",
+                                     "Microseconds from Submit to dequeue "
+                                     "by a worker")),
+      infer_us(*r->GetHistogram("ds_serve_infer_us",
+                                "Microseconds of featurize + forward per "
+                                "batch")),
+      batch_size(*r->GetHistogram("ds_serve_batch_size",
+                                  "Requests per coalesced batch")) {}
 
 MetricsSnapshot ServerMetrics::Snapshot(const CacheStats& cache) const {
   MetricsSnapshot s;
@@ -36,6 +55,24 @@ MetricsSnapshot ServerMetrics::Snapshot(const CacheStats& cache) const {
   s.infer_us = infer_us.Snapshot();
   s.batch_size = batch_size.Snapshot();
   return s;
+}
+
+void ExportCacheStats(obs::Registry* registry, const CacheStats& cache) {
+  auto set = [registry](const char* name, const char* help, uint64_t v) {
+    registry->GetGauge(name, help)->Set(static_cast<double>(v));
+  };
+  set("ds_sketch_cache_hits", "Sketch-cache hits", cache.hits);
+  set("ds_sketch_cache_misses", "Sketch-cache misses", cache.misses);
+  set("ds_sketch_cache_loads", "Successful sketch disk loads", cache.loads);
+  set("ds_sketch_cache_load_failures", "Errored sketch disk loads",
+      cache.load_failures);
+  set("ds_sketch_cache_evictions", "Sketches dropped by the byte budget",
+      cache.evictions);
+  set("ds_sketch_cache_inserts", "Sketches inserted", cache.inserts);
+  set("ds_sketch_cache_bytes_in_use",
+      "Serialized bytes of resident sketches", cache.bytes_in_use);
+  set("ds_sketch_cache_resident", "Sketches currently resident",
+      cache.sketches_loaded);
 }
 
 namespace {

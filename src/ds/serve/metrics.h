@@ -1,91 +1,27 @@
-// Lock-free serving metrics: counters and latency histograms.
+// Serving metrics, built on the ds::obs metric registry.
 //
-// The serving hot path must not serialize on a metrics mutex, so every
-// instrument is a relaxed std::atomic: counters are single adds, histograms
-// bucket values into power-of-two bins. Readers take a consistent-enough
-// Snapshot() (each cell is read atomically; cross-cell skew is bounded by
-// in-flight requests) — the standard tradeoff production metric libraries
-// make (prometheus-style histograms).
+// PR 1's bespoke metrics structs are migrated onto obs: Counter/Histogram
+// here are aliases of the obs instruments, and ServerMetrics holds
+// references into an obs::Registry (names follow the Prometheus
+// conventions documented in README.md) so the same counters the server
+// bumps on its hot path are scraped via obs exposition — no second
+// bookkeeping path. MetricsSnapshot remains the benches' and tests' plain
+// value view.
 
 #ifndef DS_SERVE_METRICS_H_
 #define DS_SERVE_METRICS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "ds/obs/metrics.h"
+
 namespace ds::serve {
 
-/// A monotonically increasing event counter.
-class Counter {
- public:
-  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
-
-/// Read-only copy of a Histogram. Bucket i counts values v with
-/// 2^(i-1) <= v < 2^i (bucket 0: v == 0 or v == 1... see UpperBound).
-struct HistogramSnapshot {
-  static constexpr size_t kBuckets = 28;  // covers up to ~2^27 (134s in us)
-
-  uint64_t count = 0;
-  uint64_t sum = 0;
-  uint64_t max = 0;
-  std::array<uint64_t, kBuckets> buckets{};
-
-  double Mean() const {
-    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
-  }
-
-  /// Inclusive upper bound of bucket i (2^i - 1; the last bucket absorbs
-  /// everything larger).
-  static uint64_t UpperBound(size_t i) { return (uint64_t{1} << i) - 1; }
-
-  /// Value at or below which a fraction `p` in [0,1] of observations fall,
-  /// resolved to its bucket upper bound (capped at the observed max).
-  uint64_t ApproxPercentile(double p) const;
-};
-
-/// Lock-free power-of-two histogram for microsecond latencies and sizes.
-class Histogram {
- public:
-  void Record(uint64_t value) {
-    size_t b = 0;
-    while (b + 1 < HistogramSnapshot::kBuckets &&
-           value > HistogramSnapshot::UpperBound(b)) {
-      ++b;
-    }
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(value, std::memory_order_relaxed);
-    uint64_t prev = max_.load(std::memory_order_relaxed);
-    while (prev < value &&
-           !max_.compare_exchange_weak(prev, value,
-                                       std::memory_order_relaxed)) {
-    }
-  }
-
-  HistogramSnapshot Snapshot() const {
-    HistogramSnapshot s;
-    s.count = count_.load(std::memory_order_relaxed);
-    s.sum = sum_.load(std::memory_order_relaxed);
-    s.max = max_.load(std::memory_order_relaxed);
-    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
-      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
-    }
-    return s;
-  }
-
- private:
-  std::array<std::atomic<uint64_t>, HistogramSnapshot::kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-  std::atomic<uint64_t> max_{0};
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using Histogram = obs::Histogram;
+using HistogramSnapshot = obs::HistogramSnapshot;
 
 /// Registry cache statistics (filled by SketchRegistry).
 struct CacheStats {
@@ -131,25 +67,34 @@ struct MetricsSnapshot {
   std::string ToString() const;
 };
 
-/// The instruments the server writes on its hot path.
+/// The instruments the server writes on its hot path, registered in an
+/// obs::Registry under the ds_serve_* names (see README.md). References
+/// stay valid for the registry's lifetime; writes are lock-free.
 struct ServerMetrics {
-  Counter submitted;
-  Counter rejected;
-  Counter completed;
-  Counter failed;
-  Counter bind_errors;
-  Counter batches;
-  Counter result_cache_hits;
-  Counter result_cache_misses;
-  Counter stmt_cache_hits;
-  Counter stmt_cache_misses;
-  Histogram queue_wait_us;
-  Histogram infer_us;
-  Histogram batch_size;
+  explicit ServerMetrics(obs::Registry* registry);
+
+  Counter& submitted;
+  Counter& rejected;
+  Counter& completed;
+  Counter& failed;
+  Counter& bind_errors;
+  Counter& batches;
+  Counter& result_cache_hits;
+  Counter& result_cache_misses;
+  Counter& stmt_cache_hits;
+  Counter& stmt_cache_misses;
+  Histogram& queue_wait_us;
+  Histogram& infer_us;
+  Histogram& batch_size;
 
   /// `cache` comes from the registry the server fronts.
   MetricsSnapshot Snapshot(const CacheStats& cache) const;
 };
+
+/// Mirrors `cache` into gauges (ds_sketch_cache_*) on `registry`, so an
+/// exposition snapshot carries the sketch cache's state alongside the
+/// server counters. Called at snapshot/dump time, not on the hot path.
+void ExportCacheStats(obs::Registry* registry, const CacheStats& cache);
 
 }  // namespace ds::serve
 

@@ -1,8 +1,10 @@
 #include "ds/serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "ds/obs/exposition.h"
 #include "ds/sql/binder.h"
 #include "ds/workload/query_spec.h"
 
@@ -18,20 +20,95 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return us < 0 ? 0 : static_cast<uint64_t>(us);
 }
 
+/// A time_point on the SpanRecord time base (steady-clock microseconds).
+int64_t ToTraceUs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 SketchServer::SketchServer(SketchRegistry* registry, ServerOptions options)
-    : registry_(registry), options_(options) {
+    : registry_(registry),
+      options_(options),
+      owned_registry_(options.metrics_registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      obs_registry_(options.metrics_registry != nullptr
+                        ? options.metrics_registry
+                        : owned_registry_.get()),
+      owned_tracer_(options.tracer == nullptr && options.trace_sample_every > 0
+                        ? std::make_unique<obs::TraceRecorder>(
+                              obs::TraceRecorder::Options{
+                                  4096, options.trace_sample_every})
+                        : nullptr),
+      tracer_(options.tracer != nullptr ? options.tracer
+                                        : owned_tracer_.get()),
+      metrics_(obs_registry_) {
   options_.num_workers = std::max<size_t>(options_.num_workers, 1);
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
   options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  if (options_.tracer != nullptr && options_.trace_sample_every > 0) {
+    tracer_->set_sample_every(options_.trace_sample_every);
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.stats_dump_period_ms > 0) {
+    stats_dump_thread_ = std::thread([this] { StatsDumpLoop(); });
+  }
 }
 
 SketchServer::~SketchServer() { Stop(); }
+
+obs::RegistrySnapshot SketchServer::ObsSnapshot() const {
+  ExportCacheStats(obs_registry_, registry_->stats());
+  return obs_registry_->Snapshot();
+}
+
+std::string SketchServer::MetricsJson() const {
+  return obs::ToJson(ObsSnapshot());
+}
+
+void SketchServer::StatsDumpLoop() {
+  const auto period =
+      std::chrono::milliseconds(options_.stats_dump_period_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, period, [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    const std::string json = MetricsJson();
+    if (options_.stats_dump_sink) {
+      options_.stats_dump_sink(json);
+    } else {
+      std::fprintf(stderr, "%s\n", json.c_str());
+    }
+    lock.lock();
+  }
+}
+
+void SketchServer::MaybeTrace(Request* req) {
+  if (tracer_ == nullptr) return;
+  req->trace_id = tracer_->StartTrace();
+  if (req->trace_id != 0) req->root_span = tracer_->NextSpanId();
+}
+
+void SketchServer::FinishTrace(const Request& req) {
+  if (req.trace_id == 0) return;
+  // The root span is recorded with its pre-allocated id so the children
+  // recorded earlier (queue_wait, parse, ...) already point at it.
+  obs::SpanRecord record;
+  record.trace_id = req.trace_id;
+  record.span_id = req.root_span;
+  record.parent_id = 0;
+  record.start_us = ToTraceUs(req.enqueue_time);
+  record.duration_us = obs::TraceRecorder::NowUs() - record.start_us;
+  record.SetName("estimate");
+  tracer_->Record(record);
+}
 
 bool SketchServer::EnqueueLocked(Request* req) {
   if (stopping_) {
@@ -57,6 +134,7 @@ std::future<Result<double>> SketchServer::Submit(std::string sketch_name,
   req.sketch = std::move(sketch_name);
   req.sql = std::move(sql);
   req.enqueue_time = std::chrono::steady_clock::now();
+  MaybeTrace(&req);
   std::future<Result<double>> future = req.promise.get_future();
   bool wake = false;
   {
@@ -86,6 +164,7 @@ std::vector<std::future<Result<double>>> SketchServer::SubmitMany(
       req.sketch = sketch_name;
       req.sql = std::move(sql);
       req.enqueue_time = now;
+      MaybeTrace(&req);
       futures.push_back(req.promise.get_future());
       accepted_any |= EnqueueLocked(&req);
     }
@@ -106,6 +185,7 @@ void SketchServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  if (stats_dump_thread_.joinable()) stats_dump_thread_.join();
 }
 
 void SketchServer::TakeMatchingLocked(const std::string& sketch,
@@ -163,6 +243,10 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
                         batch_start - req.enqueue_time)
                         .count();
     metrics_.queue_wait_us.Record(us < 0 ? 0 : static_cast<uint64_t>(us));
+    if (req.trace_id != 0) {
+      obs::RecordSpan(tracer_, req.trace_id, req.root_span, "queue_wait",
+                      ToTraceUs(req.enqueue_time), ToTraceUs(batch_start));
+    }
   }
   metrics_.batches.Add();
   metrics_.batch_size.Record(batch.size());
@@ -171,6 +255,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   if (!sketch.ok()) {
     for (Request& req : batch) {
       req.promise.set_value(sketch.status());
+      FinishTrace(req);
     }
     metrics_.failed.Add(batch.size());
     return;
@@ -186,12 +271,19 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   spec_owner.reserve(batch.size());
   const auto infer_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
+    // Sampled requests get a thread-local trace context here, so the cache
+    // lookups and the parse/bind spans inside DeepSketch::BindSql attach
+    // under this request's root span.
+    obs::ScopedTraceContext trace_scope(tracer_, batch[i].trace_id,
+                                        batch[i].root_span);
     keys[i] = batch[i].sketch + '\n' + batch[i].sql;
     if (options_.result_cache_capacity > 0) {
       if (auto cached = ResultCacheGet(keys[i]); cached.has_value()) {
         metrics_.result_cache_hits.Add();
         metrics_.completed.Add();
+        { obs::Span span("result_cache_hit"); }
         batch[i].promise.set_value(*cached);
+        FinishTrace(batch[i]);
         continue;
       }
       metrics_.result_cache_misses.Add();
@@ -199,6 +291,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
     if (options_.stmt_cache_capacity > 0) {
       if (auto cached = StmtCacheGet(keys[i]); cached != nullptr) {
         metrics_.stmt_cache_hits.Add();
+        { obs::Span span("stmt_cache_hit"); }
         specs.push_back(*cached);
         spec_owner.push_back(i);
         continue;
@@ -210,6 +303,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       metrics_.bind_errors.Add();
       metrics_.failed.Add();
       batch[i].promise.set_value(bound.status());
+      FinishTrace(batch[i]);
       continue;
     }
     if (bound->placeholder.has_value()) {
@@ -217,6 +311,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       metrics_.failed.Add();
       batch[i].promise.set_value(Status::InvalidArgument(
           "query contains an uninstantiated '?' placeholder"));
+      FinishTrace(batch[i]);
       continue;
     }
     StmtCachePut(keys[i],
@@ -226,7 +321,24 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   }
 
   if (!specs.empty()) {
-    std::vector<Result<double>> results = (*sketch)->EstimateMany(specs);
+    // The padded forward pass serves the whole batch at once; its span
+    // (with the featurize/forward children recorded inside EstimateMany)
+    // is attached to the first sampled request in the batch.
+    const Request* traced = nullptr;
+    for (size_t s : spec_owner) {
+      if (batch[s].trace_id != 0) {
+        traced = &batch[s];
+        break;
+      }
+    }
+    std::vector<Result<double>> results;
+    {
+      obs::ScopedTraceContext trace_scope(
+          tracer_, traced != nullptr ? traced->trace_id : 0,
+          traced != nullptr ? traced->root_span : 0);
+      obs::Span infer_span("infer", specs.size());
+      results = (*sketch)->EstimateMany(specs);
+    }
     for (size_t s = 0; s < results.size(); ++s) {
       if (results[s].ok()) {
         metrics_.completed.Add();
@@ -235,6 +347,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
         metrics_.failed.Add();
       }
       batch[spec_owner[s]].promise.set_value(std::move(results[s]));
+      FinishTrace(batch[spec_owner[s]]);
     }
   }
   metrics_.infer_us.Record(MicrosSince(infer_start));

@@ -12,6 +12,13 @@
 // once queue_capacity requests are pending, instead of buffering without
 // bound. Accepted requests are never dropped: Stop() drains the queue before
 // joining the workers.
+//
+// Observability: metrics live in an obs::Registry (private to the server by
+// default, injectable for shared exposition); sampled queries additionally
+// record a span tree — estimate > {queue_wait, cache lookups, parse, bind,
+// infer > {featurize, forward}} — into an obs::TraceRecorder. With
+// trace_sample_every == 0 the tracing hooks reduce to a relaxed load and a
+// thread-local check, which is not measurable in bench_serve_throughput.
 
 #ifndef DS_SERVE_SERVER_H_
 #define DS_SERVE_SERVER_H_
@@ -19,6 +26,7 @@
 #include <condition_variable>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -29,6 +37,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ds/obs/metrics.h"
+#include "ds/obs/trace.h"
 #include "ds/serve/metrics.h"
 #include "ds/serve/registry.h"
 #include "ds/workload/query_spec.h"
@@ -68,6 +78,25 @@ struct ServerOptions {
   /// When false, workers never wait for stragglers: each request is served
   /// as soon as a worker picks it up (the bench's unbatched baseline).
   bool enable_batching = true;
+
+  /// Metric registry to register the ds_serve_* instruments in. Null (the
+  /// default) gives the server a private registry, so concurrently running
+  /// servers (benches, tests) never mix counts; pass a shared registry to
+  /// expose several components through one scrape.
+  obs::Registry* metrics_registry = nullptr;
+
+  /// Trace recorder for sampled queries. Null with trace_sample_every > 0
+  /// gives the server a private recorder (see tracer()).
+  obs::TraceRecorder* tracer = nullptr;
+
+  /// Sample 1 in N queries for tracing; 0 disables tracing.
+  uint64_t trace_sample_every = 0;
+
+  /// When > 0, a background thread emits a JSON metrics snapshot (see
+  /// MetricsJson) every period. The snapshot goes to stats_dump_sink, or to
+  /// stderr when no sink is set.
+  uint64_t stats_dump_period_ms = 0;
+  std::function<void(const std::string& json)> stats_dump_sink;
 };
 
 class SketchServer {
@@ -106,6 +135,21 @@ class SketchServer {
     return metrics_.Snapshot(registry_->stats());
   }
 
+  /// Registry snapshot with the sketch-cache gauges refreshed — the input
+  /// to obs::ToPrometheusText / obs::ToJson.
+  obs::RegistrySnapshot ObsSnapshot() const;
+
+  /// JSON rendering of ObsSnapshot() (what the periodic stats dump emits).
+  std::string MetricsJson() const;
+
+  /// The registry holding this server's instruments (the injected one, or
+  /// the private default).
+  obs::Registry* obs_registry() const { return obs_registry_; }
+
+  /// The trace recorder (the injected one, or the private default); null
+  /// only if tracing was disabled at construction and no recorder given.
+  obs::TraceRecorder* tracer() const { return tracer_; }
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -114,14 +158,23 @@ class SketchServer {
     std::string sql;
     std::promise<Result<double>> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    uint64_t trace_id = 0;   // 0 = unsampled
+    uint64_t root_span = 0;  // pre-allocated "estimate" span id
   };
 
   void WorkerLoop();
+  void StatsDumpLoop();
 
   /// Pushes `req` onto the queue, or rejects it (stopped / queue full) by
   /// fulfilling its promise with an error. Returns whether it was accepted.
   /// Requires mu_ held; the caller is responsible for waking a worker.
   bool EnqueueLocked(Request* req);
+
+  /// Samples the request for tracing (fills trace_id / root_span).
+  void MaybeTrace(Request* req);
+
+  /// Closes a sampled request's root span (Submit -> promise resolution).
+  void FinishTrace(const Request& req);
 
   /// Moves queued requests for `sketch` into `batch` (up to max_batch).
   /// Requires mu_ held.
@@ -143,12 +196,20 @@ class SketchServer {
   SketchRegistry* registry_;  // not owned
   ServerOptions options_;
 
+  // Observability plumbing; declared before metrics_ (which registers its
+  // instruments in *obs_registry_ during construction).
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* obs_registry_ = nullptr;
+  std::unique_ptr<obs::TraceRecorder> owned_tracer_;
+  obs::TraceRecorder* tracer_ = nullptr;
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
 
   std::vector<std::thread> workers_;
+  std::thread stats_dump_thread_;
   ServerMetrics metrics_;
 
   // Bound-statement cache: (sketch + '\n' + SQL) -> placeholder-free spec.

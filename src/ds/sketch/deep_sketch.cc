@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "ds/obs/trace.h"
 #include "ds/storage/table_io.h"
 #include "ds/workload/generator.h"
 #include "ds/workload/labeler.h"
@@ -104,8 +105,9 @@ Result<DeepSketch> DeepSketch::TrainOnWorkload(
   trainer_opts.loss = config.loss;
   trainer_opts.validation_fraction = config.validation_fraction;
   trainer_opts.seed = config.seed + 3;
-  if (monitor != nullptr && monitor->on_epoch) {
-    trainer_opts.on_epoch = monitor->on_epoch;
+  if (monitor != nullptr) {
+    if (monitor->on_epoch) trainer_opts.on_epoch = monitor->on_epoch;
+    trainer_opts.obs_registry = monitor->obs_registry;
   }
   mscn::Trainer trainer(trainer_opts);
   DS_ASSIGN_OR_RETURN(sketch.report_,
@@ -149,7 +151,15 @@ Status DeepSketch::BuildSampleCatalog() {
 }
 
 Result<sql::BoundQuery> DeepSketch::BindSql(const std::string& sql) const {
-  DS_ASSIGN_OR_RETURN(sql::ParsedQuery parsed, sql::Parse(sql));
+  // The obs::Span pairs are no-ops (a thread-local read and a branch)
+  // unless the caller — e.g. a serving worker on a sampled query —
+  // installed a trace context.
+  sql::ParsedQuery parsed;
+  {
+    obs::Span span("parse");
+    DS_ASSIGN_OR_RETURN(parsed, sql::Parse(sql));
+  }
+  obs::Span span("bind");
   return sql::Bind(*sample_catalog_, parsed);
 }
 
@@ -193,29 +203,33 @@ std::vector<Result<double>> DeepSketch::EstimateMany(
   std::vector<Result<double>> out(specs.size(), Result<double>(1.0));
   mscn::Dataset batch_set;
   std::vector<size_t> positions;  // index into `out` per featurized query
-  for (size_t i = 0; i < specs.size(); ++i) {
-    auto features =
-        use_sample_bitmaps_
-            ? space_.FeaturizeWithSamples(specs[i], samples_)
-            : [&]() -> Result<mscn::QueryFeatures> {
-                DS_ASSIGN_OR_RETURN(
-                    workload::QuerySpec resolved,
-                    mscn::ResolveStringLiterals(specs[i], samples_));
-                return space_.Featurize(resolved, {});
-              }();
-    if (!features.ok()) {
-      if (features.status().code() != StatusCode::kNotFound) {
-        // Bad spec: fail this slot only, the batch proceeds without it.
-        out[i] = features.status();
+  {
+    obs::Span span("featurize", specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      auto features =
+          use_sample_bitmaps_
+              ? space_.FeaturizeWithSamples(specs[i], samples_)
+              : [&]() -> Result<mscn::QueryFeatures> {
+                  DS_ASSIGN_OR_RETURN(
+                      workload::QuerySpec resolved,
+                      mscn::ResolveStringLiterals(specs[i], samples_));
+                  return space_.Featurize(resolved, {});
+                }();
+      if (!features.ok()) {
+        if (features.status().code() != StatusCode::kNotFound) {
+          // Bad spec: fail this slot only, the batch proceeds without it.
+          out[i] = features.status();
+        }
+        // kNotFound (unknown literal): keep the minimum estimate of 1.
+        continue;
       }
-      // kNotFound (unknown literal): keep the minimum estimate of 1.
-      continue;
+      batch_set.features.push_back(std::move(features).value());
+      batch_set.labels.push_back(0);
+      positions.push_back(i);
     }
-    batch_set.features.push_back(std::move(features).value());
-    batch_set.labels.push_back(0);
-    positions.push_back(i);
   }
   if (!positions.empty()) {
+    obs::Span span("forward", positions.size());
     std::vector<size_t> indices(positions.size());
     for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
     mscn::Batch batch = mscn::MakeBatch(batch_set, indices, space_);

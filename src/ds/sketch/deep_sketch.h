@@ -69,6 +69,9 @@ struct SketchConfig {
 struct TrainingMonitor {
   std::function<void(size_t done, size_t total)> on_labeling_progress;
   std::function<void(const mscn::EpochStats&)> on_epoch;
+  /// Forwarded to mscn::TrainerOptions::obs_registry — per-epoch metrics
+  /// (ds_train_*) land here when set.
+  obs::Registry* obs_registry = nullptr;
 };
 
 class DeepSketch final : public est::CardinalityEstimator {

@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ds/obs/exposition.h"
+#include "ds/obs/trace.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
 #include "ds/sketch/deep_sketch.h"
@@ -330,6 +334,181 @@ TEST_F(ServeTest, SubmitAfterStopRejects) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
   EXPECT_EQ(server.Metrics().rejected, 1u);
+}
+
+// ---- Observability ----------------------------------------------------------
+
+TEST_F(ServeTest, TracingOffByDefault) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  EXPECT_EQ(server.tracer(), nullptr);
+  EXPECT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+}
+
+TEST_F(ServeTest, TracingProducesPlausibleSpanTree) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 1;
+  options.trace_sample_every = 1;
+  // Caches off so the sampled query runs the full parse/bind/infer path.
+  options.stmt_cache_capacity = 0;
+  options.result_cache_capacity = 0;
+  SketchServer server(&registry, options);
+  ASSERT_NE(server.tracer(), nullptr);
+
+  ASSERT_TRUE(server.Submit("a", kQueries[1]).get().ok());
+  server.Stop();
+
+  std::vector<uint64_t> ids = server.tracer()->TraceIds();
+  ASSERT_EQ(ids.size(), 1u);
+  std::vector<obs::SpanRecord> spans = server.tracer()->Trace(ids[0]);
+
+  auto find = [&](const char* name) -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& s : spans) {
+      if (std::string(s.name) == name) return &s;
+    }
+    return nullptr;
+  };
+  const obs::SpanRecord* estimate = find("estimate");
+  const obs::SpanRecord* queue_wait = find("queue_wait");
+  const obs::SpanRecord* parse = find("parse");
+  const obs::SpanRecord* bind = find("bind");
+  const obs::SpanRecord* infer = find("infer");
+  const obs::SpanRecord* featurize = find("featurize");
+  const obs::SpanRecord* forward = find("forward");
+  ASSERT_NE(estimate, nullptr);
+  ASSERT_NE(queue_wait, nullptr);
+  ASSERT_NE(parse, nullptr);
+  ASSERT_NE(bind, nullptr);
+  ASSERT_NE(infer, nullptr);
+  ASSERT_NE(featurize, nullptr);
+  ASSERT_NE(forward, nullptr);
+
+  // Nesting: estimate is the root; queue_wait / parse / bind / infer hang
+  // off it; featurize and forward nest under infer.
+  EXPECT_EQ(estimate->parent_id, 0u);
+  EXPECT_EQ(queue_wait->parent_id, estimate->span_id);
+  EXPECT_EQ(parse->parent_id, estimate->span_id);
+  EXPECT_EQ(bind->parent_id, estimate->span_id);
+  EXPECT_EQ(infer->parent_id, estimate->span_id);
+  EXPECT_EQ(featurize->parent_id, infer->span_id);
+  EXPECT_EQ(forward->parent_id, infer->span_id);
+  EXPECT_EQ(infer->value, 1u);  // batch of one
+
+  // Time plausibility: children start at or after the root and fit inside
+  // its duration (1ms slack for clock rounding).
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_GE(s.start_us, estimate->start_us - 1000) << s.name;
+    EXPECT_LE(s.start_us + s.duration_us,
+              estimate->start_us + estimate->duration_us + 1000)
+        << s.name;
+  }
+
+  const std::string tree = obs::FormatTrace(spans);
+  EXPECT_NE(tree.find("estimate"), std::string::npos);
+  EXPECT_NE(tree.find("forward"), std::string::npos);
+}
+
+TEST_F(ServeTest, TracingRecordsCacheHits) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 1;
+  options.trace_sample_every = 1;
+  SketchServer server(&registry, options);
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());  // result-cache hit
+  server.Stop();
+  bool saw_hit = false;
+  for (const obs::SpanRecord& s : server.tracer()->Snapshot()) {
+    if (std::string(s.name) == "result_cache_hit") saw_hit = true;
+  }
+  EXPECT_TRUE(saw_hit);
+}
+
+TEST_F(ServeTest, TracingSamplesOneInN) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.trace_sample_every = 4;
+  SketchServer server(&registry, options);
+  std::vector<std::future<Result<double>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit("a", kQueries[0]));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  server.Stop();
+  EXPECT_EQ(server.tracer()->sampled(), 4u);
+}
+
+TEST_F(ServeTest, ObsSnapshotAndExposition) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+  server.Stop();
+
+  obs::RegistrySnapshot snap = server.ObsSnapshot();
+  const obs::MetricSnapshot* submitted =
+      snap.Find("ds_serve_submitted_total");
+  ASSERT_NE(submitted, nullptr);
+  EXPECT_EQ(submitted->value, 1.0);
+  // The sketch-cache gauges ride along in the same snapshot.
+  ASSERT_NE(snap.Find("ds_sketch_cache_resident"), nullptr);
+
+  const std::string prom = obs::ToPrometheusText(snap);
+  EXPECT_NE(prom.find("ds_serve_submitted_total 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE ds_serve_queue_wait_us histogram"),
+            std::string::npos);
+  const std::string json = server.MetricsJson();
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  EXPECT_NE(json.find("ds_serve_completed_total"), std::string::npos);
+}
+
+TEST_F(ServeTest, PrivateRegistriesKeepServersApart) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer one(&registry);
+  SketchServer two(&registry);
+  ASSERT_TRUE(one.Submit("a", kQueries[0]).get().ok());
+  EXPECT_EQ(one.Metrics().submitted, 1u);
+  EXPECT_EQ(two.Metrics().submitted, 0u);
+  EXPECT_NE(one.obs_registry(), two.obs_registry());
+
+  // An injected shared registry is also honored.
+  obs::Registry shared;
+  ServerOptions options;
+  options.metrics_registry = &shared;
+  SketchServer three(&registry, options);
+  EXPECT_EQ(three.obs_registry(), &shared);
+  ASSERT_TRUE(three.Submit("a", kQueries[0]).get().ok());
+  EXPECT_EQ(shared.GetCounter("ds_serve_submitted_total")->value(), 1u);
+}
+
+TEST_F(ServeTest, PeriodicStatsDumpEmitsJson) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.stats_dump_period_ms = 5;
+  std::mutex mu;
+  std::vector<std::string> dumps;
+  options.stats_dump_sink = [&](const std::string& json) {
+    std::lock_guard<std::mutex> lock(mu);
+    dumps.push_back(json);
+  };
+  SketchServer server(&registry, options);
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+  // Wait (bounded) for at least two periodic dumps.
+  for (int i = 0; i < 400; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (dumps.size() >= 2) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(dumps.size(), 2u);
+  for (const std::string& d : dumps) {
+    EXPECT_EQ(d.rfind("{\"metrics\":[", 0), 0u);
+  }
+  EXPECT_NE(dumps.back().find("ds_serve_completed_total"),
+            std::string::npos);
 }
 
 TEST_F(ServeTest, StopDrainsPendingRequests) {

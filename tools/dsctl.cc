@@ -5,7 +5,10 @@
 //
 //   dsctl train <imdb|tpch> <sketch-file> [tables=t1,t2,...] [queries=N]
 //               [epochs=N] [samples=N] [hidden=N] [seed=N] [log=curve.csv]
+//               [verbose=0|1]
 //       Generate the dataset in memory, train a Deep Sketch, persist it.
+//       Prints one machine-parseable key=value record per epoch; verbose=1
+//       adds the human-readable progress line.
 //
 //   dsctl info <sketch-file>
 //       Print a sketch's tables, feature-space dimensions, architecture,
@@ -21,7 +24,18 @@
 //   dsctl serve-bench <sketch-file> <SQL> [threads=N] [depth=N] [workers=N]
 //               [seconds=S] [max_batch=N] [wait_us=N]
 //       Closed-loop throughput of the serving layer on this sketch:
-//       unbatched baseline vs. micro-batched, plus the server's metrics.
+//       unbatched baseline vs. micro-batched, plus the server's metrics
+//       and the client-side latency percentile table.
+//
+//   dsctl metrics <sketch-file> <SQL> [requests=N] [format=prom|json]
+//       Serve N copies of the query through a SketchServer and print the
+//       resulting metric registry in Prometheus text (default) or JSON
+//       exposition format.
+//
+//   dsctl trace <sketch-file> <SQL> [requests=N]
+//       Serve N copies of the query with tracing at sample_every=1 and
+//       print each recorded span tree (parse -> bind -> featurize -> queue
+//       wait -> batched inference -> cache hit/miss).
 //
 // Generation is deterministic per seed, so a sketch trained via `dsctl
 // train imdb ... seed=42` answers queries about exactly the dataset that
@@ -37,6 +51,8 @@
 #include "ds/datagen/imdb.h"
 #include "ds/datagen/tpch.h"
 #include "ds/mscn/logger.h"
+#include "ds/obs/exposition.h"
+#include "ds/obs/trace.h"
 #include "ds/serve/loadgen.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
@@ -156,11 +172,16 @@ int CmdTrain(int argc, char** argv) {
     if (!opened.ok()) return Fail(opened.status());
     logger = std::make_unique<mscn::TrainingLogger>(std::move(opened).value());
   }
+  const bool verbose = flags.GetInt("verbose", 0) != 0;
   monitor.on_epoch = [&](const mscn::EpochStats& e) {
     if (logger != nullptr) logger->LogEpoch(e);
-    std::printf("epoch %3zu  loss %8.3f  val mean-q %7.2f  median-q %6.2f\n",
-                e.epoch, e.train_loss, e.validation_mean_q,
-                e.validation_median_q);
+    std::printf("%s\n", mscn::FormatEpochRecord(e).c_str());
+    if (verbose) {
+      std::printf(
+          "  epoch %3zu  loss %8.3f  val mean-q %7.2f  median-q %6.2f\n",
+          e.epoch, e.train_loss, e.validation_mean_q,
+          e.validation_median_q);
+    }
   };
 
   auto sketch = sketch::DeepSketch::Train(**catalog, config, &monitor);
@@ -287,6 +308,83 @@ int CmdServeBench(int argc, char** argv) {
       report.Qps() / baseline_qps,
       static_cast<unsigned long long>(report.errors));
   std::printf("%s", server.Metrics().ToString().c_str());
+  std::printf("%s", report.LatencyTable().c_str());
+  return 0;
+}
+
+/// Shared by CmdMetrics / CmdTrace: loads the sketch, serves `requests`
+/// copies of `sql` through a fresh server (configured by the caller), and
+/// leaves the server stopped so its instruments are final.
+Result<std::unique_ptr<serve::SketchServer>> ServeQueries(
+    serve::SketchRegistry* registry, const char* sketch_file, const char* sql,
+    size_t requests, serve::ServerOptions options) {
+  auto sketch = sketch::DeepSketch::Load(sketch_file);
+  if (!sketch.ok()) return sketch.status();
+  if (auto probe = sketch->EstimateSql(sql); !probe.ok()) {
+    return probe.status();
+  }
+  registry->Put("sketch", std::move(sketch).value());
+  auto server = std::make_unique<serve::SketchServer>(registry, options);
+  std::vector<std::string> sqls(requests, sql);
+  for (auto& f : server->SubmitMany("sketch", std::move(sqls))) {
+    (void)f.get();
+  }
+  server->Stop();
+  return server;
+}
+
+int CmdMetrics(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl metrics <sketch-file> <SQL> [requests=N] "
+                 "[format=prom|json]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 4);
+  const std::string format = flags.GetString("format", "prom");
+  if (format != "prom" && format != "json") {
+    std::fprintf(stderr, "dsctl: unknown format '%s' (prom|json)\n",
+                 format.c_str());
+    return 2;
+  }
+  serve::SketchRegistry registry(serve::RegistryOptions{});
+  auto server = ServeQueries(
+      &registry, argv[2], argv[3],
+      static_cast<size_t>(flags.GetInt("requests", 64)),
+      serve::ServerOptions{});
+  if (!server.ok()) return Fail(server.status());
+  if (format == "json") {
+    std::printf("%s\n", (*server)->MetricsJson().c_str());
+  } else {
+    std::printf("%s", obs::ToPrometheusText((*server)->ObsSnapshot()).c_str());
+  }
+  return 0;
+}
+
+int CmdTrace(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl trace <sketch-file> <SQL> [requests=N]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 4);
+  serve::ServerOptions options;
+  options.trace_sample_every = 1;
+  // Traces should show real parse/bind/infer work, not cache hits.
+  options.stmt_cache_capacity = 0;
+  options.result_cache_capacity = 0;
+  serve::SketchRegistry registry(serve::RegistryOptions{});
+  auto server = ServeQueries(
+      &registry, argv[2], argv[3],
+      static_cast<size_t>(flags.GetInt("requests", 4)), options);
+  if (!server.ok()) return Fail(server.status());
+  const obs::TraceRecorder* tracer = (*server)->tracer();
+  for (uint64_t id : tracer->TraceIds()) {
+    std::printf("%s\n", obs::FormatTrace(tracer->Trace(id)).c_str());
+  }
+  std::printf("sampled %llu trace(s), dropped %llu span(s)\n",
+              static_cast<unsigned long long>(tracer->sampled()),
+              static_cast<unsigned long long>(tracer->dropped()));
   return 0;
 }
 
@@ -296,7 +394,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dsctl "
-                 "<gen|train|info|estimate|template|serve-bench> ...\n");
+                 "<gen|train|info|estimate|template|serve-bench|metrics|"
+                 "trace> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -306,6 +405,8 @@ int main(int argc, char** argv) {
   if (cmd == "estimate") return CmdEstimate(argc, argv);
   if (cmd == "template") return CmdTemplate(argc, argv);
   if (cmd == "serve-bench") return CmdServeBench(argc, argv);
+  if (cmd == "metrics") return CmdMetrics(argc, argv);
+  if (cmd == "trace") return CmdTrace(argc, argv);
   std::fprintf(stderr, "dsctl: unknown command '%s'\n", cmd.c_str());
   return 2;
 }
