@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
+#include "ds/util/alloc.h"
 #include "ds/util/logging.h"
+#include "ds/util/timer.h"
 
 namespace ds::bench {
 
@@ -69,6 +72,57 @@ void PrintQErrorTable(
                                        "99th", "max", "mean"},
                                       cells)
                         .c_str());
+}
+
+OpResult MeasureOp(const std::string& op, size_t warmup, size_t iters,
+                   size_t queries_per_call, const std::function<void()>& fn) {
+  for (size_t i = 0; i < warmup; ++i) fn();
+  std::vector<double> latencies_us;
+  latencies_us.reserve(iters);
+  const uint64_t allocs_before = util::AllocCount();
+  util::WallTimer total;
+  for (size_t i = 0; i < iters; ++i) {
+    util::WallTimer t;
+    fn();
+    latencies_us.push_back(t.ElapsedSeconds() * 1e6);
+  }
+  const double elapsed = total.ElapsedSeconds();
+  const uint64_t allocs = util::AllocCount() - allocs_before;
+  const double queries =
+      static_cast<double>(iters) * static_cast<double>(queries_per_call);
+  OpResult r;
+  r.op = op;
+  r.p50_us = util::Percentile(latencies_us, 50);
+  r.p95_us = util::Percentile(std::move(latencies_us), 95);
+  r.qps = elapsed > 0 ? queries / elapsed : 0;
+  r.allocations_per_query = util::AllocCountingAvailable()
+                                ? static_cast<double>(allocs) / queries
+                                : -1;
+  return r;
+}
+
+void WriteBenchResultsJson(const std::string& path, const std::string& name,
+                           const std::vector<OpResult>& ops) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"ops\": [\n", name.c_str());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpResult& r = ops[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"p50_us\": %.3f, \"p95_us\": %.3f, "
+                 "\"qps\": %.1f, \"allocations_per_query\": %.3f}%s\n",
+                 r.op.c_str(), r.p50_us, r.p95_us, r.qps,
+                 r.allocations_per_query, i + 1 < ops.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote bench results -> %s\n", path.c_str());
 }
 
 }  // namespace ds::bench

@@ -10,6 +10,7 @@
 #define DS_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,6 +52,28 @@ std::vector<double> QErrorsOn(
 void PrintQErrorTable(
     const std::string& title,
     const std::vector<std::pair<std::string, std::vector<double>>>& rows);
+
+/// One machine-readable measurement row written to bench_results/*.json.
+struct OpResult {
+  std::string op;
+  double p50_us = 0;   // per-call latency percentiles
+  double p95_us = 0;
+  double qps = 0;      // queries (not calls) per second
+  double allocations_per_query = 0;  // -1 when counting is unavailable
+};
+
+/// Times `fn` over `iters` calls after `warmup` untimed calls, recording
+/// per-call latency percentiles, query throughput (`queries_per_call`
+/// queries per invocation) and heap allocations per query via the global
+/// allocation counter (-1 under sanitizers, where counting is compiled out).
+OpResult MeasureOp(const std::string& op, size_t warmup, size_t iters,
+                   size_t queries_per_call, const std::function<void()>& fn);
+
+/// Writes `ops` as a JSON document ({"benchmark": name, "ops": [...]}) to
+/// `path`, creating parent directories. Errors print to stderr and are
+/// otherwise ignored (benchmarks still report on stdout).
+void WriteBenchResultsJson(const std::string& path, const std::string& name,
+                           const std::vector<OpResult>& ops);
 
 }  // namespace ds::bench
 

@@ -5,12 +5,20 @@
 // Uses google-benchmark for the microbenchmarks. A small sketch is trained
 // once at startup (train time is excluded from the measurements).
 //
-// Usage: bench_estimation_latency [--benchmark_* flags]
+// After the google-benchmark run, a second measurement pass writes the key
+// ops machine-readably (op, p50/p95, qps, allocations/query) to
+// bench_results/estimation_latency.json (json=path overrides, json=
+// disables).
+//
+// Usage: bench_estimation_latency [--benchmark_* flags] [json=path]
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "ds/datagen/imdb.h"
 #include "ds/est/hyper.h"
 #include "ds/est/postgres.h"
@@ -128,6 +136,63 @@ void BM_ExecuteQueryForTruth(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteQueryForTruth)->Unit(benchmark::kMillisecond);
 
+// The four query templates the batched op cycles through (distinct
+// featurizations, so the batch is not degenerate).
+const std::vector<std::string>& BatchSqls() {
+  static const std::vector<std::string>* sqls = new std::vector<std::string>{
+      kSql,
+      "SELECT COUNT(*) FROM title t WHERE t.production_year > 1995;",
+      "SELECT COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id AND t.production_year < 1990;",
+      "SELECT COUNT(*) FROM title t WHERE t.kind_id = 1;",
+  };
+  return *sqls;
+}
+
+void WriteJsonResults(const std::string& path) {
+  const Env& env = Env::Get();
+  std::vector<bench::OpResult> ops;
+
+  ops.push_back(bench::MeasureOp(
+      "estimate_sql", /*warmup=*/100, /*iters=*/2000, /*queries_per_call=*/1,
+      [&] { DS_CHECK_OK(env.sketch->EstimateSql(kSql).status()); }));
+
+  auto spec = sql::ParseAndBind(env.sketch->schema(), kSql).value();
+  ops.push_back(bench::MeasureOp(
+      "estimate_bound_spec", /*warmup=*/100, /*iters=*/2000, 1, [&] {
+        DS_CHECK_OK(env.sketch->EstimateCardinality(spec).status());
+      }));
+
+  // The serving hot path: EstimateManyInto over a reused batch of bound
+  // specs. allocations_per_query here is the zero-allocation acceptance
+  // gauge for the kernel layer.
+  std::vector<workload::QuerySpec> specs;
+  for (size_t i = 0; i < 64; ++i) {
+    specs.push_back(sql::ParseAndBind(
+                        env.sketch->schema(),
+                        BatchSqls()[i % BatchSqls().size()])
+                        .value());
+  }
+  std::vector<Result<double>> results;
+  ops.push_back(bench::MeasureOp(
+      "estimate_many_into_batch64", /*warmup=*/10, /*iters=*/200,
+      /*queries_per_call=*/specs.size(), [&] {
+        env.sketch->EstimateManyInto(specs, &results);
+        for (const auto& r : results) DS_CHECK_OK(r.status());
+      }));
+
+  bench::WriteBenchResultsJson(path, "estimation_latency", ops);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::string json_path =
+      bench::Args(argc, argv)
+          .GetString("json", "bench_results/estimation_latency.json");
+  if (!json_path.empty()) WriteJsonResults(json_path);
+  return 0;
+}

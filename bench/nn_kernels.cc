@@ -1,0 +1,151 @@
+// Microbenchmark and CI perf-smoke gate for the kernel layer (ds/nn/kernels).
+//
+// Compares, on serving-typical shapes:
+//
+//   reference: the allocating tensor.h ops the layers used before the
+//              kernel layer existed (MatMul + AddBiasRows + ReLU, fresh
+//              output tensors every call)
+//   fused:     LinearBiasActInto into a reused output tensor
+//   sparse:    SparseLinearBiasActInto on a CSR input of matching density
+//
+// With check=1 the binary exits non-zero if the fused kernel path is slower
+// than the reference on any shape — the CI guard that keeps the vectorized
+// kernels from regressing below the scalar/allocating baseline.
+//
+// Results are also written machine-readably (op, p50/p95, qps = rows/sec,
+// allocations per row) to bench_results/nn_kernels.json (json=path
+// overrides, json= disables).
+//
+// Usage: bench_nn_kernels [check=1] [iters=N] [json=path]
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ds/nn/kernels.h"
+#include "ds/nn/layers.h"
+#include "ds/nn/tensor.h"
+#include "ds/util/logging.h"
+#include "ds/util/random.h"
+
+using namespace ds;
+using nn::Tensor;
+
+namespace {
+
+Tensor RandomTensor(const std::vector<size_t>& shape, util::Pcg32* rng,
+                    double zero_fraction = 0.0) {
+  Tensor t(shape);
+  for (float& v : t.vec()) {
+    v = rng->UniformDouble(0, 1) < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng->Normal());
+  }
+  return t;
+}
+
+nn::SparseRows ToSparse(const Tensor& dense) {
+  nn::SparseRows s;
+  s.Clear(dense.dim(1));
+  for (size_t i = 0; i < dense.dim(0); ++i) {
+    for (size_t j = 0; j < dense.dim(1); ++j) {
+      if (dense.at(i, j) != 0.0f) {
+        s.Push(static_cast<uint32_t>(j), dense.at(i, j));
+      }
+    }
+    s.EndRow();
+  }
+  return s;
+}
+
+struct Shape {
+  const char* name;
+  size_t rows, in, out;
+  double sparsity;  // zero fraction of the input
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const bool check = args.GetInt("check", 0) != 0;
+  const size_t iters = static_cast<size_t>(args.GetInt("iters", 2000));
+
+  // rows = flattened batch (batch x set elements); in/out match the MSCN
+  // set-MLP (sparse featurized input -> hidden) and hidden->hidden layers.
+  const Shape shapes[] = {
+      {"setmlp_in_64x1030->64", 64, 1030, 64, 0.99},
+      {"hidden_192x64->64", 192, 64, 64, 0.0},
+      {"outmlp_64x192->64", 64, 192, 64, 0.0},
+  };
+
+  std::printf("%-24s %12s %12s %12s %9s\n", "shape", "reference", "fused",
+              "sparse", "speedup");
+  bool ok = true;
+  std::vector<bench::OpResult> ops;
+  util::Pcg32 rng(3);
+  for (const Shape& sh : shapes) {
+    Tensor x = RandomTensor({sh.rows, sh.in}, &rng, sh.sparsity);
+    Tensor w = RandomTensor({sh.in, sh.out}, &rng);
+    Tensor b = RandomTensor({sh.out}, &rng);
+    nn::SparseRows xs = ToSparse(x);
+    Tensor y;
+
+    bench::OpResult ref = bench::MeasureOp(
+        std::string("reference:") + sh.name, /*warmup=*/50, iters, sh.rows,
+        [&] {
+          Tensor out = nn::MatMul(x, w);
+          nn::AddBiasRows(&out, b);
+          nn::ReLU::ApplyInPlace(&out);
+          benchmark::DoNotOptimize(out.data());
+        });
+    bench::OpResult fused = bench::MeasureOp(
+        std::string("fused:") + sh.name, /*warmup=*/50, iters, sh.rows, [&] {
+          nn::LinearBiasActInto(x, w, b, /*fuse_relu=*/true, &y);
+          benchmark::DoNotOptimize(y.data());
+        });
+    bench::OpResult sparse = bench::MeasureOp(
+        std::string("sparse:") + sh.name, /*warmup=*/50, iters, sh.rows, [&] {
+          nn::SparseLinearBiasActInto(xs, w, b, /*fuse_relu=*/true, &y);
+          benchmark::DoNotOptimize(y.data());
+        });
+    ops.push_back(ref);
+    ops.push_back(fused);
+    ops.push_back(sparse);
+
+    // Gate on the kernel the layers actually dispatch for this shape: the
+    // sparse kernel for featurized (mostly-zero) inputs, the fused dense
+    // kernel everywhere else.
+    const double kernel_us =
+        sh.sparsity > 0.5 ? sparse.p50_us : fused.p50_us;
+    const double speedup = kernel_us > 0 ? ref.p50_us / kernel_us : 0;
+    std::printf("%-24s %9.2f us %9.2f us %9.2f us %8.2fx\n", sh.name,
+                ref.p50_us, fused.p50_us, sparse.p50_us, speedup);
+    if (kernel_us > ref.p50_us) {
+      std::printf("  ^ FAIL: kernel path slower than the allocating "
+                  "reference on %s\n",
+                  sh.name);
+      ok = false;
+    }
+  }
+
+  std::printf("vectorized kernel path: %s\n",
+              nn::KernelsVectorized() ? "AVX2" : "scalar");
+
+  const std::string json_path =
+      args.GetString("json", "bench_results/nn_kernels.json");
+  if (!json_path.empty()) {
+    bench::WriteBenchResultsJson(json_path, "nn_kernels", ops);
+  }
+
+  if (check && !ok) {
+    std::printf("check=1: FAILED — vectorized kernels regressed below the "
+                "reference path\n");
+    return 1;
+  }
+  if (check) std::printf("check=1: OK\n");
+  return 0;
+}

@@ -11,3 +11,6 @@ for b in table1_joblight estimation_latency template_queries zero_tuple \
   ./build/bench/bench_$b > $R/$b.txt
   echo "done: $b"
 done
+# Kernel microbenchmark + perf gate; also emits $R/nn_kernels.json.
+./build/bench/bench_nn_kernels check=1 > $R/nn_kernels.txt
+echo "done: nn_kernels"

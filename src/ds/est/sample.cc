@@ -54,10 +54,22 @@ Result<const TableSample*> SampleSet::Get(const std::string& table) const {
 Result<std::vector<uint8_t>> SampleSet::Bitmap(
     const std::string& table,
     const std::vector<workload::ColumnPredicate>& predicates) const {
+  std::vector<exec::BoundPredicate> bound;
+  std::vector<uint8_t> bitmap;
+  DS_RETURN_NOT_OK(BitmapInto(table, predicates, &bound, &bitmap));
+  return bitmap;
+}
+
+Status SampleSet::BitmapInto(
+    const std::string& table,
+    const std::vector<workload::ColumnPredicate>& predicates,
+    std::vector<exec::BoundPredicate>* bound_scratch,
+    std::vector<uint8_t>* bitmap) const {
   DS_ASSIGN_OR_RETURN(const TableSample* ts, Get(table));
-  DS_ASSIGN_OR_RETURN(auto bound,
-                      exec::BindPredicates(*ts->rows, table, predicates));
-  return exec::QualifyingBitmap(*ts->rows, bound);
+  DS_RETURN_NOT_OK(
+      exec::BindPredicatesInto(*ts->rows, table, predicates, bound_scratch));
+  exec::QualifyingBitmapInto(*ts->rows, *bound_scratch, bitmap);
+  return Status::OK();
 }
 
 Result<double> SampleSet::SelectivityEstimate(

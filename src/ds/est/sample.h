@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ds/exec/predicate.h"
 #include "ds/storage/catalog.h"
 #include "ds/workload/query_spec.h"
 
@@ -60,6 +61,14 @@ class SampleSet {
   Result<std::vector<uint8_t>> Bitmap(
       const std::string& table,
       const std::vector<workload::ColumnPredicate>& predicates) const;
+
+  /// Bitmap into caller-reused scratch: `bound_scratch` holds the bound
+  /// predicates, `bitmap` the result. Both keep their capacity across calls,
+  /// so a warm pair evaluates with zero allocations (the serving hot path).
+  Status BitmapInto(const std::string& table,
+                    const std::vector<workload::ColumnPredicate>& predicates,
+                    std::vector<exec::BoundPredicate>* bound_scratch,
+                    std::vector<uint8_t>* bitmap) const;
 
   /// Fraction of qualifying sampled tuples in [0, 1]; the basic
   /// sampling-based selectivity estimate. Empty samples yield 0.

@@ -1,11 +1,22 @@
 #include "ds/exec/predicate.h"
 
+#include <algorithm>
+
 namespace ds::exec {
 
 Result<std::vector<BoundPredicate>> BindPredicates(
     const storage::Table& table, const std::string& table_name,
     const std::vector<workload::ColumnPredicate>& predicates) {
   std::vector<BoundPredicate> bound;
+  DS_RETURN_NOT_OK(BindPredicatesInto(table, table_name, predicates, &bound));
+  return bound;
+}
+
+Status BindPredicatesInto(
+    const storage::Table& table, const std::string& table_name,
+    const std::vector<workload::ColumnPredicate>& predicates,
+    std::vector<BoundPredicate>* bound) {
+  bound->clear();
   for (const auto& p : predicates) {
     if (p.table != table_name) continue;
     DS_ASSIGN_OR_RETURN(const storage::Column* col, table.GetColumn(p.column));
@@ -24,9 +35,9 @@ Result<std::vector<BoundPredicate>> BindPredicates(
     } else {
       bp.value = *value;
     }
-    bound.push_back(bp);
+    bound->push_back(bp);
   }
-  return bound;
+  return Status::OK();
 }
 
 std::vector<uint32_t> FilterRows(const storage::Table& table,
@@ -41,12 +52,58 @@ std::vector<uint32_t> FilterRows(const storage::Table& table,
 
 std::vector<uint8_t> QualifyingBitmap(
     const storage::Table& table, const std::vector<BoundPredicate>& preds) {
-  const size_t n = table.num_rows();
-  std::vector<uint8_t> bitmap(n, 0);
-  for (size_t r = 0; r < n; ++r) {
-    bitmap[r] = RowMatchesAll(preds, r) ? 1 : 0;
-  }
+  std::vector<uint8_t> bitmap;
+  QualifyingBitmapInto(table, preds, &bitmap);
   return bitmap;
+}
+
+namespace {
+
+// Branch-free column-at-a-time pass for one predicate: out[r] &= match(r).
+// Same comparison semantics as RowMatches (numeric widened to double, NULL
+// never qualifies), but vectorizable — per-sample bitmaps are recomputed on
+// every featurization, so this is on the serving hot path.
+void AndPredicateColumn(const BoundPredicate& p, uint8_t* out, size_t n) {
+  if (p.never_matches) {
+    std::fill(out, out + n, uint8_t{0});
+    return;
+  }
+  const storage::Column& col = *p.column;
+  const double t = p.value;
+  auto apply = [&](auto get) {
+    switch (p.op) {
+      case workload::CompareOp::kEq:
+        for (size_t r = 0; r < n; ++r) out[r] &= get(r) == t;
+        break;
+      case workload::CompareOp::kLt:
+        for (size_t r = 0; r < n; ++r) out[r] &= get(r) < t;
+        break;
+      case workload::CompareOp::kGt:
+        for (size_t r = 0; r < n; ++r) out[r] &= get(r) > t;
+        break;
+    }
+  };
+  if (col.type() == storage::ColumnType::kFloat64) {
+    const double* v = col.doubles().data();
+    apply([v](size_t r) { return v[r]; });
+  } else {
+    const int64_t* v = col.ints().data();
+    apply([v](size_t r) { return static_cast<double>(v[r]); });
+  }
+  if (col.has_nulls()) {
+    for (size_t r = 0; r < n; ++r) out[r] &= col.IsNull(r) ? 0 : 1;
+  }
+}
+
+}  // namespace
+
+void QualifyingBitmapInto(const storage::Table& table,
+                          const std::vector<BoundPredicate>& preds,
+                          std::vector<uint8_t>* bitmap) {
+  const size_t n = table.num_rows();
+  bitmap->resize(n);
+  std::fill(bitmap->begin(), bitmap->end(), uint8_t{1});
+  for (const auto& p : preds) AndPredicateColumn(p, bitmap->data(), n);
 }
 
 }  // namespace ds::exec

@@ -30,6 +30,13 @@ Result<std::vector<BoundPredicate>> BindPredicates(
     const storage::Table& table, const std::string& table_name,
     const std::vector<workload::ColumnPredicate>& predicates);
 
+/// BindPredicates into a caller-reused vector (cleared first; capacity is
+/// retained, so a warm scratch vector binds with zero allocations).
+Status BindPredicatesInto(const storage::Table& table,
+                          const std::string& table_name,
+                          const std::vector<workload::ColumnPredicate>& predicates,
+                          std::vector<BoundPredicate>* bound);
+
 /// True if row `row` satisfies `pred`. NULL never qualifies.
 inline bool RowMatches(const BoundPredicate& pred, size_t row) {
   if (pred.never_matches || pred.column->IsNull(row)) return false;
@@ -62,6 +69,12 @@ std::vector<uint32_t> FilterRows(const storage::Table& table,
 /// the paper extracts from materialized samples.
 std::vector<uint8_t> QualifyingBitmap(const storage::Table& table,
                                       const std::vector<BoundPredicate>& preds);
+
+/// QualifyingBitmap into a caller-reused vector (resized; capacity is
+/// retained across calls).
+void QualifyingBitmapInto(const storage::Table& table,
+                          const std::vector<BoundPredicate>& preds,
+                          std::vector<uint8_t>* bitmap);
 
 }  // namespace ds::exec
 

@@ -65,4 +65,40 @@ Batch MakeBatch(const Dataset& dataset, const std::vector<size_t>& indices,
   return batch;
 }
 
+namespace {
+
+// Sparse counterpart of PackSet: concatenates each query's CSR rows, padded
+// to the per-batch max with empty rows.
+void PackSparseSet(const std::vector<const SparseQueryFeatures*>& queries,
+                   nn::SparseRows SparseQueryFeatures::* member, size_t dim,
+                   nn::SparseRows* flat, nn::Tensor* mask) {
+  const size_t b = queries.size();
+  size_t s = 1;
+  for (const auto* q : queries) s = std::max(s, (q->*member).rows());
+  flat->Clear(dim);
+  mask->ResizeInPlace({b, s});
+  mask->Zero();
+  for (size_t i = 0; i < b; ++i) {
+    const nn::SparseRows& src = queries[i]->*member;
+    const size_t n = src.rows();
+    for (size_t j = 0; j < n; ++j) {
+      flat->AppendRowFrom(src, j);
+      mask->at(i, j) = 1.0f;
+    }
+    for (size_t j = n; j < s; ++j) flat->EndRow();
+  }
+}
+
+}  // namespace
+
+void PackSparseBatch(const std::vector<const SparseQueryFeatures*>& queries,
+                     const FeatureSpace& space, SparseBatch* out) {
+  PackSparseSet(queries, &SparseQueryFeatures::tables, space.table_dim(),
+                &out->tables, &out->table_mask);
+  PackSparseSet(queries, &SparseQueryFeatures::joins, space.join_dim(),
+                &out->joins, &out->join_mask);
+  PackSparseSet(queries, &SparseQueryFeatures::predicates, space.pred_dim(),
+                &out->predicates, &out->predicate_mask);
+}
+
 }  // namespace ds::mscn

@@ -45,6 +45,22 @@ struct Batch {
 Batch MakeBatch(const Dataset& dataset, const std::vector<size_t>& indices,
                 const FeatureSpace& space);
 
+/// A padded mini-batch with CSR feature rows: B*S sparse rows per set
+/// (empty rows pad; pooling ignores them via the masks) plus dense [B, S]
+/// masks. Designed for reuse — packing into a warm SparseBatch allocates
+/// nothing.
+struct SparseBatch {
+  nn::SparseRows tables, joins, predicates;
+  nn::Tensor table_mask, join_mask, predicate_mask;
+
+  size_t batch_size() const { return table_mask.dim(0); }
+};
+
+/// Packs per-query sparse features into `out`, padding each set to the
+/// per-batch maximum (at least 1) with empty rows.
+void PackSparseBatch(const std::vector<const SparseQueryFeatures*>& queries,
+                     const FeatureSpace& space, SparseBatch* out);
+
 }  // namespace ds::mscn
 
 #endif  // DS_MSCN_DATASET_H_

@@ -132,10 +132,16 @@ Result<QueryFeatures> FeatureSpace::Featurize(
   return out;
 }
 
-Result<workload::QuerySpec> ResolveStringLiterals(
-    const workload::QuerySpec& spec, const est::SampleSet& samples) {
-  workload::QuerySpec resolved = spec;
-  for (auto& pred : resolved.predicates) {
+bool HasStringLiterals(const workload::QuerySpec& spec) {
+  for (const auto& pred : spec.predicates) {
+    if (std::holds_alternative<std::string>(pred.literal)) return true;
+  }
+  return false;
+}
+
+Status ResolveStringLiteralsInPlace(workload::QuerySpec* spec,
+                                    const est::SampleSet& samples) {
+  for (auto& pred : spec->predicates) {
     if (!std::holds_alternative<std::string>(pred.literal)) continue;
     DS_ASSIGN_OR_RETURN(const est::TableSample* ts, samples.Get(pred.table));
     DS_ASSIGN_OR_RETURN(const storage::Column* col,
@@ -148,7 +154,127 @@ Result<workload::QuerySpec> ResolveStringLiterals(
         int64_t code, col->dict()->Lookup(std::get<std::string>(pred.literal)));
     pred.literal = code;
   }
+  return Status::OK();
+}
+
+Result<workload::QuerySpec> ResolveStringLiterals(
+    const workload::QuerySpec& spec, const est::SampleSet& samples) {
+  workload::QuerySpec resolved = spec;
+  DS_RETURN_NOT_OK(ResolveStringLiteralsInPlace(&resolved, samples));
   return resolved;
+}
+
+Status FeatureSpace::FeaturizeSparse(const workload::QuerySpec& spec,
+                                     const est::SampleSet& samples,
+                                     bool use_bitmaps,
+                                     FeaturizeScratch* scratch,
+                                     SparseQueryFeatures* out) const {
+  // Resolve string literals through a reused scratch copy; the common case
+  // (numeric-only predicates) featurizes straight from `spec`.
+  const workload::QuerySpec* q = &spec;
+  if (HasStringLiterals(spec)) {
+    scratch->resolved = spec;
+    DS_RETURN_NOT_OK(ResolveStringLiteralsInPlace(&scratch->resolved, samples));
+    q = &scratch->resolved;
+  }
+  out->Clear(table_dim(), join_dim(), pred_dim());
+
+  // Table set: one-hot at the table index, then bitmap ones. The one-hot
+  // index is always below the bitmap base, so columns stay strictly
+  // increasing; zero bitmap bytes are simply not emitted (the dense kernel
+  // skips zeros, so the accumulation order is identical).
+  for (const auto& tname : q->tables) {
+    DS_ASSIGN_OR_RETURN(size_t idx, TableIndex(tname));
+    out->tables.Push(static_cast<uint32_t>(idx), 1.0f);
+    if (use_bitmaps) {
+      DS_RETURN_NOT_OK(samples.BitmapInto(tname, q->predicates,
+                                          &scratch->bound, &scratch->bitmap));
+      const size_t n = std::min(scratch->bitmap.size(), sample_size_);
+      // Bulk-emit the set bits: count, resize once, then fill — hundreds
+      // of entries per table row, so per-entry push_back bounds checks
+      // show up in the serving featurize profile.
+      size_t count = 0;
+      for (size_t j = 0; j < n; ++j) count += scratch->bitmap[j] != 0;
+      const uint32_t base = static_cast<uint32_t>(table_names_.size());
+      const size_t start = out->tables.cols.size();
+      out->tables.cols.resize(start + count);
+      out->tables.vals.resize(start + count, 1.0f);
+      uint32_t* cp = out->tables.cols.data() + start;
+      for (size_t j = 0; j < n; ++j) {
+        if (scratch->bitmap[j]) *cp++ = base + static_cast<uint32_t>(j);
+      }
+    }
+    out->tables.EndRow();
+  }
+
+  // Join set: a single one. The canonical key is rebuilt in scratch strings
+  // (JoinKey allocates fresh ones).
+  for (const auto& join : q->joins) {
+    auto assign_side = [](std::string* s, const std::string& t,
+                          const std::string& c) {
+      s->clear();
+      *s += t;
+      *s += '.';
+      *s += c;
+    };
+    assign_side(&scratch->side_a, join.left_table, join.left_column);
+    assign_side(&scratch->side_b, join.right_table, join.right_column);
+    const std::string* a = &scratch->side_a;
+    const std::string* b = &scratch->side_b;
+    if (*b < *a) std::swap(a, b);
+    scratch->key.clear();
+    scratch->key += *a;
+    scratch->key += '=';
+    scratch->key += *b;
+    auto it = join_index_.find(scratch->key);
+    if (it == join_index_.end()) {
+      return Status::InvalidArgument(
+          "join " + join.ToString() +
+          " is outside this sketch's feature space");
+    }
+    out->joins.Push(static_cast<uint32_t>(it->second), 1.0f);
+    out->joins.EndRow();
+  }
+
+  // Predicate set: column one-hot, op one-hot, literal (skipped when it
+  // normalizes to exactly zero — the dense path's zero-skip equivalent).
+  for (const auto& pred : q->predicates) {
+    scratch->key.clear();
+    scratch->key += pred.table;
+    scratch->key += '.';
+    scratch->key += pred.column;
+    auto it = column_index_.find(scratch->key);
+    if (it == column_index_.end()) {
+      return Status::InvalidArgument("column " + scratch->key +
+                                     " is outside this sketch's feature space");
+    }
+    double value = 0;
+    if (const auto* i = std::get_if<int64_t>(&pred.literal)) {
+      value = static_cast<double>(*i);
+    } else if (const auto* d = std::get_if<double>(&pred.literal)) {
+      value = *d;
+    } else {
+      return Status::InvalidArgument(
+          "string literal must be resolved to its dictionary code before "
+          "featurization: " +
+          pred.ToString());
+    }
+    const size_t c = it->second;
+    const double lo = column_min_[c], hi = column_max_[c];
+    const double norm =
+        hi > lo ? std::clamp((value - lo) / (hi - lo), 0.0, 1.0) : 0.5;
+    out->predicates.Push(static_cast<uint32_t>(c), 1.0f);
+    out->predicates.Push(
+        static_cast<uint32_t>(column_keys_.size() + static_cast<size_t>(pred.op)),
+        1.0f);
+    const float normf = static_cast<float>(norm);
+    if (normf != 0.0f) {
+      out->predicates.Push(static_cast<uint32_t>(column_keys_.size() + 3),
+                           normf);
+    }
+    out->predicates.EndRow();
+  }
+  return Status::OK();
 }
 
 Result<QueryFeatures> FeatureSpace::FeaturizeWithSamples(

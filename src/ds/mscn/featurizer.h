@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ds/est/sample.h"
+#include "ds/nn/kernels.h"
 #include "ds/storage/catalog.h"
 #include "ds/util/serialize.h"
 #include "ds/workload/labeler.h"
@@ -34,6 +35,35 @@ struct QueryFeatures {
   std::vector<std::vector<float>> tables;      // each of width table_dim
   std::vector<std::vector<float>> joins;       // each of width join_dim
   std::vector<std::vector<float>> predicates;  // each of width pred_dim
+};
+
+/// One featurized query in CSR form: one sparse row per set element. The
+/// feature rows are overwhelmingly zero (one-hots plus a sample bitmap), so
+/// the serving path stores only the nonzeros and feeds them to the sparse
+/// first-layer kernel. ToDense() of each member reproduces the dense
+/// QueryFeatures rows exactly.
+struct SparseQueryFeatures {
+  nn::SparseRows tables;      // width table_dim
+  nn::SparseRows joins;       // width join_dim
+  nn::SparseRows predicates;  // width pred_dim
+
+  /// Resets all three row sets (keeping capacity) for the given widths.
+  void Clear(size_t table_dim, size_t join_dim, size_t pred_dim) {
+    tables.Clear(table_dim);
+    joins.Clear(join_dim);
+    predicates.Clear(pred_dim);
+  }
+};
+
+/// Reusable scratch for the allocation-free featurization path. All members
+/// keep their capacity across queries, so a warm scratch featurizes without
+/// touching the allocator. Not thread-safe; use one per thread.
+struct FeaturizeScratch {
+  workload::QuerySpec resolved;             // string-literal resolution copy
+  std::vector<exec::BoundPredicate> bound;  // predicate binding scratch
+  std::vector<uint8_t> bitmap;              // per-table bitmap scratch
+  std::string key;                          // column/join key lookup scratch
+  std::string side_a, side_b;               // join-key side scratch
 };
 
 class FeatureSpace {
@@ -69,6 +99,17 @@ class FeatureSpace {
   Result<QueryFeatures> FeaturizeWithSamples(
       const workload::QuerySpec& spec, const est::SampleSet& samples) const;
 
+  /// Sparse, allocation-free counterpart of FeaturizeWithSamples: resolves
+  /// string literals (via a scratch copy only when the query has any),
+  /// evaluates per-table bitmaps when `use_bitmaps`, and emits CSR rows into
+  /// `out` with strictly increasing column indices and no explicit zeros —
+  /// so ToDense() matches the dense path bit-for-bit. With a warm scratch
+  /// and output, featurizing touches no allocator.
+  Status FeaturizeSparse(const workload::QuerySpec& spec,
+                         const est::SampleSet& samples, bool use_bitmaps,
+                         FeaturizeScratch* scratch,
+                         SparseQueryFeatures* out) const;
+
   void Write(util::BinaryWriter* writer) const;
   static Result<FeatureSpace> Read(util::BinaryReader* reader);
 
@@ -98,6 +139,15 @@ class FeatureSpace {
 /// is an error (training) or an "estimate is zero" signal (ad-hoc queries).
 Result<workload::QuerySpec> ResolveStringLiterals(
     const workload::QuerySpec& spec, const est::SampleSet& samples);
+
+/// True if any predicate literal is still an unresolved string. Queries
+/// without string literals can skip the resolution copy entirely.
+bool HasStringLiterals(const workload::QuerySpec& spec);
+
+/// In-place variant of ResolveStringLiterals for caller-owned specs (the
+/// zero-allocation path rewrites a reused scratch copy).
+Status ResolveStringLiteralsInPlace(workload::QuerySpec* spec,
+                                    const est::SampleSet& samples);
 
 }  // namespace ds::mscn
 

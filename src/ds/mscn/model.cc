@@ -101,6 +101,52 @@ nn::Tensor MscnModel::Infer(const Batch& batch) const {
   return y;
 }
 
+const nn::Tensor* MscnModel::InferTail(
+    const nn::Tensor& tflat, const nn::Tensor& jflat, const nn::Tensor& pflat,
+    const nn::Tensor& tmask, const nn::Tensor& jmask, const nn::Tensor& pmask,
+    nn::Workspace* ws) const {
+  const size_t h = config_.hidden_units;
+  const size_t b = tmask.dim(0);
+
+  nn::Tensor* t = ws->Acquire();
+  nn::Tensor* j = ws->Acquire();
+  nn::Tensor* p = ws->Acquire();
+  nn::MaskedMean::PoolInto(tflat, tmask, t);
+  nn::MaskedMean::PoolInto(jflat, jmask, j);
+  nn::MaskedMean::PoolInto(pflat, pmask, p);
+
+  nn::Tensor* concat = ws->Acquire();
+  concat->ResizeInPlace({b, 3 * h});
+  for (size_t i = 0; i < b; ++i) {
+    float* row = concat->data() + i * 3 * h;
+    std::copy(t->data() + i * h, t->data() + (i + 1) * h, row);
+    std::copy(j->data() + i * h, j->data() + (i + 1) * h, row + h);
+    std::copy(p->data() + i * h, p->data() + (i + 1) * h, row + 2 * h);
+  }
+
+  nn::Tensor* y = out_mlp_.InferInto(*concat, ws);
+  nn::Sigmoid::ApplyInPlace(y);
+  return y;
+}
+
+const nn::Tensor* MscnModel::InferInto(const Batch& batch,
+                                       nn::Workspace* ws) const {
+  const nn::Tensor* tf = table_mlp_.InferInto(batch.tables, ws);
+  const nn::Tensor* jf = join_mlp_.InferInto(batch.joins, ws);
+  const nn::Tensor* pf = pred_mlp_.InferInto(batch.predicates, ws);
+  return InferTail(*tf, *jf, *pf, batch.table_mask, batch.join_mask,
+                   batch.predicate_mask, ws);
+}
+
+const nn::Tensor* MscnModel::InferSparse(const SparseBatch& batch,
+                                         nn::Workspace* ws) const {
+  const nn::Tensor* tf = table_mlp_.InferSparseInto(batch.tables, ws);
+  const nn::Tensor* jf = join_mlp_.InferSparseInto(batch.joins, ws);
+  const nn::Tensor* pf = pred_mlp_.InferSparseInto(batch.predicates, ws);
+  return InferTail(*tf, *jf, *pf, batch.table_mask, batch.join_mask,
+                   batch.predicate_mask, ws);
+}
+
 void MscnModel::Backward(const nn::Tensor& dy) {
   const size_t h = config_.hidden_units;
   nn::Tensor dconcat = out_mlp_.Backward(out_sigmoid_.Backward(dy));

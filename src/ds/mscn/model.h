@@ -54,6 +54,17 @@ class MscnModel {
   /// training is done. This is the serving hot path (ds::serve).
   nn::Tensor Infer(const Batch& batch) const;
 
+  /// Workspace-backed inference through the fused kernels. Bit-for-bit
+  /// identical to Infer; all intermediates live in `ws`, so a warm workspace
+  /// makes the pass allocation-free. The returned tensor points into `ws`
+  /// and is valid until ws->Reset(). One workspace per thread.
+  const nn::Tensor* InferInto(const Batch& batch, nn::Workspace* ws) const;
+
+  /// Same, with CSR feature rows feeding the first layer of each set-MLP
+  /// (the serving path: featurized one-hot rows are overwhelmingly zero).
+  const nn::Tensor* InferSparse(const SparseBatch& batch,
+                                nn::Workspace* ws) const;
+
   std::vector<nn::Parameter*> Parameters();
   size_t NumParameters() const;
 
@@ -64,6 +75,13 @@ class MscnModel {
   static Result<MscnModel> Read(util::BinaryReader* reader);
 
  private:
+  /// Shared tail of the workspace inference paths: pool the three flattened
+  /// set activations, concatenate, output MLP, sigmoid.
+  const nn::Tensor* InferTail(const nn::Tensor& tflat, const nn::Tensor& jflat,
+                              const nn::Tensor& pflat, const nn::Tensor& tmask,
+                              const nn::Tensor& jmask, const nn::Tensor& pmask,
+                              nn::Workspace* ws) const;
+
   ModelConfig config_;
   nn::Mlp table_mlp_;
   nn::Mlp join_mlp_;

@@ -4,12 +4,83 @@
 #include <numeric>
 #include <sstream>
 
+#include <memory>
+
 #include "ds/nn/optimizer.h"
 #include "ds/obs/trace.h"
+#include "ds/util/parallel.h"
 #include "ds/util/random.h"
 #include "ds/util/timer.h"
 
 namespace ds::mscn {
+
+namespace {
+
+// One data-parallel worker: a full model replica whose parameters are
+// refreshed from the master before each sharded step and whose gradients
+// are reduced back afterwards.
+struct Replica {
+  explicit Replica(const ModelConfig& config) : model(config) {
+    params = model.Parameters();
+  }
+  MscnModel model;
+  std::vector<nn::Parameter*> params;
+  double loss = 0;          // shard loss scaled by shard/batch size
+  double busy_seconds = 0;  // wall time inside the shard step
+};
+
+// One data-parallel training step: shards `batch_idx` contiguously across
+// the replicas, runs forward/backward per shard concurrently (each shard's
+// dy is scaled by shard/batch size so the summed gradients equal the
+// full-batch mean gradient), then reduces gradients into the master
+// parameters in replica order — deterministic for a fixed thread count.
+// Returns the full-batch mean loss; master grads must be zero on entry
+// (true after optimizer.ZeroGrad()).
+double ShardedBatchGradients(const std::vector<nn::Parameter*>& master_params,
+                             std::vector<std::unique_ptr<Replica>>& replicas,
+                             const Dataset& dataset, const FeatureSpace& space,
+                             const std::vector<size_t>& batch_idx,
+                             const nn::LogNormalizer& normalizer,
+                             LossKind loss_kind, double* busy_seconds_sum) {
+  const size_t total = batch_idx.size();
+  const size_t t_count = std::min(replicas.size(), total);
+  util::ParallelFor(t_count, t_count, [&](size_t t) {
+    util::WallTimer timer;
+    Replica& rep = *replicas[t];
+    const size_t lo = t * total / t_count;
+    const size_t hi = (t + 1) * total / t_count;
+    // Refresh the replica from the master (vec assignment reuses capacity).
+    for (size_t pi = 0; pi < master_params.size(); ++pi) {
+      rep.params[pi]->value.vec() = master_params[pi]->value.vec();
+    }
+    std::vector<size_t> shard(batch_idx.begin() + lo, batch_idx.begin() + hi);
+    Batch sb = MakeBatch(dataset, shard, space);
+    nn::Tensor y = rep.model.Forward(sb);
+    nn::Tensor dy(y.shape());
+    double loss = loss_kind == LossKind::kQError
+                      ? nn::QErrorLoss(y, sb.labels, normalizer, &dy)
+                      : nn::MseLoss(y, sb.labels, normalizer, &dy);
+    const float scale =
+        static_cast<float>(hi - lo) / static_cast<float>(total);
+    for (float& v : dy.vec()) v *= scale;
+    rep.model.Backward(dy);
+    rep.loss = loss * static_cast<double>(scale);
+    rep.busy_seconds = timer.ElapsedSeconds();
+  });
+  double loss_sum = 0;
+  for (size_t t = 0; t < t_count; ++t) {
+    Replica& rep = *replicas[t];
+    for (size_t pi = 0; pi < master_params.size(); ++pi) {
+      nn::Axpy(1.0f, rep.params[pi]->grad, &master_params[pi]->grad);
+      rep.params[pi]->grad.Zero();
+    }
+    loss_sum += rep.loss;
+    *busy_seconds_sum += rep.busy_seconds;
+  }
+  return loss_sum;
+}
+
+}  // namespace
 
 std::string TrainingReport::ToCsv() const {
   std::ostringstream os;
@@ -53,8 +124,20 @@ Result<TrainingReport> Trainer::Train(MscnModel* model, const Dataset& dataset,
     report.normalizer = nn::LogNormalizer::Fit(train_cards);
   }
 
-  nn::Adam optimizer(model->Parameters(), options_.learning_rate);
+  std::vector<nn::Parameter*> master_params = model->Parameters();
+  nn::Adam optimizer(master_params, options_.learning_rate);
   util::WallTimer total_timer;
+
+  // Data-parallel workers (threads > 1): one model replica per worker,
+  // created once and reused across every minibatch.
+  const size_t num_threads = std::max<size_t>(options_.threads, 1);
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (size_t t = 0; num_threads > 1 && t < num_threads; ++t) {
+    replicas.push_back(std::make_unique<Replica>(model->config()));
+  }
+
+  double busy_seconds_sum = 0;   // worker busy time, for efficiency export
+  double epoch_wall_seconds = 0; // parallel-section wall time
 
   for (size_t epoch = 1; epoch <= options_.epochs; ++epoch) {
     obs::Span epoch_span("train_epoch", epoch);
@@ -62,26 +145,34 @@ Result<TrainingReport> Trainer::Train(MscnModel* model, const Dataset& dataset,
     rng.Shuffle(&train_idx);
     double loss_sum = 0;
     size_t num_batches = 0;
+    busy_seconds_sum = 0;
     for (size_t off = 0; off < train_idx.size();
          off += options_.batch_size) {
       const size_t end = std::min(off + options_.batch_size, train_idx.size());
       std::vector<size_t> batch_idx(train_idx.begin() + off,
                                     train_idx.begin() + end);
-      Batch batch = MakeBatch(dataset, batch_idx, space);
-      nn::Tensor y = model->Forward(batch);
-      nn::Tensor dy(y.shape());
       double loss;
-      if (options_.loss == LossKind::kQError) {
-        loss = nn::QErrorLoss(y, batch.labels, report.normalizer, &dy);
+      if (num_threads <= 1) {
+        Batch batch = MakeBatch(dataset, batch_idx, space);
+        nn::Tensor y = model->Forward(batch);
+        nn::Tensor dy(y.shape());
+        if (options_.loss == LossKind::kQError) {
+          loss = nn::QErrorLoss(y, batch.labels, report.normalizer, &dy);
+        } else {
+          loss = nn::MseLoss(y, batch.labels, report.normalizer, &dy);
+        }
+        model->Backward(dy);
       } else {
-        loss = nn::MseLoss(y, batch.labels, report.normalizer, &dy);
+        loss = ShardedBatchGradients(master_params, replicas, dataset, space,
+                                     batch_idx, report.normalizer,
+                                     options_.loss, &busy_seconds_sum);
       }
-      model->Backward(dy);
       optimizer.Step();
       optimizer.ZeroGrad();
       loss_sum += loss;
       ++num_batches;
     }
+    epoch_wall_seconds = epoch_timer.ElapsedSeconds();
 
     EpochStats stats;
     stats.epoch = epoch;
@@ -119,6 +210,16 @@ Result<TrainingReport> Trainer::Train(MscnModel* model, const Dataset& dataset,
           ->Set(stats.validation_median_q);
       r->GetHistogram("ds_train_epoch_ms", "Milliseconds per epoch")
           ->Observe(static_cast<uint64_t>(stats.seconds * 1e3));
+      r->GetGauge("ds_train_threads",
+                  "Data-parallel training worker threads")
+          ->Set(static_cast<double>(num_threads));
+      if (num_threads > 1 && epoch_wall_seconds > 0) {
+        r->GetGauge("ds_train_parallel_efficiency",
+                    "Worker busy seconds / (threads x epoch wall seconds), "
+                    "last epoch")
+            ->Set(busy_seconds_sum /
+                  (static_cast<double>(num_threads) * epoch_wall_seconds));
+      }
     }
     if (options_.on_epoch) options_.on_epoch(stats);
     report.epochs.push_back(stats);

@@ -52,6 +52,14 @@ struct TrainerOptions {
   /// Fraction of the dataset held out for validation (0 disables).
   double validation_fraction = 0.1;
   uint64_t seed = 99;
+  /// Data-parallel worker threads per minibatch. Each worker holds a full
+  /// model replica; a minibatch is sharded contiguously across workers, each
+  /// computes gradients on its shard (scaled by shard/batch size so the sum
+  /// equals the full-batch mean gradient), gradients are reduced in worker
+  /// order, and one optimizer step is applied. `threads == 1` runs the exact
+  /// sequential path (bit-identical losses); more threads reproduce the same
+  /// gradients up to float summation order.
+  size_t threads = 1;
   /// Called after every epoch (for progress UIs).
   std::function<void(const EpochStats&)> on_epoch;
   /// When set, the loop exports per-epoch instruments into this registry:

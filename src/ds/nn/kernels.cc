@@ -1,0 +1,291 @@
+#include "ds/nn/kernels.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace ds::nn {
+
+KernelStats& GlobalKernelStats() {
+  static KernelStats* stats = new KernelStats();
+  return *stats;
+}
+
+bool KernelsVectorized() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+void CountKernel(std::atomic<uint64_t>& which, uint64_t macs, uint64_t bytes) {
+  KernelStats& s = GlobalKernelStats();
+  which.fetch_add(1, std::memory_order_relaxed);
+  s.flops.fetch_add(2 * macs, std::memory_order_relaxed);
+  s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+// crow[j] += av * brow[j] for j in [0, m). The building block of every
+// accumulation kernel below. Sequential per-element accumulation (one add
+// per k step) keeps results bit-for-bit equal to the scalar reference; the
+// AVX2 path widens j, it does not reorder k.
+inline void AxpyRow(float av, const float* brow, float* crow, size_t m) {
+  size_t j = 0;
+#if defined(__AVX2__)
+  const __m256 av8 = _mm256_set1_ps(av);
+  for (; j + 16 <= m; j += 16) {
+    __m256 c0 = _mm256_loadu_ps(crow + j);
+    __m256 c1 = _mm256_loadu_ps(crow + j + 8);
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(av8, _mm256_loadu_ps(brow + j)));
+    c1 = _mm256_add_ps(c1, _mm256_mul_ps(av8, _mm256_loadu_ps(brow + j + 8)));
+    _mm256_storeu_ps(crow + j, c0);
+    _mm256_storeu_ps(crow + j + 8, c1);
+  }
+  for (; j + 8 <= m; j += 8) {
+    __m256 c0 = _mm256_loadu_ps(crow + j);
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(av8, _mm256_loadu_ps(brow + j)));
+    _mm256_storeu_ps(crow + j, c0);
+  }
+#else
+  // 4-wide unroll; independent elements, so the compiler can vectorize.
+  for (; j + 4 <= m; j += 4) {
+    crow[j] += av * brow[j];
+    crow[j + 1] += av * brow[j + 1];
+    crow[j + 2] += av * brow[j + 2];
+    crow[j + 3] += av * brow[j + 3];
+  }
+#endif
+  for (; j < m; ++j) crow[j] += av * brow[j];
+}
+
+// crow[j] = (crow[j] + a1 * b1[j]) + a2 * b2[j] — exactly the float
+// sequence of two AxpyRow calls, but with both weight-row loads in flight
+// at once. The k loops pair consecutive nonzeros through this to hide
+// load latency on the accumulation-heavy sparse/one-hot first layers.
+inline void AxpyRow2(float a1, const float* b1, float a2, const float* b2,
+                     float* crow, size_t m) {
+  size_t j = 0;
+#if defined(__AVX2__)
+  const __m256 av1 = _mm256_set1_ps(a1);
+  const __m256 av2 = _mm256_set1_ps(a2);
+  for (; j + 8 <= m; j += 8) {
+    __m256 c = _mm256_loadu_ps(crow + j);
+    c = _mm256_add_ps(c, _mm256_mul_ps(av1, _mm256_loadu_ps(b1 + j)));
+    c = _mm256_add_ps(c, _mm256_mul_ps(av2, _mm256_loadu_ps(b2 + j)));
+    _mm256_storeu_ps(crow + j, c);
+  }
+#endif
+  for (; j < m; ++j) crow[j] = (crow[j] + a1 * b1[j]) + a2 * b2[j];
+}
+
+// crow[j] += sum_k arow[k] * b[k][j], skipping zero entries of arow and
+// pairing consecutive nonzeros through AxpyRow2. Bit-exact with the plain
+// sequential zero-skip loop (each pair preserves per-element add order).
+inline void AccumulateRow(const float* arow, size_t k, const float* bd,
+                          size_t m, float* crow) {
+  size_t kk = 0;
+  for (;;) {
+    while (kk < k && arow[kk] == 0.0f) ++kk;
+    if (kk >= k) break;
+    const size_t k1 = kk++;
+    while (kk < k && arow[kk] == 0.0f) ++kk;
+    if (kk >= k) {
+      AxpyRow(arow[k1], bd + k1 * m, crow, m);
+      break;
+    }
+    const size_t k2 = kk++;
+    AxpyRow2(arow[k1], bd + k1 * m, arow[k2], bd + k2 * m, crow, m);
+  }
+}
+
+// crow[j] = bias[j] for j in [0, m).
+inline void CopyRow(const float* src, float* dst, size_t m) {
+  size_t j = 0;
+#if defined(__AVX2__)
+  for (; j + 8 <= m; j += 8) {
+    _mm256_storeu_ps(dst + j, _mm256_loadu_ps(src + j));
+  }
+#endif
+  for (; j < m; ++j) dst[j] = src[j];
+}
+
+inline void ZeroRow(float* dst, size_t m) {
+  size_t j = 0;
+#if defined(__AVX2__)
+  const __m256 zero = _mm256_setzero_ps();
+  for (; j + 8 <= m; j += 8) _mm256_storeu_ps(dst + j, zero);
+#endif
+  for (; j < m; ++j) dst[j] = 0.0f;
+}
+
+// crow[j] += bias[j], then optionally relu, in one pass.
+inline void BiasActRow(const float* bias, bool fuse_relu, float* crow,
+                       size_t m) {
+  size_t j = 0;
+#if defined(__AVX2__)
+  const __m256 zero = _mm256_setzero_ps();
+  for (; j + 8 <= m; j += 8) {
+    __m256 c = _mm256_add_ps(_mm256_loadu_ps(crow + j),
+                             _mm256_loadu_ps(bias + j));
+    if (fuse_relu) c = _mm256_max_ps(c, zero);
+    _mm256_storeu_ps(crow + j, c);
+  }
+#endif
+  for (; j < m; ++j) {
+    float v = crow[j] + bias[j];
+    crow[j] = fuse_relu && v < 0.0f ? 0.0f : v;
+  }
+}
+
+}  // namespace
+
+Tensor SparseRows::ToDense() const {
+  Tensor t({rows(), dim});
+  for (size_t i = 0; i < rows(); ++i) {
+    float* row = t.data() + i * dim;
+    for (uint32_t e = row_offsets[i]; e < row_offsets[i + 1]; ++e) {
+      row[cols[e]] = vals[e];
+    }
+  }
+  return t;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  DS_CHECK_EQ(a.rank(), 2u);
+  DS_CHECK_EQ(b.rank(), 2u);
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  DS_CHECK_EQ(k, b.dim(0));
+  c->ResizeInPlace({n, m});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  for (size_t i = 0; i < n; ++i) {
+    float* crow = cd + i * m;
+    ZeroRow(crow, m);
+    // Zero entries are skipped (one-hot/bitmap inputs are mostly zero).
+    AccumulateRow(ad + i * k, k, bd, m, crow);
+  }
+  CountKernel(GlobalKernelStats().dense_calls, n * k * m,
+              (n * k + k * m + n * m) * sizeof(float));
+}
+
+void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  DS_CHECK_EQ(a.rank(), 2u);
+  DS_CHECK_EQ(b.rank(), 2u);
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  DS_CHECK_EQ(k, b.dim(1));
+  c->ResizeInPlace({n, m});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float* brow = bd + j * k;
+      size_t kk = 0;
+      float acc = 0.0f;
+#if defined(__AVX2__)
+      if (k >= 8) {
+        __m256 acc8 = _mm256_setzero_ps();
+        for (; kk + 8 <= k; kk += 8) {
+          acc8 = _mm256_add_ps(acc8,
+                               _mm256_mul_ps(_mm256_loadu_ps(arow + kk),
+                                             _mm256_loadu_ps(brow + kk)));
+        }
+        // Horizontal sum (reassociates the reduction; the backward pass
+        // tolerates the rounding difference).
+        __m128 lo = _mm256_castps256_ps128(acc8);
+        __m128 hi = _mm256_extractf128_ps(acc8, 1);
+        __m128 s = _mm_add_ps(lo, hi);
+        s = _mm_hadd_ps(s, s);
+        s = _mm_hadd_ps(s, s);
+        acc = _mm_cvtss_f32(s);
+      }
+#endif
+      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  CountKernel(GlobalKernelStats().dense_calls, n * k * m,
+              (n * k + k * m + n * m) * sizeof(float));
+}
+
+void MatMulTransposedAAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
+  DS_CHECK_EQ(a.rank(), 2u);
+  DS_CHECK_EQ(b.rank(), 2u);
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  DS_CHECK_EQ(n, b.dim(0));
+  DS_CHECK_EQ(c->dim(0), k);
+  DS_CHECK_EQ(c->dim(1), m);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c->data();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = ad + i * k;
+    const float* brow = bd + i * m;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      AxpyRow(av, brow, cd + kk * m, m);
+    }
+  }
+  CountKernel(GlobalKernelStats().dense_calls, n * k * m,
+              (n * k + n * m + k * m) * sizeof(float));
+}
+
+void LinearBiasActInto(const Tensor& x, const Tensor& weight,
+                       const Tensor& bias, bool fuse_relu, Tensor* y) {
+  DS_CHECK_EQ(x.rank(), 2u);
+  DS_CHECK_EQ(weight.rank(), 2u);
+  DS_CHECK_EQ(bias.rank(), 1u);
+  const size_t n = x.dim(0), k = x.dim(1), m = weight.dim(1);
+  DS_CHECK_EQ(k, weight.dim(0));
+  DS_CHECK_EQ(bias.dim(0), m);
+  y->ResizeInPlace({n, m});
+  const float* xd = x.data();
+  const float* wd = weight.data();
+  const float* bd = bias.data();
+  float* yd = y->data();
+  for (size_t i = 0; i < n; ++i) {
+    float* yrow = yd + i * m;
+    ZeroRow(yrow, m);
+    AccumulateRow(xd + i * k, k, wd, m, yrow);
+    BiasActRow(bd, fuse_relu, yrow, m);
+  }
+  CountKernel(GlobalKernelStats().fused_calls, n * k * m,
+              (n * k + k * m + n * m) * sizeof(float));
+}
+
+void SparseLinearBiasActInto(const SparseRows& x, const Tensor& weight,
+                             const Tensor& bias, bool fuse_relu, Tensor* y) {
+  DS_CHECK_EQ(weight.rank(), 2u);
+  DS_CHECK_EQ(bias.rank(), 1u);
+  const size_t n = x.rows(), k = x.dim, m = weight.dim(1);
+  DS_CHECK_EQ(k, weight.dim(0));
+  DS_CHECK_EQ(bias.dim(0), m);
+  y->ResizeInPlace({n, m});
+  const float* wd = weight.data();
+  const float* bd = bias.data();
+  float* yd = y->data();
+  for (size_t i = 0; i < n; ++i) {
+    float* yrow = yd + i * m;
+    ZeroRow(yrow, m);
+    uint32_t e = x.row_offsets[i];
+    const uint32_t end = x.row_offsets[i + 1];
+    for (; e + 2 <= end; e += 2) {
+      AxpyRow2(x.vals[e], wd + x.cols[e] * m, x.vals[e + 1],
+               wd + x.cols[e + 1] * m, yrow, m);
+    }
+    if (e < end) AxpyRow(x.vals[e], wd + x.cols[e] * m, yrow, m);
+    BiasActRow(bd, fuse_relu, yrow, m);
+  }
+  CountKernel(GlobalKernelStats().sparse_calls, x.nonzeros() * m,
+              (x.nonzeros() * 2 * sizeof(uint32_t)) +
+                  (x.nonzeros() + k * m + n * m) * sizeof(float));
+}
+
+}  // namespace ds::nn

@@ -1,0 +1,140 @@
+// Zero-allocation, vectorization-friendly kernels for the NN hot paths.
+//
+// The functional ops in tensor.h allocate their result and keep a scalar
+// triple loop; they remain the reference implementations. The kernels here
+// are the serving/training hot path:
+//
+//   * "-Into" variants write into caller-provided, pre-sized tensors, so a
+//     steady-state inference batch touches no allocator at all (pair them
+//     with nn::Workspace).
+//   * Inner loops are blocked and unrolled so the compiler auto-vectorizes;
+//     on AVX2 builds (-mavx2, see the DS_ENABLE_AVX2 CMake option) the
+//     matmul/fused kernels take an explicit intrinsic path. The intrinsic
+//     path uses mul+add (never FMA) and accumulates in the same k-order as
+//     the scalar reference, so results are bit-for-bit identical to the
+//     tensor.h ops — nn_kernel_test asserts this.
+//   * LinearBiasActInto fuses x*W + b (+ ReLU) into one pass over the
+//     output, eliminating the separate bias and activation sweeps.
+//   * SparseRows is a CSR representation of the MSCN's one-hot/bitmap
+//     feature rows (overwhelmingly zero); SparseLinearBiasActInto multiplies
+//     it against a dense weight matrix touching only the nonzeros.
+//
+// Thread-safety: all kernels are pure functions of their arguments; distinct
+// output tensors may be computed concurrently. KernelStats counters are
+// relaxed atomics, updated once per kernel call.
+
+#ifndef DS_NN_KERNELS_H_
+#define DS_NN_KERNELS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ds/nn/tensor.h"
+
+namespace ds::nn {
+
+// ---- Kernel instrumentation ---------------------------------------------------
+
+/// Process-wide kernel counters (relaxed atomics; one update per kernel
+/// call, so the instrumentation cost is a few nanoseconds per layer per
+/// batch). The serving layer and benchmarks export these as obs gauges.
+struct KernelStats {
+  std::atomic<uint64_t> dense_calls{0};   // MatMulInto and transposed forms
+  std::atomic<uint64_t> fused_calls{0};   // LinearBiasActInto
+  std::atomic<uint64_t> sparse_calls{0};  // SparseLinearBiasActInto
+  std::atomic<uint64_t> flops{0};         // 2 * multiply-accumulates issued
+  std::atomic<uint64_t> bytes{0};         // operand + result bytes touched
+};
+
+KernelStats& GlobalKernelStats();
+
+/// True when the library was compiled with the AVX2 intrinsic kernel path
+/// (otherwise the portable scalar/unrolled fallback runs).
+bool KernelsVectorized();
+
+// ---- Dense kernels -------------------------------------------------------------
+
+/// C = A x B for 2D tensors [n,k] x [k,m]; `c` is resized in place to [n,m].
+/// Bit-for-bit identical to tensor.h MatMul (same k-order accumulation,
+/// same skip of zero A entries).
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C = A x B^T: [n,k] x [m,k] -> [n,m] (backward pass: dx = dy W^T). Uses
+/// multi-accumulator dot products, so results may differ from the reference
+/// by rounding (training-path tolerance).
+void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C += A^T x B: [n,k] x [n,m] -> [k,m], accumulating into `c` (weight
+/// gradient: dW += x^T dy, without the temporary + Axpy of the reference).
+void MatMulTransposedAAccumulate(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// Fused y = x*W + b, optionally followed by ReLU; `y` is resized in place
+/// to [n, out]. Accumulation order matches Linear::Forward (MatMul then
+/// AddBiasRows), so outputs are bit-for-bit identical to the unfused path.
+void LinearBiasActInto(const Tensor& x, const Tensor& weight,
+                       const Tensor& bias, bool fuse_relu, Tensor* y);
+
+// ---- Sparse featurized inputs --------------------------------------------------
+
+/// CSR-style rows of an implicit dense [rows, dim] matrix. The MSCN feature
+/// rows (table one-hot + sample bitmap, join one-hot, predicate one-hot +
+/// literal) are overwhelmingly zero; storing only the nonzeros makes the
+/// first layer of each set-MLP proportional to the nonzero count. Column
+/// indices within a row must be strictly increasing — the same order the
+/// dense reference walks k — which keeps the sparse product bit-for-bit
+/// equal to the dense one. Clear() keeps capacity, so a reused SparseRows
+/// stops allocating once it has seen the largest batch.
+struct SparseRows {
+  size_t dim = 0;                      // dense row width
+  std::vector<uint32_t> row_offsets;   // size rows()+1; row_offsets[0] == 0
+  std::vector<uint32_t> cols;
+  std::vector<float> vals;
+
+  size_t rows() const {
+    return row_offsets.empty() ? 0 : row_offsets.size() - 1;
+  }
+  size_t nonzeros() const { return cols.size(); }
+
+  void Clear(size_t new_dim) {
+    dim = new_dim;
+    row_offsets.clear();
+    row_offsets.push_back(0);
+    cols.clear();
+    vals.clear();
+  }
+
+  /// Appends one entry to the row currently being built.
+  void Push(uint32_t col, float val) {
+    cols.push_back(col);
+    vals.push_back(val);
+  }
+
+  /// Finishes the current row (call once per row, including empty padding
+  /// rows).
+  void EndRow() { row_offsets.push_back(static_cast<uint32_t>(cols.size())); }
+
+  /// Appends a full row copied from `src` (used when packing per-query rows
+  /// into a padded per-batch matrix). Bulk-copies the row's column/value
+  /// spans — bitmap-featurized rows carry hundreds of entries, so this is
+  /// on the batched-serving critical path.
+  void AppendRowFrom(const SparseRows& src, size_t row) {
+    const uint32_t b = src.row_offsets[row], e = src.row_offsets[row + 1];
+    cols.insert(cols.end(), src.cols.begin() + b, src.cols.begin() + e);
+    vals.insert(vals.end(), src.vals.begin() + b, src.vals.begin() + e);
+    EndRow();
+  }
+
+  /// Materializes the dense [rows, dim] matrix (tests / reference path).
+  Tensor ToDense() const;
+};
+
+/// Fused y = sparse_x * W + b (+ ReLU) with x in CSR form; `y` is resized in
+/// place to [x.rows(), out]. Bit-for-bit equal to LinearBiasActInto on
+/// ToDense() input because zero entries contribute nothing in either path.
+void SparseLinearBiasActInto(const SparseRows& x, const Tensor& weight,
+                             const Tensor& bias, bool fuse_relu, Tensor* y);
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_KERNELS_H_

@@ -1,6 +1,7 @@
 #include "ds/nn/layers.h"
 
 #include <cmath>
+#include <utility>
 
 namespace ds::nn {
 
@@ -21,43 +22,54 @@ void Linear::Initialize(util::Pcg32* rng) {
 Tensor Linear::Forward(const Tensor& x) {
   DS_CHECK_EQ(x.rank(), 2u);
   cached_x_ = x;
-  Tensor y = MatMul(x, weight_.value);
-  AddBiasRows(&y, bias_.value);
+  Tensor y;
+  LinearBiasActInto(x, weight_.value, bias_.value, /*fuse_relu=*/false, &y);
   return y;
 }
 
 Tensor Linear::Infer(const Tensor& x) const {
   DS_CHECK_EQ(x.rank(), 2u);
-  Tensor y = MatMul(x, weight_.value);
-  AddBiasRows(&y, bias_.value);
+  Tensor y;
+  LinearBiasActInto(x, weight_.value, bias_.value, /*fuse_relu=*/false, &y);
   return y;
+}
+
+void Linear::InferInto(const Tensor& x, bool fuse_relu, Tensor* y) const {
+  LinearBiasActInto(x, weight_.value, bias_.value, fuse_relu, y);
+}
+
+void Linear::InferSparseInto(const SparseRows& x, bool fuse_relu,
+                             Tensor* y) const {
+  SparseLinearBiasActInto(x, weight_.value, bias_.value, fuse_relu, y);
 }
 
 Tensor Linear::Backward(const Tensor& dy) {
   DS_CHECK(!cached_x_.empty());
   // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
-  Tensor dw = MatMulTransposedA(cached_x_, dy);
-  Axpy(1.0f, dw, &weight_.grad);
+  MatMulTransposedAAccumulate(cached_x_, dy, &weight_.grad);
   SumRowsInto(dy, &bias_.grad);
-  return MatMulTransposedB(dy, weight_.value);
+  Tensor dx;
+  MatMulTransposedBInto(dy, weight_.value, &dx);
+  return dx;
 }
 
 // ---- Activations ------------------------------------------------------------------
 
-Tensor ReLU::Forward(const Tensor& x) {
-  cached_x_ = x;
-  Tensor y = x;
-  for (float& v : y.vec()) v = v > 0.0f ? v : 0.0f;
-  return y;
+Tensor ReLU::Forward(Tensor x) {
+  // In place; the output doubles as the backward cache (y == 0 iff x <= 0,
+  // so the gradient mask is recoverable from y alone).
+  for (float& v : x.vec()) v = v > 0.0f ? v : 0.0f;
+  cached_y_ = x;
+  return x;
 }
 
 Tensor ReLU::Backward(const Tensor& dy) {
-  DS_CHECK(dy.SameShape(cached_x_));
+  DS_CHECK(dy.SameShape(cached_y_));
   Tensor dx = dy;
-  const float* x = cached_x_.data();
+  const float* y = cached_y_.data();
   float* d = dx.data();
   for (size_t i = 0; i < dx.size(); ++i) {
-    if (x[i] <= 0.0f) d[i] = 0.0f;
+    if (y[i] == 0.0f) d[i] = 0.0f;
   }
   return dx;
 }
@@ -66,11 +78,10 @@ void ReLU::ApplyInPlace(Tensor* x) {
   for (float& v : x->vec()) v = v > 0.0f ? v : 0.0f;
 }
 
-Tensor Sigmoid::Forward(const Tensor& x) {
-  Tensor y = x;
-  for (float& v : y.vec()) v = 1.0f / (1.0f + std::exp(-v));
-  cached_y_ = y;
-  return y;
+Tensor Sigmoid::Forward(Tensor x) {
+  for (float& v : x.vec()) v = 1.0f / (1.0f + std::exp(-v));
+  cached_y_ = x;
+  return x;
 }
 
 Tensor Sigmoid::Backward(const Tensor& dy) {
@@ -104,10 +115,13 @@ void Mlp::Initialize(util::Pcg32* rng) {
 }
 
 Tensor Mlp::Forward(const Tensor& x) {
-  Tensor h = x;
-  for (size_t i = 0; i < layers_.size(); ++i) {
+  // Feed `x` straight into the first layer (it caches its own input copy);
+  // the old `Tensor h = x;` head copy was pure overhead.
+  Tensor h = layers_[0].Forward(x);
+  if (!relus_.empty()) h = relus_[0].Forward(std::move(h));
+  for (size_t i = 1; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);
-    if (i < relus_.size()) h = relus_[i].Forward(h);
+    if (i < relus_.size()) h = relus_[i].Forward(std::move(h));
   }
   return h;
 }
@@ -120,6 +134,34 @@ Tensor Mlp::Infer(const Tensor& x) const {
     if (i < relus_.size()) ReLU::ApplyInPlace(&h);
   }
   return h;
+}
+
+Tensor* Mlp::InferInto(const Tensor& x, Workspace* ws) const {
+  // Two ping-pong slots: layer i reads one and writes the other. The fused
+  // kernel handles the bias add and (when a ReLU follows) the activation.
+  Tensor* a = ws->Acquire();
+  Tensor* b = ws->Acquire();
+  const Tensor* in = &x;
+  Tensor* out = a;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].InferInto(*in, /*fuse_relu=*/i < relus_.size(), out);
+    in = out;
+    out = (out == a) ? b : a;
+  }
+  return const_cast<Tensor*>(in);
+}
+
+Tensor* Mlp::InferSparseInto(const SparseRows& x, Workspace* ws) const {
+  Tensor* a = ws->Acquire();
+  Tensor* b = ws->Acquire();
+  layers_[0].InferSparseInto(x, /*fuse_relu=*/!relus_.empty(), a);
+  Tensor* in = a;
+  Tensor* out = b;
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    layers_[i].InferInto(*in, /*fuse_relu=*/i < relus_.size(), out);
+    std::swap(in, out);
+  }
+  return in;
 }
 
 Tensor Mlp::Backward(const Tensor& dy) {
@@ -191,6 +233,31 @@ Tensor MaskedMean::Pool(const Tensor& flat, const Tensor& mask) {
     }
   }
   return out;
+}
+
+void MaskedMean::PoolInto(const Tensor& flat, const Tensor& mask,
+                          Tensor* out) {
+  DS_CHECK_EQ(flat.rank(), 2u);
+  DS_CHECK_EQ(mask.rank(), 2u);
+  const size_t b = mask.dim(0), s = mask.dim(1), h = flat.dim(1);
+  DS_CHECK_EQ(flat.dim(0), b * s);
+  out->ResizeInPlace({b, h});
+  for (size_t i = 0; i < b; ++i) {
+    float count = 0.0f;
+    float* orow = out->data() + i * h;
+    for (size_t k = 0; k < h; ++k) orow[k] = 0.0f;
+    for (size_t j = 0; j < s; ++j) {
+      const float m = mask.at(i, j);
+      if (m == 0.0f) continue;
+      count += m;
+      const float* frow = flat.data() + (i * s + j) * h;
+      for (size_t k = 0; k < h; ++k) orow[k] += m * frow[k];
+    }
+    if (count > 0.0f) {
+      const float inv = 1.0f / count;
+      for (size_t k = 0; k < h; ++k) orow[k] *= inv;
+    }
+  }
 }
 
 Tensor MaskedMean::Backward(const Tensor& dy) {

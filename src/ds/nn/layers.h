@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "ds/nn/kernels.h"
 #include "ds/nn/tensor.h"
+#include "ds/nn/workspace.h"
 #include "ds/util/random.h"
 #include "ds/util/serialize.h"
 #include "ds/util/status.h"
@@ -52,6 +54,14 @@ class Linear {
   /// Forward without caching: const, safe to call concurrently.
   Tensor Infer(const Tensor& x) const;
 
+  /// Fused allocation-free inference: *y = x W + b, then ReLU when
+  /// `fuse_relu`. `y` is resized in place (zero-allocation once warm) and
+  /// must not alias `x`. Bit-for-bit identical to Infer (+ ApplyInPlace).
+  void InferInto(const Tensor& x, bool fuse_relu, Tensor* y) const;
+
+  /// Same, with the input in CSR form (the featurized one-hot rows).
+  void InferSparseInto(const SparseRows& x, bool fuse_relu, Tensor* y) const;
+
   std::vector<Parameter*> Parameters() { return {&weight_, &bias_}; }
   size_t in_features() const { return weight_.value.dim(0); }
   size_t out_features() const { return weight_.value.dim(1); }
@@ -62,23 +72,27 @@ class Linear {
   Tensor cached_x_;
 };
 
-/// Elementwise max(0, x).
+/// Elementwise max(0, x). Takes its input by value so callers holding an
+/// rvalue activation move it in; the activation is applied in place and one
+/// copy is kept for Backward (the output doubles as the cache — the ReLU
+/// gradient mask is recoverable from the output alone).
 class ReLU {
  public:
-  Tensor Forward(const Tensor& x);
+  Tensor Forward(Tensor x);
   Tensor Backward(const Tensor& dy);
 
   /// In-place max(0, x) with no caching (inference path).
   static void ApplyInPlace(Tensor* x);
 
  private:
-  Tensor cached_x_;
+  Tensor cached_y_;
 };
 
-/// Elementwise logistic sigmoid.
+/// Elementwise logistic sigmoid (by-value input for the same reason as
+/// ReLU; the backward pass needs only the output).
 class Sigmoid {
  public:
-  Tensor Forward(const Tensor& x);
+  Tensor Forward(Tensor x);
   Tensor Backward(const Tensor& dy);
 
   /// In-place sigmoid with no caching (inference path).
@@ -101,6 +115,17 @@ class Mlp {
   Tensor Backward(const Tensor& dy);
   /// Forward without caching: const, safe to call concurrently.
   Tensor Infer(const Tensor& x) const;
+
+  /// Workspace-backed inference through the fused kernels: acquires two
+  /// ping-pong slots from `ws` and returns a pointer to the one holding the
+  /// output (valid until ws->Reset()). Bit-for-bit identical to Infer.
+  /// Concurrent calls are safe with distinct workspaces.
+  Tensor* InferInto(const Tensor& x, Workspace* ws) const;
+
+  /// Same, feeding the first layer from CSR rows (the MSCN's sparse
+  /// featurized inputs); later layers run dense.
+  Tensor* InferSparseInto(const SparseRows& x, Workspace* ws) const;
+
   std::vector<Parameter*> Parameters();
 
   size_t in_features() const { return layers_.front().in_features(); }
@@ -126,6 +151,10 @@ class MaskedMean {
 
   /// Stateless pooling (inference path): same math as Forward, no caches.
   static Tensor Pool(const Tensor& flat, const Tensor& mask);
+
+  /// Allocation-free Pool: `out` is resized in place to [B, H]. Bit-for-bit
+  /// identical to Pool.
+  static void PoolInto(const Tensor& flat, const Tensor& mask, Tensor* out);
 
  private:
   Tensor cached_mask_;

@@ -10,6 +10,7 @@
 #define DS_NN_TENSOR_H_
 
 #include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,24 @@ class Tensor {
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
   void Zero() { Fill(0.0f); }
 
+  /// Reshapes this tensor in place, reusing the existing buffer when its
+  /// capacity suffices (the Workspace reuse path). Element values are
+  /// unspecified afterwards — callers overwrite. Returns true if the buffer
+  /// had to grow (i.e. the call heap-allocated).
+  bool ResizeInPlace(const std::vector<size_t>& shape) {
+    return ResizeInPlaceSpan(shape.data(), shape.data() + shape.size());
+  }
+
+  /// Brace-list overload: `t.ResizeInPlace({b, h})` stays allocation-free
+  /// (the initializer_list is stack-backed; the vector overload would
+  /// materialize a temporary heap vector at every call site).
+  bool ResizeInPlace(std::initializer_list<size_t> shape) {
+    return ResizeInPlaceSpan(shape.begin(), shape.end());
+  }
+
+  /// Bytes of backing storage currently reserved.
+  size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
+
   /// Reinterprets the tensor with a new shape of identical element count
   /// (row-major data is untouched).
   Tensor Reshaped(std::vector<size_t> shape) const {
@@ -92,6 +111,15 @@ class Tensor {
   std::string ShapeString() const;
 
  private:
+  bool ResizeInPlaceSpan(const size_t* begin, const size_t* end) {
+    size_t n = 1;
+    for (const size_t* d = begin; d != end; ++d) n *= *d;
+    shape_.assign(begin, end);
+    const bool grew = n > data_.capacity();
+    data_.resize(n);
+    return grew;
+  }
+
   std::vector<size_t> shape_;
   std::vector<float> data_;
 };

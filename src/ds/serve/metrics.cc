@@ -36,7 +36,10 @@ ServerMetrics::ServerMetrics(obs::Registry* r)
                                 "Microseconds of featurize + forward per "
                                 "batch")),
       batch_size(*r->GetHistogram("ds_serve_batch_size",
-                                  "Requests per coalesced batch")) {}
+                                  "Requests per coalesced batch")),
+      batch_allocations(*r->GetGauge(
+          "ds_serve_batch_allocations",
+          "Heap allocations during the last EstimateMany batch")) {}
 
 MetricsSnapshot ServerMetrics::Snapshot(const CacheStats& cache) const {
   MetricsSnapshot s;

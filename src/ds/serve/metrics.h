@@ -86,6 +86,11 @@ struct ServerMetrics {
   Histogram& queue_wait_us;
   Histogram& infer_us;
   Histogram& batch_size;
+  /// Heap allocations observed during the last EstimateMany batch (0 once
+  /// the per-thread scratch is warm). With multiple workers, allocations
+  /// from other threads can land in the measurement window, so read it as a
+  /// single-worker steady-state health signal rather than an exact count.
+  Gauge& batch_allocations;
 
   /// `cache` comes from the registry the server fronts.
   MetricsSnapshot Snapshot(const CacheStats& cache) const;

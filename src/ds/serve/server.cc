@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <utility>
 
+#include "ds/nn/kernels.h"
 #include "ds/obs/exposition.h"
 #include "ds/sql/binder.h"
+#include "ds/util/alloc.h"
 #include "ds/workload/query_spec.h"
 
 namespace ds::serve {
@@ -65,6 +67,25 @@ SketchServer::~SketchServer() { Stop(); }
 
 obs::RegistrySnapshot SketchServer::ObsSnapshot() const {
   ExportCacheStats(obs_registry_, registry_->stats());
+  // Mirror the NN kernel counters (process-wide) into gauges so an
+  // exposition snapshot shows how inference work is being executed.
+  const nn::KernelStats& k = nn::GlobalKernelStats();
+  auto set = [this](const char* name, const char* help, double v) {
+    obs_registry_->GetGauge(name, help)->Set(v);
+  };
+  set("ds_nn_kernels_vectorized",
+      "1 when the AVX2 intrinsic kernel path is compiled in",
+      nn::KernelsVectorized() ? 1.0 : 0.0);
+  set("ds_nn_kernel_dense_calls", "Dense matmul kernel invocations",
+      static_cast<double>(k.dense_calls.load(std::memory_order_relaxed)));
+  set("ds_nn_kernel_fused_calls", "Fused linear+bias(+ReLU) invocations",
+      static_cast<double>(k.fused_calls.load(std::memory_order_relaxed)));
+  set("ds_nn_kernel_sparse_calls", "Sparse linear kernel invocations",
+      static_cast<double>(k.sparse_calls.load(std::memory_order_relaxed)));
+  set("ds_nn_kernel_flops", "Multiply-accumulate flops issued by kernels",
+      static_cast<double>(k.flops.load(std::memory_order_relaxed)));
+  set("ds_nn_kernel_bytes", "Operand and result bytes touched by kernels",
+      static_cast<double>(k.bytes.load(std::memory_order_relaxed)));
   return obs_registry_->Snapshot();
 }
 
@@ -331,14 +352,21 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
         break;
       }
     }
-    std::vector<Result<double>> results;
+    // Reused per worker thread: EstimateManyInto keeps all featurization
+    // and inference state in warm thread-local scratch, so steady-state
+    // batches allocate nothing. The AllocCount delta around the call is
+    // exported as a gauge to watch exactly that.
+    static thread_local std::vector<Result<double>> results;
+    const uint64_t allocs_before = util::AllocCount();
     {
       obs::ScopedTraceContext trace_scope(
           tracer_, traced != nullptr ? traced->trace_id : 0,
           traced != nullptr ? traced->root_span : 0);
       obs::Span infer_span("infer", specs.size());
-      results = (*sketch)->EstimateMany(specs);
+      (*sketch)->EstimateManyInto(specs, &results);
     }
+    metrics_.batch_allocations.Set(
+        static_cast<double>(util::AllocCount() - allocs_before));
     for (size_t s = 0; s < results.size(); ++s) {
       if (results[s].ok()) {
         metrics_.completed.Add();

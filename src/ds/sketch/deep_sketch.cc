@@ -105,6 +105,7 @@ Result<DeepSketch> DeepSketch::TrainOnWorkload(
   trainer_opts.loss = config.loss;
   trainer_opts.validation_fraction = config.validation_fraction;
   trainer_opts.seed = config.seed + 3;
+  trainer_opts.threads = config.training_threads;
   if (monitor != nullptr) {
     if (monitor->on_epoch) trainer_opts.on_epoch = monitor->on_epoch;
     trainer_opts.obs_registry = monitor->obs_registry;
@@ -200,46 +201,70 @@ Result<double> DeepSketch::EstimateCardinality(
 
 std::vector<Result<double>> DeepSketch::EstimateMany(
     const std::vector<workload::QuerySpec>& specs) const {
-  std::vector<Result<double>> out(specs.size(), Result<double>(1.0));
-  mscn::Dataset batch_set;
-  std::vector<size_t> positions;  // index into `out` per featurized query
+  std::vector<Result<double>> out;
+  EstimateManyInto(specs, &out);
+  return out;
+}
+
+namespace {
+
+// Per-thread estimation scratch: everything EstimateManyInto needs between
+// the spec list and the result vector. Every member keeps its capacity
+// across batches, so once a thread has served a batch at least as large as
+// the current one, estimation touches no allocator.
+struct EstimateScratch {
+  mscn::FeaturizeScratch featurize;
+  std::vector<mscn::SparseQueryFeatures> features;  // one slot per query
+  std::vector<const mscn::SparseQueryFeatures*> ptrs;
+  std::vector<size_t> positions;  // result index per featurized query
+  mscn::SparseBatch batch;
+  nn::Workspace ws;
+};
+
+EstimateScratch& LocalEstimateScratch() {
+  static thread_local EstimateScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void DeepSketch::EstimateManyInto(const std::vector<workload::QuerySpec>& specs,
+                                  std::vector<Result<double>>* out) const {
+  EstimateScratch& s = LocalEstimateScratch();
+  out->assign(specs.size(), Result<double>(1.0));
+  s.positions.clear();
   {
     obs::Span span("featurize", specs.size());
     for (size_t i = 0; i < specs.size(); ++i) {
-      auto features =
-          use_sample_bitmaps_
-              ? space_.FeaturizeWithSamples(specs[i], samples_)
-              : [&]() -> Result<mscn::QueryFeatures> {
-                  DS_ASSIGN_OR_RETURN(
-                      workload::QuerySpec resolved,
-                      mscn::ResolveStringLiterals(specs[i], samples_));
-                  return space_.Featurize(resolved, {});
-                }();
-      if (!features.ok()) {
-        if (features.status().code() != StatusCode::kNotFound) {
+      const size_t slot = s.positions.size();
+      if (slot >= s.features.size()) s.features.emplace_back();
+      Status st = space_.FeaturizeSparse(specs[i], samples_,
+                                         use_sample_bitmaps_, &s.featurize,
+                                         &s.features[slot]);
+      if (!st.ok()) {
+        if (st.code() != StatusCode::kNotFound) {
           // Bad spec: fail this slot only, the batch proceeds without it.
-          out[i] = features.status();
+          (*out)[i] = st;
         }
         // kNotFound (unknown literal): keep the minimum estimate of 1.
         continue;
       }
-      batch_set.features.push_back(std::move(features).value());
-      batch_set.labels.push_back(0);
-      positions.push_back(i);
+      s.positions.push_back(i);
     }
   }
-  if (!positions.empty()) {
-    obs::Span span("forward", positions.size());
-    std::vector<size_t> indices(positions.size());
-    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-    mscn::Batch batch = mscn::MakeBatch(batch_set, indices, space_);
-    nn::Tensor y = model_->Infer(batch);
-    for (size_t i = 0; i < positions.size(); ++i) {
-      out[positions[i]] =
-          normalizer_.Denormalize(static_cast<double>(y.at(i)));
-    }
+  if (s.positions.empty()) return;
+  obs::Span span("forward", s.positions.size());
+  s.ptrs.clear();
+  for (size_t k = 0; k < s.positions.size(); ++k) {
+    s.ptrs.push_back(&s.features[k]);
   }
-  return out;
+  mscn::PackSparseBatch(s.ptrs, space_, &s.batch);
+  s.ws.Reset();
+  const nn::Tensor* y = model_->InferSparse(s.batch, &s.ws);
+  for (size_t k = 0; k < s.positions.size(); ++k) {
+    (*out)[s.positions[k]] =
+        normalizer_.Denormalize(static_cast<double>(y->at(k)));
+  }
 }
 
 void DeepSketch::Write(util::BinaryWriter* w) const {

@@ -61,6 +61,10 @@ struct SketchConfig {
   /// for templates and literal resolution.
   bool use_sample_bitmaps = true;
 
+  /// Worker threads for data-parallel minibatch training (1 = the exact
+  /// sequential path). See mscn::TrainerOptions::threads.
+  size_t training_threads = 1;
+
   double validation_fraction = 0.1;
   uint64_t seed = 42;
 };
@@ -115,6 +119,14 @@ class DeepSketch final : public est::CardinalityEstimator {
   /// rest of the batch (unknown categorical literals still estimate 1).
   std::vector<Result<double>> EstimateMany(
       const std::vector<workload::QuerySpec>& specs) const;
+
+  /// EstimateMany into a caller-reused results vector — the serving hot
+  /// path. Featurization runs sparse (CSR rows straight into the fused
+  /// sparse kernels) and every intermediate lives in thread-local scratch
+  /// that keeps its capacity, so steady-state batches perform zero heap
+  /// allocations. Results are identical to EstimateMany.
+  void EstimateManyInto(const std::vector<workload::QuerySpec>& specs,
+                        std::vector<Result<double>>* out) const;
 
   /// Parses and binds SQL against the sketch's embedded schema (the template
   /// engine uses this to extract placeholders).

@@ -1,0 +1,33 @@
+// Process-wide heap-allocation counting.
+//
+// alloc.cc replaces the global operator new/delete with forwarding versions
+// that bump relaxed atomic counters. The counters cost one uncontended
+// atomic add per allocation — cheap enough to leave on in Release builds —
+// and power the "zero allocations per steady-state batch" checks: tests and
+// benches read AllocCount() before/after a hot-path call, and the serving
+// layer exports the per-batch delta as a gauge.
+//
+// Under ASan/TSan/MSan the replacement is compiled out (the sanitizer
+// runtimes interpose the allocator themselves); AllocCountingAvailable()
+// reports whether real counts are being collected so callers can skip
+// assertions instead of reading frozen zeros.
+
+#ifndef DS_UTIL_ALLOC_H_
+#define DS_UTIL_ALLOC_H_
+
+#include <cstdint>
+
+namespace ds::util {
+
+/// True when operator new/delete are instrumented in this build.
+bool AllocCountingAvailable();
+
+/// Heap allocations (operator new calls) so far, process-wide.
+uint64_t AllocCount();
+
+/// Bytes requested from operator new so far, process-wide.
+uint64_t AllocBytes();
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_ALLOC_H_

@@ -1,0 +1,52 @@
+// Minimal fork-join parallelism for the data-parallel trainer.
+//
+// ParallelFor runs fn(0..n-1) across up to `threads` OS threads (the caller
+// participates, so `threads == 1` runs inline with no spawns). Indices are
+// claimed from a shared atomic, so uneven task costs balance automatically.
+// The call returns after every index has finished — a full barrier.
+//
+// The callback must not throw (the codebase reports errors via Status, and
+// DS_CHECK aborts); an exception escaping a worker thread would terminate.
+
+#ifndef DS_UTIL_PARALLEL_H_
+#define DS_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ds::util {
+
+template <typename Fn>
+void ParallelFor(size_t n, size_t threads, const Fn& fn) {
+  if (n == 0) return;
+  if (threads == 0) threads = 1;
+  if (threads > n) threads = n;
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (size_t t = 0; t + 1 < threads; ++t) workers.emplace_back(work);
+  work();
+  for (std::thread& w : workers) w.join();
+}
+
+/// Hardware threads available, at least 1 (hardware_concurrency may be 0).
+inline size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_PARALLEL_H_

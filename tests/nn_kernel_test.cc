@@ -1,0 +1,577 @@
+// Tests for the zero-allocation kernel layer: bit-for-bit parity of the
+// Into/fused/sparse kernels with the tensor.h reference ops, workspace
+// reuse, sparse featurization parity, batched-vs-single estimation, the
+// steady-state zero-allocation guarantee, and data-parallel training.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ds/mscn/dataset.h"
+#include "ds/mscn/featurizer.h"
+#include "ds/mscn/model.h"
+#include "ds/mscn/trainer.h"
+#include "ds/nn/kernels.h"
+#include "ds/nn/layers.h"
+#include "ds/nn/tensor.h"
+#include "ds/nn/workspace.h"
+#include "ds/sketch/deep_sketch.h"
+#include "ds/sql/binder.h"
+#include "ds/util/alloc.h"
+#include "ds/util/parallel.h"
+#include "ds/util/random.h"
+#include "test_util.h"
+
+namespace ds {
+namespace {
+
+using nn::LinearBiasActInto;
+using nn::MatMulInto;
+using nn::MatMulTransposedAAccumulate;
+using nn::MatMulTransposedBInto;
+using nn::SparseLinearBiasActInto;
+using nn::SparseRows;
+using nn::Tensor;
+using nn::Workspace;
+
+Tensor RandomTensor(const std::vector<size_t>& shape, util::Pcg32* rng,
+                    double zero_fraction = 0.0) {
+  Tensor t(shape);
+  for (float& v : t.vec()) {
+    v = rng->UniformDouble(0, 1) < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng->Normal());
+  }
+  return t;
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-for-bit: exact float equality, no tolerance.
+    ASSERT_EQ(a.at(i), b.at(i)) << "mismatch at flat index " << i;
+  }
+}
+
+// ---- Dense kernel parity ---------------------------------------------------
+
+TEST(KernelTest, MatMulIntoMatchesReferenceBitForBit) {
+  util::Pcg32 rng(7);
+  // Shapes straddling the 8-wide AVX2 vector width, plus sparse-ish inputs
+  // exercising the zero-skip path.
+  const size_t dims[][3] = {{1, 1, 1},   {2, 3, 4},   {5, 8, 8},
+                            {3, 17, 33}, {16, 64, 64}, {7, 13, 9}};
+  for (const auto& d : dims) {
+    for (double zf : {0.0, 0.6, 1.0}) {
+      Tensor a = RandomTensor({d[0], d[1]}, &rng, zf);
+      Tensor b = RandomTensor({d[1], d[2]}, &rng);
+      Tensor want = nn::MatMul(a, b);
+      Tensor got;
+      MatMulInto(a, b, &got);
+      ExpectBitIdentical(want, got);
+    }
+  }
+}
+
+TEST(KernelTest, FusedLinearBiasActMatchesUnfusedBitForBit) {
+  util::Pcg32 rng(8);
+  for (const auto& d : {std::vector<size_t>{4, 29, 16},
+                        std::vector<size_t>{1, 64, 64},
+                        std::vector<size_t>{9, 7, 3}}) {
+    Tensor x = RandomTensor({d[0], d[1]}, &rng, 0.5);
+    Tensor w = RandomTensor({d[1], d[2]}, &rng);
+    Tensor b = RandomTensor({d[2]}, &rng);
+    for (bool relu : {false, true}) {
+      Tensor want = nn::MatMul(x, w);
+      nn::AddBiasRows(&want, b);
+      if (relu) nn::ReLU::ApplyInPlace(&want);
+      Tensor got;
+      LinearBiasActInto(x, w, b, relu, &got);
+      ExpectBitIdentical(want, got);
+    }
+  }
+}
+
+TEST(KernelTest, TransposedBWithinOneUlp) {
+  util::Pcg32 rng(9);
+  Tensor a = RandomTensor({6, 33}, &rng);
+  Tensor b = RandomTensor({11, 33}, &rng);
+  Tensor want = nn::MatMulTransposedB(a, b);
+  Tensor got;
+  MatMulTransposedBInto(a, b, &got);
+  ASSERT_TRUE(want.SameShape(got));
+  for (size_t i = 0; i < want.size(); ++i) {
+    // Multi-accumulator dots reassociate; error stays within a few ulps of
+    // the reference for these magnitudes.
+    EXPECT_NEAR(want.at(i), got.at(i),
+                2e-5f * (1.0f + std::fabs(want.at(i))));
+  }
+}
+
+TEST(KernelTest, TransposedAAccumulateMatchesReferencePlusAxpy) {
+  util::Pcg32 rng(10);
+  Tensor a = RandomTensor({12, 19}, &rng, 0.3);
+  Tensor b = RandomTensor({12, 5}, &rng);
+  // Reference: dW += a^T b via temporary + Axpy, starting from zero.
+  Tensor want({19, 5});
+  nn::Axpy(1.0f, nn::MatMulTransposedA(a, b), &want);
+  Tensor got({19, 5});
+  MatMulTransposedAAccumulate(a, b, &got);
+  ExpectBitIdentical(want, got);
+  // A second call keeps accumulating element-by-element, which is NOT the
+  // same float sequence as adding a presummed tensor — the order-matched
+  // reference is one pass over the row-stacked inputs [a;a], [b;b].
+  MatMulTransposedAAccumulate(a, b, &got);
+  Tensor a2({24, 19}), b2({24, 5});
+  for (int rep = 0; rep < 2; ++rep) {
+    std::copy(a.data(), a.data() + a.size(), a2.data() + rep * a.size());
+    std::copy(b.data(), b.data() + b.size(), b2.data() + rep * b.size());
+  }
+  Tensor want2 = nn::MatMulTransposedA(a2, b2);
+  ExpectBitIdentical(want2, got);
+}
+
+// ---- Sparse kernels --------------------------------------------------------
+
+SparseRows MakeSparse(const Tensor& dense) {
+  SparseRows s;
+  s.Clear(dense.dim(1));
+  for (size_t i = 0; i < dense.dim(0); ++i) {
+    for (size_t j = 0; j < dense.dim(1); ++j) {
+      const float v = dense.at(i, j);
+      if (v != 0.0f) s.Push(static_cast<uint32_t>(j), v);
+    }
+    s.EndRow();
+  }
+  return s;
+}
+
+TEST(KernelTest, SparseRowsToDenseRoundTrips) {
+  util::Pcg32 rng(11);
+  Tensor dense = RandomTensor({5, 23}, &rng, 0.8);
+  SparseRows s = MakeSparse(dense);
+  ExpectBitIdentical(dense, s.ToDense());
+}
+
+TEST(KernelTest, SparseLinearMatchesDenseBitForBit) {
+  util::Pcg32 rng(12);
+  for (double zf : {0.5, 0.9, 1.0}) {
+    Tensor x = RandomTensor({6, 27}, &rng, zf);
+    Tensor w = RandomTensor({27, 16}, &rng);
+    Tensor b = RandomTensor({16}, &rng);
+    SparseRows xs = MakeSparse(x);
+    for (bool relu : {false, true}) {
+      Tensor want, got;
+      LinearBiasActInto(x, w, b, relu, &want);
+      SparseLinearBiasActInto(xs, w, b, relu, &got);
+      ExpectBitIdentical(want, got);
+    }
+  }
+}
+
+TEST(KernelTest, AppendRowFromCopiesRows) {
+  util::Pcg32 rng(13);
+  Tensor dense = RandomTensor({4, 9}, &rng, 0.6);
+  SparseRows src = MakeSparse(dense);
+  SparseRows dst;
+  dst.Clear(9);
+  dst.AppendRowFrom(src, 2);
+  dst.AppendRowFrom(src, 0);
+  dst.EndRow();  // one empty padding row
+  ASSERT_EQ(dst.rows(), 3u);
+  Tensor d = dst.ToDense();
+  for (size_t j = 0; j < 9; ++j) {
+    EXPECT_EQ(d.at(0, j), dense.at(2, j));
+    EXPECT_EQ(d.at(1, j), dense.at(0, j));
+    EXPECT_EQ(d.at(2, j), 0.0f);
+  }
+}
+
+TEST(KernelTest, KernelStatsCount) {
+  auto& stats = nn::GlobalKernelStats();
+  const uint64_t dense0 = stats.dense_calls.load();
+  const uint64_t fused0 = stats.fused_calls.load();
+  const uint64_t sparse0 = stats.sparse_calls.load();
+  util::Pcg32 rng(14);
+  Tensor a = RandomTensor({2, 3}, &rng), b = RandomTensor({3, 4}, &rng);
+  Tensor bias = RandomTensor({4}, &rng), out;
+  MatMulInto(a, b, &out);
+  LinearBiasActInto(a, b, bias, true, &out);
+  SparseLinearBiasActInto(MakeSparse(a), b, bias, true, &out);
+  EXPECT_GT(stats.dense_calls.load(), dense0);
+  EXPECT_GT(stats.fused_calls.load(), fused0);
+  EXPECT_GT(stats.sparse_calls.load(), sparse0);
+}
+
+// ---- Workspace -------------------------------------------------------------
+
+TEST(WorkspaceTest, SlotsAreStableAndCapacityStabilizes) {
+  Workspace ws;
+  Tensor* a = ws.Acquire();
+  Tensor* b = ws.Acquire();
+  EXPECT_NE(a, b);
+  a->ResizeInPlace({8, 16});
+  b->ResizeInPlace({4, 4});
+  ws.Reset();
+  // Same acquire order hands back the same slots with capacity retained.
+  Tensor* a2 = ws.Acquire();
+  Tensor* b2 = ws.Acquire();
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(b, b2);
+  const size_t cap = ws.capacity_bytes();
+  EXPECT_FALSE(a2->ResizeInPlace({8, 16}));  // no growth needed
+  EXPECT_FALSE(b2->ResizeInPlace({2, 8}));   // shrink reuses capacity
+  EXPECT_EQ(ws.capacity_bytes(), cap);
+}
+
+// ---- Layer/model inference parity ------------------------------------------
+
+TEST(KernelTest, MlpInferIntoMatchesInferAndForward) {
+  util::Pcg32 rng(15);
+  nn::Mlp mlp("m", {13, 32, 32}, /*final_activation=*/true);
+  mlp.Initialize(&rng);
+  Tensor x = RandomTensor({7, 13}, &rng, 0.4);
+  Tensor fwd = mlp.Forward(x);
+  Tensor inf = mlp.Infer(x);
+  Workspace ws;
+  Tensor* into = mlp.InferInto(x, &ws);
+  ExpectBitIdentical(fwd, inf);
+  ExpectBitIdentical(inf, *into);
+  // Sparse input path.
+  Tensor* sparse = mlp.InferSparseInto(MakeSparse(x), &ws);
+  ExpectBitIdentical(inf, *sparse);
+}
+
+TEST(KernelTest, PoolIntoMatchesPool) {
+  util::Pcg32 rng(16);
+  Tensor flat = RandomTensor({6 * 3, 10}, &rng);
+  Tensor mask({6, 3});
+  for (float& v : mask.vec()) v = rng.UniformDouble(0, 1) < 0.5 ? 1.0f : 0.0f;
+  Tensor want = nn::MaskedMean::Pool(flat, mask);
+  Tensor got;
+  nn::MaskedMean::PoolInto(flat, mask, &got);
+  ExpectBitIdentical(want, got);
+}
+
+class KernelPipelineTest : public ::testing::Test {
+ protected:
+  KernelPipelineTest()
+      : catalog_(testutil::MakeTinyCatalog()),
+        samples_(est::SampleSet::Build(*catalog_, 8, 3).value()),
+        space_(mscn::FeatureSpace::Create(*catalog_, {}, 8).value()) {}
+
+  workload::QuerySpec Q(const std::string& sql) {
+    return sql::ParseAndBind(*catalog_, sql).value();
+  }
+
+  std::vector<workload::QuerySpec> TestSpecs() {
+    return {
+        Q("SELECT COUNT(*) FROM movie"),
+        Q("SELECT COUNT(*) FROM movie WHERE year = 2003"),
+        Q("SELECT COUNT(*) FROM movie m, rating r WHERE r.movie_id = m.id "
+          "AND r.score > 2.5"),
+        Q("SELECT COUNT(*) FROM genre WHERE name = 'g1'"),
+        Q("SELECT COUNT(*) FROM movie m, rating r, genre g WHERE "
+          "r.movie_id = m.id AND m.genre_id = g.id AND g.name = 'g2' "
+          "AND m.year > 2004"),
+    };
+  }
+
+  std::unique_ptr<storage::Catalog> catalog_;
+  est::SampleSet samples_;
+  mscn::FeatureSpace space_;
+};
+
+TEST_F(KernelPipelineTest, SparseFeaturizationMatchesDense) {
+  mscn::FeaturizeScratch scratch;
+  mscn::SparseQueryFeatures sparse;
+  for (const auto& spec : TestSpecs()) {
+    for (bool use_bitmaps : {true, false}) {
+      ASSERT_TRUE(space_
+                      .FeaturizeSparse(spec, samples_, use_bitmaps, &scratch,
+                                       &sparse)
+                      .ok());
+      auto dense =
+          use_bitmaps
+              ? space_.FeaturizeWithSamples(spec, samples_).value()
+              : space_
+                    .Featurize(
+                        mscn::ResolveStringLiterals(spec, samples_).value(),
+                        {})
+                    .value();
+      ASSERT_EQ(sparse.tables.rows(), dense.tables.size());
+      ASSERT_EQ(sparse.joins.rows(), dense.joins.size());
+      ASSERT_EQ(sparse.predicates.rows(), dense.predicates.size());
+      Tensor td = sparse.tables.ToDense();
+      for (size_t i = 0; i < dense.tables.size(); ++i) {
+        for (size_t j = 0; j < space_.table_dim(); ++j) {
+          ASSERT_EQ(td.at(i, j), dense.tables[i][j]);
+        }
+      }
+      Tensor pd = sparse.predicates.ToDense();
+      for (size_t i = 0; i < dense.predicates.size(); ++i) {
+        for (size_t j = 0; j < space_.pred_dim(); ++j) {
+          ASSERT_EQ(pd.at(i, j), dense.predicates[i][j]);
+        }
+      }
+      Tensor jd = sparse.joins.ToDense();
+      for (size_t i = 0; i < dense.joins.size(); ++i) {
+        for (size_t j = 0; j < space_.join_dim(); ++j) {
+          ASSERT_EQ(jd.at(i, j), dense.joins[i][j]);
+        }
+      }
+      // Strictly increasing columns per row (the bit-exactness invariant).
+      for (const nn::SparseRows* s :
+           {&sparse.tables, &sparse.joins, &sparse.predicates}) {
+        for (size_t r = 0; r < s->rows(); ++r) {
+          for (uint32_t e = s->row_offsets[r] + 1; e < s->row_offsets[r + 1];
+               ++e) {
+            ASSERT_LT(s->cols[e - 1], s->cols[e]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelPipelineTest, ModelInferSparseMatchesInfer) {
+  mscn::ModelConfig mc;
+  mc.table_dim = space_.table_dim();
+  mc.join_dim = space_.join_dim();
+  mc.pred_dim = space_.pred_dim();
+  mc.hidden_units = 16;
+  mscn::MscnModel model(mc);
+  util::Pcg32 rng(17);
+  model.Initialize(&rng);
+
+  // Featurize the specs both ways and batch them both ways.
+  mscn::Dataset ds;
+  mscn::FeaturizeScratch scratch;
+  std::vector<mscn::SparseQueryFeatures> sparse(TestSpecs().size());
+  std::vector<const mscn::SparseQueryFeatures*> ptrs;
+  size_t n = 0;
+  for (const auto& spec : TestSpecs()) {
+    ds.features.push_back(space_.FeaturizeWithSamples(spec, samples_).value());
+    ds.labels.push_back(1);
+    ASSERT_TRUE(
+        space_.FeaturizeSparse(spec, samples_, true, &scratch, &sparse[n])
+            .ok());
+    ptrs.push_back(&sparse[n]);
+    ++n;
+  }
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  mscn::Batch batch = mscn::MakeBatch(ds, indices, space_);
+  mscn::SparseBatch sbatch;
+  mscn::PackSparseBatch(ptrs, space_, &sbatch);
+
+  Tensor want = model.Infer(batch);
+  Workspace ws;
+  const Tensor* dense_into = model.InferInto(batch, &ws);
+  ExpectBitIdentical(want, *dense_into);
+  ws.Reset();
+  const Tensor* got = model.InferSparse(sbatch, &ws);
+  ExpectBitIdentical(want, *got);
+}
+
+// ---- End-to-end estimation -------------------------------------------------
+
+class KernelSketchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = testutil::MakeTinyCatalog().release();
+    sketch::SketchConfig config;
+    config.num_samples = 16;
+    config.num_training_queries = 200;
+    config.num_epochs = 5;
+    config.hidden_units = 16;
+    config.batch_size = 32;
+    config.max_tables_per_query = 3;
+    config.seed = 77;
+    sketch_ = new sketch::DeepSketch(
+        sketch::DeepSketch::Train(*catalog_, config).value());
+  }
+  static void TearDownTestSuite() {
+    delete sketch_;
+    delete catalog_;
+    sketch_ = nullptr;
+    catalog_ = nullptr;
+  }
+  static storage::Catalog* catalog_;
+  static sketch::DeepSketch* sketch_;
+};
+
+storage::Catalog* KernelSketchTest::catalog_ = nullptr;
+sketch::DeepSketch* KernelSketchTest::sketch_ = nullptr;
+
+TEST_F(KernelSketchTest, BatchedEstimatesMatchOneAtATime) {
+  std::vector<workload::QuerySpec> specs;
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM movie WHERE year = 2003",
+        "SELECT COUNT(*) FROM movie m, rating r WHERE r.movie_id = m.id",
+        "SELECT COUNT(*) FROM genre WHERE name = 'g1'",
+        "SELECT COUNT(*) FROM movie WHERE year > 2001"}) {
+    specs.push_back(sql::ParseAndBind(*catalog_, sql).value());
+  }
+  auto batched = sketch_->EstimateMany(specs);
+  ASSERT_EQ(batched.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok());
+    // Single-spec batches pad differently, but pooling is padding-invariant
+    // and the kernels are bit-exact, so the estimates are identical doubles.
+    std::vector<workload::QuerySpec> one = {specs[i]};
+    auto single = sketch_->EstimateMany(one);
+    ASSERT_TRUE(single[0].ok());
+    EXPECT_DOUBLE_EQ(*batched[i], *single[0]) << i;
+    // And identical to the dense single-query path.
+    EXPECT_DOUBLE_EQ(*batched[i],
+                     sketch_->EstimateCardinality(specs[i]).value())
+        << i;
+  }
+}
+
+TEST_F(KernelSketchTest, SteadyStateEstimationAllocatesNothing) {
+  if (!util::AllocCountingAvailable()) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  std::vector<workload::QuerySpec> specs;
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM movie WHERE year = 2003",
+        "SELECT COUNT(*) FROM movie m, rating r WHERE r.movie_id = m.id "
+        "AND r.score > 1.5",
+        "SELECT COUNT(*) FROM movie WHERE year > 2001"}) {
+    specs.push_back(sql::ParseAndBind(*catalog_, sql).value());
+  }
+  std::vector<Result<double>> out;
+  // Warm the thread-local scratch and the output vector.
+  sketch_->EstimateManyInto(specs, &out);
+  sketch_->EstimateManyInto(specs, &out);
+  const uint64_t before = util::AllocCount();
+  for (int i = 0; i < 10; ++i) sketch_->EstimateManyInto(specs, &out);
+  EXPECT_EQ(util::AllocCount() - before, 0u)
+      << "steady-state EstimateManyInto batches must not allocate";
+}
+
+// ---- Data-parallel training ------------------------------------------------
+
+class ParallelTrainTest : public ::testing::Test {
+ protected:
+  ParallelTrainTest()
+      : catalog_(testutil::MakeTinyCatalog()),
+        samples_(est::SampleSet::Build(*catalog_, 8, 3).value()),
+        space_(mscn::FeatureSpace::Create(*catalog_, {}, 8).value()) {
+    const char* sqls[] = {
+        "SELECT COUNT(*) FROM movie",
+        "SELECT COUNT(*) FROM movie WHERE year = 2003",
+        "SELECT COUNT(*) FROM movie WHERE year > 2005",
+        "SELECT COUNT(*) FROM genre",
+        "SELECT COUNT(*) FROM rating WHERE score > 2.0",
+        "SELECT COUNT(*) FROM movie m, rating r WHERE r.movie_id = m.id",
+        "SELECT COUNT(*) FROM movie WHERE genre_id = 2",
+        "SELECT COUNT(*) FROM rating WHERE votes < 50",
+        "SELECT COUNT(*) FROM movie m, genre g WHERE m.genre_id = g.id",
+        "SELECT COUNT(*) FROM movie WHERE year < 2008",
+        "SELECT COUNT(*) FROM rating",
+        "SELECT COUNT(*) FROM genre WHERE id > 2",
+    };
+    for (const char* sql : sqls) {
+      auto spec = sql::ParseAndBind(*catalog_, sql).value();
+      dataset_.features.push_back(
+          space_.FeaturizeWithSamples(spec, samples_).value());
+      dataset_.labels.push_back(static_cast<double>(
+          std::max<uint64_t>(testutil::BruteForceCount(*catalog_, spec), 1)));
+    }
+  }
+
+  // One full-batch optimizer step at the given thread count; returns the
+  // resulting parameter values.
+  std::vector<float> StepOnce(size_t threads, double* loss_out) {
+    mscn::ModelConfig mc;
+    mc.table_dim = space_.table_dim();
+    mc.join_dim = space_.join_dim();
+    mc.pred_dim = space_.pred_dim();
+    mc.hidden_units = 8;
+    mscn::MscnModel model(mc);
+    util::Pcg32 rng(23);
+    model.Initialize(&rng);
+    mscn::TrainerOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = dataset_.size();  // a single full batch
+    opts.validation_fraction = 0;
+    opts.seed = 5;
+    opts.threads = threads;
+    mscn::Trainer trainer(opts);
+    auto report = trainer.Train(&model, dataset_, space_).value();
+    *loss_out = report.epochs.back().train_loss;
+    std::vector<float> params;
+    for (nn::Parameter* p : model.Parameters()) {
+      params.insert(params.end(), p->value.vec().begin(),
+                    p->value.vec().end());
+    }
+    return params;
+  }
+
+  std::unique_ptr<storage::Catalog> catalog_;
+  est::SampleSet samples_;
+  mscn::FeatureSpace space_;
+  mscn::Dataset dataset_;
+};
+
+TEST_F(ParallelTrainTest, ShardedGradientsMatchSequential) {
+  // Gradient check across thread counts: a single full-batch Adam step must
+  // land on (numerically) the same parameters whether gradients come from
+  // the sequential path or from 2/4 sharded workers reduced in order.
+  double loss1 = 0, loss_t = 0;
+  std::vector<float> seq = StepOnce(1, &loss1);
+  for (size_t threads : {2u, 4u}) {
+    std::vector<float> par = StepOnce(threads, &loss_t);
+    ASSERT_EQ(seq.size(), par.size());
+    EXPECT_NEAR(loss1, loss_t, 1e-9 * (1.0 + std::fabs(loss1)))
+        << threads << " threads";
+    for (size_t i = 0; i < seq.size(); ++i) {
+      ASSERT_NEAR(seq[i], par[i], 1e-4f) << "param " << i << " at "
+                                         << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTrainTest, ThreadsOneIsExactlySequential) {
+  // threads=1 runs the untouched sequential code path, so two runs with the
+  // same seed are bit-identical — including the final loss.
+  auto run = [&](size_t threads) {
+    mscn::ModelConfig mc;
+    mc.table_dim = space_.table_dim();
+    mc.join_dim = space_.join_dim();
+    mc.pred_dim = space_.pred_dim();
+    mc.hidden_units = 8;
+    mscn::MscnModel model(mc);
+    util::Pcg32 rng(29);
+    model.Initialize(&rng);
+    mscn::TrainerOptions opts;
+    opts.epochs = 4;
+    opts.batch_size = 4;
+    opts.validation_fraction = 0;
+    opts.seed = 11;
+    opts.threads = threads;
+    mscn::Trainer trainer(opts);
+    return trainer.Train(&model, dataset_, space_).value();
+  };
+  auto a = run(1);
+  auto b = run(1);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e].train_loss, b.epochs[e].train_loss);
+  }
+}
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  util::ParallelFor(hits.size(), 4, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  util::ParallelFor(0, 4, [&](size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace ds

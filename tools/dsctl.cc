@@ -4,8 +4,8 @@
 //       Generate a synthetic dataset and export every table as CSV.
 //
 //   dsctl train <imdb|tpch> <sketch-file> [tables=t1,t2,...] [queries=N]
-//               [epochs=N] [samples=N] [hidden=N] [seed=N] [log=curve.csv]
-//               [verbose=0|1]
+//               [epochs=N] [samples=N] [hidden=N] [seed=N] [threads=N]
+//               [log=curve.csv] [verbose=0|1]
 //       Generate the dataset in memory, train a Deep Sketch, persist it.
 //       Prints one machine-parseable key=value record per epoch; verbose=1
 //       adds the human-readable progress line.
@@ -157,6 +157,7 @@ int CmdTrain(int argc, char** argv) {
   config.num_samples = static_cast<size_t>(flags.GetInt("samples", 256));
   config.hidden_units = static_cast<size_t>(flags.GetInt("hidden", 64));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.training_threads = static_cast<size_t>(flags.GetInt("threads", 1));
 
   sketch::TrainingMonitor monitor;
   monitor.on_labeling_progress = [](size_t done, size_t total) {
