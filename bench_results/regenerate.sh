@@ -11,6 +11,10 @@ for b in table1_joblight estimation_latency template_queries zero_tuple \
   ./build/bench/bench_$b > $R/$b.txt
   echo "done: $b"
 done
-# Kernel microbenchmark + perf gate; also emits $R/nn_kernels.json.
+# Kernel microbenchmark + perf gate; also emits $R/nn_kernels.json. The
+# gate (vectorized >= reference throughput) also bounds the cost of the
+# always-on DS_REQUIRE/DS_ENSURE contracts on the kernel entry points: they
+# run once per kernel call, not per element, and stay in the noise — a
+# contract regression that slowed the kernels would fail check=1 here.
 ./build/bench/bench_nn_kernels check=1 > $R/nn_kernels.txt
 echo "done: nn_kernels"

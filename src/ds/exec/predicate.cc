@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ds/util/contract.h"
+
 namespace ds::exec {
 
 Result<std::vector<BoundPredicate>> BindPredicates(
@@ -16,6 +18,7 @@ Status BindPredicatesInto(
     const storage::Table& table, const std::string& table_name,
     const std::vector<workload::ColumnPredicate>& predicates,
     std::vector<BoundPredicate>* bound) {
+  DS_REQUIRE(bound != nullptr, "BindPredicatesInto needs an output vector");
   bound->clear();
   for (const auto& p : predicates) {
     if (p.table != table_name) continue;
@@ -35,8 +38,14 @@ Status BindPredicatesInto(
     } else {
       bp.value = *value;
     }
+    // Binding postcondition: every kept predicate carries a live column
+    // borrowed from `table` — AndPredicateColumn dereferences it blind.
+    DS_ENSURE(bp.column != nullptr, "bound predicate lost its column");
     bound->push_back(bp);
   }
+  DS_ENSURE(bound->size() <= predicates.size(),
+            "bound %zu predicates from %zu inputs", bound->size(),
+            predicates.size());
   return Status::OK();
 }
 
@@ -100,10 +109,21 @@ void AndPredicateColumn(const BoundPredicate& p, uint8_t* out, size_t n) {
 void QualifyingBitmapInto(const storage::Table& table,
                           const std::vector<BoundPredicate>& preds,
                           std::vector<uint8_t>* bitmap) {
+  DS_REQUIRE(bitmap != nullptr, "QualifyingBitmapInto needs an output bitmap");
   const size_t n = table.num_rows();
+  for (const auto& p : preds) {
+    // The column-at-a-time pass reads n values from each bound column; a
+    // shorter column (a predicate bound against a different table's data)
+    // would read out of bounds.
+    DS_REQUIRE(p.never_matches || p.column->size() >= n,
+               "bound column has %zu rows, table has %zu", p.column->size(),
+               n);
+  }
   bitmap->resize(n);
   std::fill(bitmap->begin(), bitmap->end(), uint8_t{1});
   for (const auto& p : preds) AndPredicateColumn(p, bitmap->data(), n);
+  DS_ENSURE(bitmap->size() == n, "bitmap has %zu entries for %zu rows",
+            bitmap->size(), n);
 }
 
 }  // namespace ds::exec

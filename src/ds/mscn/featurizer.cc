@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ds/util/contract.h"
+
 namespace ds::mscn {
 
 std::string FeatureSpace::JoinKey(const workload::JoinEdge& edge) {
@@ -203,6 +205,17 @@ Status FeatureSpace::FeaturizeSparse(const workload::QuerySpec& spec,
       for (size_t j = 0; j < n; ++j) {
         if (scratch->bitmap[j]) *cp++ = base + static_cast<uint32_t>(j);
       }
+      // This path writes cols directly (bypassing Push and its checks), so
+      // re-assert the CSR invariants it must uphold: every reserved slot
+      // filled, and the first bitmap column above the one-hot index keeps
+      // the row strictly increasing (bitmap columns ascend with j).
+      DS_DCHECK(cp == out->tables.cols.data() + start + count,
+                "bitmap bulk-emit filled %zu of %zu reserved CSR slots",
+                static_cast<size_t>(cp - (out->tables.cols.data() + start)),
+                count);
+      DS_DCHECK(base > static_cast<uint32_t>(idx),
+                "bitmap base %u must lie above table one-hot index %zu",
+                base, idx);
     }
     out->tables.EndRow();
   }
@@ -274,6 +287,15 @@ Status FeatureSpace::FeaturizeSparse(const workload::QuerySpec& spec,
     }
     out->predicates.EndRow();
   }
+  // Featurization postcondition: one CSR row per set element — the padded
+  // batch packer (deep_sketch.cc) indexes rows positionally.
+  DS_ENSURE(out->tables.rows() == q->tables.size() &&
+                out->joins.rows() == q->joins.size() &&
+                out->predicates.rows() == q->predicates.size(),
+            "featurized %zu/%zu/%zu rows for %zu tables, %zu joins, %zu "
+            "predicates",
+            out->tables.rows(), out->joins.rows(), out->predicates.rows(),
+            q->tables.size(), q->joins.size(), q->predicates.size());
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <immintrin.h>
 #endif
 
+#include "ds/util/contract.h"
+
 namespace ds::nn {
 
 KernelStats& GlobalKernelStats() {
@@ -154,11 +156,15 @@ Tensor SparseRows::ToDense() const {
 }
 
 void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
-  DS_CHECK_EQ(a.rank(), 2u);
-  DS_CHECK_EQ(b.rank(), 2u);
+  DS_REQUIRE(a.rank() == 2 && b.rank() == 2,
+             "MatMulInto wants 2D operands, got rank %zu x rank %zu",
+             a.rank(), b.rank());
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  DS_CHECK_EQ(k, b.dim(0));
+  DS_REQUIRE(k == b.dim(0),
+             "MatMulInto inner dims disagree: [%zu,%zu] x [%zu,%zu]", n, k,
+             b.dim(0), m);
   c->ResizeInPlace({n, m});
+  DS_NO_ALLOC_BEGIN();
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
@@ -170,14 +176,21 @@ void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
   }
   CountKernel(GlobalKernelStats().dense_calls, n * k * m,
               (n * k + k * m + n * m) * sizeof(float));
+  DS_NO_ALLOC_END();
 }
 
 void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* c) {
-  DS_CHECK_EQ(a.rank(), 2u);
-  DS_CHECK_EQ(b.rank(), 2u);
+  DS_REQUIRE(a.rank() == 2 && b.rank() == 2,
+             "MatMulTransposedBInto wants 2D operands, got rank %zu x rank "
+             "%zu",
+             a.rank(), b.rank());
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
-  DS_CHECK_EQ(k, b.dim(1));
+  DS_REQUIRE(k == b.dim(1),
+             "MatMulTransposedBInto inner dims disagree: [%zu,%zu] x "
+             "[%zu,%zu]^T",
+             n, k, m, b.dim(1));
   c->ResizeInPlace({n, m});
+  DS_NO_ALLOC_BEGIN();
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
@@ -212,15 +225,24 @@ void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* c) {
   }
   CountKernel(GlobalKernelStats().dense_calls, n * k * m,
               (n * k + k * m + n * m) * sizeof(float));
+  DS_NO_ALLOC_END();
 }
 
 void MatMulTransposedAAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
-  DS_CHECK_EQ(a.rank(), 2u);
-  DS_CHECK_EQ(b.rank(), 2u);
+  DS_REQUIRE(a.rank() == 2 && b.rank() == 2,
+             "MatMulTransposedAAccumulate wants 2D operands, got rank %zu x "
+             "rank %zu",
+             a.rank(), b.rank());
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  DS_CHECK_EQ(n, b.dim(0));
-  DS_CHECK_EQ(c->dim(0), k);
-  DS_CHECK_EQ(c->dim(1), m);
+  DS_REQUIRE(n == b.dim(0),
+             "MatMulTransposedAAccumulate outer dims disagree: [%zu,%zu]^T "
+             "x [%zu,%zu]",
+             n, k, b.dim(0), m);
+  DS_REQUIRE(c->dim(0) == k && c->dim(1) == m,
+             "MatMulTransposedAAccumulate accumulator is [%zu,%zu], wants "
+             "[%zu,%zu]",
+             c->dim(0), c->dim(1), k, m);
+  DS_NO_ALLOC_BEGIN();
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c->data();
@@ -235,17 +257,24 @@ void MatMulTransposedAAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   }
   CountKernel(GlobalKernelStats().dense_calls, n * k * m,
               (n * k + n * m + k * m) * sizeof(float));
+  DS_NO_ALLOC_END();
 }
 
 void LinearBiasActInto(const Tensor& x, const Tensor& weight,
                        const Tensor& bias, bool fuse_relu, Tensor* y) {
-  DS_CHECK_EQ(x.rank(), 2u);
-  DS_CHECK_EQ(weight.rank(), 2u);
-  DS_CHECK_EQ(bias.rank(), 1u);
+  DS_REQUIRE(x.rank() == 2 && weight.rank() == 2 && bias.rank() == 1,
+             "LinearBiasActInto wants x:2D weight:2D bias:1D, got %zu/%zu/"
+             "%zu",
+             x.rank(), weight.rank(), bias.rank());
   const size_t n = x.dim(0), k = x.dim(1), m = weight.dim(1);
-  DS_CHECK_EQ(k, weight.dim(0));
-  DS_CHECK_EQ(bias.dim(0), m);
+  DS_REQUIRE(k == weight.dim(0),
+             "LinearBiasActInto dims disagree: x [%zu,%zu] x weight "
+             "[%zu,%zu]",
+             n, k, weight.dim(0), m);
+  DS_REQUIRE(bias.dim(0) == m, "bias has %zu entries for %zu outputs",
+             bias.dim(0), m);
   y->ResizeInPlace({n, m});
+  DS_NO_ALLOC_BEGIN();
   const float* xd = x.data();
   const float* wd = weight.data();
   const float* bd = bias.data();
@@ -258,16 +287,23 @@ void LinearBiasActInto(const Tensor& x, const Tensor& weight,
   }
   CountKernel(GlobalKernelStats().fused_calls, n * k * m,
               (n * k + k * m + n * m) * sizeof(float));
+  DS_NO_ALLOC_END();
 }
 
 void SparseLinearBiasActInto(const SparseRows& x, const Tensor& weight,
                              const Tensor& bias, bool fuse_relu, Tensor* y) {
-  DS_CHECK_EQ(weight.rank(), 2u);
-  DS_CHECK_EQ(bias.rank(), 1u);
+  DS_REQUIRE(weight.rank() == 2 && bias.rank() == 1,
+             "SparseLinearBiasActInto wants weight:2D bias:1D, got %zu/%zu",
+             weight.rank(), bias.rank());
   const size_t n = x.rows(), k = x.dim, m = weight.dim(1);
-  DS_CHECK_EQ(k, weight.dim(0));
-  DS_CHECK_EQ(bias.dim(0), m);
+  DS_REQUIRE(k == weight.dim(0),
+             "SparseLinearBiasActInto dims disagree: x [%zu,%zu] x weight "
+             "[%zu,%zu]",
+             n, k, weight.dim(0), m);
+  DS_REQUIRE(bias.dim(0) == m, "bias has %zu entries for %zu outputs",
+             bias.dim(0), m);
   y->ResizeInPlace({n, m});
+  DS_NO_ALLOC_BEGIN();
   const float* wd = weight.data();
   const float* bd = bias.data();
   float* yd = y->data();
@@ -286,6 +322,7 @@ void SparseLinearBiasActInto(const SparseRows& x, const Tensor& weight,
   CountKernel(GlobalKernelStats().sparse_calls, x.nonzeros() * m,
               (x.nonzeros() * 2 * sizeof(uint32_t)) +
                   (x.nonzeros() + k * m + n * m) * sizeof(float));
+  DS_NO_ALLOC_END();
 }
 
 }  // namespace ds::nn

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ds/nn/tensor.h"
+#include "ds/util/contract.h"
 
 namespace ds::nn {
 
@@ -104,8 +105,17 @@ struct SparseRows {
     vals.clear();
   }
 
-  /// Appends one entry to the row currently being built.
+  /// Appends one entry to the row currently being built. Columns must
+  /// arrive strictly increasing within a row (the CSR invariant the
+  /// bit-for-bit sparse/dense equivalence depends on); the DS_DCHECK
+  /// enforces it in Debug/sanitizer builds at zero Release cost.
   void Push(uint32_t col, float val) {
+    DS_DCHECK(col < dim, "CSR column %u out of range (dim %zu)", col, dim);
+    DS_DCHECK(cols.size() == static_cast<size_t>(row_offsets.back()) ||
+                  cols.back() < col,
+              "CSR columns must be strictly increasing within a row "
+              "(prev %u, got %u)",
+              cols.empty() ? 0 : cols.back(), col);
     cols.push_back(col);
     vals.push_back(val);
   }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ds/util/contract.h"
 #include "ds/util/logging.h"
 
 namespace ds::nn {
@@ -37,7 +38,9 @@ class Tensor {
     t.shape_ = std::move(shape);
     size_t n = 1;
     for (size_t d : t.shape_) n *= d;
-    DS_CHECK_EQ(n, data.size());
+    DS_REQUIRE(n == data.size(),
+               "FromData: shape wants %zu elements, data has %zu", n,
+               data.size());
     t.data_ = std::move(data);
     return t;
   }
@@ -56,21 +59,23 @@ class Tensor {
   float& at(size_t i) { return data_[i]; }
   float at(size_t i) const { return data_[i]; }
 
+  // Element access sits on inference inner loops, so the rank agreement is
+  // a DS_DCHECK: free in Release, enforced in Debug/sanitizer builds.
   float& at(size_t i, size_t j) {
-    DS_CHECK_EQ(rank(), 2u);
+    DS_DCHECK(rank() == 2, "2D at() on rank-%zu tensor", rank());
     return data_[i * shape_[1] + j];
   }
   float at(size_t i, size_t j) const {
-    DS_CHECK_EQ(rank(), 2u);
+    DS_DCHECK(rank() == 2, "2D at() on rank-%zu tensor", rank());
     return data_[i * shape_[1] + j];
   }
 
   float& at(size_t i, size_t j, size_t k) {
-    DS_CHECK_EQ(rank(), 3u);
+    DS_DCHECK(rank() == 3, "3D at() on rank-%zu tensor", rank());
     return data_[(i * shape_[1] + j) * shape_[2] + k];
   }
   float at(size_t i, size_t j, size_t k) const {
-    DS_CHECK_EQ(rank(), 3u);
+    DS_DCHECK(rank() == 3, "3D at() on rank-%zu tensor", rank());
     return data_[(i * shape_[1] + j) * shape_[2] + k];
   }
 
@@ -101,7 +106,9 @@ class Tensor {
     Tensor t = *this;
     size_t n = 1;
     for (size_t d : shape) n *= d;
-    DS_CHECK_EQ(n, size());
+    DS_REQUIRE(n == size(),
+               "Reshaped: new shape wants %zu elements, tensor has %zu", n,
+               size());
     t.shape_ = std::move(shape);
     return t;
   }

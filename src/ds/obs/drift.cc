@@ -77,7 +77,7 @@ QErrorDriftMonitor::QErrorDriftMonitor(std::string sketch_name,
 
 void QErrorDriftMonitor::Observe(double true_cardinality, double estimate) {
   const double q = QError(true_cardinality, estimate);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++observations_;
   if (c_observations_ != nullptr) c_observations_->Add();
 
@@ -128,7 +128,7 @@ void QErrorDriftMonitor::RefreshLocked() {
 }
 
 DriftReport QErrorDriftMonitor::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   DriftReport report;
   report.sketch = sketch_;
   report.observations = observations_;
@@ -143,14 +143,14 @@ DriftReport QErrorDriftMonitor::Report() const {
 }
 
 std::vector<AuditRecord> QErrorDriftMonitor::RecentAudits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return {audits_.begin(), audits_.end()};
 }
 
 DriftMonitorSet::DriftMonitorSet(DriftOptions options) : options_(options) {}
 
 QErrorDriftMonitor* DriftMonitorSet::ForSketch(const std::string& sketch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = monitors_.find(sketch);
   if (it == monitors_.end()) {
     it = monitors_
@@ -167,7 +167,7 @@ void DriftMonitorSet::Observe(const std::string& sketch,
 }
 
 std::vector<DriftReport> DriftMonitorSet::Reports() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<DriftReport> reports;
   reports.reserve(monitors_.size());
   for (const auto& [name, monitor] : monitors_) {

@@ -21,11 +21,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ds/obs/metrics.h"
+#include "ds/util/thread_annotations.h"
 
 namespace ds::obs {
 
@@ -100,22 +100,23 @@ class QErrorDriftMonitor {
   const std::string& sketch_name() const { return sketch_; }
 
  private:
-  void RefreshLocked();  // recompute stats + gauges; mu_ held
+  void RefreshLocked() DS_REQUIRES(mu_);  // recompute stats + gauges
 
   const std::string sketch_;
   const DriftOptions options_;
 
-  mutable std::mutex mu_;
-  std::vector<double> baseline_;     // frozen once full
-  bool baseline_ready_ = false;
-  double baseline_median_ = 0;
-  double baseline_p95_ = 0;
-  std::deque<double> window_;        // last `options_.window` q-errors
-  double window_median_ = 0;
-  double window_p95_ = 0;
-  bool drifted_ = false;
-  size_t observations_ = 0;
-  std::deque<AuditRecord> audits_;
+  mutable util::Mutex mu_;
+  std::vector<double> baseline_ DS_GUARDED_BY(mu_);  // frozen once full
+  bool baseline_ready_ DS_GUARDED_BY(mu_) = false;
+  double baseline_median_ DS_GUARDED_BY(mu_) = 0;
+  double baseline_p95_ DS_GUARDED_BY(mu_) = 0;
+  std::deque<double> window_
+      DS_GUARDED_BY(mu_);  // last `options_.window` q-errors
+  double window_median_ DS_GUARDED_BY(mu_) = 0;
+  double window_p95_ DS_GUARDED_BY(mu_) = 0;
+  bool drifted_ DS_GUARDED_BY(mu_) = false;
+  size_t observations_ DS_GUARDED_BY(mu_) = 0;
+  std::deque<AuditRecord> audits_ DS_GUARDED_BY(mu_);
 
   // Registry gauges (null when options_.registry is null).
   Gauge* g_window_median_ = nullptr;
@@ -145,8 +146,9 @@ class DriftMonitorSet {
 
  private:
   const DriftOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<QErrorDriftMonitor>> monitors_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<QErrorDriftMonitor>> monitors_
+      DS_GUARDED_BY(mu_);
 };
 
 }  // namespace ds::obs

@@ -55,7 +55,7 @@ Registry::Entry* Registry::GetEntry(const std::string& name,
                                     const std::string& help,
                                     const Labels& labels, MetricKind kind) {
   const std::string key = MetricKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     Entry& entry = entries_[it->second];
@@ -91,7 +91,7 @@ Histogram* Registry::GetHistogram(const std::string& name,
 RegistrySnapshot Registry::Snapshot() const {
   RegistrySnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     snap.metrics.reserve(entries_.size());
     for (const Entry& entry : entries_) {
       MetricSnapshot m;
@@ -122,7 +122,7 @@ RegistrySnapshot Registry::Snapshot() const {
 }
 
 size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

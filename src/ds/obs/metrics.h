@@ -20,11 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "ds/util/thread_annotations.h"
 
 namespace ds::obs {
 
@@ -185,11 +186,13 @@ class Registry {
   };
 
   Entry* GetEntry(const std::string& name, const std::string& help,
-                  const Labels& labels, MetricKind kind);
+                  const Labels& labels, MetricKind kind)
+      DS_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;
-  std::unordered_map<std::string, size_t> index_;  // key -> entries_ index
+  mutable util::Mutex mu_;
+  std::deque<Entry> entries_ DS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> index_
+      DS_GUARDED_BY(mu_);  // key -> entries_ index
 };
 
 }  // namespace ds::obs

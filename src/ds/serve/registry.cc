@@ -55,7 +55,7 @@ Result<std::shared_ptr<const sketch::DeepSketch>> SketchRegistry::Get(
     const std::string& name) {
   Shard& shard = ShardFor(name);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(name);
     if (it != shard.entries.end()) {
       hits_.Add();
@@ -77,7 +77,7 @@ Result<std::shared_ptr<const sketch::DeepSketch>> SketchRegistry::Get(
   const size_t bytes = loaded->SerializedSize();
   auto sketch = std::make_shared<const sketch::DeepSketch>(
       std::move(loaded).value());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.entries.find(name);
   if (it != shard.entries.end()) {
     // A concurrent loader beat us; use the resident copy.
@@ -93,13 +93,13 @@ std::shared_ptr<const sketch::DeepSketch> SketchRegistry::Put(
   auto shared =
       std::make_shared<const sketch::DeepSketch>(std::move(sketch));
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   return InsertLocked(&shard, name, std::move(shared), bytes);
 }
 
 bool SketchRegistry::Invalidate(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.entries.find(name);
   if (it == shard.entries.end()) return false;
   shard.bytes -= it->second.bytes;
@@ -110,14 +110,14 @@ bool SketchRegistry::Invalidate(const std::string& name) {
 
 bool SketchRegistry::Contains(const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   return shard.entries.count(name) > 0;
 }
 
 std::vector<std::string> SketchRegistry::CachedSketches() const {
   std::vector<std::string> names;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     for (const auto& [name, _] : shard.entries) names.push_back(name);
   }
   return names;
@@ -126,7 +126,7 @@ std::vector<std::string> SketchRegistry::CachedSketches() const {
 size_t SketchRegistry::bytes_in_use() const {
   size_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     total += shard.bytes;
   }
   return total;
@@ -143,7 +143,7 @@ CacheStats SketchRegistry::stats() const {
   s.bytes_in_use = bytes_in_use();
   size_t n = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     n += shard.entries.size();
   }
   s.sketches_loaded = n;

@@ -14,13 +14,13 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ds/serve/metrics.h"
 #include "ds/sketch/deep_sketch.h"
+#include "ds/util/thread_annotations.h"
 
 namespace ds::serve {
 
@@ -82,10 +82,10 @@ class SketchRegistry {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<std::string> lru;  // front = most recently used
-    std::unordered_map<std::string, Entry> entries;
-    size_t bytes = 0;
+    mutable util::Mutex mu;
+    std::list<std::string> lru DS_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<std::string, Entry> entries DS_GUARDED_BY(mu);
+    size_t bytes DS_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& name) const;
@@ -94,7 +94,8 @@ class SketchRegistry {
   /// itself) while the shard exceeds its budget share.
   std::shared_ptr<const sketch::DeepSketch> InsertLocked(
       Shard* shard, const std::string& name,
-      std::shared_ptr<const sketch::DeepSketch> sketch, size_t bytes);
+      std::shared_ptr<const sketch::DeepSketch> sketch, size_t bytes)
+      DS_REQUIRES(shard->mu);
 
   RegistryOptions options_;
   size_t shard_budget_ = 0;  // byte_budget / num_shards (0 = unbounded)

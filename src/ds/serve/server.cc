@@ -8,6 +8,7 @@
 #include "ds/obs/exposition.h"
 #include "ds/sql/binder.h"
 #include "ds/util/alloc.h"
+#include "ds/util/contract.h"
 #include "ds/workload/query_spec.h"
 
 namespace ds::serve {
@@ -86,6 +87,15 @@ obs::RegistrySnapshot SketchServer::ObsSnapshot() const {
       static_cast<double>(k.flops.load(std::memory_order_relaxed)));
   set("ds_nn_kernel_bytes", "Operand and result bytes touched by kernels",
       static_cast<double>(k.bytes.load(std::memory_order_relaxed)));
+  // Mirror the process-wide contract counter (ds/util/contract.h) into the
+  // registry by adding the delta since the last snapshot, so fleets can
+  // alert on contract pressure under the count-and-continue policy.
+  obs::Counter* violations = obs_registry_->GetCounter(
+      "ds_contract_violations_total",
+      "DS_REQUIRE/DS_ENSURE/DS_INVARIANT violations since process start");
+  const uint64_t total = util::ContractViolationCount();
+  const uint64_t exported = violations->value();
+  if (total > exported) violations->Add(total - exported);
   return obs_registry_->Snapshot();
 }
 
@@ -96,18 +106,24 @@ std::string SketchServer::MetricsJson() const {
 void SketchServer::StatsDumpLoop() {
   const auto period =
       std::chrono::milliseconds(options_.stats_dump_period_ms);
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   while (!stopping_) {
-    cv_.wait_for(lock, period, [this] { return stopping_; });
+    // Explicit wait loop (not a predicate overload): the thread-safety
+    // analysis cannot see through a wait lambda, and the deadline keeps
+    // spurious wakeups from shortening the dump period.
+    const auto deadline = std::chrono::steady_clock::now() + period;
+    while (!stopping_ &&
+           cv_.WaitUntil(lock, deadline) == std::cv_status::no_timeout) {
+    }
     if (stopping_) break;
-    lock.unlock();
+    lock.Unlock();
     const std::string json = MetricsJson();
     if (options_.stats_dump_sink) {
       options_.stats_dump_sink(json);
     } else {
       std::fprintf(stderr, "%s\n", json.c_str());
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -146,6 +162,11 @@ bool SketchServer::EnqueueLocked(Request* req) {
   }
   queue_.push_back(std::move(*req));
   metrics_.submitted.Add();
+  // Backpressure state machine: the capacity check above must keep the
+  // queue bounded — a violation here means rejection logic regressed.
+  DS_INVARIANT(queue_.size() <= options_.queue_capacity,
+               "queue grew to %zu past capacity %zu", queue_.size(),
+               options_.queue_capacity);
   return true;
 }
 
@@ -159,14 +180,14 @@ std::future<Result<double>> SketchServer::Submit(std::string sketch_name,
   std::future<Result<double>> future = req.promise.get_future();
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     // Waking a worker costs a futex syscall; it is only needed on the
     // empty -> non-empty transition (a non-empty queue means a worker was
     // already woken for it and will sweep these requests up too).
     const bool was_empty = queue_.empty();
     wake = EnqueueLocked(&req) && was_empty;
   }
-  if (wake) cv_.notify_one();
+  if (wake) cv_.NotifyOne();
   return future;
 }
 
@@ -177,7 +198,7 @@ std::vector<std::future<Result<double>>> SketchServer::SubmitMany(
   const auto now = std::chrono::steady_clock::now();
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const bool was_empty = queue_.empty();
     bool accepted_any = false;
     for (std::string& sql : sqls) {
@@ -191,17 +212,25 @@ std::vector<std::future<Result<double>>> SketchServer::SubmitMany(
     }
     wake = accepted_any && was_empty;
   }
-  if (wake) cv_.notify_one();
+  if (wake) cv_.NotifyOne();
+  DS_ENSURE(futures.size() == sqls.size(),
+            "SubmitMany produced %zu futures for %zu statements",
+            futures.size(), sqls.size());
   return futures;
 }
 
 void SketchServer::Stop() {
+  // stop_mu_ serializes shutdown: without it two concurrent Stop() calls
+  // (or Stop() racing the destructor) would race on workers_ and could
+  // join the same std::thread twice. The losing caller blocks here until
+  // the winner has fully joined, so Stop() returning always means the
+  // workers are gone.
+  util::MutexLock stop_lock(stop_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -223,9 +252,11 @@ void SketchServer::TakeMatchingLocked(const std::string& sketch,
 }
 
 void SketchServer::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   while (true) {
-    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    // Explicit wait loop: the thread-safety analysis cannot see through a
+    // predicate lambda passed to a wait overload.
+    while (!stopping_ && queue_.empty()) cv_.Wait(lock);
     if (queue_.empty()) {
       if (stopping_) return;
       continue;
@@ -242,22 +273,26 @@ void SketchServer::WorkerLoop() {
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::microseconds(options_.max_wait_us);
       while (batch.size() < options_.max_batch && !stopping_ &&
-             cv_.wait_until(lock, deadline) == std::cv_status::no_timeout) {
+             cv_.WaitUntil(lock, deadline) == std::cv_status::no_timeout) {
         TakeMatchingLocked(sketch, &batch);
       }
       TakeMatchingLocked(sketch, &batch);
     }
+    DS_INVARIANT(batch.size() <= options_.max_batch,
+                 "batch grew to %zu past max_batch %zu", batch.size(),
+                 options_.max_batch);
     // Submitters only wake a worker on the empty -> non-empty transition,
     // so if other-sketch requests remain, hand them to a sibling worker
     // before going off to serve this batch.
-    if (!queue_.empty()) cv_.notify_one();
-    lock.unlock();
+    if (!queue_.empty()) cv_.NotifyOne();
+    lock.Unlock();
     ServeBatch(std::move(batch));
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void SketchServer::ServeBatch(std::vector<Request> batch) {
+  DS_REQUIRE(!batch.empty(), "ServeBatch called with an empty batch");
   const auto batch_start = std::chrono::steady_clock::now();
   for (const Request& req : batch) {
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -365,6 +400,11 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       obs::Span infer_span("infer", specs.size());
       (*sketch)->EstimateManyInto(specs, &results);
     }
+    // The fulfillment loop below indexes spec_owner with the result index,
+    // so the forward pass must answer exactly the specs it was given.
+    DS_ENSURE(results.size() == specs.size(),
+              "EstimateManyInto returned %zu results for %zu specs",
+              results.size(), specs.size());
     metrics_.batch_allocations.Set(
         static_cast<double>(util::AllocCount() - allocs_before));
     for (size_t s = 0; s < results.size(); ++s) {
@@ -384,7 +424,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
 std::shared_ptr<const workload::QuerySpec> SketchServer::StmtCacheGet(
     const std::string& key) {
   if (options_.stmt_cache_capacity == 0) return nullptr;
-  std::lock_guard<std::mutex> lock(stmt_mu_);
+  util::MutexLock lock(stmt_mu_);
   auto it = stmt_cache_.find(key);
   if (it == stmt_cache_.end()) return nullptr;
   stmt_lru_.splice(stmt_lru_.begin(), stmt_lru_, it->second.lru_it);
@@ -393,7 +433,7 @@ std::shared_ptr<const workload::QuerySpec> SketchServer::StmtCacheGet(
 
 std::optional<double> SketchServer::ResultCacheGet(const std::string& key) {
   if (options_.result_cache_capacity == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(result_mu_);
+  util::MutexLock lock(result_mu_);
   auto it = result_cache_.find(key);
   if (it == result_cache_.end()) return std::nullopt;
   result_lru_.splice(result_lru_.begin(), result_lru_, it->second.lru_it);
@@ -402,7 +442,7 @@ std::optional<double> SketchServer::ResultCacheGet(const std::string& key) {
 
 void SketchServer::ResultCachePut(const std::string& key, double value) {
   if (options_.result_cache_capacity == 0) return;
-  std::lock_guard<std::mutex> lock(result_mu_);
+  util::MutexLock lock(result_mu_);
   if (result_cache_.count(key) > 0) return;
   result_lru_.push_front(key);
   result_cache_.emplace(key, ResultEntry{value, result_lru_.begin()});
@@ -416,7 +456,7 @@ void SketchServer::StmtCachePut(
     const std::string& key,
     std::shared_ptr<const workload::QuerySpec> spec) {
   if (options_.stmt_cache_capacity == 0) return;
-  std::lock_guard<std::mutex> lock(stmt_mu_);
+  util::MutexLock lock(stmt_mu_);
   if (stmt_cache_.count(key) > 0) return;  // a concurrent worker bound it too
   stmt_lru_.push_front(key);
   stmt_cache_.emplace(key, StmtEntry{std::move(spec), stmt_lru_.begin()});

@@ -19,23 +19,34 @@
 // infer > {featurize, forward}} — into an obs::TraceRecorder. With
 // trace_sample_every == 0 the tracing hooks reduce to a relaxed load and a
 // thread-local check, which is not measurable in bench_serve_throughput.
+//
+// Locking order (audited; enforced by the DS_EXCLUDES annotations below):
+//   stop_mu_  >  mu_             Stop() serializes shutdown under stop_mu_
+//                                and flips stopping_ under mu_.
+//   mu_       ∥  stmt_mu_        The statement and result cache mutexes are
+//   mu_       ∥  result_mu_      leaf locks: the cache helpers are called
+//                                only from ServeBatch, which runs strictly
+//                                outside mu_, and they never take another
+//                                lock — so neither cache mutex is ever held
+//                                together with mu_ (or with the other cache
+//                                mutex), and no cycle is possible.
 
 #ifndef DS_SERVE_SERVER_H_
 #define DS_SERVE_SERVER_H_
 
-#include <condition_variable>
 #include <chrono>
 #include <deque>
 #include <functional>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "ds/util/thread_annotations.h"
 
 #include "ds/obs/metrics.h"
 #include "ds/obs/trace.h"
@@ -127,9 +138,9 @@ class SketchServer {
   std::vector<std::future<Result<double>>> SubmitMany(
       const std::string& sketch_name, std::vector<std::string> sqls);
 
-  /// Serves every accepted request, then joins the workers. Idempotent;
-  /// Submit after Stop rejects.
-  void Stop();
+  /// Serves every accepted request, then joins the workers. Idempotent and
+  /// safe to call concurrently; Submit after Stop rejects.
+  void Stop() DS_EXCLUDES(stop_mu_, mu_);
 
   MetricsSnapshot Metrics() const {
     return metrics_.Snapshot(registry_->stats());
@@ -162,13 +173,13 @@ class SketchServer {
     uint64_t root_span = 0;  // pre-allocated "estimate" span id
   };
 
-  void WorkerLoop();
-  void StatsDumpLoop();
+  void WorkerLoop() DS_EXCLUDES(mu_);
+  void StatsDumpLoop() DS_EXCLUDES(mu_);
 
   /// Pushes `req` onto the queue, or rejects it (stopped / queue full) by
   /// fulfilling its promise with an error. Returns whether it was accepted.
-  /// Requires mu_ held; the caller is responsible for waking a worker.
-  bool EnqueueLocked(Request* req);
+  /// The caller is responsible for waking a worker.
+  bool EnqueueLocked(Request* req) DS_REQUIRES(mu_);
 
   /// Samples the request for tracing (fills trace_id / root_span).
   void MaybeTrace(Request* req);
@@ -177,21 +188,24 @@ class SketchServer {
   void FinishTrace(const Request& req);
 
   /// Moves queued requests for `sketch` into `batch` (up to max_batch).
-  /// Requires mu_ held.
   void TakeMatchingLocked(const std::string& sketch,
-                          std::vector<Request>* batch);
+                          std::vector<Request>* batch) DS_REQUIRES(mu_);
 
   /// Resolves the sketch, binds each request's SQL (through the statement
   /// cache), runs one EstimateMany, and fulfills every promise. Runs
-  /// outside mu_.
-  void ServeBatch(std::vector<Request> batch);
+  /// outside mu_ (the cache mutexes it takes are leaf locks, see the
+  /// locking-order note in the file comment).
+  void ServeBatch(std::vector<Request> batch) DS_EXCLUDES(mu_);
 
   std::shared_ptr<const workload::QuerySpec> StmtCacheGet(
-      const std::string& key);
+      const std::string& key) DS_EXCLUDES(mu_, stmt_mu_);
   void StmtCachePut(const std::string& key,
-                    std::shared_ptr<const workload::QuerySpec> spec);
-  std::optional<double> ResultCacheGet(const std::string& key);
-  void ResultCachePut(const std::string& key, double value);
+                    std::shared_ptr<const workload::QuerySpec> spec)
+      DS_EXCLUDES(mu_, stmt_mu_);
+  std::optional<double> ResultCacheGet(const std::string& key)
+      DS_EXCLUDES(mu_, result_mu_);
+  void ResultCachePut(const std::string& key, double value)
+      DS_EXCLUDES(mu_, result_mu_);
 
   SketchRegistry* registry_;  // not owned
   ServerOptions options_;
@@ -203,13 +217,18 @@ class SketchServer {
   std::unique_ptr<obs::TraceRecorder> owned_tracer_;
   obs::TraceRecorder* tracer_ = nullptr;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Request> queue_ DS_GUARDED_BY(mu_);
+  bool stopping_ DS_GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;
-  std::thread stats_dump_thread_;
+  // Shutdown serialization: joining and clearing the worker threads happens
+  // under stop_mu_, so concurrent Stop() calls (or Stop() racing the
+  // destructor) never join the same std::thread twice. Only the
+  // constructor (exclusive access) and Stop() touch these members.
+  util::Mutex stop_mu_;
+  std::vector<std::thread> workers_ DS_GUARDED_BY(stop_mu_);
+  std::thread stats_dump_thread_ DS_GUARDED_BY(stop_mu_);
   ServerMetrics metrics_;
 
   // Bound-statement cache: (sketch + '\n' + SQL) -> placeholder-free spec.
@@ -217,18 +236,20 @@ class SketchServer {
     std::shared_ptr<const workload::QuerySpec> spec;
     std::list<std::string>::iterator lru_it;
   };
-  std::mutex stmt_mu_;
-  std::list<std::string> stmt_lru_;  // front = most recently used
-  std::unordered_map<std::string, StmtEntry> stmt_cache_;
+  util::Mutex stmt_mu_;
+  std::list<std::string> stmt_lru_ DS_GUARDED_BY(stmt_mu_);  // front = MRU
+  std::unordered_map<std::string, StmtEntry> stmt_cache_
+      DS_GUARDED_BY(stmt_mu_);
 
   // Estimate cache: (sketch + '\n' + SQL) -> estimated cardinality.
   struct ResultEntry {
     double value = 0;
     std::list<std::string>::iterator lru_it;
   };
-  std::mutex result_mu_;
-  std::list<std::string> result_lru_;  // front = most recently used
-  std::unordered_map<std::string, ResultEntry> result_cache_;
+  util::Mutex result_mu_;
+  std::list<std::string> result_lru_ DS_GUARDED_BY(result_mu_);  // front = MRU
+  std::unordered_map<std::string, ResultEntry> result_cache_
+      DS_GUARDED_BY(result_mu_);
 };
 
 }  // namespace ds::serve

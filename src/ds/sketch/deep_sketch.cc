@@ -5,6 +5,7 @@
 
 #include "ds/obs/trace.h"
 #include "ds/storage/table_io.h"
+#include "ds/util/contract.h"
 #include "ds/workload/generator.h"
 #include "ds/workload/labeler.h"
 
@@ -260,11 +261,21 @@ void DeepSketch::EstimateManyInto(const std::vector<workload::QuerySpec>& specs,
   }
   mscn::PackSparseBatch(s.ptrs, space_, &s.batch);
   s.ws.Reset();
+  // Steady-state inference is allocation-free: the packed batch and the
+  // workspace above keep their capacity across batches, so everything from
+  // the forward pass through result denormalization must stay off the
+  // allocator (enforced by ds_lint statically and, when armed, by the
+  // region guard at runtime — nn_kernel_test's zero-alloc assertion).
+  DS_NO_ALLOC_BEGIN();
   const nn::Tensor* y = model_->InferSparse(s.batch, &s.ws);
+  DS_ENSURE(y->size() >= s.positions.size(),
+            "forward pass produced %zu outputs for %zu featurized queries",
+            y->size(), s.positions.size());
   for (size_t k = 0; k < s.positions.size(); ++k) {
     (*out)[s.positions[k]] =
         normalizer_.Denormalize(static_cast<double>(y->at(k)));
   }
+  DS_NO_ALLOC_END();
 }
 
 void DeepSketch::Write(util::BinaryWriter* w) const {

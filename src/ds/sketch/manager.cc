@@ -36,7 +36,7 @@ Result<std::shared_ptr<const DeepSketch>> SketchManager::CreateSketch(
     return Status::InvalidArgument("invalid sketch name '" + name + "'");
   }
   {
-    std::lock_guard<std::mutex> lock(creating_mu_);
+    util::MutexLock lock(creating_mu_);
     if (creating_.count(name) > 0 || registry_.Contains(name) ||
         fs::exists(PathFor(name))) {
       return Status::AlreadyExists("sketch '" + name + "' already exists");
@@ -48,7 +48,7 @@ Result<std::shared_ptr<const DeepSketch>> SketchManager::CreateSketch(
   Status saved =
       trained.ok() ? trained->Save(PathFor(name)) : trained.status();
   {
-    std::lock_guard<std::mutex> lock(creating_mu_);
+    util::MutexLock lock(creating_mu_);
     creating_.erase(name);
   }
   DS_RETURN_NOT_OK(saved);

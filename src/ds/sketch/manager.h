@@ -17,13 +17,13 @@
 #define DS_SKETCH_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "ds/serve/registry.h"
 #include "ds/sketch/deep_sketch.h"
+#include "ds/util/thread_annotations.h"
 
 namespace ds::sketch {
 
@@ -68,8 +68,8 @@ class SketchManager {
   serve::SketchRegistry registry_;
 
   // Names with a CreateSketch in flight (training happens outside the lock).
-  mutable std::mutex creating_mu_;
-  std::set<std::string> creating_;
+  mutable util::Mutex creating_mu_;
+  std::set<std::string> creating_ DS_GUARDED_BY(creating_mu_);
 };
 
 }  // namespace ds::sketch

@@ -1,5 +1,7 @@
 #include "ds/sql/binder.h"
 
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 
 namespace ds::sql {
@@ -102,6 +104,16 @@ Result<BoundQuery> Bind(const storage::Catalog& catalog,
           lo == nullptr || hi == nullptr) {
         return Status::InvalidArgument(
             "BETWEEN supports integer literal bounds only");
+      }
+      // The desugared bounds are a-1 and b+1, which overflow int64 for
+      // BETWEEN INT64_MIN AND x / x AND INT64_MAX (signed overflow is UB —
+      // found by fuzz_sql under UBSan). No real column holds values at the
+      // int64 limits (they round-trip through double downstream anyway), so
+      // reject the bound instead of computing an undefined literal.
+      if (*lo == std::numeric_limits<int64_t>::min() ||
+          *hi == std::numeric_limits<int64_t>::max()) {
+        return Status::InvalidArgument(
+            "BETWEEN bounds at the int64 limits are unsupported");
       }
       DS_ASSIGN_OR_RETURN(auto tc, resolve(cond.lhs));
       ColumnPredicate lower;

@@ -1,0 +1,142 @@
+#include "ds/util/contract.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ds/util/alloc.h"
+
+namespace ds::util {
+namespace {
+
+std::atomic<uint64_t> g_violations{0};
+std::atomic<ContractPolicy> g_policy{ContractPolicy::kAbort};
+std::atomic<ContractObserver> g_observer{nullptr};
+std::atomic<bool> g_no_alloc_enforced{false};
+
+const char* KindName(ContractKind kind) {
+  switch (kind) {
+    case ContractKind::kRequire:
+      return "REQUIRE";
+    case ContractKind::kEnsure:
+      return "ENSURE";
+    case ContractKind::kInvariant:
+      return "INVARIANT";
+    case ContractKind::kDcheck:
+      return "DCHECK";
+    case ContractKind::kNoAlloc:
+      return "NO_ALLOC";
+  }
+  return "CONTRACT";
+}
+
+void FormatViolation(char* out, size_t cap, const ContractViolation& v) {
+  if (v.message[0] != '\0') {
+    std::snprintf(out, cap, "%s:%d: DS_%s failed: %s — %s", v.file, v.line,
+                  KindName(v.kind), v.expression, v.message);
+  } else {
+    std::snprintf(out, cap, "%s:%d: DS_%s failed: %s", v.file, v.line,
+                  KindName(v.kind), v.expression);
+  }
+}
+
+void Dispatch(const ContractViolation& v) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (ContractObserver observer = g_observer.load(std::memory_order_acquire)) {
+    observer(v);
+  }
+  switch (g_policy.load(std::memory_order_acquire)) {
+    case ContractPolicy::kAbort: {
+      char buf[512];
+      FormatViolation(buf, sizeof(buf), v);
+      std::fprintf(stderr, "%s\n", buf);
+      std::fflush(stderr);
+      std::abort();
+    }
+    case ContractPolicy::kThrow:
+      throw ContractViolationError(v);
+    case ContractPolicy::kCount: {
+      char buf[512];
+      FormatViolation(buf, sizeof(buf), v);
+      std::fprintf(stderr, "%s (continuing: policy=count)\n", buf);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ContractViolationError::ContractViolationError(const ContractViolation& v)
+    : kind_(v.kind) {
+  FormatViolation(what_, sizeof(what_), v);
+}
+
+uint64_t ContractViolationCount() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+ContractPolicy GetContractPolicy() {
+  return g_policy.load(std::memory_order_acquire);
+}
+
+ContractPolicy SetContractPolicy(ContractPolicy policy) {
+  return g_policy.exchange(policy, std::memory_order_acq_rel);
+}
+
+ContractObserver SetContractObserver(ContractObserver observer) {
+  return g_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+namespace internal {
+
+void ContractFailed(ContractKind kind, const char* file, int line,
+                    const char* expression, const char* fmt, ...) {
+  char message[384];
+  message[0] = '\0';
+  if (fmt != nullptr) {
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    va_end(args);
+  }
+  ContractViolation v;
+  v.kind = kind;
+  v.file = file;
+  v.line = line;
+  v.expression = expression;
+  v.message = message;
+  Dispatch(v);
+}
+
+}  // namespace internal
+
+bool NoAllocEnforcementEnabled() {
+  return g_no_alloc_enforced.load(std::memory_order_acquire);
+}
+
+bool SetNoAllocEnforcement(bool enabled) {
+  return g_no_alloc_enforced.exchange(enabled, std::memory_order_acq_rel);
+}
+
+NoAllocRegion::NoAllocRegion(const char* file, int line)
+    : file_(file), line_(line) {
+  armed_ = NoAllocEnforcementEnabled() && AllocCountingAvailable();
+  if (armed_) start_count_ = AllocCount();
+}
+
+void NoAllocRegion::End() {
+  if (ended_) return;
+  ended_ = true;
+  if (!armed_) return;
+  const uint64_t delta = AllocCount() - start_count_;
+  if (delta != 0) {
+    internal::ContractFailed(ContractKind::kNoAlloc, file_, line_,
+                             "AllocCount() delta == 0",
+                             "%llu allocation(s) inside DS_NO_ALLOC region",
+                             static_cast<unsigned long long>(delta));
+  }
+}
+
+}  // namespace ds::util

@@ -1,0 +1,198 @@
+// Tests for ds/util/contract.h: policy dispatch (abort/throw/count), the
+// process-wide violation counter, the observer hook, DS_DCHECK build gating,
+// and runtime DS_NO_ALLOC region enforcement.
+
+#include "ds/util/contract.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ds/util/alloc.h"
+
+namespace ds::util {
+namespace {
+
+TEST(ContractTest, PassingContractsHaveNoEffect) {
+  const uint64_t before = ContractViolationCount();
+  DS_REQUIRE(1 + 1 == 2, "arithmetic holds");
+  DS_ENSURE(true);
+  DS_INVARIANT(2 > 1, "ordering holds (%d)", 42);
+  DS_DCHECK(true, "always fine");
+  EXPECT_EQ(ContractViolationCount(), before);
+}
+
+TEST(ContractTest, ThrowPolicyRaisesWithFormattedMessage) {
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+  try {
+    DS_REQUIRE(false, "widget %d of %d is bad", 3, 7);
+    FAIL() << "DS_REQUIRE(false) must not fall through under kThrow";
+  } catch (const ContractViolationError& e) {
+    EXPECT_EQ(e.kind(), ContractKind::kRequire);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract_test.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("DS_REQUIRE failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+    EXPECT_NE(what.find("widget 3 of 7 is bad"), std::string::npos) << what;
+  }
+}
+
+TEST(ContractTest, MessagelessFormCarriesExpressionOnly) {
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+  try {
+    DS_ENSURE(2 + 2 == 5);
+    FAIL() << "DS_ENSURE(false) must not fall through under kThrow";
+  } catch (const ContractViolationError& e) {
+    EXPECT_EQ(e.kind(), ContractKind::kEnsure);
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(ContractTest, EveryViolationBumpsTheCounter) {
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+  const uint64_t before = ContractViolationCount();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(DS_INVARIANT(false, "round %d", i), ContractViolationError);
+  }
+  EXPECT_EQ(ContractViolationCount(), before + 3);
+}
+
+TEST(ContractTest, CountPolicyContinuesPastViolations) {
+  ScopedContractPolicy policy(ContractPolicy::kCount);
+  const uint64_t before = ContractViolationCount();
+  bool reached = false;
+  DS_REQUIRE(false, "counted, not fatal");
+  reached = true;
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(ContractViolationCount(), before + 1);
+}
+
+TEST(ContractTest, ScopedPolicyRestoresPrevious) {
+  const ContractPolicy outer = GetContractPolicy();
+  {
+    ScopedContractPolicy policy(ContractPolicy::kCount);
+    EXPECT_EQ(GetContractPolicy(), ContractPolicy::kCount);
+    {
+      ScopedContractPolicy inner(ContractPolicy::kThrow);
+      EXPECT_EQ(GetContractPolicy(), ContractPolicy::kThrow);
+    }
+    EXPECT_EQ(GetContractPolicy(), ContractPolicy::kCount);
+  }
+  EXPECT_EQ(GetContractPolicy(), outer);
+}
+
+ContractViolation g_seen;      // NOLINT: test-only observer scratch
+int g_observed_count = 0;
+
+void RecordViolation(const ContractViolation& v) {
+  // file/expression point at string literals with program lifetime; message
+  // is only valid during the callback, so it is not retained.
+  g_seen = v;
+  g_seen.message = "";
+  ++g_observed_count;
+}
+
+TEST(ContractTest, ObserverSeesViolationBeforePolicyRuns) {
+  ScopedContractPolicy policy(ContractPolicy::kCount);
+  ContractObserver previous = SetContractObserver(&RecordViolation);
+  g_observed_count = 0;
+  DS_ENSURE(false, "observed");
+  SetContractObserver(previous);
+  EXPECT_EQ(g_observed_count, 1);
+  EXPECT_EQ(g_seen.kind, ContractKind::kEnsure);
+  EXPECT_NE(std::string(g_seen.file).find("contract_test.cc"),
+            std::string::npos);
+  DS_REQUIRE(true);  // observer removed: no further callbacks
+  EXPECT_EQ(g_observed_count, 1);
+}
+
+TEST(ContractTest, DcheckFollowsBuildConfiguration) {
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+#if DS_DCHECK_ENABLED
+  EXPECT_THROW(DS_DCHECK(false, "debug check"), ContractViolationError);
+#else
+  // Disabled DS_DCHECK neither dispatches nor evaluates its condition.
+  int evaluations = 0;
+  DS_DCHECK(++evaluations > 0, "must not run");
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(ContractDeathTest, DefaultPolicyAborts) {
+  ASSERT_EQ(GetContractPolicy(), ContractPolicy::kAbort)
+      << "suite must run with the production default policy";
+  EXPECT_DEATH(DS_REQUIRE(false, "fatal by default"),
+               "DS_REQUIRE failed.*fatal by default");
+}
+
+// ---- DS_NO_ALLOC regions ---------------------------------------------------
+
+TEST(NoAllocRegionTest, DisarmedRegionIgnoresAllocations) {
+  ASSERT_FALSE(NoAllocEnforcementEnabled()) << "enforcement leaked on";
+  const uint64_t before = ContractViolationCount();
+  DS_NO_ALLOC_BEGIN();
+  std::vector<int> v(1024, 7);
+  DS_NO_ALLOC_END();
+  EXPECT_EQ(ContractViolationCount(), before);
+}
+
+TEST(NoAllocRegionTest, ArmedRegionTripsOnAllocation) {
+  if (!AllocCountingAvailable()) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+  const bool prev = SetNoAllocEnforcement(true);
+  const uint64_t before = ContractViolationCount();
+  try {
+    DS_NO_ALLOC_BEGIN();
+    std::vector<int> v(1024, 7);
+    EXPECT_THROW(DS_NO_ALLOC_END(), ContractViolationError);
+  } catch (...) {
+    SetNoAllocEnforcement(prev);
+    throw;
+  }
+  SetNoAllocEnforcement(prev);
+  EXPECT_EQ(ContractViolationCount(), before + 1);
+}
+
+TEST(NoAllocRegionTest, ArmedRegionPassesWhenNothingAllocates) {
+  if (!AllocCountingAvailable()) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+  const bool prev = SetNoAllocEnforcement(true);
+  const uint64_t before = ContractViolationCount();
+  int scratch[64];
+  DS_NO_ALLOC_BEGIN();
+  for (int i = 0; i < 64; ++i) scratch[i] = i * i;
+  DS_NO_ALLOC_END();
+  SetNoAllocEnforcement(prev);
+  EXPECT_EQ(ContractViolationCount(), before);
+  EXPECT_EQ(scratch[8], 64);
+}
+
+TEST(NoAllocRegionTest, EndIsIdempotentAndDestructorIsQuiet) {
+  if (!AllocCountingAvailable()) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  ScopedContractPolicy policy(ContractPolicy::kThrow);
+  const bool prev = SetNoAllocEnforcement(true);
+  const uint64_t before = ContractViolationCount();
+  {
+    DS_NO_ALLOC_BEGIN();
+    EXPECT_THROW(
+        {
+          std::vector<int> v(1024, 7);
+          DS_NO_ALLOC_END();
+        },
+        ContractViolationError);
+    DS_NO_ALLOC_END();  // second close: no second violation
+    // Scope exit runs the destructor on an already-ended region: no effect.
+  }
+  SetNoAllocEnforcement(prev);
+  EXPECT_EQ(ContractViolationCount(), before + 1);
+}
+
+}  // namespace
+}  // namespace ds::util

@@ -1,0 +1,150 @@
+// Shared entry point for the fuzz targets in this directory.
+//
+// Each target defines LLVMFuzzerTestOneInput(data, size). Built with
+// -DDS_ENABLE_LIBFUZZER=ON (clang), that symbol is libFuzzer's entry point
+// and this header adds nothing. In the default build (any compiler, no
+// fuzzer runtime) this header supplies a standalone main() so the targets
+// still run as ctests:
+//
+//   fuzz_sql <corpus-file-or-dir>...          replay checked-in inputs
+//   fuzz_sql --rand N [seed] <corpus>...      + N deterministic mutations
+//                                             of the corpus (splice, flip,
+//                                             truncate, insert) — a small
+//                                             in-process fuzzing smoke
+//
+// Exit is nonzero on the first input whose callback reports failure (the
+// callbacks abort on contract violations / parity mismatches, so a finding
+// kills the process exactly like a libFuzzer crash).
+
+#ifndef DS_TESTS_FUZZ_FUZZ_DRIVER_H_
+#define DS_TESTS_FUZZ_FUZZ_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#if !defined(DS_LIBFUZZER)
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ds_fuzz {
+
+inline std::vector<std::string> LoadCorpus(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> inputs;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    std::vector<fs::path> files;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::directory_iterator(root, ec)) {
+        if (entry.is_regular_file(ec)) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(root);
+    }
+    for (const fs::path& p : files) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "fuzz: cannot read '%s'\n", p.string().c_str());
+        std::exit(2);
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      inputs.push_back(ss.str());
+    }
+  }
+  return inputs;
+}
+
+/// One deterministic mutation of `base` (possibly spliced with `other`).
+inline std::string Mutate(const std::string& base, const std::string& other,
+                          std::mt19937_64* rng) {
+  std::string out = base;
+  const int rounds = 1 + static_cast<int>((*rng)() % 4);
+  for (int i = 0; i < rounds; ++i) {
+    switch ((*rng)() % 6) {
+      case 0:  // flip a byte
+        if (!out.empty()) out[(*rng)() % out.size()] ^= static_cast<char>((*rng)() % 255 + 1);
+        break;
+      case 1:  // insert a random byte
+        out.insert(out.begin() + (*rng)() % (out.size() + 1),
+                   static_cast<char>((*rng)() % 256));
+        break;
+      case 2:  // delete a byte
+        if (!out.empty()) out.erase(out.begin() + (*rng)() % out.size());
+        break;
+      case 3: {  // splice a chunk of the other input
+        if (other.empty()) break;
+        const size_t from = (*rng)() % other.size();
+        const size_t len = 1 + (*rng)() % (other.size() - from);
+        out.insert((*rng)() % (out.size() + 1), other, from, len);
+        break;
+      }
+      case 4:  // truncate
+        if (!out.empty()) out.resize((*rng)() % out.size());
+        break;
+      case 5:  // duplicate a chunk in place
+        if (!out.empty()) {
+          const size_t from = (*rng)() % out.size();
+          const size_t len = 1 + (*rng)() % (out.size() - from);
+          out.insert((*rng)() % (out.size() + 1), out.substr(from, len));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ds_fuzz
+
+int main(int argc, char** argv) {
+  size_t rand_iters = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rand") == 0 && i + 1 < argc) {
+      rand_iters = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+    } else {
+      roots.push_back(argv[i]);
+    }
+  }
+  if (roots.empty() && rand_iters == 0) {
+    std::fprintf(stderr, "usage: %s [--rand N [seed]] <corpus>...\n", argv[0]);
+    return 2;
+  }
+  const std::vector<std::string> corpus = ds_fuzz::LoadCorpus(roots);
+  for (const std::string& input : corpus) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                           input.size());
+  }
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < rand_iters; ++i) {
+    static const std::string kEmpty;
+    const std::string& base =
+        corpus.empty() ? kEmpty : corpus[rng() % corpus.size()];
+    const std::string& other =
+        corpus.empty() ? kEmpty : corpus[rng() % corpus.size()];
+    const std::string mutated = ds_fuzz::Mutate(base, other, &rng);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(mutated.data()),
+                           mutated.size());
+  }
+  std::fprintf(stderr, "fuzz: %zu corpus input(s) + %zu mutation(s), clean\n",
+               corpus.size(), rand_iters);
+  return 0;
+}
+
+#endif  // !DS_LIBFUZZER
+#endif  // DS_TESTS_FUZZ_FUZZ_DRIVER_H_

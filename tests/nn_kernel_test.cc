@@ -19,6 +19,7 @@
 #include "ds/sketch/deep_sketch.h"
 #include "ds/sql/binder.h"
 #include "ds/util/alloc.h"
+#include "ds/util/contract.h"
 #include "ds/util/parallel.h"
 #include "ds/util/random.h"
 #include "test_util.h"
@@ -448,7 +449,16 @@ TEST_F(KernelSketchTest, SteadyStateEstimationAllocatesNothing) {
   sketch_->EstimateManyInto(specs, &out);
   sketch_->EstimateManyInto(specs, &out);
   const uint64_t before = util::AllocCount();
-  for (int i = 0; i < 10; ++i) sketch_->EstimateManyInto(specs, &out);
+  {
+    // Arm runtime DS_NO_ALLOC enforcement so the guarded regions inside the
+    // kernels and the EstimateManyInto inference tail verify their own zero
+    // allocation deltas; kThrow turns any trip into a test failure instead
+    // of an abort.
+    util::ScopedContractPolicy policy(util::ContractPolicy::kThrow);
+    const bool prev = util::SetNoAllocEnforcement(true);
+    for (int i = 0; i < 10; ++i) sketch_->EstimateManyInto(specs, &out);
+    util::SetNoAllocEnforcement(prev);
+  }
   EXPECT_EQ(util::AllocCount() - before, 0u)
       << "steady-state EstimateManyInto batches must not allocate";
 }

@@ -18,6 +18,7 @@
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
 #include "ds/sketch/deep_sketch.h"
+#include "ds/util/contract.h"
 #include "test_util.h"
 
 namespace ds {
@@ -452,6 +453,13 @@ TEST_F(ServeTest, ObsSnapshotAndExposition) {
   EXPECT_EQ(submitted->value, 1.0);
   // The sketch-cache gauges ride along in the same snapshot.
   ASSERT_NE(snap.Find("ds_sketch_cache_resident"), nullptr);
+  // Every snapshot mirrors the process-wide contract violation counter so
+  // release builds running policy=count can alert on contract pressure.
+  const obs::MetricSnapshot* violations =
+      snap.Find("ds_contract_violations_total");
+  ASSERT_NE(violations, nullptr);
+  EXPECT_EQ(violations->value,
+            static_cast<double>(util::ContractViolationCount()));
 
   const std::string prom = obs::ToPrometheusText(snap);
   EXPECT_NE(prom.find("ds_serve_submitted_total 1\n"), std::string::npos);
@@ -509,6 +517,29 @@ TEST_F(ServeTest, PeriodicStatsDumpEmitsJson) {
   }
   EXPECT_NE(dumps.back().find("ds_serve_completed_total"),
             std::string::npos);
+}
+
+TEST_F(ServeTest, ConcurrentStopIsSafe) {
+  // Regression: two racing Stop() calls (or Stop racing shutdown elsewhere)
+  // used to double-join the worker threads. stop_mu_ now serializes
+  // shutdown; every caller must return with the server fully stopped.
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 2;
+  SketchServer server(&registry, options);
+  std::vector<std::future<Result<double>>> futures;
+  for (size_t i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&server] { server.Stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  server.Stop();  // idempotent after the race
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
 }
 
 TEST_F(ServeTest, StopDrainsPendingRequests) {

@@ -225,6 +225,29 @@ TEST_F(BinderTest, BetweenRejectsNonIntegerBounds) {
                    .ok());
 }
 
+TEST_F(BinderTest, BetweenRejectsInt64LimitBounds) {
+  // Regression: the desugared bounds are lo-1 / hi+1, which used to overflow
+  // int64 (UB) for bounds at the type limits. Such bounds are now rejected.
+  // strtoll saturates, so an out-of-range literal also lands on a limit.
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie WHERE year "
+                                 "BETWEEN -9223372036854775808 AND 2005")
+                   .ok());
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie WHERE year "
+                                 "BETWEEN 2001 AND 9223372036854775807")
+                   .ok());
+  EXPECT_FALSE(sql::ParseAndBind(*catalog_,
+                                 "SELECT COUNT(*) FROM movie WHERE year "
+                                 "BETWEEN 2001 AND 99999999999999999999")
+                   .ok());
+  // One off the limit still desugars fine.
+  auto spec = sql::ParseAndBind(*catalog_,
+                                "SELECT COUNT(*) FROM movie WHERE year "
+                                "BETWEEN -9223372036854775807 AND 2005");
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
 TEST_F(BinderTest, SqlRoundTripThroughSpec) {
   const std::string sql =
       "SELECT COUNT(*) FROM movie, rating "

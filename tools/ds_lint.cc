@@ -1,0 +1,437 @@
+// ds_lint: project-specific static checks the compiler cannot express.
+//
+// Usage: ds_lint [--self-test] <file-or-directory>...
+//
+// Walks the given roots for .h/.cc files and enforces:
+//
+//   no-alloc-region   No allocation or container-growth calls between
+//                     DS_NO_ALLOC_BEGIN() and DS_NO_ALLOC_END() (new,
+//                     malloc, make_unique/make_shared, push_back, resize,
+//                     ...). Tensor::ResizeInPlace is the sanctioned
+//                     grow-once API and is allowed (it does not match the
+//                     lowercase member patterns).
+//   metric-name       String-literal names passed to obs Registry
+//                     GetCounter/GetGauge/GetHistogram must match
+//                     ds_<subsystem>_<name> snake case:
+//                     ^ds_[a-z0-9]+(_[a-z0-9]+)+$.
+//   naked-mutex       No std::mutex / std::condition_variable /
+//                     std::lock_guard / std::unique_lock / std::scoped_lock
+//                     outside util/thread_annotations.h — library code uses
+//                     the annotated ds::util wrappers so every lock site is
+//                     visible to clang's thread-safety analysis.
+//   iostream-header   No #include <iostream> in headers (it injects the
+//                     static ios_base initializer into every TU).
+//
+// A line containing `NOLINT(ds-lint)` is exempt (document why at the site).
+// Comments are stripped before matching; string/char literals are blanked
+// for the code rules and kept only for metric-name extraction. Exit status
+// is the number of findings (0 = clean). --self-test first runs the rule
+// engine over embedded snippets seeded with one violation each (and one
+// clean snippet per rule) and fails loudly if detection drifts; the ctest
+// registration runs `ds_lint --self-test <repo>/src`.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces comments (and, when `blank_strings`, string/char literals) with
+/// spaces, preserving offsets and newlines so findings keep real line
+/// numbers.
+std::string StripCode(const std::string& in, bool blank_strings) {
+  std::string out = in;
+  enum class S { kCode, kLine, kBlock, kStr, kChar } st = S::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          st = S::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = S::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = S::kStr;
+          if (blank_strings) out[i] = ' ';
+        } else if (c == '\'') {
+          st = S::kChar;
+          if (blank_strings) out[i] = ' ';
+        }
+        break;
+      case S::kLine:
+        if (c == '\n') {
+          st = S::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case S::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kStr:
+        if (c == '\\' && next != '\0') {
+          if (blank_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          if (blank_strings) out[i] = ' ';
+          st = S::kCode;
+        } else if (blank_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kChar:
+        if (c == '\\' && next != '\0') {
+          if (blank_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          if (blank_strings) out[i] = ' ';
+          st = S::kCode;
+        } else if (blank_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+size_t LineOfOffset(const std::string& text, size_t offset) {
+  size_t line = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+bool LineExempt(const std::string& raw_line) {
+  return raw_line.find("NOLINT(ds-lint)") != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// ---- Rules ----------------------------------------------------------------------
+
+// Allocation and growth calls banned inside DS_NO_ALLOC regions. Matched
+// against comment-stripped, string-blanked code. `ResizeInPlace` never
+// matches: member patterns are lowercase-only and `new`/`malloc` are word-
+// bounded.
+const std::regex kAllocPattern(
+    R"((\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|make_unique\s*<|make_shared\s*<|(\.|->)\s*(push_back|emplace_back|emplace|insert|resize|reserve|assign|append)\s*\())");
+
+void CheckNoAllocRegions(const std::string& path,
+                         const std::vector<std::string>& raw,
+                         const std::vector<std::string>& code,
+                         std::vector<Finding>* out) {
+  bool in_region = false;
+  size_t begin_line = 0;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (line.find("DS_NO_ALLOC_BEGIN") != std::string::npos) {
+      in_region = true;
+      begin_line = i + 1;
+      continue;
+    }
+    if (line.find("DS_NO_ALLOC_END") != std::string::npos) {
+      in_region = false;
+      continue;
+    }
+    if (!in_region || LineExempt(raw[i])) continue;
+    std::smatch m;
+    if (std::regex_search(line, m, kAllocPattern)) {
+      out->push_back({path, i + 1, "no-alloc-region",
+                      "allocation/growth call '" + m.str() +
+                          "' inside the DS_NO_ALLOC region opened at line " +
+                          std::to_string(begin_line) +
+                          " (use pre-sized scratch or Tensor::ResizeInPlace "
+                          "before the region)"});
+    }
+  }
+}
+
+const std::regex kMetricCall(
+    R"(Get(Counter|Gauge|Histogram)\s*\(\s*"([^"]*)\")");
+const std::regex kMetricName("^ds_[a-z0-9]+(_[a-z0-9]+)+$");
+
+void CheckMetricNames(const std::string& path, const std::string& text,
+                      const std::vector<std::string>& raw,
+                      std::vector<Finding>* out) {
+  // `text` has comments stripped but string literals intact.
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kMetricCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2].str();
+    const size_t line = LineOfOffset(text, static_cast<size_t>(it->position()));
+    if (line - 1 < raw.size() && LineExempt(raw[line - 1])) continue;
+    if (!std::regex_match(name, kMetricName)) {
+      out->push_back({path, line, "metric-name",
+                      "metric name '" + name +
+                          "' does not match ds_<subsystem>_<name> "
+                          "(^ds_[a-z0-9]+(_[a-z0-9]+)+$)"});
+    }
+  }
+}
+
+const std::regex kNakedMutex(
+    R"(std\s*::\s*(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+
+void CheckNakedMutex(const std::string& path,
+                     const std::vector<std::string>& raw,
+                     const std::vector<std::string>& code,
+                     std::vector<Finding>* out) {
+  if (EndsWith(path, "util/thread_annotations.h")) return;  // the wrapper
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (LineExempt(raw[i])) continue;
+    std::smatch m;
+    if (std::regex_search(code[i], m, kNakedMutex)) {
+      out->push_back({path, i + 1, "naked-mutex",
+                      "'" + m.str() +
+                          "' bypasses the annotated wrappers; use "
+                          "ds::util::Mutex / MutexLock / CondVar "
+                          "(ds/util/thread_annotations.h)"});
+    }
+  }
+}
+
+const std::regex kIostreamInclude(R"(#\s*include\s*<iostream>)");
+
+void CheckIostreamHeader(const std::string& path,
+                         const std::vector<std::string>& raw,
+                         const std::vector<std::string>& code,
+                         std::vector<Finding>* out) {
+  if (!EndsWith(path, ".h")) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (LineExempt(raw[i])) continue;
+    if (std::regex_search(code[i], kIostreamInclude)) {
+      out->push_back({path, i + 1, "iostream-header",
+                      "<iostream> in a header drags the static ios_base "
+                      "initializer into every TU; include <cstdio> or move "
+                      "the streaming into a .cc"});
+    }
+  }
+}
+
+// ---- Driver ---------------------------------------------------------------------
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::string no_comments = StripCode(content, /*blank_strings=*/false);
+  const std::string code_text = StripCode(content, /*blank_strings=*/true);
+  const std::vector<std::string> code = SplitLines(code_text);
+  CheckNoAllocRegions(path, raw, code, &findings);
+  CheckMetricNames(path, no_comments, raw, &findings);
+  CheckNakedMutex(path, raw, code, &findings);
+  CheckIostreamHeader(path, raw, code, &findings);
+  return findings;
+}
+
+bool LintableFile(const fs::path& p) {
+  const std::string s = p.string();
+  return EndsWith(s, ".h") || EndsWith(s, ".cc");
+}
+
+int LintRoots(const std::vector<std::string>& roots,
+              std::vector<Finding>* findings) {
+  size_t files = 0;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec) || !LintableFile(it->path())) continue;
+        std::ifstream in(it->path());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        auto f = LintContent(it->path().string(), ss.str());
+        findings->insert(findings->end(), f.begin(), f.end());
+        ++files;
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      std::ifstream in(root);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      auto f = LintContent(root, ss.str());
+      findings->insert(findings->end(), f.begin(), f.end());
+      ++files;
+    } else {
+      std::fprintf(stderr, "ds_lint: cannot open '%s'\n", root.c_str());
+      return -1;
+    }
+  }
+  return static_cast<int>(files);
+}
+
+// ---- Self-test ------------------------------------------------------------------
+
+struct SelfCase {
+  const char* name;
+  const char* path;     // fake path fed to the rule engine
+  const char* content;
+  const char* expect_rule;  // nullptr = must be clean
+};
+
+const SelfCase kSelfCases[] = {
+    {"alloc-in-region", "seed.cc",
+     "void f(std::vector<int>* v) {\n"
+     "  DS_NO_ALLOC_BEGIN();\n"
+     "  v->push_back(1);\n"
+     "  DS_NO_ALLOC_END();\n"
+     "}\n",
+     "no-alloc-region"},
+    {"new-in-region", "seed.cc",
+     "void f() {\n"
+     "  DS_NO_ALLOC_BEGIN();\n"
+     "  int* p = new int[4];\n"
+     "  DS_NO_ALLOC_END();\n"
+     "  delete[] p;\n"
+     "}\n",
+     "no-alloc-region"},
+    {"resize-in-place-allowed", "clean.cc",
+     "void f(ds::nn::Tensor* t) {\n"
+     "  t->ResizeInPlace({4, 4});\n"
+     "  DS_NO_ALLOC_BEGIN();\n"
+     "  t->Zero();\n"
+     "  DS_NO_ALLOC_END();\n"
+     "}\n",
+     nullptr},
+    {"growth-outside-region-allowed", "clean.cc",
+     "void f(std::vector<int>* v) { v->push_back(1); }\n", nullptr},
+    {"bad-metric-name", "seed.cc",
+     "void f(ds::obs::Registry* r) {\n"
+     "  r->GetCounter(\"serveRequests\", \"help\");\n"
+     "}\n",
+     "metric-name"},
+    {"bad-metric-name-single-word", "seed.cc",
+     "void f(ds::obs::Registry* r) { r->GetGauge(\"ds_\"); }\n",
+     "metric-name"},
+    {"good-metric-name", "clean.cc",
+     "void f(ds::obs::Registry* r) {\n"
+     "  r->GetHistogram(\"ds_serve_queue_wait_us\", \"help\");\n"
+     "}\n",
+     nullptr},
+    {"naked-mutex", "seed.cc", "static std::mutex g_mu;\n", "naked-mutex"},
+    {"naked-lock-guard", "seed.cc",
+     "void f() { std::lock_guard<std::mutex> l(mu); }\n", "naked-mutex"},
+    {"wrapper-mutex-allowed", "clean.cc",
+     "static ds::util::Mutex g_mu;\n", nullptr},
+    {"nolint-exempt", "clean.cc",
+     "static std::mutex g_mu;  // NOLINT(ds-lint): fixture predates wrapper\n",
+     nullptr},
+    {"mutex-in-comment-allowed", "clean.cc",
+     "// std::mutex used to live here\n", nullptr},
+    {"iostream-in-header", "seed.h", "#include <iostream>\n",
+     "iostream-header"},
+    {"iostream-in-cc-allowed", "clean.cc", "#include <iostream>\n", nullptr},
+};
+
+int RunSelfTest() {
+  int failures = 0;
+  for (const SelfCase& c : kSelfCases) {
+    const auto findings = LintContent(c.path, c.content);
+    if (c.expect_rule == nullptr) {
+      if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "self-test FAIL %s: expected clean, got %s at line %zu\n",
+                     c.name, findings[0].rule.c_str(), findings[0].line);
+        ++failures;
+      }
+    } else if (findings.empty()) {
+      std::fprintf(stderr, "self-test FAIL %s: seeded %s not detected\n",
+                   c.name, c.expect_rule);
+      ++failures;
+    } else if (findings[0].rule != c.expect_rule) {
+      std::fprintf(stderr, "self-test FAIL %s: expected %s, got %s\n", c.name,
+                   c.expect_rule, findings[0].rule.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "ds_lint self-test: %zu cases ok\n",
+                 sizeof(kSelfCases) / sizeof(kSelfCases[0]));
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: ds_lint [--self-test] <file-or-directory>...\n");
+      return 0;
+    } else {
+      roots.push_back(argv[i]);
+    }
+  }
+  int failures = 0;
+  if (self_test) failures += RunSelfTest();
+  if (!self_test && roots.empty()) {
+    std::fprintf(stderr, "ds_lint: no inputs (see --help)\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  const int files = LintRoots(roots, &findings);
+  if (files < 0) return 2;
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "ds_lint: %d file(s), %zu finding(s)\n", files,
+               findings.size());
+  failures += static_cast<int>(findings.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources using the compile commands of an existing build directory.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI lint job does). Exits 0 with a
+# notice when clang-tidy is not installed, so the script is safe to call
+# from environments that only have gcc.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found; skipping (install clang-tidy" \
+       "or rely on the CI lint job)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing — configure" \
+       "with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+cd "$repo_root"
+files=$(find src/ds -name '*.cc' | sort)
+echo "run_clang_tidy: checking $(echo "$files" | wc -l) files" >&2
+
+# shellcheck disable=SC2086
+exec clang-tidy -p "$build_dir" --quiet "$@" $files
