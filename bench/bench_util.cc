@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <filesystem>
 
 #include "ds/util/alloc.h"
@@ -101,8 +103,48 @@ OpResult MeasureOp(const std::string& op, size_t warmup, size_t iters,
   return r;
 }
 
+std::string GitSha() {
+#if defined(_WIN32)
+  std::FILE* pipe = nullptr;
+#else
+  std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+#endif
+  if (pipe != nullptr) {
+    char buf[64] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+#if !defined(_WIN32)
+    pclose(pipe);
+#endif
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (!sha.empty()) return sha;
+  }
+  const char* env = std::getenv("DS_GIT_SHA");
+  return env != nullptr && *env != '\0' ? env : "unknown";
+}
+
+namespace {
+
+std::string UtcTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
 void WriteBenchResultsJson(const std::string& path, const std::string& name,
-                           const std::vector<OpResult>& ops) {
+                           const std::vector<OpResult>& ops,
+                           const std::string& mode) {
   std::error_code ec;
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
@@ -111,7 +153,12 @@ void WriteBenchResultsJson(const std::string& path, const std::string& name,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"ops\": [\n", name.c_str());
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+               "  \"timestamp\": \"%s\",\n  \"mode\": \"%s\",\n"
+               "  \"ops\": [\n",
+               name.c_str(), GitSha().c_str(), UtcTimestamp().c_str(),
+               mode.c_str());
   for (size_t i = 0; i < ops.size(); ++i) {
     const OpResult& r = ops[i];
     std::fprintf(f,

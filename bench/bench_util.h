@@ -69,11 +69,22 @@ struct OpResult {
 OpResult MeasureOp(const std::string& op, size_t warmup, size_t iters,
                    size_t queries_per_call, const std::function<void()>& fn);
 
-/// Writes `ops` as a JSON document ({"benchmark": name, "ops": [...]}) to
-/// `path`, creating parent directories. Errors print to stderr and are
-/// otherwise ignored (benchmarks still report on stdout).
+/// Writes `ops` as a JSON document to `path`, creating parent directories:
+///   {"benchmark": name, "git_sha": ..., "timestamp": ..., "mode": ...,
+///    "ops": [...]}
+/// git_sha comes from `git rev-parse` (or $DS_GIT_SHA, or "unknown"),
+/// timestamp is UTC ISO-8601 at write time, and `mode` records how the
+/// workload reached the server ("inproc" in-process calls, "net" over
+/// TCP) so result archives from different transports never get compared
+/// apples-to-oranges. Errors print to stderr and are otherwise ignored
+/// (benchmarks still report on stdout).
 void WriteBenchResultsJson(const std::string& path, const std::string& name,
-                           const std::vector<OpResult>& ops);
+                           const std::vector<OpResult>& ops,
+                           const std::string& mode = "inproc");
+
+/// The current git commit (short sha), from `git rev-parse --short HEAD`
+/// in the current directory, else $DS_GIT_SHA, else "unknown".
+std::string GitSha();
 
 }  // namespace ds::bench
 

@@ -25,9 +25,19 @@
 // (override with json=path, json= to disable), and its client-side latency
 // percentile table is printed.
 //
+// mode=net runs the wire-protocol variant instead: a NetServer on
+// loopback, `connections` concurrent pipelined TCP clients (default 100),
+// first at steady state and then under ~2x overload (the tenant's token
+// bucket is set to half the measured steady throughput, so roughly half
+// the offered load is shed with explicit REJECTED responses). The run
+// fails if any request errors, if p99 latency of admitted requests blows
+// up under overload (> 10x steady p99), or if the server's
+// requests/responses counters do not balance after shutdown.
+//
 // Usage: bench_serve_throughput [titles=N] [queries=N] [epochs=N]
 //                               [seconds=S] [depth=N] [workers=N]
 //                               [max_batch=N] [wait_us=N] [json=path]
+//                               [mode=inproc|net] [connections=N]
 
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +47,7 @@
 
 #include "bench_util.h"
 #include "ds/datagen/imdb.h"
+#include "ds/net/server.h"
 #include "ds/obs/exposition.h"
 #include "ds/serve/loadgen.h"
 #include "ds/serve/registry.h"
@@ -134,6 +145,130 @@ std::pair<double, double> RunRegime(serve::SketchRegistry* registry,
   return {baseline_qps, best_batched_qps};
 }
 
+/// The wire-mode benchmark: steady state, then ~2x overload with
+/// admission-control shedding. Returns the process exit code.
+int RunNetMode(const bench::Args& args, serve::SketchRegistry* registry,
+               double seconds) {
+  const size_t connections =
+      static_cast<size_t>(args.GetInt("connections", 100));
+  const size_t depth = static_cast<size_t>(args.GetInt("depth", 4));
+
+  serve::ServerOptions serve_options;
+  serve_options.num_workers =
+      static_cast<size_t>(args.GetInt("workers", 2));
+  serve_options.num_queue_shards = serve_options.num_workers;
+  serve_options.max_batch =
+      static_cast<size_t>(args.GetInt("max_batch", 64));
+  serve_options.max_wait_us =
+      static_cast<uint64_t>(args.GetInt("wait_us", 100));
+  serve::SketchServer backend(registry, serve_options);
+
+  net::NetServerOptions net_options;
+  net_options.num_workers =
+      static_cast<size_t>(args.GetInt("net_workers", 0));
+  net::NetServer front(&backend, net_options);
+  if (auto st = front.Start(); !st.ok()) {
+    std::fprintf(stderr, "net mode: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== net mode: %zu connections x depth %zu on 127.0.0.1:%u "
+              "(%zu net workers) ==\n",
+              connections, depth, front.port(), front.num_workers());
+
+  serve::LoadOptions load;
+  load.threads = connections;
+  load.pipeline_depth = depth;
+  load.seconds = seconds;
+
+  std::printf("\n-- steady state --\n");
+  const serve::LoadReport steady = serve::RunNetClosedLoop(
+      "127.0.0.1", front.port(), "bench", BenchQueries(), load);
+  const uint64_t steady_p99 = steady.latency_us.ApproxPercentile(0.99);
+  std::printf("%8.0f q/s, %llu errors, %llu rejected\n", steady.Qps(),
+              static_cast<unsigned long long>(steady.errors),
+              static_cast<unsigned long long>(steady.rejected));
+  std::printf("%s", steady.LatencyTable().c_str());
+
+  // Overload: cap the default tenant at half the measured steady
+  // throughput. The same closed-loop clients now offer ~2x what admission
+  // lets through, so roughly half the requests must come back REJECTED —
+  // immediately, without queueing behind admitted work.
+  const double cap = steady.Qps() / 2;
+  front.admission()->SetTenantLimit("default", cap, cap / 4);
+  std::printf("\n-- 2x overload: tenant capped at %.0f q/s --\n", cap);
+  const serve::LoadReport overload = serve::RunNetClosedLoop(
+      "127.0.0.1", front.port(), "bench", BenchQueries(), load);
+  const uint64_t overload_p99 = overload.latency_us.ApproxPercentile(0.99);
+  std::printf("%8.0f q/s admitted, %llu errors, %llu rejected (%.0f%% of "
+              "offered)\n",
+              overload.Qps(),
+              static_cast<unsigned long long>(overload.errors),
+              static_cast<unsigned long long>(overload.rejected),
+              100.0 * static_cast<double>(overload.rejected) /
+                  static_cast<double>(std::max<uint64_t>(
+                      1, overload.ok + overload.errors +
+                             overload.rejected)));
+  std::printf("%s", overload.LatencyTable().c_str());
+
+  front.Stop();
+  backend.Stop();
+
+  const uint64_t requests =
+      front.registry()->GetCounter("ds_net_requests_total")->value();
+  uint64_t responses = 0;
+  for (net::WireStatus s : {net::WireStatus::kOk, net::WireStatus::kError,
+                            net::WireStatus::kRejected}) {
+    responses += front.registry()
+                     ->GetCounter("ds_net_responses_total", "",
+                                  {{"status", net::WireStatusName(s)}})
+                     ->value();
+  }
+  std::printf("\nwire balance: %llu requests, %llu responses (%s)\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(responses),
+              requests == responses ? "balanced" : "UNBALANCED");
+
+  const std::string summary_path =
+      args.GetString("summary_json", "bench_results/serve_throughput.json");
+  if (!summary_path.empty()) {
+    auto row = [](const char* op, const serve::LoadReport& r) {
+      bench::OpResult out;
+      out.op = op;
+      out.qps = r.Qps();
+      out.p50_us =
+          static_cast<double>(r.latency_us.ApproxPercentile(0.50));
+      out.p95_us =
+          static_cast<double>(r.latency_us.ApproxPercentile(0.95));
+      out.allocations_per_query = -1;
+      return out;
+    };
+    bench::WriteBenchResultsJson(
+        summary_path, "serve_throughput",
+        {row("net_steady", steady), row("net_overload_admitted", overload)},
+        /*mode=*/"net");
+  }
+
+  // Bounded-p99 acceptance: overload must shed, not queue. A generous 10x
+  // margin keeps 1-core CI boxes from flaking while still catching
+  // unbounded queue growth (which shows up as orders of magnitude).
+  const bool p99_bounded =
+      overload_p99 <= steady_p99 * 10 + 1000;  // +1ms absolute floor
+  const bool shed_happened = overload.rejected > 0;
+  const bool clean = steady.errors == 0 && overload.errors == 0;
+  std::printf(
+      "net headline: steady p99 %llu us, overload p99 %llu us (%s), "
+      "%llu shed\n",
+      static_cast<unsigned long long>(steady_p99),
+      static_cast<unsigned long long>(overload_p99),
+      p99_bounded ? "bounded" : "UNBOUNDED",
+      static_cast<unsigned long long>(overload.rejected));
+  if (!clean || !p99_bounded || !shed_happened || requests != responses) {
+    std::fprintf(stderr, "net mode FAILED acceptance checks\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +296,10 @@ int main(int argc, char** argv) {
   serve::SketchRegistry registry(serve::RegistryOptions{});
   registry.Put("bench", std::move(sketch));
   auto handle = registry.Get("bench").value();
+
+  if (args.GetString("mode", "inproc") == "net") {
+    return RunNetMode(args, &registry, seconds);
+  }
 
   // The pre-serving-layer status quo: direct EstimateSql calls in a loop,
   // one query at a time from a single thread. This is the headline's

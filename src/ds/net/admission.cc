@@ -1,0 +1,43 @@
+#include "ds/net/admission.h"
+
+#include <algorithm>
+
+namespace ds::net {
+
+bool TokenBucket::TryAcquire(double now_seconds, double n) {
+  if (!primed_) {
+    last_refill_ = now_seconds;
+    primed_ = true;
+  }
+  if (now_seconds > last_refill_) {
+    tokens_ = std::min(burst_, tokens_ + (now_seconds - last_refill_) * rate_);
+    last_refill_ = now_seconds;
+  }
+  if (tokens_ < n) return false;
+  tokens_ -= n;
+  return true;
+}
+
+bool AdmissionController::Admit(const std::string& tenant, double now_seconds,
+                                double cost) {
+  util::MutexLock lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    // A tenant without an explicit SetTenantLimit override gets the
+    // default bucket — or a free pass when defaults are disabled.
+    if (!enabled()) return true;
+    const double burst = options_.tenant_burst > 0 ? options_.tenant_burst
+                                                   : options_.tenant_rate;
+    it = buckets_.emplace(tenant, TokenBucket(options_.tenant_rate, burst))
+             .first;
+  }
+  return it->second.TryAcquire(now_seconds, cost);
+}
+
+void AdmissionController::SetTenantLimit(const std::string& tenant,
+                                         double rate, double burst) {
+  util::MutexLock lock(mu_);
+  buckets_.insert_or_assign(tenant, TokenBucket(rate, burst));
+}
+
+}  // namespace ds::net

@@ -1,0 +1,274 @@
+#include "ds/net/client.h"
+
+#include <cstring>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <cerrno>
+#define DS_NET_CLIENT_POSIX 1
+#endif
+
+namespace ds::net {
+
+#if defined(DS_NET_CLIENT_POSIX)
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port) {
+  util::UniqueFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' (IPv4 dotted quad)");
+  }
+  if (connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  NetClient client(std::move(fd));
+  DS_RETURN_NOT_OK(client.WriteAll(std::string_view(kMagic, kMagicSize)));
+  return client;
+}
+
+Status NetClient::WriteAll(std::string_view bytes) {
+  if (!fd_.valid()) return Status::IOError("client is disconnected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd_.get(), bytes.data() + off,
+                            bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fd_.reset();
+    return Status::IOError(std::string("write: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status NetClient::ReadFrame(FrameHeader* header, std::string* payload) {
+  if (!fd_.valid()) return Status::IOError("client is disconnected");
+  char chunk[16 * 1024];
+  // First the header, then — once the payload size is known — the payload.
+  while (true) {
+    if (rbuf_.size() >= kFrameHeaderSize) {
+      DS_RETURN_NOT_OK(DecodeFrameHeader(rbuf_.data(), header));
+      const size_t total = kFrameHeaderSize + header->payload_size;
+      if (rbuf_.size() >= total) {
+        payload->assign(rbuf_, kFrameHeaderSize, header->payload_size);
+        rbuf_.erase(0, total);
+        return Status::OK();
+      }
+    }
+    const ssize_t n = read(fd_.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      rbuf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fd_.reset();
+    return n == 0 ? Status::IOError("server closed the connection")
+                  : Status::IOError(std::string("read: ") +
+                                    std::strerror(errno));
+  }
+}
+
+Status NetClient::RoundTrip(FrameType type, uint64_t request_id,
+                            std::string_view payload,
+                            FrameHeader* resp_header,
+                            std::string* resp_payload) {
+  std::string frame;
+  AppendFrame(&frame, type, WireStatus::kOk, request_id, payload);
+  DS_RETURN_NOT_OK(WriteAll(frame));
+  DS_RETURN_NOT_OK(ReadFrame(resp_header, resp_payload));
+  if (resp_header->request_id != request_id) {
+    fd_.reset();  // stream is out of sync; nothing downstream is trustworthy
+    return Status::Internal(
+        "response id " + std::to_string(resp_header->request_id) +
+        " does not match request id " + std::to_string(request_id) +
+        " (mixing pipelined and synchronous calls?)");
+  }
+  if (resp_header->type != type) {
+    fd_.reset();
+    return Status::Internal("response frame type does not match request");
+  }
+  return Status::OK();
+}
+
+Status NetClient::Hello(std::string_view tenant) {
+  std::string payload;
+  AppendString16(&payload, tenant);
+  FrameHeader header;
+  std::string resp;
+  DS_RETURN_NOT_OK(
+      RoundTrip(FrameType::kHello, next_id_++, payload, &header, &resp));
+  if (header.status != WireStatus::kOk) {
+    return Status::Internal("HELLO failed: " + resp);
+  }
+  return Status::OK();
+}
+
+Status NetClient::Ping() {
+  FrameHeader header;
+  std::string resp;
+  DS_RETURN_NOT_OK(
+      RoundTrip(FrameType::kPing, next_id_++, "", &header, &resp));
+  if (header.status != WireStatus::kOk) {
+    return Status::Internal("PING failed: " + resp);
+  }
+  return Status::OK();
+}
+
+Result<double> NetClient::Estimate(std::string_view sketch,
+                                   std::string_view sql) {
+  EstimateRequest req;
+  req.sketch.assign(sketch);
+  req.sql.assign(sql);
+  std::string payload;
+  AppendEstimateRequest(&payload, req);
+  FrameHeader header;
+  std::string resp;
+  DS_RETURN_NOT_OK(
+      RoundTrip(FrameType::kEstimate, next_id_++, payload, &header, &resp));
+  switch (header.status) {
+    case WireStatus::kOk: {
+      ByteReader r(resp);
+      double value = 0.0;
+      if (!r.ReadF64(&value) || !r.empty()) {
+        return Status::ParseError("malformed ESTIMATE response payload");
+      }
+      return value;
+    }
+    case WireStatus::kRejected:
+      return Status::OutOfRange("rejected: " + resp);
+    case WireStatus::kError:
+      break;
+  }
+  return Status::Internal(resp.empty() ? "estimate failed" : resp);
+}
+
+Status NetClient::EstimateBatch(std::string_view sketch,
+                                const std::vector<std::string>& sqls,
+                                std::vector<Result<double>>* out) {
+  EstimateBatchRequest req;
+  req.sketch.assign(sketch);
+  req.sqls = sqls;
+  std::string payload;
+  AppendEstimateBatchRequest(&payload, req);
+  FrameHeader header;
+  std::string resp;
+  DS_RETURN_NOT_OK(RoundTrip(FrameType::kEstimateBatch, next_id_++, payload,
+                             &header, &resp));
+  if (header.status == WireStatus::kRejected) {
+    return Status::OutOfRange("rejected: " + resp);
+  }
+  if (header.status != WireStatus::kOk) {
+    return Status::Internal(resp.empty() ? "batch failed" : resp);
+  }
+  DS_RETURN_NOT_OK(ParseBatchResponse(resp, out));
+  if (out->size() != sqls.size()) {
+    return Status::ParseError(
+        "batch response has " + std::to_string(out->size()) +
+        " items, expected " + std::to_string(sqls.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> NetClient::Stats() {
+  FrameHeader header;
+  std::string resp;
+  DS_RETURN_NOT_OK(
+      RoundTrip(FrameType::kStats, next_id_++, "", &header, &resp));
+  if (header.status != WireStatus::kOk) {
+    return Status::Internal("STATS failed: " + resp);
+  }
+  return resp;
+}
+
+Status NetClient::SendEstimate(uint64_t request_id, std::string_view sketch,
+                               std::string_view sql) {
+  EstimateRequest req;
+  req.sketch.assign(sketch);
+  req.sql.assign(sql);
+  std::string payload;
+  AppendEstimateRequest(&payload, req);
+  std::string frame;
+  AppendFrame(&frame, FrameType::kEstimate, WireStatus::kOk, request_id,
+              payload);
+  return WriteAll(frame);
+}
+
+Result<NetClient::Response> NetClient::ReadResponse() {
+  FrameHeader header;
+  std::string payload;
+  DS_RETURN_NOT_OK(ReadFrame(&header, &payload));
+  Response resp;
+  resp.request_id = header.request_id;
+  resp.type = header.type;
+  resp.status = header.status;
+  if (header.type == FrameType::kEstimate &&
+      header.status == WireStatus::kOk) {
+    ByteReader r(payload);
+    if (!r.ReadF64(&resp.value) || !r.empty()) {
+      return Status::ParseError("malformed ESTIMATE response payload");
+    }
+  } else {
+    resp.message = std::move(payload);
+  }
+  return resp;
+}
+
+#else  // !DS_NET_CLIENT_POSIX
+
+Result<NetClient> NetClient::Connect(const std::string&, uint16_t) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::Hello(std::string_view) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::Ping() {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Result<double> NetClient::Estimate(std::string_view, std::string_view) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::EstimateBatch(std::string_view,
+                                const std::vector<std::string>&,
+                                std::vector<Result<double>>*) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Result<std::string> NetClient::Stats() {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::SendEstimate(uint64_t, std::string_view,
+                               std::string_view) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Result<NetClient::Response> NetClient::ReadResponse() {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::WriteAll(std::string_view) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::ReadFrame(FrameHeader*, std::string*) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+Status NetClient::RoundTrip(FrameType, uint64_t, std::string_view,
+                            FrameHeader*, std::string*) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+
+#endif  // DS_NET_CLIENT_POSIX
+
+}  // namespace ds::net

@@ -1,0 +1,143 @@
+#include "ds/net/event_loop.h"
+
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace ds::net {
+
+#if defined(__linux__)
+
+Status EventLoop::Init() {
+  epoll_fd_.reset(epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_.reset(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_.valid()) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  return Add(wake_fd_.get(), EPOLLIN, [this](uint32_t) { DrainWakeFd(); });
+}
+
+Status EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(ADD): ") +
+                            std::strerror(errno));
+  }
+  handlers_[fd] = std::make_shared<IoCallback>(std::move(callback));
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(MOD): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    util::MutexLock lock(mu_);
+    if (stopped_) return;  // owner is tearing down; nothing left to run it
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeFd() {
+  uint64_t count;
+  while (read(wake_fd_.get(), &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    util::MutexLock lock(mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    {
+      util::MutexLock lock(mu_);
+      if (stopped_) break;
+    }
+    const int n = epoll_wait(epoll_fd_.get(), events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself failed; the owner will notice on join
+    }
+    for (int i = 0; i < n; ++i) {
+      // Look the handler up per event: an earlier callback in this batch
+      // may have Remove()d this fd (e.g. closed the connection).
+      auto it = handlers_.find(events[i].data.fd);
+      if (it == handlers_.end()) continue;
+      // Keep the callback alive across the call even if it removes itself.
+      std::shared_ptr<IoCallback> handler = it->second;
+      (*handler)(events[i].events);
+    }
+    RunPostedTasks();
+  }
+  // Run what was posted before the stop flag landed, then drop the rest:
+  // Post() rejects new tasks once stopped_ is set.
+  RunPostedTasks();
+}
+
+void EventLoop::Stop() {
+  {
+    util::MutexLock lock(mu_);
+    stopped_ = true;
+  }
+  Wake();
+}
+
+#else  // !__linux__
+
+Status EventLoop::Init() {
+  return Status::Unimplemented("ds::net requires Linux (epoll/eventfd)");
+}
+Status EventLoop::Add(int, uint32_t, IoCallback) {
+  return Status::Unimplemented("ds::net requires Linux");
+}
+Status EventLoop::Modify(int, uint32_t) {
+  return Status::Unimplemented("ds::net requires Linux");
+}
+void EventLoop::Remove(int) {}
+void EventLoop::Post(std::function<void()>) {}
+void EventLoop::Run() {}
+void EventLoop::Stop() {}
+
+#endif  // __linux__
+
+}  // namespace ds::net

@@ -1,0 +1,95 @@
+// Single-threaded epoll event loop — the execution engine under each
+// ds::net worker thread.
+//
+// One EventLoop is owned and Run() by exactly one thread. File descriptors
+// are registered with a callback; when epoll reports readiness the loop
+// invokes the callback with the event mask. Registration is edge- or
+// level-triggered per fd (the caller passes EPOLLET itself): connections
+// run edge-triggered (drain until EAGAIN, no re-arm syscalls), listening
+// sockets run level-triggered so a backlog the last accept sweep did not
+// drain re-notifies.
+//
+// Cross-thread input arrives only through Post(): a task queue drained on
+// the loop thread, woken via an eventfd. That is the entire thread
+// contract — Add/Modify/Remove and the callbacks themselves happen on the
+// loop thread only, so handler state needs no locks.
+//
+// Non-Linux builds compile this header but Init() returns Unimplemented;
+// the networked front-end is a Linux subsystem (epoll/eventfd), everything
+// else in the repo stays portable.
+
+#ifndef DS_NET_EVENT_LOOP_H_
+#define DS_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/util/fd.h"
+#include "ds/util/status.h"
+#include "ds/util/thread_annotations.h"
+
+namespace ds::net {
+
+class EventLoop {
+ public:
+  /// Invoked on the loop thread with the epoll event mask (EPOLLIN,
+  /// EPOLLOUT, EPOLLHUP, ...). The callback may Remove() its own fd.
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  EventLoop() = default;
+  ~EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd. Must be called
+  /// before anything else; Unimplemented off Linux.
+  Status Init();
+
+  /// Registers `fd` (not owned) for `events`. Loop thread only (or before
+  /// Run() starts).
+  Status Add(int fd, uint32_t events, IoCallback callback);
+
+  /// Changes the interest mask of a registered fd. Loop thread only.
+  Status Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd`; pending events already dequeued for it are dropped.
+  /// Loop thread only. The fd itself stays open (callers own their fds).
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop. Safe
+  /// from any thread, including after Stop() — tasks posted to a stopped
+  /// loop are silently dropped (the loop's owner is tearing down).
+  void Post(std::function<void()> task);
+
+  /// Dispatches until Stop(). Runs on the owning thread.
+  void Run();
+
+  /// Asks Run() to return after the current dispatch round. Any thread.
+  void Stop();
+
+  size_t num_registered_fds() const { return handlers_.size(); }
+
+ private:
+  void Wake();
+  void DrainWakeFd();
+  void RunPostedTasks();
+
+  util::UniqueFd epoll_fd_;
+  util::UniqueFd wake_fd_;
+
+  // fd -> callback. shared_ptr so a callback that Remove()s its own fd
+  // (closing a connection from inside its handler) does not free the
+  // std::function currently executing.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
+
+  util::Mutex mu_;
+  std::vector<std::function<void()>> tasks_ DS_GUARDED_BY(mu_);
+  bool stopped_ DS_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace ds::net
+
+#endif  // DS_NET_EVENT_LOOP_H_

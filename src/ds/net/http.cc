@@ -1,0 +1,257 @@
+#include "ds/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ds::net {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 1024 * 1024;
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+bool HttpRequest::WantsClose() const {
+  auto connection = Header("connection");
+  return connection.has_value() && ToLower(*connection) == "close";
+}
+
+HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
+                                 size_t* consumed) {
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return buffer.size() > kMaxHeaderBytes ? HttpParseResult::kBad
+                                           : HttpParseResult::kNeedMore;
+  }
+  if (head_end > kMaxHeaderBytes) return HttpParseResult::kBad;
+
+  const std::string_view head = buffer.substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "METHOD SP target SP HTTP/1.x"
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return HttpParseResult::kBad;
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return HttpParseResult::kBad;
+
+  out->method = std::string(request_line.substr(0, sp1));
+  out->path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out->headers.clear();
+  out->body.clear();
+
+  size_t content_length = 0;
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 2);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return HttpParseResult::kBad;
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value(Trim(line.substr(colon + 1)));
+    if (name == "transfer-encoding") return HttpParseResult::kBad;
+    if (name == "content-length") {
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed > kMaxBodyBytes) {
+        return HttpParseResult::kBad;
+      }
+      content_length = static_cast<size_t>(parsed);
+    }
+    out->headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const size_t total = head_end + 4 + content_length;
+  if (buffer.size() < total) return HttpParseResult::kNeedMore;
+  out->body.assign(buffer.substr(head_end + 4, content_length));
+  *consumed = total;
+  return HttpParseResult::kParsed;
+}
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body, bool close) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %.*s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: %s\r\n"
+                "\r\n",
+                status, ReasonPhrase(status),
+                static_cast<int>(content_type.size()), content_type.data(),
+                body.size(), close ? "close" : "keep-alive");
+  std::string out(head);
+  out.append(body.data(), body.size());
+  return out;
+}
+
+namespace {
+
+/// Decodes the JSON string literal starting at `json[i]` (which must be
+/// the opening quote). Returns the decoded value and advances `i` past the
+/// closing quote, or nullopt on malformed input.
+std::optional<std::string> DecodeJsonString(std::string_view json,
+                                            size_t* i) {
+  std::string out;
+  size_t p = *i + 1;  // skip the opening quote
+  while (p < json.size()) {
+    const char c = json[p];
+    if (c == '"') {
+      *i = p + 1;
+      return out;
+    }
+    if (c != '\\') {
+      out.push_back(c);
+      ++p;
+      continue;
+    }
+    if (p + 1 >= json.size()) return std::nullopt;
+    const char esc = json[p + 1];
+    p += 2;
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (p + 4 > json.size()) return std::nullopt;
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = json[p + k];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return std::nullopt;
+        }
+        p += 4;
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else {
+          // SQL and sketch names are ASCII; pass the raw sequence through
+          // so nothing is silently dropped.
+          out += "\\u";
+          out.append(json.substr(p - 4, 4));
+        }
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+}  // namespace
+
+std::optional<std::string> ExtractJsonStringField(std::string_view json,
+                                                  std::string_view key) {
+  // Scan top-level `"key"` occurrences; on each, expect `: "` next (with
+  // whitespace). Quoted occurrences of the key inside other values are
+  // skipped by the string decoder below.
+  size_t i = 0;
+  while (i < json.size()) {
+    if (json[i] != '"') {
+      ++i;
+      continue;
+    }
+    size_t pos = i;
+    auto name = DecodeJsonString(json, &pos);
+    if (!name.has_value()) return std::nullopt;
+    i = pos;
+    if (*name != key) continue;
+    while (i < json.size() && (json[i] == ' ' || json[i] == '\t' ||
+                               json[i] == '\n' || json[i] == '\r')) {
+      ++i;
+    }
+    if (i >= json.size() || json[i] != ':') continue;  // key inside a value
+    ++i;
+    while (i < json.size() && (json[i] == ' ' || json[i] == '\t' ||
+                               json[i] == '\n' || json[i] == '\r')) {
+      ++i;
+    }
+    if (i >= json.size() || json[i] != '"') return std::nullopt;
+    return DecodeJsonString(json, &i);
+  }
+  return std::nullopt;
+}
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ds::net

@@ -1,0 +1,74 @@
+// Minimal HTTP/1.1 support for the network front-end.
+//
+// The server speaks just enough HTTP for two endpoints — POST /estimate
+// (JSON in, JSON out) and GET /metrics (Prometheus text exposition) — so
+// that curl, a scraper, or a quick script can talk to a running ds_served
+// without the binary client. This is deliberately not a web framework: no
+// chunked transfer, no compression, no multipart; requests using those get
+// a 400. Keep-alive works (HTTP/1.1 default); "Connection: close" is
+// honored.
+//
+// The JSON helpers are equally minimal: ExtractJsonStringField pulls one
+// top-level string field out of a request body without building a DOM,
+// which is all POST /estimate needs ({"sketch": "...", "sql": "..."}).
+
+#ifndef DS_NET_HTTP_H_
+#define DS_NET_HTTP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ds/util/status.h"
+
+namespace ds::net {
+
+struct HttpRequest {
+  std::string method;  // uppercase, e.g. "GET"
+  std::string path;    // request target, e.g. "/estimate"
+  std::string body;
+  // Header names lowercased at parse time (HTTP headers are
+  // case-insensitive); values are trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Value of the (lowercased) header, or nullopt.
+  std::optional<std::string> Header(std::string_view name) const;
+
+  /// True when the client asked for "Connection: close".
+  bool WantsClose() const;
+};
+
+/// Outcome of trying to parse one request from the front of `buffer`.
+enum class HttpParseResult {
+  kNeedMore,   // incomplete: keep the buffer, read more bytes
+  kParsed,     // *out filled; *consumed bytes belong to this request
+  kBad,        // malformed: answer 400 and close
+};
+
+/// Parses one request from `buffer` (which may hold pipelined follow-ups;
+/// only the first request is consumed). Bodies require Content-Length;
+/// Transfer-Encoding is rejected as kBad. Requests with headers larger
+/// than 64 KiB or bodies larger than 1 MiB are kBad.
+HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
+                                 size_t* consumed);
+
+/// Serializes a response with Content-Length and the given Content-Type.
+/// `status` is e.g. 200; the reason phrase is derived from it.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body, bool close);
+
+/// Extracts the string value of a top-level `"key": "value"` pair from a
+/// JSON object, handling the standard escapes (\" \\ \/ \b \f \n \r \t and
+/// \uXXXX for code points below U+0080; others are passed through
+/// literally). Returns nullopt when the key is missing or not a string.
+std::optional<std::string> ExtractJsonStringField(std::string_view json,
+                                                  std::string_view key);
+
+/// Escapes `value` for embedding in a JSON string literal.
+std::string JsonEscape(std::string_view value);
+
+}  // namespace ds::net
+
+#endif  // DS_NET_HTTP_H_

@@ -1,0 +1,831 @@
+#include "ds/net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "ds/net/event_loop.h"
+#include "ds/net/http.h"
+#include "ds/obs/exposition.h"
+#include "ds/util/cpu_topology.h"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace ds::net {
+
+NetMetrics::NetMetrics(obs::Registry* r)
+    : connections(*r->GetCounter("ds_net_connections_total",
+                                 "Client connections accepted")),
+      active_connections(*r->GetGauge("ds_net_active_connections",
+                                      "Currently open client connections")),
+      requests(*r->GetCounter("ds_net_requests_total",
+                              "Estimate requests received over the wire "
+                              "(batch items count individually)")),
+      responses_ok(*r->GetCounter("ds_net_responses_total",
+                                  "Estimate responses sent, by status",
+                                  {{"status", WireStatusName(WireStatus::kOk)}})),
+      responses_error(
+          *r->GetCounter("ds_net_responses_total",
+                         "Estimate responses sent, by status",
+                         {{"status", WireStatusName(WireStatus::kError)}})),
+      responses_rejected(*r->GetCounter(
+          "ds_net_responses_total", "Estimate responses sent, by status",
+          {{"status", WireStatusName(WireStatus::kRejected)}})),
+      http_requests(*r->GetCounter("ds_net_http_requests_total",
+                                   "HTTP requests handled (all endpoints)")),
+      protocol_errors(*r->GetCounter(
+          "ds_net_protocol_errors_total",
+          "Connections dropped for malformed framing or HTTP")),
+      bytes_read(*r->GetCounter("ds_net_bytes_read_total",
+                                "Bytes read from client sockets")),
+      bytes_written(*r->GetCounter("ds_net_bytes_written_total",
+                                   "Bytes written to client sockets")) {}
+
+obs::Counter& NetMetrics::Response(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return responses_ok;
+    case WireStatus::kError:
+      return responses_error;
+    case WireStatus::kRejected:
+      return responses_rejected;
+  }
+  return responses_error;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+/// A connection buffering more than this unanswered input or output is
+/// either malicious or stuck; close it instead of growing without bound.
+constexpr size_t kMaxReadBuffer = kMaxPayloadBytes + kFrameHeaderSize + 4096;
+constexpr size_t kMaxWriteBuffer = 8 * 1024 * 1024;
+
+uint32_t ConnEvents(bool want_write) {
+  return EPOLLIN | EPOLLRDHUP | EPOLLET | (want_write ? EPOLLOUT : 0u);
+}
+
+}  // namespace
+
+struct Connection;
+
+/// Per-worker state: the event loop, its thread, and the connections it
+/// owns. Everything except the loop's Post queue is touched only from the
+/// loop thread.
+struct NetServer::Worker {
+  size_t index = 0;
+  int cpu = -1;  // planned CPU, -1 = unpinned
+  EventLoop loop;
+  std::thread thread;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  NetServer* server = nullptr;
+};
+
+/// One client connection. Owned by its worker's `conns` map; completion
+/// tasks hold weak_ptrs, so a connection that closes mid-request simply
+/// drops the response.
+struct Connection : std::enable_shared_from_this<Connection> {
+  enum class Proto { kSniffing, kBinary, kHttp };
+
+  util::UniqueFd fd;
+  NetServer* server = nullptr;
+  NetServer::Worker* worker = nullptr;
+  Proto proto = Proto::kSniffing;
+  std::string tenant;
+  std::string rbuf;
+  std::string wbuf;  // unsent response bytes (fd would block)
+  bool open = true;
+
+  void OnEvent(uint32_t events);
+  void ReadInput();
+  void Dispatch();
+  void DispatchBinary();
+  void DispatchHttp();
+  void HandleFrame(const FrameHeader& header, std::string_view payload);
+  void HandleEstimate(uint64_t request_id, std::string_view payload);
+  void HandleBatch(uint64_t request_id, std::string_view payload);
+  void HandleHttpRequest(const HttpRequest& req);
+  void SendFrame(FrameType type, WireStatus status, uint64_t request_id,
+                 std::string_view payload);
+  void CountAndSendFrame(FrameType type, WireStatus status,
+                         uint64_t request_id, std::string_view payload);
+  void QueueWrite(std::string_view bytes);
+  void FlushWrites();
+  void ProtocolError(uint64_t request_id, const std::string& message);
+  void Close();
+};
+
+void Connection::OnEvent(uint32_t events) {
+  if (!open) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    Close();
+    return;
+  }
+  if (events & EPOLLOUT) FlushWrites();
+  if (!open) return;
+  if (events & (EPOLLIN | EPOLLRDHUP)) ReadInput();
+}
+
+void Connection::ReadInput() {
+  char chunk[kReadChunk];
+  while (open) {
+    const ssize_t n = read(fd.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      server->metrics_.bytes_read.Add(static_cast<uint64_t>(n));
+      rbuf.append(chunk, static_cast<size_t>(n));
+      if (rbuf.size() > kMaxReadBuffer) {
+        server->metrics_.protocol_errors.Add();
+        Close();
+        return;
+      }
+      // Parse eagerly so a pipelining client's requests start flowing into
+      // the batching core before the socket is fully drained.
+      Dispatch();
+      continue;
+    }
+    if (n == 0) {  // orderly peer shutdown
+      Close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // edge drained
+    if (errno == EINTR) continue;
+    Close();
+    return;
+  }
+}
+
+void Connection::Dispatch() {
+  if (proto == Proto::kSniffing) {
+    if (rbuf.size() < kMagicSize) return;
+    if (std::memcmp(rbuf.data(), kMagic, kMagicSize) == 0) {
+      proto = Proto::kBinary;
+      rbuf.erase(0, kMagicSize);
+    } else {
+      proto = Proto::kHttp;
+    }
+  }
+  if (proto == Proto::kBinary) {
+    DispatchBinary();
+  } else {
+    DispatchHttp();
+  }
+}
+
+void Connection::DispatchBinary() {
+  while (open && rbuf.size() >= kFrameHeaderSize) {
+    FrameHeader header;
+    if (auto st = DecodeFrameHeader(rbuf.data(), &header); !st.ok()) {
+      ProtocolError(0, st.message());
+      return;
+    }
+    const size_t frame_size = kFrameHeaderSize + header.payload_size;
+    if (rbuf.size() < frame_size) return;  // wait for the full frame
+    // The payload view stays valid through HandleFrame: nothing below
+    // mutates rbuf until the erase.
+    HandleFrame(header,
+                std::string_view(rbuf.data() + kFrameHeaderSize,
+                                 header.payload_size));
+    if (!open) return;
+    rbuf.erase(0, frame_size);
+  }
+}
+
+void Connection::HandleFrame(const FrameHeader& header,
+                             std::string_view payload) {
+  switch (header.type) {
+    case FrameType::kHello: {
+      ByteReader r(payload);
+      std::string name;
+      if (!r.ReadString16(&name) || !r.empty()) {
+        ProtocolError(header.request_id, "malformed HELLO payload");
+        return;
+      }
+      if (!name.empty()) tenant = std::move(name);
+      SendFrame(FrameType::kHello, WireStatus::kOk, header.request_id, "");
+      return;
+    }
+    case FrameType::kPing:
+      SendFrame(FrameType::kPing, WireStatus::kOk, header.request_id, "");
+      return;
+    case FrameType::kStats:
+      SendFrame(FrameType::kStats, WireStatus::kOk, header.request_id,
+                server->backend_->MetricsJson());
+      return;
+    case FrameType::kEstimate:
+      HandleEstimate(header.request_id, payload);
+      return;
+    case FrameType::kEstimateBatch:
+      HandleBatch(header.request_id, payload);
+      return;
+  }
+}
+
+void Connection::HandleEstimate(uint64_t request_id,
+                                std::string_view payload) {
+  server->metrics_.requests.Add();
+  EstimateRequest req;
+  if (auto st = ParseEstimateRequest(payload, &req); !st.ok()) {
+    CountAndSendFrame(FrameType::kEstimate, WireStatus::kError, request_id,
+                      st.message());
+    return;
+  }
+  if (!server->admission_.Admit(tenant, server->NowSeconds())) {
+    server->backend_->CountShed();
+    CountAndSendFrame(FrameType::kEstimate, WireStatus::kRejected, request_id,
+                      "tenant '" + tenant + "' exceeded its request rate");
+    return;
+  }
+  server->in_flight_.fetch_add(1, std::memory_order_relaxed);
+  std::weak_ptr<Connection> weak = weak_from_this();
+  NetServer* srv = server;
+  NetServer::Worker* w = worker;
+  const auto status = server->backend_->SubmitAsync(
+      std::move(req.sketch), std::move(req.sql),
+      [weak, srv, w, request_id](Result<double> result) {
+        // Runs on a serve worker; hop to the owning event loop so only
+        // that thread ever touches the connection.
+        std::string frame;
+        if (result.ok()) {
+          std::string payload_bytes;
+          AppendF64(&payload_bytes, *result);
+          AppendFrame(&frame, FrameType::kEstimate, WireStatus::kOk,
+                      request_id, payload_bytes);
+        } else {
+          AppendFrame(&frame, FrameType::kEstimate, WireStatus::kError,
+                      request_id, result.status().message());
+        }
+        const WireStatus wire =
+            result.ok() ? WireStatus::kOk : WireStatus::kError;
+        w->loop.Post([weak, srv, wire, frame = std::move(frame)] {
+          if (auto conn = weak.lock(); conn != nullptr && conn->open) {
+            srv->metrics_.Response(wire).Add();
+            conn->QueueWrite(frame);
+          }
+          srv->in_flight_.fetch_sub(1, std::memory_order_release);
+        });
+      },
+      worker->index);
+  if (status != serve::SubmitStatus::kOk) {
+    server->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    const bool shutdown = status == serve::SubmitStatus::kShuttingDown;
+    CountAndSendFrame(
+        FrameType::kEstimate,
+        shutdown ? WireStatus::kError : WireStatus::kRejected, request_id,
+        shutdown ? "server is shutting down"
+                 : "server overloaded (queue full)");
+  }
+}
+
+namespace {
+
+/// Fan-in state for one ESTIMATE_BATCH frame: slots filled by serve
+/// workers (distinct indices, no lock needed), the last completion posts
+/// the response.
+struct BatchContext {
+  std::vector<Result<double>> results;
+  std::vector<serve::SubmitStatus> statuses;
+  std::atomic<size_t> remaining{0};
+  uint64_t request_id = 0;
+};
+
+void FinishBatch(const std::shared_ptr<BatchContext>& ctx,
+                 const std::weak_ptr<Connection>& weak, NetMetrics* metrics,
+                 std::atomic<uint64_t>* in_flight, EventLoop* loop,
+                 uint64_t accepted) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(ctx->results.size()));
+  uint64_t ok = 0, error = 0;
+  for (size_t i = 0; i < ctx->results.size(); ++i) {
+    AppendBatchItem(&payload, ctx->results[i]);
+    if (ctx->statuses[i] != serve::SubmitStatus::kOk) continue;
+    if (ctx->results[i].ok()) {
+      ++ok;
+    } else {
+      ++error;
+    }
+  }
+  std::string frame;
+  AppendFrame(&frame, FrameType::kEstimateBatch, WireStatus::kOk,
+              ctx->request_id, payload);
+  loop->Post([weak, metrics, in_flight, ok, error, accepted,
+              frame = std::move(frame)] {
+    if (auto conn = weak.lock(); conn != nullptr && conn->open) {
+      metrics->responses_ok.Add(ok);
+      metrics->responses_error.Add(error);
+      conn->QueueWrite(frame);
+    }
+    in_flight->fetch_sub(accepted, std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
+  EstimateBatchRequest req;
+  if (auto st = ParseEstimateBatchRequest(payload, &req); !st.ok()) {
+    // A malformed batch's item count is unknowable; count one request so
+    // the requests/responses balance still holds.
+    server->metrics_.requests.Add();
+    CountAndSendFrame(FrameType::kEstimateBatch, WireStatus::kError,
+                      request_id, st.message());
+    return;
+  }
+  const size_t n = req.sqls.size();
+  server->metrics_.requests.Add(n);
+  if (n == 0) {
+    SendFrame(FrameType::kEstimateBatch, WireStatus::kOk, request_id,
+              std::string(4, '\0'));  // u32 count = 0
+    return;
+  }
+  if (!server->admission_.Admit(tenant, server->NowSeconds(),
+                                static_cast<double>(n))) {
+    server->backend_->CountShed(n);
+    server->metrics_.responses_rejected.Add(n);
+    SendFrame(FrameType::kEstimateBatch, WireStatus::kRejected, request_id,
+              "tenant '" + tenant + "' exceeded its request rate");
+    return;
+  }
+
+  auto ctx = std::make_shared<BatchContext>();
+  ctx->request_id = request_id;
+  ctx->results.assign(n, Result<double>(Status::Internal("pending")));
+  std::weak_ptr<Connection> weak = weak_from_this();
+  NetServer* srv = server;
+  NetServer::Worker* w = worker;
+
+  // Count every item as in-flight up front; FinishBatch releases the
+  // accepted ones, the rejected ones are released below once known.
+  server->in_flight_.fetch_add(n, std::memory_order_relaxed);
+  ctx->remaining.store(n, std::memory_order_relaxed);
+  ctx->statuses = server->backend_->SubmitManyAsync(
+      req.sketch, std::move(req.sqls),
+      [ctx, weak, srv, w](size_t index, Result<double> result) {
+        ctx->results[index] = std::move(result);
+        if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const uint64_t accepted = static_cast<uint64_t>(std::count(
+              ctx->statuses.begin(), ctx->statuses.end(),
+              serve::SubmitStatus::kOk));
+          FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop,
+                      accepted);
+        }
+      },
+      worker->index);
+
+  // Resolve the rejected slots ourselves (their callbacks never fire).
+  size_t rejected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (ctx->statuses[i] == serve::SubmitStatus::kOk) continue;
+    ++rejected;
+    const bool shutdown =
+        ctx->statuses[i] == serve::SubmitStatus::kShuttingDown;
+    ctx->results[i] = Result<double>(Status::OutOfRange(
+        shutdown ? "server is shutting down" : "rejected: queue full"));
+  }
+  if (rejected > 0) {
+    server->metrics_.responses_rejected.Add(rejected);
+    server->in_flight_.fetch_sub(rejected, std::memory_order_relaxed);
+    if (ctx->remaining.fetch_sub(rejected, std::memory_order_acq_rel) ==
+        rejected) {
+      FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop,
+                  n - rejected);
+    }
+  }
+}
+
+void Connection::DispatchHttp() {
+  while (open) {
+    HttpRequest req;
+    size_t consumed = 0;
+    switch (ParseHttpRequest(rbuf, &req, &consumed)) {
+      case HttpParseResult::kNeedMore:
+        return;
+      case HttpParseResult::kBad:
+        server->metrics_.protocol_errors.Add();
+        QueueWrite(BuildHttpResponse(400, "text/plain",
+                                     "malformed HTTP request\n", true));
+        Close();
+        return;
+      case HttpParseResult::kParsed:
+        rbuf.erase(0, consumed);
+        HandleHttpRequest(req);
+        break;
+    }
+  }
+}
+
+void Connection::HandleHttpRequest(const HttpRequest& req) {
+  server->metrics_.http_requests.Add();
+  const bool close = req.WantsClose();
+
+  if (req.method == "GET" && req.path == "/metrics") {
+    QueueWrite(BuildHttpResponse(
+        200, obs::kPrometheusContentType,
+        obs::ToPrometheusText(server->backend_->ObsSnapshot()), close));
+    if (close) Close();
+    return;
+  }
+  if (req.method == "GET" && req.path == "/healthz") {
+    QueueWrite(BuildHttpResponse(200, "text/plain", "ok\n", close));
+    if (close) Close();
+    return;
+  }
+  if (req.path != "/estimate") {
+    QueueWrite(BuildHttpResponse(404, "application/json",
+                                 "{\"error\":\"not found\"}\n", close));
+    if (close) Close();
+    return;
+  }
+  if (req.method != "POST") {
+    QueueWrite(BuildHttpResponse(405, "application/json",
+                                 "{\"error\":\"use POST\"}\n", close));
+    if (close) Close();
+    return;
+  }
+
+  server->metrics_.requests.Add();
+  auto sketch = ExtractJsonStringField(req.body, "sketch");
+  auto sql = ExtractJsonStringField(req.body, "sql");
+  if (!sketch.has_value() || !sql.has_value()) {
+    server->metrics_.responses_error.Add();
+    QueueWrite(BuildHttpResponse(
+        400, "application/json",
+        "{\"error\":\"body must be {\\\"sketch\\\": ..., \\\"sql\\\": "
+        "...}\"}\n",
+        close));
+    if (close) Close();
+    return;
+  }
+  const std::string http_tenant =
+      req.Header("x-ds-tenant").value_or(tenant);
+  if (!server->admission_.Admit(http_tenant, server->NowSeconds())) {
+    server->backend_->CountShed();
+    server->metrics_.responses_rejected.Add();
+    QueueWrite(BuildHttpResponse(
+        429, "application/json",
+        "{\"error\":\"tenant '" + JsonEscape(http_tenant) +
+            "' exceeded its request rate\"}\n",
+        close));
+    if (close) Close();
+    return;
+  }
+
+  server->in_flight_.fetch_add(1, std::memory_order_relaxed);
+  std::weak_ptr<Connection> weak = weak_from_this();
+  NetServer* srv = server;
+  NetServer::Worker* w = worker;
+  const auto status = server->backend_->SubmitAsync(
+      std::move(*sketch), std::move(*sql),
+      [weak, srv, w, close](Result<double> result) {
+        std::string response;
+        WireStatus wire;
+        if (result.ok()) {
+          char body[64];
+          std::snprintf(body, sizeof(body), "{\"estimate\":%.1f}\n",
+                        *result);
+          response = BuildHttpResponse(200, "application/json", body, close);
+          wire = WireStatus::kOk;
+        } else {
+          response = BuildHttpResponse(
+              400, "application/json",
+              "{\"error\":\"" + JsonEscape(result.status().message()) +
+                  "\"}\n",
+              close);
+          wire = WireStatus::kError;
+        }
+        w->loop.Post(
+            [weak, srv, wire, close, response = std::move(response)] {
+              if (auto conn = weak.lock(); conn != nullptr && conn->open) {
+                srv->metrics_.Response(wire).Add();
+                conn->QueueWrite(response);
+                if (close) conn->Close();
+              }
+              srv->in_flight_.fetch_sub(1, std::memory_order_release);
+            });
+      },
+      worker->index);
+  if (status != serve::SubmitStatus::kOk) {
+    server->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    const bool shutdown = status == serve::SubmitStatus::kShuttingDown;
+    server->metrics_
+        .Response(shutdown ? WireStatus::kError : WireStatus::kRejected)
+        .Add();
+    QueueWrite(BuildHttpResponse(
+        shutdown ? 503 : 429, "application/json",
+        shutdown ? "{\"error\":\"server is shutting down\"}\n"
+                 : "{\"error\":\"server overloaded (queue full)\"}\n",
+        close));
+    if (close) Close();
+  }
+}
+
+void Connection::SendFrame(FrameType type, WireStatus status,
+                           uint64_t request_id, std::string_view payload) {
+  std::string frame;
+  AppendFrame(&frame, type, status, request_id, payload);
+  QueueWrite(frame);
+}
+
+void Connection::CountAndSendFrame(FrameType type, WireStatus status,
+                                   uint64_t request_id,
+                                   std::string_view payload) {
+  server->metrics_.Response(status).Add();
+  SendFrame(type, status, request_id, payload);
+}
+
+void Connection::QueueWrite(std::string_view bytes) {
+  if (!open) return;
+  if (wbuf.empty()) {
+    // Fast path: write straight from the caller's buffer; only the
+    // leftover (socket buffer full) is copied.
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = write(fd.get(), bytes.data() + off,
+                              bytes.size() - off);
+      if (n > 0) {
+        server->metrics_.bytes_written.Add(static_cast<uint64_t>(n));
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return;
+    }
+    if (off == bytes.size()) return;
+    wbuf.assign(bytes.data() + off, bytes.size() - off);
+    (void)worker->loop.Modify(fd.get(), ConnEvents(/*want_write=*/true));
+    return;
+  }
+  wbuf.append(bytes.data(), bytes.size());
+  if (wbuf.size() > kMaxWriteBuffer) {
+    server->metrics_.protocol_errors.Add();
+    Close();  // client is not reading its responses
+  }
+}
+
+void Connection::FlushWrites() {
+  size_t off = 0;
+  while (off < wbuf.size()) {
+    const ssize_t n = write(fd.get(), wbuf.data() + off, wbuf.size() - off);
+    if (n > 0) {
+      server->metrics_.bytes_written.Add(static_cast<uint64_t>(n));
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return;
+  }
+  wbuf.erase(0, off);
+  if (wbuf.empty()) {
+    (void)worker->loop.Modify(fd.get(), ConnEvents(/*want_write=*/false));
+  }
+}
+
+void Connection::ProtocolError(uint64_t request_id,
+                               const std::string& message) {
+  server->metrics_.protocol_errors.Add();
+  SendFrame(FrameType::kPing, WireStatus::kError, request_id, message);
+  Close();
+}
+
+void Connection::Close() {
+  if (!open) return;
+  open = false;
+  worker->loop.Remove(fd.get());
+  server->metrics_.active_connections.Add(-1);
+  server->active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  // Erasing from the map drops the owning shared_ptr; the EventLoop keeps
+  // the currently-executing handler alive until it returns, and the
+  // UniqueFd closes the socket when the last reference goes.
+  worker->conns.erase(fd.get());
+}
+
+// ---- NetServer --------------------------------------------------------------
+
+NetServer::NetServer(serve::SketchServer* backend, NetServerOptions options)
+    : backend_(backend),
+      options_(std::move(options)),
+      registry_(options_.metrics_registry != nullptr
+                    ? options_.metrics_registry
+                    : backend->obs_registry()),
+      metrics_(registry_),
+      admission_(options_.admission) {}
+
+NetServer::~NetServer() { Stop(); }
+
+double NetServer::NowSeconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status NetServer::StartListener() {
+  listen_fd_.reset(socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0));
+  if (!listen_fd_.valid()) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen host '" +
+                                   options_.host + "' (IPv4 dotted quad)");
+  }
+  if (bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (listen(listen_fd_.get(), 512) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_.get(), reinterpret_cast<sockaddr*>(&bound),
+                  &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+void NetServer::AcceptReady(Worker* worker) {
+  while (true) {
+    const int raw = accept4(listen_fd_.get(), nullptr, nullptr,
+                            SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EMFILE etc.: back off until the next readiness event
+    }
+    util::UniqueFd client(raw);
+    if (!accepting_.load(std::memory_order_acquire) ||
+        active_connections_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      continue;  // UniqueFd closes it — explicit connection-level shed
+    }
+    const int one = 1;
+    setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    const int fd = client.get();
+    conn->fd = std::move(client);
+    conn->server = this;
+    conn->worker = worker;
+    conn->tenant = options_.default_tenant;
+    std::weak_ptr<Connection> weak = conn;
+    if (!worker->loop
+             .Add(fd, ConnEvents(/*want_write=*/false),
+                  [weak](uint32_t events) {
+                    if (auto c = weak.lock()) c->OnEvent(events);
+                  })
+             .ok()) {
+      continue;  // conn (and its fd) die here
+    }
+    worker->conns[fd] = std::move(conn);
+    metrics_.connections.Add();
+    metrics_.active_connections.Add(1);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status NetServer::Start() {
+  util::MutexLock lock(stop_mu_);
+  if (started_) return Status::AlreadyExists("NetServer already started");
+  DS_RETURN_NOT_OK(StartListener());
+
+  const util::CpuTopology topology = util::DetectCpuTopology();
+  size_t num_workers = options_.num_workers > 0
+                           ? options_.num_workers
+                           : std::max<size_t>(topology.num_cores(), 1);
+  const std::vector<int> cpu_plan = util::PlanWorkerCpus(topology,
+                                                         num_workers);
+
+  workers_.clear();
+  for (size_t i = 0; i < num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->server = this;
+    w->cpu = options_.pin_threads && i < cpu_plan.size() ? cpu_plan[i] : -1;
+    if (auto st = w->loop.Init(); !st.ok()) {
+      workers_.clear();
+      listen_fd_.reset();
+      return st;
+    }
+    // Every worker watches the listening socket. Level-triggered so an
+    // accept backlog re-notifies; EPOLLEXCLUSIVE (where the kernel has it)
+    // wakes one worker per readiness instead of all of them.
+    uint32_t listen_events = EPOLLIN;
+#if defined(EPOLLEXCLUSIVE)
+    listen_events |= EPOLLEXCLUSIVE;
+#endif
+    Worker* wp = w.get();
+    if (auto st = w->loop.Add(listen_fd_.get(), listen_events,
+                              [this, wp](uint32_t) { AcceptReady(wp); });
+        !st.ok()) {
+      workers_.clear();
+      listen_fd_.reset();
+      return st;
+    }
+    workers_.push_back(std::move(w));
+  }
+
+  accepting_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    w->thread = std::thread([wp] {
+      if (wp->cpu >= 0) {
+        // Best-effort: a failed pin (cgroup change mid-flight) costs
+        // locality, not correctness.
+        (void)util::PinCurrentThreadToCpu(wp->cpu);
+      }
+      wp->loop.Run();
+    });
+  }
+  started_ = true;
+  stopped_ = false;
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  util::MutexLock lock(stop_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // Phase 1: stop admitting new work. Workers may still get accept
+  // wakeups; AcceptReady sees accepting_ == false and closes the socket.
+  accepting_.store(false, std::memory_order_release);
+
+  // Phase 2: drain. Every accepted estimate decrements in_flight_ from a
+  // posted completion task, which only runs while the loops are alive —
+  // so wait BEFORE stopping them. Bounded: a wedged backend (its Stop
+  // drains its queues, so this cannot happen in a correct shutdown order)
+  // forfeits the drain after 10 seconds rather than hanging forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (in_flight_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Phase 3: stop the loops and join. Connections close when the worker
+  // state is destroyed below (UniqueFd).
+  for (auto& w : workers_) w->loop.Stop();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  for (auto& w : workers_) {
+    metrics_.active_connections.Add(
+        -static_cast<double>(w->conns.size()));
+    w->conns.clear();
+  }
+  active_connections_.store(0, std::memory_order_relaxed);
+  workers_.clear();
+  listen_fd_.reset();
+}
+
+#else  // !__linux__
+
+struct NetServer::Worker {};
+
+NetServer::NetServer(serve::SketchServer* backend, NetServerOptions options)
+    : backend_(backend),
+      options_(std::move(options)),
+      registry_(options_.metrics_registry != nullptr
+                    ? options_.metrics_registry
+                    : backend->obs_registry()),
+      metrics_(registry_),
+      admission_(options_.admission) {}
+
+NetServer::~NetServer() = default;
+
+Status NetServer::Start() {
+  return Status::Unimplemented("ds::net requires Linux (epoll)");
+}
+void NetServer::Stop() {}
+Status NetServer::StartListener() {
+  return Status::Unimplemented("ds::net requires Linux (epoll)");
+}
+void NetServer::AcceptReady(Worker*) {}
+double NetServer::NowSeconds() const { return 0; }
+
+#endif  // __linux__
+
+}  // namespace ds::net

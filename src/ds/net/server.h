@@ -1,0 +1,175 @@
+// NetServer: the networked, multi-tenant front-end over a SketchServer.
+//
+// Architecture (one box per thread):
+//
+//   client sockets                    batching core (ds::serve)
+//        |                                   ^
+//   +----v-----------+   SubmitAsync         |
+//   | worker 0       |  (shard hint 0) +-----+------+
+//   |  epoll loop    +---------------->| SketchServer|--> workers, NN
+//   |  accept+io     |<----Post()------+  queues     |
+//   +----------------+   completion    +-----^------+
+//   | worker 1       |  (shard hint 1)       |
+//   |  epoll loop    +----------------------->
+//   +----------------+
+//
+// Each worker thread owns one edge-triggered epoll loop, accepts
+// connections (the listening socket is registered in every loop, with
+// EPOLLEXCLUSIVE where available so the kernel wakes one worker per
+// pending accept), parses both wire protocols (binary "DSKB" frames and
+// HTTP/1.1 — see ds/net/protocol.h), and submits estimate work into the
+// SketchServer with its own index as the queue-shard hint, so a
+// connection's requests stay on the queue shard drained by workers
+// co-located with its event loop. Completions are posted back to the
+// owning loop; response bytes are only ever written by the worker that
+// owns the connection, so connection state needs no locks.
+//
+// Workers are pinned one-per-physical-core via ds/util/cpu_topology
+// (best-effort: pinning failures are ignored — a correctness-neutral
+// optimization, see that header).
+//
+// Overload behavior: requests past a tenant's token bucket or past the
+// SketchServer's queue capacity are answered immediately with an explicit
+// REJECTED response (HTTP 429). Nothing is queued unboundedly — the
+// pending work is bounded by the serve-layer queue capacity plus one
+// in-flight batch per connection — so p99 latency of admitted requests
+// stays flat while overload is shed.
+//
+// Metrics (registered in the backend's registry by default, so one
+// /metrics scrape sees both layers):
+//   ds_net_connections_total / ds_net_active_connections
+//   ds_net_requests_total              estimate requests received (batch
+//                                      items count individually)
+//   ds_net_responses_total{status=ok|error|rejected}
+//   ds_net_http_requests_total, ds_net_protocol_errors_total
+//   ds_net_bytes_read_total / ds_net_bytes_written_total
+// Invariant after a drained shutdown:
+//   ds_net_requests_total == sum over status of ds_net_responses_total
+// (the CI integration smoke asserts exactly this from a live scrape).
+
+#ifndef DS_NET_SERVER_H_
+#define DS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/net/admission.h"
+#include "ds/net/protocol.h"
+#include "ds/obs/metrics.h"
+#include "ds/serve/server.h"
+#include "ds/util/fd.h"
+#include "ds/util/status.h"
+#include "ds/util/thread_annotations.h"
+
+namespace ds::net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+
+  /// 0 binds an ephemeral port; read the actual one from port().
+  uint16_t port = 0;
+
+  /// Event-loop threads. 0 = one per available physical core (respecting
+  /// the process affinity mask / cgroup limits).
+  size_t num_workers = 0;
+
+  /// Pin each worker to its planned CPU (see PlanWorkerCpus). Best-effort.
+  bool pin_threads = true;
+
+  /// Tenant for connections that never send HELLO / X-DS-Tenant.
+  std::string default_tenant = "default";
+
+  /// Per-tenant admission control; rate <= 0 admits everything.
+  AdmissionOptions admission;
+
+  /// Accepted sockets beyond this are closed immediately.
+  size_t max_connections = 1024;
+
+  /// Registry for the ds_net_* instruments. Null = the backend's registry
+  /// (recommended: one scrape shows the whole serving path).
+  obs::Registry* metrics_registry = nullptr;
+};
+
+/// The ds_net_* instruments. Separate from the server so tests can
+/// construct one against a scratch registry.
+struct NetMetrics {
+  explicit NetMetrics(obs::Registry* registry);
+
+  obs::Counter& connections;
+  obs::Gauge& active_connections;
+  obs::Counter& requests;
+  obs::Counter& responses_ok;
+  obs::Counter& responses_error;
+  obs::Counter& responses_rejected;
+  obs::Counter& http_requests;
+  obs::Counter& protocol_errors;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+
+  obs::Counter& Response(WireStatus status);
+};
+
+class NetServer {
+ public:
+  /// `backend` is borrowed and must outlive this server. Call Start() to
+  /// bind and spin up the workers.
+  NetServer(serve::SketchServer* backend, NetServerOptions options = {});
+
+  /// Stops (drains in-flight requests) if still running.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the worker threads. Errors leave the
+  /// server stopped (safe to destroy). Unimplemented off Linux.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, wait for in-flight estimates to
+  /// complete (bounded), stop the loops, join, close every connection.
+  /// Idempotent. The backend keeps running — stop it after this returns
+  /// (in-flight completions need its workers).
+  void Stop();
+
+  /// The bound TCP port (useful with options.port == 0). 0 before Start.
+  uint16_t port() const { return port_; }
+
+  size_t num_workers() const { return workers_.size(); }
+
+  obs::Registry* registry() const { return registry_; }
+
+  AdmissionController* admission() { return &admission_; }
+
+ private:
+  friend struct Connection;
+  struct Worker;
+
+  Status StartListener();
+  void AcceptReady(Worker* worker);
+  double NowSeconds() const;
+
+  serve::SketchServer* backend_;  // not owned
+  NetServerOptions options_;
+  obs::Registry* registry_;
+  NetMetrics metrics_;
+  AdmissionController admission_;
+
+  util::UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<bool> accepting_{false};
+  std::atomic<uint64_t> in_flight_{0};  // accepted estimates awaiting reply
+  std::atomic<size_t> active_connections_{0};
+
+  util::Mutex stop_mu_;  // serializes Start/Stop against concurrent Stop
+  bool started_ DS_GUARDED_BY(stop_mu_) = false;
+  bool stopped_ DS_GUARDED_BY(stop_mu_) = false;
+};
+
+}  // namespace ds::net
+
+#endif  // DS_NET_SERVER_H_

@@ -15,6 +15,12 @@
 
 namespace ds::obs {
 
+/// The Content-Type an HTTP endpoint must send with ToPrometheusText
+/// output (text exposition format version 0.0.4); scrapers use it for
+/// format negotiation.
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
 /// Prometheus text format. Counters get a `_total`-preserving name as
 /// registered, histograms expand to cumulative `_bucket{le=...}` series
 /// plus `_sum` and `_count`. HELP/TYPE headers are emitted once per family.

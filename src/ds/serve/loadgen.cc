@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <deque>
 #include <thread>
+#include <unordered_map>
 
+#include "ds/net/client.h"
 #include "ds/util/timer.h"
 
 namespace ds::serve {
@@ -14,7 +16,7 @@ namespace ds::serve {
 namespace {
 
 struct Pending {
-  std::future<Result<double>> future;
+  Submission submission;
   std::chrono::steady_clock::time_point submitted;
 };
 
@@ -74,16 +76,25 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
 
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> rejected{0};
   util::WallTimer timer;
   std::vector<std::thread> clients;
   clients.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
       std::deque<Pending> window;
-      uint64_t my_ok = 0, my_errors = 0;
+      uint64_t my_ok = 0, my_errors = 0, my_rejected = 0;
       size_t next = t;  // stagger the query mix across clients
       auto settle = [&](Pending* p) {
-        if (p->future.get().ok()) {
+        if (!p->submission.accepted()) {
+          // Typed backpressure refusal: the (ready) future holds the error,
+          // but the request never entered the queue, so it is neither a
+          // served "ok" nor a served "error" and gets no latency sample.
+          ++my_rejected;
+          p->submission.future.get();
+          return;
+        }
+        if (p->submission.future.get().ok()) {
           ++my_ok;
         } else {
           ++my_errors;
@@ -108,8 +119,8 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
             group.push_back(sqls[next++ % sqls.size()]);
           }
           const auto submitted = std::chrono::steady_clock::now();
-          for (auto& f : server->SubmitMany(sketch_name, std::move(group))) {
-            window.push_back({std::move(f), submitted});
+          for (auto& s : server->SubmitMany(sketch_name, std::move(group))) {
+            window.push_back({std::move(s), submitted});
           }
         }
         settle(&window.front());
@@ -118,12 +129,122 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
       for (Pending& p : window) settle(&p);
       ok.fetch_add(my_ok, std::memory_order_relaxed);
       errors.fetch_add(my_errors, std::memory_order_relaxed);
+      rejected.fetch_add(my_rejected, std::memory_order_relaxed);
     });
   }
   for (std::thread& c : clients) c.join();
   report.elapsed_seconds = timer.ElapsedSeconds();
   report.ok = ok.load();
   report.errors = errors.load();
+  report.rejected = rejected.load();
+  report.latency_us = latency->Snapshot();
+  return report;
+}
+
+LoadReport RunNetClosedLoop(const std::string& host, uint16_t port,
+                            const std::string& sketch_name,
+                            const std::vector<std::string>& sqls,
+                            const LoadOptions& options,
+                            const std::string& tenant) {
+  LoadReport report;
+  if (sqls.empty()) return report;
+  const size_t threads = std::max<size_t>(options.threads, 1);
+  const size_t depth = std::max<size_t>(options.pipeline_depth, 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(options.seconds * 1e6));
+
+  obs::Histogram local_latency;
+  obs::Histogram* latency =
+      options.registry != nullptr
+          ? options.registry->GetHistogram(
+                "ds_loadgen_latency_us",
+                "Load-generator submit-to-resolve microseconds")
+          : &local_latency;
+
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> rejected{0};
+  util::WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      uint64_t my_ok = 0, my_errors = 0, my_rejected = 0;
+      auto connected = net::NetClient::Connect(host, port);
+      if (!connected.ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      net::NetClient client = std::move(connected).value();
+      if (!tenant.empty() && !client.Hello(tenant).ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+
+      // request id -> submit time; ids are per-connection, so plain
+      // counters per thread cannot collide.
+      std::unordered_map<uint64_t, std::chrono::steady_clock::time_point>
+          pending;
+      uint64_t next_id = 1;
+      size_t next = t;  // stagger the query mix across clients
+      bool dead = false;
+      auto settle_one = [&] {
+        auto resp = client.ReadResponse();
+        if (!resp.ok()) {
+          // Connection failure: everything outstanding is lost.
+          my_errors += pending.size();
+          pending.clear();
+          dead = true;
+          return;
+        }
+        const auto it = pending.find(resp->request_id);
+        if (it == pending.end()) return;  // stray frame; nothing to settle
+        const auto submitted = it->second;
+        pending.erase(it);
+        switch (resp->status) {
+          case net::WireStatus::kOk:
+            ++my_ok;
+            latency->Observe(MicrosSince(submitted));
+            break;
+          case net::WireStatus::kError:
+            ++my_errors;
+            latency->Observe(MicrosSince(submitted));
+            break;
+          case net::WireStatus::kRejected:
+            // Shed before it reached a worker — no latency sample, same
+            // as the in-process rejected path.
+            ++my_rejected;
+            break;
+        }
+      };
+      while (!dead && std::chrono::steady_clock::now() < deadline) {
+        while (pending.size() < depth) {
+          const uint64_t id = next_id++;
+          if (!client.SendEstimate(id, sketch_name,
+                                   sqls[next++ % sqls.size()])
+                   .ok()) {
+            my_errors += pending.size() + 1;
+            pending.clear();
+            dead = true;
+            break;
+          }
+          pending.emplace(id, std::chrono::steady_clock::now());
+        }
+        if (!dead) settle_one();
+      }
+      while (!dead && !pending.empty()) settle_one();
+      ok.fetch_add(my_ok, std::memory_order_relaxed);
+      errors.fetch_add(my_errors, std::memory_order_relaxed);
+      rejected.fetch_add(my_rejected, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  report.elapsed_seconds = timer.ElapsedSeconds();
+  report.ok = ok.load();
+  report.errors = errors.load();
+  report.rejected = rejected.load();
   report.latency_us = latency->Snapshot();
   return report;
 }

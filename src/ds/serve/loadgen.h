@@ -42,6 +42,9 @@ struct LoadOptions {
 struct LoadReport {
   uint64_t ok = 0;
   uint64_t errors = 0;
+  /// Requests refused at Submit (backpressure/shedding/shutdown); these
+  /// never reached a worker and are excluded from the latency histogram.
+  uint64_t rejected = 0;
   double elapsed_seconds = 0;
 
   /// Submit-to-resolve microseconds, one observation per request.
@@ -63,6 +66,20 @@ struct LoadReport {
 LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
                          const std::vector<std::string>& sqls,
                          const LoadOptions& options);
+
+/// Networked twin of RunClosedLoop: each client thread opens its own TCP
+/// connection to a ds::net server and keeps `pipeline_depth` ESTIMATE
+/// frames in flight (the wire protocol's request ids pair responses back
+/// to their submit timestamps). Rejections (admission control or queue
+/// shed) land in LoadReport::rejected, exactly like the in-process path.
+/// A non-empty `tenant` is announced via HELLO before the loop starts. A
+/// thread whose connection fails mid-run counts its outstanding requests
+/// as errors and exits early.
+LoadReport RunNetClosedLoop(const std::string& host, uint16_t port,
+                            const std::string& sketch_name,
+                            const std::vector<std::string>& sqls,
+                            const LoadOptions& options,
+                            const std::string& tenant = "");
 
 }  // namespace ds::serve
 

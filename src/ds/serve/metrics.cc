@@ -4,12 +4,36 @@
 
 namespace ds::serve {
 
+const char* SubmitStatusName(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kOk:
+      return "ok";
+    case SubmitStatus::kQueueFull:
+      return "queue_full";
+    case SubmitStatus::kShedding:
+      return "shedding";
+    case SubmitStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+obs::Counter* RejectedCounter(obs::Registry* r, SubmitStatus status) {
+  return r->GetCounter("ds_serve_rejected_total",
+                       "Requests refused at Submit, by reason",
+                       {{"reason", SubmitStatusName(status)}});
+}
+
+}  // namespace
+
 ServerMetrics::ServerMetrics(obs::Registry* r)
     : submitted(*r->GetCounter("ds_serve_submitted_total",
                                "Requests accepted into the queue")),
-      rejected(*r->GetCounter(
-          "ds_serve_rejected_total",
-          "Requests refused at Submit (backpressure or stopped)")),
+      rejected_queue_full(*RejectedCounter(r, SubmitStatus::kQueueFull)),
+      rejected_shedding(*RejectedCounter(r, SubmitStatus::kShedding)),
+      rejected_shutdown(*RejectedCounter(r, SubmitStatus::kShuttingDown)),
       completed(*r->GetCounter("ds_serve_completed_total",
                                "Requests resolved with an estimate")),
       failed(*r->GetCounter("ds_serve_failed_total",
@@ -41,10 +65,27 @@ ServerMetrics::ServerMetrics(obs::Registry* r)
           "ds_serve_batch_allocations",
           "Heap allocations during the last EstimateMany batch")) {}
 
+Counter& ServerMetrics::Rejected(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kQueueFull:
+      return rejected_queue_full;
+    case SubmitStatus::kShedding:
+      return rejected_shedding;
+    case SubmitStatus::kOk:  // not a rejection; fall through to shutdown to
+    case SubmitStatus::kShuttingDown:  // keep the accounting total-preserving
+      return rejected_shutdown;
+  }
+  return rejected_shutdown;
+}
+
 MetricsSnapshot ServerMetrics::Snapshot(const CacheStats& cache) const {
   MetricsSnapshot s;
   s.submitted = submitted.value();
-  s.rejected = rejected.value();
+  s.rejected_queue_full = rejected_queue_full.value();
+  s.rejected_shedding = rejected_shedding.value();
+  s.rejected_shutdown = rejected_shutdown.value();
+  s.rejected =
+      s.rejected_queue_full + s.rejected_shedding + s.rejected_shutdown;
   s.completed = completed.value();
   s.failed = failed.value();
   s.bind_errors = bind_errors.value();
@@ -100,10 +141,14 @@ std::string MetricsSnapshot::ToString() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "requests: submitted %llu  rejected %llu  completed %llu  "
+                "requests: submitted %llu  rejected %llu (queue_full %llu, "
+                "shedding %llu, shutdown %llu)  completed %llu  "
                 "failed %llu (bind errors %llu)  batches %llu\n",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(rejected_queue_full),
+                static_cast<unsigned long long>(rejected_shedding),
+                static_cast<unsigned long long>(rejected_shutdown),
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(failed),
                 static_cast<unsigned long long>(bind_errors),

@@ -18,6 +18,21 @@
 
 namespace ds::serve {
 
+/// Outcome of offering a request to the serving layer. Everything except
+/// kOk is a rejection: the request never entered the queue, its future (or
+/// callback) resolves immediately with an error, and the per-reason
+/// ds_serve_rejected_total{reason=...} counter is bumped.
+enum class SubmitStatus : uint8_t {
+  kOk = 0,
+  kQueueFull = 1,     // backpressure: the shard's queue is at capacity
+  kShedding = 2,      // admission control shed it (see net::NetServer)
+  kShuttingDown = 3,  // Submit after Stop()
+};
+
+/// Stable lowercase name, used as the `reason` label value:
+/// "ok", "queue_full", "shedding", "shutting_down".
+const char* SubmitStatusName(SubmitStatus status);
+
 using Counter = obs::Counter;
 using Gauge = obs::Gauge;
 using Histogram = obs::Histogram;
@@ -40,7 +55,10 @@ struct MetricsSnapshot {
   // Request accounting. Invariant once the queue is drained:
   //   submitted == completed + failed.
   uint64_t submitted = 0;    // accepted into the queue
-  uint64_t rejected = 0;     // refused at Submit (backpressure / stopped)
+  uint64_t rejected = 0;     // refused at Submit: sum of the reasons below
+  uint64_t rejected_queue_full = 0;  // reason="queue_full"
+  uint64_t rejected_shedding = 0;    // reason="shedding" (admission control)
+  uint64_t rejected_shutdown = 0;    // reason="shutting_down"
   uint64_t completed = 0;    // promise resolved with a value
   uint64_t failed = 0;       // promise resolved with an error
   uint64_t bind_errors = 0;  // of `failed`: SQL that did not parse/bind
@@ -74,7 +92,11 @@ struct ServerMetrics {
   explicit ServerMetrics(obs::Registry* registry);
 
   Counter& submitted;
-  Counter& rejected;
+  // One ds_serve_rejected_total series per rejection reason; Rejected()
+  // maps a SubmitStatus to its counter.
+  Counter& rejected_queue_full;
+  Counter& rejected_shedding;
+  Counter& rejected_shutdown;
   Counter& completed;
   Counter& failed;
   Counter& bind_errors;
@@ -91,6 +113,9 @@ struct ServerMetrics {
   /// from other threads can land in the measurement window, so read it as a
   /// single-worker steady-state health signal rather than an exact count.
   Gauge& batch_allocations;
+
+  /// The rejection counter for `status` (which must not be kOk).
+  Counter& Rejected(SubmitStatus status);
 
   /// `cache` comes from the registry the server fronts.
   MetricsSnapshot Snapshot(const CacheStats& cache) const;

@@ -52,12 +52,24 @@ SketchServer::SketchServer(SketchRegistry* registry, ServerOptions options)
   options_.num_workers = std::max<size_t>(options_.num_workers, 1);
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
   options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  options_.num_queue_shards = std::clamp<size_t>(options_.num_queue_shards, 1,
+                                                 options_.num_workers);
   if (options_.tracer != nullptr && options_.trace_sample_every > 0) {
     tracer_->set_sample_every(options_.trace_sample_every);
   }
+  shards_.reserve(options_.num_queue_shards);
+  for (size_t i = 0; i < options_.num_queue_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ =
+      std::max<size_t>(options_.queue_capacity / shards_.size(), 1);
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Workers are distributed round-robin over the shards; with the default
+    // single shard every worker drains the one queue, exactly the
+    // pre-sharding behavior.
+    Shard* shard = shards_[i % shards_.size()].get();
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
   }
   if (options_.stats_dump_period_ms > 0) {
     stats_dump_thread_ = std::thread([this] { StatsDumpLoop(); });
@@ -106,16 +118,16 @@ std::string SketchServer::MetricsJson() const {
 void SketchServer::StatsDumpLoop() {
   const auto period =
       std::chrono::milliseconds(options_.stats_dump_period_ms);
-  util::MutexLock lock(mu_);
-  while (!stopping_) {
+  util::MutexLock lock(dump_mu_);
+  while (!dump_stopping_) {
     // Explicit wait loop (not a predicate overload): the thread-safety
     // analysis cannot see through a wait lambda, and the deadline keeps
     // spurious wakeups from shortening the dump period.
     const auto deadline = std::chrono::steady_clock::now() + period;
-    while (!stopping_ &&
-           cv_.WaitUntil(lock, deadline) == std::cv_status::no_timeout) {
+    while (!dump_stopping_ &&
+           dump_cv_.WaitUntil(lock, deadline) == std::cv_status::no_timeout) {
     }
-    if (stopping_) break;
+    if (dump_stopping_) break;
     lock.Unlock();
     const std::string json = MetricsJson();
     if (options_.stats_dump_sink) {
@@ -147,59 +159,81 @@ void SketchServer::FinishTrace(const Request& req) {
   tracer_->Record(record);
 }
 
-bool SketchServer::EnqueueLocked(Request* req) {
-  if (stopping_) {
-    metrics_.rejected.Add();
-    req->promise.set_value(Status::OutOfRange("server is stopped"));
-    return false;
-  }
-  if (queue_.size() >= options_.queue_capacity) {
-    metrics_.rejected.Add();
-    req->promise.set_value(Status::OutOfRange(
-        "serve queue is full (" + std::to_string(options_.queue_capacity) +
-        " pending)"));
-    return false;
-  }
-  queue_.push_back(std::move(*req));
-  metrics_.submitted.Add();
-  // Backpressure state machine: the capacity check above must keep the
-  // queue bounded — a violation here means rejection logic regressed.
-  DS_INVARIANT(queue_.size() <= options_.queue_capacity,
-               "queue grew to %zu past capacity %zu", queue_.size(),
-               options_.queue_capacity);
-  return true;
+SketchServer::Shard* SketchServer::PickShard(std::optional<size_t> hint) {
+  if (hint.has_value()) return shards_[*hint % shards_.size()].get();
+  return shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                 shards_.size()]
+      .get();
 }
 
-std::future<Result<double>> SketchServer::Submit(std::string sketch_name,
-                                                 std::string sql) {
+SubmitStatus SketchServer::TryEnqueueLocked(Shard* shard, Request* req) {
+  if (shard->stopping) return SubmitStatus::kShuttingDown;
+  if (shard->queue.size() >= shard_capacity_) return SubmitStatus::kQueueFull;
+  shard->queue.push_back(std::move(*req));
+  metrics_.submitted.Add();
+  // Backpressure state machine: the capacity check above must keep each
+  // shard bounded — a violation here means rejection logic regressed.
+  DS_INVARIANT(shard->queue.size() <= shard_capacity_,
+               "shard queue grew to %zu past capacity %zu",
+               shard->queue.size(), shard_capacity_);
+  return SubmitStatus::kOk;
+}
+
+void SketchServer::ResolveRequest(Request* req, Result<double> result) {
+  if (req->callback) {
+    req->callback(std::move(result));
+  } else {
+    req->promise.set_value(std::move(result));
+  }
+}
+
+void SketchServer::RejectRequest(Request* req, SubmitStatus status) {
+  metrics_.Rejected(status).Add();
+  Status error =
+      status == SubmitStatus::kShuttingDown
+          ? Status::OutOfRange("server is stopped")
+          : Status::OutOfRange("serve queue is full (" +
+                               std::to_string(shard_capacity_) + " pending)");
+  // Callback submissions are answered by the caller from the returned
+  // SubmitStatus; only the future path needs its promise resolved.
+  if (!req->callback) req->promise.set_value(std::move(error));
+}
+
+Submission SketchServer::Submit(std::string sketch_name, std::string sql) {
   Request req;
   req.sketch = std::move(sketch_name);
   req.sql = std::move(sql);
   req.enqueue_time = std::chrono::steady_clock::now();
   MaybeTrace(&req);
-  std::future<Result<double>> future = req.promise.get_future();
+  Submission submission;
+  submission.future = req.promise.get_future();
+  Shard* shard = PickShard(std::nullopt);
   bool wake = false;
   {
-    util::MutexLock lock(mu_);
+    util::MutexLock lock(shard->mu);
     // Waking a worker costs a futex syscall; it is only needed on the
     // empty -> non-empty transition (a non-empty queue means a worker was
     // already woken for it and will sweep these requests up too).
-    const bool was_empty = queue_.empty();
-    wake = EnqueueLocked(&req) && was_empty;
+    const bool was_empty = shard->queue.empty();
+    submission.status = TryEnqueueLocked(shard, &req);
+    wake = submission.accepted() && was_empty;
   }
-  if (wake) cv_.NotifyOne();
-  return future;
+  if (wake) shard->cv.NotifyOne();
+  if (!submission.accepted()) RejectRequest(&req, submission.status);
+  return submission;
 }
 
-std::vector<std::future<Result<double>>> SketchServer::SubmitMany(
+std::vector<Submission> SketchServer::SubmitMany(
     const std::string& sketch_name, std::vector<std::string> sqls) {
-  std::vector<std::future<Result<double>>> futures;
-  futures.reserve(sqls.size());
+  std::vector<Submission> submissions;
+  submissions.reserve(sqls.size());
+  std::vector<Request> rejected;  // resolved outside the shard lock
   const auto now = std::chrono::steady_clock::now();
+  Shard* shard = PickShard(std::nullopt);
   bool wake = false;
   {
-    util::MutexLock lock(mu_);
-    const bool was_empty = queue_.empty();
+    util::MutexLock lock(shard->mu);
+    const bool was_empty = shard->queue.empty();
     bool accepted_any = false;
     for (std::string& sql : sqls) {
       Request req;
@@ -207,16 +241,96 @@ std::vector<std::future<Result<double>>> SketchServer::SubmitMany(
       req.sql = std::move(sql);
       req.enqueue_time = now;
       MaybeTrace(&req);
-      futures.push_back(req.promise.get_future());
-      accepted_any |= EnqueueLocked(&req);
+      Submission submission;
+      submission.future = req.promise.get_future();
+      submission.status = TryEnqueueLocked(shard, &req);
+      if (submission.accepted()) {
+        accepted_any = true;
+      } else {
+        rejected.push_back(std::move(req));
+      }
+      submissions.push_back(std::move(submission));
     }
     wake = accepted_any && was_empty;
   }
-  if (wake) cv_.NotifyOne();
-  DS_ENSURE(futures.size() == sqls.size(),
-            "SubmitMany produced %zu futures for %zu statements",
-            futures.size(), sqls.size());
-  return futures;
+  if (wake) shard->cv.NotifyOne();
+  size_t r = 0;
+  for (Submission& s : submissions) {
+    if (!s.accepted()) RejectRequest(&rejected[r++], s.status);
+  }
+  DS_ENSURE(submissions.size() == sqls.size(),
+            "SubmitMany produced %zu submissions for %zu statements",
+            submissions.size(), sqls.size());
+  return submissions;
+}
+
+SubmitStatus SketchServer::SubmitAsync(std::string sketch_name,
+                                       std::string sql,
+                                       EstimateCallback callback,
+                                       std::optional<size_t> shard_hint) {
+  DS_REQUIRE(static_cast<bool>(callback),
+             "SubmitAsync requires a completion callback");
+  Request req;
+  req.sketch = std::move(sketch_name);
+  req.sql = std::move(sql);
+  req.callback = std::move(callback);
+  req.enqueue_time = std::chrono::steady_clock::now();
+  MaybeTrace(&req);
+  Shard* shard = PickShard(shard_hint);
+  SubmitStatus status;
+  bool wake = false;
+  {
+    util::MutexLock lock(shard->mu);
+    const bool was_empty = shard->queue.empty();
+    status = TryEnqueueLocked(shard, &req);
+    wake = status == SubmitStatus::kOk && was_empty;
+  }
+  if (wake) shard->cv.NotifyOne();
+  if (status != SubmitStatus::kOk) RejectRequest(&req, status);
+  return status;
+}
+
+std::vector<SubmitStatus> SketchServer::SubmitManyAsync(
+    const std::string& sketch_name, std::vector<std::string> sqls,
+    std::function<void(size_t, Result<double>)> callback,
+    std::optional<size_t> shard_hint) {
+  DS_REQUIRE(static_cast<bool>(callback),
+             "SubmitManyAsync requires a completion callback");
+  std::vector<SubmitStatus> statuses;
+  statuses.reserve(sqls.size());
+  std::vector<Request> rejected;
+  const auto now = std::chrono::steady_clock::now();
+  Shard* shard = PickShard(shard_hint);
+  bool wake = false;
+  {
+    util::MutexLock lock(shard->mu);
+    const bool was_empty = shard->queue.empty();
+    bool accepted_any = false;
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      Request req;
+      req.sketch = sketch_name;
+      req.sql = std::move(sqls[i]);
+      req.callback = [callback, i](Result<double> result) {
+        callback(i, std::move(result));
+      };
+      req.enqueue_time = now;
+      MaybeTrace(&req);
+      const SubmitStatus status = TryEnqueueLocked(shard, &req);
+      if (status == SubmitStatus::kOk) {
+        accepted_any = true;
+      } else {
+        rejected.push_back(std::move(req));
+      }
+      statuses.push_back(status);
+    }
+    wake = accepted_any && was_empty;
+  }
+  if (wake) shard->cv.NotifyOne();
+  size_t r = 0;
+  for (SubmitStatus status : statuses) {
+    if (status != SubmitStatus::kOk) RejectRequest(&rejected[r++], status);
+  }
+  return statuses;
 }
 
 void SketchServer::Stop() {
@@ -226,57 +340,65 @@ void SketchServer::Stop() {
   // the winner has fully joined, so Stop() returning always means the
   // workers are gone.
   util::MutexLock stop_lock(stop_mu_);
-  {
-    util::MutexLock lock(mu_);
-    stopping_ = true;
+  for (auto& shard : shards_) {
+    {
+      util::MutexLock lock(shard->mu);
+      shard->stopping = true;
+    }
+    shard->cv.NotifyAll();
   }
-  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  {
+    util::MutexLock lock(dump_mu_);
+    dump_stopping_ = true;
+  }
+  dump_cv_.NotifyAll();
   if (stats_dump_thread_.joinable()) stats_dump_thread_.join();
 }
 
-void SketchServer::TakeMatchingLocked(const std::string& sketch,
+void SketchServer::TakeMatchingLocked(Shard* shard, const std::string& sketch,
                                       std::vector<Request>* batch) {
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch->size() < options_.max_batch;) {
+  for (auto it = shard->queue.begin();
+       it != shard->queue.end() && batch->size() < options_.max_batch;) {
     if (it->sketch == sketch) {
       batch->push_back(std::move(*it));
-      it = queue_.erase(it);
+      it = shard->queue.erase(it);
     } else {
       ++it;
     }
   }
 }
 
-void SketchServer::WorkerLoop() {
-  util::MutexLock lock(mu_);
+void SketchServer::WorkerLoop(Shard* shard) {
+  util::MutexLock lock(shard->mu);
   while (true) {
     // Explicit wait loop: the thread-safety analysis cannot see through a
     // predicate lambda passed to a wait overload.
-    while (!stopping_ && queue_.empty()) cv_.Wait(lock);
-    if (queue_.empty()) {
-      if (stopping_) return;
+    while (!shard->stopping && shard->queue.empty()) shard->cv.Wait(lock);
+    if (shard->queue.empty()) {
+      if (shard->stopping) return;
       continue;
     }
     std::vector<Request> batch;
     batch.reserve(options_.max_batch);
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    batch.push_back(std::move(shard->queue.front()));
+    shard->queue.pop_front();
     const std::string sketch = batch.front().sketch;
-    TakeMatchingLocked(sketch, &batch);
+    TakeMatchingLocked(shard, sketch, &batch);
     if (options_.enable_batching && options_.max_wait_us > 0 &&
-        batch.size() < options_.max_batch && !stopping_) {
+        batch.size() < options_.max_batch && !shard->stopping) {
       // Hold the batch open briefly so concurrent submitters can join it.
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::microseconds(options_.max_wait_us);
-      while (batch.size() < options_.max_batch && !stopping_ &&
-             cv_.WaitUntil(lock, deadline) == std::cv_status::no_timeout) {
-        TakeMatchingLocked(sketch, &batch);
+      while (batch.size() < options_.max_batch && !shard->stopping &&
+             shard->cv.WaitUntil(lock, deadline) ==
+                 std::cv_status::no_timeout) {
+        TakeMatchingLocked(shard, sketch, &batch);
       }
-      TakeMatchingLocked(sketch, &batch);
+      TakeMatchingLocked(shard, sketch, &batch);
     }
     DS_INVARIANT(batch.size() <= options_.max_batch,
                  "batch grew to %zu past max_batch %zu", batch.size(),
@@ -284,7 +406,7 @@ void SketchServer::WorkerLoop() {
     // Submitters only wake a worker on the empty -> non-empty transition,
     // so if other-sketch requests remain, hand them to a sibling worker
     // before going off to serve this batch.
-    if (!queue_.empty()) cv_.NotifyOne();
+    if (!shard->queue.empty()) shard->cv.NotifyOne();
     lock.Unlock();
     ServeBatch(std::move(batch));
     lock.Lock();
@@ -310,7 +432,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   auto sketch = registry_->Get(batch.front().sketch);
   if (!sketch.ok()) {
     for (Request& req : batch) {
-      req.promise.set_value(sketch.status());
+      ResolveRequest(&req, sketch.status());
       FinishTrace(req);
     }
     metrics_.failed.Add(batch.size());
@@ -338,7 +460,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
         metrics_.result_cache_hits.Add();
         metrics_.completed.Add();
         { obs::Span span("result_cache_hit"); }
-        batch[i].promise.set_value(*cached);
+        ResolveRequest(&batch[i], *cached);
         FinishTrace(batch[i]);
         continue;
       }
@@ -358,15 +480,16 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
     if (!bound.ok()) {
       metrics_.bind_errors.Add();
       metrics_.failed.Add();
-      batch[i].promise.set_value(bound.status());
+      ResolveRequest(&batch[i], bound.status());
       FinishTrace(batch[i]);
       continue;
     }
     if (bound->placeholder.has_value()) {
       metrics_.bind_errors.Add();
       metrics_.failed.Add();
-      batch[i].promise.set_value(Status::InvalidArgument(
-          "query contains an uninstantiated '?' placeholder"));
+      ResolveRequest(&batch[i],
+                     Status::InvalidArgument(
+                         "query contains an uninstantiated '?' placeholder"));
       FinishTrace(batch[i]);
       continue;
     }
@@ -414,7 +537,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       } else {
         metrics_.failed.Add();
       }
-      batch[spec_owner[s]].promise.set_value(std::move(results[s]));
+      ResolveRequest(&batch[spec_owner[s]], std::move(results[s]));
       FinishTrace(batch[spec_owner[s]]);
     }
   }

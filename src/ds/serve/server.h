@@ -1,16 +1,25 @@
 // SketchServer: a concurrent, micro-batching front end over a SketchRegistry.
 //
 // Callers Submit(sketch, sql) and get a future back; a fixed pool of worker
-// threads drains a bounded queue, coalescing requests against the same
+// threads drains bounded queues, coalescing requests against the same
 // sketch (up to max_batch, waiting at most max_wait_us for stragglers) into
 // one EstimateMany forward pass. Batching amortizes the per-request
 // synchronization — queue handoff, worker wakeup, promise fulfillment — that
 // dominates a request/response loop at sketch-inference latencies; the
 // padded forward pass itself stays one inference per query.
 //
-// Backpressure: Submit rejects (ready errored future, `rejected` counter)
-// once queue_capacity requests are pending, instead of buffering without
-// bound. Accepted requests are never dropped: Stop() drains the queue before
+// Queue sharding: the pending queue is split into num_queue_shards
+// independent (mutex, condvar, deque) shards, each drained by its own
+// subset of workers. A submitter that passes a shard hint (the network
+// front-end passes its event-loop index, so one core's traffic stays on one
+// shard) never contends with other cores' submissions; hint-less Submit
+// round-robins. One shard (the default) is exactly the old single-queue
+// behavior.
+//
+// Backpressure: Submit rejects (SubmitStatus != kOk, ready errored future,
+// per-reason ds_serve_rejected_total{reason=...} counter) once a shard's
+// share of queue_capacity is pending, instead of buffering without bound.
+// Accepted requests are never dropped: Stop() drains the queues before
 // joining the workers.
 //
 // Observability: metrics live in an obs::Registry (private to the server by
@@ -21,19 +30,22 @@
 // thread-local check, which is not measurable in bench_serve_throughput.
 //
 // Locking order (audited; enforced by the DS_EXCLUDES annotations below):
-//   stop_mu_  >  mu_             Stop() serializes shutdown under stop_mu_
-//                                and flips stopping_ under mu_.
-//   mu_       ∥  stmt_mu_        The statement and result cache mutexes are
-//   mu_       ∥  result_mu_      leaf locks: the cache helpers are called
+//   stop_mu_  >  shard.mu        Stop() serializes shutdown under stop_mu_
+//   stop_mu_  >  dump_mu_        and flips each shard's stopping under its
+//                                own mutex.
+//   shard.mu  ∥  stmt_mu_        The statement and result cache mutexes are
+//   shard.mu  ∥  result_mu_      leaf locks: the cache helpers are called
 //                                only from ServeBatch, which runs strictly
-//                                outside mu_, and they never take another
-//                                lock — so neither cache mutex is ever held
-//                                together with mu_ (or with the other cache
-//                                mutex), and no cycle is possible.
+//                                outside any shard mutex, and they never
+//                                take another lock — so no cycle is
+//                                possible. Shard mutexes are never held two
+//                                at a time (every code path touches exactly
+//                                the one shard it was routed to).
 
 #ifndef DS_SERVE_SERVER_H_
 #define DS_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <functional>
@@ -57,8 +69,14 @@
 namespace ds::serve {
 
 struct ServerOptions {
-  /// Worker threads draining the request queue.
+  /// Worker threads draining the request queues.
   size_t num_workers = 2;
+
+  /// Independent submission-queue shards (clamped to [1, num_workers]).
+  /// Workers are assigned to shards round-robin; capacity and batching are
+  /// per shard. More shards, less submit-side contention — the network
+  /// front-end uses one shard per event-loop thread.
+  size_t num_queue_shards = 1;
 
   /// Most requests coalesced into one EstimateMany call.
   size_t max_batch = 32;
@@ -68,7 +86,8 @@ struct ServerOptions {
   /// whatever one queue sweep found.
   uint64_t max_wait_us = 200;
 
-  /// Pending-request bound; Submit rejects above this.
+  /// Pending-request bound across all shards; Submit rejects above a
+  /// shard's even share of this.
   size_t queue_capacity = 4096;
 
   /// Bound-statement cache entries, keyed by (sketch, SQL). A hit skips
@@ -110,6 +129,20 @@ struct ServerOptions {
   std::function<void(const std::string& json)> stats_dump_sink;
 };
 
+/// Completion hook for the callback submission path. Invoked exactly once,
+/// from a server worker thread (or from the submitting thread when the
+/// request is rejected). Must not call back into Submit* synchronously.
+using EstimateCallback = std::function<void(Result<double>)>;
+
+/// What Submit hands back: the typed admission outcome plus a future that
+/// is always valid — ready with an error when status != kOk.
+struct Submission {
+  SubmitStatus status = SubmitStatus::kOk;
+  std::future<Result<double>> future;
+
+  bool accepted() const { return status == SubmitStatus::kOk; }
+};
+
 class SketchServer {
  public:
   /// `registry` is borrowed and must outlive the server. Workers start
@@ -124,23 +157,48 @@ class SketchServer {
 
   /// Enqueues one estimation request. The future resolves to the estimated
   /// cardinality, or to an error Status if the sketch cannot be resolved,
-  /// the SQL does not bind, or the queue is full / the server is stopped
-  /// (in which case the future is ready immediately and the request is
-  /// counted as rejected, not submitted).
-  std::future<Result<double>> Submit(std::string sketch_name,
-                                     std::string sql);
+  /// the SQL does not bind, or the request was rejected (status != kOk, in
+  /// which case the future is ready immediately and the request is counted
+  /// under ds_serve_rejected_total, not submitted).
+  Submission Submit(std::string sketch_name, std::string sql);
 
   /// Bulk Submit: one queue-lock acquisition and at most one worker wakeup
   /// for the whole group — how a pipelining client should refill its
   /// window. Per-request semantics (including backpressure rejection once
-  /// the queue fills mid-group) match Submit; the returned futures line up
-  /// with `sqls`.
-  std::vector<std::future<Result<double>>> SubmitMany(
-      const std::string& sketch_name, std::vector<std::string> sqls);
+  /// the shard fills mid-group) match Submit; the returned submissions line
+  /// up with `sqls`.
+  std::vector<Submission> SubmitMany(const std::string& sketch_name,
+                                     std::vector<std::string> sqls);
+
+  /// Callback-based Submit for event-loop callers that must not block on a
+  /// future. On kOk, `callback` fires exactly once from a worker thread; on
+  /// rejection the callback is NOT invoked (the caller already knows the
+  /// typed reason and answers the client itself). `shard_hint` routes the
+  /// request to shard hint % num_queue_shards — pass a stable per-thread
+  /// value to keep one event loop's traffic on one shard.
+  SubmitStatus SubmitAsync(std::string sketch_name, std::string sql,
+                           EstimateCallback callback,
+                           std::optional<size_t> shard_hint = std::nullopt);
+
+  /// Bulk SubmitAsync: `callback(index, result)` fires once per accepted
+  /// request; the returned statuses line up with `sqls` and rejected
+  /// entries never invoke the callback.
+  std::vector<SubmitStatus> SubmitManyAsync(
+      const std::string& sketch_name, std::vector<std::string> sqls,
+      std::function<void(size_t, Result<double>)> callback,
+      std::optional<size_t> shard_hint = std::nullopt);
+
+  /// Records `n` admission-control sheds (requests turned away before the
+  /// queue, e.g. by the network front-end's token buckets) under
+  /// ds_serve_rejected_total{reason="shedding"}, so the wire-visible
+  /// rejection total and the server's metrics stay reconcilable.
+  void CountShed(uint64_t n = 1) {
+    metrics_.Rejected(SubmitStatus::kShedding).Add(n);
+  }
 
   /// Serves every accepted request, then joins the workers. Idempotent and
   /// safe to call concurrently; Submit after Stop rejects.
-  void Stop() DS_EXCLUDES(stop_mu_, mu_);
+  void Stop() DS_EXCLUDES(stop_mu_);
 
   MetricsSnapshot Metrics() const {
     return metrics_.Snapshot(registry_->stats());
@@ -163,23 +221,46 @@ class SketchServer {
 
   const ServerOptions& options() const { return options_; }
 
+  size_t num_queue_shards() const { return shards_.size(); }
+
  private:
   struct Request {
     std::string sketch;
     std::string sql;
-    std::promise<Result<double>> promise;
+    std::promise<Result<double>> promise;   // unused when callback is set
+    EstimateCallback callback;              // empty = promise path
     std::chrono::steady_clock::time_point enqueue_time;
     uint64_t trace_id = 0;   // 0 = unsampled
     uint64_t root_span = 0;  // pre-allocated "estimate" span id
   };
 
-  void WorkerLoop() DS_EXCLUDES(mu_);
-  void StatsDumpLoop() DS_EXCLUDES(mu_);
+  /// One independent submission queue. Workers are bound to exactly one
+  /// shard; submitters pick one by hint or round-robin.
+  struct Shard {
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<Request> queue DS_GUARDED_BY(mu);
+    bool stopping DS_GUARDED_BY(mu) = false;
+  };
 
-  /// Pushes `req` onto the queue, or rejects it (stopped / queue full) by
-  /// fulfilling its promise with an error. Returns whether it was accepted.
-  /// The caller is responsible for waking a worker.
-  bool EnqueueLocked(Request* req) DS_REQUIRES(mu_);
+  void WorkerLoop(Shard* shard) DS_EXCLUDES(shard->mu);
+  void StatsDumpLoop() DS_EXCLUDES(dump_mu_);
+
+  Shard* PickShard(std::optional<size_t> hint);
+
+  /// Pushes `req` onto the shard's queue if it has room and the server is
+  /// not stopping. Never resolves the request: on a non-kOk return the
+  /// caller rejects it outside the lock (see RejectRequest). The caller is
+  /// responsible for waking a worker.
+  SubmitStatus TryEnqueueLocked(Shard* shard, Request* req)
+      DS_REQUIRES(shard->mu);
+
+  /// Counts the rejection and resolves the request with the matching error
+  /// Status. Runs outside any shard mutex (callbacks may take locks).
+  void RejectRequest(Request* req, SubmitStatus status);
+
+  /// Resolves a request through its callback or promise.
+  static void ResolveRequest(Request* req, Result<double> result);
 
   /// Samples the request for tracing (fills trace_id / root_span).
   void MaybeTrace(Request* req);
@@ -188,24 +269,25 @@ class SketchServer {
   void FinishTrace(const Request& req);
 
   /// Moves queued requests for `sketch` into `batch` (up to max_batch).
-  void TakeMatchingLocked(const std::string& sketch,
-                          std::vector<Request>* batch) DS_REQUIRES(mu_);
+  void TakeMatchingLocked(Shard* shard, const std::string& sketch,
+                          std::vector<Request>* batch)
+      DS_REQUIRES(shard->mu);
 
   /// Resolves the sketch, binds each request's SQL (through the statement
-  /// cache), runs one EstimateMany, and fulfills every promise. Runs
-  /// outside mu_ (the cache mutexes it takes are leaf locks, see the
-  /// locking-order note in the file comment).
-  void ServeBatch(std::vector<Request> batch) DS_EXCLUDES(mu_);
+  /// cache), runs one EstimateMany, and fulfills every promise/callback.
+  /// Runs outside the shard mutexes (the cache mutexes it takes are leaf
+  /// locks, see the locking-order note in the file comment).
+  void ServeBatch(std::vector<Request> batch);
 
   std::shared_ptr<const workload::QuerySpec> StmtCacheGet(
-      const std::string& key) DS_EXCLUDES(mu_, stmt_mu_);
+      const std::string& key) DS_EXCLUDES(stmt_mu_);
   void StmtCachePut(const std::string& key,
                     std::shared_ptr<const workload::QuerySpec> spec)
-      DS_EXCLUDES(mu_, stmt_mu_);
+      DS_EXCLUDES(stmt_mu_);
   std::optional<double> ResultCacheGet(const std::string& key)
-      DS_EXCLUDES(mu_, result_mu_);
+      DS_EXCLUDES(result_mu_);
   void ResultCachePut(const std::string& key, double value)
-      DS_EXCLUDES(mu_, result_mu_);
+      DS_EXCLUDES(result_mu_);
 
   SketchRegistry* registry_;  // not owned
   ServerOptions options_;
@@ -217,10 +299,18 @@ class SketchServer {
   std::unique_ptr<obs::TraceRecorder> owned_tracer_;
   obs::TraceRecorder* tracer_ = nullptr;
 
-  util::Mutex mu_;
-  util::CondVar cv_;
-  std::deque<Request> queue_ DS_GUARDED_BY(mu_);
-  bool stopping_ DS_GUARDED_BY(mu_) = false;
+  // Shards are created once in the constructor and never resized; the
+  // vector itself is immutable after construction (only shard contents are
+  // mutated, under each shard's own mutex).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_ = 0;        // per-shard share of queue_capacity
+  std::atomic<uint64_t> next_shard_{0};  // hint-less round-robin cursor
+
+  // Stats-dump thread coordination (separate from the shard mutexes so the
+  // dump period never contends with the hot path).
+  util::Mutex dump_mu_;
+  util::CondVar dump_cv_;
+  bool dump_stopping_ DS_GUARDED_BY(dump_mu_) = false;
 
   // Shutdown serialization: joining and clearing the worker threads happens
   // under stop_mu_, so concurrent Stop() calls (or Stop() racing the

@@ -1,0 +1,134 @@
+#include "ds/util/cpu_topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ds::util {
+
+namespace {
+
+#if defined(__linux__)
+
+/// Reads a small integer from a /sys topology file; `fallback` when the
+/// file is missing or unparsable (e.g. inside minimal containers).
+int ReadSysInt(const std::string& path, int fallback) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return fallback;
+  int value = fallback;
+  if (std::fscanf(f, "%d", &value) != 1) value = fallback;
+  std::fclose(f);
+  return value;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+size_t CpuTopology::num_cores() const {
+  std::set<std::pair<int, int>> cores;  // (package, core)
+  for (const CpuInfo& c : cpus) cores.insert({c.package_id, c.core_id});
+  return cores.size();
+}
+
+CpuTopology DetectCpuTopology() {
+  CpuTopology topo;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (!CPU_ISSET(cpu, &mask)) continue;
+      const std::string base =
+          "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+      CpuInfo info;
+      info.cpu = cpu;
+      info.core_id = ReadSysInt(base + "core_id", cpu);
+      info.package_id = ReadSysInt(base + "physical_package_id", 0);
+      topo.cpus.push_back(info);
+    }
+  }
+#endif
+  if (topo.cpus.empty()) topo.cpus.push_back(CpuInfo{});
+  return topo;
+}
+
+std::vector<int> PlanWorkerCpus(const CpuTopology& topology,
+                                size_t num_workers) {
+  std::vector<int> plan;
+  plan.reserve(num_workers);
+  if (topology.cpus.empty() || num_workers == 0) return plan;
+
+  // Order CPUs so that walking the list front-to-back visits every physical
+  // core once before revisiting any core's hyperthread sibling: sort by
+  // (occurrence index within the core, package, core). Occurrence 0 of each
+  // core sorts before every occurrence 1.
+  struct Slot {
+    int occurrence;
+    int package;
+    int core;
+    int cpu;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(topology.cpus.size());
+  std::vector<std::pair<std::pair<int, int>, int>> counts;
+  auto occurrence_of = [&counts](int package, int core) {
+    for (auto& [key, n] : counts) {
+      if (key.first == package && key.second == core) return n++;
+    }
+    counts.push_back({{package, core}, 1});
+    return 0;
+  };
+  for (const CpuInfo& c : topology.cpus) {
+    slots.push_back(Slot{occurrence_of(c.package_id, c.core_id), c.package_id,
+                         c.core_id, c.cpu});
+  }
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) {
+                     if (a.occurrence != b.occurrence) {
+                       return a.occurrence < b.occurrence;
+                     }
+                     if (a.package != b.package) return a.package < b.package;
+                     if (a.core != b.core) return a.core < b.core;
+                     return a.cpu < b.cpu;
+                   });
+  for (size_t w = 0; w < num_workers; ++w) {
+    plan.push_back(slots[w % slots.size()].cpu);
+  }
+  return plan;
+}
+
+Status PinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  const int rc = pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask);
+  if (rc != 0) {
+    return Status::Internal("pthread_setaffinity_np(cpu=" +
+                            std::to_string(cpu) + ") failed with errno " +
+                            std::to_string(rc));
+  }
+  return Status::OK();
+#else
+  (void)cpu;
+  return Status::OK();  // pinning is an optimization; see header
+#endif
+}
+
+int CurrentCpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace ds::util

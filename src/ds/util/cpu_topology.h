@@ -1,0 +1,66 @@
+// CPU topology detection and thread placement for the serving workers.
+//
+// The network front-end runs one event-loop thread per core; throughput
+// depends on those threads *staying* on their cores (warm caches, no
+// cross-core queue bouncing) and on spreading them across physical cores
+// before doubling up on hyperthread siblings. This helper answers the two
+// questions that requires: which CPUs may this process run on (respecting
+// cgroup/affinity masks — a container restricted to 4 of 64 CPUs must not
+// plan 64 workers), and which of those CPUs share a physical core.
+//
+// Everything degrades gracefully: on a machine where /sys topology files
+// are unreadable, core ids fall back to the CPU index (every CPU its own
+// core); on non-Linux builds detection reports a single CPU and pinning is
+// a no-op. Callers treat pinning as an optimization, never a correctness
+// requirement.
+
+#ifndef DS_UTIL_CPU_TOPOLOGY_H_
+#define DS_UTIL_CPU_TOPOLOGY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ds/util/status.h"
+
+namespace ds::util {
+
+/// One CPU the current process is allowed to run on.
+struct CpuInfo {
+  int cpu = 0;      // kernel CPU index (the argument to pinning)
+  int core_id = 0;  // physical core (hyperthread siblings share this)
+  int package_id = 0;  // socket
+};
+
+struct CpuTopology {
+  std::vector<CpuInfo> cpus;  // sorted by cpu index
+
+  size_t num_cpus() const { return cpus.size(); }
+
+  /// Distinct physical cores across the available CPUs.
+  size_t num_cores() const;
+};
+
+/// Detects the CPUs available to this process (sched_getaffinity) and their
+/// physical-core layout (/sys/devices/system/cpu/cpuN/topology). Never
+/// fails: the fallback is a single CPU 0.
+CpuTopology DetectCpuTopology();
+
+/// Picks a CPU for each of `num_workers` workers: one worker per physical
+/// core first (spreading across packages), then hyperthread siblings, then
+/// wrapping round-robin when workers outnumber CPUs. Deterministic for a
+/// given topology.
+std::vector<int> PlanWorkerCpus(const CpuTopology& topology,
+                                size_t num_workers);
+
+/// Pins the calling thread to `cpu`. Returns OK on success or when pinning
+/// is unsupported on this platform (a no-op there — see file comment);
+/// errors only on a real affinity failure (e.g. the CPU left the cgroup
+/// mask).
+Status PinCurrentThreadToCpu(int cpu);
+
+/// The CPU the calling thread is currently on, or -1 when unavailable.
+int CurrentCpu();
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_CPU_TOPOLOGY_H_

@@ -1,0 +1,14 @@
+#include "ds/util/fd.h"
+
+#include <unistd.h>
+
+namespace ds::util {
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0 && fd_ != fd) {
+    ::close(fd_);  // the one sanctioned close call (see ds_lint `naked-fd`)
+  }
+  fd_ = fd;
+}
+
+}  // namespace ds::util

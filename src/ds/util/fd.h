@@ -1,0 +1,57 @@
+// UniqueFd: sole ownership of a POSIX file descriptor.
+//
+// The networking layer (ds/net) juggles listen sockets, per-connection
+// sockets, epoll instances, and eventfds; a leaked descriptor under load is
+// an outage (accept() starts failing with EMFILE long before memory runs
+// out). Every descriptor therefore lives in a UniqueFd from the moment the
+// creating syscall returns, and tools/ds_lint.cc bans naked close() calls
+// outside this wrapper (rule `naked-fd`, NOLINT(ds-lint) to escape) so a
+// descriptor cannot be double-closed or orphaned on an early return.
+//
+// Semantics mirror std::unique_ptr: move-only, close-on-destroy, release()
+// to hand ownership to an API that takes it, reset() to replace.
+
+#ifndef DS_UTIL_FD_H_
+#define DS_UTIL_FD_H_
+
+#include <utility>
+
+namespace ds::util {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  ~UniqueFd() { reset(); }
+
+  /// The owned descriptor, or -1.
+  int get() const { return fd_; }
+
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Relinquishes ownership without closing; returns the descriptor.
+  int release() { return std::exchange(fd_, -1); }
+
+  /// Closes the current descriptor (if any) and takes ownership of `fd`.
+  /// EINTR on close is ignored: Linux guarantees the descriptor is gone
+  /// either way, and retrying risks closing a recycled fd.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_FD_H_

@@ -1,0 +1,675 @@
+// Tests for the network front-end (ds::net): wire protocol encoding and
+// validation, the token-bucket admission controller, the minimal HTTP
+// parser and JSON helpers, and end-to-end server tests over real loopback
+// sockets — binary protocol (estimate, batch, ping, stats, hello/tenant,
+// pipelining, admission rejection), the HTTP endpoints, concurrent
+// clients, and the requests == responses balance after a clean shutdown.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ds/net/admission.h"
+#include "ds/net/client.h"
+#include "ds/net/http.h"
+#include "ds/net/protocol.h"
+#include "ds/net/server.h"
+#include "ds/obs/exposition.h"
+#include "ds/serve/registry.h"
+#include "ds/serve/server.h"
+#include "ds/sketch/deep_sketch.h"
+#include "test_util.h"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace ds {
+namespace {
+
+using net::AdmissionController;
+using net::AdmissionOptions;
+using net::ByteReader;
+using net::FrameHeader;
+using net::FrameType;
+using net::NetClient;
+using net::NetServer;
+using net::NetServerOptions;
+using net::TokenBucket;
+using net::WireStatus;
+
+// ------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, FrameRoundTrip) {
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kEstimate, WireStatus::kOk, 77,
+                   "payload");
+  ASSERT_EQ(frame.size(), net::kFrameHeaderSize + 7);
+  FrameHeader header;
+  ASSERT_TRUE(net::DecodeFrameHeader(frame.data(), &header).ok());
+  EXPECT_EQ(header.payload_size, 7u);
+  EXPECT_EQ(header.type, FrameType::kEstimate);
+  EXPECT_EQ(header.status, WireStatus::kOk);
+  EXPECT_EQ(header.flags, 0);
+  EXPECT_EQ(header.request_id, 77u);
+  EXPECT_EQ(frame.substr(net::kFrameHeaderSize), "payload");
+}
+
+TEST(ProtocolTest, HeaderRejectsUnknownType) {
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kPing, WireStatus::kOk, 1, "");
+  frame[4] = 99;  // type byte
+  FrameHeader header;
+  EXPECT_FALSE(net::DecodeFrameHeader(frame.data(), &header).ok());
+}
+
+TEST(ProtocolTest, HeaderRejectsNonzeroFlags) {
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kPing, WireStatus::kOk, 1, "");
+  frame[6] = 1;  // flags low byte
+  FrameHeader header;
+  EXPECT_FALSE(net::DecodeFrameHeader(frame.data(), &header).ok());
+}
+
+TEST(ProtocolTest, HeaderRejectsOversizePayload) {
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kPing, WireStatus::kOk, 1, "");
+  const uint32_t huge = net::kMaxPayloadBytes + 1;
+  std::memcpy(frame.data(), &huge, sizeof(huge));
+  FrameHeader header;
+  EXPECT_FALSE(net::DecodeFrameHeader(frame.data(), &header).ok());
+}
+
+TEST(ProtocolTest, ByteReaderBoundsChecked) {
+  std::string payload;
+  net::AppendU32(&payload, 7);
+  ByteReader r(payload);
+  uint64_t v64 = 0;
+  EXPECT_FALSE(r.ReadU64(&v64));  // only 4 bytes present
+  uint32_t v32 = 0;
+  EXPECT_TRUE(r.ReadU32(&v32));
+  EXPECT_EQ(v32, 7u);
+  EXPECT_TRUE(r.empty());
+  uint8_t v8 = 0;
+  EXPECT_FALSE(r.ReadU8(&v8));  // exhausted
+}
+
+TEST(ProtocolTest, ByteReaderStringLengthBeyondDataFails) {
+  std::string payload;
+  net::AppendU16(&payload, 100);  // claims 100 bytes, provides 2
+  payload += "ab";
+  ByteReader r(payload);
+  std::string s = "untouched";
+  EXPECT_FALSE(r.ReadString16(&s));
+  EXPECT_EQ(s, "untouched");  // failed reads leave outputs alone
+}
+
+TEST(ProtocolTest, EstimateRequestRoundTrip) {
+  net::EstimateRequest req;
+  req.sketch = "imdb";
+  req.sql = "SELECT COUNT(*) FROM movie";
+  std::string payload;
+  net::AppendEstimateRequest(&payload, req);
+  net::EstimateRequest out;
+  ASSERT_TRUE(net::ParseEstimateRequest(payload, &out).ok());
+  EXPECT_EQ(out.sketch, "imdb");
+  EXPECT_EQ(out.sql, "SELECT COUNT(*) FROM movie");
+}
+
+TEST(ProtocolTest, EstimateRequestTrailingBytesRejected) {
+  net::EstimateRequest req;
+  req.sketch = "s";
+  req.sql = "q";
+  std::string payload;
+  net::AppendEstimateRequest(&payload, req);
+  payload += "extra";
+  net::EstimateRequest out;
+  EXPECT_FALSE(net::ParseEstimateRequest(payload, &out).ok());
+}
+
+TEST(ProtocolTest, BatchRequestRoundTrip) {
+  net::EstimateBatchRequest req;
+  req.sketch = "s";
+  req.sqls = {"q1", "q2", "q3"};
+  std::string payload;
+  net::AppendEstimateBatchRequest(&payload, req);
+  net::EstimateBatchRequest out;
+  ASSERT_TRUE(net::ParseEstimateBatchRequest(payload, &out).ok());
+  EXPECT_EQ(out.sketch, "s");
+  EXPECT_EQ(out.sqls, req.sqls);
+}
+
+TEST(ProtocolTest, BatchRequestLyingCountRejected) {
+  std::string payload;
+  net::AppendString16(&payload, "s");
+  net::AppendU32(&payload, 1u << 30);  // absurd count, no data behind it
+  net::EstimateBatchRequest out;
+  EXPECT_FALSE(net::ParseEstimateBatchRequest(payload, &out).ok());
+}
+
+TEST(ProtocolTest, BatchResponseRoundTrip) {
+  std::string payload;
+  net::AppendU32(&payload, 3);
+  net::AppendBatchItem(&payload, Result<double>(42.0));
+  net::AppendBatchItem(&payload,
+                       Result<double>(Status::Internal("parse failed")));
+  net::AppendBatchItem(&payload, Result<double>(7.5));
+  std::vector<Result<double>> out;
+  ASSERT_TRUE(net::ParseBatchResponse(payload, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(*out[0], 42.0);
+  EXPECT_FALSE(out[1].ok());
+  EXPECT_NE(out[1].status().message().find("parse failed"),
+            std::string::npos);
+  EXPECT_EQ(*out[2], 7.5);
+}
+
+TEST(ProtocolTest, WireStatusNamesAreStableLabels) {
+  EXPECT_STREQ(net::WireStatusName(WireStatus::kOk), "ok");
+  EXPECT_STREQ(net::WireStatusName(WireStatus::kError), "error");
+  EXPECT_STREQ(net::WireStatusName(WireStatus::kRejected), "rejected");
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(TokenBucketTest, DeterministicRefill) {
+  TokenBucket bucket(/*rate=*/10.0, /*burst=*/5.0);
+  // Starts full: 5 tokens at t=0.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(100.0));
+  EXPECT_FALSE(bucket.TryAcquire(100.0));  // empty
+  // 0.25s later: 2.5 tokens refilled (0.25 is exact in binary, so the
+  // arithmetic is deterministic).
+  EXPECT_TRUE(bucket.TryAcquire(100.25));
+  EXPECT_TRUE(bucket.TryAcquire(100.25));
+  EXPECT_FALSE(bucket.TryAcquire(100.25));
+}
+
+TEST(TokenBucketTest, BurstCapsBanking) {
+  TokenBucket bucket(/*rate=*/10.0, /*burst=*/2.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  // An hour idle banks at most `burst`, not rate * 3600.
+  EXPECT_TRUE(bucket.TryAcquire(3600.0));
+  EXPECT_TRUE(bucket.TryAcquire(3600.0));
+  EXPECT_FALSE(bucket.TryAcquire(3600.0));
+}
+
+TEST(TokenBucketTest, TimeMovingBackwardsNeverRefills) {
+  TokenBucket bucket(/*rate=*/1.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.TryAcquire(50.0));
+  EXPECT_FALSE(bucket.TryAcquire(10.0));  // clock went backwards
+  EXPECT_FALSE(bucket.TryAcquire(50.5));
+  EXPECT_TRUE(bucket.TryAcquire(51.0));
+}
+
+TEST(TokenBucketTest, WholeBatchCostIsAtomic) {
+  TokenBucket bucket(/*rate=*/1.0, /*burst=*/4.0);
+  EXPECT_FALSE(bucket.TryAcquire(0.0, 5.0));  // more than the whole bucket
+  EXPECT_TRUE(bucket.TryAcquire(0.0, 4.0));   // refused batch took nothing
+}
+
+TEST(AdmissionTest, DisabledAdmitsEverything) {
+  AdmissionController admission(AdmissionOptions{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(admission.Admit("anyone", 0.0));
+  }
+}
+
+TEST(AdmissionTest, PerTenantIsolation) {
+  AdmissionOptions options;
+  options.tenant_rate = 1.0;
+  options.tenant_burst = 2.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.Admit("a", 10.0));
+  EXPECT_TRUE(admission.Admit("a", 10.0));
+  EXPECT_FALSE(admission.Admit("a", 10.0));  // a exhausted...
+  EXPECT_TRUE(admission.Admit("b", 10.0));   // ...b unaffected
+}
+
+TEST(AdmissionTest, TenantOverrideWorksWithDefaultsDisabled) {
+  AdmissionController admission(AdmissionOptions{});  // defaults: admit all
+  admission.SetTenantLimit("noisy", /*rate=*/1.0, /*burst=*/1.0);
+  EXPECT_TRUE(admission.Admit("noisy", 5.0));
+  EXPECT_FALSE(admission.Admit("noisy", 5.0));  // override enforced
+  EXPECT_TRUE(admission.Admit("quiet", 5.0));   // others still free
+}
+
+// ----------------------------------------------------------------- http
+
+TEST(HttpTest, ParsesGetRequest) {
+  net::HttpRequest req;
+  size_t consumed = 0;
+  const std::string raw =
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+  ASSERT_EQ(net::ParseHttpRequest(raw, &req, &consumed),
+            net::HttpParseResult::kParsed);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(req.Header("host").value_or(""), "x");
+  EXPECT_FALSE(req.WantsClose());
+}
+
+TEST(HttpTest, ParsesPostBodyByContentLength) {
+  net::HttpRequest req;
+  size_t consumed = 0;
+  const std::string raw =
+      "POST /estimate HTTP/1.1\r\nContent-Length: 4\r\n"
+      "Connection: close\r\n\r\nbodyEXTRA";
+  ASSERT_EQ(net::ParseHttpRequest(raw, &req, &consumed),
+            net::HttpParseResult::kParsed);
+  EXPECT_EQ(req.body, "body");
+  EXPECT_EQ(consumed, raw.size() - 5);  // "EXTRA" stays buffered
+  EXPECT_TRUE(req.WantsClose());
+}
+
+TEST(HttpTest, IncompleteRequestNeedsMore) {
+  net::HttpRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(net::ParseHttpRequest("GET /x HTTP/1.1\r\nHos", &req, &consumed),
+            net::HttpParseResult::kNeedMore);
+  EXPECT_EQ(
+      net::ParseHttpRequest(
+          "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", &req,
+          &consumed),
+      net::HttpParseResult::kNeedMore);
+}
+
+TEST(HttpTest, RejectsTransferEncodingAndGarbage) {
+  net::HttpRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(net::ParseHttpRequest(
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                &req, &consumed),
+            net::HttpParseResult::kBad);
+  EXPECT_EQ(net::ParseHttpRequest("NONSENSE\r\n\r\n", &req, &consumed),
+            net::HttpParseResult::kBad);
+  EXPECT_EQ(net::ParseHttpRequest(
+                "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", &req,
+                &consumed),
+            net::HttpParseResult::kBad);
+}
+
+TEST(HttpTest, BuildResponseHasLengthAndType) {
+  const std::string resp =
+      net::BuildHttpResponse(200, "application/json", "{}", false);
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(resp.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("\r\n\r\n{}"), std::string::npos);
+}
+
+TEST(HttpTest, ExtractJsonStringField) {
+  const std::string body =
+      R"({"sketch": "imdb", "sql": "SELECT COUNT(*) FROM t WHERE a = 'x'"})";
+  EXPECT_EQ(net::ExtractJsonStringField(body, "sketch").value_or(""),
+            "imdb");
+  EXPECT_EQ(net::ExtractJsonStringField(body, "sql").value_or(""),
+            "SELECT COUNT(*) FROM t WHERE a = 'x'");
+  EXPECT_FALSE(net::ExtractJsonStringField(body, "missing").has_value());
+}
+
+TEST(HttpTest, ExtractJsonStringFieldDecodesEscapes) {
+  const std::string body = R"({"sql": "a \"quoted\" \\ name\n"})";
+  EXPECT_EQ(net::ExtractJsonStringField(body, "sql").value_or(""),
+            "a \"quoted\" \\ name\n");
+}
+
+TEST(HttpTest, ExtractJsonStringFieldIgnoresKeyTextInsideValues) {
+  // The value of "a" contains what looks like a "sql" key; the real "sql"
+  // comes later and must win.
+  const std::string body = R"({"a": "\"sql\": \"fake\"", "sql": "real"})";
+  EXPECT_EQ(net::ExtractJsonStringField(body, "sql").value_or(""), "real");
+}
+
+TEST(HttpTest, JsonEscapeRoundTripsThroughExtract) {
+  const std::string nasty = "he said \"hi\"\n\tback\\slash";
+  const std::string body = "{\"msg\": \"" + net::JsonEscape(nasty) + "\"}";
+  EXPECT_EQ(net::ExtractJsonStringField(body, "msg").value_or(""), nasty);
+}
+
+#if defined(__linux__)
+
+// ----------------------------------------------------- end-to-end server
+//
+// One tiny sketch trained for the whole suite (training dominates test
+// time; wire behavior does not depend on model quality), one backend and
+// one NetServer per test so metrics assertions see only their own
+// traffic.
+
+constexpr char kSql[] = "SELECT COUNT(*) FROM movie WHERE year = 2003";
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = testutil::MakeTinyCatalog().release();
+    dir_ = new std::string(testing::TempDir() + "/ds_net_test");
+    std::filesystem::create_directories(*dir_);
+    sketch::SketchConfig config;
+    config.num_samples = 8;
+    config.num_training_queries = 150;
+    config.num_epochs = 3;
+    config.hidden_units = 8;
+    config.batch_size = 32;
+    config.max_tables_per_query = 2;
+    config.seed = 7;
+    sketch_ = new sketch::DeepSketch(
+        sketch::DeepSketch::Train(*catalog_, config).value());
+    ASSERT_TRUE(sketch_->Save(*dir_ + "/tiny.sketch").ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete sketch_;
+    delete catalog_;
+    delete dir_;
+    sketch_ = nullptr;
+    catalog_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  void SetUp() override {
+    serve::RegistryOptions registry_options;
+    registry_options.directory = *dir_;
+    registry_ =
+        std::make_unique<serve::SketchRegistry>(registry_options);
+    serve::ServerOptions serve_options;
+    serve_options.num_workers = 2;
+    serve_options.num_queue_shards = 2;
+    backend_ = std::make_unique<serve::SketchServer>(registry_.get(),
+                                                     serve_options);
+  }
+
+  /// Starts a NetServer over backend_ with 2 event-loop workers on an
+  /// ephemeral loopback port.
+  std::unique_ptr<NetServer> StartServer(NetServerOptions options = {}) {
+    options.num_workers = options.num_workers == 0 ? 2 : options.num_workers;
+    auto server = std::make_unique<NetServer>(backend_.get(), options);
+    EXPECT_TRUE(server->Start().ok());
+    return server;
+  }
+
+  NetClient Connect(const NetServer& server) {
+    auto client = NetClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  uint64_t NetCounter(const NetServer& server, const std::string& name,
+                      obs::Labels labels = {}) {
+    return server.registry()->GetCounter(name, "", labels)->value();
+  }
+
+  /// Shuts down front-then-backend and asserts the smoke invariant:
+  /// every request got exactly one response.
+  void StopAndCheckBalance(NetServer* server) {
+    server->Stop();
+    backend_->Stop();
+    const uint64_t requests = NetCounter(*server, "ds_net_requests_total");
+    uint64_t responses = 0;
+    for (WireStatus s :
+         {WireStatus::kOk, WireStatus::kError, WireStatus::kRejected}) {
+      responses += NetCounter(*server, "ds_net_responses_total",
+                              {{"status", net::WireStatusName(s)}});
+    }
+    EXPECT_EQ(requests, responses);
+  }
+
+  static storage::Catalog* catalog_;
+  static sketch::DeepSketch* sketch_;
+  static std::string* dir_;
+  std::unique_ptr<serve::SketchRegistry> registry_;
+  std::unique_ptr<serve::SketchServer> backend_;
+};
+
+storage::Catalog* NetServerTest::catalog_ = nullptr;
+sketch::DeepSketch* NetServerTest::sketch_ = nullptr;
+std::string* NetServerTest::dir_ = nullptr;
+
+TEST_F(NetServerTest, PingAndEstimate) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  ASSERT_TRUE(client.Ping().ok());
+  auto estimate = client.Estimate("tiny", kSql);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_GE(*estimate, 0.0);
+  // The wire answer matches the in-process answer for the same SQL.
+  auto direct = registry_->Get("tiny").value()->EstimateSql(kSql);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(*estimate, *direct);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, UnknownSketchIsWireErrorNotDisconnect) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  auto estimate = client.Estimate("nope", kSql);
+  EXPECT_FALSE(estimate.ok());
+  // The connection survives an application-level error.
+  EXPECT_TRUE(client.Ping().ok());
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, MalformedSqlIsWireError) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  EXPECT_FALSE(client.Estimate("tiny", "SELECT nonsense !!").ok());
+  EXPECT_TRUE(client.Ping().ok());
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, EstimateBatchMixedResults) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  std::vector<Result<double>> results;
+  ASSERT_TRUE(client
+                  .EstimateBatch("tiny", {kSql, "garbage sql", kSql},
+                                 &results)
+                  .ok());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_DOUBLE_EQ(*results[0], *results[2]);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, StatsReturnsMetricsJson) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  ASSERT_TRUE(client.Estimate("tiny", kSql).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("ds_serve_submitted_total"), std::string::npos);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HelloSetsTenantForAdmission) {
+  NetServerOptions options;
+  options.admission.tenant_rate = 1000.0;
+  options.admission.tenant_burst = 1000.0;
+  auto server = StartServer(options);
+  // Choke one tenant; the default tenant keeps its roomy limits.
+  server->admission()->SetTenantLimit("noisy", 0.0001, 1.0);
+
+  NetClient noisy = Connect(*server);
+  ASSERT_TRUE(noisy.Hello("noisy").ok());
+  ASSERT_TRUE(noisy.Estimate("tiny", kSql).ok());  // burst of 1
+  auto rejected = noisy.Estimate("tiny", kSql);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOutOfRange);
+
+  NetClient other = Connect(*server);  // default tenant, unaffected
+  EXPECT_TRUE(other.Estimate("tiny", kSql).ok());
+
+  EXPECT_GE(NetCounter(*server, "ds_net_responses_total",
+                       {{"status", "rejected"}}),
+            1u);
+  // Front-end shed also shows up in the serve layer's rejected counters.
+  EXPECT_GE(backend_->Metrics().rejected_shedding, 1u);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, PipelinedRequestsAllAnswered) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  constexpr uint64_t kDepth = 16;
+  for (uint64_t id = 1; id <= kDepth; ++id) {
+    ASSERT_TRUE(client.SendEstimate(id, "tiny", kSql).ok());
+  }
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < kDepth; ++i) {
+    auto resp = client.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, WireStatus::kOk);
+    seen.insert(resp->request_id);
+  }
+  EXPECT_EQ(seen.size(), kDepth);  // every id answered exactly once
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, ConcurrentClients) {
+  auto server = StartServer();
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 32;
+  std::atomic<size_t> ok{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = NetClient::Connect("127.0.0.1", server->port());
+      ASSERT_TRUE(client.ok());
+      for (size_t i = 0; i < kPerClient; ++i) {
+        if (client->Estimate("tiny", kSql).ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(NetCounter(*server, "ds_net_requests_total"),
+            kClients * kPerClient);
+  StopAndCheckBalance(server.get());
+}
+
+// Raw-socket helper: writes `request` verbatim, reads to EOF. Used for
+// HTTP (with Connection: close) and for feeding the server corrupt bytes.
+std::string RawExchange(uint16_t port, const std::string& request) {
+  util::UniqueFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  EXPECT_TRUE(fd.valid());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        write(fd.get(), request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = read(fd.get(), chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+TEST_F(NetServerTest, HttpPostEstimate) {
+  auto server = StartServer();
+  const std::string body =
+      std::string(R"({"sketch": "tiny", "sql": ")") + kSql + R"("})";
+  const std::string response = RawExchange(
+      server->port(),
+      "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+          std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("\"estimate\":"), std::string::npos);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpEstimateMissingFieldIs400) {
+  auto server = StartServer();
+  const std::string body = R"({"sketch": "tiny"})";
+  const std::string response = RawExchange(
+      server->port(),
+      "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+          std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body);
+  EXPECT_EQ(response.rfind("HTTP/1.1 400 ", 0), 0u);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpMetricsExposition) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  ASSERT_TRUE(client.Estimate("tiny", kSql).ok());
+  const std::string response = RawExchange(
+      server->port(),
+      "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find(std::string("Content-Type: ") +
+                          obs::kPrometheusContentType),
+            std::string::npos);
+  // Both layers' instruments come out of one scrape.
+  EXPECT_NE(response.find("ds_net_requests_total"), std::string::npos);
+  EXPECT_NE(response.find("ds_serve_submitted_total"), std::string::npos);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpTenantHeaderDrivesAdmission) {
+  auto server = StartServer();
+  server->admission()->SetTenantLimit("curl-tenant", 0.0001, 1.0);
+  const std::string body =
+      std::string(R"({"sketch": "tiny", "sql": ")") + kSql + R"("})";
+  auto post = [&] {
+    return RawExchange(
+        server->port(),
+        "POST /estimate HTTP/1.1\r\nHost: t\r\nX-DS-Tenant: curl-tenant\r\n"
+        "Content-Length: " +
+            std::to_string(body.size()) +
+            "\r\nConnection: close\r\n\r\n" + body);
+  };
+  EXPECT_EQ(post().rfind("HTTP/1.1 200 OK\r\n", 0), 0u);   // burst of 1
+  EXPECT_EQ(post().rfind("HTTP/1.1 429 ", 0), 0u);         // then shed
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpUnknownPathIs404) {
+  auto server = StartServer();
+  const std::string response = RawExchange(
+      server->port(),
+      "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 404 ", 0), 0u);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, StopIsIdempotentAndRestartIsRejected) {
+  auto server = StartServer();
+  server->Stop();
+  server->Stop();  // second stop is a no-op
+  EXPECT_FALSE(server->Start().ok());  // one Start per server
+  backend_->Stop();
+}
+
+#endif  // __linux__
+
+}  // namespace
+}  // namespace ds

@@ -258,6 +258,17 @@ TEST(PrometheusTest, LabelValuesEscaped) {
             std::string::npos);
 }
 
+TEST(PrometheusTest, ContentTypeIsTextFormatV004) {
+  // The exact string HTTP endpoints must send (GET /metrics in ds::net
+  // uses it verbatim); scrapers negotiate the format from it, so any
+  // drift here breaks ingestion even when the body is fine.
+  EXPECT_STREQ(kPrometheusContentType,
+               "text/plain; version=0.0.4; charset=utf-8");
+  const std::string ct = kPrometheusContentType;
+  EXPECT_NE(ct.find("text/plain"), std::string::npos);
+  EXPECT_NE(ct.find("version=0.0.4"), std::string::npos);
+}
+
 // ------------------------------------------------------------------- json
 
 /// Minimal recursive-descent JSON validity checker (structure only).

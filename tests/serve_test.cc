@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <future>
@@ -173,7 +174,7 @@ TEST_F(ServeTest, SubmitStormMatchesSingleThreadedEstimates) {
 
   constexpr size_t kThreads = 4;
   constexpr size_t kPerThread = 200;
-  std::vector<std::vector<std::future<Result<double>>>> futures(kThreads);
+  std::vector<std::vector<serve::Submission>> futures(kThreads);
   std::vector<std::thread> clients;
   clients.reserve(kThreads);
   for (size_t t = 0; t < kThreads; ++t) {
@@ -189,7 +190,7 @@ TEST_F(ServeTest, SubmitStormMatchesSingleThreadedEstimates) {
 
   for (size_t t = 0; t < kThreads; ++t) {
     for (size_t i = 0; i < kPerThread; ++i) {
-      auto result = futures[t][i].get();
+      auto result = futures[t][i].future.get();
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       const double want = expected[(t + i) % std::size(kQueries)];
       EXPECT_NEAR(*result, want, 1e-6 * want + 1e-9) << t << "," << i;
@@ -215,7 +216,7 @@ TEST_F(ServeTest, MetricsCountersAreConsistent) {
   constexpr size_t kGood = 40;
   constexpr size_t kBad = 7;       // SQL that does not parse
   constexpr size_t kUnknown = 5;   // sketch that does not exist
-  std::vector<std::future<Result<double>>> futures;
+  std::vector<serve::Submission> futures;
   for (size_t i = 0; i < kGood; ++i) {
     futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
   }
@@ -227,7 +228,7 @@ TEST_F(ServeTest, MetricsCountersAreConsistent) {
   }
   size_t ok = 0, errored = 0;
   for (auto& f : futures) {
-    if (f.get().ok()) {
+    if (f.future.get().ok()) {
       ++ok;
     } else {
       ++errored;
@@ -259,9 +260,9 @@ TEST_F(ServeTest, MetricsCountersAreConsistent) {
 TEST_F(ServeTest, ResultCacheServesRepeatedStatements) {
   SketchRegistry registry(DiskOptions());
   SketchServer server(&registry);
-  auto first = server.Submit("a", kQueries[0]).get();
+  auto first = server.Submit("a", kQueries[0]).future.get();
   ASSERT_TRUE(first.ok());
-  auto second = server.Submit("a", kQueries[0]).get();
+  auto second = server.Submit("a", kQueries[0]).future.get();
   ASSERT_TRUE(second.ok());
   EXPECT_DOUBLE_EQ(*first, *second);
   auto m = server.Metrics();
@@ -273,8 +274,8 @@ TEST_F(ServeTest, ResultCacheServesRepeatedStatements) {
   raw_options.result_cache_capacity = 0;
   raw_options.stmt_cache_capacity = 0;
   SketchServer raw(&registry, raw_options);
-  EXPECT_TRUE(raw.Submit("a", kQueries[0]).get().ok());
-  EXPECT_TRUE(raw.Submit("a", kQueries[0]).get().ok());
+  EXPECT_TRUE(raw.Submit("a", kQueries[0]).future.get().ok());
+  EXPECT_TRUE(raw.Submit("a", kQueries[0]).future.get().ok());
   auto m2 = raw.Metrics();
   EXPECT_EQ(m2.result_cache_hits + m2.result_cache_misses, 0u);
   EXPECT_EQ(m2.stmt_cache_hits + m2.stmt_cache_misses, 0u);
@@ -287,8 +288,8 @@ TEST_F(ServeTest, PlaceholderQueryFailsItsRequestOnly) {
   auto good = server.Submit("a", kQueries[0]);
   auto bad =
       server.Submit("a", "SELECT COUNT(*) FROM movie WHERE year = ?");
-  EXPECT_TRUE(good.get().ok());
-  auto result = bad.get();
+  EXPECT_TRUE(good.future.get().ok());
+  auto result = bad.future.get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
@@ -302,18 +303,20 @@ TEST_F(ServeTest, BackpressureRejectsButResolvesEveryFuture) {
   SketchServer server(&registry, options);
 
   constexpr size_t kBurst = 2000;
-  std::vector<std::future<Result<double>>> futures;
+  std::vector<serve::Submission> futures;
   futures.reserve(kBurst);
   for (size_t i = 0; i < kBurst; ++i) {
     futures.push_back(server.Submit("a", kQueries[0]));
   }
   size_t served = 0, rejected = 0;
   for (auto& f : futures) {
-    auto result = f.get();  // every future must resolve
+    auto result = f.future.get();  // every future must resolve
     if (result.ok()) {
       ++served;
+      EXPECT_EQ(f.status, serve::SubmitStatus::kOk);
     } else {
       ASSERT_EQ(result.status().code(), StatusCode::kOutOfRange);
+      EXPECT_EQ(f.status, serve::SubmitStatus::kQueueFull);
       ++rejected;
     }
   }
@@ -323,6 +326,9 @@ TEST_F(ServeTest, BackpressureRejectsButResolvesEveryFuture) {
   auto m = server.Metrics();
   EXPECT_EQ(m.submitted, served);
   EXPECT_EQ(m.rejected, rejected);
+  // Backpressure refusals carry the queue_full reason, nothing else.
+  EXPECT_EQ(m.rejected_queue_full, rejected);
+  EXPECT_EQ(m.rejected_shedding + m.rejected_shutdown, 0u);
   // A 1-deep queue against a burst of 2000 must shed load at some point.
   EXPECT_GT(rejected, 0u);
 }
@@ -331,10 +337,13 @@ TEST_F(ServeTest, SubmitAfterStopRejects) {
   SketchRegistry registry(DiskOptions());
   SketchServer server(&registry);
   server.Stop();
-  auto result = server.Submit("a", kQueries[0]).get();
+  auto submission = server.Submit("a", kQueries[0]);
+  EXPECT_EQ(submission.status, serve::SubmitStatus::kShuttingDown);
+  auto result = submission.future.get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
   EXPECT_EQ(server.Metrics().rejected, 1u);
+  EXPECT_EQ(server.Metrics().rejected_shutdown, 1u);
 }
 
 // ---- Observability ----------------------------------------------------------
@@ -343,7 +352,7 @@ TEST_F(ServeTest, TracingOffByDefault) {
   SketchRegistry registry(DiskOptions());
   SketchServer server(&registry);
   EXPECT_EQ(server.tracer(), nullptr);
-  EXPECT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+  EXPECT_TRUE(server.Submit("a", kQueries[0]).future.get().ok());
 }
 
 TEST_F(ServeTest, TracingProducesPlausibleSpanTree) {
@@ -357,7 +366,7 @@ TEST_F(ServeTest, TracingProducesPlausibleSpanTree) {
   SketchServer server(&registry, options);
   ASSERT_NE(server.tracer(), nullptr);
 
-  ASSERT_TRUE(server.Submit("a", kQueries[1]).get().ok());
+  ASSERT_TRUE(server.Submit("a", kQueries[1]).future.get().ok());
   server.Stop();
 
   std::vector<uint64_t> ids = server.tracer()->TraceIds();
@@ -416,8 +425,8 @@ TEST_F(ServeTest, TracingRecordsCacheHits) {
   options.num_workers = 1;
   options.trace_sample_every = 1;
   SketchServer server(&registry, options);
-  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());
-  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());  // result-cache hit
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).future.get().ok());
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).future.get().ok());  // result-cache hit
   server.Stop();
   bool saw_hit = false;
   for (const obs::SpanRecord& s : server.tracer()->Snapshot()) {
@@ -431,11 +440,11 @@ TEST_F(ServeTest, TracingSamplesOneInN) {
   ServerOptions options;
   options.trace_sample_every = 4;
   SketchServer server(&registry, options);
-  std::vector<std::future<Result<double>>> futures;
+  std::vector<serve::Submission> futures;
   for (int i = 0; i < 16; ++i) {
     futures.push_back(server.Submit("a", kQueries[0]));
   }
-  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  for (auto& f : futures) ASSERT_TRUE(f.future.get().ok());
   server.Stop();
   EXPECT_EQ(server.tracer()->sampled(), 4u);
 }
@@ -443,7 +452,7 @@ TEST_F(ServeTest, TracingSamplesOneInN) {
 TEST_F(ServeTest, ObsSnapshotAndExposition) {
   SketchRegistry registry(DiskOptions());
   SketchServer server(&registry);
-  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).future.get().ok());
   server.Stop();
 
   obs::RegistrySnapshot snap = server.ObsSnapshot();
@@ -474,7 +483,7 @@ TEST_F(ServeTest, PrivateRegistriesKeepServersApart) {
   SketchRegistry registry(DiskOptions());
   SketchServer one(&registry);
   SketchServer two(&registry);
-  ASSERT_TRUE(one.Submit("a", kQueries[0]).get().ok());
+  ASSERT_TRUE(one.Submit("a", kQueries[0]).future.get().ok());
   EXPECT_EQ(one.Metrics().submitted, 1u);
   EXPECT_EQ(two.Metrics().submitted, 0u);
   EXPECT_NE(one.obs_registry(), two.obs_registry());
@@ -485,7 +494,7 @@ TEST_F(ServeTest, PrivateRegistriesKeepServersApart) {
   options.metrics_registry = &shared;
   SketchServer three(&registry, options);
   EXPECT_EQ(three.obs_registry(), &shared);
-  ASSERT_TRUE(three.Submit("a", kQueries[0]).get().ok());
+  ASSERT_TRUE(three.Submit("a", kQueries[0]).future.get().ok());
   EXPECT_EQ(shared.GetCounter("ds_serve_submitted_total")->value(), 1u);
 }
 
@@ -500,7 +509,7 @@ TEST_F(ServeTest, PeriodicStatsDumpEmitsJson) {
     dumps.push_back(json);
   };
   SketchServer server(&registry, options);
-  ASSERT_TRUE(server.Submit("a", kQueries[0]).get().ok());
+  ASSERT_TRUE(server.Submit("a", kQueries[0]).future.get().ok());
   // Wait (bounded) for at least two periodic dumps.
   for (int i = 0; i < 400; ++i) {
     {
@@ -527,7 +536,7 @@ TEST_F(ServeTest, ConcurrentStopIsSafe) {
   ServerOptions options;
   options.num_workers = 2;
   SketchServer server(&registry, options);
-  std::vector<std::future<Result<double>>> futures;
+  std::vector<serve::Submission> futures;
   for (size_t i = 0; i < 16; ++i) {
     futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
   }
@@ -538,8 +547,132 @@ TEST_F(ServeTest, ConcurrentStopIsSafe) {
   for (auto& t : stoppers) t.join();
   server.Stop();  // idempotent after the race
   for (auto& f : futures) {
-    EXPECT_TRUE(f.get().ok());
+    EXPECT_TRUE(f.future.get().ok());
   }
+}
+
+// ---- SubmitStatus / sharding / async ---------------------------------------
+
+TEST(SubmitStatusTest, NamesAreStable) {
+  // These strings are the `reason` label values of
+  // ds_serve_rejected_total; changing one breaks dashboards.
+  EXPECT_STREQ(serve::SubmitStatusName(serve::SubmitStatus::kOk), "ok");
+  EXPECT_STREQ(serve::SubmitStatusName(serve::SubmitStatus::kQueueFull),
+               "queue_full");
+  EXPECT_STREQ(serve::SubmitStatusName(serve::SubmitStatus::kShedding),
+               "shedding");
+  EXPECT_STREQ(serve::SubmitStatusName(serve::SubmitStatus::kShuttingDown),
+               "shutting_down");
+}
+
+TEST_F(ServeTest, ShardedQueuesServeEveryRequest) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 4;
+  options.num_queue_shards = 4;
+  SketchServer server(&registry, options);
+  EXPECT_EQ(server.num_queue_shards(), 4u);
+  std::vector<serve::Submission> futures;
+  for (size_t i = 0; i < 256; ++i) {
+    futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.future.get().ok());
+  }
+  server.Stop();
+  auto m = server.Metrics();
+  EXPECT_EQ(m.submitted, 256u);
+  EXPECT_EQ(m.completed, 256u);
+  EXPECT_EQ(m.rejected, 0u);
+}
+
+TEST_F(ServeTest, ShardCountClampsToWorkers) {
+  SketchRegistry registry(DiskOptions());
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_queue_shards = 8;  // more shards than workers would starve
+  SketchServer server(&registry, options);
+  EXPECT_EQ(server.num_queue_shards(), 2u);
+  EXPECT_TRUE(server.Submit("a", kQueries[0]).future.get().ok());
+}
+
+TEST_F(ServeTest, SubmitAsyncDeliversResultViaCallback) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  std::promise<Result<double>> got;
+  auto status = server.SubmitAsync(
+      "a", kQueries[0],
+      [&got](Result<double> r) { got.set_value(std::move(r)); },
+      /*shard_hint=*/0);
+  ASSERT_EQ(status, serve::SubmitStatus::kOk);
+  auto result = got.get_future().get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(*result, sketch_->EstimateSql(kQueries[0]).value());
+  server.Stop();
+  EXPECT_EQ(server.Metrics().completed, 1u);
+}
+
+TEST_F(ServeTest, SubmitAsyncAfterStopDoesNotInvokeCallback) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  server.Stop();
+  std::atomic<bool> called{false};
+  auto status = server.SubmitAsync("a", kQueries[0],
+                                   [&called](Result<double>) { called = true; });
+  EXPECT_EQ(status, serve::SubmitStatus::kShuttingDown);
+  // The caller answers from the returned status; the callback stays silent.
+  EXPECT_FALSE(called.load());
+  EXPECT_EQ(server.Metrics().rejected_shutdown, 1u);
+}
+
+TEST_F(ServeTest, SubmitManyAsyncIndexesCallbacks) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  constexpr size_t kN = 8;
+  std::mutex mu;
+  std::vector<bool> seen(kN, false);
+  std::atomic<size_t> done{0};
+  std::promise<void> all_done;
+  std::vector<std::string> sqls;
+  for (size_t i = 0; i < kN; ++i) {
+    sqls.push_back(kQueries[i % std::size(kQueries)]);
+  }
+  auto statuses = server.SubmitManyAsync(
+      "a", std::move(sqls),
+      [&](size_t index, Result<double> result) {
+        EXPECT_TRUE(result.ok());
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          EXPECT_LT(index, kN);
+          EXPECT_FALSE(seen[index]);
+          seen[index] = true;
+        }
+        if (done.fetch_add(1) + 1 == kN) all_done.set_value();
+      },
+      /*shard_hint=*/1);
+  ASSERT_EQ(statuses.size(), kN);
+  for (auto s : statuses) EXPECT_EQ(s, serve::SubmitStatus::kOk);
+  all_done.get_future().wait();
+  server.Stop();
+  std::lock_guard<std::mutex> lock(mu);
+  for (size_t i = 0; i < kN; ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST_F(ServeTest, RejectionReasonsAreLabeledInExposition) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry);
+  server.CountShed(3);  // what the net front-end's admission control calls
+  server.Stop();
+  (void)server.Submit("a", kQueries[0]).future.get();  // shutting_down
+  auto m = server.Metrics();
+  EXPECT_EQ(m.rejected_shedding, 3u);
+  EXPECT_EQ(m.rejected_shutdown, 1u);
+  EXPECT_EQ(m.rejected, 4u);
+  const std::string prom = obs::ToPrometheusText(server.ObsSnapshot());
+  EXPECT_NE(prom.find("ds_serve_rejected_total{reason=\"shedding\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ds_serve_rejected_total{reason=\"shutting_down\"} 1"),
+            std::string::npos);
 }
 
 TEST_F(ServeTest, StopDrainsPendingRequests) {
@@ -548,13 +681,13 @@ TEST_F(ServeTest, StopDrainsPendingRequests) {
   options.num_workers = 1;
   options.max_wait_us = 0;  // serve one sweep at a time
   SketchServer server(&registry, options);
-  std::vector<std::future<Result<double>>> futures;
+  std::vector<serve::Submission> futures;
   for (size_t i = 0; i < 64; ++i) {
     futures.push_back(server.Submit("a", kQueries[i % std::size(kQueries)]));
   }
   server.Stop();  // must serve everything accepted before joining
   for (auto& f : futures) {
-    EXPECT_TRUE(f.get().ok());
+    EXPECT_TRUE(f.future.get().ok());
   }
 }
 

@@ -1,12 +1,21 @@
 // Unit tests for ds/util: Status/Result, random, serialization, stats,
-// strings.
+// strings, fd ownership, CPU topology.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
 #include <numeric>
+#include <set>
+#include <utility>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "ds/util/cpu_topology.h"
+#include "ds/util/fd.h"
 #include "ds/util/random.h"
 #include "ds/util/serialize.h"
 #include "ds/util/stats.h"
@@ -353,6 +362,115 @@ TEST(StringTest, HumanBytes) {
   EXPECT_EQ(util::HumanBytes(100), "100 B");
   EXPECT_EQ(util::HumanBytes(2048), "2.0 KiB");
   EXPECT_EQ(util::HumanBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+// --- UniqueFd ---------------------------------------------------------------
+
+TEST(UniqueFdTest, DefaultIsInvalid) {
+  util::UniqueFd fd;
+  EXPECT_FALSE(fd.valid());
+  EXPECT_EQ(fd.get(), -1);
+  EXPECT_FALSE(static_cast<bool>(fd));
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  util::UniqueFd a(100);  // fake fd: never dereferenced, released below
+  util::UniqueFd b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested intent
+  EXPECT_EQ(b.get(), 100);
+  util::UniqueFd c;
+  c = std::move(b);
+  EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c.get(), 100);
+  EXPECT_EQ(c.release(), 100);  // don't close the fake fd
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(UniqueFdTest, ReleaseDetaches) {
+  util::UniqueFd fd(7);
+  EXPECT_EQ(fd.release(), 7);
+  EXPECT_EQ(fd.get(), -1);
+  EXPECT_EQ(fd.release(), -1);  // idempotent once empty
+}
+
+#if defined(__linux__) || defined(__APPLE__)
+TEST(UniqueFdTest, ResetClosesTheDescriptor) {
+  int raw = -1;
+  {
+    util::UniqueFd fd(open("/dev/null", O_RDONLY));
+    ASSERT_TRUE(fd.valid());
+    raw = fd.get();
+    ASSERT_GE(raw, 0);
+  }
+  // Destroyed: the descriptor must be closed now.
+  EXPECT_EQ(fcntl(raw, F_GETFD), -1);
+}
+
+TEST(UniqueFdTest, ResetReplacesAndClosesOld) {
+  util::UniqueFd fd(open("/dev/null", O_RDONLY));
+  const int first = fd.get();
+  ASSERT_GE(first, 0);
+  const int second = open("/dev/null", O_RDONLY);
+  ASSERT_GE(second, 0);
+  fd.reset(second);
+  EXPECT_EQ(fd.get(), second);
+  EXPECT_EQ(fcntl(first, F_GETFD), -1);  // old one closed
+  EXPECT_NE(fcntl(second, F_GETFD), -1);
+}
+#endif
+
+// --- CPU topology -----------------------------------------------------------
+
+TEST(CpuTopologyTest, DetectNeverFailsAndIsSane) {
+  const util::CpuTopology topo = util::DetectCpuTopology();
+  ASSERT_GE(topo.num_cpus(), 1u);
+  ASSERT_GE(topo.num_cores(), 1u);
+  EXPECT_LE(topo.num_cores(), topo.num_cpus());
+  for (size_t i = 1; i < topo.cpus.size(); ++i) {
+    EXPECT_LT(topo.cpus[i - 1].cpu, topo.cpus[i].cpu);  // sorted, distinct
+  }
+}
+
+TEST(CpuTopologyTest, PlanSpreadsPhysicalCoresFirst) {
+  // Synthetic 2-core/4-CPU box with hyperthread pairs (0,2) and (1,3).
+  util::CpuTopology topo;
+  topo.cpus = {{0, 0, 0}, {1, 1, 0}, {2, 0, 0}, {3, 1, 0}};
+  EXPECT_EQ(topo.num_cores(), 2u);
+
+  const std::vector<int> plan = util::PlanWorkerCpus(topo, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  // The first num_cores workers must land on distinct physical cores.
+  std::set<int> first_cores;
+  for (size_t i = 0; i < topo.num_cores(); ++i) {
+    for (const auto& c : topo.cpus) {
+      if (c.cpu == plan[i]) first_cores.insert(c.core_id);
+    }
+  }
+  EXPECT_EQ(first_cores.size(), topo.num_cores());
+}
+
+TEST(CpuTopologyTest, PlanWrapsWhenWorkersExceedCpus) {
+  util::CpuTopology topo;
+  topo.cpus = {{0, 0, 0}, {1, 1, 0}};
+  const std::vector<int> plan = util::PlanWorkerCpus(topo, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  for (int cpu : plan) {
+    EXPECT_TRUE(cpu == 0 || cpu == 1);
+  }
+  EXPECT_EQ(plan[0], plan[2]);  // wraps deterministically
+}
+
+TEST(CpuTopologyTest, PlanZeroWorkersIsEmpty) {
+  EXPECT_TRUE(
+      util::PlanWorkerCpus(util::DetectCpuTopology(), 0).empty());
+}
+
+TEST(CpuTopologyTest, PinToDetectedCpuSucceeds) {
+  const util::CpuTopology topo = util::DetectCpuTopology();
+  ASSERT_FALSE(topo.cpus.empty());
+  // Pinning to a CPU from the detected mask must succeed (or be a no-op
+  // on platforms without affinity support — also OK by contract).
+  EXPECT_TRUE(util::PinCurrentThreadToCpu(topo.cpus[0].cpu).ok());
 }
 
 }  // namespace

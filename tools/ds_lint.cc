@@ -21,6 +21,12 @@
 //                     visible to clang's thread-safety analysis.
 //   iostream-header   No #include <iostream> in headers (it injects the
 //                     static ios_base initializer into every TU).
+//   naked-fd          No naked close()/::close() of file descriptors
+//                     outside util/fd.{h,cc} — fd lifetime goes through
+//                     ds::util::UniqueFd so every descriptor has exactly
+//                     one owner (double-close and leak bugs become
+//                     type errors). Member calls like stream.close() are
+//                     not descriptor closes and stay allowed.
 //
 // A line containing `NOLINT(ds-lint)` is exempt (document why at the site).
 // Comments are stripped before matching; string/char literals are blanked
@@ -258,6 +264,29 @@ void CheckIostreamHeader(const std::string& path,
   }
 }
 
+// Naked descriptor closes: bare `close(` or `::close(`, but not member
+// calls (`.close(`/`->close(`) — std::fstream::close is not an fd — and
+// not identifiers merely ending in "close" (epoll_close).
+const std::regex kNakedClose(R"((^|[^\w.>:])(::\s*)?close\s*\()");
+
+void CheckNakedFd(const std::string& path,
+                  const std::vector<std::string>& raw,
+                  const std::vector<std::string>& code,
+                  std::vector<Finding>* out) {
+  // UniqueFd::reset() is the one sanctioned close call site.
+  if (EndsWith(path, "util/fd.h") || EndsWith(path, "util/fd.cc")) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (LineExempt(raw[i])) continue;
+    std::smatch m;
+    if (std::regex_search(code[i], m, kNakedClose)) {
+      out->push_back({path, i + 1, "naked-fd",
+                      "naked close() of a file descriptor; own the fd with "
+                      "ds::util::UniqueFd (ds/util/fd.h) so it cannot leak "
+                      "or double-close"});
+    }
+  }
+}
+
 // ---- Driver ---------------------------------------------------------------------
 
 std::vector<Finding> LintContent(const std::string& path,
@@ -271,6 +300,7 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckMetricNames(path, no_comments, raw, &findings);
   CheckNakedMutex(path, raw, code, &findings);
   CheckIostreamHeader(path, raw, code, &findings);
+  CheckNakedFd(path, raw, code, &findings);
   return findings;
 }
 
@@ -371,6 +401,18 @@ const SelfCase kSelfCases[] = {
     {"iostream-in-header", "seed.h", "#include <iostream>\n",
      "iostream-header"},
     {"iostream-in-cc-allowed", "clean.cc", "#include <iostream>\n", nullptr},
+    {"naked-close", "seed.cc", "void f(int fd) { close(fd); }\n", "naked-fd"},
+    {"naked-global-close", "seed.cc", "void f(int fd) { ::close(fd); }\n",
+     "naked-fd"},
+    {"close-in-fd-wrapper-allowed", "util/fd.cc",
+     "void g(int fd) { ::close(fd); }\n", nullptr},
+    {"stream-close-allowed", "clean.cc",
+     "void f(std::ofstream& out) { out.close(); }\n", nullptr},
+    {"close-variable-allowed", "clean.cc",
+     "bool WantsClose(bool close) { return close; }\n", nullptr},
+    {"nolint-close-exempt", "clean.cc",
+     "void f(int fd) { close(fd); }  // NOLINT(ds-lint): raw CLI plumbing\n",
+     nullptr},
 };
 
 int RunSelfTest() {

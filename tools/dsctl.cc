@@ -27,6 +27,20 @@
 //       unbatched baseline vs. micro-batched, plus the server's metrics
 //       and the client-side latency percentile table.
 //
+//   dsctl serve <sketch-file> [--listen=host:port] [name=N] [workers=N]
+//               [net_workers=N] [rate=R] [burst=B] [seconds=S]
+//       Serve the sketch over TCP (binary protocol + HTTP; see
+//       src/ds/net/protocol.h) until Ctrl-C. listen defaults to
+//       127.0.0.1:0 — the bound port is printed. rate/burst enable
+//       per-tenant token-bucket admission control.
+//
+//   dsctl netload <host:port> <sketch-name> [SQL...] [threads=N] [depth=N]
+//               [seconds=S] [tenant=T]
+//       Closed-loop networked load against a running ds_served / dsctl
+//       serve: each thread keeps `depth` pipelined ESTIMATE frames in
+//       flight. With no SQL arguments a demo-imdb corpus is used. Exits
+//       nonzero if any request errored (rejections are reported but OK).
+//
 //   dsctl metrics <sketch-file> <SQL> [requests=N] [format=prom|json]
 //       Serve N copies of the query through a SketchServer and print the
 //       resulting metric registry in Prometheus text (default) or JSON
@@ -41,14 +55,19 @@
 // train imdb ... seed=42` answers queries about exactly the dataset that
 // `dsctl gen imdb ... seed=42` exports.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ds/datagen/imdb.h"
+#include "ds/net/server.h"
 #include "ds/datagen/tpch.h"
 #include "ds/mscn/logger.h"
 #include "ds/obs/exposition.h"
@@ -313,6 +332,143 @@ int CmdServeBench(int argc, char** argv) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dsctl serve <sketch-file> [--listen=host:port] "
+                 "[name=N] [workers=N] [net_workers=N] [rate=R] [burst=B] "
+                 "[seconds=S]\n");
+    return 2;
+  }
+  Flags flags = ParseFlags(argc, argv, 3);
+  auto sketch = sketch::DeepSketch::Load(argv[2]);
+  if (!sketch.ok()) return Fail(sketch.status());
+  const std::string default_name =
+      std::filesystem::path(argv[2]).stem().string();
+  const std::string name = flags.GetString("name", default_name);
+  serve::SketchRegistry registry{serve::RegistryOptions{}};
+  registry.Put(name, std::move(sketch).value());
+
+  serve::ServerOptions serve_options;
+  serve_options.num_workers =
+      static_cast<size_t>(flags.GetInt("workers", 2));
+  serve_options.num_queue_shards = serve_options.num_workers;
+  serve::SketchServer backend(&registry, serve_options);
+
+  net::NetServerOptions net_options;
+  const std::string listen = flags.GetString(
+      "--listen", flags.GetString("listen", "127.0.0.1:0"));
+  const auto colon = listen.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "dsctl: listen must be host:port, got '%s'\n",
+                 listen.c_str());
+    return 2;
+  }
+  net_options.host = listen.substr(0, colon);
+  net_options.port = static_cast<uint16_t>(
+      std::strtoul(listen.c_str() + colon + 1, nullptr, 10));
+  net_options.num_workers =
+      static_cast<size_t>(flags.GetInt("net_workers", 0));
+  net_options.admission.tenant_rate =
+      static_cast<double>(flags.GetInt("rate", 0));
+  net_options.admission.tenant_burst =
+      static_cast<double>(flags.GetInt("burst", 0));
+  net::NetServer front(&backend, net_options);
+  if (auto st = front.Start(); !st.ok()) return Fail(st);
+  std::printf("dsctl: serving '%s' on %s:%u (%zu net workers)\n",
+              name.c_str(), net_options.host.c_str(), front.port(),
+              front.num_workers());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  const double seconds =
+      std::strtod(flags.GetString("seconds", "0").c_str(), nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_serve_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= seconds) {
+      break;
+    }
+  }
+  front.Stop();
+  backend.Stop();
+  std::printf("%s", backend.Metrics().ToString().c_str());
+  return 0;
+}
+
+int CmdNetLoad(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl netload <host:port> <sketch-name> [SQL...] "
+                 "[threads=N] [depth=N] [seconds=S] [tenant=T]\n");
+    return 2;
+  }
+  const std::string target = argv[2];
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "dsctl: target must be host:port, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const auto port = static_cast<uint16_t>(
+      std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  Flags flags;
+  std::vector<std::string> sqls;
+  for (int i = 4; i < argc; ++i) {
+    std::string arg(argv[i]);
+    const auto eq = arg.find('=');
+    // Query text contains spaces but never '=' before a space-free prefix
+    // that looks like a flag name; anything with '=' in its first token is
+    // a flag, the rest are SQL statements.
+    if (eq != std::string::npos && arg.find(' ') > eq) {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      sqls.push_back(std::move(arg));
+    }
+  }
+  if (sqls.empty()) {
+    // The built-in demo corpus: valid against `ds_served demo=imdb`.
+    sqls = {
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000",
+        "SELECT COUNT(*) FROM title t, movie_keyword mk "
+        "WHERE mk.movie_id = t.id",
+        "SELECT COUNT(*) FROM title t WHERE t.kind_id = 1",
+    };
+  }
+
+  serve::LoadOptions load;
+  load.threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  load.pipeline_depth = static_cast<size_t>(flags.GetInt("depth", 4));
+  load.seconds = std::strtod(flags.GetString("seconds", "5").c_str(), nullptr);
+  const std::string tenant = flags.GetString("tenant", "");
+
+  auto report = serve::RunNetClosedLoop(host, port, argv[3], sqls, load,
+                                        tenant);
+  std::printf(
+      "netload %s sketch '%s': %zu threads x depth %zu for %.1fs\n"
+      "  %8.0f q/s  ok=%llu errors=%llu rejected=%llu\n",
+      target.c_str(), argv[3], load.threads, load.pipeline_depth,
+      load.seconds, report.Qps(),
+      static_cast<unsigned long long>(report.ok),
+      static_cast<unsigned long long>(report.errors),
+      static_cast<unsigned long long>(report.rejected));
+  std::printf("%s", report.LatencyTable().c_str());
+  // Errors mean the server answered with failures or dropped connections;
+  // rejections are an expected overload outcome and do not fail the run.
+  return report.errors == 0 && report.ok > 0 ? 0 : 1;
+}
+
 /// Shared by CmdMetrics / CmdTrace: loads the sketch, serves `requests`
 /// copies of `sql` through a fresh server (configured by the caller), and
 /// leaves the server stopped so its instruments are final.
@@ -327,8 +483,8 @@ Result<std::unique_ptr<serve::SketchServer>> ServeQueries(
   registry->Put("sketch", std::move(sketch).value());
   auto server = std::make_unique<serve::SketchServer>(registry, options);
   std::vector<std::string> sqls(requests, sql);
-  for (auto& f : server->SubmitMany("sketch", std::move(sqls))) {
-    (void)f.get();
+  for (auto& s : server->SubmitMany("sketch", std::move(sqls))) {
+    (void)s.future.get();
   }
   server->Stop();
   return server;
@@ -395,8 +551,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dsctl "
-                 "<gen|train|info|estimate|template|serve-bench|metrics|"
-                 "trace> ...\n");
+                 "<gen|train|info|estimate|template|serve|netload|"
+                 "serve-bench|metrics|trace> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -405,6 +561,8 @@ int main(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(argc, argv);
   if (cmd == "estimate") return CmdEstimate(argc, argv);
   if (cmd == "template") return CmdTemplate(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "netload") return CmdNetLoad(argc, argv);
   if (cmd == "serve-bench") return CmdServeBench(argc, argv);
   if (cmd == "metrics") return CmdMetrics(argc, argv);
   if (cmd == "trace") return CmdTrace(argc, argv);

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Integration smoke for the ds::net serving front-end (run by CI).
+#
+# Starts ds_served with the built-in demo sketch on an ephemeral loopback
+# port, drives it with dsctl netload (pipelined binary protocol) for a few
+# seconds, scrapes GET /metrics over HTTP, and asserts the serve-layer
+# accounting invariant from the scrape:
+#
+#   ds_serve_submitted_total == ds_serve_completed_total
+#                                + ds_serve_failed_total
+#
+# (rejected requests never enter the queue, so they are absent from both
+# sides; ds_served itself additionally exits nonzero if the wire-level
+# ds_net_requests_total != sum of ds_net_responses_total).
+#
+# Usage: tools/net_smoke.sh <build-dir> [seconds]
+
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: net_smoke.sh <build-dir> [seconds]}
+SECONDS_LOAD=${2:-5}
+DS_SERVED="$BUILD_DIR/tools/ds_served"
+DSCTL="$BUILD_DIR/tools/dsctl"
+LOG=$(mktemp)
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+echo "== starting ds_served (demo sketch, ephemeral port)"
+"$DS_SERVED" demo=imdb listen=127.0.0.1:0 workers=2 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints "ds_served: listening on HOST:PORT (...)" once ready.
+PORT=""
+for _ in $(seq 1 120); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" | head -1)
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "ds_served died during startup:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [[ -z "$PORT" ]]; then
+  echo "ds_served never reported its port:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "== ds_served listening on 127.0.0.1:$PORT"
+
+echo "== driving $SECONDS_LOAD s of networked load"
+"$DSCTL" netload "127.0.0.1:$PORT" demo \
+  threads=4 depth=4 "seconds=$SECONDS_LOAD"
+
+echo "== scraping /metrics"
+METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
+echo "$METRICS" | grep -E '^ds_(net|serve)_' | head -30
+
+counter() {
+  echo "$METRICS" | awk -v n="$1" '$1 == n { print int($2); exit }'
+}
+
+SUBMITTED=$(counter ds_serve_submitted_total)
+COMPLETED=$(counter ds_serve_completed_total)
+FAILED=$(counter ds_serve_failed_total)
+echo "== submitted=$SUBMITTED completed=$COMPLETED failed=$FAILED"
+if [[ -z "$SUBMITTED" || "$SUBMITTED" -eq 0 ]]; then
+  echo "FAIL: no requests reached the serving layer" >&2
+  exit 1
+fi
+if [[ "$SUBMITTED" -ne $((COMPLETED + FAILED)) ]]; then
+  echo "FAIL: submitted != completed + failed in live scrape" >&2
+  exit 1
+fi
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: ds_served exited nonzero (request/response imbalance):" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+SERVER_PID=""
+tail -5 "$LOG"
+echo "== net smoke OK"
