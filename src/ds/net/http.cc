@@ -85,6 +85,7 @@ HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
   out->body.clear();
 
   size_t content_length = 0;
+  bool saw_content_length = false;
   std::string_view rest =
       line_end == std::string_view::npos ? std::string_view{}
                                          : head.substr(line_end + 2);
@@ -100,6 +101,11 @@ HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
     std::string value(Trim(line.substr(colon + 1)));
     if (name == "transfer-encoding") return HttpParseResult::kBad;
     if (name == "content-length") {
+      // Duplicate Content-Length headers are a request-smuggling vector if
+      // a fronting proxy ever honors a different copy than we do; reject
+      // them outright rather than picking one.
+      if (saw_content_length) return HttpParseResult::kBad;
+      saw_content_length = true;
       char* end = nullptr;
       const unsigned long long parsed =
           std::strtoull(value.c_str(), &end, 10);

@@ -107,6 +107,12 @@ struct Connection : std::enable_shared_from_this<Connection> {
   std::string rbuf;
   std::string wbuf;  // unsent response bytes (fd would block)
   bool open = true;
+  /// Close requested after the current wbuf drains; no further input is
+  /// processed and no further responses are queued once set.
+  bool close_after_flush = false;
+  /// An async HTTP response is outstanding; pipelined requests stay in
+  /// rbuf until it is queued so responses go out in request order.
+  bool http_busy = false;
 
   void OnEvent(uint32_t events);
   void ReadInput();
@@ -123,7 +129,9 @@ struct Connection : std::enable_shared_from_this<Connection> {
                          uint64_t request_id, std::string_view payload);
   void QueueWrite(std::string_view bytes);
   void FlushWrites();
-  void ProtocolError(uint64_t request_id, const std::string& message);
+  void ProtocolError(FrameType type, uint64_t request_id,
+                     const std::string& message);
+  void CloseAfterFlush();
   void Close();
 };
 
@@ -134,13 +142,13 @@ void Connection::OnEvent(uint32_t events) {
     return;
   }
   if (events & EPOLLOUT) FlushWrites();
-  if (!open) return;
+  if (!open || close_after_flush) return;
   if (events & (EPOLLIN | EPOLLRDHUP)) ReadInput();
 }
 
 void Connection::ReadInput() {
   char chunk[kReadChunk];
-  while (open) {
+  while (open && !close_after_flush) {
     const ssize_t n = read(fd.get(), chunk, sizeof(chunk));
     if (n > 0) {
       server->metrics_.bytes_read.Add(static_cast<uint64_t>(n));
@@ -184,10 +192,12 @@ void Connection::Dispatch() {
 }
 
 void Connection::DispatchBinary() {
-  while (open && rbuf.size() >= kFrameHeaderSize) {
+  while (open && !close_after_flush && rbuf.size() >= kFrameHeaderSize) {
     FrameHeader header;
     if (auto st = DecodeFrameHeader(rbuf.data(), &header); !st.ok()) {
-      ProtocolError(0, st.message());
+      // The header did not decode, so the offending type is unknowable;
+      // kPing is the undecodable-header fallback.
+      ProtocolError(FrameType::kPing, 0, st.message());
       return;
     }
     const size_t frame_size = kFrameHeaderSize + header.payload_size;
@@ -197,7 +207,7 @@ void Connection::DispatchBinary() {
     HandleFrame(header,
                 std::string_view(rbuf.data() + kFrameHeaderSize,
                                  header.payload_size));
-    if (!open) return;
+    if (!open || close_after_flush) return;
     rbuf.erase(0, frame_size);
   }
 }
@@ -209,7 +219,8 @@ void Connection::HandleFrame(const FrameHeader& header,
       ByteReader r(payload);
       std::string name;
       if (!r.ReadString16(&name) || !r.empty()) {
-        ProtocolError(header.request_id, "malformed HELLO payload");
+        ProtocolError(FrameType::kHello, header.request_id,
+                      "malformed HELLO payload");
         return;
       }
       if (!name.empty()) tenant = std::move(name);
@@ -302,8 +313,12 @@ struct BatchContext {
 
 void FinishBatch(const std::shared_ptr<BatchContext>& ctx,
                  const std::weak_ptr<Connection>& weak, NetMetrics* metrics,
-                 std::atomic<uint64_t>* in_flight, EventLoop* loop,
-                 uint64_t accepted) {
+                 std::atomic<uint64_t>* in_flight, EventLoop* loop) {
+  // Only ever called after HandleBatch released its guard token (below),
+  // so ctx->statuses is fully assigned and safe to read here.
+  const uint64_t accepted = static_cast<uint64_t>(
+      std::count(ctx->statuses.begin(), ctx->statuses.end(),
+                 serve::SubmitStatus::kOk));
   std::string payload;
   AppendU32(&payload, static_cast<uint32_t>(ctx->results.size()));
   uint64_t ok = 0, error = 0;
@@ -368,17 +383,17 @@ void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
   // Count every item as in-flight up front; FinishBatch releases the
   // accepted ones, the rejected ones are released below once known.
   server->in_flight_.fetch_add(n, std::memory_order_relaxed);
-  ctx->remaining.store(n, std::memory_order_relaxed);
+  // One extra token guards ctx->statuses: accepted-item callbacks can fire
+  // on serve workers before SubmitManyAsync returns, and must not find
+  // remaining == 1 (which would run FinishBatch, reading ctx->statuses)
+  // until this thread assigned statuses and released the guard below.
+  ctx->remaining.store(n + 1, std::memory_order_relaxed);
   ctx->statuses = server->backend_->SubmitManyAsync(
       req.sketch, std::move(req.sqls),
       [ctx, weak, srv, w](size_t index, Result<double> result) {
         ctx->results[index] = std::move(result);
         if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          const uint64_t accepted = static_cast<uint64_t>(std::count(
-              ctx->statuses.begin(), ctx->statuses.end(),
-              serve::SubmitStatus::kOk));
-          FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop,
-                      accepted);
+          FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop);
         }
       },
       worker->index);
@@ -396,16 +411,19 @@ void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
   if (rejected > 0) {
     server->metrics_.responses_rejected.Add(rejected);
     server->in_flight_.fetch_sub(rejected, std::memory_order_relaxed);
-    if (ctx->remaining.fetch_sub(rejected, std::memory_order_acq_rel) ==
-        rejected) {
-      FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop,
-                  n - rejected);
-    }
+  }
+  // Release the rejected items' tokens plus the statuses guard token. The
+  // acq_rel RMW chain on `remaining` publishes statuses and the rejected
+  // results to whichever callback ends up running FinishBatch; if every
+  // accepted callback already fired, finishing the batch is on us.
+  if (ctx->remaining.fetch_sub(rejected + 1, std::memory_order_acq_rel) ==
+      rejected + 1) {
+    FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop);
   }
 }
 
 void Connection::DispatchHttp() {
-  while (open) {
+  while (open && !http_busy && !close_after_flush) {
     HttpRequest req;
     size_t consumed = 0;
     switch (ParseHttpRequest(rbuf, &req, &consumed)) {
@@ -415,7 +433,7 @@ void Connection::DispatchHttp() {
         server->metrics_.protocol_errors.Add();
         QueueWrite(BuildHttpResponse(400, "text/plain",
                                      "malformed HTTP request\n", true));
-        Close();
+        CloseAfterFlush();
         return;
       case HttpParseResult::kParsed:
         rbuf.erase(0, consumed);
@@ -433,24 +451,24 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
     QueueWrite(BuildHttpResponse(
         200, obs::kPrometheusContentType,
         obs::ToPrometheusText(server->backend_->ObsSnapshot()), close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
     return;
   }
   if (req.method == "GET" && req.path == "/healthz") {
     QueueWrite(BuildHttpResponse(200, "text/plain", "ok\n", close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
     return;
   }
   if (req.path != "/estimate") {
     QueueWrite(BuildHttpResponse(404, "application/json",
                                  "{\"error\":\"not found\"}\n", close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
     return;
   }
   if (req.method != "POST") {
     QueueWrite(BuildHttpResponse(405, "application/json",
                                  "{\"error\":\"use POST\"}\n", close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
     return;
   }
 
@@ -464,7 +482,7 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
         "{\"error\":\"body must be {\\\"sketch\\\": ..., \\\"sql\\\": "
         "...}\"}\n",
         close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
     return;
   }
   const std::string http_tenant =
@@ -477,11 +495,15 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
         "{\"error\":\"tenant '" + JsonEscape(http_tenant) +
             "' exceeded its request rate\"}\n",
         close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
     return;
   }
 
   server->in_flight_.fetch_add(1, std::memory_order_relaxed);
+  // Hold further pipelined requests until this response is queued, so
+  // HTTP/1.1 responses go out in request order even though the estimate
+  // completes asynchronously.
+  http_busy = true;
   std::weak_ptr<Connection> weak = weak_from_this();
   NetServer* srv = server;
   NetServer::Worker* w = worker;
@@ -508,14 +530,21 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
             [weak, srv, wire, close, response = std::move(response)] {
               if (auto conn = weak.lock(); conn != nullptr && conn->open) {
                 srv->metrics_.Response(wire).Add();
+                conn->http_busy = false;
                 conn->QueueWrite(response);
-                if (close) conn->Close();
+                if (close) {
+                  conn->CloseAfterFlush();
+                } else if (conn->open) {
+                  // Drain any pipelined requests buffered while busy.
+                  conn->Dispatch();
+                }
               }
               srv->in_flight_.fetch_sub(1, std::memory_order_release);
             });
       },
       worker->index);
   if (status != serve::SubmitStatus::kOk) {
+    http_busy = false;
     server->in_flight_.fetch_sub(1, std::memory_order_relaxed);
     const bool shutdown = status == serve::SubmitStatus::kShuttingDown;
     server->metrics_
@@ -526,7 +555,7 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
         shutdown ? "{\"error\":\"server is shutting down\"}\n"
                  : "{\"error\":\"server overloaded (queue full)\"}\n",
         close));
-    if (close) Close();
+    if (close) CloseAfterFlush();
   }
 }
 
@@ -545,7 +574,7 @@ void Connection::CountAndSendFrame(FrameType type, WireStatus status,
 }
 
 void Connection::QueueWrite(std::string_view bytes) {
-  if (!open) return;
+  if (!open || close_after_flush) return;
   if (wbuf.empty()) {
     // Fast path: write straight from the caller's buffer; only the
     // leftover (socket buffer full) is copied.
@@ -591,15 +620,30 @@ void Connection::FlushWrites() {
   }
   wbuf.erase(0, off);
   if (wbuf.empty()) {
+    if (close_after_flush) {
+      Close();
+      return;
+    }
     (void)worker->loop.Modify(fd.get(), ConnEvents(/*want_write=*/false));
   }
 }
 
-void Connection::ProtocolError(uint64_t request_id,
+void Connection::ProtocolError(FrameType type, uint64_t request_id,
                                const std::string& message) {
   server->metrics_.protocol_errors.Add();
-  SendFrame(FrameType::kPing, WireStatus::kError, request_id, message);
-  Close();
+  SendFrame(type, WireStatus::kError, request_id, message);
+  CloseAfterFlush();
+}
+
+/// Closes once wbuf has drained, so a just-queued final response is not
+/// truncated by an immediate close; closes now if nothing is pending.
+void Connection::CloseAfterFlush() {
+  if (!open || close_after_flush) return;
+  if (wbuf.empty()) {
+    Close();
+    return;
+  }
+  close_after_flush = true;
 }
 
 void Connection::Close() {

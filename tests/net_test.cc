@@ -299,6 +299,23 @@ TEST(HttpTest, RejectsTransferEncodingAndGarbage) {
             net::HttpParseResult::kBad);
 }
 
+TEST(HttpTest, RejectsDuplicateContentLength) {
+  // Duplicate Content-Length is a request-smuggling vector: a fronting
+  // proxy may honor the first copy while we honor another.
+  net::HttpRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(net::ParseHttpRequest(
+                "POST /x HTTP/1.1\r\nContent-Length: 4\r\n"
+                "Content-Length: 4\r\n\r\nbody",
+                &req, &consumed),
+            net::HttpParseResult::kBad);
+  EXPECT_EQ(net::ParseHttpRequest(
+                "POST /x HTTP/1.1\r\nContent-Length: 4\r\n"
+                "Content-Length: 2\r\n\r\nbody",
+                &req, &consumed),
+            net::HttpParseResult::kBad);
+}
+
 TEST(HttpTest, BuildResponseHasLengthAndType) {
   const std::string resp =
       net::BuildHttpResponse(200, "application/json", "{}", false);
@@ -538,6 +555,35 @@ TEST_F(NetServerTest, PipelinedRequestsAllAnswered) {
   StopAndCheckBalance(server.get());
 }
 
+TEST_F(NetServerTest, BatchFanInUnderQueuePressure) {
+  // Exercises the batch fan-in path where some items are rejected at
+  // submit time while accepted items complete concurrently on serve
+  // workers — the interleaving behind the statuses-visibility race (TSan
+  // sees any regression). A capacity-1 queue makes rejections certain.
+  serve::ServerOptions tiny_queue;
+  tiny_queue.num_workers = 2;
+  tiny_queue.num_queue_shards = 1;
+  tiny_queue.queue_capacity = 1;
+  backend_ =
+      std::make_unique<serve::SketchServer>(registry_.get(), tiny_queue);
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  const std::vector<std::string> sqls(16, kSql);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Result<double>> results;
+    ASSERT_TRUE(client.EstimateBatch("tiny", sqls, &results).ok());
+    ASSERT_EQ(results.size(), sqls.size());
+    // Every slot resolved one way or the other; the first accepted item
+    // exists because a capacity-1 queue still admits one request.
+    size_t ok = 0;
+    for (const auto& r : results) {
+      if (r.ok()) ++ok;
+    }
+    EXPECT_GE(ok, 1u);
+  }
+  StopAndCheckBalance(server.get());
+}
+
 TEST_F(NetServerTest, ConcurrentClients) {
   auto server = StartServer();
   constexpr size_t kClients = 8;
@@ -589,6 +635,51 @@ std::string RawExchange(uint16_t port, const std::string& request) {
     response.append(chunk, static_cast<size_t>(n));
   }
   return response;
+}
+
+TEST_F(NetServerTest, HttpPipelinedResponsesKeepRequestOrder) {
+  // A pipelined POST /estimate (answered asynchronously) followed by a
+  // GET (answered synchronously) must produce responses in request
+  // order: the 200 with the estimate first, the 404 second.
+  auto server = StartServer();
+  const std::string body =
+      std::string(R"({"sketch": "tiny", "sql": ")") + kSql + R"("})";
+  const std::string response = RawExchange(
+      server->port(),
+      "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body +
+          "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  const size_t first_200 = response.find("HTTP/1.1 200 OK");
+  const size_t first_404 = response.find("HTTP/1.1 404 ");
+  EXPECT_EQ(first_200, 0u) << response;
+  ASSERT_NE(first_404, std::string::npos) << response;
+  EXPECT_LT(first_200, first_404);
+  EXPECT_LT(response.find("\"estimate\":"), first_404);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, MalformedHelloEchoesHelloTypedError) {
+  // The error frame must carry the offending request's type (kHello), not
+  // a generic kPing, so synchronous clients surface the server's message
+  // instead of tripping their frame-type check.
+  auto server = StartServer();
+  std::string payload;
+  net::AppendU16(&payload, 100);  // claims 100 bytes, provides none
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kHello, WireStatus::kOk, 9, payload);
+  const std::string response = RawExchange(
+      server->port(), std::string(net::kMagic, net::kMagicSize) + frame);
+  ASSERT_GE(response.size(), net::kFrameHeaderSize);
+  FrameHeader header;
+  ASSERT_TRUE(net::DecodeFrameHeader(response.data(), &header).ok());
+  EXPECT_EQ(header.type, FrameType::kHello);
+  EXPECT_EQ(header.status, WireStatus::kError);
+  EXPECT_EQ(header.request_id, 9u);
+  // The close-after-flush path delivered the full error message before
+  // the connection went down.
+  EXPECT_EQ(response.size(), net::kFrameHeaderSize + header.payload_size);
+  server->Stop();
+  backend_->Stop();
 }
 
 TEST_F(NetServerTest, HttpPostEstimate) {
