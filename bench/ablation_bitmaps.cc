@@ -77,11 +77,13 @@ int main(int argc, char** argv) {
     truths.push_back(executor.Count(spec).value());
   }
 
-  bench::PrintQErrorTable(
-      "JOB-light q-errors, same training workload",
-      {{"MSCN with bitmaps", bench::QErrorsOn(*with, workload, truths)},
-       {"MSCN without bitmaps",
-        bench::QErrorsOn(*without, workload, truths)}});
+  const std::vector<std::pair<std::string, std::vector<double>>> rows = {
+      {"MSCN with bitmaps", bench::QErrorsOn(*with, workload, truths)},
+      {"MSCN without bitmaps", bench::QErrorsOn(*without, workload, truths)}};
+  bench::PrintQErrorTable("JOB-light q-errors, same training workload", rows);
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/ablation_bitmaps.json"),
+      "ablation_bitmaps", bench::QErrorMetricRows(rows));
   std::printf(
       "\nshape: bitmaps improve estimation quality, most visibly in the "
       "tail\n(the model can 'see' which sampled tuples qualify instead of "

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n%-10s %12s | %-8s %-8s %-8s %-8s  (q-error)\n", "samples",
               "footprint", "median", "95th", "max", "mean");
+  std::vector<bench::MetricRow> rows;
   for (size_t samples : {16, 64, 256, 1024}) {
     sketch::SketchConfig config;
     config.tables = bench::JobLightTables();
@@ -58,7 +59,17 @@ int main(int argc, char** argv) {
                 util::HumanBytes(sketch->SerializedSize()).c_str(),
                 util::FormatQ(s.median).c_str(), util::FormatQ(s.p95).c_str(),
                 util::FormatQ(s.max).c_str(), util::FormatQ(s.mean).c_str());
+    rows.push_back({"samples=" + std::to_string(samples),
+                    {{"footprint_bytes",
+                      static_cast<double>(sketch->SerializedSize())},
+                     {"median", s.median},
+                     {"p95", s.p95},
+                     {"max", s.max},
+                     {"mean", s.mean}}});
   }
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/ablation_samples.json"),
+      "ablation_samples", rows);
   std::printf(
       "\nshape: more samples improve accuracy (sharper bitmaps, fewer "
       "0-tuple\nmisses) at a linearly growing footprint; returns diminish "

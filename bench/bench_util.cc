@@ -127,6 +127,16 @@ std::string GitSha() {
 
 namespace {
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 std::string UtcTimestamp() {
   std::time_t now = std::time(nullptr);
   std::tm tm{};
@@ -170,6 +180,52 @@ void WriteBenchResultsJson(const std::string& path, const std::string& name,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote bench results -> %s\n", path.c_str());
+}
+
+void WriteBenchMetricsJson(const std::string& path, const std::string& name,
+                           const std::vector<MetricRow>& rows,
+                           const std::string& mode) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+               "  \"timestamp\": \"%s\",\n  \"mode\": \"%s\",\n"
+               "  \"rows\": [\n",
+               JsonEscape(name).c_str(), JsonEscape(GitSha()).c_str(),
+               UtcTimestamp().c_str(), JsonEscape(mode).c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\"", JsonEscape(rows[i].name).c_str());
+    for (const auto& [key, value] : rows[i].values) {
+      std::fprintf(f, ", \"%s\": %.6g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote bench results -> %s\n", path.c_str());
+}
+
+std::vector<MetricRow> QErrorMetricRows(
+    const std::vector<std::pair<std::string, std::vector<double>>>& rows) {
+  std::vector<MetricRow> out;
+  out.reserve(rows.size());
+  for (const auto& [name, qerrors] : rows) {
+    const auto s = util::QErrorSummary::FromQErrors(qerrors);
+    out.push_back({name,
+                   {{"median", s.median},
+                    {"p90", s.p90},
+                    {"p95", s.p95},
+                    {"p99", s.p99},
+                    {"max", s.max},
+                    {"mean", s.mean}}});
+  }
+  return out;
 }
 
 }  // namespace ds::bench

@@ -82,6 +82,28 @@ void WriteBenchResultsJson(const std::string& path, const std::string& name,
                            const std::vector<OpResult>& ops,
                            const std::string& mode = "inproc");
 
+/// One named row of scalar measurements for WriteBenchMetricsJson — the
+/// machine-readable form of a printed table row (q-error summaries,
+/// footprint sweeps, timing sweeps).
+struct MetricRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Writes `rows` with the same envelope as WriteBenchResultsJson:
+///   {"benchmark": name, "git_sha": ..., "timestamp": ..., "mode": ...,
+///    "rows": [{"name": ..., "<metric>": v, ...}, ...]}
+/// so every bench binary leaves a comparable bench_results/*.json archive
+/// regardless of whether it measures latency ops or table-style metrics.
+void WriteBenchMetricsJson(const std::string& path, const std::string& name,
+                           const std::vector<MetricRow>& rows,
+                           const std::string& mode = "inproc");
+
+/// Converts PrintQErrorTable rows into MetricRows carrying the same
+/// aggregates the printed table shows (median/p90/p95/p99/max/mean).
+std::vector<MetricRow> QErrorMetricRows(
+    const std::vector<std::pair<std::string, std::vector<double>>>& rows);
+
 /// The current git commit (short sha), from `git rev-parse --short HEAD`
 /// in the current directory, else $DS_GIT_SHA, else "unknown".
 std::string GitSha();

@@ -105,6 +105,9 @@ int main(int argc, char** argv) {
   }
   bench::PrintQErrorTable(
       "Deep Sketch q-errors, trained on uniform {=,<,>} predicates", rows);
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/generalization.json"),
+      "generalization", bench::QErrorMetricRows(rows));
   std::printf(
       "\nshape: the shifted workloads degrade gracefully relative to the "
       "matched\nvalidation distribution (no catastrophic failure under "

@@ -95,15 +95,26 @@ int main(int argc, char** argv) {
               evaluated);
   std::printf("%-12s %10s %10s %10s %10s %12s\n", "estimator", "median",
               "90th", "max", "mean", "optimal-rate");
+  std::vector<bench::MetricRow> rows;
   for (size_t e = 0; e < estimators.size(); ++e) {
     auto& r = ratios[e];
+    const double optimal_rate = 100.0 *
+                                static_cast<double>(optimal_count[e]) /
+                                static_cast<double>(evaluated);
     std::printf("%-12s %10.3f %10.3f %10.2f %10.3f %11.0f%%\n",
                 estimators[e].first.c_str(), util::Median(r),
                 util::Percentile(r, 90), *std::max_element(r.begin(), r.end()),
-                util::Mean(r),
-                100.0 * static_cast<double>(optimal_count[e]) /
-                    static_cast<double>(evaluated));
+                util::Mean(r), optimal_rate);
+    rows.push_back({estimators[e].first,
+                    {{"median", util::Median(r)},
+                     {"p90", util::Percentile(r, 90)},
+                     {"max", *std::max_element(r.begin(), r.end())},
+                     {"mean", util::Mean(r)},
+                     {"optimal_rate_pct", optimal_rate}}});
   }
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/plan_quality.json"),
+      "plan_quality", rows);
   std::printf(
       "\nreading: on JOB-light's star-shaped queries every estimator yields "
       "plans\nwithin a few percent of the true optimum — left-deep ordering "

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n%-10s %-8s %14s %14s %16s\n", "samples", "hidden",
               "sketch bytes", "model params", "compression");
+  std::vector<bench::MetricRow> rows;
   for (size_t samples : {64, 256, 1024}) {
     for (size_t hidden : {32, 128, 256}) {
       sketch::SketchConfig config;
@@ -45,13 +46,22 @@ int main(int argc, char** argv) {
       auto sketch = sketch::DeepSketch::Train(db, config);
       DS_CHECK_OK(sketch.status());
       const size_t bytes = sketch->SerializedSize();
+      const double compression = static_cast<double>(db.MemoryUsage()) /
+                                 static_cast<double>(bytes);
       std::printf("%-10zu %-8zu %14s %14zu %14.1fx\n", samples, hidden,
                   util::HumanBytes(bytes).c_str(),
-                  sketch->num_model_parameters(),
-                  static_cast<double>(db.MemoryUsage()) /
-                      static_cast<double>(bytes));
+                  sketch->num_model_parameters(), compression);
+      rows.push_back({"samples=" + std::to_string(samples) +
+                          " hidden=" + std::to_string(hidden),
+                      {{"sketch_bytes", static_cast<double>(bytes)},
+                       {"model_params", static_cast<double>(
+                                            sketch->num_model_parameters())},
+                       {"compression", compression}}});
     }
   }
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/sketch_footprint.json"),
+      "sketch_footprint", rows);
   std::printf(
       "\nshape: footprints are KiB-to-MiB scale, orders of magnitude below "
       "the\nsource database at real scale; samples are the dominant term "

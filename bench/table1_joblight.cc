@@ -88,12 +88,16 @@ int main(int argc, char** argv) {
   DS_CHECK_OK(baseline_samples.status());
   est::HyperEstimator hyper(&db, &*baseline_samples);
 
-  bench::PrintQErrorTable(
-      "Estimation errors on the JOB-light workload (" +
-          std::to_string(workload->size()) + " queries)",
-      {{"Deep Sketch", bench::QErrorsOn(*sketch, *workload, truths)},
-       {"HyPer", bench::QErrorsOn(hyper, *workload, truths)},
-       {"PostgreSQL", bench::QErrorsOn(postgres, *workload, truths)}});
+  const std::vector<std::pair<std::string, std::vector<double>>> rows = {
+      {"Deep Sketch", bench::QErrorsOn(*sketch, *workload, truths)},
+      {"HyPer", bench::QErrorsOn(hyper, *workload, truths)},
+      {"PostgreSQL", bench::QErrorsOn(postgres, *workload, truths)}};
+  bench::PrintQErrorTable("Estimation errors on the JOB-light workload (" +
+                              std::to_string(workload->size()) + " queries)",
+                          rows);
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/table1_joblight.json"),
+      "table1_joblight", bench::QErrorMetricRows(rows));
 
   std::printf(
       "\npaper (real IMDb):\n"

@@ -151,6 +151,18 @@ int main(int argc, char** argv) {
               *std::max_element(q_hyper.begin(), q_hyper.end()));
   std::printf("  PostgreSQL  %7.2f / %7.2f\n", util::Mean(q_pg),
               *std::max_element(q_pg.begin(), q_pg.end()));
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/template_queries.json"),
+      "template_queries",
+      {{"Deep Sketch",
+        {{"mean_q", util::Mean(q_sketch)},
+         {"max_q", *std::max_element(q_sketch.begin(), q_sketch.end())}}},
+       {"HyPer",
+        {{"mean_q", util::Mean(q_hyper)},
+         {"max_q", *std::max_element(q_hyper.begin(), q_hyper.end())}}},
+       {"PostgreSQL",
+        {{"mean_q", util::Mean(q_pg)},
+         {"max_q", *std::max_element(q_pg.begin(), q_pg.end())}}}});
   std::printf(
       "\nshape: the Deep Sketch series follows the temporal shape of the "
       "true\nseries (rising towards the keyword's era) where the "

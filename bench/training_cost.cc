@@ -92,6 +92,12 @@ int main(int argc, char** argv) {
     *val_median_q = report.epochs.back().validation_median_q;
   };
 
+  std::vector<bench::MetricRow> rows;
+  rows.push_back({"labeling",
+                  {{"seconds", label_seconds},
+                   {"ms_per_query", 1e3 * label_seconds /
+                                        static_cast<double>(kMaxQueries)}}});
+
   // Sweep 1: epochs at fixed 10k queries — training time must scale
   // linearly with epochs; validation q-error should plateau around ~25.
   std::printf("\n-- epochs sweep (queries=10000) --\n");
@@ -103,6 +109,11 @@ int main(int argc, char** argv) {
                &med_q);
     std::printf("%-8zu %10.1f %14.2f %16.2f %12.2f\n", epochs, secs,
                 secs / static_cast<double>(epochs), mean_q, med_q);
+    rows.push_back({"epochs=" + std::to_string(epochs),
+                    {{"seconds", secs},
+                     {"sec_per_epoch", secs / static_cast<double>(epochs)},
+                     {"val_mean_q", mean_q},
+                     {"val_median_q", med_q}}});
   }
 
   // Sweep 2: training-set size at fixed 25 epochs (ablation A3) — 10k
@@ -118,7 +129,14 @@ int main(int argc, char** argv) {
     double secs, mean_q, med_q;
     train_once(n, 25, &secs, &mean_q, &med_q);
     std::printf("%-10zu %10.1f %16.2f %12.2f\n", n, secs, mean_q, med_q);
+    rows.push_back({"queries=" + std::to_string(n),
+                    {{"seconds", secs},
+                     {"val_mean_q", mean_q},
+                     {"val_median_q", med_q}}});
   }
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/training_cost.json"),
+      "training_cost", rows);
 
   std::printf(
       "\npaper reference: 90k queries x 100 epochs = ~39 min on a GPU;\n"

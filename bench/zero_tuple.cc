@@ -89,19 +89,33 @@ int main(int argc, char** argv) {
               "(truth > 0 in both groups)\n",
               zero_q.size(), rest_q.size());
 
-  bench::PrintQErrorTable(
-      "q-errors on queries WITH a 0-tuple situation",
-      {{"Deep Sketch", bench::QErrorsOn(*sketch, zero_q, zero_t)},
-       {"HyPer (default fallback)", bench::QErrorsOn(hyper, zero_q, zero_t)},
-       {"HyPer (1/ndistinct fallback)",
-        bench::QErrorsOn(hyper_smart, zero_q, zero_t)},
-       {"PostgreSQL", bench::QErrorsOn(postgres, zero_q, zero_t)}});
+  const std::vector<std::pair<std::string, std::vector<double>>> zero_rows = {
+      {"Deep Sketch", bench::QErrorsOn(*sketch, zero_q, zero_t)},
+      {"HyPer (default fallback)", bench::QErrorsOn(hyper, zero_q, zero_t)},
+      {"HyPer (1/ndistinct fallback)",
+       bench::QErrorsOn(hyper_smart, zero_q, zero_t)},
+      {"PostgreSQL", bench::QErrorsOn(postgres, zero_q, zero_t)}};
+  const std::vector<std::pair<std::string, std::vector<double>>> rest_rows = {
+      {"Deep Sketch", bench::QErrorsOn(*sketch, rest_q, rest_t)},
+      {"HyPer", bench::QErrorsOn(hyper, rest_q, rest_t)},
+      {"PostgreSQL", bench::QErrorsOn(postgres, rest_q, rest_t)}};
+  bench::PrintQErrorTable("q-errors on queries WITH a 0-tuple situation",
+                          zero_rows);
+  bench::PrintQErrorTable("q-errors on queries WITHOUT a 0-tuple situation",
+                          rest_rows);
 
-  bench::PrintQErrorTable(
-      "q-errors on queries WITHOUT a 0-tuple situation",
-      {{"Deep Sketch", bench::QErrorsOn(*sketch, rest_q, rest_t)},
-       {"HyPer", bench::QErrorsOn(hyper, rest_q, rest_t)},
-       {"PostgreSQL", bench::QErrorsOn(postgres, rest_q, rest_t)}});
+  std::vector<bench::MetricRow> all_rows;
+  for (auto& row : bench::QErrorMetricRows(zero_rows)) {
+    row.name = "0-tuple: " + row.name;
+    all_rows.push_back(std::move(row));
+  }
+  for (auto& row : bench::QErrorMetricRows(rest_rows)) {
+    row.name = "regular: " + row.name;
+    all_rows.push_back(std::move(row));
+  }
+  bench::WriteBenchMetricsJson(
+      args.GetString("out", "bench_results/zero_tuple.json"), "zero_tuple",
+      all_rows);
 
   std::printf(
       "\nshape: on the 0-tuple subset the sampling estimator's q-errors "

@@ -1,5 +1,6 @@
 #include "ds/net/client.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__linux__) || defined(__APPLE__)
@@ -87,9 +88,9 @@ Status NetClient::ReadFrame(FrameHeader* header, std::string* payload) {
 Status NetClient::RoundTrip(FrameType type, uint64_t request_id,
                             std::string_view payload,
                             FrameHeader* resp_header,
-                            std::string* resp_payload) {
+                            std::string* resp_payload, uint16_t flags) {
   std::string frame;
-  AppendFrame(&frame, type, WireStatus::kOk, request_id, payload);
+  AppendFrame(&frame, type, WireStatus::kOk, request_id, payload, flags);
   DS_RETURN_NOT_OK(WriteAll(frame));
   DS_RETURN_NOT_OK(ReadFrame(resp_header, resp_payload));
   if (resp_header->request_id != request_id) {
@@ -130,17 +131,49 @@ Status NetClient::Ping() {
   return Status::OK();
 }
 
+NetClient::PendingTrace NetClient::BeginTrace() {
+  PendingTrace trace;
+  if (tracer_ == nullptr) return trace;
+  trace.trace_id = tracer_->StartTrace();
+  if (trace.trace_id == 0) return trace;
+  // The span id is allocated before the send so the server can nest its
+  // spans under it; the span itself is recorded once the response lands.
+  trace.span_id = tracer_->NextSpanId();
+  trace.start_us = obs::TraceRecorder::NowUs();
+  return trace;
+}
+
+void NetClient::FinishTrace(const PendingTrace& trace, uint64_t value) {
+  if (trace.trace_id == 0 || tracer_ == nullptr) return;
+  obs::SpanRecord record;
+  record.trace_id = trace.trace_id;
+  record.span_id = trace.span_id;
+  record.parent_id = 0;  // the trace's root: the client's view of the RPC
+  record.start_us = trace.start_us;
+  record.duration_us = obs::TraceRecorder::NowUs() - trace.start_us;
+  record.value = value;
+  record.SetName("client_estimate");
+  tracer_->Record(record);
+}
+
 Result<double> NetClient::Estimate(std::string_view sketch,
                                    std::string_view sql) {
   EstimateRequest req;
   req.sketch.assign(sketch);
   req.sql.assign(sql);
+  const PendingTrace trace = BeginTrace();
   std::string payload;
+  uint16_t flags = 0;
+  if (trace.trace_id != 0) {
+    AppendTraceContext(&payload, trace.trace_id, trace.span_id);
+    flags |= kFlagTraceContext;
+  }
   AppendEstimateRequest(&payload, req);
   FrameHeader header;
   std::string resp;
-  DS_RETURN_NOT_OK(
-      RoundTrip(FrameType::kEstimate, next_id_++, payload, &header, &resp));
+  DS_RETURN_NOT_OK(RoundTrip(FrameType::kEstimate, next_id_++, payload,
+                             &header, &resp, flags));
+  FinishTrace(trace, static_cast<uint64_t>(header.status));
   switch (header.status) {
     case WireStatus::kOk: {
       ByteReader r(resp);
@@ -164,12 +197,19 @@ Status NetClient::EstimateBatch(std::string_view sketch,
   EstimateBatchRequest req;
   req.sketch.assign(sketch);
   req.sqls = sqls;
+  const PendingTrace trace = BeginTrace();
   std::string payload;
+  uint16_t flags = 0;
+  if (trace.trace_id != 0) {
+    AppendTraceContext(&payload, trace.trace_id, trace.span_id);
+    flags |= kFlagTraceContext;
+  }
   AppendEstimateBatchRequest(&payload, req);
   FrameHeader header;
   std::string resp;
   DS_RETURN_NOT_OK(RoundTrip(FrameType::kEstimateBatch, next_id_++, payload,
-                             &header, &resp));
+                             &header, &resp, flags));
+  FinishTrace(trace, sqls.size());
   if (header.status == WireStatus::kRejected) {
     return Status::OutOfRange("rejected: " + resp);
   }
@@ -201,11 +241,20 @@ Status NetClient::SendEstimate(uint64_t request_id, std::string_view sketch,
   EstimateRequest req;
   req.sketch.assign(sketch);
   req.sql.assign(sql);
+  const PendingTrace trace = BeginTrace();
   std::string payload;
+  uint16_t flags = 0;
+  if (trace.trace_id != 0) {
+    AppendTraceContext(&payload, trace.trace_id, trace.span_id);
+    flags |= kFlagTraceContext;
+    // Closed by ReadResponse when the matching id comes back; a dropped
+    // connection simply abandons the entry.
+    pending_traces_[request_id] = trace;
+  }
   AppendEstimateRequest(&payload, req);
   std::string frame;
   AppendFrame(&frame, FrameType::kEstimate, WireStatus::kOk, request_id,
-              payload);
+              payload, flags);
   return WriteAll(frame);
 }
 
@@ -226,7 +275,81 @@ Result<NetClient::Response> NetClient::ReadResponse() {
   } else {
     resp.message = std::move(payload);
   }
+  if (!pending_traces_.empty()) {
+    if (auto it = pending_traces_.find(header.request_id);
+        it != pending_traces_.end()) {
+      FinishTrace(it->second, static_cast<uint64_t>(header.status));
+      pending_traces_.erase(it);
+    }
+  }
   return resp;
+}
+
+Result<std::string> HttpGet(
+    const std::string& host, uint16_t port, const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  util::UniqueFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' (IPv4 dotted quad)");
+  }
+  if (connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = write(fd.get(), request.data() + off,
+                            request.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("write: ") + std::strerror(errno));
+  }
+  std::string response;
+  char chunk[16 * 1024];
+  while (true) {
+    const ssize_t n = read(fd.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      response.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    break;  // Connection: close — EOF ends the response
+  }
+  // "HTTP/1.1 200 OK" — the code sits between the first two spaces.
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) {
+    return Status::ParseError("malformed HTTP response");
+  }
+  const int code = std::atoi(response.c_str() + sp + 1);
+  const size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status::ParseError("HTTP response has no header terminator");
+  }
+  std::string body = response.substr(body_at + 4);
+  if (code < 200 || code >= 300) {
+    return Status::Internal("HTTP " + std::to_string(code) + ": " + body);
+  }
+  return body;
 }
 
 #else  // !DS_NET_CLIENT_POSIX
@@ -265,7 +388,14 @@ Status NetClient::ReadFrame(FrameHeader*, std::string*) {
   return Status::Unimplemented("ds::net client requires POSIX sockets");
 }
 Status NetClient::RoundTrip(FrameType, uint64_t, std::string_view,
-                            FrameHeader*, std::string*) {
+                            FrameHeader*, std::string*, uint16_t) {
+  return Status::Unimplemented("ds::net client requires POSIX sockets");
+}
+NetClient::PendingTrace NetClient::BeginTrace() { return {}; }
+void NetClient::FinishTrace(const PendingTrace&, uint64_t) {}
+Result<std::string> HttpGet(
+    const std::string&, uint16_t, const std::string&,
+    const std::vector<std::pair<std::string, std::string>>&) {
   return Status::Unimplemented("ds::net client requires POSIX sockets");
 }
 

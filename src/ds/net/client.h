@@ -27,9 +27,12 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ds/net/protocol.h"
+#include "ds/obs/trace.h"
 #include "ds/util/fd.h"
 #include "ds/util/status.h"
 
@@ -53,6 +56,14 @@ class NetClient {
   NetClient& operator=(NetClient&&) = default;
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
+
+  /// Installs a trace recorder (borrowed; null switches tracing off).
+  /// Every later Estimate / EstimateBatch / SendEstimate runs the
+  /// recorder's sampling decision; a sampled request records a
+  /// client_estimate span here AND ships its context on the wire behind
+  /// kFlagTraceContext, so the server's spans land in the same trace.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
 
   /// Identifies this connection's tenant for admission control.
   Status Hello(std::string_view tenant);
@@ -85,6 +96,13 @@ class NetClient {
   bool connected() const { return fd_.valid(); }
 
  private:
+  /// A sampled request's client-side span, open until its response.
+  struct PendingTrace {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    int64_t start_us = 0;
+  };
+
   explicit NetClient(util::UniqueFd fd) : fd_(std::move(fd)) {}
 
   Status WriteAll(std::string_view bytes);
@@ -94,12 +112,29 @@ class NetClient {
   /// which must echo `request_id` and match `type`.
   Status RoundTrip(FrameType type, uint64_t request_id,
                    std::string_view payload, FrameHeader* resp_header,
-                   std::string* resp_payload);
+                   std::string* resp_payload, uint16_t flags = 0);
+  /// Sampling decision + span-id allocation for one outgoing request.
+  /// Returns an unsampled (trace_id 0) record when tracing is off.
+  PendingTrace BeginTrace();
+  /// Records the client_estimate span for a sampled request.
+  void FinishTrace(const PendingTrace& trace, uint64_t value);
 
   util::UniqueFd fd_;
   std::string rbuf_;  // bytes past the frame ReadFrame last returned
   uint64_t next_id_ = 1;
+  obs::TraceRecorder* tracer_ = nullptr;  // not owned
+  /// request id -> open span, for the pipelined API (SendEstimate opens,
+  /// ReadResponse closes).
+  std::unordered_map<uint64_t, PendingTrace> pending_traces_;
 };
+
+/// Minimal blocking HTTP/1.1 GET ("Connection: close") against the
+/// server's admin plane — what `dsctl top` and `dsctl trace export` use.
+/// Extra request headers are (name, value) pairs. Returns the response
+/// body on 2xx, an error Status carrying the status code otherwise.
+Result<std::string> HttpGet(
+    const std::string& host, uint16_t port, const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers = {});
 
 }  // namespace ds::net
 

@@ -1,5 +1,7 @@
 #include "ds/net/event_loop.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #if defined(__linux__)
@@ -13,6 +15,16 @@
 namespace ds::net {
 
 #if defined(__linux__)
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status EventLoop::Init() {
   epoll_fd_.reset(epoll_create1(EPOLL_CLOEXEC));
@@ -59,7 +71,7 @@ void EventLoop::Post(std::function<void()> task) {
   {
     util::MutexLock lock(mu_);
     if (stopped_) return;  // owner is tearing down; nothing left to run it
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(PostedTask{SteadyNowUs(), std::move(task)});
   }
   Wake();
 }
@@ -77,12 +89,23 @@ void EventLoop::DrainWakeFd() {
 }
 
 void EventLoop::RunPostedTasks() {
-  std::vector<std::function<void()>> tasks;
+  std::vector<PostedTask> tasks;
   {
     util::MutexLock lock(mu_);
     tasks.swap(tasks_);
   }
-  for (auto& task : tasks) task();
+  if (tasks.empty()) return;
+  if (lag_us_ != nullptr) {
+    // One clock read amortized over the batch: every task in it became
+    // runnable no later than now, so the recorded lag is an upper bound
+    // only by the batch's own execution order.
+    const int64_t now = SteadyNowUs();
+    for (const PostedTask& task : tasks) {
+      lag_us_->Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, now - task.posted_us)));
+    }
+  }
+  for (auto& task : tasks) task.fn();
 }
 
 void EventLoop::Run() {
@@ -98,6 +121,7 @@ void EventLoop::Run() {
       if (errno == EINTR) continue;
       break;  // epoll fd itself failed; the owner will notice on join
     }
+    if (wakeups_ != nullptr) wakeups_->Add();
     for (int i = 0; i < n; ++i) {
       // Look the handler up per event: an earlier callback in this batch
       // may have Remove()d this fd (e.g. closed the connection).

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ds/obs/metrics.h"
 #include "ds/util/fd.h"
 #include "ds/util/status.h"
 #include "ds/util/thread_annotations.h"
@@ -70,15 +71,31 @@ class EventLoop {
   /// Asks Run() to return after the current dispatch round. Any thread.
   void Stop();
 
+  /// Optional per-loop instruments (borrowed; wire up before Run()).
+  /// `wakeups` counts epoll_wait returns — the loop's scheduling rate;
+  /// `lag_us` records each posted task's Post()-to-execution delay in
+  /// microseconds — the loop-lag signal a stalled handler shows up in.
+  void SetMetrics(obs::Counter* wakeups, obs::Histogram* lag_us) {
+    wakeups_ = wakeups;
+    lag_us_ = lag_us;
+  }
+
   size_t num_registered_fds() const { return handlers_.size(); }
 
  private:
+  struct PostedTask {
+    int64_t posted_us = 0;
+    std::function<void()> fn;
+  };
+
   void Wake();
   void DrainWakeFd();
   void RunPostedTasks();
 
   util::UniqueFd epoll_fd_;
   util::UniqueFd wake_fd_;
+  obs::Counter* wakeups_ = nullptr;    // not owned
+  obs::Histogram* lag_us_ = nullptr;   // not owned
 
   // fd -> callback. shared_ptr so a callback that Remove()s its own fd
   // (closing a connection from inside its handler) does not free the
@@ -86,7 +103,7 @@ class EventLoop {
   std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
 
   util::Mutex mu_;
-  std::vector<std::function<void()>> tasks_ DS_GUARDED_BY(mu_);
+  std::vector<PostedTask> tasks_ DS_GUARDED_BY(mu_);
   bool stopped_ DS_GUARDED_BY(mu_) = false;
 };
 

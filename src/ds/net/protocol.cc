@@ -111,13 +111,35 @@ bool ByteReader::ReadString32(std::string* s) {
 }
 
 void AppendFrame(std::string* out, FrameType type, WireStatus status,
-                 uint64_t request_id, std::string_view payload) {
+                 uint64_t request_id, std::string_view payload,
+                 uint16_t flags) {
   AppendU32(out, static_cast<uint32_t>(payload.size()));
   out->push_back(static_cast<char>(type));
   out->push_back(static_cast<char>(status));
-  AppendU16(out, 0);  // flags
+  AppendU16(out, flags);
   AppendU64(out, request_id);
   out->append(payload.data(), payload.size());
+}
+
+void AppendTraceContext(std::string* payload, uint64_t trace_id,
+                        uint64_t parent_span) {
+  AppendU64(payload, trace_id);
+  AppendU64(payload, parent_span);
+}
+
+Status ConsumeTraceContext(uint16_t flags, std::string_view* payload,
+                           uint64_t* trace_id, uint64_t* parent_span) {
+  *trace_id = 0;
+  *parent_span = 0;
+  if ((flags & kFlagTraceContext) == 0) return Status::OK();
+  if (payload->size() < kTraceContextSize) {
+    return Status::ParseError(
+        "trace-context flag set but payload is too short");
+  }
+  std::memcpy(trace_id, payload->data(), 8);
+  std::memcpy(parent_span, payload->data() + 8, 8);
+  payload->remove_prefix(kTraceContextSize);
+  return Status::OK();
 }
 
 Status DecodeFrameHeader(const char* data, FrameHeader* out) {
@@ -133,8 +155,8 @@ Status DecodeFrameHeader(const char* data, FrameHeader* out) {
     return Status::ParseError("unknown frame status " +
                               std::to_string(status));
   }
-  if (out->flags != 0) {
-    return Status::ParseError("nonzero reserved frame flags");
+  if ((out->flags & ~kKnownFlags) != 0) {
+    return Status::ParseError("unknown reserved frame flag bits");
   }
   if (out->payload_size > kMaxPayloadBytes) {
     return Status::OutOfRange("frame payload of " +

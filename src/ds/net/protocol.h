@@ -11,9 +11,17 @@
 //   0       4     payload size (u32, little-endian; excludes this header)
 //   4       1     frame type (FrameType)
 //   5       1     status (WireStatus; requests always send kOk)
-//   6       2     flags (reserved, must be 0)
+//   6       2     flags (bit 0x1 = trace context; other bits reserved,
+//                 must be 0)
 //   8       8     request id (u64; responses echo the request's id)
 //   16      ...   payload
+//
+// Trace propagation: a frame with kFlagTraceContext set carries a 16-byte
+// trace context — u64 trace id, u64 parent span id — immediately before
+// the regular payload (and included in payload size). The flag's presence
+// IS the sampled bit: an unsampled request simply omits the context. The
+// server adopts the id, so client-side spans and server-side spans land in
+// one coherent trace (see ds/obs/trace.h WireTraceContext).
 //
 // Frames are independent, so clients may pipeline: send N requests with
 // distinct ids, then match responses by id as they arrive. The server
@@ -35,8 +43,8 @@
 //   kStats:    empty                   -> JSON metrics snapshot
 //
 // A frame whose payload exceeds kMaxPayloadBytes, whose type is unknown,
-// or whose flags are nonzero is a protocol error; the server answers
-// kError and closes the connection.
+// or whose flags contain unknown bits is a protocol error; the server
+// answers kError and closes the connection.
 
 #ifndef DS_NET_PROTOCOL_H_
 #define DS_NET_PROTOCOL_H_
@@ -53,6 +61,13 @@ namespace ds::net {
 inline constexpr char kMagic[4] = {'D', 'S', 'K', 'B'};
 inline constexpr size_t kMagicSize = 4;
 inline constexpr size_t kFrameHeaderSize = 16;
+
+/// Frame flag: the payload is prefixed with a 16-byte trace context
+/// (u64 trace id, u64 parent span id). Presence == sampled.
+inline constexpr uint16_t kFlagTraceContext = 0x1;
+/// Every flag bit the protocol defines; anything else is a parse error.
+inline constexpr uint16_t kKnownFlags = kFlagTraceContext;
+inline constexpr size_t kTraceContextSize = 16;
 
 /// Upper bound on a single frame's payload. Large enough for a generous
 /// statement batch, small enough that a malicious length prefix cannot
@@ -126,13 +141,29 @@ class ByteReader {
 // ---- Frames -----------------------------------------------------------------
 
 /// Appends a complete frame (header with payload_size = payload.size(),
-/// then the payload) to `out`.
+/// then the payload) to `out`. `flags` must be within kKnownFlags; a
+/// kFlagTraceContext frame's payload must start with the 16-byte trace
+/// context (see AppendTraceContext).
 void AppendFrame(std::string* out, FrameType type, WireStatus status,
-                 uint64_t request_id, std::string_view payload);
+                 uint64_t request_id, std::string_view payload,
+                 uint16_t flags = 0);
 
 /// Decodes a header from exactly kFrameHeaderSize bytes. Errors on an
-/// unknown type, nonzero flags, or a payload size above kMaxPayloadBytes.
+/// unknown type, unknown flag bits, or a payload size above
+/// kMaxPayloadBytes.
 Status DecodeFrameHeader(const char* data, FrameHeader* out);
+
+/// Appends the 16-byte wire trace context (the kFlagTraceContext payload
+/// prefix).
+void AppendTraceContext(std::string* payload, uint64_t trace_id,
+                        uint64_t parent_span);
+
+/// Strips a leading trace context off `*payload` (advancing it past the 16
+/// bytes) when `flags` has kFlagTraceContext set; otherwise leaves
+/// everything untouched with both outputs zero. Errors when the flag is
+/// set but the payload is too short.
+Status ConsumeTraceContext(uint16_t flags, std::string_view* payload,
+                           uint64_t* trace_id, uint64_t* parent_span);
 
 // ---- Message payloads -------------------------------------------------------
 

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <utility>
 
 #include "ds/net/event_loop.h"
 #include "ds/net/http.h"
+#include "ds/obs/export.h"
 #include "ds/obs/exposition.h"
+#include "ds/obs/trace.h"
+#include "ds/util/build_info.h"
 #include "ds/util/cpu_topology.h"
 
 #if defined(__linux__)
@@ -26,7 +31,7 @@ namespace ds::net {
 NetMetrics::NetMetrics(obs::Registry* r)
     : connections(*r->GetCounter("ds_net_connections_total",
                                  "Client connections accepted")),
-      active_connections(*r->GetGauge("ds_net_active_connections",
+      active_connections(*r->GetGauge("ds_net_connections_active",
                                       "Currently open client connections")),
       requests(*r->GetCounter("ds_net_requests_total",
                               "Estimate requests received over the wire "
@@ -49,7 +54,15 @@ NetMetrics::NetMetrics(obs::Registry* r)
       bytes_read(*r->GetCounter("ds_net_bytes_read_total",
                                 "Bytes read from client sockets")),
       bytes_written(*r->GetCounter("ds_net_bytes_written_total",
-                                   "Bytes written to client sockets")) {}
+                                   "Bytes written to client sockets")),
+      build_info(*r->GetGauge(
+          "ds_build_info", "Build identity (constant 1; labels carry it)",
+          {{"git_sha", util::GetBuildInfo().git_sha},
+           {"build_type", util::GetBuildInfo().build_type}})),
+      uptime_seconds(*r->GetGauge("ds_net_uptime_seconds",
+                                  "Seconds since the server started")) {
+  build_info.Set(1);
+}
 
 obs::Counter& NetMetrics::Response(WireStatus status) {
   switch (status) {
@@ -61,6 +74,156 @@ obs::Counter& NetMetrics::Response(WireStatus status) {
       return responses_rejected;
   }
   return responses_error;
+}
+
+namespace {
+
+__attribute__((format(printf, 2, 3))) void AppendFmt(std::string* out,
+                                                     const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+}  // namespace
+
+double NetServer::UptimeSeconds() const {
+  const int64_t start = start_us_.load(std::memory_order_relaxed);
+  if (start == 0) return 0.0;
+  return static_cast<double>(obs::TraceRecorder::NowUs() - start) / 1e6;
+}
+
+NetServer::TenantStats* NetServer::Tenant(const std::string& name) {
+  util::MutexLock lock(tenant_mu_);
+  auto [it, inserted] = tenants_.try_emplace(name);
+  if (inserted) {
+    const obs::Labels labels = {{"tenant", name}};
+    it->second.submitted =
+        registry_->GetCounter("ds_net_tenant_requests_total",
+                              "Requests received, by tenant", labels);
+    it->second.completed = registry_->GetCounter(
+        "ds_net_tenant_completed_total",
+        "Responses answered ok or error, by tenant", labels);
+    it->second.rejected =
+        registry_->GetCounter("ds_net_tenant_rejected_total",
+                              "Admission-control refusals, by tenant",
+                              labels);
+    it->second.shed =
+        registry_->GetCounter("ds_net_tenant_shed_total",
+                              "Queue-full backpressure sheds, by tenant",
+                              labels);
+    it->second.latency_us = registry_->GetHistogram(
+        "ds_net_tenant_latency_us",
+        "Receive-to-response-queued latency in microseconds, by tenant",
+        labels);
+  }
+  return &it->second;
+}
+
+std::string NetServer::StatuszJson() const {
+  const util::BuildInfo build = util::GetBuildInfo();
+  std::vector<std::pair<std::string, TenantStats>> rows;
+  {
+    util::MutexLock lock(tenant_mu_);
+    rows.assign(tenants_.begin(), tenants_.end());
+  }
+  std::string out;
+  out.reserve(1024);
+  out += "{\"build\":{\"git_sha\":\"";
+  out += JsonEscape(build.git_sha);
+  out += "\",\"build_type\":\"";
+  out += JsonEscape(build.build_type);
+  out += "\",\"compiler\":\"";
+  out += JsonEscape(build.compiler);
+  out += "\"}";
+  AppendFmt(&out, ",\"uptime_seconds\":%.3f", UptimeSeconds());
+  AppendFmt(&out, ",\"draining\":%s", draining() ? "true" : "false");
+  AppendFmt(&out, ",\"workers\":%zu", workers_.size());
+  AppendFmt(&out, ",\"connections\":{\"active\":%zu,\"total\":%llu}",
+            active_connections_.load(std::memory_order_relaxed),
+            static_cast<unsigned long long>(metrics_.connections.value()));
+  AppendFmt(&out,
+            ",\"net\":{\"requests\":%llu,\"responses_ok\":%llu,"
+            "\"responses_error\":%llu,\"responses_rejected\":%llu,"
+            "\"http_requests\":%llu,\"protocol_errors\":%llu}",
+            static_cast<unsigned long long>(metrics_.requests.value()),
+            static_cast<unsigned long long>(metrics_.responses_ok.value()),
+            static_cast<unsigned long long>(metrics_.responses_error.value()),
+            static_cast<unsigned long long>(
+                metrics_.responses_rejected.value()),
+            static_cast<unsigned long long>(metrics_.http_requests.value()),
+            static_cast<unsigned long long>(
+                metrics_.protocol_errors.value()));
+  out += ",\"tenants\":[";
+  bool first = true;
+  for (const auto& [name, stats] : rows) {
+    if (!first) out += ',';
+    first = false;
+    const obs::HistogramSnapshot lat = stats.latency_us->Snapshot();
+    out += "{\"tenant\":\"";
+    out += JsonEscape(name);
+    out += '"';
+    AppendFmt(&out,
+              ",\"submitted\":%llu,\"completed\":%llu,\"rejected\":%llu,"
+              "\"shed\":%llu,\"count\":%llu,\"p50_us\":%llu,"
+              "\"p99_us\":%llu}",
+              static_cast<unsigned long long>(stats.submitted->value()),
+              static_cast<unsigned long long>(stats.completed->value()),
+              static_cast<unsigned long long>(stats.rejected->value()),
+              static_cast<unsigned long long>(stats.shed->value()),
+              static_cast<unsigned long long>(lat.count),
+              static_cast<unsigned long long>(lat.ApproxPercentile(0.50)),
+              static_cast<unsigned long long>(lat.ApproxPercentile(0.99)));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string NetServer::StatuszText() const {
+  const util::BuildInfo build = util::GetBuildInfo();
+  std::vector<std::pair<std::string, TenantStats>> rows;
+  {
+    util::MutexLock lock(tenant_mu_);
+    rows.assign(tenants_.begin(), tenants_.end());
+  }
+  std::string out;
+  out.reserve(1024);
+  AppendFmt(&out, "ds_served  sha=%s  type=%s\n", build.git_sha,
+            build.build_type);
+  AppendFmt(&out,
+            "uptime %.1fs  draining %s  workers %zu  conns %zu/%llu\n",
+            UptimeSeconds(), draining() ? "yes" : "no", workers_.size(),
+            active_connections_.load(std::memory_order_relaxed),
+            static_cast<unsigned long long>(metrics_.connections.value()));
+  AppendFmt(&out,
+            "net: requests=%llu ok=%llu error=%llu rejected=%llu "
+            "http=%llu proto_err=%llu\n",
+            static_cast<unsigned long long>(metrics_.requests.value()),
+            static_cast<unsigned long long>(metrics_.responses_ok.value()),
+            static_cast<unsigned long long>(metrics_.responses_error.value()),
+            static_cast<unsigned long long>(
+                metrics_.responses_rejected.value()),
+            static_cast<unsigned long long>(metrics_.http_requests.value()),
+            static_cast<unsigned long long>(
+                metrics_.protocol_errors.value()));
+  AppendFmt(&out, "%-16s %8s %8s %6s %6s %9s %9s\n", "tenant", "submit",
+            "done", "rej", "shed", "p50us", "p99us");
+  for (const auto& [name, stats] : rows) {
+    const obs::HistogramSnapshot lat = stats.latency_us->Snapshot();
+    AppendFmt(&out, "%-16s %8llu %8llu %6llu %6llu %9llu %9llu\n",
+              name.c_str(),
+              static_cast<unsigned long long>(stats.submitted->value()),
+              static_cast<unsigned long long>(stats.completed->value()),
+              static_cast<unsigned long long>(stats.rejected->value()),
+              static_cast<unsigned long long>(stats.shed->value()),
+              static_cast<unsigned long long>(lat.ApproxPercentile(0.50)),
+              static_cast<unsigned long long>(lat.ApproxPercentile(0.99)));
+  }
+  return out;
 }
 
 #if defined(__linux__)
@@ -104,6 +267,10 @@ struct Connection : std::enable_shared_from_this<Connection> {
   NetServer::Worker* worker = nullptr;
   Proto proto = Proto::kSniffing;
   std::string tenant;
+  /// Cached /statusz ledger row for `tenant`; refreshed when HELLO (or an
+  /// X-DS-Tenant header) changes the tenant, so the hot path never takes
+  /// the ledger lock.
+  NetServer::TenantStats* ledger = nullptr;
   std::string rbuf;
   std::string wbuf;  // unsent response bytes (fd would block)
   bool open = true;
@@ -120,9 +287,13 @@ struct Connection : std::enable_shared_from_this<Connection> {
   void DispatchBinary();
   void DispatchHttp();
   void HandleFrame(const FrameHeader& header, std::string_view payload);
-  void HandleEstimate(uint64_t request_id, std::string_view payload);
-  void HandleBatch(uint64_t request_id, std::string_view payload);
+  void HandleEstimate(uint64_t request_id, std::string_view payload,
+                      const obs::WireTraceContext& trace,
+                      int64_t received_us);
+  void HandleBatch(uint64_t request_id, std::string_view payload,
+                   const obs::WireTraceContext& trace, int64_t received_us);
   void HandleHttpRequest(const HttpRequest& req);
+  NetServer::TenantStats* Ledger();
   void SendFrame(FrameType type, WireStatus status, uint64_t request_id,
                  std::string_view payload);
   void CountAndSendFrame(FrameType type, WireStatus status,
@@ -212,8 +383,24 @@ void Connection::DispatchBinary() {
   }
 }
 
+NetServer::TenantStats* Connection::Ledger() {
+  if (ledger == nullptr) ledger = server->Tenant(tenant);
+  return ledger;
+}
+
 void Connection::HandleFrame(const FrameHeader& header,
                              std::string_view payload) {
+  // Strip the optional trace-context prefix before any payload parsing;
+  // the frame was just read off the socket, so "now" is the receive time
+  // the flight record's pre-queue stage is measured from.
+  const int64_t received_us = obs::TraceRecorder::NowUs();
+  obs::WireTraceContext trace;
+  if (auto st = ConsumeTraceContext(header.flags, &payload, &trace.trace_id,
+                                    &trace.parent_span);
+      !st.ok()) {
+    ProtocolError(header.type, header.request_id, st.message());
+    return;
+  }
   switch (header.type) {
     case FrameType::kHello: {
       ByteReader r(payload);
@@ -223,7 +410,10 @@ void Connection::HandleFrame(const FrameHeader& header,
                       "malformed HELLO payload");
         return;
       }
-      if (!name.empty()) tenant = std::move(name);
+      if (!name.empty() && name != tenant) {
+        tenant = std::move(name);
+        ledger = nullptr;  // re-resolve lazily for the new tenant
+      }
       SendFrame(FrameType::kHello, WireStatus::kOk, header.request_id, "");
       return;
     }
@@ -235,25 +425,43 @@ void Connection::HandleFrame(const FrameHeader& header,
                 server->backend_->MetricsJson());
       return;
     case FrameType::kEstimate:
-      HandleEstimate(header.request_id, payload);
+      HandleEstimate(header.request_id, payload, trace, received_us);
       return;
     case FrameType::kEstimateBatch:
-      HandleBatch(header.request_id, payload);
+      HandleBatch(header.request_id, payload, trace, received_us);
       return;
   }
 }
 
 void Connection::HandleEstimate(uint64_t request_id,
-                                std::string_view payload) {
+                                std::string_view payload,
+                                const obs::WireTraceContext& trace,
+                                int64_t received_us) {
   server->metrics_.requests.Add();
+  NetServer::TenantStats* stats = Ledger();
+  stats->submitted->Add();
+  obs::TraceRecorder* tracer = server->backend_->tracer();
   EstimateRequest req;
-  if (auto st = ParseEstimateRequest(payload, &req); !st.ok()) {
+  const auto parse_status = ParseEstimateRequest(payload, &req);
+  // RecordSpan is a no-op on an unsampled request (trace_id 0) or a
+  // tracer-less backend, so the spans below cost a branch when off.
+  obs::RecordSpan(tracer, trace.trace_id, trace.parent_span, "net_decode",
+                  received_us, obs::TraceRecorder::NowUs(), payload.size());
+  if (!parse_status.ok()) {
+    stats->completed->Add();
     CountAndSendFrame(FrameType::kEstimate, WireStatus::kError, request_id,
-                      st.message());
+                      parse_status.message());
     return;
   }
-  if (!server->admission_.Admit(tenant, server->NowSeconds())) {
+  const int64_t admit_start_us = obs::TraceRecorder::NowUs();
+  const bool admitted =
+      server->admission_.Admit(tenant, server->NowSeconds());
+  obs::RecordSpan(tracer, trace.trace_id, trace.parent_span,
+                  "net_admission", admit_start_us,
+                  obs::TraceRecorder::NowUs(), admitted ? 1 : 0);
+  if (!admitted) {
     server->backend_->CountShed();
+    stats->rejected->Add();
     CountAndSendFrame(FrameType::kEstimate, WireStatus::kRejected, request_id,
                       "tenant '" + tenant + "' exceeded its request rate");
     return;
@@ -262,9 +470,14 @@ void Connection::HandleEstimate(uint64_t request_id,
   std::weak_ptr<Connection> weak = weak_from_this();
   NetServer* srv = server;
   NetServer::Worker* w = worker;
+  serve::RequestContext ctx;
+  ctx.trace = trace;
+  ctx.received_us = received_us;
+  ctx.tenant = tenant;
   const auto status = server->backend_->SubmitAsync(
       std::move(req.sketch), std::move(req.sql),
-      [weak, srv, w, request_id](Result<double> result) {
+      [weak, srv, w, stats, tracer, trace, received_us,
+       request_id](Result<double> result) {
         // Runs on a serve worker; hop to the owning event loop so only
         // that thread ever touches the connection.
         std::string frame;
@@ -279,18 +492,32 @@ void Connection::HandleEstimate(uint64_t request_id,
         }
         const WireStatus wire =
             result.ok() ? WireStatus::kOk : WireStatus::kError;
-        w->loop.Post([weak, srv, wire, frame = std::move(frame)] {
+        w->loop.Post([weak, srv, wire, stats, tracer, trace, received_us,
+                      frame = std::move(frame)] {
           if (auto conn = weak.lock(); conn != nullptr && conn->open) {
+            const int64_t write_start_us = obs::TraceRecorder::NowUs();
             srv->metrics_.Response(wire).Add();
             conn->QueueWrite(frame);
+            const int64_t now_us = obs::TraceRecorder::NowUs();
+            obs::RecordSpan(tracer, trace.trace_id, trace.parent_span,
+                            "net_write", write_start_us, now_us,
+                            frame.size());
+            stats->completed->Add();
+            stats->latency_us->Record(static_cast<uint64_t>(
+                std::max<int64_t>(0, now_us - received_us)));
           }
           srv->in_flight_.fetch_sub(1, std::memory_order_release);
         });
       },
-      worker->index);
+      worker->index, std::move(ctx));
   if (status != serve::SubmitStatus::kOk) {
     server->in_flight_.fetch_sub(1, std::memory_order_relaxed);
     const bool shutdown = status == serve::SubmitStatus::kShuttingDown;
+    if (shutdown) {
+      stats->completed->Add();
+    } else {
+      stats->shed->Add();
+    }
     CountAndSendFrame(
         FrameType::kEstimate,
         shutdown ? WireStatus::kError : WireStatus::kRejected, request_id,
@@ -313,7 +540,9 @@ struct BatchContext {
 
 void FinishBatch(const std::shared_ptr<BatchContext>& ctx,
                  const std::weak_ptr<Connection>& weak, NetMetrics* metrics,
-                 std::atomic<uint64_t>* in_flight, EventLoop* loop) {
+                 std::atomic<uint64_t>* in_flight, EventLoop* loop,
+                 NetServer::TenantStats* stats, obs::TraceRecorder* tracer,
+                 obs::WireTraceContext trace, int64_t received_us) {
   // Only ever called after HandleBatch released its guard token (below),
   // so ctx->statuses is fully assigned and safe to read here.
   const uint64_t accepted = static_cast<uint64_t>(
@@ -334,12 +563,24 @@ void FinishBatch(const std::shared_ptr<BatchContext>& ctx,
   std::string frame;
   AppendFrame(&frame, FrameType::kEstimateBatch, WireStatus::kOk,
               ctx->request_id, payload);
-  loop->Post([weak, metrics, in_flight, ok, error, accepted,
-              frame = std::move(frame)] {
+  loop->Post([weak, metrics, in_flight, ok, error, accepted, stats, tracer,
+              trace, received_us, frame = std::move(frame)] {
     if (auto conn = weak.lock(); conn != nullptr && conn->open) {
+      const int64_t write_start_us = obs::TraceRecorder::NowUs();
       metrics->responses_ok.Add(ok);
       metrics->responses_error.Add(error);
       conn->QueueWrite(frame);
+      const int64_t now_us = obs::TraceRecorder::NowUs();
+      obs::RecordSpan(tracer, trace.trace_id, trace.parent_span,
+                      "net_write", write_start_us, now_us, frame.size());
+      stats->completed->Add(ok + error);
+      const uint64_t latency = static_cast<uint64_t>(
+          std::max<int64_t>(0, now_us - received_us));
+      // One Record per answered item keeps the histogram's count aligned
+      // with the per-item submitted/completed counters.
+      for (uint64_t i = 0; i < ok + error; ++i) {
+        stats->latency_us->Record(latency);
+      }
     }
     in_flight->fetch_sub(accepted, std::memory_order_release);
   });
@@ -347,27 +588,43 @@ void FinishBatch(const std::shared_ptr<BatchContext>& ctx,
 
 }  // namespace
 
-void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
+void Connection::HandleBatch(uint64_t request_id, std::string_view payload,
+                             const obs::WireTraceContext& trace,
+                             int64_t received_us) {
+  NetServer::TenantStats* stats = Ledger();
+  obs::TraceRecorder* tracer = server->backend_->tracer();
   EstimateBatchRequest req;
-  if (auto st = ParseEstimateBatchRequest(payload, &req); !st.ok()) {
+  const auto parse_status = ParseEstimateBatchRequest(payload, &req);
+  obs::RecordSpan(tracer, trace.trace_id, trace.parent_span, "net_decode",
+                  received_us, obs::TraceRecorder::NowUs(), payload.size());
+  if (!parse_status.ok()) {
     // A malformed batch's item count is unknowable; count one request so
     // the requests/responses balance still holds.
     server->metrics_.requests.Add();
+    stats->submitted->Add();
+    stats->completed->Add();
     CountAndSendFrame(FrameType::kEstimateBatch, WireStatus::kError,
-                      request_id, st.message());
+                      request_id, parse_status.message());
     return;
   }
   const size_t n = req.sqls.size();
   server->metrics_.requests.Add(n);
+  stats->submitted->Add(n);
   if (n == 0) {
     SendFrame(FrameType::kEstimateBatch, WireStatus::kOk, request_id,
               std::string(4, '\0'));  // u32 count = 0
     return;
   }
-  if (!server->admission_.Admit(tenant, server->NowSeconds(),
-                                static_cast<double>(n))) {
+  const int64_t admit_start_us = obs::TraceRecorder::NowUs();
+  const bool admitted = server->admission_.Admit(tenant, server->NowSeconds(),
+                                                 static_cast<double>(n));
+  obs::RecordSpan(tracer, trace.trace_id, trace.parent_span,
+                  "net_admission", admit_start_us,
+                  obs::TraceRecorder::NowUs(), admitted ? 1 : 0);
+  if (!admitted) {
     server->backend_->CountShed(n);
     server->metrics_.responses_rejected.Add(n);
+    stats->rejected->Add(n);
     SendFrame(FrameType::kEstimateBatch, WireStatus::kRejected, request_id,
               "tenant '" + tenant + "' exceeded its request rate");
     return;
@@ -379,6 +636,10 @@ void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
   std::weak_ptr<Connection> weak = weak_from_this();
   NetServer* srv = server;
   NetServer::Worker* w = worker;
+  serve::RequestContext req_ctx;
+  req_ctx.trace = trace;
+  req_ctx.received_us = received_us;
+  req_ctx.tenant = tenant;
 
   // Count every item as in-flight up front; FinishBatch releases the
   // accepted ones, the rejected ones are released below once known.
@@ -390,13 +651,15 @@ void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
   ctx->remaining.store(n + 1, std::memory_order_relaxed);
   ctx->statuses = server->backend_->SubmitManyAsync(
       req.sketch, std::move(req.sqls),
-      [ctx, weak, srv, w](size_t index, Result<double> result) {
+      [ctx, weak, srv, w, stats, tracer, trace,
+       received_us](size_t index, Result<double> result) {
         ctx->results[index] = std::move(result);
         if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop);
+          FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop,
+                      stats, tracer, trace, received_us);
         }
       },
-      worker->index);
+      worker->index, std::move(req_ctx));
 
   // Resolve the rejected slots ourselves (their callbacks never fire).
   size_t rejected = 0;
@@ -410,6 +673,7 @@ void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
   }
   if (rejected > 0) {
     server->metrics_.responses_rejected.Add(rejected);
+    stats->shed->Add(rejected);
     server->in_flight_.fetch_sub(rejected, std::memory_order_relaxed);
   }
   // Release the rejected items' tokens plus the statuses guard token. The
@@ -418,7 +682,8 @@ void Connection::HandleBatch(uint64_t request_id, std::string_view payload) {
   // accepted callback already fired, finishing the batch is on us.
   if (ctx->remaining.fetch_sub(rejected + 1, std::memory_order_acq_rel) ==
       rejected + 1) {
-    FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop);
+    FinishBatch(ctx, weak, &srv->metrics_, &srv->in_flight_, &w->loop,
+                stats, tracer, trace, received_us);
   }
 }
 
@@ -444,22 +709,69 @@ void Connection::DispatchHttp() {
 }
 
 void Connection::HandleHttpRequest(const HttpRequest& req) {
+  const int64_t received_us = obs::TraceRecorder::NowUs();
   server->metrics_.http_requests.Add();
+  server->metrics_.uptime_seconds.Set(server->UptimeSeconds());
   const bool close = req.WantsClose();
 
-  if (req.method == "GET" && req.path == "/metrics") {
+  // The request target may carry a query string ("/tracez?format=chrome");
+  // route on the path, leave the query for the endpoint.
+  std::string_view target(req.path);
+  std::string_view query;
+  if (const size_t q = target.find('?'); q != std::string_view::npos) {
+    query = target.substr(q + 1);
+    target = target.substr(0, q);
+  }
+
+  if (req.method == "GET" && target == "/metrics") {
     QueueWrite(BuildHttpResponse(
         200, obs::kPrometheusContentType,
         obs::ToPrometheusText(server->backend_->ObsSnapshot()), close));
     if (close) CloseAfterFlush();
     return;
   }
-  if (req.method == "GET" && req.path == "/healthz") {
+  if (req.method == "GET" && target == "/healthz") {
     QueueWrite(BuildHttpResponse(200, "text/plain", "ok\n", close));
     if (close) CloseAfterFlush();
     return;
   }
-  if (req.path != "/estimate") {
+  if (req.method == "GET" && target == "/readyz") {
+    // Drain-aware readiness: flips to 503 the moment BeginDrain() runs so
+    // load balancers stop routing here while in-flight work finishes.
+    if (server->draining()) {
+      QueueWrite(BuildHttpResponse(503, "text/plain", "draining\n", close));
+    } else {
+      QueueWrite(BuildHttpResponse(200, "text/plain", "ready\n", close));
+    }
+    if (close) CloseAfterFlush();
+    return;
+  }
+  if (req.method == "GET" && target == "/statusz") {
+    if (query.find("format=text") != std::string_view::npos) {
+      QueueWrite(BuildHttpResponse(200, "text/plain", server->StatuszText(),
+                                   close));
+    } else {
+      QueueWrite(BuildHttpResponse(200, "application/json",
+                                   server->StatuszJson(), close));
+    }
+    if (close) CloseAfterFlush();
+    return;
+  }
+  if (req.method == "GET" && target == "/tracez") {
+    obs::TraceRecorder* tracer = server->backend_->tracer();
+    std::string body;
+    if (query.find("format=chrome") != std::string_view::npos) {
+      body = obs::ToChromeTraceJson(
+          tracer != nullptr ? tracer->Snapshot()
+                            : std::vector<obs::SpanRecord>{});
+    } else {
+      body = obs::TracezJson(*server->backend_->flight(), tracer);
+    }
+    QueueWrite(BuildHttpResponse(200, "application/json", body, close));
+    if (close) CloseAfterFlush();
+    return;
+  }
+  if (target != "/estimate") {
     QueueWrite(BuildHttpResponse(404, "application/json",
                                  "{\"error\":\"not found\"}\n", close));
     if (close) CloseAfterFlush();
@@ -475,8 +787,24 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
   server->metrics_.requests.Add();
   auto sketch = ExtractJsonStringField(req.body, "sketch");
   auto sql = ExtractJsonStringField(req.body, "sql");
+  const std::string http_tenant =
+      req.Header("x-ds-tenant").value_or(tenant);
+  NetServer::TenantStats* stats =
+      http_tenant == tenant ? Ledger() : server->Tenant(http_tenant);
+  stats->submitted->Add();
+  // X-DS-Trace carries the same context the binary protocol puts behind
+  // kFlagTraceContext; a malformed value is treated as unsampled.
+  obs::WireTraceContext trace;
+  if (auto header = req.Header("x-ds-trace"); header.has_value()) {
+    (void)obs::ParseTraceHeader(*header, &trace);
+  }
+  obs::TraceRecorder* tracer = server->backend_->tracer();
+  obs::RecordSpan(tracer, trace.trace_id, trace.parent_span, "net_decode",
+                  received_us, obs::TraceRecorder::NowUs(),
+                  req.body.size());
   if (!sketch.has_value() || !sql.has_value()) {
     server->metrics_.responses_error.Add();
+    stats->completed->Add();
     QueueWrite(BuildHttpResponse(
         400, "application/json",
         "{\"error\":\"body must be {\\\"sketch\\\": ..., \\\"sql\\\": "
@@ -485,11 +813,16 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
     if (close) CloseAfterFlush();
     return;
   }
-  const std::string http_tenant =
-      req.Header("x-ds-tenant").value_or(tenant);
-  if (!server->admission_.Admit(http_tenant, server->NowSeconds())) {
+  const int64_t admit_start_us = obs::TraceRecorder::NowUs();
+  const bool admitted =
+      server->admission_.Admit(http_tenant, server->NowSeconds());
+  obs::RecordSpan(tracer, trace.trace_id, trace.parent_span,
+                  "net_admission", admit_start_us,
+                  obs::TraceRecorder::NowUs(), admitted ? 1 : 0);
+  if (!admitted) {
     server->backend_->CountShed();
     server->metrics_.responses_rejected.Add();
+    stats->rejected->Add();
     QueueWrite(BuildHttpResponse(
         429, "application/json",
         "{\"error\":\"tenant '" + JsonEscape(http_tenant) +
@@ -507,9 +840,14 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
   std::weak_ptr<Connection> weak = weak_from_this();
   NetServer* srv = server;
   NetServer::Worker* w = worker;
+  serve::RequestContext req_ctx;
+  req_ctx.trace = trace;
+  req_ctx.received_us = received_us;
+  req_ctx.tenant = http_tenant;
   const auto status = server->backend_->SubmitAsync(
       std::move(*sketch), std::move(*sql),
-      [weak, srv, w, close](Result<double> result) {
+      [weak, srv, w, close, stats, tracer, trace,
+       received_us](Result<double> result) {
         std::string response;
         WireStatus wire;
         if (result.ok()) {
@@ -527,11 +865,20 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
           wire = WireStatus::kError;
         }
         w->loop.Post(
-            [weak, srv, wire, close, response = std::move(response)] {
+            [weak, srv, wire, close, stats, tracer, trace, received_us,
+             response = std::move(response)] {
               if (auto conn = weak.lock(); conn != nullptr && conn->open) {
+                const int64_t write_start_us = obs::TraceRecorder::NowUs();
                 srv->metrics_.Response(wire).Add();
                 conn->http_busy = false;
                 conn->QueueWrite(response);
+                const int64_t now_us = obs::TraceRecorder::NowUs();
+                obs::RecordSpan(tracer, trace.trace_id, trace.parent_span,
+                                "net_write", write_start_us, now_us,
+                                response.size());
+                stats->completed->Add();
+                stats->latency_us->Record(static_cast<uint64_t>(
+                    std::max<int64_t>(0, now_us - received_us)));
                 if (close) {
                   conn->CloseAfterFlush();
                 } else if (conn->open) {
@@ -542,11 +889,16 @@ void Connection::HandleHttpRequest(const HttpRequest& req) {
               srv->in_flight_.fetch_sub(1, std::memory_order_release);
             });
       },
-      worker->index);
+      worker->index, std::move(req_ctx));
   if (status != serve::SubmitStatus::kOk) {
     http_busy = false;
     server->in_flight_.fetch_sub(1, std::memory_order_relaxed);
     const bool shutdown = status == serve::SubmitStatus::kShuttingDown;
+    if (shutdown) {
+      stats->completed->Add();
+    } else {
+      stats->shed->Add();
+    }
     server->metrics_
         .Response(shutdown ? WireStatus::kError : WireStatus::kRejected)
         .Add();
@@ -768,6 +1120,15 @@ Status NetServer::Start() {
     w->index = i;
     w->server = this;
     w->cpu = options_.pin_threads && i < cpu_plan.size() ? cpu_plan[i] : -1;
+    const obs::Labels loop_labels = {{"loop", std::to_string(i)}};
+    w->loop.SetMetrics(
+        registry_->GetCounter("ds_net_loop_wakeups_total",
+                              "epoll_wait returns, by event loop",
+                              loop_labels),
+        registry_->GetHistogram(
+            "ds_net_loop_lag_us",
+            "Posted-task queueing delay in microseconds, by event loop",
+            loop_labels));
     if (auto st = w->loop.Init(); !st.ok()) {
       workers_.clear();
       listen_fd_.reset();
@@ -805,10 +1166,15 @@ Status NetServer::Start() {
   }
   started_ = true;
   stopped_ = false;
+  draining_.store(false, std::memory_order_relaxed);
+  start_us_.store(obs::TraceRecorder::NowUs(), std::memory_order_relaxed);
   return Status::OK();
 }
 
 void NetServer::Stop() {
+  // Readiness flips first so /readyz reports "draining" for the whole
+  // shutdown window, including a Stop() that never saw BeginDrain().
+  BeginDrain();
   util::MutexLock lock(stop_mu_);
   if (!started_ || stopped_) return;
   stopped_ = true;

@@ -37,21 +37,44 @@
 //
 // Metrics (registered in the backend's registry by default, so one
 // /metrics scrape sees both layers):
-//   ds_net_connections_total / ds_net_active_connections
+//   ds_net_connections_total / ds_net_connections_active
 //   ds_net_requests_total              estimate requests received (batch
 //                                      items count individually)
 //   ds_net_responses_total{status=ok|error|rejected}
 //   ds_net_http_requests_total, ds_net_protocol_errors_total
 //   ds_net_bytes_read_total / ds_net_bytes_written_total
+//   ds_net_uptime_seconds, ds_build_info{git_sha,...}
+//   ds_net_loop_wakeups_total{loop=i} / ds_net_loop_lag_us{loop=i}
+//   ds_net_tenant_requests_total{tenant=...} (+ completed/rejected/shed
+//   and a per-tenant latency histogram — the /statusz ledger)
 // Invariant after a drained shutdown:
 //   ds_net_requests_total == sum over status of ds_net_responses_total
 // (the CI integration smoke asserts exactly this from a live scrape).
+//
+// Admin plane (same HTTP listener, backed by the same private registry):
+//   GET /healthz   liveness ("ok")
+//   GET /readyz    readiness: 200 "ready", or 503 "draining" after
+//                  BeginDrain() (SIGTERM grace) — load balancers stop
+//                  routing while in-flight work finishes
+//   GET /statusz   JSON: build info, uptime, workers, connections, the
+//                  per-tenant ledger, serve totals (&format=text for
+//                  dsctl top)
+//   GET /tracez    flight-recorder view (recent + slowest + exemplars);
+//                  ?format=chrome returns the span ring as Chrome
+//                  trace-event JSON for about:tracing / Perfetto
+//
+// Trace propagation: binary frames carry a trace context behind
+// kFlagTraceContext; HTTP requests carry the same context as the
+// X-DS-Trace header. Both adopt the caller's trace id, record net_decode /
+// net_admission / net_write spans server-side, and hand the context to the
+// serve layer so one wire request yields one coherent trace.
 
 #ifndef DS_NET_SERVER_H_
 #define DS_NET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -108,6 +131,11 @@ struct NetMetrics {
   obs::Counter& protocol_errors;
   obs::Counter& bytes_read;
   obs::Counter& bytes_written;
+  /// ds_build_info{git_sha,build_type}: constant 1 — the labels carry the
+  /// information, the standard Prometheus build-info idiom.
+  obs::Gauge& build_info;
+  /// ds_net_uptime_seconds; refreshed on every admin-plane request.
+  obs::Gauge& uptime_seconds;
 
   obs::Counter& Response(WireStatus status);
 };
@@ -143,6 +171,37 @@ class NetServer {
 
   AdmissionController* admission() { return &admission_; }
 
+  /// One tenant's row in the /statusz ledger. The instrument pointers are
+  /// registry-owned and stable, so connections cache the row and count
+  /// lock-free on the request path.
+  struct TenantStats {
+    obs::Counter* submitted = nullptr;   // requests received for the tenant
+    obs::Counter* completed = nullptr;   // answered ok or error
+    obs::Counter* rejected = nullptr;    // admission-control (rate) refusals
+    obs::Counter* shed = nullptr;        // queue-full backpressure sheds
+    obs::Histogram* latency_us = nullptr;  // receive -> response queued
+  };
+
+  /// The ledger row for `name`, created on first use. Thread-safe.
+  TenantStats* Tenant(const std::string& name) DS_EXCLUDES(tenant_mu_);
+
+  /// Flips /readyz to 503 "draining" so load balancers stop routing new
+  /// work here while in-flight requests finish. One-way; Stop() implies it.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds since Start() succeeded (0 before).
+  double UptimeSeconds() const;
+
+  /// The /statusz document: build info, uptime, connection and response
+  /// totals, and the per-tenant ledger with p50/p99 latency.
+  std::string StatuszJson() const;
+  /// Plain-text /statusz rendering (`?format=text`) — what `dsctl top`
+  /// repaints.
+  std::string StatuszText() const;
+
  private:
   friend struct Connection;
   struct Worker;
@@ -162,8 +221,14 @@ class NetServer {
   std::vector<std::unique_ptr<Worker>> workers_;
 
   std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<uint64_t> in_flight_{0};  // accepted estimates awaiting reply
   std::atomic<size_t> active_connections_{0};
+  std::atomic<int64_t> start_us_{0};  // steady-clock us at successful Start
+
+  mutable util::Mutex tenant_mu_;
+  // std::map: node-stable TenantStats addresses plus sorted /statusz rows.
+  std::map<std::string, TenantStats> tenants_ DS_GUARDED_BY(tenant_mu_);
 
   util::Mutex stop_mu_;  // serializes Start/Stop against concurrent Stop
   bool started_ DS_GUARDED_BY(stop_mu_) = false;

@@ -1,0 +1,146 @@
+#include "ds/obs/export.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ds::obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[320];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+// Span names are [a-z0-9_] by convention (enforced by ds_lint), but escape
+// defensively so a stray name cannot break the JSON document.
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      AppendF(out, "\\u%04x", c);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendFlightRecordJson(std::string* out, const FlightRecord& r) {
+  AppendF(out,
+          "{\"trace_id\":\"%016llx\",\"sql_digest\":\"%016llx\","
+          "\"tenant\":",
+          static_cast<unsigned long long>(r.trace_id),
+          static_cast<unsigned long long>(r.sql_digest));
+  AppendJsonString(out, r.tenant);
+  out->append(",\"sketch\":");
+  AppendJsonString(out, r.sketch);
+  AppendF(out,
+          ",\"total_us\":%lld,\"pre_us\":%lld,\"queue_us\":%lld,"
+          "\"bind_us\":%lld,\"infer_us\":%lld,\"estimate\":%.6g,"
+          "\"q_error\":%.6g,\"status\":%u}",
+          static_cast<long long>(r.total_us),
+          static_cast<long long>(r.stage_us[kStagePre]),
+          static_cast<long long>(r.stage_us[kStageQueue]),
+          static_cast<long long>(r.stage_us[kStageBind]),
+          static_cast<long long>(r.stage_us[kStageInfer]), r.estimate,
+          r.q_error, static_cast<unsigned>(r.status));
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // tid lanes: one per distinct trace id, in first-seen (time) order.
+  std::vector<SpanRecord> sorted = spans;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  std::unordered_map<uint64_t, int> lane;
+  int64_t t0 = sorted.empty() ? 0 : sorted.front().start_us;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : sorted) {
+    auto [it, inserted] =
+        lane.emplace(s.trace_id, static_cast<int>(lane.size()) + 1);
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, s.name);
+    AppendF(&out,
+            ",\"cat\":\"ds\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+            "\"ts\":%lld,\"dur\":%lld,\"args\":{\"trace_id\":\"%016llx\","
+            "\"span_id\":\"%016llx\",\"parent_id\":\"%016llx\","
+            "\"value\":%llu}}",
+            it->second, static_cast<long long>(s.start_us - t0),
+            static_cast<long long>(s.duration_us),
+            static_cast<unsigned long long>(s.trace_id),
+            static_cast<unsigned long long>(s.span_id),
+            static_cast<unsigned long long>(s.parent_id),
+            static_cast<unsigned long long>(s.value));
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string TracezJson(const FlightRecorder& flight,
+                       const TraceRecorder* tracer) {
+  std::string out = "{\"flight\":{";
+  AppendF(&out, "\"recorded\":%llu,\"dropped\":%llu,\"slowest\":[",
+          static_cast<unsigned long long>(flight.recorded()),
+          static_cast<unsigned long long>(flight.dropped()));
+  bool first = true;
+  for (const FlightRecord& r : flight.Slowest()) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendFlightRecordJson(&out, r);
+  }
+  out.append("],\"recent\":[");
+  first = true;
+  for (const FlightRecord& r : flight.Recent()) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendFlightRecordJson(&out, r);
+  }
+  out.append("],\"exemplars\":[");
+  first = true;
+  for (const Exemplar& e : flight.Exemplars()) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendF(&out,
+            "{\"bucket_le_us\":%lld,\"trace_id\":\"%016llx\","
+            "\"latency_us\":%lld}",
+            static_cast<long long>((int64_t{1} << e.bucket) - 1),
+            static_cast<unsigned long long>(e.trace_id),
+            static_cast<long long>(e.latency_us));
+  }
+  out.append("]},\"traces\":[");
+  first = true;
+  if (tracer != nullptr) {
+    for (uint64_t id : tracer->TraceIds()) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendF(&out, "{\"trace_id\":\"%016llx\",\"spans\":%zu}",
+              static_cast<unsigned long long>(id), tracer->Trace(id).size());
+    }
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace ds::obs

@@ -1,0 +1,34 @@
+// Exporters that turn obs ring dumps into interchange formats.
+//
+//  * ToChromeTraceJson: Chrome trace-event JSON ("traceEvents" array of
+//    complete "X" events) loadable in about:tracing and Perfetto. Each
+//    trace id gets its own tid lane so concurrent requests render as
+//    parallel tracks; span nesting within a lane follows start/duration.
+//  * TracezJson: the machine-readable /tracez payload — flight-recorder
+//    recent + slowest tables, exemplars, and the ids of fully-spanned
+//    traces retained in the TraceRecorder ring.
+
+#ifndef DS_OBS_EXPORT_H_
+#define DS_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/obs/flight_recorder.h"
+#include "ds/obs/trace.h"
+
+namespace ds::obs {
+
+/// Chrome trace-event JSON for a span dump (typically TraceRecorder
+/// Snapshot() or Trace(id)). Timestamps are emitted relative to the
+/// earliest span so the viewer opens at t=0.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// JSON body for the /tracez admin endpoint. `tracer` may be null (the
+/// "traces" array is then empty).
+std::string TracezJson(const FlightRecorder& flight,
+                       const TraceRecorder* tracer);
+
+}  // namespace ds::obs
+
+#endif  // DS_OBS_EXPORT_H_

@@ -11,11 +11,32 @@ namespace {
 
 thread_local TraceContext* g_trace_context = nullptr;
 
+// splitmix64 finalizer: a cheap bijective mixer, good enough to make ids
+// from two independently-seeded recorders collision-free in practice.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<uint64_t> g_recorder_counter{0};
+
 }  // namespace
 
 TraceRecorder::TraceRecorder(Options options)
     : slots_(std::max<size_t>(options.capacity, 1)),
-      sample_every_(options.sample_every) {}
+      sample_every_(options.sample_every) {
+  // Seed from the wall clock plus a process-wide counter so concurrently
+  // constructed recorders in one process still diverge.
+  id_seed_ = Mix64(static_cast<uint64_t>(NowUs()) ^
+                   (g_recorder_counter.fetch_add(1, std::memory_order_relaxed)
+                    << 48));
+  // Span ids stay a plain counter (cheap, unique per recorder) but start at
+  // a mixed offset so two recorders contributing to one merged trace dump
+  // do not hand out overlapping span ids.
+  next_span_id_.store(Mix64(id_seed_) | 1, std::memory_order_relaxed);
+}
 
 int64_t TraceRecorder::NowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -29,7 +50,45 @@ uint64_t TraceRecorder::StartTrace() {
   const uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
   if (n % every != 0) return 0;
   sampled_.fetch_add(1, std::memory_order_relaxed);
-  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t seq = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = Mix64(id_seed_ ^ seq);
+  return id != 0 ? id : 1;  // 0 means "not sampled" everywhere
+}
+
+std::string FormatTraceHeader(const WireTraceContext& ctx) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(ctx.trace_id),
+                static_cast<unsigned long long>(ctx.parent_span));
+  return buf;
+}
+
+bool ParseTraceHeader(std::string_view text, WireTraceContext* out) {
+  if (text.size() != 33 || text[16] != '-') return false;
+  uint64_t vals[2] = {0, 0};
+  for (int part = 0; part < 2; ++part) {
+    const size_t base = part == 0 ? 0 : 17;
+    uint64_t v = 0;
+    for (size_t i = 0; i < 16; ++i) {
+      const char c = text[base + i];
+      uint64_t d;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      v = (v << 4) | d;
+    }
+    vals[part] = v;
+  }
+  if (vals[0] == 0) return false;
+  out->trace_id = vals[0];
+  out->parent_span = vals[1];
+  return true;
 }
 
 void TraceRecorder::Record(const SpanRecord& record) {

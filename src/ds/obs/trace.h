@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ds::obs {
@@ -43,6 +44,25 @@ struct SpanRecord {
   }
 };
 
+/// Trace identity as it crosses a process boundary: carried in the binary
+/// protocol's frame flags + payload prefix and as the `X-DS-Trace` HTTP
+/// header. A zero trace_id means "not sampled"; the context only travels
+/// at all when the originator sampled the request, so presence == sampled
+/// bit.
+struct WireTraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;  // the sender's span the receiver nests under
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// "<trace_id:016x>-<parent_span:016x>", the X-DS-Trace header value.
+std::string FormatTraceHeader(const WireTraceContext& ctx);
+
+/// Parses FormatTraceHeader output. Returns false (leaving *out untouched)
+/// on malformed input or a zero trace id.
+bool ParseTraceHeader(std::string_view text, WireTraceContext* out);
+
 class TraceRecorder {
  public:
   struct Options {
@@ -62,6 +82,9 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   /// Sampling decision for a new query: a nonzero trace id if sampled.
+  /// Ids are mixed through splitmix64 with a per-recorder seed so two
+  /// recorders (e.g. client and server sharing a ring dump) never hand out
+  /// colliding trace ids.
   uint64_t StartTrace();
 
   /// Allocates a span id (ids are unique per recorder, never 0).
@@ -111,8 +134,9 @@ class TraceRecorder {
   std::atomic<uint64_t> sampled_{0};        // traces that got an id
   std::atomic<uint64_t> dropped_{0};        // spans lost to contention
   std::atomic<uint64_t> next_trace_id_{1};
-  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> next_span_id_;
   std::atomic<uint64_t> sample_every_;
+  uint64_t id_seed_;  // per-recorder, set at construction
 };
 
 /// Records a span with explicit endpoints (for segments that cross threads,

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "ds/net/client.h"
+#include "ds/obs/trace.h"
 #include "ds/util/timer.h"
 
 namespace ds::serve {
@@ -178,6 +179,9 @@ LoadReport RunNetClosedLoop(const std::string& host, uint16_t port,
         return;
       }
       net::NetClient client = std::move(connected).value();
+      obs::TraceRecorder tracer(
+          {.capacity = 256, .sample_every = options.trace_sample_every});
+      if (options.trace_sample_every > 0) client.set_tracer(&tracer);
       if (!tenant.empty() && !client.Hello(tenant).ok()) {
         errors.fetch_add(1, std::memory_order_relaxed);
         return;

@@ -37,6 +37,14 @@ struct LoadOptions {
   /// being scraped); when null the generator uses a private histogram.
   /// Either way the snapshot is returned in LoadReport::latency_us.
   obs::Registry* registry = nullptr;
+
+  /// RunNetClosedLoop only: sample 1 in N requests for client-side tracing.
+  /// Each client thread gets a private TraceRecorder whose contexts ride
+  /// the wire behind kFlagTraceContext, so the server adopts the client's
+  /// trace ids and its net/serve spans land in the server-side ring (the
+  /// per-client recorders are discarded with the run — propagation is the
+  /// point, not the local spans). 0 disables.
+  uint64_t trace_sample_every = 0;
 };
 
 struct LoadReport {

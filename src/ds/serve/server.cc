@@ -48,6 +48,11 @@ SketchServer::SketchServer(SketchRegistry* registry, ServerOptions options)
                         : nullptr),
       tracer_(options.tracer != nullptr ? options.tracer
                                         : owned_tracer_.get()),
+      owned_flight_(options.flight_recorder == nullptr
+                        ? std::make_unique<obs::FlightRecorder>()
+                        : nullptr),
+      flight_(options.flight_recorder != nullptr ? options.flight_recorder
+                                                 : owned_flight_.get()),
       metrics_(obs_registry_) {
   options_.num_workers = std::max<size_t>(options_.num_workers, 1);
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
@@ -139,24 +144,64 @@ void SketchServer::StatsDumpLoop() {
   }
 }
 
+void SketchServer::ApplyContext(Request* req, const RequestContext& ctx) {
+  req->received_us = ctx.received_us;
+  req->tenant = ctx.tenant;
+  // Adopting a wire trace needs a recorder to write the spans into; with
+  // no tracer configured the context is dropped (the client still has its
+  // own spans), never half-recorded.
+  if (ctx.trace.sampled() && tracer_ != nullptr) {
+    req->trace_id = ctx.trace.trace_id;
+    req->parent_span = ctx.trace.parent_span;
+  }
+  MaybeTrace(req);
+}
+
 void SketchServer::MaybeTrace(Request* req) {
   if (tracer_ == nullptr) return;
-  req->trace_id = tracer_->StartTrace();
+  if (req->trace_id == 0) req->trace_id = tracer_->StartTrace();
   if (req->trace_id != 0) req->root_span = tracer_->NextSpanId();
 }
 
 void SketchServer::FinishTrace(const Request& req) {
   if (req.trace_id == 0) return;
   // The root span is recorded with its pre-allocated id so the children
-  // recorded earlier (queue_wait, parse, ...) already point at it.
+  // recorded earlier (queue_wait, parse, ...) already point at it. A
+  // wire-adopted request nests under the transport's span instead of being
+  // the trace root.
   obs::SpanRecord record;
   record.trace_id = req.trace_id;
   record.span_id = req.root_span;
-  record.parent_id = 0;
+  record.parent_id = req.parent_span;
   record.start_us = ToTraceUs(req.enqueue_time);
   record.duration_us = obs::TraceRecorder::NowUs() - record.start_us;
   record.SetName("estimate");
   tracer_->Record(record);
+}
+
+void SketchServer::RecordFlight(const Request& req, double estimate,
+                                uint8_t status_code, int64_t queue_us,
+                                int64_t bind_us, int64_t infer_us) {
+  obs::FlightRecord r;
+  r.trace_id = req.trace_id;
+  r.sql_digest = obs::FlightRecorder::DigestSql(req.sql);
+  // The request's clock starts when the transport read its bytes (wire
+  // requests) or at Submit (local ones).
+  const int64_t enqueue_us = ToTraceUs(req.enqueue_time);
+  r.start_us = req.received_us != 0 ? req.received_us : enqueue_us;
+  r.total_us = obs::TraceRecorder::NowUs() - r.start_us;
+  r.stage_us[obs::kStagePre] =
+      req.received_us != 0 ? enqueue_us - req.received_us : 0;
+  r.stage_us[obs::kStageQueue] = queue_us;
+  r.stage_us[obs::kStageBind] = bind_us;
+  // The batched forward pass's wall time is attributed to every member of
+  // the batch: it is the latency each of them experienced.
+  r.stage_us[obs::kStageInfer] = infer_us;
+  r.estimate = estimate;
+  r.status = status_code;
+  r.SetTenant(req.tenant);
+  r.SetSketch(req.sketch);
+  flight_->Record(r);
 }
 
 SketchServer::Shard* SketchServer::PickShard(std::optional<size_t> hint) {
@@ -199,12 +244,13 @@ void SketchServer::RejectRequest(Request* req, SubmitStatus status) {
   if (!req->callback) req->promise.set_value(std::move(error));
 }
 
-Submission SketchServer::Submit(std::string sketch_name, std::string sql) {
+Submission SketchServer::Submit(std::string sketch_name, std::string sql,
+                                RequestContext ctx) {
   Request req;
   req.sketch = std::move(sketch_name);
   req.sql = std::move(sql);
   req.enqueue_time = std::chrono::steady_clock::now();
-  MaybeTrace(&req);
+  ApplyContext(&req, ctx);
   Submission submission;
   submission.future = req.promise.get_future();
   Shard* shard = PickShard(std::nullopt);
@@ -224,7 +270,8 @@ Submission SketchServer::Submit(std::string sketch_name, std::string sql) {
 }
 
 std::vector<Submission> SketchServer::SubmitMany(
-    const std::string& sketch_name, std::vector<std::string> sqls) {
+    const std::string& sketch_name, std::vector<std::string> sqls,
+    RequestContext ctx) {
   std::vector<Submission> submissions;
   submissions.reserve(sqls.size());
   std::vector<Request> rejected;  // resolved outside the shard lock
@@ -240,7 +287,7 @@ std::vector<Submission> SketchServer::SubmitMany(
       req.sketch = sketch_name;
       req.sql = std::move(sql);
       req.enqueue_time = now;
-      MaybeTrace(&req);
+      ApplyContext(&req, ctx);
       Submission submission;
       submission.future = req.promise.get_future();
       submission.status = TryEnqueueLocked(shard, &req);
@@ -267,7 +314,8 @@ std::vector<Submission> SketchServer::SubmitMany(
 SubmitStatus SketchServer::SubmitAsync(std::string sketch_name,
                                        std::string sql,
                                        EstimateCallback callback,
-                                       std::optional<size_t> shard_hint) {
+                                       std::optional<size_t> shard_hint,
+                                       RequestContext ctx) {
   DS_REQUIRE(static_cast<bool>(callback),
              "SubmitAsync requires a completion callback");
   Request req;
@@ -275,7 +323,7 @@ SubmitStatus SketchServer::SubmitAsync(std::string sketch_name,
   req.sql = std::move(sql);
   req.callback = std::move(callback);
   req.enqueue_time = std::chrono::steady_clock::now();
-  MaybeTrace(&req);
+  ApplyContext(&req, ctx);
   Shard* shard = PickShard(shard_hint);
   SubmitStatus status;
   bool wake = false;
@@ -293,7 +341,7 @@ SubmitStatus SketchServer::SubmitAsync(std::string sketch_name,
 std::vector<SubmitStatus> SketchServer::SubmitManyAsync(
     const std::string& sketch_name, std::vector<std::string> sqls,
     std::function<void(size_t, Result<double>)> callback,
-    std::optional<size_t> shard_hint) {
+    std::optional<size_t> shard_hint, RequestContext ctx) {
   DS_REQUIRE(static_cast<bool>(callback),
              "SubmitManyAsync requires a completion callback");
   std::vector<SubmitStatus> statuses;
@@ -314,7 +362,7 @@ std::vector<SubmitStatus> SketchServer::SubmitManyAsync(
         callback(i, std::move(result));
       };
       req.enqueue_time = now;
-      MaybeTrace(&req);
+      ApplyContext(&req, ctx);
       const SubmitStatus status = TryEnqueueLocked(shard, &req);
       if (status == SubmitStatus::kOk) {
         accepted_any = true;
@@ -416,14 +464,16 @@ void SketchServer::WorkerLoop(Shard* shard) {
 void SketchServer::ServeBatch(std::vector<Request> batch) {
   DS_REQUIRE(!batch.empty(), "ServeBatch called with an empty batch");
   const auto batch_start = std::chrono::steady_clock::now();
+  const int64_t batch_start_us = ToTraceUs(batch_start);
+  auto queue_us_of = [batch_start_us](const Request& r) {
+    const int64_t us = batch_start_us - ToTraceUs(r.enqueue_time);
+    return us < 0 ? int64_t{0} : us;
+  };
   for (const Request& req : batch) {
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        batch_start - req.enqueue_time)
-                        .count();
-    metrics_.queue_wait_us.Record(us < 0 ? 0 : static_cast<uint64_t>(us));
+    metrics_.queue_wait_us.Record(static_cast<uint64_t>(queue_us_of(req)));
     if (req.trace_id != 0) {
       obs::RecordSpan(tracer_, req.trace_id, req.root_span, "queue_wait",
-                      ToTraceUs(req.enqueue_time), ToTraceUs(batch_start));
+                      ToTraceUs(req.enqueue_time), batch_start_us);
     }
   }
   metrics_.batches.Add();
@@ -434,6 +484,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
     for (Request& req : batch) {
       ResolveRequest(&req, sketch.status());
       FinishTrace(req);
+      RecordFlight(req, 0.0, 1, queue_us_of(req), 0, 0);
     }
     metrics_.failed.Add(batch.size());
     return;
@@ -445,6 +496,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   std::vector<workload::QuerySpec> specs;
   std::vector<size_t> spec_owner;   // index into `batch` per spec
   std::vector<std::string> keys(batch.size());
+  std::vector<int64_t> bind_us(batch.size(), 0);  // per-request bind stage
   specs.reserve(batch.size());
   spec_owner.reserve(batch.size());
   const auto infer_start = std::chrono::steady_clock::now();
@@ -454,6 +506,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
     // under this request's root span.
     obs::ScopedTraceContext trace_scope(tracer_, batch[i].trace_id,
                                         batch[i].root_span);
+    const int64_t iter_start_us = obs::TraceRecorder::NowUs();
     keys[i] = batch[i].sketch + '\n' + batch[i].sql;
     if (options_.result_cache_capacity > 0) {
       if (auto cached = ResultCacheGet(keys[i]); cached.has_value()) {
@@ -462,6 +515,8 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
         { obs::Span span("result_cache_hit"); }
         ResolveRequest(&batch[i], *cached);
         FinishTrace(batch[i]);
+        RecordFlight(batch[i], *cached, 0, queue_us_of(batch[i]),
+                     obs::TraceRecorder::NowUs() - iter_start_us, 0);
         continue;
       }
       metrics_.result_cache_misses.Add();
@@ -472,6 +527,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
         { obs::Span span("stmt_cache_hit"); }
         specs.push_back(*cached);
         spec_owner.push_back(i);
+        bind_us[i] = obs::TraceRecorder::NowUs() - iter_start_us;
         continue;
       }
       metrics_.stmt_cache_misses.Add();
@@ -482,6 +538,8 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       metrics_.failed.Add();
       ResolveRequest(&batch[i], bound.status());
       FinishTrace(batch[i]);
+      RecordFlight(batch[i], 0.0, 1, queue_us_of(batch[i]),
+                   obs::TraceRecorder::NowUs() - iter_start_us, 0);
       continue;
     }
     if (bound->placeholder.has_value()) {
@@ -491,12 +549,15 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
                      Status::InvalidArgument(
                          "query contains an uninstantiated '?' placeholder"));
       FinishTrace(batch[i]);
+      RecordFlight(batch[i], 0.0, 1, queue_us_of(batch[i]),
+                   obs::TraceRecorder::NowUs() - iter_start_us, 0);
       continue;
     }
     StmtCachePut(keys[i],
                  std::make_shared<const workload::QuerySpec>(bound->spec));
     specs.push_back(std::move(bound->spec));
     spec_owner.push_back(i);
+    bind_us[i] = obs::TraceRecorder::NowUs() - iter_start_us;
   }
 
   if (!specs.empty()) {
@@ -516,6 +577,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
     // exported as a gauge to watch exactly that.
     static thread_local std::vector<Result<double>> results;
     const uint64_t allocs_before = util::AllocCount();
+    const int64_t fwd_start_us = obs::TraceRecorder::NowUs();
     {
       obs::ScopedTraceContext trace_scope(
           tracer_, traced != nullptr ? traced->trace_id : 0,
@@ -523,6 +585,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       obs::Span infer_span("infer", specs.size());
       (*sketch)->EstimateManyInto(specs, &results);
     }
+    const int64_t fwd_us = obs::TraceRecorder::NowUs() - fwd_start_us;
     // The fulfillment loop below indexes spec_owner with the result index,
     // so the forward pass must answer exactly the specs it was given.
     DS_ENSURE(results.size() == specs.size(),
@@ -537,8 +600,13 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
       } else {
         metrics_.failed.Add();
       }
-      ResolveRequest(&batch[spec_owner[s]], std::move(results[s]));
-      FinishTrace(batch[spec_owner[s]]);
+      Request& req = batch[spec_owner[s]];
+      const double estimate = results[s].ok() ? *results[s] : 0.0;
+      const uint8_t code = results[s].ok() ? 0 : 1;
+      ResolveRequest(&req, std::move(results[s]));
+      FinishTrace(req);
+      RecordFlight(req, estimate, code, queue_us_of(req),
+                   bind_us[spec_owner[s]], fwd_us);
     }
   }
   metrics_.infer_us.Record(MicrosSince(infer_start));

@@ -60,6 +60,7 @@
 
 #include "ds/util/thread_annotations.h"
 
+#include "ds/obs/flight_recorder.h"
 #include "ds/obs/metrics.h"
 #include "ds/obs/trace.h"
 #include "ds/serve/metrics.h"
@@ -119,8 +120,15 @@ struct ServerOptions {
   /// gives the server a private recorder (see tracer()).
   obs::TraceRecorder* tracer = nullptr;
 
-  /// Sample 1 in N queries for tracing; 0 disables tracing.
+  /// Sample 1 in N queries for tracing; 0 disables *local* sampling (a
+  /// wire-adopted trace in RequestContext still records spans as long as a
+  /// tracer exists).
   uint64_t trace_sample_every = 0;
+
+  /// Flight recorder for the always-on per-request summaries. Null gives
+  /// the server a private recorder (see flight()); the front-end passes a
+  /// shared one so /tracez covers every backend it owns.
+  obs::FlightRecorder* flight_recorder = nullptr;
 
   /// When > 0, a background thread emits a JSON metrics snapshot (see
   /// MetricsJson) every period. The snapshot goes to stats_dump_sink, or to
@@ -133,6 +141,17 @@ struct ServerOptions {
 /// from a server worker thread (or from the submitting thread when the
 /// request is rejected). Must not call back into Submit* synchronously.
 using EstimateCallback = std::function<void(Result<double>)>;
+
+/// Per-request context the transport layer knows and the serve layer
+/// should carry: a wire-adopted trace (one coherent trace across client →
+/// net → serve → nn), when the bytes first arrived (for the pre-queue
+/// stage of the flight record), and the admitting tenant. Default
+/// constructed = local request with no wire context.
+struct RequestContext {
+  obs::WireTraceContext trace;  // adopted when trace.sampled()
+  int64_t received_us = 0;      // TraceRecorder::NowUs at transport read
+  std::string tenant;           // empty = untagged
+};
 
 /// What Submit hands back: the typed admission outcome plus a future that
 /// is always valid — ready with an error when status != kOk.
@@ -159,8 +178,10 @@ class SketchServer {
   /// cardinality, or to an error Status if the sketch cannot be resolved,
   /// the SQL does not bind, or the request was rejected (status != kOk, in
   /// which case the future is ready immediately and the request is counted
-  /// under ds_serve_rejected_total, not submitted).
-  Submission Submit(std::string sketch_name, std::string sql);
+  /// under ds_serve_rejected_total, not submitted). `ctx` carries the
+  /// transport-level trace/tenant context; the default means "local".
+  Submission Submit(std::string sketch_name, std::string sql,
+                    RequestContext ctx = {});
 
   /// Bulk Submit: one queue-lock acquisition and at most one worker wakeup
   /// for the whole group — how a pipelining client should refill its
@@ -168,7 +189,8 @@ class SketchServer {
   /// the shard fills mid-group) match Submit; the returned submissions line
   /// up with `sqls`.
   std::vector<Submission> SubmitMany(const std::string& sketch_name,
-                                     std::vector<std::string> sqls);
+                                     std::vector<std::string> sqls,
+                                     RequestContext ctx = {});
 
   /// Callback-based Submit for event-loop callers that must not block on a
   /// future. On kOk, `callback` fires exactly once from a worker thread; on
@@ -178,7 +200,8 @@ class SketchServer {
   /// value to keep one event loop's traffic on one shard.
   SubmitStatus SubmitAsync(std::string sketch_name, std::string sql,
                            EstimateCallback callback,
-                           std::optional<size_t> shard_hint = std::nullopt);
+                           std::optional<size_t> shard_hint = std::nullopt,
+                           RequestContext ctx = {});
 
   /// Bulk SubmitAsync: `callback(index, result)` fires once per accepted
   /// request; the returned statuses line up with `sqls` and rejected
@@ -186,7 +209,8 @@ class SketchServer {
   std::vector<SubmitStatus> SubmitManyAsync(
       const std::string& sketch_name, std::vector<std::string> sqls,
       std::function<void(size_t, Result<double>)> callback,
-      std::optional<size_t> shard_hint = std::nullopt);
+      std::optional<size_t> shard_hint = std::nullopt,
+      RequestContext ctx = {});
 
   /// Records `n` admission-control sheds (requests turned away before the
   /// queue, e.g. by the network front-end's token buckets) under
@@ -219,6 +243,10 @@ class SketchServer {
   /// only if tracing was disabled at construction and no recorder given.
   obs::TraceRecorder* tracer() const { return tracer_; }
 
+  /// The always-on flight recorder (the injected one, or the private
+  /// default); never null.
+  obs::FlightRecorder* flight() const { return flight_; }
+
   const ServerOptions& options() const { return options_; }
 
   size_t num_queue_shards() const { return shards_.size(); }
@@ -230,8 +258,11 @@ class SketchServer {
     std::promise<Result<double>> promise;   // unused when callback is set
     EstimateCallback callback;              // empty = promise path
     std::chrono::steady_clock::time_point enqueue_time;
-    uint64_t trace_id = 0;   // 0 = unsampled
-    uint64_t root_span = 0;  // pre-allocated "estimate" span id
+    uint64_t trace_id = 0;     // 0 = unsampled
+    uint64_t root_span = 0;    // pre-allocated "estimate" span id
+    uint64_t parent_span = 0;  // wire-adopted parent (0 = local root)
+    int64_t received_us = 0;   // transport read time; 0 = local submit
+    std::string tenant;        // carried into the flight record
   };
 
   /// One independent submission queue. Workers are bound to exactly one
@@ -262,11 +293,22 @@ class SketchServer {
   /// Resolves a request through its callback or promise.
   static void ResolveRequest(Request* req, Result<double> result);
 
-  /// Samples the request for tracing (fills trace_id / root_span).
+  /// Applies the transport context to a fresh request (adopting a wire
+  /// trace when present) and samples it for local tracing otherwise.
+  void ApplyContext(Request* req, const RequestContext& ctx);
+
+  /// Samples the request for tracing (fills trace_id / root_span). A
+  /// wire-adopted trace id set by ApplyContext is kept as-is.
   void MaybeTrace(Request* req);
 
   /// Closes a sampled request's root span (Submit -> promise resolution).
   void FinishTrace(const Request& req);
+
+  /// Appends the request's summary to the flight recorder. `status_code`
+  /// is 0 for ok, 1 for a failed estimate; stage timings are on the
+  /// TraceRecorder::NowUs base and 0 when the stage was skipped.
+  void RecordFlight(const Request& req, double estimate, uint8_t status_code,
+                    int64_t queue_us, int64_t bind_us, int64_t infer_us);
 
   /// Moves queued requests for `sketch` into `batch` (up to max_batch).
   void TakeMatchingLocked(Shard* shard, const std::string& sketch,
@@ -298,6 +340,8 @@ class SketchServer {
   obs::Registry* obs_registry_ = nullptr;
   std::unique_ptr<obs::TraceRecorder> owned_tracer_;
   obs::TraceRecorder* tracer_ = nullptr;
+  std::unique_ptr<obs::FlightRecorder> owned_flight_;
+  obs::FlightRecorder* flight_ = nullptr;  // never null (always-on)
 
   // Shards are created once in the constructor and never resized; the
   // vector itself is immutable after construction (only shard contents are

@@ -1,0 +1,29 @@
+#include "ds/util/build_info.h"
+
+#ifndef DS_BUILD_GIT_SHA
+#define DS_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef DS_BUILD_TYPE
+#define DS_BUILD_TYPE "unspecified"
+#endif
+
+namespace ds::util {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{
+      DS_BUILD_GIT_SHA,
+      DS_BUILD_TYPE,
+#if defined(__VERSION__)
+#if defined(__clang__)
+      "clang " __VERSION__,
+#else
+      "gcc " __VERSION__,
+#endif
+#else
+      "unknown",
+#endif
+  };
+  return info;
+}
+
+}  // namespace ds::util

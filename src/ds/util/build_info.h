@@ -1,0 +1,25 @@
+// Build provenance baked in at compile time: git sha, build type, compiler.
+//
+// The sha is captured at CMake configure time (DS_BUILD_GIT_SHA compile
+// definition on the deepsketch target) so a deployed binary identifies the
+// exact source it was built from even when no .git directory is reachable
+// at runtime. Surfaced as the ds_build_info{git_sha,...} gauge and on
+// /statusz.
+
+#ifndef DS_UTIL_BUILD_INFO_H_
+#define DS_UTIL_BUILD_INFO_H_
+
+namespace ds::util {
+
+struct BuildInfo {
+  const char* git_sha;     // short sha, or "unknown" outside a git checkout
+  const char* build_type;  // CMAKE_BUILD_TYPE, or "unspecified"
+  const char* compiler;    // compiler id + version
+};
+
+/// Static build provenance; fields are never null.
+const BuildInfo& GetBuildInfo();
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_BUILD_INFO_H_

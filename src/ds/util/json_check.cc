@@ -1,0 +1,166 @@
+#include "ds/util/json_check.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ds::util {
+
+namespace {
+
+/// Recursive-descent JSON validity checker (structure only). Promoted from
+/// the obs test suite so production tools can reuse it.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing garbage");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  bool Value() {
+    if (depth_ > 256) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    ++depth_;
+    SkipWs();
+    if (Peek('}')) return Leave();
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return Leave();
+      if (!Expect(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    ++depth_;
+    SkipWs();
+    if (Peek(']')) return Leave();
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return Leave();
+      if (!Expect(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    // strtod needs a NUL-terminated buffer; copy the (short) number prefix.
+    char buf[64];
+    size_t n = 0;
+    while (pos_ + n < text_.size() && n < sizeof(buf) - 1 &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_ + n])) ||
+            std::strchr("+-.eE", text_[pos_ + n]) != nullptr)) {
+      buf[n] = text_[pos_ + n];
+      ++n;
+    }
+    buf[n] = '\0';
+    char* end = nullptr;
+    std::strtod(buf, &end);
+    if (end == buf) return Fail("expected value");
+    pos_ += static_cast<size_t>(end - buf);
+    return true;
+  }
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+  bool Peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) {
+    if (Peek(c)) return true;
+    char msg[32];
+    std::snprintf(msg, sizeof(msg), "expected '%c'", c);
+    return Fail(msg);
+  }
+  bool Leave() {
+    --depth_;
+    return true;
+  }
+  bool Fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonWellFormed(std::string_view text, std::string* error) {
+  JsonChecker checker(text);
+  if (checker.Valid()) return true;
+  if (error != nullptr) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s at byte %zu",
+                  checker.error().empty() ? "invalid JSON"
+                                          : checker.error().c_str(),
+                  checker.pos());
+    *error = buf;
+  }
+  return false;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,25 @@
+// Minimal JSON well-formedness checker (structure only, no DOM).
+//
+// Used to validate the JSON we *produce* — /statusz, /tracez, Chrome trace
+// exports, bench_results files — in tests, CI smoke scripts (via `dsctl
+// jsoncheck`), and anywhere else a malformed document should fail fast.
+// It deliberately checks structure, not semantics: numbers are anything
+// strtod accepts, strings are not validated as UTF-8.
+
+#ifndef DS_UTIL_JSON_CHECK_H_
+#define DS_UTIL_JSON_CHECK_H_
+
+#include <string>
+#include <string_view>
+
+namespace ds::util {
+
+/// True when `text` is one complete, well-formed JSON value (object, array,
+/// string, number, or literal) with nothing but whitespace around it. On
+/// failure, when `error` is non-null, stores a short description including
+/// the byte offset of the first problem.
+bool JsonWellFormed(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_JSON_CHECK_H_

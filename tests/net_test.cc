@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -22,9 +24,11 @@
 #include "ds/net/protocol.h"
 #include "ds/net/server.h"
 #include "ds/obs/exposition.h"
+#include "ds/obs/trace.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
 #include "ds/sketch/deep_sketch.h"
+#include "ds/util/json_check.h"
 #include "test_util.h"
 
 #if defined(__linux__)
@@ -73,12 +77,59 @@ TEST(ProtocolTest, HeaderRejectsUnknownType) {
   EXPECT_FALSE(net::DecodeFrameHeader(frame.data(), &header).ok());
 }
 
-TEST(ProtocolTest, HeaderRejectsNonzeroFlags) {
+TEST(ProtocolTest, HeaderRejectsUnknownFlags) {
   std::string frame;
   net::AppendFrame(&frame, FrameType::kPing, WireStatus::kOk, 1, "");
-  frame[6] = 1;  // flags low byte
+  frame[6] = 2;  // flags low byte: bit outside kKnownFlags
   FrameHeader header;
   EXPECT_FALSE(net::DecodeFrameHeader(frame.data(), &header).ok());
+}
+
+TEST(ProtocolTest, HeaderAcceptsTraceContextFlag) {
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kPing, WireStatus::kOk, 1, "",
+                   net::kFlagTraceContext);
+  FrameHeader header;
+  ASSERT_TRUE(net::DecodeFrameHeader(frame.data(), &header).ok());
+  EXPECT_EQ(header.flags, net::kFlagTraceContext);
+}
+
+TEST(ProtocolTest, TraceContextRoundTrip) {
+  std::string payload;
+  net::AppendTraceContext(&payload, 0xabcdef0123456789ull, 0x42ull);
+  payload += "body";
+  ASSERT_EQ(payload.size(), net::kTraceContextSize + 4);
+  std::string_view view = payload;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  ASSERT_TRUE(net::ConsumeTraceContext(net::kFlagTraceContext, &view,
+                                       &trace_id, &parent_span)
+                  .ok());
+  EXPECT_EQ(trace_id, 0xabcdef0123456789ull);
+  EXPECT_EQ(parent_span, 0x42ull);
+  EXPECT_EQ(view, "body");  // prefix consumed, body left for the parser
+}
+
+TEST(ProtocolTest, TraceContextAbsentWhenFlagClear) {
+  std::string payload = "body";
+  std::string_view view = payload;
+  uint64_t trace_id = 99;
+  uint64_t parent_span = 99;
+  ASSERT_TRUE(
+      net::ConsumeTraceContext(0, &view, &trace_id, &parent_span).ok());
+  EXPECT_EQ(trace_id, 0u);  // cleared: no context on the wire
+  EXPECT_EQ(parent_span, 0u);
+  EXPECT_EQ(view, "body");
+}
+
+TEST(ProtocolTest, TraceContextTruncatedPayloadRejected) {
+  std::string payload = "short";  // < kTraceContextSize
+  std::string_view view = payload;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  EXPECT_FALSE(net::ConsumeTraceContext(net::kFlagTraceContext, &view,
+                                        &trace_id, &parent_span)
+                   .ok());
 }
 
 TEST(ProtocolTest, HeaderRejectsOversizePayload) {
@@ -442,6 +493,34 @@ class NetServerTest : public ::testing::Test {
     EXPECT_EQ(requests, responses);
   }
 
+  /// Rebuilds backend_ with an external trace recorder. The recorder's own
+  /// sampling stays off (sample_every = 0): only traces adopted from the
+  /// wire record, which is exactly the cross-process propagation under
+  /// test.
+  void RebuildBackendWithTracer(obs::TraceRecorder* tracer) {
+    serve::ServerOptions options;
+    options.num_workers = 2;
+    options.num_queue_shards = 2;
+    options.tracer = tracer;
+    backend_ =
+        std::make_unique<serve::SketchServer>(registry_.get(), options);
+  }
+
+  /// Polls until `trace` has at least `min_spans` spans in `rec`. The
+  /// server records its net_write span after the response bytes are on the
+  /// wire, so the client can observe the reply a beat before the span
+  /// lands.
+  std::vector<obs::SpanRecord> WaitForSpans(const obs::TraceRecorder& rec,
+                                            uint64_t trace,
+                                            size_t min_spans) {
+    for (int i = 0; i < 500; ++i) {
+      std::vector<obs::SpanRecord> spans = rec.Trace(trace);
+      if (spans.size() >= min_spans) return spans;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return rec.Trace(trace);
+  }
+
   static storage::Catalog* catalog_;
   static sketch::DeepSketch* sketch_;
   static std::string* dir_;
@@ -749,6 +828,199 @@ TEST_F(NetServerTest, HttpUnknownPathIs404) {
       server->port(),
       "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
   EXPECT_EQ(response.rfind("HTTP/1.1 404 ", 0), 0u);
+  StopAndCheckBalance(server.get());
+}
+
+// -------------------------------------------------- end-to-end tracing
+
+std::string HttpBody(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST_F(NetServerTest, BinaryEstimateProducesOneEndToEndTrace) {
+  // The acceptance trace: one ESTIMATE through NetClient yields ONE trace
+  // id whose spans cross client -> net front-end -> serve backend.
+  obs::TraceRecorder server_tracer({.capacity = 256, .sample_every = 0});
+  RebuildBackendWithTracer(&server_tracer);
+  auto server = StartServer();
+  obs::TraceRecorder client_tracer({.capacity = 64, .sample_every = 1});
+  NetClient client = Connect(*server);
+  client.set_tracer(&client_tracer);
+  ASSERT_TRUE(client.Estimate("tiny", kSql).ok());
+
+  const std::vector<uint64_t> ids = client_tracer.TraceIds();
+  ASSERT_EQ(ids.size(), 1u);
+  const uint64_t trace = ids[0];
+  const std::vector<obs::SpanRecord> client_spans =
+      client_tracer.Trace(trace);
+  const std::vector<obs::SpanRecord> server_spans =
+      WaitForSpans(server_tracer, trace, 5);
+
+  std::set<std::string> names;
+  uint64_t root_span = 0;
+  for (const auto& s : client_spans) {
+    names.insert(s.name);
+    if (s.parent_id == 0) root_span = s.span_id;
+  }
+  for (const auto& s : server_spans) {
+    names.insert(s.name);
+    EXPECT_EQ(s.trace_id, trace);
+    EXPECT_NE(s.parent_id, 0u)
+        << s.name << " must nest under the client's root span";
+  }
+  EXPECT_GE(client_spans.size() + server_spans.size(), 6u);
+  EXPECT_NE(root_span, 0u);  // client_estimate is the trace root
+  for (const char* expected : {"client_estimate", "net_decode",
+                               "net_admission", "net_write", "queue_wait",
+                               "estimate"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+  }
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, PipelinedRequestsGetDistinctTraces) {
+  obs::TraceRecorder server_tracer({.capacity = 256, .sample_every = 0});
+  RebuildBackendWithTracer(&server_tracer);
+  auto server = StartServer();
+  obs::TraceRecorder client_tracer({.capacity = 64, .sample_every = 1});
+  NetClient client = Connect(*server);
+  client.set_tracer(&client_tracer);
+  constexpr uint64_t kDepth = 4;
+  for (uint64_t id = 1; id <= kDepth; ++id) {
+    ASSERT_TRUE(client.SendEstimate(id, "tiny", kSql).ok());
+  }
+  for (uint64_t i = 0; i < kDepth; ++i) {
+    auto resp = client.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, WireStatus::kOk);
+  }
+  // Each pipelined request is its own trace, and the server adopted every
+  // one of them (decode spans recorded under each client trace id).
+  const std::vector<uint64_t> ids = client_tracer.TraceIds();
+  EXPECT_EQ(ids.size(), kDepth);
+  for (uint64_t trace : ids) {
+    EXPECT_FALSE(WaitForSpans(server_tracer, trace, 1).empty());
+  }
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpTraceHeaderAdoptedServerSide) {
+  obs::TraceRecorder server_tracer({.capacity = 256, .sample_every = 0});
+  RebuildBackendWithTracer(&server_tracer);
+  auto server = StartServer();
+  obs::WireTraceContext ctx;
+  ctx.trace_id = 0x5ca1ab1e0ddba11ull;
+  ctx.parent_span = 7;
+  const std::string body =
+      std::string(R"({"sketch": "tiny", "sql": ")") + kSql + R"("})";
+  const std::string response = RawExchange(
+      server->port(),
+      "POST /estimate HTTP/1.1\r\nHost: t\r\nX-DS-Trace: " +
+          obs::FormatTraceHeader(ctx) + "\r\nContent-Length: " +
+          std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const std::vector<obs::SpanRecord> spans =
+      WaitForSpans(server_tracer, ctx.trace_id, 5);
+  std::set<std::string> names;
+  for (const auto& s : spans) names.insert(s.name);
+  EXPECT_TRUE(names.count("net_decode"));
+  EXPECT_TRUE(names.count("estimate"));
+  StopAndCheckBalance(server.get());
+}
+
+// ------------------------------------------------------- admin endpoints
+
+TEST_F(NetServerTest, HttpHealthzAlwaysOk) {
+  auto server = StartServer();
+  const std::string response = RawExchange(
+      server->port(),
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_EQ(HttpBody(response), "ok\n");
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpReadyzFlipsOnDrain) {
+  auto server = StartServer();
+  const std::string ready = RawExchange(
+      server->port(),
+      "GET /readyz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(ready.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_EQ(HttpBody(ready), "ready\n");
+  server->BeginDrain();
+  const std::string draining = RawExchange(
+      server->port(),
+      "GET /readyz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(draining.rfind("HTTP/1.1 503 ", 0), 0u);
+  EXPECT_EQ(HttpBody(draining), "draining\n");
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpStatuszReportsTenantLedger) {
+  auto server = StartServer();
+  NetClient client = Connect(*server);
+  ASSERT_TRUE(client.Hello("acme").ok());
+  ASSERT_TRUE(client.Estimate("tiny", kSql).ok());
+  const std::string response = RawExchange(
+      server->port(),
+      "GET /statusz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const std::string json = HttpBody(response);
+  std::string error;
+  EXPECT_TRUE(util::JsonWellFormed(json, &error)) << error;
+  EXPECT_NE(json.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"acme\""), std::string::npos);
+
+  const std::string text = RawExchange(
+      server->port(),
+      "GET /statusz?format=text HTTP/1.1\r\nHost: t\r\n"
+      "Connection: close\r\n\r\n");
+  EXPECT_EQ(text.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(HttpBody(text).find("acme"), std::string::npos);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpTracezJsonAndChromeExport) {
+  obs::TraceRecorder server_tracer({.capacity = 256, .sample_every = 0});
+  RebuildBackendWithTracer(&server_tracer);
+  auto server = StartServer();
+  obs::TraceRecorder client_tracer({.capacity = 64, .sample_every = 1});
+  NetClient client = Connect(*server);
+  client.set_tracer(&client_tracer);
+  ASSERT_TRUE(client.Estimate("tiny", kSql).ok());
+  ASSERT_EQ(client_tracer.TraceIds().size(), 1u);
+  WaitForSpans(server_tracer, client_tracer.TraceIds()[0], 5);
+
+  const std::string tracez = RawExchange(
+      server->port(),
+      "GET /tracez HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(tracez.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  std::string error;
+  EXPECT_TRUE(util::JsonWellFormed(HttpBody(tracez), &error)) << error;
+
+  const std::string chrome = RawExchange(
+      server->port(),
+      "GET /tracez?format=chrome HTTP/1.1\r\nHost: t\r\n"
+      "Connection: close\r\n\r\n");
+  const std::string chrome_json = HttpBody(chrome);
+  EXPECT_TRUE(util::JsonWellFormed(chrome_json, &error)) << error;
+  EXPECT_NE(chrome_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome_json.find("net_decode"), std::string::npos);
+  StopAndCheckBalance(server.get());
+}
+
+TEST_F(NetServerTest, HttpGetHelperFetchesAdminEndpoints) {
+  auto server = StartServer();
+  auto health = net::HttpGet("127.0.0.1", server->port(), "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(*health, "ok\n");
+  server->BeginDrain();
+  auto ready = net::HttpGet("127.0.0.1", server->port(), "/readyz");
+  EXPECT_FALSE(ready.ok());  // 503 surfaces as a non-OK status
+  EXPECT_NE(ready.status().ToString().find("503"), std::string::npos);
   StopAndCheckBalance(server.get());
 }
 

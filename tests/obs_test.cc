@@ -8,11 +8,20 @@
 #include <thread>
 #include <vector>
 
+#include "ds/datagen/imdb.h"
 #include "ds/obs/drift.h"
+#include "ds/obs/export.h"
+#include "ds/sketch/deep_sketch.h"
 #include "ds/obs/exposition.h"
+#include "ds/obs/flight_recorder.h"
 #include "ds/obs/metrics.h"
 #include "ds/obs/trace.h"
+#include "ds/util/json_check.h"
 #include "gtest/gtest.h"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 namespace ds::obs {
 namespace {
@@ -526,6 +535,222 @@ TEST(TraceTest, ConcurrentWriters) {
             static_cast<uint64_t>(kThreads) * kSpansPerThread);
 }
 
+// -------------------------------------------------------------- wire trace
+
+TEST(WireTraceTest, HeaderRoundTrip) {
+  WireTraceContext ctx;
+  ctx.trace_id = 0xdeadbeefcafef00dull;
+  ctx.parent_span = 0x1122334455667788ull;
+  ASSERT_TRUE(ctx.sampled());
+  const std::string header = FormatTraceHeader(ctx);
+  WireTraceContext out;
+  ASSERT_TRUE(ParseTraceHeader(header, &out));
+  EXPECT_EQ(out.trace_id, ctx.trace_id);
+  EXPECT_EQ(out.parent_span, ctx.parent_span);
+}
+
+TEST(WireTraceTest, MalformedHeaderRejected) {
+  WireTraceContext out;
+  out.trace_id = 42;  // must stay untouched on failure
+  EXPECT_FALSE(ParseTraceHeader("", &out));
+  EXPECT_FALSE(ParseTraceHeader("not-a-trace", &out));
+  EXPECT_FALSE(ParseTraceHeader("12345", &out));
+  // A zero trace id means "unsampled" and is not a valid wire context.
+  EXPECT_FALSE(
+      ParseTraceHeader("0000000000000000-0000000000000001", &out));
+  EXPECT_EQ(out.trace_id, 42u);
+}
+
+// --------------------------------------------------------- flight recorder
+
+FlightRecord MakeFlight(uint64_t trace_id, int64_t total_us,
+                        const char* tenant = "t") {
+  FlightRecord r;
+  r.trace_id = trace_id;
+  r.sql_digest = FlightRecorder::DigestSql("SELECT COUNT(*) FROM t");
+  r.start_us = TraceRecorder::NowUs();
+  r.total_us = total_us;
+  r.stage_us[kStageQueue] = total_us / 4;
+  r.stage_us[kStageInfer] = total_us / 2;
+  r.estimate = 123.0;
+  r.SetTenant(tenant);
+  r.SetSketch("tiny");
+  return r;
+}
+
+TEST(FlightRecorderTest, RecentRingBoundedNewestFirst) {
+  FlightRecorder::Options options;
+  options.recent_capacity = 8;
+  FlightRecorder flight(options);
+  for (int i = 0; i < 50; ++i) {
+    flight.Record(MakeFlight(0, /*total_us=*/i + 1));
+  }
+  const std::vector<FlightRecord> recent = flight.Recent();
+  ASSERT_EQ(recent.size(), 8u);
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_GT(recent[i - 1].seq, recent[i].seq);  // newest first
+  }
+  EXPECT_EQ(recent.front().total_us, 50);
+  EXPECT_EQ(flight.recorded(), 50u);
+}
+
+TEST(FlightRecorderTest, SlowestKeepsTopK) {
+  FlightRecorder::Options options;
+  options.slowest_capacity = 4;
+  FlightRecorder flight(options);
+  // Ascending latencies: the gate admits each new slowest; then a flood of
+  // fast requests must not dislodge the retained tail.
+  for (int i = 1; i <= 20; ++i) {
+    flight.Record(MakeFlight(0, /*total_us=*/i * 1000));
+  }
+  for (int i = 0; i < 100; ++i) {
+    flight.Record(MakeFlight(0, /*total_us=*/1));
+  }
+  const std::vector<FlightRecord> slowest = flight.Slowest();
+  ASSERT_GE(slowest.size(), 4u);
+  EXPECT_EQ(slowest.front().total_us, 20'000);
+  for (size_t i = 1; i < slowest.size(); ++i) {
+    EXPECT_GE(slowest[i - 1].total_us, slowest[i].total_us);
+  }
+}
+
+TEST(FlightRecorderTest, AnnotateQErrorUpdatesRetainedCopies) {
+  FlightRecorder flight;
+  flight.Record(MakeFlight(/*trace_id=*/777, /*total_us=*/5'000));
+  flight.AnnotateQError(777, 3.5);
+  bool found = false;
+  for (const FlightRecord& r : flight.Recent()) {
+    if (r.trace_id == 777) {
+      EXPECT_DOUBLE_EQ(r.q_error, 3.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlightRecorderTest, ExemplarsResolveToRetainedTraces) {
+  // The exemplar contract: a latency bucket's trace id points at a trace
+  // that is actually retained in the TraceRecorder ring, so a p99 bucket
+  // can be expanded into its span tree.
+  TraceRecorder tracer({.capacity = 64, .sample_every = 1});
+  FlightRecorder flight;
+  const uint64_t trace = tracer.StartTrace();
+  ASSERT_NE(trace, 0u);
+  RecordSpan(&tracer, trace, 0, "estimate", 1000, 9000);
+  flight.Record(MakeFlight(trace, /*total_us=*/8'000));
+  const std::vector<Exemplar> exemplars = flight.Exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  bool resolved = false;
+  for (const Exemplar& e : exemplars) {
+    if (e.trace_id == trace) {
+      EXPECT_EQ(e.bucket, FlightRecorder::LatencyBucket(8'000));
+      EXPECT_FALSE(tracer.Trace(e.trace_id).empty());
+      resolved = true;
+    }
+  }
+  EXPECT_TRUE(resolved);
+}
+
+TEST(FlightRecorderTest, ConcurrentWriters) {
+  // The TSan job runs this: per-slot spinlocks under writer contention
+  // plus a concurrent reader, the live-scrape interleaving.
+  FlightRecorder::Options options;
+  options.recent_capacity = 32;
+  options.slowest_capacity = 8;
+  FlightRecorder flight(options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&flight, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        flight.Record(MakeFlight(static_cast<uint64_t>(t + 1),
+                                 /*total_us=*/(t + 1) * 100 + i % 50));
+      }
+    });
+  }
+  std::thread reader([&flight] {
+    for (int i = 0; i < 50; ++i) {
+      (void)flight.Recent();
+      (void)flight.Slowest();
+      (void)flight.Exemplars();
+      (void)flight.ReportText();
+    }
+  });
+  for (auto& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(flight.recorded() + flight.dropped(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(flight.Recent().size(), 32u);
+}
+
+TEST(FlightRecorderTest, ReportTextShowsTenantAndSketch) {
+  FlightRecorder flight;
+  flight.Record(MakeFlight(1, 5'000, "acme"));
+  const std::string report = flight.ReportText();
+  EXPECT_NE(report.find("acme"), std::string::npos);
+  EXPECT_NE(report.find("tiny"), std::string::npos);
+}
+
+#if !defined(_WIN32)
+TEST(FlightRecorderTest, CrashReportWritesToFd) {
+  FlightRecorder flight;
+  flight.Record(MakeFlight(1, 5'000, "acme"));
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  flight.WriteCrashReport(fds[1]);
+  close(fds[1]);
+  std::string report;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+    report.append(buf, static_cast<size_t>(n));
+  }
+  close(fds[0]);
+  EXPECT_FALSE(report.empty());
+  EXPECT_NE(report.find("acme"), std::string::npos);
+}
+#endif  // !_WIN32
+
+TEST(FlightRecorderTest, DigestIsStableAndDiscriminates) {
+  const uint64_t a = FlightRecorder::DigestSql("SELECT COUNT(*) FROM a");
+  EXPECT_EQ(a, FlightRecorder::DigestSql("SELECT COUNT(*) FROM a"));
+  EXPECT_NE(a, FlightRecorder::DigestSql("SELECT COUNT(*) FROM b"));
+}
+
+// ----------------------------------------------------------------- export
+
+TEST(ExportTest, ChromeTraceJsonWellFormed) {
+  TraceRecorder rec({.capacity = 64, .sample_every = 1});
+  const uint64_t trace = rec.StartTrace();
+  const uint64_t root = RecordSpan(&rec, trace, 0, "estimate", 1000, 5000);
+  RecordSpan(&rec, trace, root, "queue_wait", 1100, 1400, /*value=*/2);
+  const std::string json = ToChromeTraceJson(rec.Snapshot());
+  std::string error;
+  EXPECT_TRUE(util::JsonWellFormed(json, &error)) << error;
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("queue_wait"), std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceJsonEmptyDumpStillWellFormed) {
+  std::string error;
+  EXPECT_TRUE(util::JsonWellFormed(ToChromeTraceJson({}), &error)) << error;
+}
+
+TEST(ExportTest, TracezJsonWellFormed) {
+  TraceRecorder rec({.capacity = 64, .sample_every = 1});
+  FlightRecorder flight;
+  const uint64_t trace = rec.StartTrace();
+  RecordSpan(&rec, trace, 0, "estimate", 1000, 9000);
+  flight.Record(MakeFlight(trace, 8'000));
+  const std::string json = TracezJson(flight, &rec);
+  std::string error;
+  EXPECT_TRUE(util::JsonWellFormed(json, &error)) << error;
+  // Null tracer is a documented degenerate form, not a crash.
+  EXPECT_TRUE(util::JsonWellFormed(TracezJson(flight, nullptr), &error))
+      << error;
+}
+
 // ------------------------------------------------------------------- drift
 
 DriftOptions SmallDrift(Registry* registry = nullptr) {
@@ -611,6 +836,87 @@ TEST(DriftTest, ExportsGaugesWhenRegistryGiven) {
   const MetricSnapshot* drifted = snap.Find("ds_qerror_drifted", labels);
   ASSERT_NE(drifted, nullptr);
   EXPECT_EQ(drifted->value, 0.0);
+}
+
+TEST(DriftTest, ImdbGeneratorShiftRaisesFlagAndRecoveryClears) {
+  // End-to-end drift scenario on the real pipeline: train a tiny sketch on
+  // the synthetic IMDb, then shift the generator (4x data scale, so every
+  // per-year truth grows ~4x while the frozen sketch keeps answering from
+  // the old distribution), and finally restore the original data.
+  datagen::ImdbOptions base_opts;
+  base_opts.num_titles = 3'000;
+  base_opts.seed = 11;
+  auto base = datagen::GenerateImdb(base_opts);
+  ASSERT_TRUE(base.ok());
+  datagen::ImdbOptions shifted_opts = base_opts;
+  shifted_opts.num_titles = 12'000;  // the shift: 4x the fact data
+  auto shifted = datagen::GenerateImdb(shifted_opts);
+  ASSERT_TRUE(shifted.ok());
+
+  sketch::SketchConfig config;
+  config.tables = {"title"};
+  config.num_samples = 16;
+  config.num_training_queries = 250;
+  config.num_epochs = 3;
+  config.hidden_units = 8;
+  config.batch_size = 32;
+  config.max_tables_per_query = 1;
+  config.seed = 7;
+  auto sketch = sketch::DeepSketch::Train(**base, config);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+
+  auto count_year = [](const storage::Catalog& db, int64_t year) {
+    const storage::Table* title = db.GetTable("title").value();
+    const storage::Column* col = title->GetColumn("production_year").value();
+    double n = 0;
+    for (size_t r = 0; r < title->num_rows(); ++r) {
+      if (col->GetInt(r) == year) ++n;
+    }
+    return n;
+  };
+
+  // Per-year probes with their truths under both generators and the
+  // sketch's (fixed) estimate. Years too rare to be stable are skipped.
+  struct Probe {
+    double truth_base;
+    double truth_shifted;
+    double estimate;
+  };
+  std::vector<Probe> probes;
+  for (int64_t year = 1980; year <= 2015; ++year) {
+    const double t0 = count_year(**base, year);
+    const double t1 = count_year(**shifted, year);
+    if (t0 < 3 || t1 < 3) continue;
+    auto est = sketch->EstimateSql(
+        "SELECT COUNT(*) FROM title WHERE production_year = " +
+        std::to_string(year));
+    ASSERT_TRUE(est.ok()) << est.status().ToString();
+    probes.push_back({t0, t1, *est});
+  }
+  ASSERT_GE(probes.size(), 10u);
+
+  QErrorDriftMonitor mon("imdb", SmallDrift());
+  auto feed = [&](bool use_shifted, int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      for (const Probe& p : probes) {
+        mon.Observe(use_shifted ? p.truth_shifted : p.truth_base,
+                    p.estimate);
+      }
+    }
+  };
+
+  feed(/*use_shifted=*/false, 1 + 60 / static_cast<int>(probes.size()));
+  ASSERT_TRUE(mon.Report().baseline_ready);
+  ASSERT_FALSE(mon.drifted()) << mon.Report().ToString();
+
+  feed(/*use_shifted=*/true, 1 + 60 / static_cast<int>(probes.size()));
+  EXPECT_TRUE(mon.drifted()) << mon.Report().ToString();
+
+  feed(/*use_shifted=*/false, 1 + 60 / static_cast<int>(probes.size()));
+  EXPECT_FALSE(mon.drifted()) << mon.Report().ToString();
+
+  // The audit ring stayed bounded across the whole episode.
+  EXPECT_EQ(mon.RecentAudits().size(), SmallDrift().audit_capacity);
 }
 
 TEST(DriftTest, MonitorSetTracksSketchesIndependently) {

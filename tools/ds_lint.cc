@@ -27,6 +27,11 @@
 //                     one owner (double-close and leak bugs become
 //                     type errors). Member calls like stream.close() are
 //                     not descriptor closes and stay allowed.
+//   span-name         String-literal span names (obs::Span ctor, RecordSpan,
+//                     SetName) must be snake case and fit SpanRecord's
+//                     inline 24-byte buffer: ^[a-z][a-z0-9_]{0,22}$. A
+//                     longer name would truncate silently in the ring and
+//                     break trace-viewer grouping.
 //
 // A line containing `NOLINT(ds-lint)` is exempt (document why at the site).
 // Comments are stripped before matching; string/char literals are blanked
@@ -264,6 +269,36 @@ void CheckIostreamHeader(const std::string& path,
   }
 }
 
+// Span names land in SpanRecord::name, a fixed char[24] — anything longer
+// truncates silently. The first string literal inside a Span constructor,
+// RecordSpan call, or SetName call is the name; `[^";\\]*` keeps the scan
+// inside one statement (the RecordSpan *definition* has no literal before
+// its body's `;`) and refuses to cross escaped quotes, so span names that
+// only appear inside C string literals — like this linter's own self-test
+// snippets — are not scanned.
+const std::regex kSpanNameCall(
+    R"rx((RecordSpan\s*\(|Span\s+\w+\s*\(|SetName\s*\()[^";\\]*"([^"]*)")rx");
+const std::regex kSpanName("^[a-z][a-z0-9_]{0,22}$");
+
+void CheckSpanNames(const std::string& path, const std::string& text,
+                    const std::vector<std::string>& raw,
+                    std::vector<Finding>* out) {
+  // `text` has comments stripped but string literals intact.
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kSpanNameCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2].str();
+    const size_t line = LineOfOffset(text, static_cast<size_t>(it->position()));
+    if (line - 1 < raw.size() && LineExempt(raw[line - 1])) continue;
+    if (!std::regex_match(name, kSpanName)) {
+      out->push_back({path, line, "span-name",
+                      "span name '" + name +
+                          "' must match ^[a-z][a-z0-9_]{0,22}$ (snake case, "
+                          "<= 23 chars — SpanRecord stores names in a fixed "
+                          "24-byte buffer and truncates silently)"});
+    }
+  }
+}
+
 // Naked descriptor closes: bare `close(` or `::close(`, but not member
 // calls (`.close(`/`->close(`) — std::fstream::close is not an fd — and
 // not identifiers merely ending in "close" (epoll_close).
@@ -298,6 +333,7 @@ std::vector<Finding> LintContent(const std::string& path,
   const std::vector<std::string> code = SplitLines(code_text);
   CheckNoAllocRegions(path, raw, code, &findings);
   CheckMetricNames(path, no_comments, raw, &findings);
+  CheckSpanNames(path, no_comments, raw, &findings);
   CheckNakedMutex(path, raw, code, &findings);
   CheckIostreamHeader(path, raw, code, &findings);
   CheckNakedFd(path, raw, code, &findings);
@@ -386,6 +422,29 @@ const SelfCase kSelfCases[] = {
     {"good-metric-name", "clean.cc",
      "void f(ds::obs::Registry* r) {\n"
      "  r->GetHistogram(\"ds_serve_queue_wait_us\", \"help\");\n"
+     "}\n",
+     nullptr},
+    {"bad-span-name-case", "seed.cc",
+     "void f() { obs::Span span(\"NetDecode\"); }\n", "span-name"},
+    {"bad-span-name-too-long", "seed.cc",
+     "void f(ds::obs::SpanRecord* r) {\n"
+     "  r->SetName(\"a_span_name_well_past_the_24_byte_cap\");\n"
+     "}\n",
+     "span-name"},
+    {"bad-span-name-recordspan", "seed.cc",
+     "void f(ds::obs::TraceRecorder* t) {\n"
+     "  obs::RecordSpan(t, tid, parent,\n"
+     "                  \"net decode\", t0, t1);\n"
+     "}\n",
+     "span-name"},
+    {"good-span-name", "clean.cc",
+     "void f() { obs::Span span(\"queue_wait\", 3); }\n", nullptr},
+    {"recordspan-definition-allowed", "clean.cc",
+     "uint64_t RecordSpan(TraceRecorder* recorder, uint64_t trace_id,\n"
+     "                    const char* name) {\n"
+     "  SpanRecord record;\n"
+     "  record.SetName(name);\n"
+     "  return 0;\n"
      "}\n",
      nullptr},
     {"naked-mutex", "seed.cc", "static std::mutex g_mu;\n", "naked-mutex"},

@@ -4,6 +4,7 @@
 //   ds_served [<sketch-file>...] [listen=host:port] [demo=imdb|tpch]
 //             [workers=N] [net_workers=N] [max_batch=N] [wait_us=N]
 //             [queue=N] [rate=R] [burst=B] [seconds=S] [pin=0|1]
+//             [trace=N] [drain_ms=M]
 //
 // Every positional argument is a sketch file, registered under its file
 // stem (queries name it via the wire protocol's sketch field). demo=imdb
@@ -16,6 +17,16 @@
 //   net_workers  event-loop threads, 0 = one per physical core
 //   rate/burst   per-tenant token-bucket admission (0 = admit everything)
 //   seconds      exit after S seconds instead of waiting for a signal
+//   trace        sample 1 in N requests for tracing (default 64, 0 = off;
+//                wire-propagated trace contexts always record)
+//   drain_ms     after SIGTERM/SIGINT, keep serving for M ms with /readyz
+//                reporting "draining" before the actual shutdown — the
+//                load-balancer grace window
+//
+// Observability: SIGUSR1 dumps the flight recorder (slowest + most recent
+// requests) to stderr without disturbing serving; SIGSEGV/SIGBUS/SIGABRT
+// write a crash flight report to stderr before re-raising. /statusz,
+// /tracez, /healthz, /readyz are served on the listen port.
 //
 // On shutdown the daemon stops the front-end first (drains in-flight
 // requests), then the batching core, and prints the request/response
@@ -37,6 +48,7 @@
 #include "ds/datagen/imdb.h"
 #include "ds/datagen/tpch.h"
 #include "ds/net/server.h"
+#include "ds/obs/flight_recorder.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
 #include "ds/sketch/deep_sketch.h"
@@ -46,8 +58,15 @@ using namespace ds;
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_flight{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void HandleDumpSignal(int) {
+  // Only a flag flip here; the poll loop renders the report outside
+  // signal context where locks and allocation are safe.
+  g_dump_flight.store(true, std::memory_order_relaxed);
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "ds_served: %s\n", status.ToString().c_str());
@@ -108,7 +127,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ds_served [<sketch-file>...] [listen=host:port] "
                    "[demo=imdb|tpch] [workers=N] [net_workers=N] [rate=R] "
-                   "[burst=B] [seconds=S]\n");
+                   "[burst=B] [seconds=S] [trace=N] [drain_ms=M]\n");
       return 0;
     }
     const auto eq = arg.find('=');
@@ -154,7 +173,13 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("wait_us", 200));
   serve_options.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue", 4096));
+  serve_options.trace_sample_every =
+      static_cast<uint64_t>(flags.GetInt("trace", 64));
   serve::SketchServer backend(&registry, serve_options);
+
+  // Crash-path observability: a fatal signal dumps the flight recorder's
+  // retained requests to stderr before the default handler re-raises.
+  obs::SetCrashFlightRecorder(backend.flight());
 
   net::NetServerOptions net_options;
   const std::string listen = flags.GetString("listen", "127.0.0.1:0");
@@ -184,17 +209,37 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
 
   const double seconds =
       std::strtod(flags.GetString("seconds", "0").c_str(), nullptr);
   const auto start = std::chrono::steady_clock::now();
   while (!g_stop.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (g_dump_flight.exchange(false, std::memory_order_relaxed)) {
+      std::fprintf(stderr, "%s", backend.flight()->ReportText().c_str());
+      std::fflush(stderr);
+    }
     if (seconds > 0 &&
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
                 .count() >= seconds) {
       break;
+    }
+  }
+
+  const int64_t drain_ms = flags.GetInt("drain_ms", 0);
+  if (drain_ms > 0) {
+    // Grace window: /readyz flips to "draining" immediately, but the
+    // listener keeps serving so load balancers can observe the flip and
+    // route away before connections start failing.
+    front.BeginDrain();
+    std::fprintf(stderr, "ds_served: draining for %lld ms\n",
+                 static_cast<long long>(drain_ms));
+    const auto drain_deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(drain_ms);
+    while (std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
 

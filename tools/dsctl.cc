@@ -35,6 +35,7 @@
 //       per-tenant token-bucket admission control.
 //
 //   dsctl netload <host:port> <sketch-name> [SQL...] [threads=N] [depth=N]
+//                 [trace=N]  -- sample 1 in N requests for wire tracing
 //               [seconds=S] [tenant=T]
 //       Closed-loop networked load against a running ds_served / dsctl
 //       serve: each thread keeps `depth` pipelined ESTIMATE frames in
@@ -51,6 +52,24 @@
 //       print each recorded span tree (parse -> bind -> featurize -> queue
 //       wait -> batched inference -> cache hit/miss).
 //
+//   dsctl trace export <host:port> [out=FILE]
+//   dsctl trace export <sketch-file> <SQL> [requests=N] [out=FILE]
+//       Export the span ring as Chrome trace-event JSON (loadable in
+//       about:tracing / Perfetto). The host:port form pulls a live
+//       server's /tracez?format=chrome; the sketch-file form serves the
+//       query locally at sample_every=1 first. The output is validated
+//       for JSON well-formedness before it is written.
+//
+//   dsctl top <host:port> [interval=S] [iters=N]
+//       Live serving dashboard: repaints /statusz?format=text (build,
+//       uptime, per-tenant ledger with p50/p99) every `interval` seconds.
+//       iters=N exits after N refreshes (iters=1 prints once, no clear).
+//
+//   dsctl jsoncheck [<file>]
+//       Validate JSON well-formedness of a file (or stdin). Exits nonzero
+//       with the first syntax error and its byte offset — the CI check
+//       behind `dsctl trace export`.
+//
 // Generation is deterministic per seed, so a sketch trained via `dsctl
 // train imdb ... seed=42` answers queries about exactly the dataset that
 // `dsctl gen imdb ... seed=42` exports.
@@ -63,15 +82,19 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "ds/datagen/imdb.h"
+#include "ds/net/client.h"
 #include "ds/net/server.h"
 #include "ds/datagen/tpch.h"
 #include "ds/mscn/logger.h"
+#include "ds/obs/export.h"
 #include "ds/obs/exposition.h"
 #include "ds/obs/trace.h"
+#include "ds/util/json_check.h"
 #include "ds/serve/loadgen.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
@@ -410,7 +433,7 @@ int CmdNetLoad(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: dsctl netload <host:port> <sketch-name> [SQL...] "
-                 "[threads=N] [depth=N] [seconds=S] [tenant=T]\n");
+                 "[threads=N] [depth=N] [seconds=S] [tenant=T] [trace=N]\n");
     return 2;
   }
   const std::string target = argv[2];
@@ -451,6 +474,8 @@ int CmdNetLoad(int argc, char** argv) {
   load.threads = static_cast<size_t>(flags.GetInt("threads", 4));
   load.pipeline_depth = static_cast<size_t>(flags.GetInt("depth", 4));
   load.seconds = std::strtod(flags.GetString("seconds", "5").c_str(), nullptr);
+  load.trace_sample_every =
+      static_cast<uint64_t>(flags.GetInt("trace", 0));
   const std::string tenant = flags.GetString("tenant", "");
 
   auto report = serve::RunNetClosedLoop(host, port, argv[3], sqls, load,
@@ -518,7 +543,151 @@ int CmdMetrics(int argc, char** argv) {
   return 0;
 }
 
+/// Parses "host:port" into its parts; false (with a message printed) when
+/// the argument has no colon.
+bool ParseHostPort(const std::string& target, std::string* host,
+                   uint16_t* port) {
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "dsctl: expected host:port, got '%s'\n",
+                 target.c_str());
+    return false;
+  }
+  *host = target.substr(0, colon);
+  *port = static_cast<uint16_t>(
+      std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  return true;
+}
+
+int WriteOutput(const std::string& out_path, const std::string& body) {
+  if (out_path.empty()) {
+    std::printf("%s\n", body.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dsctl: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    std::fprintf(stderr, "dsctl: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dsctl: wrote %zu bytes to %s\n", body.size(),
+               out_path.c_str());
+  return 0;
+}
+
+int CmdTraceExport(int argc, char** argv) {
+  // argv: dsctl trace export <host:port | sketch-file SQL> [flags...]
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: dsctl trace export <host:port> [out=FILE]\n"
+                 "       dsctl trace export <sketch-file> <SQL> "
+                 "[requests=N] [out=FILE]\n");
+    return 2;
+  }
+  const std::string target = argv[3];
+  // A host:port target has a colon and names no existing file; anything
+  // else is treated as the local sketch-file form.
+  const bool remote = target.rfind(':') != std::string::npos &&
+                      !std::filesystem::exists(target);
+  std::string json;
+  Flags flags;
+  if (remote) {
+    flags = ParseFlags(argc, argv, 4);
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(target, &host, &port)) return 2;
+    auto body = net::HttpGet(host, port, "/tracez?format=chrome");
+    if (!body.ok()) return Fail(body.status());
+    json = std::move(body).value();
+  } else {
+    if (argc < 5) {
+      std::fprintf(stderr,
+                   "usage: dsctl trace export <sketch-file> <SQL> "
+                   "[requests=N] [out=FILE]\n");
+      return 2;
+    }
+    flags = ParseFlags(argc, argv, 5);
+    serve::ServerOptions options;
+    options.trace_sample_every = 1;
+    options.stmt_cache_capacity = 0;
+    options.result_cache_capacity = 0;
+    serve::SketchRegistry registry(serve::RegistryOptions{});
+    auto server = ServeQueries(
+        &registry, argv[3], argv[4],
+        static_cast<size_t>(flags.GetInt("requests", 4)), options);
+    if (!server.ok()) return Fail(server.status());
+    json = obs::ToChromeTraceJson((*server)->tracer()->Snapshot());
+  }
+  std::string error;
+  if (!util::JsonWellFormed(json, &error)) {
+    std::fprintf(stderr, "dsctl: exporter produced malformed JSON: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  return WriteOutput(flags.GetString("out", ""), json);
+}
+
+int CmdTop(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dsctl top <host:port> [interval=S] [iters=N]\n");
+    return 2;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(argv[2], &host, &port)) return 2;
+  Flags flags = ParseFlags(argc, argv, 3);
+  const double interval =
+      std::strtod(flags.GetString("interval", "2").c_str(), nullptr);
+  const int64_t iters = flags.GetInt("iters", 0);
+  for (int64_t i = 0; iters <= 0 || i < iters; ++i) {
+    auto body = net::HttpGet(host, port, "/statusz?format=text");
+    if (!body.ok()) return Fail(body.status());
+    // A single fetch (iters=1) is the scriptable mode — no screen clear.
+    if (iters != 1) std::printf("\x1b[H\x1b[2J");
+    std::printf("%s", body->c_str());
+    std::fflush(stdout);
+    if (iters > 0 && i + 1 >= iters) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        interval > 0 ? interval : 2.0));
+  }
+  return 0;
+}
+
+int CmdJsonCheck(int argc, char** argv) {
+  std::string input;
+  const bool from_stdin =
+      argc < 3 || std::string_view(argv[2]) == "-";
+  std::FILE* f = from_stdin ? stdin : std::fopen(argv[2], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dsctl: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    input.append(buf, n);
+  }
+  if (!from_stdin) std::fclose(f);
+  std::string error;
+  if (!util::JsonWellFormed(input, &error)) {
+    std::fprintf(stderr, "dsctl: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("ok (%zu bytes)\n", input.size());
+  return 0;
+}
+
 int CmdTrace(int argc, char** argv) {
+  if (argc >= 3 && std::string_view(argv[2]) == "export") {
+    return CmdTraceExport(argc, argv);
+  }
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: dsctl trace <sketch-file> <SQL> [requests=N]\n");
@@ -552,7 +721,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dsctl "
                  "<gen|train|info|estimate|template|serve|netload|"
-                 "serve-bench|metrics|trace> ...\n");
+                 "serve-bench|metrics|trace|top|jsoncheck> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -566,6 +735,8 @@ int main(int argc, char** argv) {
   if (cmd == "serve-bench") return CmdServeBench(argc, argv);
   if (cmd == "metrics") return CmdMetrics(argc, argv);
   if (cmd == "trace") return CmdTrace(argc, argv);
+  if (cmd == "top") return CmdTop(argc, argv);
+  if (cmd == "jsoncheck") return CmdJsonCheck(argc, argv);
   std::fprintf(stderr, "dsctl: unknown command '%s'\n", cmd.c_str());
   return 2;
 }

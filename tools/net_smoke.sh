@@ -13,6 +13,11 @@
 # sides; ds_served itself additionally exits nonzero if the wire-level
 # ds_net_requests_total != sum of ds_net_responses_total).
 #
+# Also exercises the admin status plane (/healthz, /readyz, /statusz,
+# /tracez), validates `dsctl trace export` output with `dsctl jsoncheck`,
+# dumps the flight recorder via SIGUSR1, and checks the drain-aware
+# /readyz transition after SIGTERM.
+#
 # Usage: tools/net_smoke.sh <build-dir> [seconds]
 
 set -euo pipefail
@@ -33,7 +38,8 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== starting ds_served (demo sketch, ephemeral port)"
-"$DS_SERVED" demo=imdb listen=127.0.0.1:0 workers=2 >"$LOG" 2>&1 &
+"$DS_SERVED" demo=imdb listen=127.0.0.1:0 workers=2 trace=8 \
+  drain_ms=1500 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # The daemon prints "ds_served: listening on HOST:PORT (...)" once ready.
@@ -55,9 +61,11 @@ if [[ -z "$PORT" ]]; then
 fi
 echo "== ds_served listening on 127.0.0.1:$PORT"
 
+# trace=64: client-side sampling ships trace contexts over the wire, so
+# the exported traces below include the server's net_* spans.
 echo "== driving $SECONDS_LOAD s of networked load"
 "$DSCTL" netload "127.0.0.1:$PORT" demo \
-  threads=4 depth=4 "seconds=$SECONDS_LOAD"
+  threads=4 depth=4 "seconds=$SECONDS_LOAD" trace=64
 
 echo "== scraping /metrics"
 METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
@@ -80,8 +88,62 @@ if [[ "$SUBMITTED" -ne $((COMPLETED + FAILED)) ]]; then
   exit 1
 fi
 
-echo "== graceful shutdown (SIGTERM)"
+echo "== admin status plane"
+HEALTH=$(curl -sf "http://127.0.0.1:$PORT/healthz")
+if [[ "$HEALTH" != "ok" ]]; then
+  echo "FAIL: /healthz said '$HEALTH', expected 'ok'" >&2
+  exit 1
+fi
+READY=$(curl -sf "http://127.0.0.1:$PORT/readyz")
+if [[ "$READY" != "ready" ]]; then
+  echo "FAIL: /readyz said '$READY', expected 'ready'" >&2
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$PORT/statusz" | "$DSCTL" jsoncheck
+curl -sf "http://127.0.0.1:$PORT/statusz?format=text" | head -5
+curl -sf "http://127.0.0.1:$PORT/tracez" | "$DSCTL" jsoncheck
+"$DSCTL" top "127.0.0.1:$PORT" iters=1 >/dev/null
+
+echo "== trace export (Chrome trace-event JSON)"
+TRACE_JSON=$(mktemp)
+"$DSCTL" trace export "127.0.0.1:$PORT" "out=$TRACE_JSON"
+"$DSCTL" jsoncheck "$TRACE_JSON"
+if ! grep -q '"traceEvents"' "$TRACE_JSON"; then
+  echo "FAIL: trace export has no traceEvents array" >&2
+  exit 1
+fi
+if ! grep -q 'net_decode' "$TRACE_JSON"; then
+  echo "FAIL: trace export retained no server-side spans" >&2
+  exit 1
+fi
+rm -f "$TRACE_JSON"
+
+echo "== flight recorder dump (SIGUSR1)"
+kill -USR1 "$SERVER_PID"
+for _ in $(seq 1 50); do
+  grep -q '== flight recorder' "$LOG" && break
+  sleep 0.1
+done
+if ! grep -q '== flight recorder' "$LOG"; then
+  echo "FAIL: SIGUSR1 produced no flight recorder dump" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+echo "== graceful shutdown (SIGTERM) with drain-aware /readyz"
 kill -TERM "$SERVER_PID"
+DRAIN_CODE=""
+for _ in $(seq 1 10); do
+  DRAIN_CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$PORT/readyz" || true)
+  [[ "$DRAIN_CODE" == "503" ]] && break
+  sleep 0.1
+done
+if [[ "$DRAIN_CODE" != "503" ]]; then
+  echo "FAIL: /readyz never flipped to 503 during the drain window" \
+       "(last code: '$DRAIN_CODE')" >&2
+  exit 1
+fi
 if ! wait "$SERVER_PID"; then
   echo "FAIL: ds_served exited nonzero (request/response imbalance):" >&2
   cat "$LOG" >&2
