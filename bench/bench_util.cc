@@ -152,9 +152,10 @@ std::string UtcTimestamp() {
 
 }  // namespace
 
-void WriteBenchResultsJson(const std::string& path, const std::string& name,
-                           const std::vector<OpResult>& ops,
-                           const std::string& mode) {
+void WriteBenchResultsJson(
+    const std::string& path, const std::string& name,
+    const std::vector<OpResult>& ops, const std::string& mode,
+    const std::vector<std::pair<std::string, std::string>>& extras) {
   std::error_code ec;
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
@@ -165,10 +166,14 @@ void WriteBenchResultsJson(const std::string& path, const std::string& name,
   }
   std::fprintf(f,
                "{\n  \"benchmark\": \"%s\",\n  \"git_sha\": \"%s\",\n"
-               "  \"timestamp\": \"%s\",\n  \"mode\": \"%s\",\n"
-               "  \"ops\": [\n",
+               "  \"timestamp\": \"%s\",\n  \"mode\": \"%s\",\n",
                name.c_str(), GitSha().c_str(), UtcTimestamp().c_str(),
                mode.c_str());
+  for (const auto& [key, value] : extras) {
+    std::fprintf(f, "  \"%s\": \"%s\",\n", JsonEscape(key).c_str(),
+                 JsonEscape(value).c_str());
+  }
+  std::fprintf(f, "  \"ops\": [\n");
   for (size_t i = 0; i < ops.size(); ++i) {
     const OpResult& r = ops[i];
     std::fprintf(f,

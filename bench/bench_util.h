@@ -76,11 +76,15 @@ OpResult MeasureOp(const std::string& op, size_t warmup, size_t iters,
 /// timestamp is UTC ISO-8601 at write time, and `mode` records how the
 /// workload reached the server ("inproc" in-process calls, "net" over
 /// TCP) so result archives from different transports never get compared
-/// apples-to-oranges. Errors print to stderr and are otherwise ignored
-/// (benchmarks still report on stdout).
-void WriteBenchResultsJson(const std::string& path, const std::string& name,
-                           const std::vector<OpResult>& ops,
-                           const std::string& mode = "inproc");
+/// apples-to-oranges. `extras` adds string fields to the envelope (the
+/// kernel bench records the active SIMD tier and quant modes there, so two
+/// archives measured on different dispatch tiers are distinguishable).
+/// Errors print to stderr and are otherwise ignored (benchmarks still
+/// report on stdout).
+void WriteBenchResultsJson(
+    const std::string& path, const std::string& name,
+    const std::vector<OpResult>& ops, const std::string& mode = "inproc",
+    const std::vector<std::pair<std::string, std::string>>& extras = {});
 
 /// One named row of scalar measurements for WriteBenchMetricsJson — the
 /// machine-readable form of a printed table row (q-error summaries,

@@ -183,6 +183,28 @@ size_t MscnModel::NumParameters() const {
   return n;
 }
 
+void MscnModel::Pack(nn::QuantMode mode) {
+  table_mlp_.Pack(mode);
+  join_mlp_.Pack(mode);
+  pred_mlp_.Pack(mode);
+  out_mlp_.Pack(mode);
+}
+
+void MscnModel::WritePacked(util::BinaryWriter* w) const {
+  table_mlp_.WritePacked(w);
+  join_mlp_.WritePacked(w);
+  pred_mlp_.WritePacked(w);
+  out_mlp_.WritePacked(w);
+}
+
+Status MscnModel::ReadPacked(util::BinaryReader* r) {
+  DS_RETURN_NOT_OK(table_mlp_.ReadPacked(r));
+  DS_RETURN_NOT_OK(join_mlp_.ReadPacked(r));
+  DS_RETURN_NOT_OK(pred_mlp_.ReadPacked(r));
+  DS_RETURN_NOT_OK(out_mlp_.ReadPacked(r));
+  return Status::OK();
+}
+
 void MscnModel::Write(util::BinaryWriter* w) {
   config_.Write(w);
   nn::WriteParameters(Parameters(), w);

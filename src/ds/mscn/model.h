@@ -70,9 +70,21 @@ class MscnModel {
 
   const ModelConfig& config() const { return config_; }
 
+  /// Packs (kInt8/kFp16) or unpacks (kFp32) every Linear's weights for the
+  /// inference paths; the fp32 parameters stay untouched (training and the
+  /// parity gates keep reading them). Pack after training — optimizer
+  /// steps do not refresh packed copies.
+  void Pack(nn::QuantMode mode);
+  nn::QuantMode quant_mode() const { return table_mlp_.quant_mode(); }
+
   /// Serializes config + weights.
   void Write(util::BinaryWriter* writer);
   static Result<MscnModel> Read(util::BinaryReader* reader);
+
+  /// Packed-weight section (sketch format v2): always writes one record
+  /// per Linear (empty kFp32 records when unpacked).
+  void WritePacked(util::BinaryWriter* writer) const;
+  Status ReadPacked(util::BinaryReader* reader);
 
  private:
   /// Shared tail of the workspace inference paths: pool the three flattened

@@ -1,24 +1,18 @@
 #include "ds/nn/kernels.h"
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "ds/nn/kernels_dispatch.h"
 #include "ds/util/contract.h"
+#include "ds/util/cpuid.h"
 
 namespace ds::nn {
 
 KernelStats& GlobalKernelStats() {
   static KernelStats* stats = new KernelStats();
   return *stats;
-}
-
-bool KernelsVectorized() {
-#if defined(__AVX2__)
-  return true;
-#else
-  return false;
-#endif
 }
 
 namespace {
@@ -30,119 +24,119 @@ void CountKernel(std::atomic<uint64_t>& which, uint64_t macs, uint64_t bytes) {
   s.bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
-// crow[j] += av * brow[j] for j in [0, m). The building block of every
-// accumulation kernel below. Sequential per-element accumulation (one add
-// per k step) keeps results bit-for-bit equal to the scalar reference; the
-// AVX2 path widens j, it does not reorder k.
-inline void AxpyRow(float av, const float* brow, float* crow, size_t m) {
-  size_t j = 0;
-#if defined(__AVX2__)
-  const __m256 av8 = _mm256_set1_ps(av);
-  for (; j + 16 <= m; j += 16) {
-    __m256 c0 = _mm256_loadu_ps(crow + j);
-    __m256 c1 = _mm256_loadu_ps(crow + j + 8);
-    c0 = _mm256_add_ps(c0, _mm256_mul_ps(av8, _mm256_loadu_ps(brow + j)));
-    c1 = _mm256_add_ps(c1, _mm256_mul_ps(av8, _mm256_loadu_ps(brow + j + 8)));
-    _mm256_storeu_ps(crow + j, c0);
-    _mm256_storeu_ps(crow + j + 8, c1);
-  }
-  for (; j + 8 <= m; j += 8) {
-    __m256 c0 = _mm256_loadu_ps(crow + j);
-    c0 = _mm256_add_ps(c0, _mm256_mul_ps(av8, _mm256_loadu_ps(brow + j)));
-    _mm256_storeu_ps(crow + j, c0);
-  }
-#else
-  // 4-wide unroll; independent elements, so the compiler can vectorize.
-  for (; j + 4 <= m; j += 4) {
-    crow[j] += av * brow[j];
-    crow[j + 1] += av * brow[j + 1];
-    crow[j + 2] += av * brow[j + 2];
-    crow[j + 3] += av * brow[j + 3];
-  }
-#endif
-  for (; j < m; ++j) crow[j] += av * brow[j];
-}
+constexpr int kNumTiers = 4;
 
-// crow[j] = (crow[j] + a1 * b1[j]) + a2 * b2[j] — exactly the float
-// sequence of two AxpyRow calls, but with both weight-row loads in flight
-// at once. The k loops pair consecutive nonzeros through this to hide
-// load latency on the accumulation-heavy sparse/one-hot first layers.
-inline void AxpyRow2(float a1, const float* b1, float a2, const float* b2,
-                     float* crow, size_t m) {
-  size_t j = 0;
-#if defined(__AVX2__)
-  const __m256 av1 = _mm256_set1_ps(a1);
-  const __m256 av2 = _mm256_set1_ps(a2);
-  for (; j + 8 <= m; j += 8) {
-    __m256 c = _mm256_loadu_ps(crow + j);
-    c = _mm256_add_ps(c, _mm256_mul_ps(av1, _mm256_loadu_ps(b1 + j)));
-    c = _mm256_add_ps(c, _mm256_mul_ps(av2, _mm256_loadu_ps(b2 + j)));
-    _mm256_storeu_ps(crow + j, c);
-  }
-#endif
-  for (; j < m; ++j) crow[j] = (crow[j] + a1 * b1[j]) + a2 * b2[j];
-}
-
-// crow[j] += sum_k arow[k] * b[k][j], skipping zero entries of arow and
-// pairing consecutive nonzeros through AxpyRow2. Bit-exact with the plain
-// sequential zero-skip loop (each pair preserves per-element add order).
-inline void AccumulateRow(const float* arow, size_t k, const float* bd,
-                          size_t m, float* crow) {
-  size_t kk = 0;
-  for (;;) {
-    while (kk < k && arow[kk] == 0.0f) ++kk;
-    if (kk >= k) break;
-    const size_t k1 = kk++;
-    while (kk < k && arow[kk] == 0.0f) ++kk;
-    if (kk >= k) {
-      AxpyRow(arow[k1], bd + k1 * m, crow, m);
-      break;
+// Tables for every tier this process can actually run: compiled in
+// (non-null getter) AND supported by CPU + OS state saving. Computed once.
+const detail::KernelOps* const* AvailableOps() {
+  static const detail::KernelOps* const* table = [] {
+    static const detail::KernelOps* ops[kNumTiers] = {};
+    const util::CpuFeatures& f = util::DetectCpuFeatures();
+    ops[0] = detail::GetGenericOps();
+    DS_REQUIRE(ops[0] != nullptr, "generic kernel tier missing from binary");
+    if (f.avx2 && f.f16c) {
+      ops[1] = detail::GetAvx2Ops();
+      if (f.fma) ops[2] = detail::GetAvx2FmaOps();
+      if (f.avx512f && f.avx512bw && f.avx512vl && f.fma) {
+        ops[3] = detail::GetAvx512Ops();
+      }
     }
-    const size_t k2 = kk++;
-    AxpyRow2(arow[k1], bd + k1 * m, arow[k2], bd + k2 * m, crow, m);
-  }
+    return static_cast<const detail::KernelOps* const*>(ops);
+  }();
+  return table;
 }
 
-// crow[j] = bias[j] for j in [0, m).
-inline void CopyRow(const float* src, float* dst, size_t m) {
-  size_t j = 0;
-#if defined(__AVX2__)
-  for (; j + 8 <= m; j += 8) {
-    _mm256_storeu_ps(dst + j, _mm256_loadu_ps(src + j));
-  }
-#endif
-  for (; j < m; ++j) dst[j] = src[j];
+/// Best tier whose fp32 numerics are bit-identical to the references
+/// (generic/AVX2 — never FMA), i.e. the safe default.
+KernelTier BestBitStableTier() {
+  return AvailableOps()[1] != nullptr ? KernelTier::kAvx2
+                                      : KernelTier::kGeneric;
 }
 
-inline void ZeroRow(float* dst, size_t m) {
-  size_t j = 0;
-#if defined(__AVX2__)
-  const __m256 zero = _mm256_setzero_ps();
-  for (; j + 8 <= m; j += 8) _mm256_storeu_ps(dst + j, zero);
-#endif
-  for (; j < m; ++j) dst[j] = 0.0f;
+KernelTier ResolveTierFromEnv() {
+  const KernelTier fallback = BestBitStableTier();
+  const char* env = std::getenv("DS_KERNEL_TIER");
+  if (env == nullptr || *env == '\0') return fallback;
+  const std::string req(env);
+  const detail::KernelOps* const* ops = AvailableOps();
+  if (req == "native") {
+    for (int t = kNumTiers - 1; t >= 0; --t) {
+      if (ops[t] != nullptr) return static_cast<KernelTier>(t);
+    }
+  }
+  int want = -1;
+  if (req == "generic") want = 0;
+  else if (req == "avx2") want = 1;
+  else if (req == "fma" || req == "avx2fma" || req == "avx2+fma") want = 2;
+  else if (req == "avx512") want = 3;
+  if (want < 0) {
+    std::fprintf(stderr,
+                 "[ds] DS_KERNEL_TIER='%s' not recognized (want generic, "
+                 "avx2, fma, avx512, or native); using %s\n",
+                 env, KernelTierName(fallback));
+    return fallback;
+  }
+  if (ops[want] == nullptr) {
+    std::fprintf(stderr,
+                 "[ds] DS_KERNEL_TIER=%s is not available on this "
+                 "CPU/build; using %s\n",
+                 env, KernelTierName(fallback));
+    return fallback;
+  }
+  return static_cast<KernelTier>(want);
 }
 
-// crow[j] += bias[j], then optionally relu, in one pass.
-inline void BiasActRow(const float* bias, bool fuse_relu, float* crow,
-                       size_t m) {
-  size_t j = 0;
-#if defined(__AVX2__)
-  const __m256 zero = _mm256_setzero_ps();
-  for (; j + 8 <= m; j += 8) {
-    __m256 c = _mm256_add_ps(_mm256_loadu_ps(crow + j),
-                             _mm256_loadu_ps(bias + j));
-    if (fuse_relu) c = _mm256_max_ps(c, zero);
-    _mm256_storeu_ps(crow + j, c);
+// Active tier index; -1 until first use. Resolution races are benign: every
+// racer computes the same value (thread-safe function-local static).
+std::atomic<int> g_tier{-1};
+
+int ActiveTierIndex() {
+  int t = g_tier.load(std::memory_order_acquire);
+  if (t < 0) {
+    static const int resolved = static_cast<int>(ResolveTierFromEnv());
+    g_tier.store(resolved, std::memory_order_release);
+    t = resolved;
   }
-#endif
-  for (; j < m; ++j) {
-    float v = crow[j] + bias[j];
-    crow[j] = fuse_relu && v < 0.0f ? 0.0f : v;
-  }
+  return t;
 }
+
+const detail::KernelOps& Ops() { return *AvailableOps()[ActiveTierIndex()]; }
 
 }  // namespace
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kGeneric: return "generic";
+    case KernelTier::kAvx2: return "avx2";
+    case KernelTier::kAvx2Fma: return "fma";
+    case KernelTier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+std::vector<KernelTier> AvailableKernelTiers() {
+  std::vector<KernelTier> tiers;
+  const detail::KernelOps* const* ops = AvailableOps();
+  for (int t = 0; t < kNumTiers; ++t) {
+    if (ops[t] != nullptr) tiers.push_back(static_cast<KernelTier>(t));
+  }
+  return tiers;
+}
+
+KernelTier ActiveKernelTier() {
+  return static_cast<KernelTier>(ActiveTierIndex());
+}
+
+bool SetKernelTier(KernelTier tier) {
+  const int t = static_cast<int>(tier);
+  if (t < 0 || t >= kNumTiers || AvailableOps()[t] == nullptr) return false;
+  g_tier.store(t, std::memory_order_release);
+  return true;
+}
+
+bool KernelsVectorized() {
+  return ActiveKernelTier() != KernelTier::kGeneric;
+}
 
 Tensor SparseRows::ToDense() const {
   Tensor t({rows(), dim});
@@ -165,15 +159,7 @@ void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
              b.dim(0), m);
   c->ResizeInPlace({n, m});
   DS_NO_ALLOC_BEGIN();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c->data();
-  for (size_t i = 0; i < n; ++i) {
-    float* crow = cd + i * m;
-    ZeroRow(crow, m);
-    // Zero entries are skipped (one-hot/bitmap inputs are mostly zero).
-    AccumulateRow(ad + i * k, k, bd, m, crow);
-  }
+  Ops().matmul(a.data(), b.data(), c->data(), n, k, m);
   CountKernel(GlobalKernelStats().dense_calls, n * k * m,
               (n * k + k * m + n * m) * sizeof(float));
   DS_NO_ALLOC_END();
@@ -191,38 +177,7 @@ void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* c) {
              n, k, m, b.dim(1));
   c->ResizeInPlace({n, m});
   DS_NO_ALLOC_BEGIN();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c->data();
-  for (size_t i = 0; i < n; ++i) {
-    const float* arow = ad + i * k;
-    float* crow = cd + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      const float* brow = bd + j * k;
-      size_t kk = 0;
-      float acc = 0.0f;
-#if defined(__AVX2__)
-      if (k >= 8) {
-        __m256 acc8 = _mm256_setzero_ps();
-        for (; kk + 8 <= k; kk += 8) {
-          acc8 = _mm256_add_ps(acc8,
-                               _mm256_mul_ps(_mm256_loadu_ps(arow + kk),
-                                             _mm256_loadu_ps(brow + kk)));
-        }
-        // Horizontal sum (reassociates the reduction; the backward pass
-        // tolerates the rounding difference).
-        __m128 lo = _mm256_castps256_ps128(acc8);
-        __m128 hi = _mm256_extractf128_ps(acc8, 1);
-        __m128 s = _mm_add_ps(lo, hi);
-        s = _mm_hadd_ps(s, s);
-        s = _mm_hadd_ps(s, s);
-        acc = _mm_cvtss_f32(s);
-      }
-#endif
-      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  Ops().matmul_tb(a.data(), b.data(), c->data(), n, k, m);
   CountKernel(GlobalKernelStats().dense_calls, n * k * m,
               (n * k + k * m + n * m) * sizeof(float));
   DS_NO_ALLOC_END();
@@ -243,18 +198,7 @@ void MatMulTransposedAAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
              "[%zu,%zu]",
              c->dim(0), c->dim(1), k, m);
   DS_NO_ALLOC_BEGIN();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c->data();
-  for (size_t i = 0; i < n; ++i) {
-    const float* arow = ad + i * k;
-    const float* brow = bd + i * m;
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      AxpyRow(av, brow, cd + kk * m, m);
-    }
-  }
+  Ops().matmul_ta_acc(a.data(), b.data(), c->data(), n, k, m);
   CountKernel(GlobalKernelStats().dense_calls, n * k * m,
               (n * k + n * m + k * m) * sizeof(float));
   DS_NO_ALLOC_END();
@@ -275,18 +219,42 @@ void LinearBiasActInto(const Tensor& x, const Tensor& weight,
              bias.dim(0), m);
   y->ResizeInPlace({n, m});
   DS_NO_ALLOC_BEGIN();
-  const float* xd = x.data();
-  const float* wd = weight.data();
-  const float* bd = bias.data();
-  float* yd = y->data();
-  for (size_t i = 0; i < n; ++i) {
-    float* yrow = yd + i * m;
-    ZeroRow(yrow, m);
-    AccumulateRow(xd + i * k, k, wd, m, yrow);
-    BiasActRow(bd, fuse_relu, yrow, m);
-  }
+  Ops().linear(x.data(), weight.data(), bias.data(), fuse_relu, y->data(), n,
+               k, m);
   CountKernel(GlobalKernelStats().fused_calls, n * k * m,
               (n * k + k * m + n * m) * sizeof(float));
+  DS_NO_ALLOC_END();
+}
+
+void LinearBiasActPackedInto(const Tensor& x, const PackedLinear& weight,
+                             const Tensor& bias, bool fuse_relu, Tensor* y) {
+  DS_REQUIRE(x.rank() == 2 && bias.rank() == 1,
+             "LinearBiasActPackedInto wants x:2D bias:1D, got %zu/%zu",
+             x.rank(), bias.rank());
+  DS_REQUIRE(weight.mode != QuantMode::kFp32,
+             "LinearBiasActPackedInto needs packed (int8/fp16) weights; use "
+             "LinearBiasActInto for fp32");
+  const size_t n = x.dim(0), k = x.dim(1), m = weight.out;
+  DS_REQUIRE(k == weight.in,
+             "LinearBiasActPackedInto dims disagree: x [%zu,%zu] x packed "
+             "[%zu,%zu]",
+             n, k, weight.in, m);
+  DS_REQUIRE(bias.dim(0) == m, "bias has %zu entries for %zu outputs",
+             bias.dim(0), m);
+  y->ResizeInPlace({n, m});
+  DS_NO_ALLOC_BEGIN();
+  size_t weight_bytes = 0;
+  if (weight.mode == QuantMode::kInt8) {
+    Ops().linear_i8(x.data(), weight.q.data(), weight.scales.data(),
+                    bias.data(), fuse_relu, y->data(), n, k, m);
+    weight_bytes = k * m * sizeof(int8_t) + m * sizeof(float);
+  } else {
+    Ops().linear_f16(x.data(), weight.half.data(), bias.data(), fuse_relu,
+                     y->data(), n, k, m);
+    weight_bytes = k * m * sizeof(uint16_t);
+  }
+  CountKernel(GlobalKernelStats().quant_calls, n * k * m,
+              weight_bytes + (n * k + n * m) * sizeof(float));
   DS_NO_ALLOC_END();
 }
 
@@ -304,24 +272,49 @@ void SparseLinearBiasActInto(const SparseRows& x, const Tensor& weight,
              bias.dim(0), m);
   y->ResizeInPlace({n, m});
   DS_NO_ALLOC_BEGIN();
-  const float* wd = weight.data();
-  const float* bd = bias.data();
-  float* yd = y->data();
-  for (size_t i = 0; i < n; ++i) {
-    float* yrow = yd + i * m;
-    ZeroRow(yrow, m);
-    uint32_t e = x.row_offsets[i];
-    const uint32_t end = x.row_offsets[i + 1];
-    for (; e + 2 <= end; e += 2) {
-      AxpyRow2(x.vals[e], wd + x.cols[e] * m, x.vals[e + 1],
-               wd + x.cols[e + 1] * m, yrow, m);
-    }
-    if (e < end) AxpyRow(x.vals[e], wd + x.cols[e] * m, yrow, m);
-    BiasActRow(bd, fuse_relu, yrow, m);
-  }
+  Ops().sparse_linear(x.row_offsets.data(), x.cols.data(), x.vals.data(), n,
+                      weight.data(), bias.data(), fuse_relu, y->data(), m);
   CountKernel(GlobalKernelStats().sparse_calls, x.nonzeros() * m,
               (x.nonzeros() * 2 * sizeof(uint32_t)) +
                   (x.nonzeros() + k * m + n * m) * sizeof(float));
+  DS_NO_ALLOC_END();
+}
+
+void SparseLinearBiasActPackedInto(const SparseRows& x,
+                                   const PackedLinear& weight,
+                                   const Tensor& bias, bool fuse_relu,
+                                   Tensor* y) {
+  DS_REQUIRE(bias.rank() == 1,
+             "SparseLinearBiasActPackedInto wants bias:1D, got %zu",
+             bias.rank());
+  DS_REQUIRE(weight.mode != QuantMode::kFp32,
+             "SparseLinearBiasActPackedInto needs packed (int8/fp16) "
+             "weights; use SparseLinearBiasActInto for fp32");
+  const size_t n = x.rows(), k = x.dim, m = weight.out;
+  DS_REQUIRE(k == weight.in,
+             "SparseLinearBiasActPackedInto dims disagree: x [%zu,%zu] x "
+             "packed [%zu,%zu]",
+             n, k, weight.in, m);
+  DS_REQUIRE(bias.dim(0) == m, "bias has %zu entries for %zu outputs",
+             bias.dim(0), m);
+  y->ResizeInPlace({n, m});
+  DS_NO_ALLOC_BEGIN();
+  size_t weight_bytes = 0;
+  if (weight.mode == QuantMode::kInt8) {
+    Ops().sparse_linear_i8(x.row_offsets.data(), x.cols.data(),
+                           x.vals.data(), n, weight.q.data(),
+                           weight.scales.data(), bias.data(), fuse_relu,
+                           y->data(), m);
+    weight_bytes = k * m * sizeof(int8_t) + m * sizeof(float);
+  } else {
+    Ops().sparse_linear_f16(x.row_offsets.data(), x.cols.data(),
+                            x.vals.data(), n, weight.half.data(),
+                            bias.data(), fuse_relu, y->data(), m);
+    weight_bytes = k * m * sizeof(uint16_t);
+  }
+  CountKernel(GlobalKernelStats().quant_calls, x.nonzeros() * m,
+              weight_bytes + (x.nonzeros() * 2 * sizeof(uint32_t)) +
+                  (x.nonzeros() + n * m) * sizeof(float));
   DS_NO_ALLOC_END();
 }
 

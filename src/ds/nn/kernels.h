@@ -1,4 +1,4 @@
-// Zero-allocation, vectorization-friendly kernels for the NN hot paths.
+// Zero-allocation, runtime-dispatched kernels for the NN hot paths.
 //
 // The functional ops in tensor.h allocate their result and keep a scalar
 // triple loop; they remain the reference implementations. The kernels here
@@ -7,29 +7,43 @@
 //   * "-Into" variants write into caller-provided, pre-sized tensors, so a
 //     steady-state inference batch touches no allocator at all (pair them
 //     with nn::Workspace).
-//   * Inner loops are blocked and unrolled so the compiler auto-vectorizes;
-//     on AVX2 builds (-mavx2, see the DS_ENABLE_AVX2 CMake option) the
-//     matmul/fused kernels take an explicit intrinsic path. The intrinsic
-//     path uses mul+add (never FMA) and accumulates in the same k-order as
-//     the scalar reference, so results are bit-for-bit identical to the
-//     tensor.h ops — nn_kernel_test asserts this.
-//   * LinearBiasActInto fuses x*W + b (+ ReLU) into one pass over the
-//     output, eliminating the separate bias and activation sweeps.
+//   * Every kernel body is compiled several times into *tiers* — generic
+//     (portable, auto-vectorizable), AVX2, AVX2+FMA, and AVX-512 — in
+//     separate translation units with per-file target flags (see
+//     src/CMakeLists.txt). A dispatch table picks the tier at first use
+//     from runtime CPU detection (ds/util/cpuid.h), so one binary runs
+//     correctly on baseline x86-64 and fast on whatever it lands on. The
+//     DS_KERNEL_TIER environment variable (generic|avx2|fma|avx512|native)
+//     overrides the choice; SetKernelTier() does the same programmatically
+//     for tests and benches.
+//   * Numerics per tier: generic and AVX2 use mul+add in the same k-order,
+//     so they are bit-for-bit identical to the tensor.h references (and to
+//     each other) — which is why AVX2 is the *default* ceiling: estimates
+//     stay reproducible across machines. The FMA and AVX-512 tiers contract
+//     to fused multiply-add (rounding once instead of twice); they are
+//     opt-in via DS_KERNEL_TIER=fma|avx512|native and parity-gated to a
+//     tolerance by bench_nn_kernels check=1.
+//   * LinearBiasActInto fuses x*W + b (+ ReLU) into one pass; the Packed
+//     variants read int8/fp16 packed weights (ds/nn/quant.h), applying
+//     per-output-channel scales in the same fused tail.
 //   * SparseRows is a CSR representation of the MSCN's one-hot/bitmap
 //     feature rows (overwhelmingly zero); SparseLinearBiasActInto multiplies
 //     it against a dense weight matrix touching only the nonzeros.
 //
 // Thread-safety: all kernels are pure functions of their arguments; distinct
 // output tensors may be computed concurrently. KernelStats counters are
-// relaxed atomics, updated once per kernel call.
+// relaxed atomics, updated once per kernel call. SetKernelTier is an atomic
+// pointer swap intended for startup/test code, not mid-batch flips.
 
 #ifndef DS_NN_KERNELS_H_
 #define DS_NN_KERNELS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ds/nn/quant.h"
 #include "ds/nn/tensor.h"
 #include "ds/util/contract.h"
 
@@ -44,21 +58,50 @@ struct KernelStats {
   std::atomic<uint64_t> dense_calls{0};   // MatMulInto and transposed forms
   std::atomic<uint64_t> fused_calls{0};   // LinearBiasActInto
   std::atomic<uint64_t> sparse_calls{0};  // SparseLinearBiasActInto
+  std::atomic<uint64_t> quant_calls{0};   // packed int8/fp16 fused kernels
   std::atomic<uint64_t> flops{0};         // 2 * multiply-accumulates issued
   std::atomic<uint64_t> bytes{0};         // operand + result bytes touched
 };
 
 KernelStats& GlobalKernelStats();
 
-/// True when the library was compiled with the AVX2 intrinsic kernel path
-/// (otherwise the portable scalar/unrolled fallback runs).
+// ---- Runtime dispatch ----------------------------------------------------------
+
+/// Kernel tiers, ordered: a higher tier never lacks an instruction a lower
+/// one uses. kGeneric and kAvx2 are bit-identical; kAvx2Fma and kAvx512
+/// contract to FMA (tolerance-bounded vs the others).
+enum class KernelTier : int {
+  kGeneric = 0,
+  kAvx2 = 1,
+  kAvx2Fma = 2,
+  kAvx512 = 3,
+};
+
+const char* KernelTierName(KernelTier tier);
+
+/// Tiers usable in this process: compiled into the binary AND supported by
+/// the running CPU/OS. Always contains kGeneric; sorted ascending.
+std::vector<KernelTier> AvailableKernelTiers();
+
+/// The tier the dispatch table currently routes through. First call
+/// resolves the default: the best *bit-stable* tier (AVX2 when available),
+/// unless DS_KERNEL_TIER requests otherwise ("native" = fastest available
+/// including FMA/AVX-512; unknown or unavailable values fall back and warn
+/// on stderr once).
+KernelTier ActiveKernelTier();
+
+/// Forces the active tier. Returns false (and changes nothing) when the
+/// tier is not available in this process. Tests and benches only.
+bool SetKernelTier(KernelTier tier);
+
+/// True when the active tier uses SIMD intrinsics (i.e. not kGeneric).
 bool KernelsVectorized();
 
 // ---- Dense kernels -------------------------------------------------------------
 
 /// C = A x B for 2D tensors [n,k] x [k,m]; `c` is resized in place to [n,m].
-/// Bit-for-bit identical to tensor.h MatMul (same k-order accumulation,
-/// same skip of zero A entries).
+/// Bit-for-bit identical to tensor.h MatMul on generic/AVX2 tiers (same
+/// k-order accumulation, same skip of zero A entries).
 void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c);
 
 /// C = A x B^T: [n,k] x [m,k] -> [n,m] (backward pass: dx = dy W^T). Uses
@@ -72,9 +115,16 @@ void MatMulTransposedAAccumulate(const Tensor& a, const Tensor& b, Tensor* c);
 
 /// Fused y = x*W + b, optionally followed by ReLU; `y` is resized in place
 /// to [n, out]. Accumulation order matches Linear::Forward (MatMul then
-/// AddBiasRows), so outputs are bit-for-bit identical to the unfused path.
+/// AddBiasRows), so outputs are bit-for-bit identical to the unfused path
+/// on generic/AVX2 tiers.
 void LinearBiasActInto(const Tensor& x, const Tensor& weight,
                        const Tensor& bias, bool fuse_relu, Tensor* y);
+
+/// Fused y = x*W + b (+ ReLU) with W in packed int8/fp16 form (see
+/// ds/nn/quant.h). int8 accumulates x·q in fp32 and applies the
+/// per-output-channel scale once in the bias pass: y_j = acc_j * s_j + b_j.
+void LinearBiasActPackedInto(const Tensor& x, const PackedLinear& weight,
+                             const Tensor& bias, bool fuse_relu, Tensor* y);
 
 // ---- Sparse featurized inputs --------------------------------------------------
 
@@ -144,6 +194,13 @@ struct SparseRows {
 /// ToDense() input because zero entries contribute nothing in either path.
 void SparseLinearBiasActInto(const SparseRows& x, const Tensor& weight,
                              const Tensor& bias, bool fuse_relu, Tensor* y);
+
+/// Sparse x packed int8/fp16 weights — the quantized serving hot path for
+/// the set-MLP first layers.
+void SparseLinearBiasActPackedInto(const SparseRows& x,
+                                   const PackedLinear& weight,
+                                   const Tensor& bias, bool fuse_relu,
+                                   Tensor* y);
 
 }  // namespace ds::nn
 

@@ -1,0 +1,447 @@
+// Tier-parameterized kernel bodies. Each tier translation unit defines
+//
+//   DS_TIER_NS    the tier's namespace (generic, avx2, avx2_fma, avx512)
+//   DS_TIER_SIMD  hand-written vector width: 0 (portable), 256, or 512
+//   DS_TIER_FMA   1 to contract multiply-add into fused FMA
+//
+// and then includes this file exactly once (after <immintrin.h> when
+// DS_TIER_SIMD > 0). Everything here except TierOps() sits in an anonymous
+// namespace: tier TUs are compiled with SIMD target flags, and any
+// vague-linkage symbol they exported could be the copy the linker keeps
+// for the whole binary — a baseline machine would then fault on vector
+// encodings the dispatcher never selected (see kernels_dispatch.h).
+//
+// Numerics contract:
+//   * fp32 paths at DS_TIER_SIMD 0 and 256 (no FMA) perform mul-then-add
+//     per element in the same k-order as the tensor.h references, so they
+//     are bit-for-bit identical to them and to each other.
+//   * DS_TIER_FMA and the 512-bit tier round once per multiply-add and use
+//     wider/zipped reductions; they match the others only to tolerance.
+//   * int8 kernels accumulate x·q in fp32 and apply the per-output-channel
+//     scale once in the bias pass: y_j = acc_j * s_j + b_j. fp16 weights
+//     are converted to fp32 before the multiply (exact), so fp16 paths are
+//     bit-identical across generic/avx2 too.
+
+#if !defined(DS_TIER_NS) || !defined(DS_TIER_SIMD) || !defined(DS_TIER_FMA)
+#error "define DS_TIER_NS / DS_TIER_SIMD / DS_TIER_FMA before including"
+#endif
+
+namespace ds::nn::detail {
+namespace DS_TIER_NS {
+namespace {
+
+// ---- Vector helpers ----------------------------------------------------------
+
+#if DS_TIER_SIMD >= 256
+#if DS_TIER_FMA
+inline __m256 MulAdd8(__m256 acc, __m256 a, __m256 b) {
+  return _mm256_fmadd_ps(a, b, acc);
+}
+#else
+inline __m256 MulAdd8(__m256 acc, __m256 a, __m256 b) {
+  return _mm256_add_ps(acc, _mm256_mul_ps(a, b));
+}
+#endif
+
+// Weight-row loads, overloaded on storage format. int8 codes sign-extend
+// through int32 (VPMOVSXBD) then convert; fp16 converts via VCVTPH2PS.
+// Both conversions are exact, so the storage format alone decides the
+// numerics, not the tier.
+inline __m256 LoadW8(const float* p) { return _mm256_loadu_ps(p); }
+inline __m256 LoadW8(const int8_t* p) {
+  const __m128i b =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));  // 8 codes
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+}
+inline __m256 LoadW8(const uint16_t* p) {
+  return _mm256_cvtph_ps(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+#endif  // DS_TIER_SIMD >= 256
+
+#if DS_TIER_SIMD >= 512
+inline __m512 MulAdd16(__m512 acc, __m512 a, __m512 b) {
+  return _mm512_fmadd_ps(a, b, acc);
+}
+inline __m512 LoadW16(const float* p) { return _mm512_loadu_ps(p); }
+inline __m512 LoadW16(const int8_t* p) {
+  const __m128i b =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));  // 16 codes
+  return _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(b));
+}
+inline __m512 LoadW16(const uint16_t* p) {
+  return _mm512_cvtph_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+#endif  // DS_TIER_SIMD >= 512
+
+// ---- Scalar weight loads ------------------------------------------------------
+
+inline float LoadW1(const float* p) { return *p; }
+inline float LoadW1(const int8_t* p) { return static_cast<float>(*p); }
+
+#if DS_TIER_SIMD == 0
+// Software binary16 -> binary32 (exact: every half is representable).
+// Mirrors nn::F16ToF32 (quant.cc); duplicated with internal linkage so this
+// TU shares no code with SIMD-flagged TUs. quant_test pins the two
+// implementations (and VCVTPH2PS) to the same mapping.
+inline float HalfBitsToFloat(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exp = (half >> 10) & 0x1fu;
+  uint32_t mant = half & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;
+    } else {
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while ((mant & 0x400u) == 0);
+      bits = sign | ((127u - 15u - e) << 23) | ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else {
+    bits = sign | ((exp - 15u + 127u) << 23) | (mant << 13);
+  }
+  float out;
+  __builtin_memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+inline float LoadW1(const uint16_t* p) { return HalfBitsToFloat(*p); }
+#else
+inline float LoadW1(const uint16_t* p) { return _cvtsh_ss(*p); }
+#endif
+
+// ---- Row primitives -----------------------------------------------------------
+
+inline void ZeroRow(float* dst, size_t m) {
+  size_t j = 0;
+#if DS_TIER_SIMD >= 512
+  const __m512 z16 = _mm512_setzero_ps();
+  for (; j + 16 <= m; j += 16) _mm512_storeu_ps(dst + j, z16);
+#endif
+#if DS_TIER_SIMD >= 256
+  const __m256 z8 = _mm256_setzero_ps();
+  for (; j + 8 <= m; j += 8) _mm256_storeu_ps(dst + j, z8);
+#endif
+  for (; j < m; ++j) dst[j] = 0.0f;
+}
+
+// crow[j] += av * brow[j] for j in [0, m), brow in any storage format.
+template <typename WT>
+inline void AxpyRow(float av, const WT* brow, float* crow, size_t m) {
+  size_t j = 0;
+#if DS_TIER_SIMD >= 512
+  const __m512 av16 = _mm512_set1_ps(av);
+  for (; j + 16 <= m; j += 16) {
+    _mm512_storeu_ps(crow + j, MulAdd16(_mm512_loadu_ps(crow + j), av16,
+                                        LoadW16(brow + j)));
+  }
+#endif
+#if DS_TIER_SIMD >= 256
+  const __m256 av8 = _mm256_set1_ps(av);
+#if DS_TIER_SIMD == 256
+  // Double-pumped 8-wide main loop: both weight-row loads in flight.
+  for (; j + 16 <= m; j += 16) {
+    __m256 c0 = _mm256_loadu_ps(crow + j);
+    __m256 c1 = _mm256_loadu_ps(crow + j + 8);
+    c0 = MulAdd8(c0, av8, LoadW8(brow + j));
+    c1 = MulAdd8(c1, av8, LoadW8(brow + j + 8));
+    _mm256_storeu_ps(crow + j, c0);
+    _mm256_storeu_ps(crow + j + 8, c1);
+  }
+#endif
+  for (; j + 8 <= m; j += 8) {
+    _mm256_storeu_ps(
+        crow + j, MulAdd8(_mm256_loadu_ps(crow + j), av8, LoadW8(brow + j)));
+  }
+#endif
+#if DS_TIER_SIMD == 0
+  // 4-wide unroll; independent elements, so the compiler can vectorize.
+  for (; j + 4 <= m; j += 4) {
+    crow[j] += av * LoadW1(brow + j);
+    crow[j + 1] += av * LoadW1(brow + j + 1);
+    crow[j + 2] += av * LoadW1(brow + j + 2);
+    crow[j + 3] += av * LoadW1(brow + j + 3);
+  }
+#endif
+  for (; j < m; ++j) crow[j] += av * LoadW1(brow + j);
+}
+
+// crow[j] = (crow[j] + a1 * b1[j]) + a2 * b2[j] — the float sequence of two
+// AxpyRow calls with both weight rows streaming concurrently. The k loops
+// pair consecutive nonzeros through this to hide load latency on the
+// accumulation-heavy sparse/one-hot first layers.
+template <typename WT>
+inline void AxpyRow2(float a1, const WT* b1, float a2, const WT* b2,
+                     float* crow, size_t m) {
+  size_t j = 0;
+#if DS_TIER_SIMD >= 512
+  const __m512 av1 = _mm512_set1_ps(a1);
+  const __m512 av2 = _mm512_set1_ps(a2);
+  for (; j + 16 <= m; j += 16) {
+    __m512 c = _mm512_loadu_ps(crow + j);
+    c = MulAdd16(c, av1, LoadW16(b1 + j));
+    c = MulAdd16(c, av2, LoadW16(b2 + j));
+    _mm512_storeu_ps(crow + j, c);
+  }
+#endif
+#if DS_TIER_SIMD >= 256
+  const __m256 av18 = _mm256_set1_ps(a1);
+  const __m256 av28 = _mm256_set1_ps(a2);
+  for (; j + 8 <= m; j += 8) {
+    __m256 c = _mm256_loadu_ps(crow + j);
+    c = MulAdd8(c, av18, LoadW8(b1 + j));
+    c = MulAdd8(c, av28, LoadW8(b2 + j));
+    _mm256_storeu_ps(crow + j, c);
+  }
+#endif
+  for (; j < m; ++j) {
+    crow[j] = (crow[j] + a1 * LoadW1(b1 + j)) + a2 * LoadW1(b2 + j);
+  }
+}
+
+// crow[j] += sum_k arow[k] * b[k][j], skipping zero entries of arow and
+// pairing consecutive nonzeros through AxpyRow2 (one-hot/bitmap inputs are
+// mostly zero). Each pair preserves per-element add order, so this stays
+// bit-exact with the plain sequential zero-skip loop.
+template <typename WT>
+inline void AccumulateRow(const float* arow, size_t k, const WT* bd, size_t m,
+                          float* crow) {
+  size_t kk = 0;
+  for (;;) {
+    while (kk < k && arow[kk] == 0.0f) ++kk;
+    if (kk >= k) break;
+    const size_t k1 = kk++;
+    while (kk < k && arow[kk] == 0.0f) ++kk;
+    if (kk >= k) {
+      AxpyRow(arow[k1], bd + k1 * m, crow, m);
+      break;
+    }
+    const size_t k2 = kk++;
+    AxpyRow2(arow[k1], bd + k1 * m, arow[k2], bd + k2 * m, crow, m);
+  }
+}
+
+// crow[j] += bias[j], then optionally relu, in one pass.
+inline void BiasActRow(const float* bias, bool fuse_relu, float* crow,
+                       size_t m) {
+  size_t j = 0;
+#if DS_TIER_SIMD >= 512
+  const __m512 z16 = _mm512_setzero_ps();
+  for (; j + 16 <= m; j += 16) {
+    __m512 c = _mm512_add_ps(_mm512_loadu_ps(crow + j),
+                             _mm512_loadu_ps(bias + j));
+    if (fuse_relu) c = _mm512_max_ps(c, z16);
+    _mm512_storeu_ps(crow + j, c);
+  }
+#endif
+#if DS_TIER_SIMD >= 256
+  const __m256 z8 = _mm256_setzero_ps();
+  for (; j + 8 <= m; j += 8) {
+    __m256 c =
+        _mm256_add_ps(_mm256_loadu_ps(crow + j), _mm256_loadu_ps(bias + j));
+    if (fuse_relu) c = _mm256_max_ps(c, z8);
+    _mm256_storeu_ps(crow + j, c);
+  }
+#endif
+  for (; j < m; ++j) {
+    float v = crow[j] + bias[j];
+    crow[j] = fuse_relu && v < 0.0f ? 0.0f : v;
+  }
+}
+
+// crow[j] = crow[j] * scales[j] + bias[j] (+ relu) — the int8 epilogue:
+// the whole-column dequantization applied once per output instead of once
+// per weight.
+inline void ScaleBiasActRow(const float* scales, const float* bias,
+                            bool fuse_relu, float* crow, size_t m) {
+  size_t j = 0;
+#if DS_TIER_SIMD >= 512
+  const __m512 z16 = _mm512_setzero_ps();
+  for (; j + 16 <= m; j += 16) {
+    __m512 c = MulAdd16(_mm512_loadu_ps(bias + j), _mm512_loadu_ps(crow + j),
+                        _mm512_loadu_ps(scales + j));
+    if (fuse_relu) c = _mm512_max_ps(c, z16);
+    _mm512_storeu_ps(crow + j, c);
+  }
+#endif
+#if DS_TIER_SIMD >= 256
+  const __m256 z8 = _mm256_setzero_ps();
+  for (; j + 8 <= m; j += 8) {
+    __m256 c = MulAdd8(_mm256_loadu_ps(bias + j), _mm256_loadu_ps(crow + j),
+                       _mm256_loadu_ps(scales + j));
+    if (fuse_relu) c = _mm256_max_ps(c, z8);
+    _mm256_storeu_ps(crow + j, c);
+  }
+#endif
+  for (; j < m; ++j) {
+    float v = crow[j] * scales[j] + bias[j];
+    crow[j] = fuse_relu && v < 0.0f ? 0.0f : v;
+  }
+}
+
+// Dot product arow · brow over k (backward pass dx = dy W^T). The vector
+// reduction reassociates; the training path tolerates the rounding.
+inline float DotRow(const float* arow, const float* brow, size_t k) {
+  size_t kk = 0;
+  float acc = 0.0f;
+#if DS_TIER_SIMD >= 512
+  if (k >= 16) {
+    __m512 acc16 = _mm512_setzero_ps();
+    for (; kk + 16 <= k; kk += 16) {
+      acc16 = MulAdd16(acc16, _mm512_loadu_ps(arow + kk),
+                       _mm512_loadu_ps(brow + kk));
+    }
+    acc = _mm512_reduce_add_ps(acc16);
+  }
+#elif DS_TIER_SIMD >= 256
+  if (k >= 8) {
+    __m256 acc8 = _mm256_setzero_ps();
+    for (; kk + 8 <= k; kk += 8) {
+      acc8 = MulAdd8(acc8, _mm256_loadu_ps(arow + kk),
+                     _mm256_loadu_ps(brow + kk));
+    }
+    __m128 lo = _mm256_castps256_ps128(acc8);
+    __m128 hi = _mm256_extractf128_ps(acc8, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_hadd_ps(s, s);
+    s = _mm_hadd_ps(s, s);
+    acc = _mm_cvtss_f32(s);
+  }
+#endif
+  for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+  return acc;
+}
+
+// ---- Kernel bodies ------------------------------------------------------------
+
+// Fused linear over any weight storage. `scales` non-null selects the int8
+// epilogue (scale applied once per output); null uses the plain bias pass.
+template <typename WT>
+inline void LinearBody(const float* xd, const WT* wd, const float* scales,
+                       const float* bias, bool fuse_relu, float* yd, size_t n,
+                       size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    float* yrow = yd + i * m;
+    ZeroRow(yrow, m);
+    AccumulateRow(xd + i * k, k, wd, m, yrow);
+    if (scales != nullptr) {
+      ScaleBiasActRow(scales, bias, fuse_relu, yrow, m);
+    } else {
+      BiasActRow(bias, fuse_relu, yrow, m);
+    }
+  }
+}
+
+template <typename WT>
+inline void SparseLinearBody(const uint32_t* offs, const uint32_t* cols,
+                             const float* vals, size_t n, const WT* wd,
+                             const float* scales, const float* bias,
+                             bool fuse_relu, float* yd, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    float* yrow = yd + i * m;
+    ZeroRow(yrow, m);
+    uint32_t e = offs[i];
+    const uint32_t end = offs[i + 1];
+    for (; e + 2 <= end; e += 2) {
+      AxpyRow2(vals[e], wd + static_cast<size_t>(cols[e]) * m, vals[e + 1],
+               wd + static_cast<size_t>(cols[e + 1]) * m, yrow, m);
+    }
+    if (e < end) {
+      AxpyRow(vals[e], wd + static_cast<size_t>(cols[e]) * m, yrow, m);
+    }
+    if (scales != nullptr) {
+      ScaleBiasActRow(scales, bias, fuse_relu, yrow, m);
+    } else {
+      BiasActRow(bias, fuse_relu, yrow, m);
+    }
+  }
+}
+
+// ---- KernelOps entry points ---------------------------------------------------
+
+void MatMulOp(const float* a, const float* b, float* c, size_t n, size_t k,
+              size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    float* crow = c + i * m;
+    ZeroRow(crow, m);
+    AccumulateRow(a + i * k, k, b, m, crow);
+  }
+}
+
+void MatMulTBOp(const float* a, const float* b, float* c, size_t n, size_t k,
+                size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (size_t j = 0; j < m; ++j) crow[j] = DotRow(arow, b + j * k, k);
+  }
+}
+
+void MatMulTAAccOp(const float* a, const float* b, float* c, size_t n,
+                   size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * m;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      AxpyRow(av, brow, c + kk * m, m);
+    }
+  }
+}
+
+void LinearOp(const float* x, const float* w, const float* bias,
+              bool fuse_relu, float* y, size_t n, size_t k, size_t m) {
+  LinearBody(x, w, nullptr, bias, fuse_relu, y, n, k, m);
+}
+
+void SparseLinearOp(const uint32_t* offs, const uint32_t* cols,
+                    const float* vals, size_t n, const float* w,
+                    const float* bias, bool fuse_relu, float* y, size_t m) {
+  SparseLinearBody(offs, cols, vals, n, w, nullptr, bias, fuse_relu, y, m);
+}
+
+void LinearI8Op(const float* x, const int8_t* q, const float* scales,
+                const float* bias, bool fuse_relu, float* y, size_t n,
+                size_t k, size_t m) {
+  LinearBody(x, q, scales, bias, fuse_relu, y, n, k, m);
+}
+
+void SparseLinearI8Op(const uint32_t* offs, const uint32_t* cols,
+                      const float* vals, size_t n, const int8_t* q,
+                      const float* scales, const float* bias, bool fuse_relu,
+                      float* y, size_t m) {
+  SparseLinearBody(offs, cols, vals, n, q, scales, bias, fuse_relu, y, m);
+}
+
+void LinearF16Op(const float* x, const uint16_t* h, const float* bias,
+                 bool fuse_relu, float* y, size_t n, size_t k, size_t m) {
+  LinearBody(x, h, nullptr, bias, fuse_relu, y, n, k, m);
+}
+
+void SparseLinearF16Op(const uint32_t* offs, const uint32_t* cols,
+                       const float* vals, size_t n, const uint16_t* h,
+                       const float* bias, bool fuse_relu, float* y,
+                       size_t m) {
+  SparseLinearBody(offs, cols, vals, n, h, nullptr, bias, fuse_relu, y, m);
+}
+
+}  // namespace
+
+/// The tier's dispatch table; the only symbol a tier TU exports.
+const KernelOps* TierOps() {
+  static const KernelOps ops = {
+      MatMulOp,         MatMulTBOp,        MatMulTAAccOp,
+      LinearOp,         SparseLinearOp,    LinearI8Op,
+      SparseLinearI8Op, LinearF16Op,       SparseLinearF16Op,
+  };
+  return &ops;
+}
+
+}  // namespace DS_TIER_NS
+}  // namespace ds::nn::detail

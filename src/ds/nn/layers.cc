@@ -29,18 +29,68 @@ Tensor Linear::Forward(const Tensor& x) {
 
 Tensor Linear::Infer(const Tensor& x) const {
   DS_CHECK_EQ(x.rank(), 2u);
+  // Via InferInto so the single-query and batched paths read the same
+  // (possibly packed) weights — estimates must not depend on which API
+  // served them.
   Tensor y;
-  LinearBiasActInto(x, weight_.value, bias_.value, /*fuse_relu=*/false, &y);
+  InferInto(x, /*fuse_relu=*/false, &y);
   return y;
 }
 
 void Linear::InferInto(const Tensor& x, bool fuse_relu, Tensor* y) const {
-  LinearBiasActInto(x, weight_.value, bias_.value, fuse_relu, y);
+  if (packed_) {
+    LinearBiasActPackedInto(x, *packed_, bias_.value, fuse_relu, y);
+  } else {
+    LinearBiasActInto(x, weight_.value, bias_.value, fuse_relu, y);
+  }
 }
 
 void Linear::InferSparseInto(const SparseRows& x, bool fuse_relu,
                              Tensor* y) const {
-  SparseLinearBiasActInto(x, weight_.value, bias_.value, fuse_relu, y);
+  if (packed_) {
+    SparseLinearBiasActPackedInto(x, *packed_, bias_.value, fuse_relu, y);
+  } else {
+    SparseLinearBiasActInto(x, weight_.value, bias_.value, fuse_relu, y);
+  }
+}
+
+void Linear::Pack(QuantMode mode) {
+  if (mode == QuantMode::kFp32) {
+    packed_.reset();
+    return;
+  }
+  packed_ = std::make_shared<const PackedLinear>(
+      PackWeights(weight_.value, mode));
+}
+
+void Linear::WritePacked(util::BinaryWriter* writer) const {
+  if (packed_ != nullptr) {
+    packed_->Write(writer);
+    return;
+  }
+  PackedLinear unpacked;
+  unpacked.in = in_features();
+  unpacked.out = out_features();
+  unpacked.Write(writer);
+}
+
+Status Linear::ReadPacked(util::BinaryReader* reader) {
+  Result<PackedLinear> read = PackedLinear::Read(reader);
+  if (!read.ok()) return read.status();
+  PackedLinear p = std::move(read).value();
+  if (p.mode == QuantMode::kFp32) {
+    packed_.reset();
+    return Status::OK();
+  }
+  if (p.in != in_features() || p.out != out_features()) {
+    return Status::ParseError(
+        "packed weight shape [" + std::to_string(p.in) + "," +
+        std::to_string(p.out) + "] disagrees with layer [" +
+        std::to_string(in_features()) + "," + std::to_string(out_features()) +
+        "]");
+  }
+  packed_ = std::make_shared<const PackedLinear>(std::move(p));
+  return Status::OK();
 }
 
 Tensor Linear::Backward(const Tensor& dy) {
@@ -173,6 +223,27 @@ Tensor Mlp::Backward(const Tensor& dy) {
   return d;
 }
 
+void Mlp::Pack(QuantMode mode) {
+  for (auto& l : layers_) l.Pack(mode);
+}
+
+void Mlp::WritePacked(util::BinaryWriter* writer) const {
+  writer->WriteU64(layers_.size());
+  for (const auto& l : layers_) l.WritePacked(writer);
+}
+
+Status Mlp::ReadPacked(util::BinaryReader* reader) {
+  uint64_t n = 0;
+  DS_RETURN_NOT_OK(reader->ReadU64(&n));
+  if (n != layers_.size()) {
+    return Status::ParseError("packed layer count mismatch: file has " +
+                              std::to_string(n) + ", model has " +
+                              std::to_string(layers_.size()));
+  }
+  for (auto& l : layers_) DS_RETURN_NOT_OK(l.ReadPacked(reader));
+  return Status::OK();
+}
+
 std::vector<Parameter*> Mlp::Parameters() {
   std::vector<Parameter*> out;
   for (auto& l : layers_) {
@@ -292,7 +363,7 @@ void WriteParameters(const std::vector<Parameter*>& params,
     std::vector<uint64_t> shape(p->value.shape().begin(),
                                 p->value.shape().end());
     writer->WritePodVector(shape);
-    writer->WritePodVector(p->value.vec());
+    writer->WritePodSpan(p->value.data(), p->value.size());
   }
 }
 
@@ -319,13 +390,11 @@ Status ReadParameters(util::BinaryReader* reader,
     if (std::vector<size_t>(shape.begin(), shape.end()) != want) {
       return Status::ParseError("parameter shape mismatch for '" + name + "'");
     }
-    std::vector<float> data;
-    DS_RETURN_NOT_OK(reader->ReadPodVector(&data));
-    if (data.size() != p->value.size()) {
-      return Status::ParseError("parameter data size mismatch for '" + name +
-                                "'");
+    Status read = reader->ReadPodSpan(p->value.data(), p->value.size());
+    if (!read.ok()) {
+      return Status::ParseError("parameter data mismatch for '" + name +
+                                "': " + read.message());
     }
-    p->value.vec() = std::move(data);
   }
   return Status::OK();
 }

@@ -62,6 +62,25 @@ class Linear {
   /// Same, with the input in CSR form (the featurized one-hot rows).
   void InferSparseInto(const SparseRows& x, bool fuse_relu, Tensor* y) const;
 
+  /// Builds (kInt8/kFp16) or clears (kFp32) the packed inference copy of
+  /// the weights; all Infer* paths route through it once set, while
+  /// Forward/Backward keep reading the fp32 parameters. Pack after
+  /// training: optimizer steps do not refresh the packed copy.
+  void Pack(QuantMode mode);
+
+  /// The storage format the inference paths currently read.
+  QuantMode quant_mode() const {
+    return packed_ ? packed_->mode : QuantMode::kFp32;
+  }
+  /// Null when unpacked (fp32 inference).
+  const PackedLinear* packed() const { return packed_.get(); }
+
+  /// Packed-weight persistence (sketch format v2). WritePacked always
+  /// emits a record — an empty kFp32 one when unpacked — so the stream
+  /// stays self-describing; ReadPacked validates shape against this layer.
+  void WritePacked(util::BinaryWriter* writer) const;
+  Status ReadPacked(util::BinaryReader* reader);
+
   std::vector<Parameter*> Parameters() { return {&weight_, &bias_}; }
   size_t in_features() const { return weight_.value.dim(0); }
   size_t out_features() const { return weight_.value.dim(1); }
@@ -69,6 +88,9 @@ class Linear {
  private:
   Parameter weight_;  // [in, out]
   Parameter bias_;    // [out]
+  // Immutable once built; shared so copied Linears (models are registry
+  // values) alias one packed copy instead of re-packing.
+  std::shared_ptr<const PackedLinear> packed_;
   Tensor cached_x_;
 };
 
@@ -125,6 +147,15 @@ class Mlp {
   /// Same, feeding the first layer from CSR rows (the MSCN's sparse
   /// featurized inputs); later layers run dense.
   Tensor* InferSparseInto(const SparseRows& x, Workspace* ws) const;
+
+  /// Packs (or unpacks, for kFp32) every layer's weights for inference.
+  void Pack(QuantMode mode);
+  /// The mode the layers are packed in (layers always agree).
+  QuantMode quant_mode() const { return layers_.front().quant_mode(); }
+
+  /// Packed-weight persistence across all layers, in order.
+  void WritePacked(util::BinaryWriter* writer) const;
+  Status ReadPacked(util::BinaryReader* reader);
 
   std::vector<Parameter*> Parameters();
 

@@ -1,0 +1,188 @@
+#include "ds/nn/quant.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "ds/util/contract.h"
+
+namespace ds::nn {
+
+const char* QuantModeName(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::kFp32: return "fp32";
+    case QuantMode::kFp16: return "fp16";
+    case QuantMode::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+Result<QuantMode> ParseQuantMode(const std::string& name) {
+  if (name == "fp32" || name == "none") return QuantMode::kFp32;
+  if (name == "fp16") return QuantMode::kFp16;
+  if (name == "int8") return QuantMode::kInt8;
+  return Status::InvalidArgument("unknown quant mode '" + name +
+                                 "' (want fp32, fp16, or int8)");
+}
+
+uint16_t F32ToF16(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exp = static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  uint32_t mant = bits & 0x7fffffu;
+
+  if (((bits >> 23) & 0xffu) == 0xffu) {
+    // Inf / NaN: keep a nonzero mantissa bit for NaN.
+    return static_cast<uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0));
+  }
+  if (exp >= 0x1f) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow
+  if (exp <= 0) {
+    if (exp < -10) return static_cast<uint16_t>(sign);  // underflow to 0
+    // Subnormal half: shift the (implicit-1) mantissa into place with
+    // round-to-nearest-even.
+    mant |= 0x800000u;
+    const int shift = 14 - exp;
+    const uint32_t rounded =
+        (mant >> shift) +
+        (((mant >> (shift - 1)) & 1u) &
+         (((mant & ((1u << (shift - 1)) - 1)) != 0 || ((mant >> shift) & 1u))
+              ? 1u
+              : 0u));
+    return static_cast<uint16_t>(sign | rounded);
+  }
+  // Normal: round mantissa 23 -> 10 bits, to nearest even. Increment when
+  // the round bit is set and either a sticky bit (low 12) or the result's
+  // lsb (bit 13) is — i.e. not an exactly-halfway-to-even case.
+  uint32_t half = sign | (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t round_bit = mant & 0x1000u;
+  if (round_bit && (mant & 0x2fffu) != 0) ++half;
+  return static_cast<uint16_t>(half);
+}
+
+float F16ToF32(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exp = (half >> 10) & 0x1fu;
+  uint32_t mant = half & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half -> normalized float.
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while ((mant & 0x400u) == 0);
+      bits = sign | ((127 - 15 - e) << 23) | ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+void PackedLinear::Write(util::BinaryWriter* w) const {
+  w->WriteU8(static_cast<uint8_t>(mode));
+  w->WriteU64(in);
+  w->WriteU64(out);
+  w->WritePodVector(q);
+  w->WritePodVector(half);
+  w->WritePodVector(scales);
+}
+
+Result<PackedLinear> PackedLinear::Read(util::BinaryReader* r) {
+  PackedLinear p;
+  uint8_t mode = 0;
+  DS_RETURN_NOT_OK(r->ReadU8(&mode));
+  if (mode > static_cast<uint8_t>(QuantMode::kInt8)) {
+    return Status::ParseError("invalid quant mode " + std::to_string(mode));
+  }
+  p.mode = static_cast<QuantMode>(mode);
+  uint64_t v = 0;
+  DS_RETURN_NOT_OK(r->ReadU64(&v));
+  p.in = v;
+  DS_RETURN_NOT_OK(r->ReadU64(&v));
+  p.out = v;
+  DS_RETURN_NOT_OK(r->ReadPodVector(&p.q));
+  DS_RETURN_NOT_OK(r->ReadPodVector(&p.half));
+  DS_RETURN_NOT_OK(r->ReadPodVector(&p.scales));
+  const size_t cells = p.in * p.out;
+  const bool shape_ok =
+      (p.mode == QuantMode::kInt8 && p.q.size() == cells &&
+       p.scales.size() == p.out && p.half.empty()) ||
+      (p.mode == QuantMode::kFp16 && p.half.size() == cells &&
+       p.q.empty() && p.scales.empty()) ||
+      (p.mode == QuantMode::kFp32 && p.q.empty() && p.half.empty() &&
+       p.scales.empty());
+  if (!shape_ok) {
+    return Status::ParseError("packed weight payload disagrees with its "
+                              "mode/shape header");
+  }
+  return p;
+}
+
+PackedLinear PackWeights(const Tensor& weight, QuantMode mode) {
+  DS_REQUIRE(weight.rank() == 2, "PackWeights wants a 2D weight, got rank %zu",
+             weight.rank());
+  PackedLinear p;
+  p.mode = mode;
+  p.in = weight.dim(0);
+  p.out = weight.dim(1);
+  const float* wd = weight.data();
+  if (mode == QuantMode::kFp32) return p;
+
+  if (mode == QuantMode::kFp16) {
+    p.half.resize(p.in * p.out);
+    for (size_t i = 0; i < p.in * p.out; ++i) p.half[i] = F32ToF16(wd[i]);
+    return p;
+  }
+
+  // int8: per-output-channel (per-column) symmetric scales.
+  p.scales.assign(p.out, 1.0f);
+  for (size_t j = 0; j < p.out; ++j) {
+    float amax = 0.0f;
+    for (size_t i = 0; i < p.in; ++i) {
+      amax = std::max(amax, std::fabs(wd[i * p.out + j]));
+    }
+    if (amax > 0.0f) p.scales[j] = amax / 127.0f;
+  }
+  p.q.resize(p.in * p.out);
+  for (size_t i = 0; i < p.in; ++i) {
+    for (size_t j = 0; j < p.out; ++j) {
+      const float scaled = wd[i * p.out + j] / p.scales[j];
+      const long code = std::lround(scaled);
+      p.q[i * p.out + j] = static_cast<int8_t>(
+          code < -127 ? -127 : (code > 127 ? 127 : code));
+    }
+  }
+  return p;
+}
+
+Tensor DequantizeWeights(const PackedLinear& p) {
+  Tensor w({p.in, p.out});
+  float* wd = w.data();
+  switch (p.mode) {
+    case QuantMode::kFp32:
+      DS_REQUIRE(false, "cannot dequantize an fp32 (unpacked) PackedLinear");
+      break;
+    case QuantMode::kFp16:
+      for (size_t i = 0; i < p.in * p.out; ++i) wd[i] = F16ToF32(p.half[i]);
+      break;
+    case QuantMode::kInt8:
+      for (size_t i = 0; i < p.in; ++i) {
+        for (size_t j = 0; j < p.out; ++j) {
+          wd[i * p.out + j] =
+              static_cast<float>(p.q[i * p.out + j]) * p.scales[j];
+        }
+      }
+      break;
+  }
+  return w;
+}
+
+}  // namespace ds::nn

@@ -1,0 +1,90 @@
+// Weight quantization and packing for the inference hot path.
+//
+// A trained MSCN keeps its fp32 parameters (training, gradients, and the
+// parity reference all need them); *inference* can additionally carry a
+// packed copy of each Linear's weight matrix in a cheaper storage format:
+//
+//   int8  Per-output-channel symmetric quantization. For weight W [in,out]
+//         the scale of output channel j is max_i |W[i][j]| / 127 and
+//         q[i][j] = round(W[i][j] / scale[j]) clamped to [-127, 127]
+//         (symmetric range; -128 is never produced). The kernels
+//         accumulate x · q in fp32 and apply scale[j] once per output in
+//         the fused bias/activation pass, so quantization error is exactly
+//         the weight rounding — activations are never quantized. A zero
+//         channel gets scale 1 and all-zero codes. 4x less weight traffic.
+//
+//   fp16  IEEE 754 binary16 storage, converted back to fp32 on load in the
+//         kernel inner loop (VCVTPH2PS on F16C tiers, bit-exact software
+//         conversion on the generic tier). Rounding is round-to-nearest-
+//         even. 2x less weight traffic, ~3 decimal digits kept.
+//
+// Packing (the "pre-transposition" step): codes are stored row-major
+// [in, out] — output-channel-contiguous rows — which is the exact order the
+// accumulation kernels stream them in (one weight row per input nonzero),
+// padded so every row starts 64-byte-aligned when `out` is a multiple of
+// the lane width. The pack runs once at sketch publish/load, never per
+// batch, and the packed bytes are serialized with the sketch (format v2)
+// so a loaded sketch starts hot.
+//
+// Thread-safety: PackedLinear is immutable after construction; share
+// freely across inference threads.
+
+#ifndef DS_NN_QUANT_H_
+#define DS_NN_QUANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ds/nn/tensor.h"
+#include "ds/util/serialize.h"
+#include "ds/util/status.h"
+
+namespace ds::nn {
+
+enum class QuantMode : uint8_t {
+  kFp32 = 0,  // no packing: kernels read the fp32 Parameter directly
+  kFp16 = 1,
+  kInt8 = 2,
+};
+
+const char* QuantModeName(QuantMode mode);
+
+/// Parses "fp32" / "fp16" / "int8" (the dsctl / ds_served knob).
+Result<QuantMode> ParseQuantMode(const std::string& name);
+
+/// IEEE 754 binary16 conversions (round-to-nearest-even; handles
+/// subnormals, infinities, NaN). The generic kernel tier and the pack step
+/// use these; SIMD tiers use VCVTPH2PS, which implements the same mapping.
+uint16_t F32ToF16(float value);
+float F16ToF32(uint16_t half);
+
+/// One Linear layer's packed weights (see file comment for the formats).
+struct PackedLinear {
+  QuantMode mode = QuantMode::kFp32;
+  size_t in = 0;
+  size_t out = 0;
+  std::vector<int8_t> q;        // int8: [in, out] row-major
+  std::vector<uint16_t> half;   // fp16: [in, out] row-major
+  std::vector<float> scales;    // int8: per-output-channel, size `out`
+
+  size_t bytes() const {
+    return q.size() * sizeof(int8_t) + half.size() * sizeof(uint16_t) +
+           scales.size() * sizeof(float);
+  }
+
+  void Write(util::BinaryWriter* writer) const;
+  static Result<PackedLinear> Read(util::BinaryReader* reader);
+};
+
+/// Packs `weight` [in, out] into `mode` storage. mode == kFp32 returns an
+/// empty PackedLinear (nothing to pack).
+PackedLinear PackWeights(const Tensor& weight, QuantMode mode);
+
+/// Reconstructs the fp32 matrix the kernels effectively multiply by
+/// (dequantized codes). Tests and the parity gates use this.
+Tensor DequantizeWeights(const PackedLinear& packed);
+
+}  // namespace ds::nn
+
+#endif  // DS_NN_QUANT_H_

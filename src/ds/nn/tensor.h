@@ -9,15 +9,111 @@
 #ifndef DS_NN_TENSOR_H_
 #define DS_NN_TENSOR_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ds/util/contract.h"
 #include "ds/util/logging.h"
 
+namespace ds::util {
+class Arena;
+}  // namespace ds::util
+
 namespace ds::nn {
+
+/// The float storage behind Tensor: a 64-byte-aligned growable buffer with
+/// an optional util::Arena backing. Unbound buffers allocate from the heap
+/// (through the counted global operator new); once BindArena() points a
+/// buffer at an arena, growth bump-allocates from it instead — the
+/// workspace path, where buffers warm up once on the worker's (pinned,
+/// first-touched) arena and then never allocate again. Arena-backed blocks
+/// are never individually freed (the arena reclaims them wholesale), which
+/// is safe precisely because workspace buffers only ever grow.
+///
+/// Grow-only semantics match std::vector: resize() preserves existing
+/// elements and zero-fills the extension; capacity never shrinks.
+class FloatBuffer {
+ public:
+  FloatBuffer() = default;
+  ~FloatBuffer() { FreeSelf(); }
+
+  FloatBuffer(const FloatBuffer& o) { assign(o.data_, o.size_); }
+  FloatBuffer& operator=(const FloatBuffer& o) {
+    if (this != &o) assign(o.data_, o.size_);  // keeps this buffer's arena
+    return *this;
+  }
+  FloatBuffer(FloatBuffer&& o) noexcept { MoveFrom(&o); }
+  FloatBuffer& operator=(FloatBuffer&& o) noexcept {
+    if (this != &o) {
+      FreeSelf();
+      MoveFrom(&o);
+    }
+    return *this;
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+
+  float* begin() { return data_; }
+  float* end() { return data_ + size_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  void resize(size_t n) {
+    if (n > cap_) Grow(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(float));
+    size_ = n;
+  }
+
+  void assign(size_t n, float v) {
+    if (n > cap_) Grow(n);
+    size_ = n;
+    std::fill(data_, data_ + n, v);
+  }
+
+  void assign(const float* p, size_t n) {
+    if (n > cap_) Grow(n);
+    size_ = n;
+    if (n > 0) std::memmove(data_, p, n * sizeof(float));
+  }
+
+  /// Future growth allocates from `arena` (nullptr unbinds — back to heap).
+  /// The current block stays where it is; Tensor buffers only grow, so the
+  /// next growth migrates the contents onto the arena.
+  void BindArena(util::Arena* arena) { arena_ = arena; }
+  util::Arena* arena() const { return arena_; }
+
+ private:
+  void Grow(size_t n);   // tensor.cc (needs the Arena definition)
+  void FreeSelf() {
+    // heap_base_ is null for arena blocks: the arena owns them.
+    if (heap_base_ != nullptr) ::operator delete(heap_base_);
+    heap_base_ = nullptr;
+  }
+  void MoveFrom(FloatBuffer* o) {
+    data_ = std::exchange(o->data_, nullptr);
+    heap_base_ = std::exchange(o->heap_base_, nullptr);
+    size_ = std::exchange(o->size_, 0);
+    cap_ = std::exchange(o->cap_, 0);
+    arena_ = std::exchange(o->arena_, nullptr);
+  }
+
+  float* data_ = nullptr;
+  void* heap_base_ = nullptr;  // unaligned heap block to free; null if arena
+  size_t size_ = 0;
+  size_t cap_ = 0;
+  util::Arena* arena_ = nullptr;
+};
 
 class Tensor {
  public:
@@ -41,7 +137,7 @@ class Tensor {
     DS_REQUIRE(n == data.size(),
                "FromData: shape wants %zu elements, data has %zu", n,
                data.size());
-    t.data_ = std::move(data);
+    t.data_.assign(data.data(), data.size());
     return t;
   }
 
@@ -53,8 +149,13 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  FloatBuffer& vec() { return data_; }
+  const FloatBuffer& vec() const { return data_; }
+
+  /// Routes this tensor's future buffer growth through `arena` (see
+  /// FloatBuffer::BindArena). Workspace calls this on its slots; model
+  /// parameters stay heap-backed.
+  void BindArena(util::Arena* arena) { data_.BindArena(arena); }
 
   float& at(size_t i) { return data_[i]; }
   float at(size_t i) const { return data_[i]; }
@@ -128,7 +229,7 @@ class Tensor {
   }
 
   std::vector<size_t> shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 // ---- Functional ops (allocate results) ---------------------------------------

@@ -24,9 +24,11 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 
 #include "ds/nn/kernels.h"
 #include "ds/nn/tensor.h"
+#include "ds/util/arena.h"
 
 namespace ds::nn {
 
@@ -36,10 +38,27 @@ class Workspace {
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
+  /// Backs tensor-slot growth with a huge-page bump arena (see
+  /// ds/util/arena.h). Call on the owning thread — ideally right after it
+  /// was pinned (serve worker loops), so the prefault lands the pages on
+  /// that worker's NUMA node via first-touch. Slots that already grew heap
+  /// buffers keep them until their next growth. Idempotent.
+  void EnableArena(const util::ArenaOptions& options = {}) {
+    if (arena_) return;
+    arena_ = std::make_unique<util::Arena>(options);
+    for (Tensor& t : tensors_) t.BindArena(arena_.get());
+  }
+
+  /// Null until EnableArena.
+  const util::Arena* arena() const { return arena_.get(); }
+
   /// Next tensor slot. Shape/contents are whatever the previous user left;
   /// callers size it with ResizeInPlace and overwrite.
   Tensor* Acquire() {
-    if (next_tensor_ == tensors_.size()) tensors_.emplace_back();
+    if (next_tensor_ == tensors_.size()) {
+      tensors_.emplace_back();
+      if (arena_) tensors_.back().BindArena(arena_.get());
+    }
     return &tensors_[next_tensor_++];
   }
 
@@ -74,6 +93,7 @@ class Workspace {
 
  private:
   // Deques keep slot addresses stable while the pool grows.
+  std::unique_ptr<util::Arena> arena_;  // null until EnableArena
   std::deque<Tensor> tensors_;
   std::deque<SparseRows> sparse_;
   size_t next_tensor_ = 0;

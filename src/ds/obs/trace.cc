@@ -93,17 +93,21 @@ bool ParseTraceHeader(std::string_view text, WireTraceContext* out) {
 
 void TraceRecorder::Record(const SpanRecord& record) {
   if (record.trace_id == 0) return;
-  const uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
-  Slot& slot = slots_[idx % slots_.size()];
-  // Per-slot spinlock taken with a single exchange: if someone (a reader,
-  // or a writer that lapped the ring) holds it, drop the span rather than
-  // wait — bounded work on the hot path beats a complete trace.
-  if (slot.locked.exchange(true, std::memory_order_acquire)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  // Per-slot spinlock taken with a single exchange. A held lock means a
+  // reader is snapshotting that slot (or a writer lapped the ring) — never
+  // wait for it; claim a *fresh* slot instead, so a reader descheduled
+  // mid-snapshot cannot make a writer discard its span. A few bounded
+  // attempts keep hot-path work constant; only a pathological storm drops.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[idx % slots_.size()];
+    if (!slot.locked.exchange(true, std::memory_order_acquire)) {
+      slot.record = record;
+      slot.locked.store(false, std::memory_order_release);
+      return;
+    }
   }
-  slot.record = record;
-  slot.locked.store(false, std::memory_order_release);
+  dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<SpanRecord> TraceRecorder::Snapshot() const {

@@ -9,6 +9,7 @@
 #include "ds/sql/binder.h"
 #include "ds/util/alloc.h"
 #include "ds/util/contract.h"
+#include "ds/util/cpu_topology.h"
 #include "ds/workload/query_spec.h"
 
 namespace ds::serve {
@@ -68,13 +69,25 @@ SketchServer::SketchServer(SketchRegistry* registry, ServerOptions options)
   }
   shard_capacity_ =
       std::max<size_t>(options_.queue_capacity / shards_.size(), 1);
+  std::vector<int> worker_cpus;
+  if (options_.pin_workers) {
+    worker_cpus =
+        util::PlanWorkerCpus(util::DetectCpuTopology(), options_.num_workers);
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     // Workers are distributed round-robin over the shards; with the default
     // single shard every worker drains the one queue, exactly the
     // pre-sharding behavior.
     Shard* shard = shards_[i % shards_.size()].get();
-    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+    const int cpu = options_.pin_workers ? worker_cpus[i] : -1;
+    workers_.emplace_back([this, shard, cpu] {
+      // Pin before the first batch: the thread-local estimate scratch (and
+      // its arena pages) is first-touched during the first ServeBatch, and
+      // first-touch decides its NUMA placement. Pinning is best-effort.
+      if (cpu >= 0) (void)util::PinCurrentThreadToCpu(cpu);
+      WorkerLoop(shard);
+    });
   }
   if (options_.stats_dump_period_ms > 0) {
     stats_dump_thread_ = std::thread([this] { StatsDumpLoop(); });

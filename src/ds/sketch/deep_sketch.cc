@@ -5,6 +5,7 @@
 
 #include "ds/obs/trace.h"
 #include "ds/storage/table_io.h"
+#include "ds/util/arena.h"
 #include "ds/util/contract.h"
 #include "ds/workload/generator.h"
 #include "ds/workload/labeler.h"
@@ -13,7 +14,10 @@ namespace ds::sketch {
 
 namespace {
 constexpr uint32_t kMagic = 0x44534b54;  // "DSKT"
-constexpr uint32_t kVersion = 1;
+// v1: config + samples + feature space + normalizer + fp32 model.
+// v2: v1 + quantization section (per-layer packed weights; possibly all
+//     empty fp32 records). Readers accept both; v1 files load as fp32.
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 Result<DeepSketch> DeepSketch::Train(const storage::Catalog& db,
@@ -214,6 +218,13 @@ namespace {
 // across batches, so once a thread has served a batch at least as large as
 // the current one, estimation touches no allocator.
 struct EstimateScratch {
+  EstimateScratch() {
+    // Huge-page arena behind the activation tensors (DS_ARENA=0 opts out).
+    // Constructed lazily on the estimating thread itself, so when serving
+    // has pinned that thread the prefault lands the pages on its NUMA node.
+    if (util::ArenaEnabledByEnv()) ws.EnableArena();
+  }
+
   mscn::FeaturizeScratch featurize;
   std::vector<mscn::SparseQueryFeatures> features;  // one slot per query
   std::vector<const mscn::SparseQueryFeatures*> ptrs;
@@ -305,6 +316,11 @@ void DeepSketch::Write(util::BinaryWriter* w) const {
   space_.Write(w);
   normalizer_.Write(w);
   model_->Write(w);
+  // v2 quantization section. The packed bytes ride along with the fp32
+  // weights so a loaded sketch starts hot (no re-pack, and the pack that
+  // was parity-gated is the pack that serves).
+  w->WriteU8(static_cast<uint8_t>(model_->quant_mode()));
+  model_->WritePacked(w);
 }
 
 Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
@@ -314,7 +330,7 @@ Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
     return Status::ParseError("not a deep sketch file");
   }
   DS_RETURN_NOT_OK(r->ReadU32(&version));
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::ParseError("unsupported sketch version " +
                               std::to_string(version));
   }
@@ -355,6 +371,22 @@ Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
   DS_ASSIGN_OR_RETURN(sketch.normalizer_, nn::LogNormalizer::Read(r));
   DS_ASSIGN_OR_RETURN(mscn::MscnModel model, mscn::MscnModel::Read(r));
   sketch.model_ = std::make_unique<mscn::MscnModel>(std::move(model));
+  if (version >= 2) {
+    uint8_t mode = 0;
+    DS_RETURN_NOT_OK(r->ReadU8(&mode));
+    if (mode > static_cast<uint8_t>(nn::QuantMode::kInt8)) {
+      return Status::ParseError("invalid sketch quant mode " +
+                                std::to_string(mode));
+    }
+    DS_RETURN_NOT_OK(sketch.model_->ReadPacked(r));
+    if (sketch.model_->quant_mode() != static_cast<nn::QuantMode>(mode)) {
+      return Status::ParseError("sketch quant header says " +
+                                std::string(nn::QuantModeName(
+                                    static_cast<nn::QuantMode>(mode))) +
+                                " but packed layers are " +
+                                nn::QuantModeName(sketch.model_->quant_mode()));
+    }
+  }
   DS_RETURN_NOT_OK(sketch.BuildSampleCatalog());
   return sketch;
 }

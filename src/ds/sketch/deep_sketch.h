@@ -143,6 +143,13 @@ class DeepSketch final : public est::CardinalityEstimator {
   const std::vector<std::string>& tables() const { return tables_; }
   size_t num_model_parameters() const { return model_->NumParameters(); }
 
+  /// Packs (kInt8/kFp16) or unpacks (kFp32) the model's weights for the
+  /// inference paths; Save() persists the packed bytes (format v2). NOT
+  /// thread-safe — set the mode before sharing the sketch with estimating
+  /// threads (SketchRegistry applies it in Put, before publication).
+  void SetQuantMode(nn::QuantMode mode) { model_->Pack(mode); }
+  nn::QuantMode quant_mode() const { return model_->quant_mode(); }
+
   /// Training curve of the run that produced this sketch (empty after
   /// loading from disk; the curve is not persisted).
   const mscn::TrainingReport& training_report() const { return report_; }

@@ -1,0 +1,117 @@
+#include "ds/util/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define DS_ARENA_MMAP 1
+#endif
+
+#include "ds/util/contract.h"
+
+namespace ds::util {
+
+namespace {
+
+constexpr size_t kHugePageSize = 2u << 20;
+
+size_t RoundUp(size_t v, size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(const ArenaOptions& options) : options_(options) {
+  DS_REQUIRE(options_.chunk_bytes > 0, "arena chunk_bytes must be positive");
+}
+
+Arena::~Arena() {
+  for (const Chunk& c : chunks_) {
+#if defined(DS_ARENA_MMAP)
+    if (c.mmapped) {
+      ::munmap(c.base, c.size);
+      continue;
+    }
+#endif
+    ::operator delete(c.base);
+  }
+}
+
+void Arena::AddChunk(size_t min_bytes) {
+  Chunk chunk;
+  // Round chunks to the huge-page size so MADV_HUGEPAGE can actually back
+  // them with 2 MiB pages (a 100 KiB mapping never gets one).
+  chunk.size = RoundUp(std::max(min_bytes, options_.chunk_bytes),
+                       options_.huge_pages ? kHugePageSize : 4096);
+#if defined(DS_ARENA_MMAP)
+  if (!options_.force_heap) {
+    void* mem = ::mmap(nullptr, chunk.size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem != MAP_FAILED) {
+      chunk.base = static_cast<uint8_t*>(mem);
+      chunk.mmapped = true;
+      ++stats_.mmap_chunks;
+      if (options_.huge_pages &&
+          ::madvise(mem, chunk.size, MADV_HUGEPAGE) == 0) {
+        ++stats_.huge_page_chunks;
+      }
+    }
+  }
+#endif
+  if (chunk.base == nullptr) {
+    // Heap fallback (non-Linux, mmap failure, or force_heap). operator new
+    // keeps the allocation visible to util/alloc counting.
+    chunk.base = static_cast<uint8_t*>(::operator new(chunk.size));
+    chunk.mmapped = false;
+  }
+  if (options_.prefault) {
+    // First touch on the calling (pinned) thread: the kernel places each
+    // page on this thread's NUMA node.
+    std::memset(chunk.base, 0, chunk.size);
+  }
+  cur_ = chunk.base;
+  end_ = chunk.base + chunk.size;
+  chunks_.push_back(chunk);
+  ++stats_.chunks;
+  stats_.reserved_bytes += chunk.size;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  DS_REQUIRE(align != 0 && (align & (align - 1)) == 0 && align <= 4096,
+             "arena alignment %zu must be a power of two <= 4096", align);
+  if (bytes == 0) bytes = 1;
+  uint8_t* aligned =
+      reinterpret_cast<uint8_t*>(RoundUp(reinterpret_cast<uintptr_t>(cur_),
+                                         align));
+  if (aligned == nullptr || aligned + bytes > end_) {
+    // New chunks are huge-page (or page) aligned, so alignment is free.
+    AddChunk(bytes + align);
+    aligned = reinterpret_cast<uint8_t*>(
+        RoundUp(reinterpret_cast<uintptr_t>(cur_), align));
+  }
+  stats_.allocated_bytes += static_cast<size_t>(aligned - cur_) + bytes;
+  cur_ = aligned + bytes;
+  return aligned;
+}
+
+bool Arena::Contains(const void* p) const {
+  const uint8_t* b = static_cast<const uint8_t*>(p);
+  for (const Chunk& c : chunks_) {
+    if (b >= c.base && b < c.base + c.size) return true;
+  }
+  return false;
+}
+
+bool ArenaEnabledByEnv() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("DS_ARENA");
+    return v == nullptr || (std::strcmp(v, "0") != 0 &&
+                            std::strcmp(v, "off") != 0);
+  }();
+  return enabled;
+}
+
+}  // namespace ds::util

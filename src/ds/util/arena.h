@@ -1,0 +1,101 @@
+// Huge-page, NUMA-aware bump arena backing the inference workspaces.
+//
+// nn::Workspace tensors grow once (warm-up to the largest batch seen) and
+// are then reused forever, which is exactly the profile a bump arena wants:
+// allocation is a pointer increment, nothing is ever freed individually,
+// and the whole arena dies with its owner. Backing the arena with
+// mmap + MADV_HUGEPAGE puts the hot activation buffers on 2 MiB pages
+// (fewer TLB misses on the batched matmul sweeps); faulting the pages in on
+// the owning thread right after it has been pinned (see
+// util/cpu_topology.h) places them on that worker's NUMA node via the
+// kernel's first-touch policy.
+//
+// Everything degrades gracefully, in line with cpu_topology.h: when mmap is
+// unavailable (or deliberately disabled for tests) chunks come from
+// operator new; when the kernel lacks transparent huge pages the madvise
+// is simply ignored. Callers treat the arena as an optimization, never a
+// correctness requirement — Stats says what actually happened.
+//
+// Thread-safety: an Arena is NOT thread-safe; use one per worker thread
+// (the same ownership rule as the Workspace it backs).
+
+#ifndef DS_UTIL_ARENA_H_
+#define DS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ds::util {
+
+struct ArenaOptions {
+  /// Granularity of the mmap reservations. Allocations larger than this get
+  /// their own dedicated chunk.
+  size_t chunk_bytes = 8u << 20;  // 8 MiB
+
+  /// Ask for transparent huge pages (MADV_HUGEPAGE). Best-effort: kernels
+  /// without THP ignore it and Stats records the miss.
+  bool huge_pages = true;
+
+  /// Touch every page of a new chunk on the allocating thread so the
+  /// first-touch policy binds it to that thread's NUMA node. Costs one
+  /// memset per chunk at warm-up, nothing at steady state.
+  bool prefault = true;
+
+  /// Test hook: skip mmap entirely and take the heap fallback path.
+  bool force_heap = false;
+};
+
+class Arena {
+ public:
+  explicit Arena(const ArenaOptions& options = {});
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bytes from the arena, aligned to `align` (a power of two ≤ 4096).
+  /// Never returns nullptr (falls back to the heap, then aborts only if
+  /// the heap itself is exhausted, like operator new).
+  void* Allocate(size_t bytes, size_t align = 64);
+
+  /// True when `p` points into arena-owned memory (tests and the buffer
+  /// ownership checks use this).
+  bool Contains(const void* p) const;
+
+  struct Stats {
+    size_t chunks = 0;
+    size_t reserved_bytes = 0;    // sum of chunk sizes
+    size_t allocated_bytes = 0;   // bytes handed out (incl. alignment pad)
+    size_t mmap_chunks = 0;       // chunks that came from mmap
+    size_t huge_page_chunks = 0;  // chunks where MADV_HUGEPAGE stuck
+  };
+  Stats stats() const { return stats_; }
+
+  const ArenaOptions& options() const { return options_; }
+
+ private:
+  struct Chunk {
+    uint8_t* base = nullptr;
+    size_t size = 0;
+    bool mmapped = false;
+  };
+
+  /// Reserves a chunk of at least `min_bytes`; updates cur_/end_.
+  void AddChunk(size_t min_bytes);
+
+  ArenaOptions options_;
+  std::vector<Chunk> chunks_;
+  uint8_t* cur_ = nullptr;  // bump pointer within the newest chunk
+  uint8_t* end_ = nullptr;
+  Stats stats_;
+};
+
+/// Whether workspaces should bind arenas by default in this process:
+/// true unless DS_ARENA=0 (checked once). The serving scratch consults
+/// this so deployments can fall back to plain heap tensors without a
+/// rebuild.
+bool ArenaEnabledByEnv();
+
+}  // namespace ds::util
+
+#endif  // DS_UTIL_ARENA_H_

@@ -1,18 +1,46 @@
 #include "ds/util/serialize.h"
 
+#include <atomic>
 #include <cstdio>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace ds::util {
 
 Status BinaryWriter::WriteToFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write to a unique sibling then rename into place: a concurrent reader
+  // of `path` sees either the old complete file or the new complete file,
+  // never a truncated one (sketches are re-published while being served).
+  static std::atomic<uint64_t> counter{0};
+#if defined(_WIN32)
+  const long pid = _getpid();
+#else
+  const long pid = static_cast<long>(getpid());
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                          std::to_string(counter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open for writing: " + path);
+    return Status::IOError("cannot open for writing: " + tmp);
   }
   size_t written = buf_.empty() ? 0 : std::fwrite(buf_.data(), 1, buf_.size(), f);
   int close_rc = std::fclose(f);
   if (written != buf_.size() || close_rc != 0) {
-    return Status::IOError("short write to " + path);
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+#if defined(_WIN32)
+    // Windows rename refuses to replace; retry after removing the target.
+    std::remove(path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) == 0) return Status::OK();
+#endif
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " -> " + path);
   }
   return Status::OK();
 }

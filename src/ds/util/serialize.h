@@ -58,6 +58,17 @@ class BinaryWriter {
     for (const auto& s : v) WriteString(s);
   }
 
+  /// Count-prefixed raw POD span — wire-identical to WritePodVector, for
+  /// sources that are not std::vector (e.g. nn::FloatBuffer).
+  template <typename T>
+  void WritePodSpan(const T* data, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(n);
+    size_t off = buf_.size();
+    buf_.resize(off + n * sizeof(T));
+    if (n > 0) std::memcpy(buf_.data() + off, data, n * sizeof(T));
+  }
+
   const std::vector<uint8_t>& buffer() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
@@ -119,6 +130,27 @@ class BinaryReader {
   }
 
   Status ReadStringVector(std::vector<std::string>* out);
+
+  /// Reads a count-prefixed POD span written by WritePodSpan/WritePodVector
+  /// into a caller-owned buffer of exactly `expect` elements.
+  template <typename T>
+  Status ReadPodSpan(T* out, uint64_t expect) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    DS_RETURN_NOT_OK(ReadU64(&n));
+    if (n != expect) {
+      return Status::OutOfRange("pod span has " + std::to_string(n) +
+                                " elements, expected " +
+                                std::to_string(expect));
+    }
+    if (pos_ + n * sizeof(T) > buf_.size()) {
+      return Status::OutOfRange("truncated span of " + std::to_string(n) +
+                                " elements");
+    }
+    if (n > 0) std::memcpy(out, buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return Status::OK();
+  }
 
   size_t position() const { return pos_; }
   size_t remaining() const { return buf_.size() - pos_; }

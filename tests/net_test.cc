@@ -521,6 +521,25 @@ class NetServerTest : public ::testing::Test {
     return rec.Trace(trace);
   }
 
+  /// Polls until every span in `required` has been recorded for `trace`.
+  /// Spans record at END, so a parent (e.g. `estimate`) lands *after* its
+  /// children — waiting on a bare count races with that ordering.
+  std::vector<obs::SpanRecord> WaitForSpans(
+      const obs::TraceRecorder& rec, uint64_t trace,
+      std::initializer_list<const char*> required) {
+    std::vector<obs::SpanRecord> spans;
+    for (int i = 0; i < 500; ++i) {
+      spans = rec.Trace(trace);
+      std::set<std::string> names;
+      for (const auto& s : spans) names.insert(s.name);
+      bool all = true;
+      for (const char* name : required) all = all && names.count(name) > 0;
+      if (all) return spans;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return spans;
+  }
+
   static storage::Catalog* catalog_;
   static sketch::DeepSketch* sketch_;
   static std::string* dir_;
@@ -855,7 +874,9 @@ TEST_F(NetServerTest, BinaryEstimateProducesOneEndToEndTrace) {
   const std::vector<obs::SpanRecord> client_spans =
       client_tracer.Trace(trace);
   const std::vector<obs::SpanRecord> server_spans =
-      WaitForSpans(server_tracer, trace, 5);
+      WaitForSpans(server_tracer, trace,
+                   {"net_decode", "net_admission", "net_write", "queue_wait",
+                    "estimate"});
 
   std::set<std::string> names;
   uint64_t root_span = 0;
@@ -922,7 +943,7 @@ TEST_F(NetServerTest, HttpTraceHeaderAdoptedServerSide) {
           "\r\nConnection: close\r\n\r\n" + body);
   EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
   const std::vector<obs::SpanRecord> spans =
-      WaitForSpans(server_tracer, ctx.trace_id, 5);
+      WaitForSpans(server_tracer, ctx.trace_id, {"net_decode", "estimate"});
   std::set<std::string> names;
   for (const auto& s : spans) names.insert(s.name);
   EXPECT_TRUE(names.count("net_decode"));

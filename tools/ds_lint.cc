@@ -32,6 +32,11 @@
 //                     inline 24-byte buffer: ^[a-z][a-z0-9_]{0,22}$. A
 //                     longer name would truncate silently in the ring and
 //                     break trace-viewer grouping.
+//   raw-intrinsics    No x86 SIMD intrinsics (<immintrin.h>, _mm*_* calls,
+//                     __m128/__m256/__m512 types) outside ds/nn/kernels*
+//                     files. Everything else goes through the dispatch
+//                     table (nn/kernels.h) so the generic build stays
+//                     complete and tier parity is checkable in one place.
 //
 // A line containing `NOLINT(ds-lint)` is exempt (document why at the site).
 // Comments are stripped before matching; string/char literals are blanked
@@ -322,6 +327,33 @@ void CheckNakedFd(const std::string& path,
   }
 }
 
+// Raw SIMD intrinsics outside the kernel tier TUs break the generic build
+// (missing -m flags) and dodge the per-tier parity sweep. The dispatch
+// table in nn/kernels.h is the sanctioned route to vector code.
+const std::regex kRawIntrinsics(
+    R"((#\s*include\s*<\w*mmintrin\.h>|\b_mm\w*_\w+\s*\(|\b__m(128|256|512)[di]?\b))");
+
+void CheckRawIntrinsics(const std::string& path,
+                        const std::vector<std::string>& raw,
+                        const std::vector<std::string>& code,
+                        std::vector<Finding>* out) {
+  // The per-tier kernel TUs (nn/kernels_avx2.cc, ...) are the one home for
+  // vector code; each is compiled with exactly the -m flags it needs.
+  if (path.find("nn/kernels") != std::string::npos) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (LineExempt(raw[i])) continue;
+    std::smatch m;
+    if (std::regex_search(code[i], m, kRawIntrinsics)) {
+      out->push_back({path, i + 1, "raw-intrinsics",
+                      "'" + m.str() +
+                          "' outside ds/nn/kernels*; vector code belongs in "
+                          "a kernel tier TU behind the dispatch table "
+                          "(ds/nn/kernels.h) so the generic build and the "
+                          "per-tier parity check stay complete"});
+    }
+  }
+}
+
 // ---- Driver ---------------------------------------------------------------------
 
 std::vector<Finding> LintContent(const std::string& path,
@@ -337,6 +369,7 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckNakedMutex(path, raw, code, &findings);
   CheckIostreamHeader(path, raw, code, &findings);
   CheckNakedFd(path, raw, code, &findings);
+  CheckRawIntrinsics(path, raw, code, &findings);
   return findings;
 }
 
@@ -472,6 +505,17 @@ const SelfCase kSelfCases[] = {
     {"nolint-close-exempt", "clean.cc",
      "void f(int fd) { close(fd); }  // NOLINT(ds-lint): raw CLI plumbing\n",
      nullptr},
+    {"intrinsic-call-outside-kernels", "seed.cc",
+     "float f(__m256 a) { return _mm256_cvtss_f32(_mm256_add_ps(a, a)); }\n",
+     "raw-intrinsics"},
+    {"intrinsic-include-outside-kernels", "seed.h",
+     "#include <immintrin.h>\n", "raw-intrinsics"},
+    {"intrinsics-in-kernel-tier-allowed", "nn/kernels_avx2.cc",
+     "#include <immintrin.h>\n"
+     "float f(__m256 a) { return _mm256_cvtss_f32(a); }\n",
+     nullptr},
+    {"intrinsic-in-comment-allowed", "clean.cc",
+     "// _mm256_fmadd_ps lives in nn/kernels_avx2_fma.cc\n", nullptr},
 };
 
 int RunSelfTest() {

@@ -4,7 +4,8 @@
 //   ds_served [<sketch-file>...] [listen=host:port] [demo=imdb|tpch]
 //             [workers=N] [net_workers=N] [max_batch=N] [wait_us=N]
 //             [queue=N] [rate=R] [burst=B] [seconds=S] [pin=0|1]
-//             [trace=N] [drain_ms=M]
+//             [pin_workers=0|1] [quant=fp32|fp16|int8] [trace=N]
+//             [drain_ms=M]
 //
 // Every positional argument is a sketch file, registered under its file
 // stem (queries name it via the wire protocol's sketch field). demo=imdb
@@ -16,6 +17,11 @@
 //   workers      SketchServer batching workers (default 2)
 //   net_workers  event-loop threads, 0 = one per physical core
 //   rate/burst   per-tenant token-bucket admission (0 = admit everything)
+//   quant        weight format sketches are packed to before serving
+//                (default fp32 = serve weights as they arrive); int8/fp16
+//                cut weight traffic 4x/2x on the inference hot loop
+//   pin_workers  pin the batching workers one-per-core so their NUMA-aware
+//                inference arenas first-touch node-local pages (default 0)
 //   seconds      exit after S seconds instead of waiting for a signal
 //   trace        sample 1 in N requests for tracing (default 64, 0 = off;
 //                wire-propagated trace contexts always record)
@@ -48,6 +54,7 @@
 #include "ds/datagen/imdb.h"
 #include "ds/datagen/tpch.h"
 #include "ds/net/server.h"
+#include "ds/nn/quant.h"
 #include "ds/obs/flight_recorder.h"
 #include "ds/serve/registry.h"
 #include "ds/serve/server.h"
@@ -127,7 +134,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ds_served [<sketch-file>...] [listen=host:port] "
                    "[demo=imdb|tpch] [workers=N] [net_workers=N] [rate=R] "
-                   "[burst=B] [seconds=S] [trace=N] [drain_ms=M]\n");
+                   "[burst=B] [seconds=S] [quant=fp32|fp16|int8] "
+                   "[pin_workers=0|1] [trace=N] [drain_ms=M]\n");
       return 0;
     }
     const auto eq = arg.find('=');
@@ -146,7 +154,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  serve::SketchRegistry registry{serve::RegistryOptions{}};
+  serve::RegistryOptions registry_options;
+  const std::string quant = flags.GetString("quant", "fp32");
+  {
+    auto mode = nn::ParseQuantMode(quant);
+    if (!mode.ok()) return Fail(mode.status());
+    registry_options.quant_mode = *mode;
+  }
+  serve::SketchRegistry registry{registry_options};
   if (!demo.empty()) {
     std::fprintf(stderr, "ds_served: training demo sketch (%s)...\n",
                  demo.c_str());
@@ -175,6 +190,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("queue", 4096));
   serve_options.trace_sample_every =
       static_cast<uint64_t>(flags.GetInt("trace", 64));
+  serve_options.pin_workers = flags.GetInt("pin_workers", 0) != 0;
   serve::SketchServer backend(&registry, serve_options);
 
   // Crash-path observability: a fatal signal dumps the flight recorder's
