@@ -24,6 +24,21 @@ Result<ModelConfig> ModelConfig::Read(util::BinaryReader* r) {
       c.hidden_units == 0) {
     return Status::ParseError("invalid model config");
   }
+  // Plausibility caps: MscnModel's constructor sizes its weight tensors
+  // straight from these dims, so a bit-flipped file must fail here as a
+  // ParseError rather than as a multi-GiB allocation (or bad_alloc abort)
+  // inside the constructor. Real sketches are orders of magnitude smaller
+  // (dims in the tens to hundreds, hidden units <= a few hundred).
+  constexpr uint64_t kMaxDim = uint64_t{1} << 20;
+  constexpr uint64_t kMaxWeightCells = uint64_t{1} << 26;
+  const uint64_t dims[] = {c.table_dim, c.join_dim, c.pred_dim};
+  for (uint64_t d : dims) {
+    if (d > kMaxDim || c.hidden_units > kMaxDim ||
+        d * c.hidden_units > kMaxWeightCells ||
+        c.hidden_units * c.hidden_units > kMaxWeightCells) {
+      return Status::ParseError("implausible model dimensions in sketch file");
+    }
+  }
   return c;
 }
 

@@ -108,6 +108,14 @@ Result<PackedLinear> PackedLinear::Read(util::BinaryReader* r) {
   p.in = v;
   DS_RETURN_NOT_OK(r->ReadU64(&v));
   p.out = v;
+  // Cap the header shape before computing `in * out`: corrupt dimensions
+  // must not wrap the cell count into something that happens to match the
+  // (bounds-checked, hence small) payload vectors below.
+  if (p.in > (uint64_t{1} << 20) || p.out > (uint64_t{1} << 20)) {
+    return Status::ParseError("implausible packed weight shape " +
+                              std::to_string(p.in) + "x" +
+                              std::to_string(p.out));
+  }
   DS_RETURN_NOT_OK(r->ReadPodVector(&p.q));
   DS_RETURN_NOT_OK(r->ReadPodVector(&p.half));
   DS_RETURN_NOT_OK(r->ReadPodVector(&p.scales));

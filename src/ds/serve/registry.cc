@@ -20,6 +20,20 @@ std::string SketchRegistry::PathFor(const std::string& name) const {
   return options_.directory + "/" + name + ".sketch";
 }
 
+Status SketchRegistry::ValidateName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty sketch name");
+  }
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos ||
+      name.find("..") != std::string::npos) {
+    return Status::InvalidArgument(
+        "invalid sketch name '" + name +
+        "': must not contain '/', '\\', or '..'");
+  }
+  return Status::OK();
+}
+
 SketchRegistry::Shard& SketchRegistry::ShardFor(
     const std::string& name) const {
   return shards_[std::hash<std::string>{}(name) % shards_.size()];
@@ -53,13 +67,24 @@ std::shared_ptr<const sketch::DeepSketch> SketchRegistry::InsertLocked(
 
 Result<std::shared_ptr<const sketch::DeepSketch>> SketchRegistry::Get(
     const std::string& name) {
+  return Get(name, nullptr);
+}
+
+Result<std::shared_ptr<const sketch::DeepSketch>> SketchRegistry::Get(
+    const std::string& name, uint64_t* epoch) {
+  DS_RETURN_NOT_OK(ValidateName(name));
   Shard& shard = ShardFor(name);
+  auto epoch_locked = [&shard, &name]() DS_REQUIRES(shard.mu) {
+    auto it = shard.epochs.find(name);
+    return it == shard.epochs.end() ? uint64_t{0} : it->second;
+  };
   {
     util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(name);
     if (it != shard.entries.end()) {
       hits_.Add();
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      if (epoch != nullptr) *epoch = epoch_locked();
       return it->second.sketch;
     }
   }
@@ -82,6 +107,7 @@ Result<std::shared_ptr<const sketch::DeepSketch>> SketchRegistry::Get(
   auto sketch = std::make_shared<const sketch::DeepSketch>(
       std::move(loaded).value());
   util::MutexLock lock(shard.mu);
+  if (epoch != nullptr) *epoch = epoch_locked();
   auto it = shard.entries.find(name);
   if (it != shard.entries.end()) {
     // A concurrent loader beat us; use the resident copy.
@@ -102,18 +128,30 @@ std::shared_ptr<const sketch::DeepSketch> SketchRegistry::Put(
       std::make_shared<const sketch::DeepSketch>(std::move(sketch));
   Shard& shard = ShardFor(name);
   util::MutexLock lock(shard.mu);
+  ++shard.epochs[name];
   return InsertLocked(&shard, name, std::move(shared), bytes);
 }
 
 bool SketchRegistry::Invalidate(const std::string& name) {
   Shard& shard = ShardFor(name);
   util::MutexLock lock(shard.mu);
+  // The epoch bumps even when the name is not resident: Invalidate after
+  // rewriting the file on disk must retire (name, epoch) cache keys even if
+  // the entry was already evicted.
+  ++shard.epochs[name];
   auto it = shard.entries.find(name);
   if (it == shard.entries.end()) return false;
   shard.bytes -= it->second.bytes;
   shard.lru.erase(it->second.lru_it);
   shard.entries.erase(it);
   return true;
+}
+
+uint64_t SketchRegistry::Epoch(const std::string& name) const {
+  Shard& shard = ShardFor(name);
+  util::MutexLock lock(shard.mu);
+  auto it = shard.epochs.find(name);
+  return it == shard.epochs.end() ? 0 : it->second;
 }
 
 bool SketchRegistry::Contains(const std::string& name) const {

@@ -8,6 +8,17 @@
 // eviction only drops the registry's reference, so in-flight estimates keep
 // their sketch alive, and const DeepSketch estimation is itself thread-safe
 // (see deep_sketch.h).
+//
+// Names are untrusted: they arrive verbatim from the network front-end's
+// POST /estimate and binary ESTIMATE frames, and Get() joins them into a
+// filesystem path. ValidateName rejects anything that could escape
+// `directory` (path separators, "..", empty) before any disk access.
+//
+// Each name also carries a monotonic *epoch*, bumped by every Put and every
+// successful Invalidate. (name, epoch) identifies one published sketch
+// generation, which is what downstream memoization (the server's statement
+// and result caches) must key on — a republished sketch under the same name
+// gets a new epoch, so stale cached estimates can never be served.
 
 #ifndef DS_SERVE_REGISTRY_H_
 #define DS_SERVE_REGISTRY_H_
@@ -55,11 +66,23 @@ class SketchRegistry {
   SketchRegistry(const SketchRegistry&) = delete;
   SketchRegistry& operator=(const SketchRegistry&) = delete;
 
+  /// Rejects names that could escape `directory` once joined into a path
+  /// by PathFor: empty names and names containing '/', '\', or "..".
+  /// InvalidArgument on rejection.
+  static Status ValidateName(const std::string& name);
+
   /// Returns the cached sketch, loading it from `directory` on a miss.
   /// Concurrent misses on the same name may both load; one copy wins, the
-  /// loser is discarded (loads are idempotent reads).
+  /// loser is discarded (loads are idempotent reads). The name is validated
+  /// first (see ValidateName) — this is the boundary where untrusted wire
+  /// names meet the filesystem.
   Result<std::shared_ptr<const sketch::DeepSketch>> Get(
       const std::string& name);
+
+  /// Get() that additionally reports the name's publication epoch, read
+  /// under the same shard lock as the cache lookup. `epoch` may be null.
+  Result<std::shared_ptr<const sketch::DeepSketch>> Get(
+      const std::string& name, uint64_t* epoch);
 
   /// Inserts (or replaces) a sketch under `name` and returns the shared
   /// handle. Triggers eviction if the shard goes over budget.
@@ -67,8 +90,15 @@ class SketchRegistry {
                                                 sketch::DeepSketch sketch);
 
   /// Drops `name` from the cache (the file, if any, stays on disk).
-  /// Returns whether it was resident.
+  /// Returns whether it was resident. Always bumps the name's epoch — even
+  /// when not resident — so "rewrite file, then Invalidate" retires stale
+  /// (name, epoch) cache keys regardless of eviction timing; the next Get()
+  /// re-reads the file as a new generation.
   bool Invalidate(const std::string& name);
+
+  /// The name's publication epoch: 0 until the first Put/Invalidate, then
+  /// monotonically increasing. Epochs survive eviction and disk reloads.
+  uint64_t Epoch(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
 
@@ -93,6 +123,10 @@ class SketchRegistry {
     std::list<std::string> lru DS_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<std::string, Entry> entries DS_GUARDED_BY(mu);
     size_t bytes DS_GUARDED_BY(mu) = 0;
+    // Publication epochs outlive the entries (eviction must not reset
+    // them, or a downstream cache keyed on (name, epoch) could collide
+    // with a pre-eviction generation).
+    std::unordered_map<std::string, uint64_t> epochs DS_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& name) const;

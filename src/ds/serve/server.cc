@@ -492,7 +492,12 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   metrics_.batches.Add();
   metrics_.batch_size.Record(batch.size());
 
-  auto sketch = registry_->Get(batch.front().sketch);
+  // The epoch is read under the same registry lock as the sketch handle:
+  // every cache key below is scoped to this publication generation, so a
+  // Put/Invalidate replacing the sketch can never serve pre-replacement
+  // cached results (old-epoch entries just age out of the LRU).
+  uint64_t epoch = 0;
+  auto sketch = registry_->Get(batch.front().sketch, &epoch);
   if (!sketch.ok()) {
     for (Request& req : batch) {
       ResolveRequest(&req, sketch.status());
@@ -512,6 +517,14 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
   std::vector<int64_t> bind_us(batch.size(), 0);  // per-request bind stage
   specs.reserve(batch.size());
   spec_owner.reserve(batch.size());
+  // All requests in a batch target the same sketch (TakeMatchingLocked
+  // groups by name), so the (name, epoch) prefix is shared. The name is
+  // length-prefixed because wire names may contain any byte, including the
+  // separators — with the length the key is injective over
+  // (name, epoch, sql) triples.
+  const std::string key_prefix = std::to_string(batch.front().sketch.size()) +
+                                 ':' + batch.front().sketch + '\x1f' +
+                                 std::to_string(epoch) + '\n';
   const auto infer_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
     // Sampled requests get a thread-local trace context here, so the cache
@@ -520,7 +533,7 @@ void SketchServer::ServeBatch(std::vector<Request> batch) {
     obs::ScopedTraceContext trace_scope(tracer_, batch[i].trace_id,
                                         batch[i].root_span);
     const int64_t iter_start_us = obs::TraceRecorder::NowUs();
-    keys[i] = batch[i].sketch + '\n' + batch[i].sql;
+    keys[i] = key_prefix + batch[i].sql;
     if (options_.result_cache_capacity > 0) {
       if (auto cached = ResultCacheGet(keys[i]); cached.has_value()) {
         metrics_.result_cache_hits.Add();

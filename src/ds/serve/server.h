@@ -91,19 +91,21 @@ struct ServerOptions {
   /// shard's even share of this.
   size_t queue_capacity = 4096;
 
-  /// Bound-statement cache entries, keyed by (sketch, SQL). A hit skips
-  /// parse+bind entirely — the serving analogue of a prepared-statement
-  /// cache, sized for the "few distinct statements, many submissions"
-  /// workloads a sketch endpoint sees. 0 disables; LRU beyond capacity.
+  /// Bound-statement cache entries, keyed by (sketch name, registry epoch,
+  /// SQL). A hit skips parse+bind entirely — the serving analogue of a
+  /// prepared-statement cache, sized for the "few distinct statements, many
+  /// submissions" workloads a sketch endpoint sees. 0 disables; LRU beyond
+  /// capacity.
   size_t stmt_cache_capacity = 1024;
 
   /// Estimate (result) cache entries, keyed like the statement cache. A
   /// sketch estimate is a deterministic pure function of (sketch, SQL), so
   /// repeated statements — dashboards, template sweeps — are answered
   /// without re-running inference. 0 disables; LRU beyond capacity.
-  /// Caveat: entries are not invalidated if a sketch is replaced under the
-  /// same registry name mid-flight; use a fresh name (or a fresh server)
-  /// when deploying a retrained sketch.
+  /// Republishing a sketch under the same registry name is safe: the key
+  /// carries the registry's publication epoch, which Put/Invalidate bump,
+  /// so a retrained sketch never serves its predecessor's cached entries
+  /// (the old-epoch entries just age out of the LRU).
   size_t result_cache_capacity = 4096;
 
   /// When false, workers never wait for stragglers: each request is served
@@ -375,7 +377,8 @@ class SketchServer {
   std::thread stats_dump_thread_ DS_GUARDED_BY(stop_mu_);
   ServerMetrics metrics_;
 
-  // Bound-statement cache: (sketch + '\n' + SQL) -> placeholder-free spec.
+  // Bound-statement cache: (sketch name, registry epoch, SQL) ->
+  // placeholder-free spec (key layout built in ServeBatch).
   struct StmtEntry {
     std::shared_ptr<const workload::QuerySpec> spec;
     std::list<std::string>::iterator lru_it;
@@ -385,7 +388,7 @@ class SketchServer {
   std::unordered_map<std::string, StmtEntry> stmt_cache_
       DS_GUARDED_BY(stmt_mu_);
 
-  // Estimate cache: (sketch + '\n' + SQL) -> estimated cardinality.
+  // Estimate cache: (sketch name, registry epoch, SQL) -> cardinality.
   struct ResultEntry {
     double value = 0;
     std::list<std::string>::iterator lru_it;

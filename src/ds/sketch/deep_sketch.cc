@@ -339,6 +339,10 @@ Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
   DS_RETURN_NOT_OK(r->ReadStringVector(&sketch.tables_));
   uint64_t n = 0;
   DS_RETURN_NOT_OK(r->ReadU64(&n));
+  // Counts come from the file: prove each plausible (every element needs at
+  // least its length prefixes' worth of input) before sizing containers, so
+  // a corrupt count fails as a Status instead of a giant allocation.
+  DS_RETURN_NOT_OK(r->CheckCount(n, 4 * sizeof(uint64_t)));
   sketch.fks_.resize(n);
   for (auto& fk : sketch.fks_) {
     DS_RETURN_NOT_OK(r->ReadString(&fk.fk_table));
@@ -347,6 +351,7 @@ Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
     DS_RETURN_NOT_OK(r->ReadString(&fk.pk_column));
   }
   DS_RETURN_NOT_OK(r->ReadU64(&n));
+  DS_RETURN_NOT_OK(r->CheckCount(n, 2 * sizeof(uint64_t)));
   sketch.pks_.resize(n);
   for (auto& [t, c] : sketch.pks_) {
     DS_RETURN_NOT_OK(r->ReadString(&t));
@@ -356,6 +361,7 @@ Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
   DS_RETURN_NOT_OK(r->ReadU64(&num_samples));
   sketch.num_samples_ = num_samples;
   DS_RETURN_NOT_OK(r->ReadU64(&n));
+  DS_RETURN_NOT_OK(r->CheckCount(n, 2 * sizeof(uint64_t)));
   std::vector<est::TableSample> samples;
   samples.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -370,6 +376,23 @@ Result<DeepSketch> DeepSketch::Read(util::BinaryReader* r) {
   DS_ASSIGN_OR_RETURN(sketch.space_, mscn::FeatureSpace::Read(r));
   DS_ASSIGN_OR_RETURN(sketch.normalizer_, nn::LogNormalizer::Read(r));
   DS_ASSIGN_OR_RETURN(mscn::MscnModel model, mscn::MscnModel::Read(r));
+  // Cross-section consistency: the model's input widths are derived from
+  // the feature space at train time, and inference feeds featurized rows
+  // straight into the set MLPs. A corrupted file can pass both sections'
+  // individual checks yet disagree here, which would only surface as a
+  // shape-contract abort deep inside the first forward pass.
+  const mscn::ModelConfig& mc = model.config();
+  if (mc.table_dim != sketch.space_.table_dim() ||
+      mc.join_dim != sketch.space_.join_dim() ||
+      mc.pred_dim != sketch.space_.pred_dim()) {
+    return Status::ParseError(
+        "sketch model dims [" + std::to_string(mc.table_dim) + "," +
+        std::to_string(mc.join_dim) + "," + std::to_string(mc.pred_dim) +
+        "] disagree with its feature space [" +
+        std::to_string(sketch.space_.table_dim()) + "," +
+        std::to_string(sketch.space_.join_dim()) + "," +
+        std::to_string(sketch.space_.pred_dim()) + "]");
+  }
   sketch.model_ = std::make_unique<mscn::MscnModel>(std::move(model));
   if (version >= 2) {
     uint8_t mode = 0;

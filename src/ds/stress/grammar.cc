@@ -1,0 +1,269 @@
+#include "ds/stress/grammar.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ds/storage/table.h"
+
+namespace ds::stress {
+
+namespace {
+
+workload::CompareOp MirrorOp(workload::CompareOp op) {
+  switch (op) {
+    case workload::CompareOp::kEq:
+      return workload::CompareOp::kEq;
+    case workload::CompareOp::kLt:
+      return workload::CompareOp::kGt;
+    case workload::CompareOp::kGt:
+      return workload::CompareOp::kLt;
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<StressGrammar> StressGrammar::Create(const storage::Catalog* catalog,
+                                            GrammarOptions options) {
+  DS_ASSIGN_OR_RETURN(workload::QueryGenerator gen,
+                      workload::QueryGenerator::Create(catalog, options.spec));
+  return StressGrammar(catalog, std::move(gen), std::move(options));
+}
+
+std::string StressGrammar::Keyword(const char* upper) {
+  std::string word(upper);
+  switch (case_style_) {
+    case 0:
+      break;  // SELECT
+    case 1:
+      for (char& c : word) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      break;  // select
+    default:
+      for (size_t i = 1; i < word.size(); ++i) {
+        word[i] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(word[i])));
+      }
+      break;  // Select
+  }
+  return word;
+}
+
+Result<MetamorphicPair> StressGrammar::NextPair() {
+  // Adding any conjunct restricts the result set, so for the pair we only
+  // need a not-yet-predicated column with a literal drawn from the data.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    workload::QuerySpec base = gen_.Generate();
+    std::unordered_map<std::string, std::unordered_set<std::string>> used;
+    for (const auto& p : base.predicates) used[p.table].insert(p.column);
+    std::vector<std::string> tables = base.tables;
+    rng_.Shuffle(&tables);
+    for (const auto& table : tables) {
+      std::vector<std::string> candidates;
+      for (const auto& col : gen_.PredicateColumns(table)) {
+        if (used[table].count(col) == 0) candidates.push_back(col);
+      }
+      if (candidates.empty()) continue;
+      const std::string& column =
+          candidates[rng_.Bounded(static_cast<uint32_t>(candidates.size()))];
+      auto tab = catalog_->GetTable(table);
+      if (!tab.ok()) continue;
+      auto col = (*tab)->GetColumn(column);
+      if (!col.ok() || (*col)->size() == 0) continue;
+      // Draw the literal from a random row, skipping nulls (a null row
+      // renders as 0/"", which would still be a valid conjunct, but data
+      // values exercise the estimator's learned ranges).
+      size_t row = rng_.Bounded(static_cast<uint32_t>((*col)->size()));
+      for (int probe = 0; probe < 8 && (*col)->IsNull(row); ++probe) {
+        row = rng_.Bounded(static_cast<uint32_t>((*col)->size()));
+      }
+      if ((*col)->IsNull(row)) continue;
+      workload::ColumnPredicate pred;
+      pred.table = table;
+      pred.column = column;
+      pred.literal = (*col)->GetCell(row);
+      pred.op = (*col)->type() == storage::ColumnType::kCategorical
+                    ? workload::CompareOp::kEq
+                    : static_cast<workload::CompareOp>(rng_.Bounded(3));
+      MetamorphicPair pair;
+      pair.tightened = base;
+      pair.tightened.predicates.push_back(std::move(pred));
+      pair.base = std::move(base);
+      return pair;
+    }
+  }
+  return Status::Internal(
+      "no free predicate column to tighten after 16 attempts");
+}
+
+std::string StressGrammar::RenderPredicate(
+    const workload::ColumnPredicate& pred, bool qualify) {
+  const std::string col =
+      qualify ? pred.table + "." + pred.column : pred.column;
+  const std::string lit = storage::CellValueToSql(pred.literal);
+  const std::string spaces = rng_.Chance(0.5) ? " " : "";
+  if (rng_.Chance(0.3)) {
+    // Flipped form: literal op column, with the mirrored operator so the
+    // meaning is unchanged (the binder normalizes it back).
+    return lit + spaces + workload::CompareOpToString(MirrorOp(pred.op)) +
+           spaces + col;
+  }
+  return col + spaces + workload::CompareOpToString(pred.op) + spaces + lit;
+}
+
+std::string StressGrammar::Render(const workload::QuerySpec& spec) {
+  case_style_ = static_cast<int>(rng_.Bounded(3));
+  const std::string sep = rng_.Chance(0.2) ? "  " : " ";
+  const bool use_aliases = spec.tables.size() > 1 ? rng_.Chance(0.5) : false;
+  const bool qualify = spec.tables.size() > 1 || rng_.Chance(0.5);
+
+  std::vector<std::string> tables = spec.tables;
+  rng_.Shuffle(&tables);
+  std::unordered_map<std::string, std::string> alias;
+  std::string from;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) from += rng_.Chance(0.2) ? " , " : ", ";
+    from += tables[i];
+    if (use_aliases) {
+      const std::string a = "t" + std::to_string(i);
+      alias[tables[i]] = a;
+      if (rng_.Chance(0.5)) from += sep + Keyword("AS");
+      from += sep + a;
+    } else {
+      alias[tables[i]] = tables[i];
+    }
+  }
+
+  std::vector<std::string> clauses;
+  for (const auto& j : spec.joins) {
+    // Join operand order is symmetric; flip it sometimes.
+    const std::string l = alias[j.left_table] + "." + j.left_column;
+    const std::string r = alias[j.right_table] + "." + j.right_column;
+    clauses.push_back(rng_.Chance(0.5) ? l + "=" + r : r + "=" + l);
+  }
+  for (const auto& p : spec.predicates) {
+    workload::ColumnPredicate aliased = p;
+    aliased.table = alias[p.table];
+    clauses.push_back(RenderPredicate(aliased, qualify));
+  }
+  rng_.Shuffle(&clauses);
+
+  std::string sql = Keyword("SELECT") + sep + Keyword("COUNT") + "(*)" + sep +
+                    Keyword("FROM") + sep + from;
+  if (!clauses.empty()) {
+    sql += sep + Keyword("WHERE") + sep;
+    const std::string and_kw = sep + Keyword("AND") + sep;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      if (i > 0) sql += and_kw;
+      sql += clauses[i];
+    }
+  }
+  if (rng_.Chance(0.5)) sql += ";";
+  return sql;
+}
+
+std::string StressGrammar::Mutate(std::string sql) {
+  static const char kNoise[] = "();,=<>'?.x0 ";
+  const uint32_t mutations = 1 + rng_.Bounded(3);
+  for (uint32_t m = 0; m < mutations && !sql.empty(); ++m) {
+    const size_t pos = rng_.Bounded(static_cast<uint32_t>(sql.size()));
+    switch (rng_.Bounded(4)) {
+      case 0:
+        sql.erase(pos, 1);
+        break;
+      case 1:
+        sql.insert(pos, 1, kNoise[rng_.Bounded(sizeof(kNoise) - 1)]);
+        break;
+      case 2:
+        sql[pos] = kNoise[rng_.Bounded(sizeof(kNoise) - 1)];
+        break;
+      default:
+        sql.resize(pos);  // truncate mid-token
+        break;
+    }
+  }
+  return sql;
+}
+
+std::string StressGrammar::TryBetween(const workload::QuerySpec& spec) {
+  std::vector<std::string> tables = spec.tables;
+  rng_.Shuffle(&tables);
+  for (const auto& table : tables) {
+    auto tab = catalog_->GetTable(table);
+    if (!tab.ok()) continue;
+    std::unordered_set<std::string> used;
+    for (const auto& p : spec.predicates) {
+      if (p.table == table) used.insert(p.column);
+    }
+    for (const auto& colname : gen_.PredicateColumns(table)) {
+      auto col = (*tab)->GetColumn(colname);
+      if (!col.ok() || (*col)->type() != storage::ColumnType::kInt64 ||
+          (*col)->size() == 0 || used.count(colname) > 0) {
+        continue;
+      }
+      const size_t r1 = rng_.Bounded(static_cast<uint32_t>((*col)->size()));
+      const size_t r2 = rng_.Bounded(static_cast<uint32_t>((*col)->size()));
+      if ((*col)->IsNull(r1) || (*col)->IsNull(r2)) continue;
+      int64_t lo = (*col)->GetInt(r1);
+      int64_t hi = (*col)->GetInt(r2);
+      if (lo > hi) std::swap(lo, hi);
+      // Append onto the canonical (unaliased) rendering so the table-name
+      // qualifier is guaranteed to resolve.
+      std::string sql = spec.ToSql();
+      if (!sql.empty() && sql.back() == ';') sql.pop_back();
+      sql += (spec.joins.empty() && spec.predicates.empty()) ? " WHERE "
+                                                             : " AND ";
+      sql += table + "." + colname + " BETWEEN " + std::to_string(lo) +
+             " AND " + std::to_string(hi) + ";";
+      return sql;
+    }
+  }
+  return "";
+}
+
+GeneratedQuery StressGrammar::NextQuery() {
+  GeneratedQuery q;
+  workload::QuerySpec spec = gen_.Generate();
+  const double roll = rng_.UniformDouble(0.0, 1.0);
+  if (roll < options_.placeholder_fraction && !spec.predicates.empty()) {
+    // Replace one literal with the template placeholder; the serve layer
+    // must answer with a clean bind error, never an estimate or a crash.
+    workload::QuerySpec templated = spec;
+    const size_t i =
+        rng_.Bounded(static_cast<uint32_t>(templated.predicates.size()));
+    std::string sql = Render(templated);
+    const std::string lit =
+        storage::CellValueToSql(templated.predicates[i].literal);
+    const size_t at = sql.find(lit);
+    if (at != std::string::npos) {
+      sql.replace(at, lit.size(), "?");
+      q.sql = std::move(sql);
+      q.kind = QueryKind::kPlaceholder;
+      return q;
+    }
+    // Literal not found verbatim (e.g. duplicated text) — fall through to a
+    // plain well-formed render.
+  }
+  if (roll >= 1.0 - options_.malformed_fraction) {
+    q.sql = Mutate(Render(spec));
+    q.kind = QueryKind::kMalformed;
+    return q;
+  }
+  if (rng_.Chance(0.15)) {
+    if (std::string between = TryBetween(spec); !between.empty()) {
+      q.sql = std::move(between);
+      q.kind = QueryKind::kWellFormed;
+      return q;
+    }
+  }
+  q.sql = Render(spec);
+  q.kind = QueryKind::kWellFormed;
+  return q;
+}
+
+}  // namespace ds::stress

@@ -1,0 +1,117 @@
+// Grammar-driven random SQL for the stress harness.
+//
+// StressGrammar wraps workload::QueryGenerator (which produces semantically
+// valid, PK/FK-connected QuerySpecs) with a seeded *text* layer covering the
+// whole parser surface: keyword casing, whitespace, table aliases ([AS] t0),
+// shuffled FROM/WHERE clause order, flipped literal-op-column comparisons,
+// BETWEEN ranges, '?' placeholders, and deliberately malformed byte soup.
+// Everything streams from one Pcg32, so a run is fully determined by its
+// seed — the replay contract ds_stress prints on failure.
+//
+// Two product lines:
+//  - NextQuery(): a decorated query for load (well-formed / placeholder /
+//    malformed mix). Malformed inputs must parse-error cleanly, never crash.
+//  - NextPair(): a metamorphic pair (base spec, base + one extra conjunct)
+//    for the monotonicity oracle — adding a conjunct can only shrink the
+//    true cardinality (Kipf et al.'s monotonicity property).
+// Render() turns any spec into decorated-but-equivalent SQL text, which is
+// how the determinism and batch-equivalence oracles vary the bytes on the
+// wire without varying the semantics.
+
+#ifndef DS_STRESS_GRAMMAR_H_
+#define DS_STRESS_GRAMMAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ds/storage/catalog.h"
+#include "ds/util/random.h"
+#include "ds/util/status.h"
+#include "ds/workload/generator.h"
+#include "ds/workload/query_spec.h"
+
+namespace ds::stress {
+
+enum class QueryKind : uint8_t {
+  kWellFormed,   // parses and binds; estimate must succeed
+  kPlaceholder,  // contains '?'; the server must reject it cleanly
+  kMalformed,    // random mutations; any clean error (or even a parse) is ok
+};
+
+struct GeneratedQuery {
+  std::string sql;
+  QueryKind kind = QueryKind::kWellFormed;
+};
+
+/// Base query plus the same query with one extra selection conjunct.
+struct MetamorphicPair {
+  workload::QuerySpec base;
+  workload::QuerySpec tightened;
+};
+
+struct GrammarOptions {
+  uint64_t seed = 1;
+  /// Shape of the underlying spec generator (tables, join/predicate
+  /// counts). Leave max_predicates below the schema's column count so
+  /// NextPair() can always add a conjunct.
+  workload::GeneratorOptions spec;
+  /// NextQuery() mix; the remainder is well-formed.
+  double placeholder_fraction = 0.05;
+  double malformed_fraction = 0.10;
+};
+
+class StressGrammar {
+ public:
+  /// `catalog` is borrowed and must outlive the grammar (the harness passes
+  /// a sketch's embedded sample catalog, so literals are drawn from values
+  /// the sketch has actually materialized).
+  static Result<StressGrammar> Create(const storage::Catalog* catalog,
+                                      GrammarOptions options);
+
+  StressGrammar(StressGrammar&&) = default;
+  StressGrammar& operator=(StressGrammar&&) = default;
+
+  /// A fresh semantically valid spec.
+  workload::QuerySpec NextSpec() { return gen_.Generate(); }
+
+  /// A base spec and the same spec tightened by one extra predicate on a
+  /// not-yet-constrained column (literal drawn from the catalog's rows).
+  /// ResourceExhausted if the schema offers no free column after bounded
+  /// retries (only possible with max_predicates >= every column count).
+  Result<MetamorphicPair> NextPair();
+
+  /// Decorated, semantically equivalent SQL for `spec`. Repeated calls
+  /// yield different bytes for the same meaning.
+  std::string Render(const workload::QuerySpec& spec);
+
+  /// The load-generator stream: decorated well-formed queries, salted with
+  /// placeholder templates and malformed mutations per GrammarOptions.
+  GeneratedQuery NextQuery();
+
+ private:
+  StressGrammar(const storage::Catalog* catalog,
+                workload::QueryGenerator gen, GrammarOptions options)
+      : catalog_(catalog),
+        options_(std::move(options)),
+        gen_(std::move(gen)),
+        rng_(options_.seed, /*stream=*/0x5353) {}  // stream != gen_'s
+
+  /// One rendered predicate (optionally flipped to literal-op-column).
+  std::string RenderPredicate(const workload::ColumnPredicate& pred,
+                              bool qualify);
+  /// Canonical rendering of `spec` plus a BETWEEN range on a free int
+  /// column; "" when the schema offers none.
+  std::string TryBetween(const workload::QuerySpec& spec);
+  std::string Keyword(const char* upper);
+  std::string Mutate(std::string sql);
+
+  const storage::Catalog* catalog_;
+  GrammarOptions options_;
+  workload::QueryGenerator gen_;
+  util::Pcg32 rng_;
+  int case_style_ = 0;  // per-query keyword casing, set by Render
+};
+
+}  // namespace ds::stress
+
+#endif  // DS_STRESS_GRAMMAR_H_

@@ -1,0 +1,58 @@
+#include "ds/stress/oracles.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ds::stress {
+
+void OracleLedger::CountCheck() {
+  util::MutexLock lock(mu_);
+  ++checks_;
+}
+
+void OracleLedger::Report(const char* family, std::string message) {
+  util::MutexLock lock(mu_);
+  ++violations_;
+  if (kept_.size() < kMaxKept) {
+    kept_.push_back(OracleViolation{family, std::move(message)});
+  }
+}
+
+void OracleLedger::ReportFormatted(const char* family, const char* file,
+                                   int line, const char* expression,
+                                   const char* fmt, ...) {
+  char context[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(context, sizeof(context), fmt, args);
+  va_end(args);
+  char message[768];
+  std::snprintf(message, sizeof(message), "%s:%d: oracle '%s' failed: %s",
+                file, line, expression, context);
+  Report(family, message);
+}
+
+uint64_t OracleLedger::checks() const {
+  util::MutexLock lock(mu_);
+  return checks_;
+}
+
+uint64_t OracleLedger::violations() const {
+  util::MutexLock lock(mu_);
+  return violations_;
+}
+
+std::vector<OracleViolation> OracleLedger::violation_samples() const {
+  util::MutexLock lock(mu_);
+  return kept_;
+}
+
+bool EstimatesAgree(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  const double scale = std::fabs(a) > std::fabs(b) ? std::fabs(a)
+                                                   : std::fabs(b);
+  return std::fabs(a - b) <= 1e-6 * scale + 1e-9;
+}
+
+}  // namespace ds::stress

@@ -1,0 +1,99 @@
+// Oracle bookkeeping for the stress harness.
+//
+// The harness never asserts exact estimate values — the model's outputs are
+// opaque. Instead it checks *relations* that must hold no matter what the
+// model learned, grouped into four families (the oracle catalog, see
+// DESIGN.md §9):
+//
+//   monotonicity       adding a conjunct never increases the estimate
+//                      (checked on pairs pre-screened at quiesced startup,
+//                      since the learned model is not inherently monotone)
+//   determinism        the same (sketch, query) always estimates the same
+//                      value, across renderings, threads, and time
+//   batch-equivalence  a coalesced batch answers exactly like the same
+//                      statements submitted one at a time
+//   ledger             metrics balance: submitted == completed + failed,
+//                      and the client-side totals reconcile with them
+//
+// Checks run on many threads; OracleLedger collects violations thread-safely
+// and keeps the first few messages verbatim. Every message carries the run's
+// replay seed (ds_lint's stress-oracle rule enforces the "seed" token in
+// each DS_STRESS_ORACLE format string), so a CI failure line is a replay
+// command.
+
+#ifndef DS_STRESS_ORACLES_H_
+#define DS_STRESS_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ds/util/thread_annotations.h"
+
+namespace ds::stress {
+
+struct OracleViolation {
+  std::string family;
+  std::string message;
+};
+
+/// Thread-safe violation collector. One per stress run.
+class OracleLedger {
+ public:
+  OracleLedger() = default;
+  OracleLedger(const OracleLedger&) = delete;
+  OracleLedger& operator=(const OracleLedger&) = delete;
+
+  /// Counts one evaluated check (pass or fail) for the run report.
+  void CountCheck();
+
+  /// Records a failed check. `message` should already carry the replay
+  /// seed; prefer the DS_STRESS_ORACLE macro, which formats file:line, the
+  /// failed expression, and the context for you.
+  void Report(const char* family, std::string message);
+
+  /// printf-style Report used by DS_STRESS_ORACLE.
+  void ReportFormatted(const char* family, const char* file, int line,
+                       const char* expression, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+      __attribute__((format(printf, 6, 7)))
+#endif
+      ;
+
+  uint64_t checks() const;
+  uint64_t violations() const;
+
+  /// The first kMaxKept violations, in arrival order.
+  std::vector<OracleViolation> violation_samples() const;
+
+  static constexpr size_t kMaxKept = 16;
+
+ private:
+  mutable util::Mutex mu_;
+  uint64_t checks_ DS_GUARDED_BY(mu_) = 0;
+  uint64_t violations_ DS_GUARDED_BY(mu_) = 0;
+  std::vector<OracleViolation> kept_ DS_GUARDED_BY(mu_);
+};
+
+/// Relative-tolerance equality for estimates that must agree bit-for-bit in
+/// principle but cross a text round-trip (JSON "%.17g") in net mode.
+bool EstimatesAgree(double a, double b);
+
+}  // namespace ds::stress
+
+/// Evaluates one oracle check against `ledger` (an OracleLedger*): counts
+/// it, and on failure records the family, file:line, failed expression, and
+/// the printf-formatted context. The format string must name the replay
+/// seed ("seed=%llu ..."), which is what makes any violation line
+/// replayable; tools/ds_lint.cc's stress-oracle rule rejects stress-harness
+/// checks whose message omits the seed.
+#define DS_STRESS_ORACLE(ledger, family, cond, fmt, ...)                  \
+  do {                                                                    \
+    (ledger)->CountCheck();                                               \
+    if (!(cond)) {                                                        \
+      (ledger)->ReportFormatted((family), __FILE__, __LINE__, #cond,      \
+                                (fmt), ##__VA_ARGS__);                    \
+    }                                                                     \
+  } while (false)
+
+#endif  // DS_STRESS_ORACLES_H_

@@ -1,0 +1,58 @@
+#include "ds/stress/torn.h"
+
+#include <algorithm>
+
+#include "ds/util/random.h"
+
+namespace ds::stress {
+
+std::vector<CorruptSketch> MakeTornCorpus(const std::vector<uint8_t>& valid,
+                                          const TornCorpusOptions& options) {
+  std::vector<CorruptSketch> corpus;
+  util::Pcg32 rng(options.seed, /*stream=*/0x7041);  // torn-corpus stream
+  const size_t n = valid.size();
+
+  auto truncated = [&valid](size_t len) {
+    return std::vector<uint8_t>(valid.begin(), valid.begin() + len);
+  };
+
+  // Every prefix of the header region, then a strided sweep to the end.
+  const size_t dense = std::min(options.dense_prefix, n);
+  for (size_t len = 0; len < dense; ++len) {
+    corpus.push_back({truncated(len), "truncate@" + std::to_string(len)});
+  }
+  const size_t stride = std::max<size_t>(options.stride, 1);
+  for (size_t len = dense; len < n; len += stride) {
+    corpus.push_back({truncated(len), "truncate@" + std::to_string(len)});
+  }
+  if (n > 0) {
+    corpus.push_back({truncated(n - 1), "truncate@end-1"});
+  }
+
+  // Single-bit flips, length preserved.
+  for (size_t i = 0; i < options.num_flips && n > 0; ++i) {
+    const size_t pos = rng.Bounded(static_cast<uint32_t>(n));
+    const uint32_t bit = rng.Bounded(8);
+    CorruptSketch c{valid, "flip@" + std::to_string(pos) + "." +
+                               std::to_string(bit)};
+    c.bytes[pos] ^= static_cast<uint8_t>(1u << bit);
+    corpus.push_back(std::move(c));
+  }
+
+  // A flip followed by a truncation after the flip point.
+  for (size_t i = 0; i < options.num_flip_truncations && n > 1; ++i) {
+    const size_t pos = rng.Bounded(static_cast<uint32_t>(n - 1));
+    const uint32_t bit = rng.Bounded(8);
+    const size_t len =
+        pos + 1 + rng.Bounded(static_cast<uint32_t>(n - pos - 1) + 1);
+    CorruptSketch c{truncated(len), "flip@" + std::to_string(pos) + "." +
+                                        std::to_string(bit) + "+truncate@" +
+                                        std::to_string(len)};
+    c.bytes[pos] ^= static_cast<uint8_t>(1u << bit);
+    corpus.push_back(std::move(c));
+  }
+
+  return corpus;
+}
+
+}  // namespace ds::stress

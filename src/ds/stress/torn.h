@@ -1,0 +1,46 @@
+// Torn-sketch corpus: systematic corruptions of a valid serialized sketch.
+//
+// DeepSketch::Load must return a Status for any byte soup — truncations
+// (what a reader sees when a writer skips the tmp+rename protocol and dies
+// mid-write) and bit flips (disk rot, bad RAM) — never crash or allocate
+// unboundedly. The corpus drives both the deterministic tier-1 sweep
+// (tests/stress_test.cc walks every truncation point and a seeded flip set)
+// and the harness's killer thread, which serves the same corruptions to a
+// live registry under concurrent load.
+
+#ifndef DS_STRESS_TORN_H_
+#define DS_STRESS_TORN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ds::stress {
+
+struct CorruptSketch {
+  std::vector<uint8_t> bytes;
+  std::string what;  // e.g. "truncate@123", "flip@45.2"
+};
+
+struct TornCorpusOptions {
+  uint64_t seed = 1;
+  /// Truncation points: every byte length in [0, dense_prefix), then every
+  /// `stride` bytes to the end (plus the always-interesting end-1 point).
+  /// The dense prefix covers the magic/version/flags header region exactly;
+  /// the stride sweep crosses every section boundary of any sketch since
+  /// boundaries are at most one section apart.
+  size_t dense_prefix = 64;
+  size_t stride = 97;  // prime, so repeated sweeps don't alias sections
+  /// Random single-bit flips (file length preserved).
+  size_t num_flips = 256;
+  /// Flip + truncate combos.
+  size_t num_flip_truncations = 64;
+};
+
+/// Builds the corruption corpus for one valid serialized sketch.
+std::vector<CorruptSketch> MakeTornCorpus(const std::vector<uint8_t>& valid,
+                                          const TornCorpusOptions& options);
+
+}  // namespace ds::stress
+
+#endif  // DS_STRESS_TORN_H_

@@ -69,7 +69,9 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 Status BinaryReader::ReadString(std::string* out) {
   uint64_t n = 0;
   DS_RETURN_NOT_OK(ReadU64(&n));
-  if (pos_ + n > buf_.size()) {
+  // `pos_ + n` may wrap for a corrupt length; compare against the space
+  // actually left instead.
+  if (n > buf_.size() - pos_) {
     return Status::OutOfRange("truncated string of length " +
                               std::to_string(n));
   }
@@ -81,6 +83,8 @@ Status BinaryReader::ReadString(std::string* out) {
 Status BinaryReader::ReadStringVector(std::vector<std::string>* out) {
   uint64_t n = 0;
   DS_RETURN_NOT_OK(ReadU64(&n));
+  // Every string costs at least its u64 length prefix.
+  DS_RETURN_NOT_OK(CheckCount(n, sizeof(uint64_t)));
   out->clear();
   out->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

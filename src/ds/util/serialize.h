@@ -119,7 +119,10 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     DS_RETURN_NOT_OK(ReadU64(&n));
-    if (pos_ + n * sizeof(T) > buf_.size()) {
+    // Divide instead of multiplying: `n` comes from the file, and a corrupt
+    // count must not wrap `n * sizeof(T)` past the bounds check (or reach
+    // resize() and take the process down with bad_alloc).
+    if (n > remaining() / sizeof(T)) {
       return Status::OutOfRange("truncated vector of " + std::to_string(n) +
                                 " elements");
     }
@@ -143,12 +146,27 @@ class BinaryReader {
                                 " elements, expected " +
                                 std::to_string(expect));
     }
-    if (pos_ + n * sizeof(T) > buf_.size()) {
+    if (n > remaining() / sizeof(T)) {
       return Status::OutOfRange("truncated span of " + std::to_string(n) +
                                 " elements");
     }
     if (n > 0) std::memcpy(out, buf_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
+    return Status::OK();
+  }
+
+  /// Validates an element count read from the input before the caller sizes
+  /// a container with it: each counted element needs at least
+  /// `min_bytes_each` further input bytes, so any larger count proves the
+  /// file truncated or corrupt *before* a resize/reserve turns it into a
+  /// multi-GiB allocation (or bad_alloc abort).
+  Status CheckCount(uint64_t n, size_t min_bytes_each) const {
+    const size_t unit = min_bytes_each == 0 ? 1 : min_bytes_each;
+    if (n > remaining() / unit) {
+      return Status::OutOfRange(
+          "implausible element count " + std::to_string(n) + " with " +
+          std::to_string(remaining()) + " bytes of input left");
+    }
     return Status::OK();
   }
 

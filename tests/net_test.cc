@@ -1053,6 +1053,39 @@ TEST_F(NetServerTest, StopIsIdempotentAndRestartIsRejected) {
   backend_->Stop();
 }
 
+// Regression (path traversal): the sketch name in an ESTIMATE frame or an
+// HTTP body is attacker-controlled, and the registry used to join it into
+// a filesystem path unvalidated — "../decoy" read a sketch OUTSIDE the
+// registry directory. The decoy file really exists one level above the
+// registry dir; the proof is that both wire surfaces refuse to serve it.
+TEST_F(NetServerTest, TraversalSketchNameRejectedOverWire) {
+  ASSERT_TRUE(sketch_->Save(testing::TempDir() + "/decoy.sketch").ok());
+  auto server = StartServer();
+
+  // Binary protocol: a clean per-request error, not a served estimate
+  // (and not a shed/rejection, which would map to OutOfRange).
+  NetClient client = Connect(*server);
+  for (const char* name : {"../decoy", "..", "a/../../decoy", "a\\b"}) {
+    auto est = client.Estimate(name, kSql);
+    ASSERT_FALSE(est.ok()) << "hostile name served: " << name;
+    EXPECT_EQ(est.status().code(), StatusCode::kInternal) << name;
+  }
+  // The connection survives the rejections.
+  EXPECT_TRUE(client.Estimate("tiny", kSql).ok());
+
+  // HTTP surface: a 4xx with a JSON error, never a 200 with an estimate.
+  const std::string body =
+      std::string(R"({"sketch": "../decoy", "sql": ")") + kSql + R"("})";
+  const std::string response = RawExchange(
+      server->port(),
+      "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+          std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body);
+  EXPECT_EQ(response.rfind("HTTP/1.1 400 ", 0), 0u);
+  EXPECT_EQ(response.find("\"estimate\":"), std::string::npos);
+  StopAndCheckBalance(server.get());
+}
+
 #endif  // __linux__
 
 }  // namespace

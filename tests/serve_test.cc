@@ -691,5 +691,92 @@ TEST_F(ServeTest, StopDrainsPendingRequests) {
   }
 }
 
+// Regression (stale result cache): the server's statement and estimate
+// caches used to be keyed on (sketch name, SQL) alone, so republishing a
+// sketch under the same registry name kept serving the *previous* model's
+// estimates forever. Keys now include the registry epoch, which every Put
+// bumps.
+TEST_F(ServeTest, RepublishedSketchServesFreshEstimates) {
+  SketchRegistry registry(DiskOptions());
+  SketchServer server(&registry, ServerOptions{});
+
+  // Two models that answer differently: the suite sketch and a retrain
+  // with different init/workload seeds.
+  SketchConfig config;
+  config.num_samples = 8;
+  config.num_training_queries = 150;
+  config.num_epochs = 3;
+  config.hidden_units = 8;
+  config.batch_size = 32;
+  config.max_tables_per_query = 2;
+  config.seed = 99;
+  DeepSketch retrained = DeepSketch::Train(*catalog_, config).value();
+  const double old_direct = sketch_->EstimateSql(kQueries[0]).value();
+  const double new_direct = retrained.EstimateSql(kQueries[0]).value();
+  ASSERT_NE(old_direct, new_direct);  // otherwise the test proves nothing
+
+  registry.Put("rep", DeepSketch::Load(*dir_ + "/a.sketch").value());
+  // Ask twice so the answer is definitely resident in the result cache.
+  for (int i = 0; i < 2; ++i) {
+    auto first = server.Submit("rep", kQueries[0]).future.get();
+    ASSERT_TRUE(first.ok());
+    EXPECT_NEAR(*first, old_direct, 1e-6 * old_direct + 1e-9);
+  }
+
+  registry.Put("rep", std::move(retrained));  // republish under the same name
+  auto second = server.Submit("rep", kQueries[0]).future.get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(*second, new_direct, 1e-6 * new_direct + 1e-9)
+      << "server kept serving the pre-republish sketch's cached estimate";
+  server.Stop();
+}
+
+TEST_F(ServeTest, RegistryEpochsBumpOnPutAndInvalidate) {
+  SketchRegistry registry(DiskOptions());
+  EXPECT_EQ(registry.Epoch("a"), 0u);
+  uint64_t epoch = 0;
+  ASSERT_TRUE(registry.Get("a", &epoch).ok());  // disk load: no publication
+  EXPECT_EQ(epoch, 0u);
+  registry.Put("a", DeepSketch::Load(*dir_ + "/a.sketch").value());
+  EXPECT_EQ(registry.Epoch("a"), 1u);
+  EXPECT_TRUE(registry.Invalidate("a"));
+  EXPECT_EQ(registry.Epoch("a"), 2u);
+  // Invalidate of a non-resident name still bumps: the "rewrite the file,
+  // then Invalidate" protocol must retire stale cache keys even when the
+  // entry was already evicted.
+  EXPECT_FALSE(registry.Invalidate("a"));
+  EXPECT_EQ(registry.Epoch("a"), 3u);
+  ASSERT_TRUE(registry.Get("a", &epoch).ok());
+  EXPECT_EQ(epoch, 3u);
+}
+
+// Regression (path traversal): registry names come straight off the wire
+// and used to be joined into a filesystem path unvalidated, so
+// "../decoy" read a sketch file OUTSIDE the registry directory. The decoy
+// really exists — the proof is that the load *fails anyway*.
+TEST_F(ServeTest, RegistryRejectsPathTraversalNames) {
+  const std::string parent = testing::TempDir() + "/ds_serve_traversal";
+  fs::create_directories(parent + "/inner");
+  ASSERT_TRUE(sketch_->Save(parent + "/decoy.sketch").ok());
+  RegistryOptions options;
+  options.directory = parent + "/inner";
+  SketchRegistry registry(options);
+
+  for (const char* name :
+       {"../decoy", "..", "a/../../decoy", "a\\b", "", "./decoy", "/etc"}) {
+    auto got = registry.Get(name);
+    ASSERT_FALSE(got.ok()) << "hostile name resolved: " << name;
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument) << name;
+    EXPECT_FALSE(registry.Contains(name));
+  }
+  // Ordinary names still work through the same boundary.
+  EXPECT_TRUE(SketchRegistry::ValidateName("movies_2024.v2").ok());
+  // A well-formed name passes validation and then simply misses — the
+  // decoy is only reachable by escaping the directory.
+  auto miss = registry.Get("decoy");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_NE(miss.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ds

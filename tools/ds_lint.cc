@@ -354,6 +354,52 @@ void CheckRawIntrinsics(const std::string& path,
   }
 }
 
+// Stress-harness oracles must carry the replay seed in their message text:
+// a violation line in CI is only actionable when it doubles as a replay
+// command (`ds_stress seed=<N> ...`). Applies to DS_STRESS_ORACLE and the
+// DS_REQUIRE contract family, but only inside the stress harness itself
+// (src/ds/stress/, tools/ds_stress.cc, tests/stress_test.cc).
+void CheckStressOracleSeed(const std::string& path, const std::string& text,
+                           const std::vector<std::string>& raw,
+                           std::vector<Finding>* out) {
+  if (path.find("ds/stress/") == std::string::npos &&
+      path.find("ds_stress") == std::string::npos &&
+      path.find("stress_test") == std::string::npos) {
+    return;
+  }
+  static const char* const kMacros[] = {"DS_STRESS_ORACLE(", "DS_REQUIRE(",
+                                        "DS_ENSURE(", "DS_INVARIANT("};
+  for (const char* macro : kMacros) {
+    size_t pos = 0;
+    while ((pos = text.find(macro, pos)) != std::string::npos) {
+      const size_t line = LineOfOffset(text, pos);
+      pos += std::strlen(macro);
+      const std::string& raw_line = raw[line - 1];
+      // Skip the macro's own #define and explicit exemptions.
+      if (LineExempt(raw_line) ||
+          raw_line.find("#define") != std::string::npos) {
+        continue;
+      }
+      // Balanced-paren span of the invocation's arguments. `text` keeps
+      // string literals, so the "seed" token in the format string counts.
+      size_t depth = 1;
+      size_t i = pos;
+      while (i < text.size() && depth > 0) {
+        if (text[i] == '(') ++depth;
+        if (text[i] == ')') --depth;
+        ++i;
+      }
+      if (text.substr(pos, i - pos).find("seed") == std::string::npos) {
+        out->push_back(
+            {path, line, "stress-oracle",
+             "stress oracle message must carry the replay seed (format it "
+             "like \"seed=%llu ...\") so a CI violation line doubles as the "
+             "ds_stress replay command"});
+      }
+    }
+  }
+}
+
 // ---- Driver ---------------------------------------------------------------------
 
 std::vector<Finding> LintContent(const std::string& path,
@@ -370,6 +416,7 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckIostreamHeader(path, raw, code, &findings);
   CheckNakedFd(path, raw, code, &findings);
   CheckRawIntrinsics(path, raw, code, &findings);
+  CheckStressOracleSeed(path, no_comments, raw, &findings);
   return findings;
 }
 
@@ -516,6 +563,25 @@ const SelfCase kSelfCases[] = {
      nullptr},
     {"intrinsic-in-comment-allowed", "clean.cc",
      "// _mm256_fmadd_ps lives in nn/kernels_avx2_fma.cc\n", nullptr},
+    {"stress-oracle-missing-seed", "src/ds/stress/fake.cc",
+     "void f(ds::stress::OracleLedger* l) {\n"
+     "  DS_STRESS_ORACLE(l, \"ledger\", 1 + 1 == 2, \"books unbalanced\");\n"
+     "}\n",
+     "stress-oracle"},
+    {"stress-require-missing-seed", "tools/ds_stress.cc",
+     "void f(bool passed) {\n"
+     "  DS_REQUIRE(passed, \"oracle violation, rerun me\");\n"
+     "}\n",
+     "stress-oracle"},
+    {"stress-oracle-with-seed", "src/ds/stress/fake.cc",
+     "void f(ds::stress::OracleLedger* l, unsigned long long seed) {\n"
+     "  DS_STRESS_ORACLE(l, \"ledger\", 1 + 1 == 2,\n"
+     "                   \"seed=%llu books unbalanced\", seed);\n"
+     "}\n",
+     nullptr},
+    {"stress-oracle-outside-harness-unscoped", "src/ds/serve/fake.cc",
+     "void f(int x) { DS_REQUIRE(x > 0, \"no seed needed here\"); }\n",
+     nullptr},
 };
 
 int RunSelfTest() {
