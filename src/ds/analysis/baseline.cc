@@ -1,0 +1,65 @@
+#include "ds/analysis/baseline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace ds::analysis {
+
+bool LoadBaseline(const std::string& path, Baseline* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "analysis: cannot read baseline '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++out->fingerprints[line];
+  }
+  return true;
+}
+
+std::vector<Finding> ApplyBaseline(const Baseline& baseline,
+                                   const std::vector<Finding>& findings,
+                                   size_t* suppressed, size_t* stale) {
+  std::map<std::string, int> remaining = baseline.fingerprints;
+  std::vector<Finding> surviving;
+  *suppressed = 0;
+  for (const Finding& f : findings) {
+    auto it = remaining.find(Fingerprint(f));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      ++*suppressed;
+    } else {
+      surviving.push_back(f);
+    }
+  }
+  *stale = 0;
+  for (const auto& [fp, count] : remaining) {
+    (void)fp;
+    if (count > 0) *stale += static_cast<size_t>(count);
+  }
+  return surviving;
+}
+
+std::string SerializeBaseline(const std::string& tool_name,
+                              const std::vector<Finding>& findings) {
+  std::vector<std::string> lines;
+  lines.reserve(findings.size());
+  for (const Finding& f : findings) lines.push_back(Fingerprint(f));
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  out += "# " + tool_name +
+         " baseline: grandfathered findings (rule<TAB>file<TAB>message).\n";
+  out += "# Regenerate with --write-baseline after deliberate changes; new\n";
+  out += "# findings must be fixed, not appended here.\n";
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ds::analysis

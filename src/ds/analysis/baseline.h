@@ -1,0 +1,44 @@
+// Checked-in finding baselines: grandfather existing findings so a CI
+// analyze job fails only on NEW ones.
+//
+// A baseline is a text file of Fingerprint() lines (rule, file, message,
+// tab-separated; '#' comments allowed). Fingerprints carry no line number,
+// so edits above a grandfathered finding do not resurface it; changing the
+// finding's message (usually: fixing or moving the code) does, which is the
+// desired nudge to actually clean it up. Stale entries — baseline lines no
+// current finding matches — are counted so the file can be re-generated
+// (--write-baseline) before it rots.
+
+#ifndef DS_ANALYSIS_BASELINE_H_
+#define DS_ANALYSIS_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ds/analysis/finding.h"
+
+namespace ds::analysis {
+
+struct Baseline {
+  std::map<std::string, int> fingerprints;  // fingerprint -> multiplicity
+};
+
+/// Loads `path`. Returns false (stderr note) if unreadable.
+bool LoadBaseline(const std::string& path, Baseline* out);
+
+/// Returns the findings NOT covered by `baseline`, preserving order. Each
+/// baseline entry suppresses at most its multiplicity. `suppressed` and
+/// `stale` (entries with unmatched multiplicity) are always written.
+std::vector<Finding> ApplyBaseline(const Baseline& baseline,
+                                   const std::vector<Finding>& findings,
+                                   size_t* suppressed, size_t* stale);
+
+/// Serializes `findings` as a baseline file body (sorted, deduplicated with
+/// multiplicity preserved as repeated lines).
+std::string SerializeBaseline(const std::string& tool_name,
+                              const std::vector<Finding>& findings);
+
+}  // namespace ds::analysis
+
+#endif  // DS_ANALYSIS_BASELINE_H_

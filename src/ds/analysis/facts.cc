@@ -1,0 +1,378 @@
+#include "ds/analysis/facts.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "ds/analysis/tokenizer.h"
+
+namespace ds::analysis {
+
+const ManifestEntry* Manifest::FindSymbol(const std::string& symbol) const {
+  for (const ManifestEntry& e : entries) {
+    if (e.symbol == symbol) return &e;
+  }
+  return nullptr;
+}
+
+const ManifestEntry* Manifest::FindName(const std::string& name) const {
+  for (const ManifestEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool ParseManifest(const SourceFile& f, Manifest* out) {
+  if (f.content.find("DS_LOCK_RANK_TABLE") == std::string::npos) return false;
+  // Rows are X(...) invocations inside the table macro; they survive
+  // comment-stripping with string literals intact. A row may wrap across
+  // macro continuation lines (clang-format does this), so blank the
+  // backslash-newline continuations — keeping the newlines for line
+  // accounting — and match the whole text, recovering each row's line
+  // from its match offset.
+  static const std::regex kRow(
+      R"rx(\bX\(\s*(k\w+)\s*,\s*(\d+)\s*,\s*"([^"]*)"\s*,\s*"([^"]*)"\s*\))rx");
+  std::string text = StripCode(f.content, StripMode::kComments);
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '\\' && text[i + 1] == '\n') text[i] = ' ';
+  }
+  out->file = f.path;
+  out->entries.clear();
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kRow);
+       it != std::sregex_iterator(); ++it) {
+    ManifestEntry e;
+    e.symbol = (*it)[1].str();
+    e.rank = std::stoi((*it)[2].str());
+    e.name = (*it)[3].str();
+    e.holder = (*it)[4].str();
+    e.line = LineOfOffset(text, static_cast<size_t>(it->position()));
+    out->entries.push_back(std::move(e));
+  }
+  return !out->entries.empty();
+}
+
+bool LineIsExempt(const FileFacts& facts, size_t line) {
+  return std::binary_search(facts.exempt_lines.begin(),
+                            facts.exempt_lines.end(), line);
+}
+
+namespace {
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "new" || s == "delete" ||
+         s == "static_assert" || s == "assert";
+}
+
+bool IsAnnotationMacro(const std::string& s) {
+  return s == "DS_GUARDED_BY" || s == "DS_PT_GUARDED_BY" ||
+         s == "DS_REQUIRES" || s == "DS_ACQUIRE" || s == "DS_RELEASE" ||
+         s == "DS_TRY_ACQUIRE" || s == "DS_EXCLUDES" ||
+         s == "DS_ASSERT_CAPABILITY" || s == "DS_RETURN_CAPABILITY";
+}
+
+struct ScopeFrame {
+  enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+  std::string name;
+};
+
+std::string ScopePath(const std::vector<ScopeFrame>& scopes) {
+  std::string path;
+  for (const ScopeFrame& s : scopes) {
+    if (s.kind == ScopeFrame::kBlock || s.name.empty()) continue;
+    if (!path.empty()) path += "::";
+    path += s.name;
+  }
+  return path;
+}
+
+struct ActiveLock {
+  std::string var;   // the MutexLock variable ("lock")
+  std::string expr;  // the mutex expression ("&shard.mu")
+  std::string mutex_var;
+  size_t line = 0;
+  size_t depth = 0;  // scopes.size() when declared; popped when scope closes
+  bool held = true;  // toggled by lock.Unlock()/lock.Lock()
+};
+
+/// Joins the argument tokens back into compact source text ("&shard->mu").
+std::string JoinTokens(const std::vector<Token>& toks, size_t begin,
+                       size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) out += toks[i].text;
+  return out;
+}
+
+/// Last identifier in [begin, end), or "".
+std::string TrailingIdentifier(const std::vector<Token>& toks, size_t begin,
+                               size_t end) {
+  for (size_t i = end; i > begin; --i) {
+    if (toks[i - 1].kind == TokenKind::kIdentifier) return toks[i - 1].text;
+  }
+  return "";
+}
+
+/// Index one past the `)` matching the `(` at `open`, or toks.size().
+size_t MatchParen(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (PunctIs(toks, i, "(")) ++depth;
+    if (PunctIs(toks, i, ")")) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+FileFacts HarvestFacts(const SourceFile& f) {
+  FileFacts facts;
+  facts.path = f.path;
+
+  // Suppressions live in comments; blank the strings first so a "NOLINT"
+  // *inside a string literal* (analyzer self-tests, doc text) is not a
+  // suppression.
+  {
+    const std::string with_comments = StripCode(f.content, StripMode::kStrings);
+    const std::vector<std::string> lines = SplitLines(with_comments);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].find("NOLINT(ds-analyze)") != std::string::npos) {
+        facts.exempt_lines.push_back(i + 1);
+      }
+    }
+  }
+
+  const std::string code = StripCode(f.content, StripMode::kCommentsAndStrings);
+  const std::vector<Token> toks = Tokenize(code);
+
+  // Token offset -> line, in one pass.
+  std::vector<size_t> tok_line(toks.size());
+  {
+    size_t line = 1, pos = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      while (pos < toks[i].offset) {
+        if (code[pos] == '\n') ++line;
+        ++pos;
+      }
+      tok_line[i] = line;
+    }
+  }
+
+  // The annotation macros are *defined* in thread_annotations.h; harvesting
+  // their `(x)` parameters there would be self-referential noise.
+  const bool is_annotation_header =
+      EndsWith(f.path, "util/thread_annotations.h");
+  // Likewise the manifest header: its X-macro expanders spell
+  // `LockRank::id` with macro parameters, not real rank symbols.
+  const bool is_manifest_header = EndsWith(f.path, "util/lock_order.h");
+
+  std::vector<ScopeFrame> scopes;
+  std::vector<ActiveLock> locks;
+
+  // Pending declaration state for classifying the next `{` at paren depth 0.
+  std::string pending_tag;   // "class" | "namespace" | ""
+  std::string pending_name;  // candidate scope name
+  bool pending_colon_seen = false;
+  std::string fn_candidate;  // identifier before the last top-level (...)
+  bool have_sig = false;     // that (...) has closed since the last ; { }
+  int paren_depth = 0;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    const size_t line = tok_line[i];
+
+    if (t.kind == TokenKind::kIdentifier) {
+      // ---- scope bookkeeping -------------------------------------------
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "enum") {
+        pending_tag = "class";
+        pending_name.clear();
+        pending_colon_seen = false;
+      } else if (t.text == "namespace") {
+        pending_tag = "namespace";
+        pending_name.clear();
+        pending_colon_seen = false;
+      } else if (!pending_tag.empty() && paren_depth == 0 &&
+                 !pending_colon_seen && t.text != "final" &&
+                 !PunctIs(toks, i + 1, "(")) {
+        pending_name = t.text;
+      }
+
+      // ---- LockRank::kFoo references -----------------------------------
+      if (!is_manifest_header && t.text == "LockRank" &&
+          PunctIs(toks, i + 1, "::") && i + 2 < toks.size() &&
+          toks[i + 2].kind == TokenKind::kIdentifier) {
+        facts.rank_refs.push_back({line, toks[i + 2].text});
+      }
+
+      // ---- Mutex declarations ------------------------------------------
+      if (t.text == "Mutex" && i + 2 < toks.size() &&
+          toks[i + 1].kind == TokenKind::kIdentifier &&
+          (PunctIs(toks, i + 2, ";") || PunctIs(toks, i + 2, "{")) &&
+          !(i > 0 && (TokenIs(toks, i - 1, "class") ||
+                      TokenIs(toks, i - 1, "struct") ||
+                      TokenIs(toks, i - 1, "friend")))) {
+        MutexDecl d;
+        d.line = line;
+        d.var = toks[i + 1].text;
+        d.scope = ScopePath(scopes);
+        if (PunctIs(toks, i + 2, "{")) {
+          // Brace initializer: look for LockRank::kFoo before the `}`.
+          int depth = 0;
+          for (size_t j = i + 2; j < toks.size(); ++j) {
+            if (PunctIs(toks, j, "{")) ++depth;
+            if (PunctIs(toks, j, "}") && --depth == 0) break;
+            if (TokenIs(toks, j, "LockRank") && PunctIs(toks, j + 1, "::") &&
+                j + 2 < toks.size() &&
+                toks[j + 2].kind == TokenKind::kIdentifier) {
+              d.rank_symbol = toks[j + 2].text;
+            }
+          }
+        }
+        facts.mutexes.push_back(std::move(d));
+      }
+
+      // ---- annotation bindings -----------------------------------------
+      if (!is_annotation_header && IsAnnotationMacro(t.text) &&
+          PunctIs(toks, i + 1, "(")) {
+        const size_t close = MatchParen(toks, i + 1);
+        size_t arg_begin = i + 2;
+        int depth = 0;
+        for (size_t j = i + 2; j < close; ++j) {
+          const bool top_comma = PunctIs(toks, j, ",") && depth == 0;
+          if (PunctIs(toks, j, "(")) ++depth;
+          if (PunctIs(toks, j, ")")) --depth;
+          if (top_comma || j + 1 == close) {
+            const size_t arg_end = top_comma ? j : j;
+            const std::string name =
+                TrailingIdentifier(toks, arg_begin, arg_end);
+            // DS_TRY_ACQUIRE's leading bool and empty DS_ACQUIRE() args
+            // are not lock expressions.
+            if (!name.empty() && name != "true" && name != "false") {
+              facts.guards.push_back({line, t.text, name});
+            }
+            arg_begin = j + 1;
+          }
+        }
+      }
+
+      // ---- MutexLock acquisition sites ---------------------------------
+      if (t.text == "MutexLock" && i + 2 < toks.size() &&
+          toks[i + 1].kind == TokenKind::kIdentifier &&
+          PunctIs(toks, i + 2, "(")) {
+        const size_t close = MatchParen(toks, i + 2);
+        // First constructor argument = the mutex expression.
+        size_t arg_end = close > 0 ? close - 1 : close;
+        int depth = 0;
+        for (size_t j = i + 3; j < close; ++j) {
+          if (PunctIs(toks, j, "(")) ++depth;
+          if (PunctIs(toks, j, ")")) --depth;
+          if (PunctIs(toks, j, ",") && depth == 0) {
+            arg_end = j;
+            break;
+          }
+        }
+        Acquisition a;
+        a.line = line;
+        a.expr = JoinTokens(toks, i + 3, arg_end);
+        a.var = TrailingIdentifier(toks, i + 3, arg_end);
+        a.scope = ScopePath(scopes);
+        if (!a.var.empty()) {
+          for (const ActiveLock& held : locks) {
+            if (!held.held) continue;
+            NestedPair p;
+            p.line = line;
+            p.outer_expr = held.expr;
+            p.outer_var = held.mutex_var;
+            p.outer_line = held.line;
+            p.inner_expr = a.expr;
+            p.inner_var = a.var;
+            p.scope = a.scope;
+            facts.nested.push_back(std::move(p));
+          }
+          ActiveLock al;
+          al.var = toks[i + 1].text;
+          al.expr = a.expr;
+          al.mutex_var = a.var;
+          al.line = line;
+          al.depth = scopes.size();
+          locks.push_back(std::move(al));
+          facts.acquisitions.push_back(std::move(a));
+        }
+      }
+
+      // ---- mid-scope lock.Unlock() / lock.Lock() -----------------------
+      if (PunctIs(toks, i + 1, ".") && i + 3 < toks.size() &&
+          toks[i + 2].kind == TokenKind::kIdentifier &&
+          PunctIs(toks, i + 3, "(") &&
+          (toks[i + 2].text == "Unlock" || toks[i + 2].text == "Lock")) {
+        for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
+          if (it->var == t.text) {
+            it->held = (toks[i + 2].text == "Lock");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    if (t.kind != TokenKind::kPunct) continue;
+    const std::string& p = t.text;
+    if (p == "(") {
+      if (paren_depth == 0) {
+        if (i > 0 && toks[i - 1].kind == TokenKind::kIdentifier &&
+            !IsControlKeyword(toks[i - 1].text)) {
+          fn_candidate = toks[i - 1].text;
+        } else {
+          fn_candidate.clear();
+        }
+        have_sig = false;
+      }
+      ++paren_depth;
+    } else if (p == ")") {
+      if (paren_depth > 0) --paren_depth;
+      if (paren_depth == 0 && !fn_candidate.empty()) have_sig = true;
+    } else if (p == ":" && paren_depth == 0 && !pending_tag.empty()) {
+      pending_colon_seen = true;
+    } else if (p == ";" && paren_depth == 0) {
+      pending_tag.clear();
+      pending_name.clear();
+      pending_colon_seen = false;
+      fn_candidate.clear();
+      have_sig = false;
+    } else if (p == "{") {
+      // Braces inside parens (lambda bodies, brace-init arguments) push
+      // plain block frames too: their `}` pops symmetrically, so a lock
+      // taken inside a lambda does not outlive the lambda's body in the
+      // analyzer's model the way it would if only depth-0 braces counted.
+      ScopeFrame frame{ScopeFrame::kBlock, ""};
+      if (paren_depth == 0) {
+        if (pending_tag == "namespace") {
+          frame = {ScopeFrame::kNamespace, pending_name};
+        } else if (pending_tag == "class" && !pending_name.empty()) {
+          frame = {ScopeFrame::kClass, pending_name};
+        } else if (have_sig) {
+          frame = {ScopeFrame::kFunction, fn_candidate};
+        }
+        pending_tag.clear();
+        pending_name.clear();
+        pending_colon_seen = false;
+        fn_candidate.clear();
+        have_sig = false;
+      }
+      scopes.push_back(std::move(frame));
+    } else if (p == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      locks.erase(std::remove_if(locks.begin(), locks.end(),
+                                 [&](const ActiveLock& l) {
+                                   return l.depth > scopes.size();
+                                 }),
+                  locks.end());
+    }
+  }
+
+  return facts;
+}
+
+}  // namespace ds::analysis

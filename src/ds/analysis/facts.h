@@ -1,0 +1,113 @@
+// Per-file fact harvesting for ds_analyze's lock-order pass.
+//
+// HarvestFacts runs the shared Tokenizer over one stripped source file and
+// extracts the concurrency-relevant facts without building an AST:
+//
+//   * ds::util::Mutex member/global declarations, with the LockRank symbol
+//     when the declaration is brace-initialized with one
+//   * every `LockRank::kFoo` reference (for manifest cross-checks)
+//   * thread-safety annotation bindings (DS_GUARDED_BY(mu_), ...) and the
+//     mutex name each one targets
+//   * MutexLock acquisition sites, with the enclosing scope path and —
+//     via live brace/paren tracking — every *nested* acquisition pair
+//     (lock B taken while lock A of the same function is still held),
+//     honoring mid-scope lock.Unlock()/lock.Lock()
+//
+// ParseManifest reads the machine-readable rank table out of
+// src/ds/util/lock_order.h (the X-macro rows; see that file's layout note).
+//
+// The harvest is heuristic by design — it tracks lexical scope, not control
+// flow, and only sees nesting within one function body. Cross-function
+// nesting is the runtime lockdep's job (ds/util/lockdep.h); this pass is
+// the cheap whole-repo net that catches ordering bugs before they run.
+
+#ifndef DS_ANALYSIS_FACTS_H_
+#define DS_ANALYSIS_FACTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ds/analysis/source.h"
+
+namespace ds::analysis {
+
+/// One X(symbol, rank, name, holder) row of DS_LOCK_RANK_TABLE.
+struct ManifestEntry {
+  std::string symbol;  // kNetServerStop
+  int rank = 0;        // 100
+  std::string name;    // "net.server.stop"
+  std::string holder;  // "net::NetServer::stop_mu_"
+  size_t line = 0;     // row's line in the manifest header
+};
+
+struct Manifest {
+  std::string file;
+  std::vector<ManifestEntry> entries;
+
+  const ManifestEntry* FindSymbol(const std::string& symbol) const;
+  const ManifestEntry* FindName(const std::string& name) const;
+};
+
+/// Parses the rank table. Returns false when `f` holds no
+/// DS_LOCK_RANK_TABLE (i.e. it is not the manifest).
+bool ParseManifest(const SourceFile& f, Manifest* out);
+
+/// A ds::util::Mutex (or bare Mutex) variable declaration.
+struct MutexDecl {
+  size_t line = 0;
+  std::string var;          // mu_, stop_mu_, ...
+  std::string rank_symbol;  // kServeServerStop; empty = unranked
+  std::string scope;        // "ds::serve::SketchServer" best-effort
+};
+
+/// One `LockRank::kFoo` appearance.
+struct RankRef {
+  size_t line = 0;
+  std::string symbol;
+};
+
+/// One thread-safety annotation argument: DS_GUARDED_BY(mu_) binds to
+/// mutex_name "mu_"; DS_EXCLUDES(a, b) yields two bindings.
+struct GuardBinding {
+  size_t line = 0;
+  std::string macro;
+  std::string mutex_name;
+};
+
+/// One `MutexLock guard(&expr)` site.
+struct Acquisition {
+  size_t line = 0;
+  std::string expr;   // "&shard->mu" as written
+  std::string var;    // trailing identifier: "mu"
+  std::string scope;  // enclosing function path, best-effort
+};
+
+/// Lock `inner` taken while `outer` (same function body) is still held.
+struct NestedPair {
+  size_t line = 0;  // inner acquisition site
+  std::string outer_expr;
+  std::string outer_var;
+  size_t outer_line = 0;
+  std::string inner_expr;
+  std::string inner_var;
+  std::string scope;
+};
+
+struct FileFacts {
+  std::string path;
+  std::vector<MutexDecl> mutexes;
+  std::vector<RankRef> rank_refs;
+  std::vector<GuardBinding> guards;
+  std::vector<Acquisition> acquisitions;
+  std::vector<NestedPair> nested;
+  std::vector<size_t> exempt_lines;  // NOLINT(ds-analyze) lines, sorted
+};
+
+FileFacts HarvestFacts(const SourceFile& f);
+
+bool LineIsExempt(const FileFacts& facts, size_t line);
+
+}  // namespace ds::analysis
+
+#endif  // DS_ANALYSIS_FACTS_H_

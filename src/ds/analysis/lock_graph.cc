@@ -1,0 +1,512 @@
+#include "ds/analysis/lock_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ds::analysis {
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+/// "src/ds/serve/server.cc" -> "server", pairing a .cc with its header.
+std::string Stem(const std::string& path) {
+  std::string base = Basename(path);
+  const size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base.resize(dot);
+  return base;
+}
+
+struct DeclRef {
+  const FileFacts* file = nullptr;
+  const MutexDecl* decl = nullptr;
+};
+
+/// A node of the lock-order graph: a manifest rank symbol when the resolved
+/// declaration carries one, else the declaration (or, unresolved, the use
+/// site) itself.
+struct Node {
+  std::string key;
+  std::string display;                  // for messages
+  const ManifestEntry* entry = nullptr;  // null = unranked
+};
+
+struct Edge {
+  std::string to;
+  // Example site, for the report.
+  std::string file;
+  size_t line = 0;
+  std::string outer_expr;
+  std::string inner_expr;
+  std::string scope;
+};
+
+class Resolver {
+ public:
+  Resolver(const Manifest& manifest, const std::vector<FileFacts>& facts)
+      : manifest_(manifest) {
+    for (const FileFacts& f : facts) {
+      for (const MutexDecl& d : f.mutexes) {
+        by_var_[d.var].push_back({&f, &d});
+      }
+    }
+  }
+
+  /// Declaration candidates for `var` as seen from `site_file`: same file,
+  /// then the paired header/source (same stem, same directory), then the
+  /// same directory, then a globally unique match.
+  const DeclRef* Resolve(const std::string& site_file,
+                         const std::string& var) const {
+    auto it = by_var_.find(var);
+    if (it == by_var_.end()) return nullptr;
+    const std::vector<DeclRef>& cands = it->second;
+    const std::string dir = Dirname(site_file);
+    const std::string stem = Stem(site_file);
+    const DeclRef* best = nullptr;
+    for (const DeclRef& c : cands) {  // same file
+      if (c.file->path == site_file) {
+        if (best != nullptr) return nullptr;  // ambiguous within one file
+        best = &c;
+      }
+    }
+    if (best != nullptr) return best;
+    for (const DeclRef& c : cands) {  // paired header/source
+      if (Dirname(c.file->path) == dir && Stem(c.file->path) == stem) {
+        if (best != nullptr) return nullptr;
+        best = &c;
+      }
+    }
+    if (best != nullptr) return best;
+    for (const DeclRef& c : cands) {  // same directory
+      if (Dirname(c.file->path) == dir) {
+        if (best != nullptr) return nullptr;
+        best = &c;
+      }
+    }
+    if (best != nullptr) return best;
+    return cands.size() == 1 ? &cands[0] : nullptr;
+  }
+
+  Node NodeFor(const std::string& site_file, const std::string& var,
+               const std::string& expr) const {
+    const DeclRef* d = Resolve(site_file, var);
+    Node n;
+    if (d != nullptr && !d->decl->rank_symbol.empty()) {
+      n.key = "rank:" + d->decl->rank_symbol;
+      n.entry = manifest_.FindSymbol(d->decl->rank_symbol);
+      n.display = d->decl->rank_symbol;
+      if (n.entry != nullptr) {
+        n.display += " ('" + n.entry->name + "', rank " +
+                     std::to_string(n.entry->rank) + ")";
+      }
+    } else if (d != nullptr) {
+      n.key = "decl:" + d->file->path + ":" + d->decl->var;
+      n.display = "unranked mutex '" + d->decl->var + "' (" +
+                  Basename(d->file->path) + ":" +
+                  std::to_string(d->decl->line) + ")";
+    } else {
+      n.key = "expr:" + Stem(site_file) + ":" + var;
+      n.display = "unresolved mutex expression '" + expr + "'";
+    }
+    return n;
+  }
+
+ private:
+  const Manifest& manifest_;
+  std::map<std::string, std::vector<DeclRef>> by_var_;
+};
+
+}  // namespace
+
+std::vector<Finding> CheckLockOrder(const Manifest& manifest,
+                                    const std::vector<FileFacts>& facts) {
+  std::vector<Finding> findings;
+  Resolver resolver(manifest, facts);
+  const std::string manifest_name =
+      manifest.entries.empty() ? "the lock-order manifest"
+                               : Basename(manifest.file);
+
+  // ---- rank reference cross-checks -----------------------------------------
+  std::set<std::string> referenced;
+  for (const FileFacts& f : facts) {
+    for (const RankRef& r : f.rank_refs) {
+      referenced.insert(r.symbol);
+      if (LineIsExempt(f, r.line)) continue;
+      if (!manifest.entries.empty() &&
+          manifest.FindSymbol(r.symbol) == nullptr) {
+        findings.push_back(
+            {f.path, r.line, "lock-rank-unknown",
+             "LockRank::" + r.symbol +
+                 " is not a row of DS_LOCK_RANK_TABLE (" +
+                 Basename(manifest.file) +
+                 "); add it to the manifest so the rank is documented and "
+                 "checkable"});
+      }
+    }
+  }
+  for (const ManifestEntry& e : manifest.entries) {
+    if (referenced.count(e.symbol) == 0) {
+      findings.push_back(
+          {manifest.file, e.line, "lock-rank-stale",
+           "manifest row " + e.symbol + " ('" + e.name +
+               "', holder " + e.holder +
+               ") is referenced by no swept mutex declaration; delete the "
+               "row or rank the mutex it describes"});
+    }
+  }
+
+  // ---- annotation bindings -------------------------------------------------
+  {
+    // Mutex names visible to a file: its own plus its paired header/source
+    // (annotations repeated on out-of-line definitions).
+    std::map<std::string, std::set<std::string>> vars_by_file;
+    for (const FileFacts& f : facts) {
+      for (const MutexDecl& d : f.mutexes) {
+        vars_by_file[f.path].insert(d.var);
+      }
+    }
+    for (const FileFacts& f : facts) {
+      std::set<std::string> visible = vars_by_file[f.path];
+      const std::string dir = Dirname(f.path);
+      const std::string stem = Stem(f.path);
+      for (const FileFacts& other : facts) {
+        if (other.path != f.path && Dirname(other.path) == dir &&
+            Stem(other.path) == stem) {
+          const auto& more = vars_by_file[other.path];
+          visible.insert(more.begin(), more.end());
+        }
+      }
+      for (const GuardBinding& g : f.guards) {
+        if (LineIsExempt(f, g.line)) continue;
+        if (visible.count(g.mutex_name) != 0) continue;
+        findings.push_back(
+            {f.path, g.line, "annotation-unknown-mutex",
+             g.macro + "(" + g.mutex_name +
+                 ") names no ds::util::Mutex declared in this file or its "
+                 "paired header/source; the annotation guards nothing"});
+      }
+    }
+  }
+
+  // ---- the acquired-after graph --------------------------------------------
+  std::map<std::string, Node> nodes;
+  std::map<std::string, std::vector<Edge>> adjacency;
+  for (const FileFacts& f : facts) {
+    for (const NestedPair& p : f.nested) {
+      if (LineIsExempt(f, p.line) || LineIsExempt(f, p.outer_line)) continue;
+      Node outer = resolver.NodeFor(f.path, p.outer_var, p.outer_expr);
+      Node inner = resolver.NodeFor(f.path, p.inner_var, p.inner_expr);
+      if (outer.key == inner.key &&
+          (outer.entry == nullptr || inner.entry == nullptr)) {
+        // Same unranked class nested in itself: usually two distinct
+        // instances (shard stripes). Rank discipline for instances of one
+        // class is the runtime lockdep's call; statically stay quiet.
+        continue;
+      }
+      nodes.emplace(outer.key, outer);
+      nodes.emplace(inner.key, inner);
+      adjacency[outer.key].push_back(
+          {inner.key, f.path, p.line, p.outer_expr, p.inner_expr, p.scope});
+    }
+  }
+
+  // ---- rank inversions -----------------------------------------------------
+  for (const auto& [from_key, edges] : adjacency) {
+    const Node& from = nodes.at(from_key);
+    // One finding per (from, to) class pair, not per site.
+    std::set<std::string> reported;
+    for (const Edge& e : edges) {
+      const Node& to = nodes.at(e.to);
+      if (from.entry == nullptr || to.entry == nullptr) continue;
+      if (to.entry->rank > from.entry->rank) continue;
+      if (!reported.insert(e.to).second) continue;
+      const bool equal = to.entry->rank == from.entry->rank;
+      findings.push_back(
+          {e.file, e.line, "lock-rank-inversion",
+           "acquiring " + to.display + " via '" + e.inner_expr +
+               "' while holding " + from.display + " ('" + e.outer_expr +
+               "', " + (e.scope.empty() ? "file scope" : e.scope) + ") " +
+               (equal ? "— same-rank locks must never be held together"
+                      : "— acquired-after ranks must strictly rise") +
+               "; see " + manifest_name});
+    }
+  }
+
+  // ---- cycles through unranked classes -------------------------------------
+  {
+    enum Color { kWhite, kGray, kBlack };
+    std::map<std::string, Color> color;
+    for (const auto& [key, node] : nodes) {
+      (void)node;
+      color[key] = kWhite;
+    }
+    std::set<std::string> reported_edges;
+    // Iterative DFS with an explicit path stack, deterministic by key order.
+    for (const auto& [root, root_node] : nodes) {
+      (void)root_node;
+      if (color[root] != kWhite) continue;
+      struct StackItem {
+        std::string key;
+        size_t next_edge = 0;
+      };
+      std::vector<StackItem> stack{{root, 0}};
+      color[root] = kGray;
+      while (!stack.empty()) {
+        StackItem& top = stack.back();
+        const std::vector<Edge>& edges = adjacency[top.key];
+        if (top.next_edge >= edges.size()) {
+          color[top.key] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        const Edge& e = edges[top.next_edge++];
+        if (color[e.to] == kGray) {
+          // Back edge: the path from e.to to top.key plus this edge cycles.
+          size_t start = 0;
+          while (start < stack.size() && stack[start].key != e.to) ++start;
+          bool has_unranked = false;
+          std::string cycle;
+          for (size_t i = start; i < stack.size(); ++i) {
+            const Node& n = nodes.at(stack[i].key);
+            if (n.entry == nullptr) has_unranked = true;
+            cycle += n.display + " -> ";
+          }
+          cycle += nodes.at(e.to).display;
+          const std::string edge_id = top.key + "=>" + e.to;
+          if (has_unranked && reported_edges.insert(edge_id).second) {
+            findings.push_back(
+                {e.file, e.line, "lock-cycle",
+                 "potential deadlock: lock-order cycle " + cycle +
+                     " (this edge: '" + e.outer_expr + "' then '" +
+                     e.inner_expr + "' in " +
+                     (e.scope.empty() ? "file scope" : e.scope) +
+                     "); rank the mutexes in " + manifest_name +
+                     " or break the nesting"});
+          }
+        } else if (color[e.to] == kWhite) {
+          color[e.to] = kGray;
+          stack.push_back({e.to, 0});
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// ---- observed-graph diff ---------------------------------------------------
+
+namespace {
+
+/// Just enough JSON reading for lockdep's own dump format (lockdep.cc
+/// ObservedGraphJson): objects with string/number fields, inside "classes"
+/// and "edges" arrays. Not a general parser — unknown input yields a
+/// parse-error finding rather than undefined behavior.
+struct JsonScanner {
+  const std::string& text;
+  size_t pos = 0;
+
+  explicit JsonScanner(const std::string& t) : text(t) {}
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\n' || text[pos] == '\t' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ReadString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        ++pos;
+        switch (text[pos]) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          default: *out += text[pos]; break;
+        }
+      } else {
+        *out += text[pos];
+      }
+      ++pos;
+    }
+    if (pos >= text.size()) return false;
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool ReadNumber(long long* out) {
+    SkipWs();
+    size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (pos == start) return false;
+    *out = std::stoll(text.substr(start, pos - start));
+    return true;
+  }
+};
+
+struct ObservedClass {
+  std::string name;
+  long long rank = 0;
+  std::string holder;
+};
+
+struct ObservedEdge {
+  std::string from;
+  std::string to;
+  long long count = 0;
+};
+
+struct ObservedGraph {
+  std::vector<ObservedClass> classes;
+  std::vector<ObservedEdge> edges;
+  long long violations = 0;
+};
+
+/// Reads one {"k":v,...} object, dispatching fields via `field`.
+template <typename FieldFn>
+bool ReadObject(JsonScanner* s, FieldFn field) {
+  if (!s->Consume('{')) return false;
+  if (s->Consume('}')) return true;
+  do {
+    std::string key;
+    if (!s->ReadString(&key) || !s->Consume(':')) return false;
+    if (!field(key, s)) return false;
+  } while (s->Consume(','));
+  return s->Consume('}');
+}
+
+template <typename ItemFn>
+bool ReadArray(JsonScanner* s, ItemFn item) {
+  if (!s->Consume('[')) return false;
+  s->SkipWs();
+  if (s->Consume(']')) return true;
+  do {
+    if (!item(s)) return false;
+  } while (s->Consume(','));
+  return s->Consume(']');
+}
+
+bool ParseObservedGraph(const std::string& json, ObservedGraph* out) {
+  JsonScanner s(json);
+  return ReadObject(&s, [&](const std::string& key, JsonScanner* sc) {
+    if (key == "classes") {
+      return ReadArray(sc, [&](JsonScanner* el) {
+        ObservedClass c;
+        if (!ReadObject(el, [&](const std::string& k, JsonScanner* v) {
+              if (k == "name") return v->ReadString(&c.name);
+              if (k == "rank") return v->ReadNumber(&c.rank);
+              if (k == "holder") return v->ReadString(&c.holder);
+              return false;
+            })) {
+          return false;
+        }
+        out->classes.push_back(std::move(c));
+        return true;
+      });
+    }
+    if (key == "edges") {
+      return ReadArray(sc, [&](JsonScanner* el) {
+        ObservedEdge e;
+        if (!ReadObject(el, [&](const std::string& k, JsonScanner* v) {
+              if (k == "from") return v->ReadString(&e.from);
+              if (k == "to") return v->ReadString(&e.to);
+              if (k == "count") return v->ReadNumber(&e.count);
+              return false;
+            })) {
+          return false;
+        }
+        out->edges.push_back(std::move(e));
+        return true;
+      });
+    }
+    if (key == "violations") return sc->ReadNumber(&out->violations);
+    return false;
+  });
+}
+
+}  // namespace
+
+std::vector<Finding> CheckObservedGraph(const std::string& path,
+                                        const std::string& json,
+                                        const Manifest& manifest) {
+  std::vector<Finding> findings;
+  ObservedGraph g;
+  if (!ParseObservedGraph(json, &g)) {
+    findings.push_back({path, 1, "observed-parse-error",
+                        "not a lockdep observed-graph dump (expected the "
+                        "lock_order.json shape WriteObservedGraph emits)"});
+    return findings;
+  }
+  if (g.violations != 0) {
+    findings.push_back(
+        {path, 1, "observed-violations",
+         "the runtime lockdep recorded " + std::to_string(g.violations) +
+             " ordering violation(s) during the run that produced this "
+             "dump; its stderr has the acquisition stacks"});
+  }
+  for (const ObservedClass& c : g.classes) {
+    const ManifestEntry* e = manifest.FindName(c.name);
+    if (e == nullptr) {
+      findings.push_back(
+          {path, 1, "observed-unknown-class",
+           "observed lock class '" + c.name +
+               "' is not in DS_LOCK_RANK_TABLE; the dump and the manifest "
+               "disagree about what locks exist"});
+    } else if (e->rank != c.rank) {
+      findings.push_back(
+          {path, 1, "observed-rank-drift",
+           "observed lock class '" + c.name + "' has rank " +
+               std::to_string(c.rank) + " but the manifest declares " +
+               std::to_string(e->rank) +
+               "; the binary that wrote the dump ran a different table"});
+    }
+  }
+  for (const ObservedEdge& e : g.edges) {
+    const ManifestEntry* from = manifest.FindName(e.from);
+    const ManifestEntry* to = manifest.FindName(e.to);
+    if (from == nullptr || to == nullptr) continue;  // reported above
+    if (to->rank <= from->rank) {
+      findings.push_back(
+          {path, 1, "observed-order-violation",
+           "the runtime observed '" + e.to + "' (rank " +
+               std::to_string(to->rank) + ") acquired while '" + e.from +
+               "' (rank " + std::to_string(from->rank) + ") was held, " +
+               std::to_string(e.count) +
+               " time(s); acquired-after ranks must strictly rise"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace ds::analysis

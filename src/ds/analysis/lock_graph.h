@@ -1,0 +1,51 @@
+// The static lock-order graph and its checks.
+//
+// BuildLockGraph resolves every nested-acquisition pair harvested by
+// facts.h to a *lock class* — the manifest rank symbol when the mutex
+// declaration carries one, else the declaration site itself — and adds an
+// acquired-after edge. CheckLockOrder then reports:
+//
+//   lock-rank-inversion   an edge from a ranked class to one of equal or
+//                         lower rank (ranks must strictly rise inward)
+//   lock-cycle            a cycle through at least one unranked class (a
+//                         ranked-only cycle necessarily contains an
+//                         inversion, reported above)
+//   lock-rank-unknown     LockRank::kFoo referenced but not in the manifest
+//   lock-rank-stale       a manifest row no swept file references
+//   annotation-unknown-mutex
+//                         DS_GUARDED_BY/DS_REQUIRES/... naming a mutex that
+//                         is not declared in the same file (or its paired
+//                         header/source)
+//
+// CheckObservedGraph diffs a runtime lockdep dump (lock_order.json,
+// ds/util/lockdep.h WriteObservedGraph) against the manifest: observed
+// classes must exist, observed edges must rise in rank, and a dump with
+// recorded violations is itself a finding — so CI can assert that what the
+// soak actually locked matches what the tree declares.
+
+#ifndef DS_ANALYSIS_LOCK_GRAPH_H_
+#define DS_ANALYSIS_LOCK_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "ds/analysis/facts.h"
+#include "ds/analysis/finding.h"
+
+namespace ds::analysis {
+
+/// All lock-order checks over the harvested facts. `manifest.entries` may
+/// be empty (no manifest in the sweep), in which case only the cycle and
+/// annotation checks can fire.
+std::vector<Finding> CheckLockOrder(const Manifest& manifest,
+                                    const std::vector<FileFacts>& facts);
+
+/// Diffs a runtime lockdep JSON dump against the manifest. `path` is used
+/// for finding locations; `json` is the dump's content.
+std::vector<Finding> CheckObservedGraph(const std::string& path,
+                                        const std::string& json,
+                                        const Manifest& manifest);
+
+}  // namespace ds::analysis
+
+#endif  // DS_ANALYSIS_LOCK_GRAPH_H_

@@ -1,0 +1,89 @@
+#include "ds/analysis/sarif.h"
+
+#include <cstdio>
+#include <set>
+
+namespace ds::analysis {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToSarif(const std::string& tool_name,
+                    const std::string& tool_version,
+                    const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+
+  std::string out;
+  out.reserve(1024 + findings.size() * 256);
+  out +=
+      "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"";
+  AppendEscaped(&out, tool_name);
+  out += "\",\"version\":\"";
+  AppendEscaped(&out, tool_version);
+  out += "\",\"informationUri\":\"https://example.com/deepsketch\","
+         "\"rules\":[";
+  bool first = true;
+  for (const std::string& rule : rules) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"";
+    AppendEscaped(&out, rule);
+    out += "\",\"defaultConfiguration\":{\"level\":\"error\"}}";
+  }
+  out += "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ruleId\":\"";
+    AppendEscaped(&out, f.rule);
+    out += "\",\"level\":\"error\",\"message\":{\"text\":\"";
+    AppendEscaped(&out, f.message);
+    out += "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+           "{\"uri\":\"";
+    AppendEscaped(&out, f.file);
+    out += "\"},\"region\":{\"startLine\":";
+    out += std::to_string(f.line == 0 ? 1 : f.line);
+    out += "}}}]}";
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "analysis: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok) std::fprintf(stderr, "analysis: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+}  // namespace ds::analysis

@@ -77,7 +77,7 @@ class AdmissionController {
 
  private:
   AdmissionOptions options_;
-  util::Mutex mu_;
+  util::Mutex mu_{util::LockRank::kNetAdmissionBuckets};
   std::unordered_map<std::string, TokenBucket> buckets_ DS_GUARDED_BY(mu_);
 };
 

@@ -102,7 +102,7 @@ class EventLoop {
   // std::function currently executing.
   std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
 
-  util::Mutex mu_;
+  util::Mutex mu_{util::LockRank::kNetEventLoopTasks};
   std::vector<PostedTask> tasks_ DS_GUARDED_BY(mu_);
   bool stopped_ DS_GUARDED_BY(mu_) = false;
 };

@@ -226,11 +226,12 @@ class NetServer {
   std::atomic<size_t> active_connections_{0};
   std::atomic<int64_t> start_us_{0};  // steady-clock us at successful Start
 
-  mutable util::Mutex tenant_mu_;
+  mutable util::Mutex tenant_mu_{util::LockRank::kNetServerTenants};
   // std::map: node-stable TenantStats addresses plus sorted /statusz rows.
   std::map<std::string, TenantStats> tenants_ DS_GUARDED_BY(tenant_mu_);
 
-  util::Mutex stop_mu_;  // serializes Start/Stop against concurrent Stop
+  // serializes Start/Stop against concurrent Stop
+  util::Mutex stop_mu_{util::LockRank::kNetServerStop};
   bool started_ DS_GUARDED_BY(stop_mu_) = false;
   bool stopped_ DS_GUARDED_BY(stop_mu_) = false;
 };

@@ -105,7 +105,7 @@ class QErrorDriftMonitor {
   const std::string sketch_;
   const DriftOptions options_;
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kObsDriftMonitor};
   std::vector<double> baseline_ DS_GUARDED_BY(mu_);  // frozen once full
   bool baseline_ready_ DS_GUARDED_BY(mu_) = false;
   double baseline_median_ DS_GUARDED_BY(mu_) = 0;
@@ -146,7 +146,7 @@ class DriftMonitorSet {
 
  private:
   const DriftOptions options_;
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kObsDriftSet};
   std::map<std::string, std::unique_ptr<QErrorDriftMonitor>> monitors_
       DS_GUARDED_BY(mu_);
 };

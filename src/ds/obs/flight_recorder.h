@@ -162,7 +162,7 @@ class FlightRecorder {
 
   const size_t slowest_capacity_;
   const int64_t window_us_;
-  mutable util::Mutex slow_mu_;
+  mutable util::Mutex slow_mu_{util::LockRank::kObsFlightSlow};
   std::vector<FlightRecord> slow_current_ DS_GUARDED_BY(slow_mu_);
   std::vector<FlightRecord> slow_previous_ DS_GUARDED_BY(slow_mu_);
 

@@ -189,7 +189,7 @@ class Registry {
                   const Labels& labels, MetricKind kind)
       DS_EXCLUDES(mu_);
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kObsRegistry};
   std::deque<Entry> entries_ DS_GUARDED_BY(mu_);
   std::unordered_map<std::string, size_t> index_
       DS_GUARDED_BY(mu_);  // key -> entries_ index

@@ -92,7 +92,7 @@ LoadReport RunClosedLoop(SketchServer* server, const std::string& sketch_name,
           // but the request never entered the queue, so it is neither a
           // served "ok" nor a served "error" and gets no latency sample.
           ++my_rejected;
-          p->submission.future.get();
+          (void)p->submission.future.get();  // drain the rejection error
           return;
         }
         if (p->submission.future.get().ok()) {

@@ -119,7 +119,7 @@ class SketchRegistry {
   };
 
   struct Shard {
-    mutable util::Mutex mu;
+    mutable util::Mutex mu{util::LockRank::kServeRegistryShard};
     std::list<std::string> lru DS_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<std::string, Entry> entries DS_GUARDED_BY(mu);
     size_t bytes DS_GUARDED_BY(mu) = 0;

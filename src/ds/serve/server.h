@@ -280,7 +280,7 @@ class SketchServer {
   /// One independent submission queue. Workers are bound to exactly one
   /// shard; submitters pick one by hint or round-robin.
   struct Shard {
-    util::Mutex mu;
+    util::Mutex mu{util::LockRank::kServeServerShard};
     util::CondVar cv;
     std::deque<Request> queue DS_GUARDED_BY(mu);
     bool stopping DS_GUARDED_BY(mu) = false;
@@ -364,7 +364,7 @@ class SketchServer {
 
   // Stats-dump thread coordination (separate from the shard mutexes so the
   // dump period never contends with the hot path).
-  util::Mutex dump_mu_;
+  util::Mutex dump_mu_{util::LockRank::kServeServerDump};
   util::CondVar dump_cv_;
   bool dump_stopping_ DS_GUARDED_BY(dump_mu_) = false;
 
@@ -372,7 +372,7 @@ class SketchServer {
   // under stop_mu_, so concurrent Stop() calls (or Stop() racing the
   // destructor) never join the same std::thread twice. Only the
   // constructor (exclusive access) and Stop() touch these members.
-  util::Mutex stop_mu_;
+  util::Mutex stop_mu_{util::LockRank::kServeServerStop};
   std::vector<std::thread> workers_ DS_GUARDED_BY(stop_mu_);
   std::thread stats_dump_thread_ DS_GUARDED_BY(stop_mu_);
   ServerMetrics metrics_;
@@ -383,7 +383,7 @@ class SketchServer {
     std::shared_ptr<const workload::QuerySpec> spec;
     std::list<std::string>::iterator lru_it;
   };
-  util::Mutex stmt_mu_;
+  util::Mutex stmt_mu_{util::LockRank::kServeServerStmtCache};
   std::list<std::string> stmt_lru_ DS_GUARDED_BY(stmt_mu_);  // front = MRU
   std::unordered_map<std::string, StmtEntry> stmt_cache_
       DS_GUARDED_BY(stmt_mu_);
@@ -393,7 +393,7 @@ class SketchServer {
     double value = 0;
     std::list<std::string>::iterator lru_it;
   };
-  util::Mutex result_mu_;
+  util::Mutex result_mu_{util::LockRank::kServeServerResultCache};
   std::list<std::string> result_lru_ DS_GUARDED_BY(result_mu_);  // front = MRU
   std::unordered_map<std::string, ResultEntry> result_cache_
       DS_GUARDED_BY(result_mu_);

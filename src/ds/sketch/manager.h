@@ -68,7 +68,7 @@ class SketchManager {
   serve::SketchRegistry registry_;
 
   // Names with a CreateSketch in flight (training happens outside the lock).
-  mutable util::Mutex creating_mu_;
+  mutable util::Mutex creating_mu_{util::LockRank::kSketchManagerCreating};
   std::set<std::string> creating_ DS_GUARDED_BY(creating_mu_);
 };
 

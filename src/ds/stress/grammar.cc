@@ -25,6 +25,20 @@ workload::CompareOp MirrorOp(workload::CompareOp op) {
   return op;
 }
 
+// True when `at` lies inside a single-quoted SQL string. Quotes are
+// escaped by doubling ('') so plain parity counting stays correct.
+bool InsideStringLiteral(const std::string& sql, size_t at) {
+  bool inside = false;
+  for (size_t i = 0; i < at; ++i) {
+    if (sql[i] == '\'') inside = !inside;
+  }
+  return inside;
+}
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
 }  // namespace
 
 Result<StressGrammar> StressGrammar::Create(const storage::Catalog* catalog,
@@ -239,7 +253,17 @@ GeneratedQuery StressGrammar::NextQuery() {
     std::string sql = Render(templated);
     const std::string lit =
         storage::CellValueToSql(templated.predicates[i].literal);
-    const size_t at = sql.find(lit);
+    // Only a match outside any string literal and on token boundaries is
+    // the predicate's own literal: "4" also occurs inside 'keyword-47',
+    // and a '?' planted there is legal text, not a placeholder.
+    size_t at = sql.find(lit);
+    while (at != std::string::npos &&
+           (InsideStringLiteral(sql, at) ||
+            (at > 0 && IsTokenChar(sql[at - 1])) ||
+            (at + lit.size() < sql.size() &&
+             IsTokenChar(sql[at + lit.size()])))) {
+      at = sql.find(lit, at + 1);
+    }
     if (at != std::string::npos) {
       sql.replace(at, lit.size(), "?");
       q.sql = std::move(sql);

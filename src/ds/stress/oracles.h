@@ -69,7 +69,7 @@ class OracleLedger {
   static constexpr size_t kMaxKept = 16;
 
  private:
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kStressOracles};
   uint64_t checks_ DS_GUARDED_BY(mu_) = 0;
   uint64_t violations_ DS_GUARDED_BY(mu_) = 0;
   std::vector<OracleViolation> kept_ DS_GUARDED_BY(mu_);

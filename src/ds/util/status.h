@@ -33,7 +33,11 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// A cheap, copyable success-or-error value. OK status carries no allocation.
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error — every caller must
+/// check, propagate (DS_RETURN_NOT_OK), or explicitly (void)-cast. ds_lint's
+/// discarded-status rule backs this up for gcc call sites the attribute
+/// alone would miss.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
 
@@ -90,7 +94,7 @@ class Status {
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result is a programmer error and aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : var_(std::move(status)) {  // NOLINT

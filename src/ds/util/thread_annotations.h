@@ -23,9 +23,11 @@
 #ifndef DS_UTIL_THREAD_ANNOTATIONS_H_
 #define DS_UTIL_THREAD_ANNOTATIONS_H_
 
-#include <chrono>              // NOLINT(ds-lint): wrapper needs the real types
-#include <condition_variable>  // NOLINT(ds-lint)
-#include <mutex>               // NOLINT(ds-lint)
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "ds/util/lockdep.h"
 
 #if defined(__clang__)
 #define DS_THREAD_ANNOTATION__(x) __attribute__((x))
@@ -85,20 +87,42 @@ class MutexLock;
 
 /// std::mutex annotated as a clang capability. Prefer MutexLock over calling
 /// Lock/Unlock manually.
+///
+/// A mutex that can ever be held together with another one must be ranked:
+/// construct it with its LockRank from the manifest in
+/// ds/util/lock_order.h. Ranked mutexes are checked by the runtime lockdep
+/// (ds/util/lockdep.h) against the declared global acquisition order and by
+/// the ds_analyze static pass; default-constructed (unranked) mutexes are
+/// invisible to both — reserve them for throwaway locals in tests.
 class DS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) : class_(LockRankInfo(rank)) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() DS_ACQUIRE() { mu_.lock(); }
-  void Unlock() DS_RELEASE() { mu_.unlock(); }
-  bool TryLock() DS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() DS_ACQUIRE() {
+    lockdep::OnAcquire(class_);
+    mu_.lock();
+  }
+  void Unlock() DS_RELEASE() {
+    lockdep::OnRelease(class_);
+    mu_.unlock();
+  }
+  bool TryLock() DS_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockdep::OnTryAcquire(class_);
+    return true;
+  }
+
+  /// The manifest row this mutex was ranked with; null when unranked.
+  const LockRankEntry* lock_class() const { return class_; }
 
  private:
   friend class CondVar;
   friend class MutexLock;
   std::mutex mu_;
+  const LockRankEntry* class_ = nullptr;
 };
 
 /// RAII lock on a ds::util::Mutex (the std::unique_lock analogue, visible to
@@ -106,20 +130,38 @@ class DS_CAPABILITY("mutex") Mutex {
 /// the lock around a long operation via Unlock()/Lock().
 class DS_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) DS_ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() DS_RELEASE() = default;
+  explicit MutexLock(Mutex& mu) DS_ACQUIRE(mu)
+      : mu_(&mu), lock_(LockdepAcquire(mu)) {}
+  ~MutexLock() DS_RELEASE() {
+    if (lock_.owns_lock()) lockdep::OnRelease(mu_->class_);
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
   /// Drops the lock mid-scope (e.g. to run a batch outside the queue lock).
-  void Unlock() DS_RELEASE() { lock_.unlock(); }
+  void Unlock() DS_RELEASE() {
+    lockdep::OnRelease(mu_->class_);
+    lock_.unlock();
+  }
 
   /// Reacquires after Unlock().
-  void Lock() DS_ACQUIRE() { lock_.lock(); }
+  void Lock() DS_ACQUIRE() {
+    lockdep::OnAcquire(mu_->class_);
+    lock_.lock();
+  }
 
  private:
   friend class CondVar;
+
+  /// Runs the lockdep order check BEFORE blocking on the mutex, so an
+  /// inversion that would deadlock reports instead of hanging.
+  static std::mutex& LockdepAcquire(Mutex& mu) {
+    lockdep::OnAcquire(mu.class_);
+    return mu.mu_;
+  }
+
+  Mutex* mu_;
   std::unique_lock<std::mutex> lock_;
 };
 

@@ -1,0 +1,222 @@
+// Runtime lockdep (ds/util/lockdep.h) against the manifest in
+// ds/util/lock_order.h: the kTest* ranks exist for exactly these tests.
+// Deliberate inversions carry NOLINT(ds-analyze) so the static pass
+// (tools/ds_analyze.cc) does not report the seeded violations it is the
+// runtime checker's job to catch here.
+
+#include "ds/util/lockdep.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "ds/util/lock_order.h"
+#include "ds/util/thread_annotations.h"
+#include "gtest/gtest.h"
+
+namespace ds::util {
+namespace {
+
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = lockdep::Enabled();
+    lockdep::SetEnabled(true);
+    lockdep::SetAbortOnViolation(true);
+    lockdep::ResetForTest();
+  }
+  void TearDown() override {
+    lockdep::SetAbortOnViolation(true);
+    lockdep::SetEnabled(was_enabled_);
+    lockdep::ResetForTest();
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(LockdepTest, RankTableIsStrictlyMonotone) {
+  std::set<std::string> names;
+  int prev_rank = -1;
+  for (size_t i = 0; i < kNumLockRanks; ++i) {
+    const LockRankEntry& e = kLockRankTable[i];
+    EXPECT_GT(e.rank, prev_rank)
+        << "rank of '" << e.name << "' does not increase down the table";
+    prev_rank = e.rank;
+    EXPECT_EQ(static_cast<int>(e.id), e.rank)
+        << "enum value and rank diverged for '" << e.name << "'";
+    EXPECT_NE(e.name[0], '\0');
+    EXPECT_TRUE(names.insert(e.name).second)
+        << "duplicate class name '" << e.name << "'";
+    EXPECT_EQ(LockRankInfo(e.id), &e);
+    EXPECT_EQ(LockRankIndex(&e), i);
+  }
+}
+
+TEST_F(LockdepTest, RankedNestingInOrderIsClean) {
+  util::Mutex order_outer{util::LockRank::kTestOuter};
+  util::Mutex order_inner{util::LockRank::kTestInner};
+  util::Mutex order_leaf{util::LockRank::kTestLeaf};
+  for (int i = 0; i < 3; ++i) {
+    util::MutexLock outer_lock(order_outer);
+    util::MutexLock inner_lock(order_inner);
+    util::MutexLock leaf_lock(order_leaf);
+  }
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+  const std::string json = lockdep::ObservedGraphJson();
+  EXPECT_NE(json.find("\"from\":\"test.outer\",\"to\":\"test.inner\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"from\":\"test.inner\",\"to\":\"test.leaf\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"violations\":0"), std::string::npos) << json;
+}
+
+TEST_F(LockdepTest, AbbaInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  util::Mutex abba_outer{util::LockRank::kTestOuter};
+  util::Mutex abba_inner{util::LockRank::kTestInner};
+  EXPECT_DEATH(
+      {
+        util::MutexLock inner_lock(abba_inner);
+        util::MutexLock outer_lock(abba_outer);  // NOLINT(ds-analyze): seeded inversion under test
+      },
+      "rank inversion");
+}
+
+TEST_F(LockdepTest, SameRankNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Same rank = "never held together" (how per-shard stripes are declared).
+  util::Mutex stripe_a{util::LockRank::kTestLeaf};
+  util::Mutex stripe_b{util::LockRank::kTestLeaf};
+  EXPECT_DEATH(
+      {
+        util::MutexLock a_lock(stripe_a);
+        util::MutexLock b_lock(stripe_b);  // NOLINT(ds-analyze): seeded same-rank nesting under test
+      },
+      "rank inversion");
+}
+
+TEST_F(LockdepTest, CountAndContinueRecordsViolation) {
+  lockdep::SetAbortOnViolation(false);
+  util::Mutex soft_outer{util::LockRank::kTestOuter};
+  util::Mutex soft_inner{util::LockRank::kTestInner};
+  {
+    util::MutexLock inner_lock(soft_inner);
+    util::MutexLock outer_lock(soft_outer);  // NOLINT(ds-analyze): seeded inversion under test
+  }
+  EXPECT_GE(lockdep::ViolationCount(), 1u);
+  const std::string json = lockdep::ObservedGraphJson();
+  EXPECT_EQ(json.find("\"violations\":0"), std::string::npos) << json;
+}
+
+TEST_F(LockdepTest, TryLockRecordsEdgeButNeverAborts) {
+  util::Mutex try_outer{util::LockRank::kTestOuter};
+  util::Mutex try_inner{util::LockRank::kTestInner};
+  {
+    util::MutexLock inner_lock(try_inner);
+    // Inverted order, but a successful trylock cannot deadlock: the edge is
+    // recorded as evidence, no violation is charged.
+    ASSERT_TRUE(try_outer.TryLock());
+    try_outer.Unlock();
+  }
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+  const std::string json = lockdep::ObservedGraphJson();
+  EXPECT_NE(json.find("\"from\":\"test.inner\",\"to\":\"test.outer\""),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(LockdepTest, UnrankedMutexesAreSkipped) {
+  // Default-constructed mutexes are outside the manifest: lockdep ignores
+  // them entirely (no class, no edges, no violations) in either order.
+  util::Mutex plain_a;
+  util::Mutex plain_b;
+  {
+    util::MutexLock a_lock(plain_a);
+    util::MutexLock b_lock(plain_b);
+  }
+  {
+    util::MutexLock b_lock(plain_b);
+    util::MutexLock a_lock(plain_a);  // NOLINT(ds-analyze): seeded unranked inversion under test
+  }
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+  EXPECT_NE(lockdep::ObservedGraphJson().find("\"edges\":[]"),
+            std::string::npos);
+}
+
+TEST_F(LockdepTest, OutOfOrderReleaseKeepsHeldStackConsistent) {
+  util::Mutex rel_outer{util::LockRank::kTestOuter};
+  util::Mutex rel_inner{util::LockRank::kTestInner};
+  util::Mutex rel_leaf{util::LockRank::kTestLeaf};
+  rel_outer.Lock();
+  rel_inner.Lock();
+  rel_outer.Unlock();  // non-LIFO: outer released while inner stays held
+  rel_leaf.Lock();     // must check against {inner} only
+  rel_leaf.Unlock();
+  rel_inner.Unlock();
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+}
+
+TEST_F(LockdepTest, CrossThreadEdgesAccumulateInOneGraph) {
+  util::Mutex shared_outer{util::LockRank::kTestOuter};
+  util::Mutex shared_inner{util::LockRank::kTestInner};
+  std::thread t([&] {
+    util::MutexLock outer_lock(shared_outer);
+    util::MutexLock inner_lock(shared_inner);
+  });
+  t.join();
+  {
+    util::MutexLock outer_lock(shared_outer);
+    util::MutexLock inner_lock(shared_inner);
+  }
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+  const std::string json = lockdep::ObservedGraphJson();
+  EXPECT_NE(json.find("\"from\":\"test.outer\",\"to\":\"test.inner\","
+                      "\"count\":2"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(LockdepTest, WriteObservedGraphRoundTrips) {
+  util::Mutex dump_outer{util::LockRank::kTestOuter};
+  util::Mutex dump_inner{util::LockRank::kTestInner};
+  {
+    util::MutexLock outer_lock(dump_outer);
+    util::MutexLock inner_lock(dump_inner);
+  }
+  const std::string path = ::testing::TempDir() + "/lock_order.json";
+  ASSERT_TRUE(lockdep::WriteObservedGraph(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_EQ(json, lockdep::ObservedGraphJson());
+  // Every manifest class is listed, so ds_analyze --observed can diff
+  // declared ranks even for classes with no observed edges.
+  for (size_t i = 0; i < kNumLockRanks; ++i) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(kLockRankTable[i].name) +
+                        "\""),
+              std::string::npos)
+        << "class missing from dump: " << kLockRankTable[i].name;
+  }
+  EXPECT_NE(json.find("\"violations\":0"), std::string::npos) << json;
+}
+
+TEST_F(LockdepTest, DisarmedCheckerIsInert) {
+  lockdep::SetEnabled(false);
+  util::Mutex off_outer{util::LockRank::kTestOuter};
+  util::Mutex off_inner{util::LockRank::kTestInner};
+  {
+    util::MutexLock inner_lock(off_inner);
+    util::MutexLock outer_lock(off_outer);  // NOLINT(ds-analyze): inversion invisible while disarmed
+  }
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+  EXPECT_NE(lockdep::ObservedGraphJson().find("\"edges\":[]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ds::util

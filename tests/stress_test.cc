@@ -107,6 +107,28 @@ TEST_F(StressTest, GrammarCoversAllQueryKinds) {
   EXPECT_GT(malformed, 0);
 }
 
+TEST_F(StressTest, PlaceholderLandsOutsideStringLiterals) {
+  // Regression: the literal-to-'?' substitution used to hit the first
+  // textual occurrence, which for "4" could be inside 'keyword-47' —
+  // producing 'keyword-?7', a legal string the parser rightly accepts.
+  StressGrammar g = MakeGrammar(20260807);
+  int placeholders = 0;
+  for (int i = 0; i < 2000; ++i) {
+    GeneratedQuery q = g.NextQuery();
+    if (q.kind != QueryKind::kPlaceholder) continue;
+    ++placeholders;
+    bool inside = false;
+    bool bare_placeholder = false;
+    for (char c : q.sql) {
+      if (c == '\'') inside = !inside;
+      if (c == '?' && !inside) bare_placeholder = true;
+    }
+    EXPECT_TRUE(bare_placeholder)
+        << "'?' only inside a string literal: " << q.sql;
+  }
+  EXPECT_GT(placeholders, 0);
+}
+
 TEST_F(StressTest, WellFormedQueriesEstimateAndPlaceholdersFail) {
   StressGrammar g = MakeGrammar(11);
   int checked = 0;

@@ -1,0 +1,431 @@
+// ds_analyze: whole-repo lock-order static analysis.
+//
+// Usage: ds_analyze [flags] <file-or-directory>...
+//
+//   --self-test            run the embedded corpus first (seeded cycles,
+//                          inversions, manifest mismatches) and fail loudly
+//                          if detection drifts
+//   --observed=<json>      also diff a runtime lockdep dump
+//                          (lock_order.json, see ds/util/lockdep.h) against
+//                          the manifest
+//   --sarif=<path>         write findings as SARIF 2.1.0
+//   --baseline=<path>      suppress findings recorded in the baseline file
+//   --write-baseline=<p>   write the current findings as a new baseline
+//   --jobs=<n>             parallel file scanning (default: hardware)
+//
+// The pass harvests per-file facts (ds/analysis/facts.h): ds::util::Mutex
+// declarations and their LockRank, annotation bindings, and MutexLock
+// nesting within each function body. From those it builds the static
+// acquired-after graph and checks it against the machine-readable rank
+// manifest, src/ds/util/lock_order.h (ds/analysis/lock_graph.h lists the
+// rules). A line containing `NOLINT(ds-analyze)` is exempt — used by tests
+// that construct deliberate inversions to prove the *runtime* lockdep
+// aborts.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. The ctest
+// registration runs `ds_analyze --self-test <repo>/src <repo>/tools
+// <repo>/tests`, so the tree itself must stay clean.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ds/analysis/baseline.h"
+#include "ds/analysis/facts.h"
+#include "ds/analysis/finding.h"
+#include "ds/analysis/lock_graph.h"
+#include "ds/analysis/sarif.h"
+#include "ds/analysis/scan.h"
+#include "ds/analysis/source.h"
+
+namespace {
+
+using ds::analysis::Baseline;
+using ds::analysis::FileFacts;
+using ds::analysis::Finding;
+using ds::analysis::Manifest;
+using ds::analysis::SourceFile;
+
+constexpr const char* kVersion = "1.0";
+
+/// Harvests facts (in parallel), locates the manifest among the swept
+/// files, and runs every check.
+std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& files,
+                                    int jobs, Manifest* manifest_out) {
+  std::vector<FileFacts> facts(files.size());
+  std::vector<Manifest> manifests(files.size());
+  std::vector<char> is_manifest(files.size(), 0);
+  ds::analysis::ParallelScan(files.size(), jobs, [&](size_t i) {
+    facts[i] = ds::analysis::HarvestFacts(files[i]);
+    if (ds::analysis::ParseManifest(files[i], &manifests[i])) {
+      is_manifest[i] = 1;
+    }
+  });
+  Manifest manifest;
+  size_t manifest_count = 0;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (is_manifest[i]) {
+      manifest = manifests[i];
+      ++manifest_count;
+    }
+  }
+  std::vector<Finding> findings;
+  if (manifest_count > 1) {
+    findings.push_back({manifest.file, 1, "manifest-duplicate",
+                        "multiple DS_LOCK_RANK_TABLE manifests in the sweep; "
+                        "there must be exactly one rank authority"});
+  }
+  auto lock_findings = ds::analysis::CheckLockOrder(manifest, facts);
+  findings.insert(findings.end(), lock_findings.begin(), lock_findings.end());
+  if (manifest_out != nullptr) *manifest_out = manifest;
+  return findings;
+}
+
+// ---- Self-test corpus ------------------------------------------------------
+//
+// Each case is a miniature repo (a few files) with zero or more seeded
+// defects. The corpus is the detection contract: if a refactor of the
+// harvest or the graph stops catching a seeded ABBA cycle or a manifest
+// mismatch, this fails before the tree-wide run can silently go blind.
+
+struct CorpusFile {
+  const char* path;
+  const char* content;
+};
+
+struct CorpusCase {
+  const char* name;
+  std::vector<CorpusFile> files;
+  const char* observed_json;  // nullptr = no observed-graph input
+  std::vector<const char*> expect_rules;  // one finding each, in order
+};
+
+const char* const kMiniManifest =
+    "#define DS_LOCK_RANK_TABLE(X) \\\n"
+    "  X(kOuter, 100, \"test.outer\", \"Outer::mu_\") \\\n"
+    "  X(kInner, 200, \"test.inner\", \"Inner::mu_\")\n";
+
+std::vector<CorpusCase> BuildCorpus() {
+  std::vector<CorpusCase> cases;
+
+  // Seeded ABBA: two unranked mutexes, nested in both orders across two
+  // functions. The static graph must close the loop and call it a
+  // potential deadlock.
+  cases.push_back(
+      {"seeded-abba-cycle",
+       {{"ab.h",
+         "struct AB {\n"
+         "  util::Mutex a_mu_;\n"
+         "  util::Mutex b_mu_;\n"
+         "};\n"},
+        {"ab.cc",
+         "void First(AB* ab) {\n"
+         "  util::MutexLock la(&ab->a_mu_);\n"
+         "  util::MutexLock lb(&ab->b_mu_);\n"
+         "}\n"
+         "void Second(AB* ab) {\n"
+         "  util::MutexLock lb(&ab->b_mu_);\n"
+         "  util::MutexLock la(&ab->a_mu_);\n"
+         "}\n"}},
+       nullptr,
+       {"lock-cycle"}});
+
+  // Seeded manifest mismatch: a declaration names a rank the table does
+  // not define.
+  cases.push_back({"seeded-unknown-rank",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex mu_{util::LockRank::kNotInTheTable};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "};\n"}},
+                   nullptr,
+                   {"lock-rank-unknown"}});
+
+  // Seeded inversion: ranked locks nested against their declared order.
+  cases.push_back({"seeded-rank-inversion",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "};\n"},
+                    {"svc.cc",
+                     "void Svc::Backwards() {\n"
+                     "  util::MutexLock li(&inner_mu_);\n"
+                     "  util::MutexLock lo(&outer_mu_);\n"
+                     "}\n"}},
+                   nullptr,
+                   {"lock-rank-inversion"}});
+
+  // Clean: same shape, nested in rank order.
+  cases.push_back({"ranked-nesting-clean",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "};\n"},
+                    {"svc.cc",
+                     "void Svc::Forward() {\n"
+                     "  util::MutexLock lo(&outer_mu_);\n"
+                     "  util::MutexLock li(&inner_mu_);\n"
+                     "}\n"}},
+                   nullptr,
+                   {}});
+
+  // A manifest row no declaration references.
+  cases.push_back({"seeded-stale-rank",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "};\n"}},
+                   nullptr,
+                   {"lock-rank-stale"}});
+
+  // DS_GUARDED_BY naming a mutex that does not exist.
+  cases.push_back({"seeded-guard-unknown",
+                   {{"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex mu_;\n"
+                     "  int x_ DS_GUARDED_BY(nonexistent_mu_);\n"
+                     "  int y_ DS_GUARDED_BY(mu_);\n"
+                     "};\n"}},
+                   nullptr,
+                   {"annotation-unknown-mutex"}});
+
+  // Mid-scope Unlock drops the held edge: B after A.Unlock() is NOT nested.
+  cases.push_back({"unlock-drops-edge",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "};\n"},
+                    {"svc.cc",
+                     "void Svc::HandOff() {\n"
+                     "  util::MutexLock li(&inner_mu_);\n"
+                     "  li.Unlock();\n"
+                     "  util::MutexLock lo(&outer_mu_);\n"
+                     "}\n"}},
+                   nullptr,
+                   {}});
+
+  // NOLINT(ds-analyze) exempts a deliberate inversion (how lockdep's own
+  // death tests stay out of the report).
+  cases.push_back({"nolint-exempt",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "};\n"},
+                    {"svc.cc",
+                     "void Svc::DeathTest() {\n"
+                     "  util::MutexLock li(&inner_mu_);\n"
+                     "  util::MutexLock lo(&outer_mu_);"
+                     "  // NOLINT(ds-analyze): seeded ABBA\n"
+                     "}\n"}},
+                   nullptr,
+                   {}});
+
+  // Observed-graph diff: the runtime saw inner-then-outer.
+  cases.push_back({"observed-order-violation",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "};\n"}},
+                   "{\"classes\":[{\"name\":\"test.outer\",\"rank\":100,"
+                   "\"holder\":\"Outer::mu_\"},{\"name\":\"test.inner\","
+                   "\"rank\":200,\"holder\":\"Inner::mu_\"}],"
+                   "\"edges\":[{\"from\":\"test.inner\",\"to\":\"test.outer\","
+                   "\"count\":3}],\"violations\":0}",
+                   {"observed-order-violation"}});
+
+  // Observed-graph diff: a clean dump matching the manifest.
+  cases.push_back({"observed-clean",
+                   {{"lock_order.h", kMiniManifest},
+                    {"svc.h",
+                     "struct Svc {\n"
+                     "  util::Mutex outer_mu_{util::LockRank::kOuter};\n"
+                     "  util::Mutex inner_mu_{util::LockRank::kInner};\n"
+                     "};\n"}},
+                   "{\"classes\":[{\"name\":\"test.outer\",\"rank\":100,"
+                   "\"holder\":\"Outer::mu_\"},{\"name\":\"test.inner\","
+                   "\"rank\":200,\"holder\":\"Inner::mu_\"}],"
+                   "\"edges\":[{\"from\":\"test.outer\",\"to\":\"test.inner\","
+                   "\"count\":7}],\"violations\":0}",
+                   {}});
+
+  return cases;
+}
+
+int RunSelfTest() {
+  int failures = 0;
+  const std::vector<CorpusCase> corpus = BuildCorpus();
+  for (const CorpusCase& c : corpus) {
+    std::vector<SourceFile> files;
+    for (const CorpusFile& cf : c.files) {
+      files.push_back({cf.path, cf.content});
+    }
+    Manifest manifest;
+    std::vector<Finding> findings =
+        AnalyzeSources(files, /*jobs=*/1, &manifest);
+    if (c.observed_json != nullptr) {
+      auto obs = ds::analysis::CheckObservedGraph("lock_order.json",
+                                                  c.observed_json, manifest);
+      findings.insert(findings.end(), obs.begin(), obs.end());
+    }
+    bool ok = findings.size() == c.expect_rules.size();
+    if (ok) {
+      for (size_t i = 0; i < findings.size(); ++i) {
+        if (findings[i].rule != c.expect_rules[i]) ok = false;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "self-test FAIL %s: expected [", c.name);
+      for (const char* r : c.expect_rules) std::fprintf(stderr, " %s", r);
+      std::fprintf(stderr, " ], got [");
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, " %s(%s:%zu)", f.rule.c_str(), f.file.c_str(),
+                     f.line);
+      }
+      std::fprintf(stderr, " ]\n");
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "ds_analyze self-test: %zu cases ok\n",
+                 corpus.size());
+  }
+  return failures;
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  // CollectSources only takes .h/.cc; observed dumps are .json.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+const char* ArgValue(const char* arg, const char* flag) {
+  const size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  std::string observed_path, sarif_path, baseline_path, write_baseline_path;
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs <= 0) jobs = 1;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else if ((v = ArgValue(argv[i], "--observed")) != nullptr) {
+      observed_path = v;
+    } else if ((v = ArgValue(argv[i], "--sarif")) != nullptr) {
+      sarif_path = v;
+    } else if ((v = ArgValue(argv[i], "--baseline")) != nullptr) {
+      baseline_path = v;
+    } else if ((v = ArgValue(argv[i], "--write-baseline")) != nullptr) {
+      write_baseline_path = v;
+    } else if ((v = ArgValue(argv[i], "--jobs")) != nullptr) {
+      jobs = std::atoi(v);
+      if (jobs <= 0) jobs = 1;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(
+          stderr,
+          "usage: ds_analyze [--self-test] [--observed=<json>]\n"
+          "                  [--sarif=<path>] [--baseline=<path>]\n"
+          "                  [--write-baseline=<path>] [--jobs=<n>]\n"
+          "                  <file-or-directory>...\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "ds_analyze: unknown flag '%s' (see --help)\n",
+                   argv[i]);
+      return 2;
+    } else {
+      roots.push_back(argv[i]);
+    }
+  }
+
+  int failures = 0;
+  if (self_test) failures += RunSelfTest();
+  if (roots.empty() && observed_path.empty()) {
+    if (self_test) return failures == 0 ? 0 : 1;
+    std::fprintf(stderr, "ds_analyze: no inputs (see --help)\n");
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  if (!ds::analysis::CollectSources(roots, &files)) return 2;
+
+  Manifest manifest;
+  std::vector<Finding> findings = AnalyzeSources(files, jobs, &manifest);
+
+  if (!observed_path.empty()) {
+    std::string json;
+    if (!ReadWholeFile(observed_path, &json)) {
+      std::fprintf(stderr, "ds_analyze: cannot read '%s'\n",
+                   observed_path.c_str());
+      return 2;
+    }
+    auto obs =
+        ds::analysis::CheckObservedGraph(observed_path, json, manifest);
+    findings.insert(findings.end(), obs.begin(), obs.end());
+  }
+
+  if (!write_baseline_path.empty()) {
+    const std::string body =
+        ds::analysis::SerializeBaseline("ds_analyze", findings);
+    if (!ds::analysis::WriteTextFile(write_baseline_path, body)) return 2;
+    std::fprintf(stderr, "ds_analyze: wrote baseline (%zu finding(s)) to %s\n",
+                 findings.size(), write_baseline_path.c_str());
+  }
+
+  size_t suppressed = 0, stale = 0;
+  if (!baseline_path.empty()) {
+    Baseline baseline;
+    if (!ds::analysis::LoadBaseline(baseline_path, &baseline)) return 2;
+    findings =
+        ds::analysis::ApplyBaseline(baseline, findings, &suppressed, &stale);
+  }
+
+  if (!sarif_path.empty()) {
+    const std::string sarif =
+        ds::analysis::ToSarif("ds_analyze", kVersion, findings);
+    if (!ds::analysis::WriteTextFile(sarif_path, sarif)) return 2;
+  }
+
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr,
+               "ds_analyze: %zu file(s), %zu manifest row(s), %zu finding(s)"
+               "%s\n",
+               files.size(), manifest.entries.size(), findings.size(),
+               baseline_path.empty()
+                   ? ""
+                   : (" (" + std::to_string(suppressed) + " baselined, " +
+                      std::to_string(stale) + " stale baseline entr(ies))")
+                         .c_str());
+  failures += static_cast<int>(findings.size());
+  return failures == 0 ? 0 : 1;
+}
